@@ -1,0 +1,49 @@
+// Ablation A1 — section 5.1's claim: "best performance is obtained when
+// there are at least 20 elements per bucket".  Sweeps the bucket-target knob
+// and reports modeled time per phase plus bucket-balance diagnostics.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/gpu_array_sort.hpp"
+#include "simt/device.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+    const bench::Args args = bench::parse(argc, argv);
+    const std::size_t num_arrays = args.full ? 50000 : 2000;
+    const std::size_t n = 1000;
+
+    std::printf("Ablation A1: bucket-target sweep (n = %zu, N = %zu, uniform)\n", n,
+                num_arrays);
+    bench::rule('=');
+    std::printf("%8s %8s | %10s %10s %10s %10s | %8s %8s\n", "target", "buckets", "total",
+                "phase1", "phase2", "phase3", "max bkt", "avg bkt");
+    bench::rule();
+
+    auto ds = workload::make_dataset(num_arrays, n, workload::Distribution::Uniform, 1);
+
+    double best = 1e300;
+    std::size_t best_target = 0;
+    for (const std::size_t target : {5u, 10u, 20u, 40u, 80u, 160u, 320u}) {
+        auto copy = ds.values;
+        simt::Device dev = bench::make_device();
+        gas::Options opts;
+        opts.bucket_target = target;
+        const auto s = gas::gpu_array_sort(dev, copy, num_arrays, n, opts);
+        const double total = s.modeled_kernel_ms();
+        std::printf("%8zu %8zu | %8.1fms %8.1fms %8.1fms %8.1fms | %8u %8.1f\n", target,
+                    s.buckets_per_array, total, s.phase1.modeled_ms, s.phase2.modeled_ms,
+                    s.phase3.modeled_ms, s.max_bucket, s.avg_bucket);
+        std::fflush(stdout);
+        if (total < best) {
+            best = total;
+            best_target = target;
+        }
+    }
+    bench::rule();
+    std::printf("best bucket target: %zu (paper's empirical optimum: ~20)\n", best_target);
+    std::printf("shape: small buckets inflate phase 2 (p scans of the array); large\n");
+    std::printf("buckets inflate phase 3 (quadratic insertion sort) — a minimum between.\n");
+    return 0;
+}

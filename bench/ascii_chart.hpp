@@ -1,0 +1,69 @@
+#pragma once
+
+// Minimal ASCII line-chart renderer so the figure benches can draw the same
+// plots the paper shows (time vs. N / n) straight into the terminal.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+struct Series {
+    std::string name;
+    char glyph = '*';
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/// Renders series onto a `width` x `height` character grid with linear axes
+/// anchored at (min x, 0) .. (max x, max y), then prints it with y-axis
+/// labels and a legend.
+inline void plot(const std::vector<Series>& series, const std::string& x_label,
+                 const std::string& y_label, int width = 64, int height = 16) {
+    double xmin = 0.0;
+    double xmax = 1.0;
+    double ymax = 1.0;
+    bool first = true;
+    for (const Series& s : series) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            if (first) {
+                xmin = xmax = s.x[i];
+                ymax = s.y[i];
+                first = false;
+            }
+            xmin = std::min(xmin, s.x[i]);
+            xmax = std::max(xmax, s.x[i]);
+            ymax = std::max(ymax, s.y[i]);
+        }
+    }
+    if (first || xmax == xmin || ymax <= 0.0) return;
+
+    std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+    for (const Series& s : series) {
+        for (std::size_t i = 0; i < s.x.size(); ++i) {
+            const auto cx = static_cast<int>((s.x[i] - xmin) / (xmax - xmin) * (width - 1));
+            const auto cy = static_cast<int>(s.y[i] / ymax * (height - 1));
+            const int row = height - 1 - std::clamp(cy, 0, height - 1);
+            grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(
+                std::clamp(cx, 0, width - 1))] = s.glyph;
+        }
+    }
+
+    std::printf("  %s\n", y_label.c_str());
+    for (int r = 0; r < height; ++r) {
+        const double yval = ymax * (height - 1 - r) / (height - 1);
+        std::printf("%9.1f |%s|\n", yval, grid[static_cast<std::size_t>(r)].c_str());
+    }
+    std::printf("%9s +", "");
+    for (int c = 0; c < width; ++c) std::putchar('-');
+    std::printf("+\n%9s  %-10.0f%*s%.0f   (%s)\n", "", xmin, width - 22, "", xmax,
+                x_label.c_str());
+    for (const Series& s : series) {
+        std::printf("%9s  '%c' = %s\n", "", s.glyph, s.name.c_str());
+    }
+}
+
+}  // namespace bench

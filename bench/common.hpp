@@ -1,0 +1,104 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints the same series the paper reports.  Because the host is
+// a functional simulator, runs default to a scaled N grid; pass --full to run
+// the paper-scale grid (slow: hours of simulation).  Both grids report the
+// *modeled* Tesla K40c milliseconds (the paper's y-axis) next to the host
+// wall-clock of the simulation.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simt/device.hpp"
+
+namespace bench {
+
+/// A full simulated K40c with as many host simulation workers as the machine
+/// offers (results are worker-count invariant; see simt tests).
+inline simt::Device make_device() {
+    return simt::Device(simt::tesla_k40c(), simt::DeviceMemory::Mode::Backed,
+                        std::max(std::thread::hardware_concurrency(), 1u));
+}
+
+struct Args {
+    bool full = false;      ///< run the paper-scale grid
+    double scale = 1.0;     ///< extra multiplier on the N grid (power users)
+    std::string csv;        ///< optional CSV output path for the series
+};
+
+inline Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) {
+            args.full = true;
+        } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+            args.scale = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            args.csv = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: %s [--full] [--scale F] [--csv PATH]\n", argv[0]);
+            std::printf("  --full    paper-scale N grid (very slow functional simulation)\n");
+            std::printf("  --scale F multiply the default N grid by F\n");
+            std::printf("  --csv P   also write the series as CSV to P\n");
+            std::exit(0);
+        }
+    }
+    return args;
+}
+
+/// Writes rows of comma-separated values with a header line; silently does
+/// nothing when path is empty.
+class CsvWriter {
+  public:
+    CsvWriter(const std::string& path, const std::string& header) {
+        if (path.empty()) return;
+        file_ = std::fopen(path.c_str(), "w");
+        if (file_ != nullptr) std::fprintf(file_, "%s\n", header.c_str());
+    }
+    CsvWriter(const CsvWriter&) = delete;
+    CsvWriter& operator=(const CsvWriter&) = delete;
+    ~CsvWriter() {
+        if (file_ != nullptr) std::fclose(file_);
+    }
+
+    template <typename... Vals>
+    void row(const char* fmt, Vals... vals) {
+        if (file_ == nullptr) return;
+        std::fprintf(file_, fmt, vals...);
+        std::fputc('\n', file_);
+    }
+
+    [[nodiscard]] bool active() const { return file_ != nullptr; }
+
+  private:
+    std::FILE* file_ = nullptr;
+};
+
+/// N grid for the runtime figures.  Paper: 5e4 .. 2e5; default: 1/40 of it,
+/// which preserves the linear-in-N shape (one block per array).
+inline std::vector<std::size_t> n_arrays_grid(const Args& args) {
+    std::vector<std::size_t> grid;
+    if (args.full) {
+        grid = {50000, 75000, 100000, 125000, 150000, 175000, 200000};
+    } else {
+        grid = {1250, 1875, 2500, 3125, 3750, 4375, 5000};
+    }
+    if (args.scale != 1.0) {
+        for (auto& n : grid) {
+            n = static_cast<std::size_t>(static_cast<double>(n) * args.scale);
+        }
+    }
+    return grid;
+}
+
+inline void rule(char c = '-', int width = 78) {
+    for (int i = 0; i < width; ++i) std::putchar(c);
+    std::putchar('\n');
+}
+
+}  // namespace bench

@@ -1,0 +1,46 @@
+// Extension bench — the paper's section 9 future work: out-of-core array
+// sort with transfer/compute overlap.  Streams a dataset larger than device
+// memory through the device and reports the modeled benefit of
+// double/triple buffering over serial staging.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "ooc/out_of_core.hpp"
+#include "simt/device.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+    const bench::Args args = bench::parse(argc, argv);
+    // A deliberately small device forces many batches; the dataset is ~8x
+    // its capacity.  (--full uses a 256 MB device and a 2 GB dataset.)
+    const std::size_t device_mb = args.full ? 256 : 8;
+    const std::size_t n = 1000;
+    const std::size_t num_arrays = device_mb * 1024 * 1024 / (n * sizeof(float)) * 8;
+
+    std::printf("Out-of-core extension: dataset ~8x device memory (device %zu MB, "
+                "N = %zu, n = %zu)\n",
+                device_mb, num_arrays, n);
+    bench::rule('=');
+    std::printf("%8s %10s | %12s %12s %9s | %12s\n", "streams", "batch", "overlap",
+                "serial", "speedup", "wall");
+    bench::rule();
+
+    auto ds = workload::make_dataset(num_arrays, n, workload::Distribution::Uniform, 5);
+
+    for (const unsigned streams : {1u, 2u, 3u, 4u}) {
+        auto copy = ds.values;
+        simt::Device dev(simt::tiny_device(device_mb << 20));
+        ooc::OocOptions opts;
+        opts.num_streams = streams;
+        const auto s = ooc::out_of_core_sort(dev, copy, num_arrays, n, opts);
+        std::printf("%8u %10zu | %10.1fms %10.1fms %8.2fx | %10.1fms\n", streams,
+                    s.batch_arrays, s.modeled_overlap_ms, s.modeled_serial_ms,
+                    s.overlap_speedup(), s.wall_ms);
+        std::fflush(stdout);
+    }
+    bench::rule();
+    std::printf("shape: 2+ streams hide most transfer time behind compute, approaching\n");
+    std::printf("max(kernel, transfer) instead of their sum — the section-9 design goal.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Extension bench — ragged (CSR) spectra sorting vs. the pad-to-max
+// alternative a uniform-only sorter forces.  Real mass-spec datasets have
+// 10x spreads in peaks per spectrum; padding sorts the waste too.
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common.hpp"
+#include "core/gpu_array_sort.hpp"
+#include "core/ragged_sort.hpp"
+#include "simt/device.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+    const bench::Args args = bench::parse(argc, argv);
+    const std::size_t num_arrays = args.full ? 50000 : 4000;
+    const std::size_t min_n = 100;
+    const std::size_t max_n = 1000;
+
+    std::printf("Ragged extension: CSR ragged sort vs. pad-to-max (N = %zu, sizes %zu..%zu)\n",
+                num_arrays, min_n, max_n);
+    bench::rule('=');
+
+    auto ragged = workload::make_ragged_dataset(num_arrays, min_n, max_n,
+                                                workload::Distribution::Uniform, 11);
+    const double avg_n = static_cast<double>(ragged.values.size()) /
+                         static_cast<double>(num_arrays);
+
+    double ragged_ms = 0.0;
+    double ragged_mb = 0.0;
+    {
+        simt::Device dev = bench::make_device();
+        std::vector<std::uint64_t> offsets(ragged.offsets.begin(), ragged.offsets.end());
+        auto values = ragged.values;
+        const auto s = gas::gpu_ragged_sort(dev, values, offsets);
+        ragged_ms = s.phase2.modeled_ms;  // fused kernel
+        ragged_mb = static_cast<double>(s.data_bytes) / 1048576.0;
+    }
+
+    double padded_ms = 0.0;
+    double padded_mb = 0.0;
+    {
+        // Pad every array to max_n with +inf filler, run the uniform sorter.
+        simt::Device dev = bench::make_device();
+        std::vector<float> padded(num_arrays * max_n,
+                                  std::numeric_limits<float>::infinity());
+        for (std::size_t a = 0; a < num_arrays; ++a) {
+            const std::size_t begin = ragged.offsets[a];
+            const std::size_t n = ragged.offsets[a + 1] - begin;
+            std::copy_n(ragged.values.begin() + static_cast<std::ptrdiff_t>(begin), n,
+                        padded.begin() + static_cast<std::ptrdiff_t>(a * max_n));
+        }
+        const auto s = gas::gpu_array_sort(dev, padded, num_arrays, max_n);
+        padded_ms = s.modeled_kernel_ms();
+        padded_mb = static_cast<double>(s.peak_device_bytes) / 1048576.0;
+    }
+
+    std::printf("%20s | %12s | %12s\n", "approach", "modeled", "device MB");
+    bench::rule();
+    std::printf("%20s | %10.1fms | %10.1f\n", "ragged CSR (fused)", ragged_ms, ragged_mb);
+    std::printf("%20s | %10.1fms | %10.1f\n", "pad-to-max uniform", padded_ms, padded_mb);
+    bench::rule();
+    std::printf("mean array size %.0f of max %zu -> padding inflates work and memory by "
+                "~%.1fx;\nthe CSR path sorts only real peaks and keeps splitters in shared "
+                "memory.\n",
+                avg_n, max_n, static_cast<double>(max_n) / avg_n);
+    return 0;
+}

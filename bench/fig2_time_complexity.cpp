@@ -1,0 +1,67 @@
+// Reproduces Fig. 2: measured time vs. theoretical time-complexity curve as
+// the array size n grows, with the number of arrays N held constant
+// (paper: N = 50000, n up to 2000).
+//
+// The theoretical curve is the paper's Eq. 2 (see core/complexity.hpp),
+// least-squares fitted to the measured series — the paper likewise scales
+// its theoretical values to overlay the measured plot.  The bench reports
+// both series, their ratio, the fit and the correlation, and draws the
+// overlay chart.
+
+#include <cstdio>
+#include <vector>
+
+#include "ascii_chart.hpp"
+#include "common.hpp"
+#include "core/complexity.hpp"
+#include "core/gpu_array_sort.hpp"
+#include "simt/device.hpp"
+#include "workload/generators.hpp"
+
+int main(int argc, char** argv) {
+    const bench::Args args = bench::parse(argc, argv);
+    const std::size_t num_arrays = args.full ? 50000 : 2000;
+
+    std::printf("Figure 2: Time Complexity — time vs. array size n (N = %zu fixed)\n",
+                num_arrays);
+    std::printf("uniform floats; GPU-ArraySort on the simulated Tesla K40c\n");
+    bench::rule('=');
+
+    std::vector<std::size_t> sizes;
+    std::vector<double> measured;
+    for (std::size_t n = 100; n <= 2000; n += 100) {
+        auto ds = workload::make_dataset(num_arrays, n, workload::Distribution::Uniform, n);
+        simt::Device dev = bench::make_device();
+        simt::DeviceBuffer<float> data(dev, ds.values.size());
+        simt::copy_to_device(std::span<const float>(ds.values), data);
+        const auto stats = gas::sort_arrays_on_device(dev, data, num_arrays, n);
+        sizes.push_back(n);
+        measured.push_back(stats.modeled_kernel_ms());
+        std::fprintf(stderr, "  measured n=%zu\n", n);
+    }
+
+    const auto fit =
+        gas::fit_complexity(sizes, measured, gas::Options{}, simt::tesla_k40c());
+
+    std::printf("%8s | %14s | %16s | %8s\n", "n", "measured (ms)", "theoretical (ms)",
+                "ratio");
+    bench::rule();
+    bench::Series meas{"measured (modeled K40c ms)", 'o', {}, {}};
+    bench::Series theo{"theoretical Eq. 2 fit", '.', {}, {}};
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        std::printf("%8zu | %14.2f | %16.2f | %8.3f\n", sizes[i], measured[i],
+                    fit.predicted_ms[i], measured[i] / fit.predicted_ms[i]);
+        meas.x.push_back(static_cast<double>(sizes[i]));
+        meas.y.push_back(measured[i]);
+        theo.x.push_back(static_cast<double>(sizes[i]));
+        theo.y.push_back(fit.predicted_ms[i]);
+    }
+    bench::rule();
+    bench::plot({meas, theo}, "size of array (n)", "time (ms)");
+    bench::rule();
+    std::printf("fit: T(n) = %.3e*(n+q) + %.3e*((p*r+1)/p)*n*log2(n)   [Eq. 2]\n", fit.a,
+                fit.b);
+    std::printf("Pearson correlation measured vs. theoretical: %.4f\n", fit.pearson);
+    std::printf("paper shape: measured curve follows the theoretical trend\n");
+    return 0;
+}

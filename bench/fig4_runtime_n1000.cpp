@@ -1,0 +1,7 @@
+// Reproduces Fig. 4: time vs. number of arrays, array size n = 1000,
+// GPU-ArraySort vs. the Thrust-based tagged approach (STA).
+#include "runtime_figure.hpp"
+
+int main(int argc, char** argv) {
+    return bench::run_runtime_figure("Figure 4", 1000, argc, argv);
+}

@@ -1,0 +1,6 @@
+// Reproduces Fig. 5: time vs. number of arrays, array size n = 2000.
+#include "runtime_figure.hpp"
+
+int main(int argc, char** argv) {
+    return bench::run_runtime_figure("Figure 5", 2000, argc, argv);
+}

@@ -1,0 +1,6 @@
+// Reproduces Fig. 6: time vs. number of arrays, array size n = 3000.
+#include "runtime_figure.hpp"
+
+int main(int argc, char** argv) {
+    return bench::run_runtime_figure("Figure 6", 3000, argc, argv);
+}

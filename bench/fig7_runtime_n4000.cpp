@@ -1,0 +1,6 @@
+// Reproduces Fig. 7: time vs. number of arrays, array size n = 4000.
+#include "runtime_figure.hpp"
+
+int main(int argc, char** argv) {
+    return bench::run_runtime_figure("Figure 7", 4000, argc, argv);
+}

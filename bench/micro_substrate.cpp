@@ -1,0 +1,80 @@
+// Substrate micro-benchmarks (google-benchmark): the primitives every
+// experiment stands on — insertion sort, the radix sort stand-in for
+// Thrust, kernel-launch overhead, and the device allocator.
+
+#include <benchmark/benchmark.h>
+
+#include "core/insertion_sort.hpp"
+#include "simt/device.hpp"
+#include "simt/device_buffer.hpp"
+#include "thrustlite/algorithms.hpp"
+#include "thrustlite/radix_sort.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+void BM_InsertionSort(benchmark::State& state) {
+    const auto size = static_cast<std::size_t>(state.range(0));
+    const auto original = workload::make_values(size, workload::Distribution::Uniform, 1);
+    std::vector<float> v(size);
+    for (auto _ : state) {
+        v = original;
+        const auto cost = gas::insertion_sort(v);
+        benchmark::DoNotOptimize(cost);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_InsertionSort)->Arg(8)->Arg(20)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RadixSortThroughput(benchmark::State& state) {
+    const auto count = static_cast<std::size_t>(state.range(0));
+    simt::Device dev(simt::tiny_device(256 << 20));
+    const auto host = workload::make_values(count, workload::Distribution::Uniform, 2);
+    for (auto _ : state) {
+        state.PauseTiming();
+        simt::DeviceBuffer<float> buf(dev, count);
+        simt::copy_to_device(std::span<const float>(host), buf);
+        auto keys = thrustlite::to_ordered_inplace(dev, buf.span());
+        state.ResumeTiming();
+        thrustlite::stable_sort(dev, keys);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_RadixSortThroughput)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_KernelLaunchOverhead(benchmark::State& state) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    for (auto _ : state) {
+        dev.launch({"noop", 1, 1}, [](simt::BlockCtx&) {});
+        dev.clear_kernel_log();
+    }
+}
+BENCHMARK(BM_KernelLaunchOverhead);
+
+void BM_BlockIterationThroughput(benchmark::State& state) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    const auto blocks = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        dev.launch({"sweep", blocks, 32}, [](simt::BlockCtx& blk) {
+            blk.for_each_thread([](simt::ThreadCtx& tc) { tc.ops(1); });
+        });
+        dev.clear_kernel_log();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * blocks);
+}
+BENCHMARK(BM_BlockIterationThroughput)->Arg(100)->Arg(10000);
+
+void BM_DeviceAllocFree(benchmark::State& state) {
+    simt::Device dev(simt::tiny_device(1 << 30), simt::DeviceMemory::Mode::Virtual);
+    for (auto _ : state) {
+        const std::size_t off = dev.memory().allocate(4096);
+        dev.memory().deallocate(off);
+    }
+}
+BENCHMARK(BM_DeviceAllocFree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+#pragma once
+
+// Shared driver for Figs. 4-7: "Run Time Analysis for Array Size n" —
+// time (ms) vs. number of arrays N, GPU-ArraySort vs. STA, uniform floats
+// in [0, 2^31 - 1] exactly as in section 7.2.
+
+#include <cstdio>
+
+#include "ascii_chart.hpp"
+#include "baseline/sta_sort.hpp"
+#include "common.hpp"
+#include "core/gpu_array_sort.hpp"
+#include "simt/device.hpp"
+#include "workload/generators.hpp"
+
+namespace bench {
+
+inline int run_runtime_figure(const char* figure, std::size_t array_size, int argc,
+                              char** argv) {
+    const Args args = parse(argc, argv);
+    const auto grid = n_arrays_grid(args);
+    Series gas_series{"GPU-ArraySort (modeled ms)", 'o', {}, {}};
+    Series sta_series{"STA / Thrust tagged (modeled ms)", 'x', {}, {}};
+    CsvWriter csv(args.csv, "num_arrays,gas_modeled_ms,sta_modeled_ms,gas_wall_ms,sta_wall_ms");
+
+    std::printf("%s: Run Time Analysis for Array Size %zu\n", figure, array_size);
+    std::printf("dataset: uniform floats in [0, 2^31-1], %s N grid%s\n",
+                args.full ? "paper-scale" : "scaled (1/40 of paper)",
+                args.full ? "" : "  [pass --full for paper scale]");
+    std::printf("modeled ms = analytic Tesla K40c time (the paper's y-axis)\n");
+    rule('=');
+    std::printf("%10s | %16s %16s | %12s | %14s %14s\n", "N arrays", "GPU-AS modeled",
+                "STA modeled", "STA/GPU-AS", "GPU-AS wall", "STA wall");
+    rule();
+
+    for (const std::size_t num_arrays : grid) {
+        auto ds = workload::make_dataset(num_arrays, array_size,
+                                         workload::Distribution::Uniform,
+                                         /*seed=*/array_size);
+
+        double gas_modeled = 0.0;
+        double gas_wall = 0.0;
+        {
+            simt::Device dev = bench::make_device();
+            simt::DeviceBuffer<float> data(dev, ds.values.size());
+            simt::copy_to_device(std::span<const float>(ds.values), data);
+            const auto s = gas::sort_arrays_on_device(dev, data, num_arrays, array_size);
+            gas_modeled = s.modeled_kernel_ms();
+            gas_wall = s.wall_kernel_ms();
+        }
+
+        double sta_modeled = 0.0;
+        double sta_wall = 0.0;
+        {
+            simt::Device dev = bench::make_device();
+            simt::DeviceBuffer<float> data(dev, ds.values.size());
+            simt::copy_to_device(std::span<const float>(ds.values), data);
+            const auto s = sta::sta_sort_on_device(dev, data, num_arrays, array_size);
+            sta_modeled = s.modeled_ms;
+            sta_wall = s.wall_ms;
+        }
+
+        std::printf("%10zu | %13.1f ms %13.1f ms | %11.2fx | %11.1f ms %11.1f ms\n",
+                    num_arrays, gas_modeled, sta_modeled, sta_modeled / gas_modeled,
+                    gas_wall, sta_wall);
+        std::fflush(stdout);
+        gas_series.x.push_back(static_cast<double>(num_arrays));
+        gas_series.y.push_back(gas_modeled);
+        sta_series.x.push_back(static_cast<double>(num_arrays));
+        sta_series.y.push_back(sta_modeled);
+        csv.row("%zu,%.4f,%.4f,%.4f,%.4f", num_arrays, gas_modeled, sta_modeled, gas_wall,
+                sta_wall);
+    }
+    rule();
+    plot({gas_series, sta_series}, "number of arrays N", "time (ms)");
+    rule();
+    std::printf("paper shape: both curves linear in N; GPU-ArraySort below STA at every N\n");
+    return 0;
+}
+
+}  // namespace bench

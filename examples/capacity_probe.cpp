@@ -1,0 +1,84 @@
+// Capacity probe — the Table 1 methodology as a tool: for a given array
+// size, how many arrays fit on the device under each technique before the
+// allocator reports OOM?  Uses virtual-mode accounting, so it works for the
+// full 11.5 GB K40c on any host.
+//
+//   $ ./build/examples/capacity_probe [array_size] [device_mb]
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "baseline/sta_sort.hpp"
+#include "core/gpu_array_sort.hpp"
+#include "simt/device.hpp"
+#include "thrustlite/radix_sort.hpp"
+
+namespace {
+
+std::size_t find_max(const std::function<bool(std::size_t)>& fits) {
+    std::size_t lo = 1;
+    if (!fits(lo)) return 0;
+    std::size_t hi = 2;
+    while (fits(hi)) {
+        lo = hi;
+        hi *= 2;
+    }
+    while (lo + 1 < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        (fits(mid) ? lo : hi) = mid;
+    }
+    return lo;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t array_size =
+        argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10)) : 1000;
+    simt::DeviceProperties props = simt::tesla_k40c();
+    if (argc > 2) {
+        props = simt::tiny_device(std::strtoull(argv[2], nullptr, 10) << 20);
+    }
+
+    std::printf("capacity probe: arrays of %zu floats on a %.0f MB device\n", array_size,
+                static_cast<double>(props.global_memory_bytes) / 1048576.0);
+
+    const auto gas_fits = [&](std::size_t num_arrays) {
+        simt::Device dev(props, simt::DeviceMemory::Mode::Virtual);
+        try {
+            const auto plan = gas::make_plan(array_size, gas::Options{}, props);
+            simt::DeviceBuffer<float> data(dev, num_arrays * array_size);
+            simt::DeviceBuffer<float> splitters(dev, num_arrays * plan.splitters_per_array);
+            simt::DeviceBuffer<std::uint32_t> sizes(dev, num_arrays * plan.buckets);
+            return true;
+        } catch (const simt::DeviceBadAlloc&) {
+            return false;
+        }
+    };
+    const auto sta_fits = [&](std::size_t num_arrays) {
+        simt::Device dev(props, simt::DeviceMemory::Mode::Virtual);
+        const std::size_t count = num_arrays * array_size;
+        try {
+            simt::DeviceBuffer<float> data(dev, count);
+            simt::DeviceBuffer<std::uint32_t> tags(dev, count);
+            simt::DeviceBuffer<std::uint8_t> scratch(
+                dev, thrustlite::radix_scratch_bytes(count, true));
+            return true;
+        } catch (const simt::DeviceBadAlloc&) {
+            return false;
+        }
+    };
+
+    const std::size_t max_gas = find_max(gas_fits);
+    const std::size_t max_sta = find_max(sta_fits);
+    std::printf("  GPU-ArraySort : %12zu arrays (%.2f B/element footprint)\n", max_gas,
+                static_cast<double>(props.global_memory_bytes) /
+                    static_cast<double>(max_gas * array_size));
+    std::printf("  STA (Thrust)  : %12zu arrays (%.2f B/element footprint)\n", max_sta,
+                static_cast<double>(props.global_memory_bytes) /
+                    static_cast<double>(max_sta * array_size));
+    std::printf("  advantage     : %.2fx more arrays with GPU-ArraySort\n",
+                static_cast<double>(max_gas) / static_cast<double>(max_sta));
+    return 0;
+}

@@ -1,0 +1,44 @@
+// Out-of-core demo — the paper's section 9 future work, implemented: sort a
+// dataset several times larger than device memory by streaming batches
+// through the device with double-buffered transfers.
+//
+//   $ ./build/examples/out_of_core_demo
+
+#include <cstdio>
+
+#include "core/validate.hpp"
+#include "ooc/out_of_core.hpp"
+#include "simt/device.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+    // A toy 16 MB device makes the batching visible at demo scale.
+    simt::Device device(simt::tiny_device(16 << 20));
+    const std::size_t num_arrays = 16000;
+    const std::size_t array_size = 1000;  // 64 MB of data on a 16 MB device
+
+    std::printf("out-of-core sort: %.0f MB of arrays through a %.0f MB device\n",
+                static_cast<double>(num_arrays * array_size * sizeof(float)) / 1048576.0,
+                static_cast<double>(device.memory().capacity()) / 1048576.0);
+
+    auto ds = workload::make_dataset(num_arrays, array_size,
+                                     workload::Distribution::Uniform, 7);
+    const auto before = ds.values;
+
+    ooc::OocOptions opts;
+    opts.num_streams = 2;  // double buffering
+    const auto stats = ooc::out_of_core_sort(device, ds.values, num_arrays, array_size, opts);
+
+    std::printf("\n%zu batches of %zu arrays each\n", stats.batches, stats.batch_arrays);
+    std::printf("modeled kernel time   : %8.1f ms\n", stats.kernel_ms);
+    std::printf("modeled transfer time : %8.1f ms\n", stats.transfer_ms);
+    std::printf("serial (1 stream)     : %8.1f ms\n", stats.modeled_serial_ms);
+    std::printf("overlapped (2 streams): %8.1f ms  -> %.2fx from overlap\n",
+                stats.modeled_overlap_ms, stats.overlap_speedup());
+
+    const bool sorted = gas::all_arrays_sorted(ds.values, num_arrays, array_size);
+    const bool perm = gas::all_arrays_permuted(before, ds.values, num_arrays, array_size);
+    std::printf("\nverification: sorted=%s, permutation=%s\n", sorted ? "yes" : "NO",
+                perm ? "yes" : "NO");
+    return sorted && perm ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+#include "baseline/cpu_sort.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace baseline {
+
+double cpu_sort_arrays(std::span<float> data, std::size_t num_arrays, std::size_t array_size) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        auto row = data.subspan(a * array_size, array_size);
+        std::sort(row.begin(), row.end());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace baseline

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace baseline {
+
+/// Sequential host reference: std::sort on each row.  Serves as the
+/// correctness oracle for both GPU-ArraySort and STA, and as the "sort the
+/// arrays one after the other" comparison point the paper's related-work
+/// section argues against.  Returns elapsed milliseconds.
+double cpu_sort_arrays(std::span<float> data, std::size_t num_arrays, std::size_t array_size);
+
+}  // namespace baseline

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "simt/device.hpp"
+#include "simt/device_buffer.hpp"
+
+namespace baseline {
+
+/// Cost summary of the sequential per-array technique.
+struct SequentialStats {
+    std::size_t num_arrays = 0;
+    std::size_t array_size = 0;
+    std::size_t kernel_launches = 0;
+    double modeled_ms = 0.0;
+    double wall_ms = 0.0;
+    std::size_t peak_device_bytes = 0;
+};
+
+/// The related-work strawman the paper argues against (section 2): existing
+/// 1-D GPU sorts can only handle many arrays by sorting them "one after the
+/// other, thus making the process sequential in nature".  This runs the
+/// thrustlite radix sort once per array: every launch pays kernel overhead
+/// and leaves most of the device idle (a 1000-element sort occupies a
+/// fraction of one SM's wavefront), which is exactly why a dedicated
+/// many-array sort is needed.
+SequentialStats sequential_sort_on_device(simt::Device& device,
+                                          simt::DeviceBuffer<float>& data,
+                                          std::size_t num_arrays, std::size_t array_size);
+
+/// Host wrapper (upload, sort, download).
+SequentialStats sequential_sort(simt::Device& device, std::span<float> host_data,
+                                std::size_t num_arrays, std::size_t array_size);
+
+}  // namespace baseline

@@ -1,0 +1,140 @@
+#include "baseline/sta_sort.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "thrustlite/algorithms.hpp"
+#include "thrustlite/radix_sort.hpp"
+
+namespace sta {
+
+namespace {
+
+/// Sums modeled_ms of every kernel the device logged since `mark`.
+class StepTimer {
+  public:
+    explicit StepTimer(simt::Device& device) : device_(device) {}
+
+    double step() {
+        const auto& log = device_.kernel_log();
+        double ms = 0.0;
+        for (std::size_t i = mark_; i < log.size(); ++i) ms += log[i].modeled_ms;
+        mark_ = log.size();
+        return ms;
+    }
+
+  private:
+    simt::Device& device_;
+    std::size_t mark_ = 0;
+};
+
+}  // namespace
+
+StaStats sta_sort_on_device(simt::Device& device, simt::DeviceBuffer<float>& data,
+                            std::size_t num_arrays, std::size_t array_size,
+                            const StaOptions& opts) {
+    StaStats stats;
+    stats.num_arrays = num_arrays;
+    stats.array_size = array_size;
+    stats.data_bytes = num_arrays * array_size * sizeof(float);
+    if (num_arrays == 0 || array_size == 0) return stats;
+    if (data.size() < num_arrays * array_size) {
+        throw std::invalid_argument("sta_sort_on_device: buffer smaller than N x n");
+    }
+
+    const std::size_t count = num_arrays * array_size;
+    auto dspan = data.span().subspan(0, count);
+
+    std::vector<float> before;
+    if (opts.validate) before.assign(dspan.begin(), dspan.end());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    StepTimer timer(device);
+    timer.step();  // flush anything already logged
+
+    // Step I: the tag array T (Definition 6) — doubles the footprint.
+    simt::DeviceBuffer<std::uint32_t> tags(device, count);
+    thrustlite::make_tags(device, tags.span(), array_size);
+    stats.tag_ms = timer.step();
+
+    // Step II (merge) is free in this layout: the rows already form one big
+    // array, exactly like the paper's merged test array.
+
+    // Reinterpret the float data as radix-ordered u32 keys, in place.
+    auto keys = thrustlite::to_ordered_inplace(device, dspan);
+    stats.convert_ms = timer.step();
+
+    // Step III: stable sort (data carried) by tags — redundant but faithful.
+    if (opts.include_redundant_tag_sort) {
+        thrustlite::stable_sort_by_key(device, tags.span(), keys);
+        stats.redundant_sort_ms = timer.step();
+    }
+
+    // Step IV: stable sort by the data values, tags carried along.
+    thrustlite::stable_sort_by_key(device, keys, tags.span());
+    stats.value_sort_ms = timer.step();
+
+    // Step V: stable sort by tags restores per-array grouping; stability
+    // keeps each group's values in the sorted order established by step IV.
+    thrustlite::stable_sort_by_key(device, tags.span(), keys);
+    stats.restore_sort_ms = timer.step();
+
+    // Back to floats.
+    thrustlite::from_ordered_inplace(device, dspan);
+    stats.convert_ms += timer.step();
+
+    const auto t1 = std::chrono::steady_clock::now();
+    stats.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    stats.modeled_ms = stats.tag_ms + stats.convert_ms + stats.redundant_sort_ms +
+                       stats.value_sort_ms + stats.restore_sort_ms;
+    stats.peak_device_bytes = device.memory().peak_bytes_in_use();
+
+    if (opts.validate) {
+        for (std::size_t a = 0; a < num_arrays; ++a) {
+            const auto row = dspan.subspan(a * array_size, array_size);
+            if (!std::is_sorted(row.begin(), row.end())) {
+                throw std::logic_error("sta_sort: row " + std::to_string(a) + " not sorted");
+            }
+        }
+        std::vector<float> b(before);
+        std::vector<float> c(dspan.begin(), dspan.end());
+        for (std::size_t a = 0; a < num_arrays; ++a) {
+            std::sort(b.begin() + static_cast<std::ptrdiff_t>(a * array_size),
+                      b.begin() + static_cast<std::ptrdiff_t>((a + 1) * array_size));
+        }
+        if (b != c) {
+            throw std::logic_error("sta_sort: output is not a per-array permutation");
+        }
+    }
+    return stats;
+}
+
+StaStats sta_sort(simt::Device& device, std::span<float> host_data, std::size_t num_arrays,
+                  std::size_t array_size, const StaOptions& opts) {
+    StaStats stats;
+    if (num_arrays == 0 || array_size == 0) return stats;
+    simt::DeviceBuffer<float> data(device, num_arrays * array_size);
+    const double h2d = simt::copy_to_device(std::span<const float>(host_data), data);
+    stats = sta_sort_on_device(device, data, num_arrays, array_size, opts);
+    stats.h2d_ms = h2d;
+    stats.d2h_ms = simt::copy_to_host(data, host_data);
+    return stats;
+}
+
+std::size_t sta_footprint_bytes(std::size_t num_arrays, std::size_t array_size) {
+    const std::size_t count = num_arrays * array_size;
+    auto aligned = [](std::size_t b) {
+        return (b + simt::DeviceMemory::kAlignment - 1) / simt::DeviceMemory::kAlignment *
+               simt::DeviceMemory::kAlignment;
+    };
+    return aligned(count * sizeof(float)) +                       // merged data (keys in place)
+           aligned(count * sizeof(std::uint32_t)) +               // tag array
+           aligned(count * sizeof(std::uint32_t)) * 2 +           // radix double buffers
+           aligned(thrustlite::radix_scratch_bytes(count, true) -
+                   2 * count * sizeof(std::uint32_t));            // histograms
+}
+
+}  // namespace sta

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "simt/device.hpp"
+#include "simt/device_buffer.hpp"
+
+namespace sta {
+
+/// Options of the Sorting-using-Tagged-Approach baseline (paper section 7.1).
+struct StaOptions {
+    /// Step III of the paper's Fig. 3 — a stable sort of the merged data by
+    /// the tag array — is a no-op on freshly merged input.  The paper calls
+    /// STA out for exactly this kind of redundant work and times the full
+    /// procedure, so the faithful default is to run it.
+    bool include_redundant_tag_sort = true;
+    bool validate = false;
+};
+
+/// Cost breakdown of one STA run.
+struct StaStats {
+    std::size_t num_arrays = 0;
+    std::size_t array_size = 0;
+    std::size_t data_bytes = 0;
+    std::size_t peak_device_bytes = 0;  ///< data + tags + radix scratch (~3x data)
+
+    // Modeled device ms per step (paper Fig. 3 steps).
+    double tag_ms = 0.0;            ///< I: build the tag array
+    double convert_ms = 0.0;        ///< float <-> ordered-key reinterpretation
+    double redundant_sort_ms = 0.0; ///< III: stable sort by tags (no-op work)
+    double value_sort_ms = 0.0;     ///< IV: stable sort by data values
+    double restore_sort_ms = 0.0;   ///< V: stable sort by tags (restores grouping)
+
+    double modeled_ms = 0.0;  ///< total modeled device time
+    double wall_ms = 0.0;     ///< host wall clock of the simulation
+    double h2d_ms = 0.0;
+    double d2h_ms = 0.0;
+};
+
+/// Sorts N device-resident arrays of n floats (row-major in `data`) with the
+/// tagged Thrust technique the paper compares against: build tags, merge
+/// (rows are already merged in this layout), stable sort by tags, stable
+/// sort by values, stable sort by tags again to restore grouping.
+StaStats sta_sort_on_device(simt::Device& device, simt::DeviceBuffer<float>& data,
+                            std::size_t num_arrays, std::size_t array_size,
+                            const StaOptions& opts = {});
+
+/// Host wrapper: upload, run, download.
+StaStats sta_sort(simt::Device& device, std::span<float> host_data, std::size_t num_arrays,
+                  std::size_t array_size, const StaOptions& opts = {});
+
+/// Device bytes an STA run of (N x n) occupies at peak, including the data —
+/// the Table 1 capacity model for the baseline.
+[[nodiscard]] std::size_t sta_footprint_bytes(std::size_t num_arrays, std::size_t array_size);
+
+}  // namespace sta

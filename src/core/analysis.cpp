@@ -1,0 +1,52 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gas {
+
+BucketAnalysis analyze_buckets(std::span<const std::uint32_t> bucket_sizes,
+                               std::size_t buckets_per_array) {
+    BucketAnalysis a;
+    a.buckets = bucket_sizes.size();
+    if (bucket_sizes.empty()) return a;
+    (void)buckets_per_array;  // shape is informational; stats are global
+
+    a.min_size = bucket_sizes[0];
+    a.max_size = bucket_sizes[0];
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::size_t empty = 0;
+    for (std::uint32_t z : bucket_sizes) {
+        a.min_size = std::min(a.min_size, z);
+        a.max_size = std::max(a.max_size, z);
+        sum += z;
+        sum_sq += static_cast<double>(z) * z;
+        empty += z == 0 ? 1 : 0;
+        a.expected_sort_work += static_cast<double>(z) * z / 4.0;
+    }
+    const auto count = static_cast<double>(bucket_sizes.size());
+    a.mean_size = sum / count;
+    const double var = std::max(0.0, sum_sq / count - a.mean_size * a.mean_size);
+    a.stddev = std::sqrt(var);
+    a.imbalance = a.mean_size > 0.0 ? a.max_size / a.mean_size : 1.0;
+    a.empty_fraction = static_cast<double>(empty) / count;
+    a.balanced_sort_work = count * a.mean_size * a.mean_size / 4.0;
+    return a;
+}
+
+std::vector<std::size_t> bucket_size_histogram(std::span<const std::uint32_t> bucket_sizes,
+                                               std::size_t bins) {
+    std::vector<std::size_t> hist(std::max<std::size_t>(bins, 1), 0);
+    if (bucket_sizes.empty()) return hist;
+    std::uint32_t mx = 0;
+    for (std::uint32_t z : bucket_sizes) mx = std::max(mx, z);
+    const double width = mx == 0 ? 1.0 : static_cast<double>(mx) / static_cast<double>(hist.size());
+    for (std::uint32_t z : bucket_sizes) {
+        auto b = static_cast<std::size_t>(static_cast<double>(z) / width);
+        hist[std::min(b, hist.size() - 1)] += 1;
+    }
+    return hist;
+}
+
+}  // namespace gas

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gas {
+
+/// Statistics over one sort's bucket-size array Z (Definition 4) — the
+/// quantity phase 3's load balance, and therefore the paper's 20-element /
+/// 10%-sampling tuning claims, hinge on.
+struct BucketAnalysis {
+    std::size_t buckets = 0;
+    std::uint32_t min_size = 0;
+    std::uint32_t max_size = 0;
+    double mean_size = 0.0;
+    double stddev = 0.0;
+    /// max / mean — 1.0 is a perfect split; phase-3 stragglers grow with it.
+    double imbalance = 1.0;
+    /// Fraction of buckets that are empty (skewed data pathologies).
+    double empty_fraction = 0.0;
+    /// Expected phase-3 insertion-sort work, sum of size^2 / 4 — the model
+    /// quantity the bucket-target ablation trades against phase-2 scans.
+    double expected_sort_work = 0.0;
+    /// Same work if every bucket had the mean size: the balance penalty is
+    /// expected_sort_work / balanced_sort_work.
+    double balanced_sort_work = 0.0;
+
+    [[nodiscard]] double balance_penalty() const {
+        return balanced_sort_work > 0.0 ? expected_sort_work / balanced_sort_work : 1.0;
+    }
+};
+
+/// Analyzes a flat Z array of `num_arrays` rows x `buckets_per_array`.
+[[nodiscard]] BucketAnalysis analyze_buckets(std::span<const std::uint32_t> bucket_sizes,
+                                             std::size_t buckets_per_array);
+
+/// Histogram of bucket sizes with `bins` equal-width bins over [0, max].
+[[nodiscard]] std::vector<std::size_t> bucket_size_histogram(
+    std::span<const std::uint32_t> bucket_sizes, std::size_t bins);
+
+}  // namespace gas

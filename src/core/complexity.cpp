@@ -1,0 +1,97 @@
+#include "core/complexity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gas {
+
+ComplexityTerms complexity_terms(std::size_t n, const Options& opts,
+                                 const simt::DeviceProperties& props) {
+    ComplexityTerms t;
+    if (n == 0) return t;
+    const SortPlan plan = make_plan(n, opts, props);
+    const auto p = static_cast<double>(plan.buckets);
+    const double q = p - 1.0;
+    t.linear = static_cast<double>(n) + q;
+    t.nlogn = (p * opts.sampling_rate + 1.0) / p * static_cast<double>(n) *
+              std::log2(static_cast<double>(std::max<std::size_t>(n, 2)));
+    return t;
+}
+
+ComplexityFit fit_complexity(std::span<const std::size_t> sizes,
+                             std::span<const double> measured_ms, const Options& opts,
+                             const simt::DeviceProperties& props) {
+    if (sizes.size() != measured_ms.size()) {
+        throw std::invalid_argument("fit_complexity: size/measurement count mismatch");
+    }
+    ComplexityFit fit;
+    if (sizes.empty()) return fit;
+
+    std::vector<ComplexityTerms> terms;
+    terms.reserve(sizes.size());
+    for (std::size_t n : sizes) terms.push_back(complexity_terms(n, opts, props));
+
+    double s11 = 0;
+    double s12 = 0;
+    double s22 = 0;
+    double sy1 = 0;
+    double sy2 = 0;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        s11 += terms[i].linear * terms[i].linear;
+        s12 += terms[i].linear * terms[i].nlogn;
+        s22 += terms[i].nlogn * terms[i].nlogn;
+        sy1 += measured_ms[i] * terms[i].linear;
+        sy2 += measured_ms[i] * terms[i].nlogn;
+    }
+    const double det = s11 * s22 - s12 * s12;
+    if (std::abs(det) > 1e-12) {
+        fit.a = (sy1 * s22 - sy2 * s12) / det;
+        fit.b = (s11 * sy2 - s12 * sy1) / det;
+    }
+    if (fit.a < 0.0 || fit.b < 0.0 || (fit.a == 0.0 && fit.b == 0.0)) {
+        const double a_only = s11 > 0 ? sy1 / s11 : 0.0;
+        const double b_only = s22 > 0 ? sy2 / s22 : 0.0;
+        double err_a = 0.0;
+        double err_b = 0.0;
+        for (std::size_t i = 0; i < terms.size(); ++i) {
+            const double da = measured_ms[i] - a_only * terms[i].linear;
+            const double db = measured_ms[i] - b_only * terms[i].nlogn;
+            err_a += da * da;
+            err_b += db * db;
+        }
+        if (err_a < err_b) {
+            fit.a = a_only;
+            fit.b = 0.0;
+        } else {
+            fit.a = 0.0;
+            fit.b = b_only;
+        }
+    }
+
+    fit.predicted_ms.reserve(terms.size());
+    for (const auto& t : terms) fit.predicted_ms.push_back(fit.a * t.linear + fit.b * t.nlogn);
+
+    // Pearson correlation predicted vs. measured.
+    const auto m = static_cast<double>(terms.size());
+    double sx = 0;
+    double sy = 0;
+    double sxx = 0;
+    double syy = 0;
+    double sxy = 0;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        const double x = fit.predicted_ms[i];
+        const double y = measured_ms[i];
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+    }
+    const double cov = sxy - sx * sy / m;
+    const double vx = sxx - sx * sx / m;
+    const double vy = syy - sy * sy / m;
+    fit.pearson = vx > 0 && vy > 0 ? cov / std::sqrt(vx * vy) : 1.0;
+    return fit;
+}
+
+}  // namespace gas

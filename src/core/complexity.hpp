@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/plan.hpp"
+
+namespace gas {
+
+/// The two basis terms of the paper's Eq. 2 time-complexity expression,
+///   T(n) = a * (n + q) + b * ((p*r + 1) / p) * n * log2(n),
+/// evaluated for arrays of n elements under the given options (p, q come
+/// from the plan; r is the sampling rate).  Fig. 2 overlays a fit of this
+/// model on the measured curve.
+struct ComplexityTerms {
+    double linear = 0.0;  ///< n + q
+    double nlogn = 0.0;   ///< ((p*r + 1) / p) * n * log2(n)
+};
+
+[[nodiscard]] ComplexityTerms complexity_terms(std::size_t n, const Options& opts,
+                                               const simt::DeviceProperties& props);
+
+/// Least-squares fit of measured times against the Eq. 2 basis.  If the
+/// unconstrained 2-term fit goes negative (the bases are nearly collinear
+/// over small n ranges), falls back to the better single-term fit.
+struct ComplexityFit {
+    double a = 0.0;  ///< coefficient of the linear term
+    double b = 0.0;  ///< coefficient of the n*log2(n) term
+    double pearson = 0.0;              ///< correlation of predicted vs. measured
+    std::vector<double> predicted_ms;  ///< model value per input point
+};
+
+[[nodiscard]] ComplexityFit fit_complexity(std::span<const std::size_t> sizes,
+                                           std::span<const double> measured_ms,
+                                           const Options& opts,
+                                           const simt::DeviceProperties& props);
+
+}  // namespace gas

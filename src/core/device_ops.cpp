@@ -1,0 +1,83 @@
+#include "core/device_ops.hpp"
+
+#include <algorithm>
+
+#include "simt/device_buffer.hpp"
+
+namespace gas {
+
+namespace {
+constexpr std::size_t kTile = 4096;
+constexpr unsigned kThreads = 256;
+}  // namespace
+
+template <typename T>
+simt::KernelStats negate_on_device(simt::Device& device, std::span<T> data) {
+    static_assert(std::is_floating_point_v<T>,
+                  "negation only reverses the total order of floating-point types");
+    const std::size_t count = data.size();
+    simt::LaunchConfig cfg{"gas.negate",
+                           static_cast<unsigned>(std::max<std::size_t>(
+                               (count + kTile - 1) / kTile, 1)),
+                           kThreads};
+    return device.launch(cfg, [&](simt::BlockCtx& blk) {
+        const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTile;
+        const std::size_t tile_end = std::min(tile_begin + kTile, count);
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const std::size_t chunk = kTile / kThreads;
+            const std::size_t begin = tile_begin + tc.tid() * chunk;
+            const std::size_t end = std::min(begin + chunk, tile_end);
+            for (std::size_t i = begin; i < end; ++i) data[i] = -data[i];
+            const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
+            tc.global_coalesced(2 * n * sizeof(T));
+            tc.ops(n);
+        });
+    });
+}
+
+template simt::KernelStats negate_on_device<float>(simt::Device&, std::span<float>);
+template simt::KernelStats negate_on_device<double>(simt::Device&, std::span<double>);
+
+std::size_t count_unsorted_on_device(simt::Device& device, std::span<const float> data,
+                                     std::size_t num_arrays, std::size_t array_size) {
+    if (num_arrays == 0 || array_size < 2) return 0;
+
+    simt::DeviceBuffer<std::uint32_t> flags(device, num_arrays);
+    auto fspan = flags.span();
+
+    const auto threads =
+        static_cast<unsigned>(std::min<std::size_t>(array_size - 1, 256));
+    simt::LaunchConfig cfg{"gas.check_sorted", static_cast<unsigned>(num_arrays), threads};
+    device.launch(cfg, [&](simt::BlockCtx& blk) {
+        auto violations = blk.shared_alloc<std::uint32_t>(threads);
+        const float* row = data.data() + blk.block_idx() * array_size;
+
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            std::uint32_t v = 0;
+            std::uint64_t seen = 0;
+            for (std::size_t i = tc.tid() + 1; i < array_size; i += threads) {
+                v += row[i - 1] > row[i] ? 1u : 0u;
+                ++seen;
+            }
+            violations[tc.tid()] = v;
+            tc.global_coalesced(2 * seen * sizeof(float));
+            tc.ops(2 * seen);
+            tc.shared(1);
+        });
+
+        blk.single_thread([&](simt::ThreadCtx& tc) {
+            std::uint32_t total = 0;
+            for (unsigned t = 0; t < threads; ++t) total += violations[t];
+            fspan[blk.block_idx()] = total;
+            tc.ops(threads);
+            tc.shared(threads);
+            tc.global_random(1);
+        });
+    });
+
+    std::size_t unsorted = 0;
+    for (std::uint32_t f : fspan) unsorted += f > 0 ? 1 : 0;
+    return unsorted;
+}
+
+}  // namespace gas

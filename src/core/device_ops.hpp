@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "simt/device.hpp"
+
+namespace gas {
+
+/// Elementwise in-place negation kernel over a device-resident buffer of
+/// floating-point values.  IEEE negation reverses float total order exactly,
+/// which is how the drivers implement descending sorts around the ascending
+/// machinery.
+template <typename T>
+simt::KernelStats negate_on_device(simt::Device& device, std::span<T> data);
+
+extern template simt::KernelStats negate_on_device<float>(simt::Device&, std::span<float>);
+extern template simt::KernelStats negate_on_device<double>(simt::Device&,
+                                                           std::span<double>);
+
+/// Device-side sortedness check: one block per array, threads compare
+/// adjacent elements in strides, a per-array violation count is reduced in
+/// shared memory.  Lets callers re-validate results without copying the
+/// dataset back to the host.  Returns the number of unsorted arrays.
+std::size_t count_unsorted_on_device(simt::Device& device, std::span<const float> data,
+                                     std::size_t num_arrays, std::size_t array_size);
+
+/// Convenience: true iff every array is ascending (device-side check).
+inline bool is_sorted_on_device(simt::Device& device, std::span<const float> data,
+                                std::size_t num_arrays, std::size_t array_size) {
+    return count_unsorted_on_device(device, data, num_arrays, array_size) == 0;
+}
+
+}  // namespace gas

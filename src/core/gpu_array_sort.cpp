@@ -1,0 +1,248 @@
+#include "core/gpu_array_sort.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/device_ops.hpp"
+#include "core/insertion_sort.hpp"
+#include "core/phases.hpp"
+#include "core/validate.hpp"
+
+namespace gas {
+
+namespace {
+
+PhaseStats to_phase_stats(const simt::KernelStats& k) { return {k.modeled_ms, k.wall_ms}; }
+
+void fill_bucket_diagnostics(SortStats& stats, std::span<const std::uint32_t> z) {
+    if (z.empty()) return;
+    std::uint32_t mn = z[0];
+    std::uint32_t mx = z[0];
+    std::uint64_t sum = 0;
+    for (std::uint32_t v : z) {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+        sum += v;
+    }
+    stats.min_bucket = mn;
+    stats.max_bucket = mx;
+    stats.avg_bucket = static_cast<double>(sum) / static_cast<double>(z.size());
+}
+
+}  // namespace
+
+template <typename T>
+SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& data,
+                                std::size_t num_arrays, std::size_t array_size,
+                                const Options& opts) {
+    if (data.size() < num_arrays * array_size) {
+        throw std::invalid_argument("sort_arrays_on_device: buffer smaller than N x n");
+    }
+
+    SortStats stats;
+    stats.num_arrays = num_arrays;
+    stats.array_size = array_size;
+    stats.data_bytes = num_arrays * array_size * sizeof(T);
+    if (num_arrays == 0 || array_size == 0) return stats;
+
+    const bool descending = opts.order == SortOrder::Descending;
+    if (descending && !std::is_floating_point_v<T>) {
+        throw std::invalid_argument(
+            "sort_arrays_on_device: descending order requires a floating-point "
+            "element type (implemented via IEEE negation)");
+    }
+
+    const SortPlan plan = make_plan(array_size, opts, device.props(), sizeof(T));
+    stats.buckets_per_array = plan.buckets;
+    stats.sample_size = plan.sample_size;
+
+    std::vector<T> before;
+    if (opts.validate) {
+        const auto s = data.span();
+        before.assign(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(num_arrays * array_size));
+    }
+
+    // Small-array fast path: with a single bucket the three-phase machinery
+    // degenerates to "one thread insertion-sorts the whole array".  Packing
+    // 256 arrays into each block (instead of N one-thread blocks) fills the
+    // SMs, and no splitter/Z temporaries are needed at all.
+    if (plan.buckets == 1) {
+        auto span0 = data.span().subspan(0, num_arrays * array_size);
+        if constexpr (std::is_floating_point_v<T>) {
+            if (descending) {
+                const auto k = negate_on_device(device, span0);
+                stats.extra.modeled_ms += k.modeled_ms;
+                stats.extra.wall_ms += k.wall_ms;
+            }
+        }
+        constexpr unsigned kPack = 256;
+        simt::LaunchConfig cfg{"gas.small_array_sort",
+                               static_cast<unsigned>((num_arrays + kPack - 1) / kPack),
+                               kPack};
+        const auto k = device.launch(cfg, [&](simt::BlockCtx& blk) {
+            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+                const std::size_t a =
+                    static_cast<std::size_t>(blk.block_idx()) * kPack + tc.tid();
+                if (a >= num_arrays) return;
+                const std::span<T> row{span0.data() + a * array_size, array_size};
+                const InsertionCost cost = insertion_sort(row);
+                tc.ops(cost.compares + cost.moves);
+                tc.global_random(2ull * array_size);
+            });
+        });
+        stats.phase3 = to_phase_stats(k);
+        if constexpr (std::is_floating_point_v<T>) {
+            if (descending) {
+                const auto k2 = negate_on_device(device, span0);
+                stats.extra.modeled_ms += k2.modeled_ms;
+                stats.extra.wall_ms += k2.wall_ms;
+            }
+        }
+        stats.peak_device_bytes = device.memory().peak_bytes_in_use();
+        stats.min_bucket = static_cast<std::uint32_t>(array_size);
+        stats.max_bucket = static_cast<std::uint32_t>(array_size);
+        stats.avg_bucket = static_cast<double>(array_size);
+        if (opts.collect_bucket_sizes) {
+            stats.bucket_sizes.assign(num_arrays,
+                                      static_cast<std::uint32_t>(array_size));
+        }
+        if (opts.validate) {
+            const auto cspan = std::span<const T>(span0);
+            const bool ok =
+                descending ? all_arrays_sorted_descending(cspan, num_arrays, array_size)
+                           : all_arrays_sorted(cspan, num_arrays, array_size);
+            if (!ok || !all_arrays_permuted(std::span<const T>(before), cspan, num_arrays,
+                                            array_size)) {
+                throw std::logic_error("gpu_array_sort: small-array path validation failed");
+            }
+        }
+        return stats;
+    }
+
+    // Run-time temporaries: S (splitters) and Z (bucket sizes) only — the
+    // algorithm's in-place property.  A global scratch row per *resident*
+    // block is added only for arrays too large to stage in shared memory.
+    simt::DeviceBuffer<T> splitters(device, num_arrays * plan.splitters_per_array);
+    simt::DeviceBuffer<std::uint32_t> bucket_sizes(device, num_arrays * plan.buckets);
+    simt::DeviceBuffer<T> scratch;
+    std::size_t scratch_rows = 0;
+    if (!plan.array_fits_shared) {
+        const unsigned conc =
+            device.cost_model().blocks_per_sm(plan.block_threads, /*shared_bytes=*/0);
+        scratch_rows = std::min<std::size_t>(
+            num_arrays,
+            std::max<std::size_t>(static_cast<std::size_t>(device.props().sm_count) * conc,
+                                  device.host_workers()));
+        scratch = simt::DeviceBuffer<T>(device, scratch_rows * array_size);
+    }
+
+    auto span = data.span().subspan(0, num_arrays * array_size);
+
+    // Descending order: negate, sort ascending, negate back (IEEE negation
+    // reverses float total order exactly).
+    if constexpr (std::is_floating_point_v<T>) {
+        if (descending) {
+            const auto k = negate_on_device(device, span);
+            stats.extra.modeled_ms += k.modeled_ms;
+            stats.extra.wall_ms += k.wall_ms;
+        }
+    }
+
+    stats.phase1 = to_phase_stats(detail::splitter_phase<T>(
+        device, span, num_arrays, plan, splitters.span()));
+    stats.phase2 = to_phase_stats(detail::bucket_phase<T>(device, span, num_arrays, plan,
+                                                          opts, splitters.span(),
+                                                          bucket_sizes.span(),
+                                                          scratch.span(), scratch_rows));
+    stats.phase3 = to_phase_stats(
+        detail::sort_phase<T>(device, span, num_arrays, plan, bucket_sizes.span()));
+
+    if constexpr (std::is_floating_point_v<T>) {
+        if (descending) {
+            const auto k = negate_on_device(device, span);
+            stats.extra.modeled_ms += k.modeled_ms;
+            stats.extra.wall_ms += k.wall_ms;
+        }
+    }
+
+    stats.peak_device_bytes = device.memory().peak_bytes_in_use();
+    fill_bucket_diagnostics(stats, bucket_sizes.span());
+    if (opts.collect_bucket_sizes) {
+        const auto z = bucket_sizes.span();
+        stats.bucket_sizes.assign(z.begin(), z.end());
+    }
+
+    if (opts.validate) {
+        const auto cspan = std::span<const T>(span);
+        const bool ok = descending
+                            ? all_arrays_sorted_descending(cspan, num_arrays, array_size)
+                            : all_arrays_sorted(cspan, num_arrays, array_size);
+        if (!ok) {
+            throw std::logic_error("gpu_array_sort: validation failed, output not in " +
+                                   to_string(opts.order) + " order");
+        }
+        if (!all_arrays_permuted(std::span<const T>(before), cspan, num_arrays,
+                                 array_size)) {
+            throw std::logic_error("gpu_array_sort: validation failed, output is not a "
+                                   "per-array permutation of the input");
+        }
+    }
+    return stats;
+}
+
+template <typename T>
+SortStats gpu_array_sort(simt::Device& device, std::span<T> host_data,
+                         std::size_t num_arrays, std::size_t array_size,
+                         const Options& opts) {
+    if (host_data.size() < num_arrays * array_size) {
+        throw std::invalid_argument("gpu_array_sort: host span smaller than N x n");
+    }
+    SortStats stats;
+    if (num_arrays == 0 || array_size == 0) {
+        stats.num_arrays = num_arrays;
+        stats.array_size = array_size;
+        return stats;
+    }
+
+    simt::DeviceBuffer<T> data(device, num_arrays * array_size);
+    const double h2d = simt::copy_to_device(std::span<const T>(host_data), data);
+    stats = sort_arrays_on_device(device, data, num_arrays, array_size, opts);
+    stats.h2d_ms = h2d;
+    stats.d2h_ms = simt::copy_to_host(data, host_data);
+    return stats;
+}
+
+std::size_t device_footprint_bytes(std::size_t num_arrays, std::size_t array_size,
+                                   const Options& opts, const simt::DeviceProperties& props,
+                                   std::size_t elem_size) {
+    const SortPlan plan = make_plan(array_size, opts, props, elem_size);
+    auto aligned = [](std::size_t b) {
+        return (b + simt::DeviceMemory::kAlignment - 1) / simt::DeviceMemory::kAlignment *
+               simt::DeviceMemory::kAlignment;
+    };
+    std::size_t total = aligned(num_arrays * array_size * elem_size);  // the data
+    if (plan.buckets == 1) return total;  // small-array path: no temporaries
+    total += aligned(num_arrays * plan.splitters_per_array * elem_size);       // S
+    total += aligned(num_arrays * plan.buckets * sizeof(std::uint32_t));       // Z
+    if (!plan.array_fits_shared) {
+        const std::size_t rows =
+            static_cast<std::size_t>(props.sm_count) * props.max_blocks_per_sm;
+        total += aligned(std::min(rows, num_arrays) * array_size * elem_size);
+    }
+    return total;
+}
+
+#define GAS_INSTANTIATE_SORT(T)                                                            \
+    template SortStats sort_arrays_on_device<T>(simt::Device&, simt::DeviceBuffer<T>&,     \
+                                                std::size_t, std::size_t, const Options&); \
+    template SortStats gpu_array_sort<T>(simt::Device&, std::span<T>, std::size_t,         \
+                                         std::size_t, const Options&);
+GAS_INSTANTIATE_SORT(float)
+GAS_INSTANTIATE_SORT(double)
+GAS_INSTANTIATE_SORT(std::uint32_t)
+GAS_INSTANTIATE_SORT(std::int32_t)
+#undef GAS_INSTANTIATE_SORT
+
+}  // namespace gas

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/options.hpp"
+#include "core/plan.hpp"
+#include "core/sort_stats.hpp"
+#include "simt/device.hpp"
+#include "simt/device_buffer.hpp"
+
+namespace gas {
+
+/// Sorts `num_arrays` device-resident arrays of `array_size` elements each,
+/// stored row-major in `data` (a buffer previously allocated on `device`),
+/// in place, using the paper's three-phase GPU-ArraySort algorithm:
+///   1. splitter selection by regular sampling (one thread per array),
+///   2. in-place bucketing by splitter pairs (one thread per bucket),
+///   3. in-place insertion sort per bucket (one thread per bucket).
+///
+/// Element types: float (the paper's), double, uint32_t and int32_t are
+/// instantiated.  SortOrder::Descending is available for the floating-point
+/// types (implemented by negation, which has no integral equivalent).
+///
+/// Temporary device memory is limited to the splitter array S
+/// ((p+1) elements per array) and the bucket-size array Z (p uint32 per
+/// array) — the in-place property the paper trades against STA's ~3x
+/// footprint.
+///
+/// Preconditions: no NaN values (NaNs have no place in a total order and
+/// would be dropped by the bucketing predicate).  +-infinity is handled.
+///
+/// Throws simt::DeviceBadAlloc if S and Z do not fit next to the data.
+template <typename T>
+SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& data,
+                                std::size_t num_arrays, std::size_t array_size,
+                                const Options& opts = {});
+
+/// Convenience wrapper: uploads `host_data` (row-major N x n), sorts on the
+/// device, downloads the result back over `host_data`.  Transfer costs are
+/// recorded in the returned stats.
+template <typename T>
+SortStats gpu_array_sort(simt::Device& device, std::span<T> host_data,
+                         std::size_t num_arrays, std::size_t array_size,
+                         const Options& opts = {});
+
+/// Container convenience.
+template <typename T>
+SortStats gpu_array_sort(simt::Device& device, std::vector<T>& host_data,
+                         std::size_t num_arrays, std::size_t array_size,
+                         const Options& opts = {}) {
+    return gpu_array_sort(device, std::span<T>(host_data), num_arrays, array_size, opts);
+}
+
+/// Device bytes a sort of (num_arrays x array_size) will occupy, including
+/// the input data itself — the capacity model behind Table 1.
+[[nodiscard]] std::size_t device_footprint_bytes(std::size_t num_arrays,
+                                                 std::size_t array_size, const Options& opts,
+                                                 const simt::DeviceProperties& props,
+                                                 std::size_t elem_size = sizeof(float));
+
+#define GAS_DECLARE_SORT(T)                                                                \
+    extern template SortStats sort_arrays_on_device<T>(                                    \
+        simt::Device&, simt::DeviceBuffer<T>&, std::size_t, std::size_t, const Options&);  \
+    extern template SortStats gpu_array_sort<T>(simt::Device&, std::span<T>, std::size_t, \
+                                                std::size_t, const Options&);
+GAS_DECLARE_SORT(float)
+GAS_DECLARE_SORT(double)
+GAS_DECLARE_SORT(std::uint32_t)
+GAS_DECLARE_SORT(std::int32_t)
+#undef GAS_DECLARE_SORT
+
+}  // namespace gas

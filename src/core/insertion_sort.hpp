@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gas {
+
+/// Work done by one insertion sort (for translating into lane counters).
+struct InsertionCost {
+    std::uint64_t compares = 0;
+    std::uint64_t moves = 0;
+};
+
+/// Classic in-place insertion sort — the paper's phase 1 (sample sorting) and
+/// phase 3 (bucket sorting) primitive: fastest known choice for the ~20
+/// element buckets the plan produces, and it needs no extra memory.
+/// Returns the comparison/move counts the caller charges to its lane.
+template <typename T>
+InsertionCost insertion_sort(std::span<T> a) {
+    InsertionCost cost;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        const T key = a[i];
+        std::size_t j = i;
+        while (j > 0) {
+            ++cost.compares;
+            if (a[j - 1] <= key) break;
+            a[j] = a[j - 1];
+            ++cost.moves;
+            --j;
+        }
+        a[j] = key;
+        ++cost.moves;
+    }
+    return cost;
+}
+
+/// Container convenience (tests and host-side callers).
+template <typename T>
+InsertionCost insertion_sort(std::vector<T>& v) {
+    return insertion_sort(std::span<T>(v));
+}
+
+/// Pair variant: sorts `keys` ascending and applies every move to `values`
+/// too, keeping (key, value) pairs together.  Used by the key-value array
+/// sort extension (phase 3 on peak arrays).
+template <typename T>
+InsertionCost insertion_sort_pairs(std::span<T> keys, std::span<T> values) {
+    InsertionCost cost;
+    for (std::size_t i = 1; i < keys.size(); ++i) {
+        const T key = keys[i];
+        const T val = values[i];
+        std::size_t j = i;
+        while (j > 0) {
+            ++cost.compares;
+            if (keys[j - 1] <= key) break;
+            keys[j] = keys[j - 1];
+            values[j] = values[j - 1];
+            cost.moves += 2;
+            --j;
+        }
+        keys[j] = key;
+        values[j] = val;
+        cost.moves += 2;
+    }
+    return cost;
+}
+
+}  // namespace gas

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gas {
+
+/// How phase 2 assigns work to threads.
+enum class BucketingStrategy {
+    /// The paper's scheme: one splitter pair per thread; every thread scans
+    /// the whole array and keeps the elements in its pair's range.  Branch
+    /// divergence free, O(n) work per thread.
+    ScanPerThread,
+    /// Extension: each thread scans an n/p contiguous chunk and binary
+    /// searches the splitters per element.  O((n/p) log p) work per thread
+    /// but needs shared-memory cursors (atomics on real hardware).
+    BinarySearch,
+};
+
+[[nodiscard]] inline std::string to_string(BucketingStrategy s) {
+    return s == BucketingStrategy::ScanPerThread ? "scan-per-thread" : "binary-search";
+}
+
+/// Output ordering.  Descending runs the same ascending machinery over
+/// negated keys (an elementwise negate kernel before and after — IEEE
+/// negation reverses float total order exactly), so every path supports it.
+enum class SortOrder { Ascending, Descending };
+
+[[nodiscard]] inline std::string to_string(SortOrder o) {
+    return o == SortOrder::Ascending ? "ascending" : "descending";
+}
+
+/// Tuning knobs of GPU-ArraySort.  Defaults are the paper's choices.
+struct Options {
+    /// Minimum elements per bucket; the paper's empirical optimum is 20
+    /// (section 5.1: "best performance ... at least 20 elements per bucket").
+    std::size_t bucket_target = 20;
+
+    /// Regular-sampling rate for splitter selection; the paper found 10%
+    /// best for uniformly distributed data (section 5.1).
+    double sampling_rate = 0.10;
+
+    BucketingStrategy strategy = BucketingStrategy::ScanPerThread;
+
+    SortOrder order = SortOrder::Ascending;
+
+    /// Threads cooperating on one bucket in phase 2.  The paper explored >1
+    /// and found it slower (section 5.2); kept as an ablation knob.
+    unsigned threads_per_bucket = 1;
+
+    /// Verify output (sortedness + per-array permutation) before returning.
+    bool validate = false;
+
+    /// Copy the bucket-size array Z into SortStats::bucket_sizes for
+    /// offline analysis (core/analysis.hpp).  Costs a host copy of N*p u32.
+    bool collect_bucket_sizes = false;
+};
+
+}  // namespace gas

@@ -1,0 +1,311 @@
+#include "core/pair_sort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "core/device_ops.hpp"
+#include "core/insertion_sort.hpp"
+#include "core/phases.hpp"
+
+namespace gas {
+
+namespace {
+
+/// Location of one array inside the flat buffers.
+struct Extent {
+    std::size_t base;
+    std::size_t n;
+};
+
+/// Geometry of one array under the shared options (same rules as make_plan,
+/// evaluated per block for ragged inputs).
+struct RowGeom {
+    std::size_t p = 1;
+    std::size_t sample = 1;
+};
+
+RowGeom row_geom(std::size_t n, const Options& opts, unsigned block_threads) {
+    RowGeom g;
+    if (n == 0) return g;
+    g.p = std::clamp<std::size_t>(n / opts.bucket_target, 1, block_threads);
+    g.sample = static_cast<std::size_t>(
+        std::llround(opts.sampling_rate * static_cast<double>(n)));
+    g.sample = std::min(std::max(g.sample, g.p), n);
+    return g;
+}
+
+/// The fused key-value sample-sort kernel: one block per array, splitters /
+/// counts / cursors never leave shared memory, the value array is permuted
+/// alongside the keys, everything lands back in place.
+template <typename T>
+SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
+                          std::span<T> values, std::size_t num_arrays,
+                          std::size_t max_n, const Options& opts,
+                          const std::function<Extent(std::size_t)>& extent_of) {
+    SortStats stats;
+    stats.num_arrays = num_arrays;
+    stats.array_size = max_n;
+    if (num_arrays == 0 || max_n == 0) return stats;
+    if (opts.bucket_target == 0) throw std::invalid_argument("bucket_target must be >= 1");
+    if (!(opts.sampling_rate > 0.0) || opts.sampling_rate > 1.0) {
+        throw std::invalid_argument("sampling_rate must be in (0, 1]");
+    }
+
+    const auto& props = device.props();
+    const std::size_t max_p =
+        std::clamp<std::size_t>(max_n / opts.bucket_target, 1, props.max_threads_per_block);
+    const auto block_threads = static_cast<unsigned>(max_p);
+    stats.buckets_per_array = max_p;
+
+    const std::size_t shared_need = 2 * max_n * sizeof(T) +
+                                    (max_p + 1) * sizeof(T) +
+                                    2ull * block_threads * sizeof(std::uint32_t);
+    if (shared_need > props.shared_memory_per_block) {
+        throw std::invalid_argument(
+            "pair sort: an array is too large for shared-memory staging (" +
+            std::to_string(max_n) + " pairs need " + std::to_string(shared_need) +
+            " B of " + std::to_string(props.shared_memory_per_block) + " B)");
+    }
+
+    simt::LaunchConfig cfg{"gas.pair_sort_fused", static_cast<unsigned>(num_arrays),
+                           block_threads};
+    const simt::KernelStats k = device.launch(cfg, [&](simt::BlockCtx& blk) {
+        const Extent ext = extent_of(blk.block_idx());
+        const std::size_t n = ext.n;
+        const RowGeom geom = row_geom(n, opts, block_threads);
+        const std::size_t p = geom.p;
+
+        auto sh_splitters = blk.shared_alloc<T>(p + 1);
+        auto counts = blk.shared_alloc<std::uint32_t>(block_threads);
+        auto starts = blk.shared_alloc<std::uint32_t>(block_threads);
+        auto staged_k = blk.shared_alloc<T>(std::max<std::size_t>(n, 1));
+        auto staged_v = blk.shared_alloc<T>(std::max<std::size_t>(n, 1));
+        if (n == 0) return;
+        T* key_row = keys.data() + ext.base;
+        T* val_row = values.data() + ext.base;
+
+        // Phase 1 (fused): sample the keys, insertion-sort the sample, pick
+        // splitters — all in shared memory, one thread (paper section 5.1).
+        blk.single_thread([&](simt::ThreadCtx& tc) {
+            const std::size_t stride = n / geom.sample;
+            std::span<T> sample = staged_k.subspan(0, geom.sample);
+            for (std::size_t s = 0; s < geom.sample; ++s) sample[s] = key_row[s * stride];
+            tc.global_random(geom.sample);
+            tc.shared(geom.sample);
+            const InsertionCost cost = insertion_sort(sample);
+            tc.ops(cost.compares + cost.moves);
+            tc.shared(2 * (cost.compares + cost.moves));
+            sh_splitters[0] = detail::low_sentinel<T>();
+            const std::size_t sstride = geom.sample / p;
+            for (std::size_t j = 0; j + 1 < p; ++j) {
+                sh_splitters[j + 1] = sample[(j + 1) * sstride];
+            }
+            sh_splitters[p] = detail::high_sentinel<T>();
+            tc.shared(2 * p);
+            tc.ops(p);
+        });
+
+        // Stage both rows (cooperative, coalesced).
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            std::uint64_t copied = 0;
+            for (std::size_t i = tc.tid(); i < n; i += block_threads) {
+                staged_k[i] = key_row[i];
+                staged_v[i] = val_row[i];
+                ++copied;
+            }
+            tc.global_coalesced(2 * copied * sizeof(T));
+            tc.shared(2 * copied);
+            tc.ops(copied);
+        });
+
+        // Phase 2 (fused): count per splitter pair, scan, write back in
+        // place — keys decide the bucket, values ride along.
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            if (tc.tid() >= p) return;
+            const T lo = sh_splitters[tc.tid()];
+            const T hi = sh_splitters[tc.tid() + 1];
+            std::uint32_t c = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                c += detail::in_bucket(staged_k[i], lo, hi, tc.tid() == 0) ? 1u : 0u;
+            }
+            counts[tc.tid()] = c;
+            tc.shared(n + 3);
+            tc.ops(n * 3);
+        });
+        blk.single_thread([&](simt::ThreadCtx& tc) {
+            std::uint32_t running = 0;
+            for (std::size_t j = 0; j < p; ++j) {
+                starts[j] = running;
+                running += counts[j];
+            }
+            tc.ops(p);
+            tc.shared(2 * p);
+        });
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            if (tc.tid() >= p) return;
+            const T lo = sh_splitters[tc.tid()];
+            const T hi = sh_splitters[tc.tid() + 1];
+            std::uint32_t cursor = starts[tc.tid()];
+            for (std::size_t i = 0; i < n; ++i) {
+                const T x = staged_k[i];
+                if (detail::in_bucket(x, lo, hi, tc.tid() == 0)) {
+                    key_row[cursor] = x;
+                    val_row[cursor] = staged_v[i];
+                    ++cursor;
+                }
+            }
+            const std::uint64_t written = cursor - starts[tc.tid()];
+            tc.shared(2 * n + 2);
+            tc.ops(n * 3);
+            tc.global_coalesced(2 * written * sizeof(T));
+            tc.global_random(written > 0 ? 2 : 0);  // one run start per buffer
+        });
+
+        // Phase 3 (fused): insertion sort each (key, value) bucket in place.
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            if (tc.tid() >= p) return;
+            const std::uint32_t begin = starts[tc.tid()];
+            const std::uint32_t end =
+                tc.tid() + 1 < p ? starts[tc.tid() + 1] : static_cast<std::uint32_t>(n);
+            const InsertionCost cost = insertion_sort_pairs(
+                std::span<T>{key_row + begin, key_row + end},
+                std::span<T>{val_row + begin, val_row + end});
+            tc.ops(cost.compares + cost.moves);
+            tc.global_random(4ull * (end - begin));  // key+value load & store
+            tc.shared(2);
+        });
+    });
+
+    stats.phase2 = {k.modeled_ms, k.wall_ms};
+    stats.peak_device_bytes = device.memory().peak_bytes_in_use();
+    return stats;
+}
+
+}  // namespace
+
+template <typename T>
+SortStats sort_pairs_on_device(simt::Device& device, simt::DeviceBuffer<T>& keys,
+                               simt::DeviceBuffer<T>& values, std::size_t num_arrays,
+                               std::size_t array_size, const Options& opts) {
+    if (keys.size() < num_arrays * array_size || values.size() < num_arrays * array_size) {
+        throw std::invalid_argument("sort_pairs_on_device: buffers smaller than N x n");
+    }
+    if (num_arrays == 0 || array_size == 0) return {};
+    auto key_span = keys.span().subspan(0, num_arrays * array_size);
+    const bool descending = opts.order == SortOrder::Descending;
+    SortStats extra;
+    if (descending) {
+        const auto k = negate_on_device(device, key_span);
+        extra.extra.modeled_ms += k.modeled_ms;
+        extra.extra.wall_ms += k.wall_ms;
+    }
+    auto stats = fused_pair_sort(device, keys.span(), values.span(), num_arrays, array_size,
+                                 opts, [array_size](std::size_t a) {
+                                     return Extent{a * array_size, array_size};
+                                 });
+    if (descending) {
+        const auto k = negate_on_device(device, key_span);
+        extra.extra.modeled_ms += k.modeled_ms;
+        extra.extra.wall_ms += k.wall_ms;
+    }
+    stats.extra = extra.extra;
+    stats.data_bytes = 2 * num_arrays * array_size * sizeof(T);
+    return stats;
+}
+
+template <typename T>
+SortStats gpu_pair_sort(simt::Device& device, std::span<T> host_keys,
+                        std::span<T> host_values, std::size_t num_arrays,
+                        std::size_t array_size, const Options& opts) {
+    if (host_keys.size() < num_arrays * array_size ||
+        host_values.size() < num_arrays * array_size) {
+        throw std::invalid_argument("gpu_pair_sort: host spans smaller than N x n");
+    }
+    SortStats stats;
+    if (num_arrays == 0 || array_size == 0) return stats;
+    simt::DeviceBuffer<T> keys(device, num_arrays * array_size);
+    simt::DeviceBuffer<T> values(device, num_arrays * array_size);
+    stats.h2d_ms = simt::copy_to_device(std::span<const T>(host_keys), keys) +
+                   simt::copy_to_device(std::span<const T>(host_values), values);
+    const double h2d = stats.h2d_ms;
+    stats = sort_pairs_on_device(device, keys, values, num_arrays, array_size, opts);
+    stats.h2d_ms = h2d;
+    stats.d2h_ms = simt::copy_to_host(keys, host_keys) + simt::copy_to_host(values, host_values);
+    return stats;
+}
+
+template <typename T>
+SortStats sort_ragged_pairs_on_device(simt::Device& device, simt::DeviceBuffer<T>& keys,
+                                      simt::DeviceBuffer<T>& values,
+                                      std::span<const std::uint64_t> offsets,
+                                      const Options& opts) {
+    if (offsets.size() < 2) return {};
+    const std::size_t num_arrays = offsets.size() - 1;
+    std::size_t max_n = 0;
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        if (offsets[a + 1] < offsets[a]) {
+            throw std::invalid_argument("sort_ragged_pairs_on_device: offsets not ascending");
+        }
+        max_n = std::max<std::size_t>(max_n, offsets[a + 1] - offsets[a]);
+    }
+    if (keys.size() < offsets[num_arrays] || values.size() < offsets[num_arrays]) {
+        throw std::invalid_argument("sort_ragged_pairs_on_device: buffers too small");
+    }
+    auto key_span = keys.span().subspan(0, offsets[num_arrays]);
+    const bool descending = opts.order == SortOrder::Descending;
+    SortStats extra;
+    if (descending && !key_span.empty()) {
+        const auto k = negate_on_device(device, key_span);
+        extra.extra.modeled_ms += k.modeled_ms;
+        extra.extra.wall_ms += k.wall_ms;
+    }
+    auto stats = fused_pair_sort(device, keys.span(), values.span(), num_arrays, max_n, opts,
+                                 [offsets](std::size_t a) {
+                                     return Extent{offsets[a], offsets[a + 1] - offsets[a]};
+                                 });
+    if (descending && !key_span.empty()) {
+        const auto k = negate_on_device(device, key_span);
+        extra.extra.modeled_ms += k.modeled_ms;
+        extra.extra.wall_ms += k.wall_ms;
+    }
+    stats.extra = extra.extra;
+    stats.data_bytes = 2 * offsets[num_arrays] * sizeof(T);
+    return stats;
+}
+
+template <typename T>
+SortStats gpu_ragged_pair_sort(simt::Device& device, std::span<T> host_keys,
+                               std::span<T> host_values,
+                               std::span<const std::uint64_t> offsets, const Options& opts) {
+    SortStats stats;
+    if (offsets.size() < 2) return stats;
+    simt::DeviceBuffer<T> keys(device, host_keys.size());
+    simt::DeviceBuffer<T> values(device, host_values.size());
+    const double h2d = simt::copy_to_device(std::span<const T>(host_keys), keys) +
+                       simt::copy_to_device(std::span<const T>(host_values), values);
+    stats = sort_ragged_pairs_on_device(device, keys, values, offsets, opts);
+    stats.h2d_ms = h2d;
+    stats.d2h_ms = simt::copy_to_host(keys, host_keys) + simt::copy_to_host(values, host_values);
+    return stats;
+}
+
+#define GAS_INSTANTIATE_PAIR(T)                                                            \
+    template SortStats sort_pairs_on_device<T>(simt::Device&, simt::DeviceBuffer<T>&,      \
+                                               simt::DeviceBuffer<T>&, std::size_t,        \
+                                               std::size_t, const Options&);               \
+    template SortStats gpu_pair_sort<T>(simt::Device&, std::span<T>, std::span<T>,         \
+                                        std::size_t, std::size_t, const Options&);         \
+    template SortStats sort_ragged_pairs_on_device<T>(                                     \
+        simt::Device&, simt::DeviceBuffer<T>&, simt::DeviceBuffer<T>&,                     \
+        std::span<const std::uint64_t>, const Options&);                                   \
+    template SortStats gpu_ragged_pair_sort<T>(simt::Device&, std::span<T>, std::span<T>,  \
+                                               std::span<const std::uint64_t>,             \
+                                               const Options&);
+GAS_INSTANTIATE_PAIR(float)
+GAS_INSTANTIATE_PAIR(double)
+#undef GAS_INSTANTIATE_PAIR
+
+}  // namespace gas

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/options.hpp"
+#include "simt/device_properties.hpp"
+
+namespace gas {
+
+/// Derived launch geometry for sorting arrays of one size (Definitions 2-3
+/// of the paper: p = floor(n / bucket_target) buckets, q = p - 1 interior
+/// splitters, plus the two +-infinity sentinels of Definition 5).
+struct SortPlan {
+    std::size_t array_size = 0;          ///< n
+    std::size_t buckets = 1;             ///< p
+    std::size_t sample_size = 1;         ///< |samples| per array (regular sampling)
+    std::size_t splitters_per_array = 2; ///< p + 1 (q interior + 2 sentinels)
+    unsigned block_threads = 1;          ///< phase 2/3 threads per block
+    bool array_fits_shared = true;       ///< can the array stage into 48 KB?
+
+    [[nodiscard]] std::size_t interior_splitters() const { return buckets - 1; }
+};
+
+/// Computes the plan for arrays of `n` elements of `elem_size` bytes under
+/// `opts` on a device with `props` (element size drives the shared-memory
+/// staging decisions).  Throws std::invalid_argument on unusable options.
+[[nodiscard]] SortPlan make_plan(std::size_t n, const Options& opts,
+                                 const simt::DeviceProperties& props,
+                                 std::size_t elem_size = sizeof(float));
+
+}  // namespace gas

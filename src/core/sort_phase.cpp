@@ -1,0 +1,64 @@
+#include "core/insertion_sort.hpp"
+#include "core/phases.hpp"
+
+namespace gas::detail {
+
+template <typename T>
+simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
+                             std::size_t num_arrays, const SortPlan& plan,
+                             std::span<const std::uint32_t> bucket_sizes) {
+    const std::size_t n = plan.array_size;
+    const std::size_t p = plan.buckets;
+
+    simt::LaunchConfig cfg{"gas.phase3_sort", static_cast<unsigned>(num_arrays),
+                           static_cast<unsigned>(p)};
+    return device.launch(cfg, [&](simt::BlockCtx& blk) {
+        auto offsets = blk.shared_alloc<std::uint32_t>(p + 1);
+        const std::size_t a = blk.block_idx();
+        T* array = data.data() + a * n;
+        const std::uint32_t* z_row = bucket_sizes.data() + a * p;
+
+        // Region 1: thread 0 derives the bucket pointers from Z (the kernel
+        // receives Z and computes starting/ending pointers per section 5.3).
+        blk.single_thread([&](simt::ThreadCtx& tc) {
+            std::uint32_t running = 0;
+            for (std::size_t j = 0; j < p; ++j) {
+                offsets[j] = running;
+                running += z_row[j];
+            }
+            offsets[p] = running;
+            tc.global_coalesced(p * sizeof(std::uint32_t));
+            tc.shared(p + 1);
+            tc.ops(p);
+        });
+
+        // Region 2: thread j insertion-sorts bucket j in place.  Because the
+        // buckets of one array are contiguous, the concatenation of sorted
+        // buckets is the sorted array — no merge phase (sample-sort
+        // property).  Memory model: each element is fetched and stored once
+        // from DRAM (scattered across lanes); the sort's shuffles then hit
+        // cache, so they cost ALU/latency (ops) only.
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const std::size_t j = tc.tid();
+            const std::uint32_t begin = offsets[j];
+            const std::uint32_t end = offsets[j + 1];
+            const std::span<T> bucket{array + begin, array + end};
+            const InsertionCost cost = insertion_sort(bucket);
+            tc.ops(cost.compares + cost.moves);
+            tc.global_random(2ull * bucket.size());
+            tc.shared(2);
+        });
+    });
+}
+
+#define GAS_INSTANTIATE(T)                                                                 \
+    template simt::KernelStats sort_phase<T>(simt::Device&, std::span<T>, std::size_t,     \
+                                             const SortPlan&,                              \
+                                             std::span<const std::uint32_t>);
+GAS_INSTANTIATE(float)
+GAS_INSTANTIATE(double)
+GAS_INSTANTIATE(std::uint32_t)
+GAS_INSTANTIATE(std::int32_t)
+#undef GAS_INSTANTIATE
+
+}  // namespace gas::detail

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gas {
+
+/// Modeled + measured cost of one kernel phase.
+struct PhaseStats {
+    double modeled_ms = 0.0;  ///< analytic K40c time from the simt cost model
+    double wall_ms = 0.0;     ///< host wall-clock of the functional simulation
+};
+
+/// Full cost breakdown of one gpu_array_sort() call.
+struct SortStats {
+    std::size_t num_arrays = 0;
+    std::size_t array_size = 0;
+    std::size_t buckets_per_array = 0;
+    std::size_t sample_size = 0;
+
+    PhaseStats phase1;  ///< splitter selection
+    PhaseStats phase2;  ///< bucketing + in-place write-back
+    PhaseStats phase3;  ///< per-bucket insertion sort
+    PhaseStats extra;   ///< auxiliary kernels (e.g. negation for descending)
+
+    double h2d_ms = 0.0;  ///< modeled transfer in (host API only)
+    double d2h_ms = 0.0;  ///< modeled transfer out (host API only)
+
+    std::size_t peak_device_bytes = 0;  ///< allocator peak during the sort
+    std::size_t data_bytes = 0;         ///< size of the arrays themselves
+
+    // Bucket balance diagnostics (from the Z array of Definition 4).
+    std::uint32_t min_bucket = 0;
+    std::uint32_t max_bucket = 0;
+    double avg_bucket = 0.0;
+
+    /// Full Z array copy (only when Options::collect_bucket_sizes is set);
+    /// feed to gas::analyze_buckets for balance statistics.
+    std::vector<std::uint32_t> bucket_sizes;
+
+    /// Modeled device time of the three kernels (excludes transfers),
+    /// the quantity the paper's figures plot.
+    [[nodiscard]] double modeled_kernel_ms() const {
+        return phase1.modeled_ms + phase2.modeled_ms + phase3.modeled_ms + extra.modeled_ms;
+    }
+    [[nodiscard]] double wall_kernel_ms() const {
+        return phase1.wall_ms + phase2.wall_ms + phase3.wall_ms + extra.wall_ms;
+    }
+    [[nodiscard]] double modeled_total_ms() const {
+        return modeled_kernel_ms() + h2d_ms + d2h_ms;
+    }
+    /// Device memory overhead beyond the data itself, as a fraction of data
+    /// size (the paper's in-place claim keeps this small).
+    [[nodiscard]] double overhead_fraction() const {
+        if (data_bytes == 0) return 0.0;
+        return static_cast<double>(peak_device_bytes - data_bytes) /
+               static_cast<double>(data_bytes);
+    }
+};
+
+}  // namespace gas

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace gas {
+
+/// Index of the first unsorted row, or num_arrays if all sorted (diagnostics).
+template <typename T>
+[[nodiscard]] std::size_t first_unsorted_array(std::span<const T> data,
+                                               std::size_t num_arrays,
+                                               std::size_t array_size) {
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        const auto row = data.subspan(a * array_size, array_size);
+        if (!std::is_sorted(row.begin(), row.end())) return a;
+    }
+    return num_arrays;
+}
+
+/// True iff every row of the N x n matrix is ascending.
+template <typename T>
+[[nodiscard]] bool all_arrays_sorted(std::span<const T> data, std::size_t num_arrays,
+                                     std::size_t array_size) {
+    return first_unsorted_array(data, num_arrays, array_size) == num_arrays;
+}
+
+/// True iff every row is descending (for SortOrder::Descending results).
+template <typename T>
+[[nodiscard]] bool all_arrays_sorted_descending(std::span<const T> data,
+                                                std::size_t num_arrays,
+                                                std::size_t array_size) {
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        const auto row = data.subspan(a * array_size, array_size);
+        if (!std::is_sorted(row.begin(), row.end(), std::greater<>())) return false;
+    }
+    return true;
+}
+
+/// True iff every row of `after` is a permutation of the same row of
+/// `before` (sorting must not lose, duplicate or cross-contaminate values).
+template <typename T>
+[[nodiscard]] bool all_arrays_permuted(std::span<const T> before, std::span<const T> after,
+                                       std::size_t num_arrays, std::size_t array_size) {
+    std::vector<T> b(array_size);
+    std::vector<T> c(array_size);
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        const auto rb = before.subspan(a * array_size, array_size);
+        const auto rc = after.subspan(a * array_size, array_size);
+        b.assign(rb.begin(), rb.end());
+        c.assign(rc.begin(), rc.end());
+        std::sort(b.begin(), b.end());
+        std::sort(c.begin(), c.end());
+        if (b != c) return false;
+    }
+    return true;
+}
+
+// Container/span conveniences so float call sites keep working unchanged.
+template <typename T>
+[[nodiscard]] bool all_arrays_sorted(const std::vector<T>& data, std::size_t num_arrays,
+                                     std::size_t array_size) {
+    return all_arrays_sorted(std::span<const T>(data), num_arrays, array_size);
+}
+template <typename T>
+[[nodiscard]] bool all_arrays_sorted(std::span<T> data, std::size_t num_arrays,
+                                     std::size_t array_size) {
+    return all_arrays_sorted(std::span<const T>(data), num_arrays, array_size);
+}
+template <typename T>
+[[nodiscard]] bool all_arrays_sorted_descending(const std::vector<T>& data,
+                                                std::size_t num_arrays,
+                                                std::size_t array_size) {
+    return all_arrays_sorted_descending(std::span<const T>(data), num_arrays, array_size);
+}
+template <typename T>
+[[nodiscard]] bool all_arrays_permuted(const std::vector<T>& before,
+                                       const std::vector<T>& after, std::size_t num_arrays,
+                                       std::size_t array_size) {
+    return all_arrays_permuted(std::span<const T>(before), std::span<const T>(after),
+                               num_arrays, array_size);
+}
+template <typename T>
+[[nodiscard]] bool all_arrays_permuted(const std::vector<T>& before, std::span<T> after,
+                                       std::size_t num_arrays, std::size_t array_size) {
+    return all_arrays_permuted(std::span<const T>(before), std::span<const T>(after),
+                               num_arrays, array_size);
+}
+
+}  // namespace gas

@@ -1,0 +1,53 @@
+#include "msdata/binning.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace msdata {
+
+std::size_t bin_count(const BinningOptions& opts) {
+    if (!(opts.bin_width > 0.0f) || !(opts.max_mz > opts.min_mz)) {
+        throw std::invalid_argument("binning: need bin_width > 0 and max_mz > min_mz");
+    }
+    return static_cast<std::size_t>(
+               std::ceil((opts.max_mz - opts.min_mz) / opts.bin_width));
+}
+
+std::vector<float> bin_spectrum(const Spectrum& s, const BinningOptions& opts) {
+    std::vector<float> bins(bin_count(opts), 0.0f);
+    for (const Peak& p : s.peaks) {
+        if (p.mz < opts.min_mz || p.mz >= opts.max_mz) continue;
+        const auto b = static_cast<std::size_t>((p.mz - opts.min_mz) / opts.bin_width);
+        bins[std::min(b, bins.size() - 1)] += p.intensity;
+    }
+    return bins;
+}
+
+double cosine_similarity(const std::vector<float>& a, const std::vector<float>& b) {
+    if (a.size() != b.size()) {
+        throw std::invalid_argument("cosine_similarity: dimension mismatch");
+    }
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += static_cast<double>(a[i]) * b[i];
+        na += static_cast<double>(a[i]) * a[i];
+        nb += static_cast<double>(b[i]) * b[i];
+    }
+    if (na == 0.0 || nb == 0.0) return 0.0;
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::vector<double> search_similarity(const SpectraSet& set, const Spectrum& query,
+                                      const BinningOptions& opts) {
+    const auto qbins = bin_spectrum(query, opts);
+    std::vector<double> scores;
+    scores.reserve(set.size());
+    for (const Spectrum& s : set.spectra) {
+        scores.push_back(cosine_similarity(bin_spectrum(s, opts), qbins));
+    }
+    return scores;
+}
+
+}  // namespace msdata

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "msdata/spectrum.hpp"
+
+namespace msdata {
+
+/// Fixed-width m/z binning — the vectorization step spectral-comparison
+/// algorithms (library search, clustering) run after preprocessing.
+struct BinningOptions {
+    float min_mz = 100.0f;
+    float max_mz = 2000.0f;
+    float bin_width = 1.0f;  ///< ~1 Da bins, the common coarse setting
+};
+
+/// Number of bins the options define.
+[[nodiscard]] std::size_t bin_count(const BinningOptions& opts);
+
+/// Bins one spectrum: each bin accumulates the intensities of the peaks
+/// whose m/z falls inside it; out-of-range peaks are dropped.
+[[nodiscard]] std::vector<float> bin_spectrum(const Spectrum& s,
+                                              const BinningOptions& opts = {});
+
+/// Cosine similarity between two binned spectra (0 when either is all-zero).
+[[nodiscard]] double cosine_similarity(const std::vector<float>& a,
+                                       const std::vector<float>& b);
+
+/// Pairwise similarity of a whole set against one query spectrum; returns
+/// one score per set member.  The building block of spectral library search.
+[[nodiscard]] std::vector<double> search_similarity(const SpectraSet& set,
+                                                    const Spectrum& query,
+                                                    const BinningOptions& opts = {});
+
+}  // namespace msdata

@@ -1,0 +1,84 @@
+#include "msdata/mgf_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace msdata {
+
+void write_mgf(std::ostream& os, const SpectraSet& set) {
+    // 9 significant digits round-trip binary32 exactly enough for re-analysis.
+    os << std::setprecision(9);
+    for (const Spectrum& s : set.spectra) {
+        os << "BEGIN IONS\n";
+        os << "TITLE=" << s.title << '\n';
+        os << "PEPMASS=" << s.precursor_mz << '\n';
+        os << "CHARGE=" << s.charge << "+\n";
+        for (const Peak& p : s.peaks) {
+            os << p.mz << ' ' << p.intensity << '\n';
+        }
+        os << "END IONS\n";
+    }
+}
+
+void write_mgf_file(const std::string& path, const SpectraSet& set) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("write_mgf_file: cannot open " + path);
+    write_mgf(f, set);
+}
+
+SpectraSet read_mgf(std::istream& is) {
+    SpectraSet set;
+    std::string line;
+    Spectrum current;
+    bool in_ions = false;
+
+    auto parse_peak = [&](const std::string& l) {
+        std::istringstream ss(l);
+        Peak p;
+        if (!(ss >> p.mz >> p.intensity)) {
+            throw std::runtime_error("read_mgf: malformed peak line: " + l);
+        }
+        current.peaks.push_back(p);
+    };
+
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty() || line[0] == '#') continue;
+        if (line == "BEGIN IONS") {
+            if (in_ions) throw std::runtime_error("read_mgf: nested BEGIN IONS");
+            in_ions = true;
+            current = Spectrum{};
+            continue;
+        }
+        if (line == "END IONS") {
+            if (!in_ions) throw std::runtime_error("read_mgf: END IONS without BEGIN");
+            in_ions = false;
+            set.spectra.push_back(std::move(current));
+            continue;
+        }
+        if (!in_ions) continue;  // headers outside spectra are ignored
+        if (line.rfind("TITLE=", 0) == 0) {
+            current.title = line.substr(6);
+        } else if (line.rfind("PEPMASS=", 0) == 0) {
+            current.precursor_mz = std::stod(line.substr(8));
+        } else if (line.rfind("CHARGE=", 0) == 0) {
+            std::string v = line.substr(7);
+            if (!v.empty() && (v.back() == '+' || v.back() == '-')) v.pop_back();
+            current.charge = std::stoi(v);
+        } else if (line.find('=') == std::string::npos) {
+            parse_peak(line);
+        }  // unknown KEY=... lines are ignored
+    }
+    if (in_ions) throw std::runtime_error("read_mgf: unterminated spectrum at EOF");
+    return set;
+}
+
+SpectraSet read_mgf_file(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) throw std::runtime_error("read_mgf_file: cannot open " + path);
+    return read_mgf(f);
+}
+
+}  // namespace msdata

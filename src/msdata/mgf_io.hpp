@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "msdata/spectrum.hpp"
+
+namespace msdata {
+
+/// Minimal Mascot Generic Format (MGF) writer/reader — the plain-text
+/// interchange format ubiquitous in proteomics.  Supports BEGIN/END IONS,
+/// TITLE, PEPMASS, CHARGE and peak lines ("mz intensity").
+void write_mgf(std::ostream& os, const SpectraSet& set);
+void write_mgf_file(const std::string& path, const SpectraSet& set);
+
+/// Parses an MGF stream.  Throws std::runtime_error on malformed input
+/// (unterminated spectrum, non-numeric peak line).
+[[nodiscard]] SpectraSet read_mgf(std::istream& is);
+[[nodiscard]] SpectraSet read_mgf_file(const std::string& path);
+
+}  // namespace msdata

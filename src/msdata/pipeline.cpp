@@ -1,0 +1,108 @@
+#include "msdata/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/pair_sort.hpp"
+#include "core/ragged_sort.hpp"
+
+namespace msdata {
+
+namespace {
+
+/// Flattens per-spectrum intensities into a CSR ragged buffer.
+struct Flattened {
+    std::vector<float> values;
+    std::vector<std::uint64_t> offsets;
+};
+
+Flattened flatten_intensities(const SpectraSet& set) {
+    Flattened f;
+    f.offsets.reserve(set.size() + 1);
+    f.offsets.push_back(0);
+    f.values.reserve(set.total_peaks());
+    for (const Spectrum& s : set.spectra) {
+        for (const Peak& p : s.peaks) f.values.push_back(p.intensity);
+        f.offsets.push_back(f.values.size());
+    }
+    return f;
+}
+
+}  // namespace
+
+PipelineStats sort_spectra_by_intensity(simt::Device& device, SpectraSet& set) {
+    PipelineStats stats;
+    stats.peaks_in = set.total_peaks();
+    stats.peaks_out = stats.peaks_in;
+    if (set.size() == 0) return stats;
+
+    // Whole peaks sort on the device: intensities are the keys, m/z values
+    // ride along through the key-value array sort.
+    std::vector<float> keys;
+    std::vector<float> vals;
+    std::vector<std::uint64_t> offsets;
+    keys.reserve(set.total_peaks());
+    vals.reserve(set.total_peaks());
+    offsets.reserve(set.size() + 1);
+    offsets.push_back(0);
+    for (const Spectrum& s : set.spectra) {
+        for (const Peak& p : s.peaks) {
+            keys.push_back(p.intensity);
+            vals.push_back(p.mz);
+        }
+        offsets.push_back(keys.size());
+    }
+
+    stats.sort = gas::gpu_ragged_pair_sort(device, keys, vals, offsets);
+
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        Spectrum& s = set.spectra[i];
+        const auto begin = offsets[i];
+        for (std::size_t k = 0; k < s.peaks.size(); ++k) {
+            s.peaks[k] = Peak{vals[begin + k], keys[begin + k]};
+        }
+        if (!std::is_sorted(s.peaks.begin(), s.peaks.end(),
+                            [](const Peak& a, const Peak& b) {
+                                return a.intensity < b.intensity;
+                            })) {
+            throw std::logic_error("sort_spectra_by_intensity: device sort not ascending");
+        }
+    }
+    return stats;
+}
+
+PipelineStats reduce_spectra(simt::Device& device, SpectraSet& set, double keep_fraction) {
+    if (!(keep_fraction > 0.0) || keep_fraction > 1.0) {
+        throw std::invalid_argument("reduce_spectra: keep_fraction must be in (0, 1]");
+    }
+    PipelineStats stats;
+    stats.peaks_in = set.total_peaks();
+    if (set.size() == 0) return stats;
+
+    Flattened f = flatten_intensities(set);
+    stats.sort = gas::gpu_ragged_sort(device, f.values, f.offsets);
+
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        Spectrum& s = set.spectra[i];
+        const std::size_t n = s.peaks.size();
+        if (n == 0) continue;
+        const auto keep = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::llround(keep_fraction * static_cast<double>(n))));
+        // Sorted ascending: the threshold is the (n - keep)-th intensity.
+        const float threshold = f.values[f.offsets[i] + (n - keep)];
+        std::vector<Peak> kept;
+        kept.reserve(keep);
+        for (const Peak& p : s.peaks) {
+            // >= threshold keeps at least `keep` peaks; ties may keep more,
+            // like MS-REDUCE's quantile binning.
+            if (p.intensity >= threshold) kept.push_back(p);
+        }
+        s.peaks = std::move(kept);
+    }
+    stats.peaks_out = set.total_peaks();
+    return stats;
+}
+
+}  // namespace msdata

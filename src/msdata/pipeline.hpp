@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/sort_stats.hpp"
+#include "msdata/spectrum.hpp"
+#include "simt/device.hpp"
+
+namespace msdata {
+
+/// Result of one GPU-backed pipeline step.
+struct PipelineStats {
+    gas::SortStats sort;        ///< cost of the underlying ragged array sort
+    std::size_t peaks_in = 0;
+    std::size_t peaks_out = 0;
+};
+
+/// Sorts every spectrum's peaks by intensity (ascending), using the ragged
+/// GPU array sort on the intensity arrays and a host-side stable reorder of
+/// the (mz, intensity) pairs.  This is the preprocessing step the paper's
+/// introduction motivates: "majority of the algorithms dealing with such
+/// datasets require these spectra to be sorted ... with respect to
+/// intensities".
+PipelineStats sort_spectra_by_intensity(simt::Device& device, SpectraSet& set);
+
+/// MS-REDUCE-style data reduction (Awan & Saeed 2016, the companion paper):
+/// per spectrum, keep only the `keep_fraction` most intense peaks.  The
+/// intensity threshold per spectrum comes from the GPU-sorted intensity
+/// array (quantile lookup); filtering preserves m/z scan order.
+PipelineStats reduce_spectra(simt::Device& device, SpectraSet& set, double keep_fraction);
+
+}  // namespace msdata

@@ -1,0 +1,78 @@
+#include "msdata/precursor_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pair_sort.hpp"
+
+namespace msdata {
+
+PrecursorIndex::PrecursorIndex(simt::Device& device, const SpectraSet& set) {
+    const std::size_t count = set.size();
+    if (count == 0) return;
+
+    std::vector<double> keys(count);
+    std::vector<double> payload(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        keys[i] = set.spectra[i].precursor_mz;
+        payload[i] = static_cast<double>(i);  // spectrum ids ride as values
+    }
+    // One "array" spanning the whole set: the device pair sort orders the
+    // ids by precursor mass.  (Sets beyond the shared-staging bound are
+    // chunk-sorted and merged on the host.)
+    const std::size_t chunk =
+        std::min<std::size_t>(count, 2048);  // 2 x 2048 doubles = 32 KB shared
+    std::vector<std::uint64_t> offsets;
+    for (std::size_t base = 0; base <= count; base += chunk) {
+        offsets.push_back(std::min(base, count));
+    }
+    if (offsets.back() != count) offsets.push_back(count);
+    gas::gpu_ragged_pair_sort(device, keys, payload, offsets);
+
+    // Merge the sorted chunks host-side (k-way via repeated two-way merge;
+    // chunk counts are tiny).
+    mz_.assign(keys.begin(), keys.end());
+    id_.resize(count);
+    std::vector<std::size_t> perm(count);
+    for (std::size_t i = 0; i < count; ++i) perm[i] = static_cast<std::size_t>(payload[i]);
+    if (offsets.size() > 2) {
+        std::vector<std::size_t> idx(offsets.size() - 1);
+        for (std::size_t k = 0; k + 1 < offsets.size(); ++k) idx[k] = offsets[k];
+        std::vector<double> merged_mz;
+        std::vector<std::size_t> merged_id;
+        merged_mz.reserve(count);
+        merged_id.reserve(count);
+        while (merged_mz.size() < count) {
+            std::size_t best = offsets.size();
+            for (std::size_t k = 0; k + 1 < offsets.size(); ++k) {
+                if (idx[k] == offsets[k + 1]) continue;
+                if (best == offsets.size() || mz_[idx[k]] < mz_[idx[best]]) best = k;
+            }
+            merged_mz.push_back(mz_[idx[best]]);
+            merged_id.push_back(perm[idx[best]]);
+            ++idx[best];
+        }
+        mz_ = std::move(merged_mz);
+        id_ = std::move(merged_id);
+    } else {
+        id_ = std::move(perm);
+    }
+}
+
+std::vector<std::size_t> PrecursorIndex::query(double center, double tolerance) const {
+    std::vector<std::size_t> out;
+    if (mz_.empty() || !(tolerance >= 0.0)) return out;
+    const auto lo = std::lower_bound(mz_.begin(), mz_.end(), center - tolerance);
+    const auto hi = std::upper_bound(mz_.begin(), mz_.end(), center + tolerance);
+    const auto begin = static_cast<std::size_t>(lo - mz_.begin());
+    const auto end = static_cast<std::size_t>(hi - mz_.begin());
+    out.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) out.push_back(id_[i]);
+    return out;
+}
+
+std::vector<std::size_t> PrecursorIndex::query_ppm(double center, double ppm) const {
+    return query(center, std::abs(center) * ppm * 1e-6);
+}
+
+}  // namespace msdata

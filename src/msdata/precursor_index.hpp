@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "msdata/spectrum.hpp"
+#include "simt/device.hpp"
+
+namespace msdata {
+
+/// Precursor-mass index: the lookup structure every database-search engine
+/// (SEQUEST/Mascot-style, per the paper's citations [12][13]) builds first —
+/// spectra ordered by precursor m/z so that candidates for a peptide fall in
+/// one contiguous window.
+///
+/// Construction sorts (precursor m/z, spectrum id) pairs on the device with
+/// the double-precision key-value array sort; queries are host-side binary
+/// searches over the sorted keys.
+class PrecursorIndex {
+  public:
+    /// Builds the index for `set` on `device`.  The set itself is not
+    /// modified; the index refers to spectra by their position in `set`.
+    PrecursorIndex(simt::Device& device, const SpectraSet& set);
+
+    [[nodiscard]] std::size_t size() const { return mz_.size(); }
+
+    /// Spectrum ids whose precursor m/z lies in [center - tol, center + tol],
+    /// in ascending precursor order.
+    [[nodiscard]] std::vector<std::size_t> query(double center, double tolerance) const;
+
+    /// Same, with tolerance in parts-per-million of `center` (the unit
+    /// search engines use).
+    [[nodiscard]] std::vector<std::size_t> query_ppm(double center, double ppm) const;
+
+    /// Sorted precursor masses (ascending) — for range scans and tests.
+    [[nodiscard]] const std::vector<double>& sorted_mz() const { return mz_; }
+
+  private:
+    std::vector<double> mz_;       ///< sorted ascending
+    std::vector<std::size_t> id_;  ///< spectrum index aligned with mz_
+};
+
+}  // namespace msdata

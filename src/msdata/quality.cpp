@@ -1,0 +1,73 @@
+#include "msdata/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/ragged_sort.hpp"
+
+namespace msdata {
+
+namespace {
+
+/// Index of quantile q in an n-element sorted array (nearest-rank).
+std::size_t quantile_index(std::size_t n, double q) {
+    const auto idx = static_cast<std::size_t>(std::llround(q * static_cast<double>(n - 1)));
+    return std::min(idx, n - 1);
+}
+
+}  // namespace
+
+std::vector<SpectrumQuality> compute_quality(simt::Device& device, const SpectraSet& set) {
+    std::vector<SpectrumQuality> out(set.size());
+    if (set.size() == 0) return out;
+
+    // Flatten intensities and sort every spectrum's row on the device.
+    std::vector<float> values;
+    std::vector<std::uint64_t> offsets;
+    values.reserve(set.total_peaks());
+    offsets.reserve(set.size() + 1);
+    offsets.push_back(0);
+    for (const Spectrum& s : set.spectra) {
+        for (const Peak& p : s.peaks) values.push_back(p.intensity);
+        offsets.push_back(values.size());
+    }
+    gas::gpu_ragged_sort(device, values, offsets);
+
+    constexpr double kTiny = std::numeric_limits<float>::min();
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        SpectrumQuality& q = out[i];
+        const std::size_t begin = offsets[i];
+        const std::size_t n = offsets[i + 1] - begin;
+        q.peak_count = n;
+        if (n == 0) continue;
+        const std::span<const float> row(values.data() + begin, n);
+
+        for (float v : row) q.total_ion_current += v;
+        q.base_peak = row[n - 1];  // sorted ascending
+        q.median_intensity = row[quantile_index(n, 0.5)];
+        q.p05 = row[quantile_index(n, 0.05)];
+        q.p95 = row[quantile_index(n, 0.95)];
+        q.dynamic_range = static_cast<double>(q.p95) / std::max<double>(q.p05, kTiny);
+        q.signal_to_noise =
+            static_cast<double>(q.base_peak) / std::max<double>(q.median_intensity, kTiny);
+    }
+    return out;
+}
+
+std::size_t filter_by_quality(simt::Device& device, SpectraSet& set, double min_snr,
+                              std::size_t min_peaks) {
+    const auto quality = compute_quality(device, set);
+    const std::size_t before = set.size();
+    std::vector<Spectrum> kept;
+    kept.reserve(before);
+    for (std::size_t i = 0; i < before; ++i) {
+        if (quality[i].signal_to_noise >= min_snr && quality[i].peak_count >= min_peaks) {
+            kept.push_back(std::move(set.spectra[i]));
+        }
+    }
+    set.spectra = std::move(kept);
+    return before - set.size();
+}
+
+}  // namespace msdata

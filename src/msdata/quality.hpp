@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "msdata/spectrum.hpp"
+#include "simt/device.hpp"
+
+namespace msdata {
+
+/// Per-spectrum quality metrics.  Every quantile-based field requires the
+/// intensity array in sorted order — the paper's motivating preprocessing —
+/// so the batch API sorts all spectra on the device first (one ragged
+/// GPU-ArraySort) and then reads the quantiles off the sorted arrays.
+struct SpectrumQuality {
+    double total_ion_current = 0.0;  ///< sum of intensities (TIC)
+    float base_peak = 0.0f;          ///< strongest intensity
+    float median_intensity = 0.0f;   ///< p50 — a robust noise-floor estimate
+    float p05 = 0.0f;                ///< 5th percentile intensity
+    float p95 = 0.0f;                ///< 95th percentile intensity
+    double dynamic_range = 0.0;      ///< p95 / max(p05, denorm)
+    double signal_to_noise = 0.0;    ///< base_peak / max(median, denorm)
+    std::size_t peak_count = 0;
+};
+
+/// Computes quality metrics for every spectrum.  One device-side ragged sort
+/// of all intensity arrays feeds every quantile; TIC and base peak fall out
+/// of the same sorted rows.  Does not modify the spectra.
+[[nodiscard]] std::vector<SpectrumQuality> compute_quality(simt::Device& device,
+                                                           const SpectraSet& set);
+
+/// Filters a spectra set in place, keeping spectra whose signal-to-noise is
+/// at least `min_snr` and which carry at least `min_peaks` peaks.  Returns
+/// the number of spectra removed.
+std::size_t filter_by_quality(simt::Device& device, SpectraSet& set, double min_snr,
+                              std::size_t min_peaks);
+
+}  // namespace msdata

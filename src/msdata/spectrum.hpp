@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msdata {
+
+/// One peak of a mass spectrum: mass-to-charge ratio and intensity.
+struct Peak {
+    float mz = 0.0f;
+    float intensity = 0.0f;
+
+    friend bool operator==(const Peak&, const Peak&) = default;
+};
+
+/// One MS/MS spectrum — the "small array" of the paper's motivating domain.
+/// Real proteomics spectra carry up to ~4000 peaks including noise (section
+/// 4), which is exactly the largest array size the paper evaluates.
+struct Spectrum {
+    std::string title;
+    double precursor_mz = 0.0;
+    int charge = 2;
+    std::vector<Peak> peaks;
+
+    [[nodiscard]] std::size_t size() const { return peaks.size(); }
+};
+
+/// A dataset of spectra (the "large number of smaller arrays").
+struct SpectraSet {
+    std::vector<Spectrum> spectra;
+
+    [[nodiscard]] std::size_t size() const { return spectra.size(); }
+    [[nodiscard]] std::size_t total_peaks() const {
+        std::size_t total = 0;
+        for (const auto& s : spectra) total += s.size();
+        return total;
+    }
+    [[nodiscard]] std::size_t max_peaks() const {
+        std::size_t m = 0;
+        for (const auto& s : spectra) m = std::max(m, s.size());
+        return m;
+    }
+};
+
+}  // namespace msdata

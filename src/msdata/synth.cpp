@@ -1,0 +1,42 @@
+#include "msdata/synth.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace msdata {
+
+SpectraSet generate_spectra(std::size_t count, const SynthOptions& opts) {
+    SpectraSet set;
+    set.spectra.reserve(count);
+    std::mt19937_64 rng(opts.seed);
+    std::uniform_int_distribution<std::size_t> peak_count(opts.min_peaks, opts.max_peaks);
+    std::uniform_real_distribution<float> mz(opts.min_mz, opts.max_mz);
+    std::lognormal_distribution<float> noise_intensity(2.0f, 1.0f);
+    std::lognormal_distribution<float> signal_intensity(6.0f, 1.2f);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::uniform_real_distribution<double> precursor(300.0, 1800.0);
+    std::uniform_int_distribution<int> charge(1, 4);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        Spectrum s;
+        s.title = "synth_scan_" + std::to_string(i);
+        s.precursor_mz = precursor(rng);
+        s.charge = charge(rng);
+        const std::size_t n = peak_count(rng);
+        s.peaks.reserve(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            Peak p;
+            p.mz = mz(rng);
+            p.intensity = coin(rng) < opts.noise_fraction ? noise_intensity(rng)
+                                                          : signal_intensity(rng);
+            s.peaks.push_back(p);
+        }
+        // Instruments report peaks in ascending m/z scan order.
+        std::sort(s.peaks.begin(), s.peaks.end(),
+                  [](const Peak& a, const Peak& b) { return a.mz < b.mz; });
+        set.spectra.push_back(std::move(s));
+    }
+    return set;
+}
+
+}  // namespace msdata

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "msdata/spectrum.hpp"
+
+namespace msdata {
+
+/// Knobs for the synthetic spectra generator (substitute for the proprietary
+/// proteomics datasets the paper's group works with; see DESIGN.md).
+struct SynthOptions {
+    std::size_t min_peaks = 200;
+    std::size_t max_peaks = 4000;  ///< paper: spectra carry up to 4000 peaks
+    float min_mz = 100.0f;
+    float max_mz = 2000.0f;
+    /// Fraction of peaks that are background noise (low log-normal
+    /// intensity); the rest are "signal" peaks 10-100x stronger.
+    double noise_fraction = 0.8;
+    std::uint64_t seed = 7;
+};
+
+/// Generates `count` spectra with uniformly random m/z positions, log-normal
+/// noise intensities and a sparse population of strong signal peaks — the
+/// same heavy-tailed intensity shape MS-REDUCE-style reduction assumes.
+/// Peaks are emitted in m/z-scan order (ascending m/z), like a real
+/// instrument; intensities are unordered, which is why downstream algorithms
+/// need the array sort.
+[[nodiscard]] SpectraSet generate_spectra(std::size_t count, const SynthOptions& opts = {});
+
+}  // namespace msdata

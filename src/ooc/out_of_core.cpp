@@ -1,0 +1,94 @@
+#include "ooc/out_of_core.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "simt/stream.hpp"
+
+namespace ooc {
+
+std::size_t auto_batch_arrays(const simt::Device& device, std::size_t array_size,
+                              const OocOptions& opts) {
+    const auto budget = static_cast<std::size_t>(
+        static_cast<double>(device.memory().capacity()) * opts.memory_safety_factor /
+        std::max(1u, opts.num_streams));
+    // Probe the per-array footprint (data + S + Z) via the capacity model.
+    const std::size_t one = gas::device_footprint_bytes(1, array_size, opts.sort_opts,
+                                                        device.props());
+    const std::size_t thousand = gas::device_footprint_bytes(1000, array_size, opts.sort_opts,
+                                                             device.props());
+    const std::size_t per_array = std::max<std::size_t>(1, (thousand - one) / 999);
+    return std::max<std::size_t>(1, budget / per_array);
+}
+
+OocStats out_of_core_sort(simt::Device& device, std::span<float> host_data,
+                          std::size_t num_arrays, std::size_t array_size,
+                          const OocOptions& opts) {
+    OocStats stats;
+    stats.num_arrays = num_arrays;
+    stats.array_size = array_size;
+    if (num_arrays == 0 || array_size == 0) return stats;
+    if (host_data.size() < num_arrays * array_size) {
+        throw std::invalid_argument("out_of_core_sort: host span smaller than N x n");
+    }
+    if (opts.num_streams == 0) throw std::invalid_argument("out_of_core_sort: 0 streams");
+
+    const std::size_t batch =
+        opts.batch_arrays > 0 ? opts.batch_arrays : auto_batch_arrays(device, array_size, opts);
+    stats.batch_arrays = batch;
+
+    simt::Timeline timeline(opts.num_streams);
+    const auto t0 = std::chrono::steady_clock::now();
+
+    for (std::size_t first = 0; first < num_arrays; first += batch) {
+        const std::size_t count = std::min(batch, num_arrays - first);
+        const std::size_t stream = stats.batches % opts.num_streams;
+        auto chunk = host_data.subspan(first * array_size, count * array_size);
+
+        // Functional execution: upload, sort, download this batch.  The
+        // allocator enforces that a batch (plus its temporaries) fits.
+        simt::DeviceBuffer<float> dev(device, chunk.size());
+        const double h2d = simt::copy_to_device(std::span<const float>(chunk), dev);
+        const gas::SortStats s =
+            gas::sort_arrays_on_device(device, dev, count, array_size, opts.sort_opts);
+        const double d2h = simt::copy_to_host(dev, chunk);
+
+        // Overlap model: the same operations on the stream timeline.
+        timeline.h2d(stream, h2d);
+        timeline.compute(stream, s.modeled_kernel_ms());
+        timeline.d2h(stream, d2h);
+
+        stats.kernel_ms += s.modeled_kernel_ms();
+        stats.transfer_ms += h2d + d2h;
+        ++stats.batches;
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    stats.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    stats.modeled_overlap_ms = timeline.elapsed_ms();
+    stats.modeled_serial_ms = timeline.serialized_ms();
+    return stats;
+}
+
+AutoSortStats auto_sort(simt::Device& device, std::span<float> host_data,
+                        std::size_t num_arrays, std::size_t array_size,
+                        const OocOptions& opts) {
+    AutoSortStats stats;
+    if (num_arrays == 0 || array_size == 0) return stats;
+    const std::size_t footprint = gas::device_footprint_bytes(
+        num_arrays, array_size, opts.sort_opts, device.props());
+    const auto budget = static_cast<std::size_t>(
+        static_cast<double>(device.memory().capacity()) * opts.memory_safety_factor);
+    if (footprint <= budget) {
+        stats.used_out_of_core = false;
+        stats.in_core =
+            gas::gpu_array_sort(device, host_data, num_arrays, array_size, opts.sort_opts);
+    } else {
+        stats.used_out_of_core = true;
+        stats.ooc = out_of_core_sort(device, host_data, num_arrays, array_size, opts);
+    }
+    return stats;
+}
+
+}  // namespace ooc

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/gpu_array_sort.hpp"
+#include "simt/device.hpp"
+
+namespace ooc {
+
+/// Options for the out-of-core array sort (the paper's section 9 future
+/// work: "sort huge datasets ... without any concern of GPU global memory"
+/// by hiding transfer latencies).
+struct OocOptions {
+    /// Arrays per device batch; 0 = auto-size to a fraction of free device
+    /// memory (divided across the stream pipeline depth).
+    std::size_t batch_arrays = 0;
+    /// Stream pipeline depth; 2 = classic double buffering.  1 disables
+    /// overlap (the comparison baseline in the bench).
+    unsigned num_streams = 2;
+    double memory_safety_factor = 0.9;  ///< fraction of device memory usable
+    gas::Options sort_opts;
+};
+
+/// Cost summary of an out-of-core run.
+struct OocStats {
+    std::size_t num_arrays = 0;
+    std::size_t array_size = 0;
+    std::size_t batches = 0;
+    std::size_t batch_arrays = 0;
+    double modeled_overlap_ms = 0.0;   ///< timeline makespan with streams
+    double modeled_serial_ms = 0.0;    ///< same ops fully serialized
+    double kernel_ms = 0.0;            ///< modeled device compute only
+    double transfer_ms = 0.0;          ///< modeled H2D + D2H only
+    double wall_ms = 0.0;
+
+    [[nodiscard]] double overlap_speedup() const {
+        return modeled_overlap_ms > 0.0 ? modeled_serial_ms / modeled_overlap_ms : 1.0;
+    }
+};
+
+/// Sorts a host dataset of num_arrays x array_size floats that may exceed
+/// device memory: batches stream through the device on a multi-stream
+/// pipeline (H2D -> three sort kernels -> D2H), overlapping transfers with
+/// compute.  The host buffer is sorted in place.
+OocStats out_of_core_sort(simt::Device& device, std::span<float> host_data,
+                          std::size_t num_arrays, std::size_t array_size,
+                          const OocOptions& opts = {});
+
+/// The batch size (#arrays) auto-sizing would pick for this device.
+[[nodiscard]] std::size_t auto_batch_arrays(const simt::Device& device, std::size_t array_size,
+                                            const OocOptions& opts);
+
+/// Result of auto_sort: which path ran and its stats.
+struct AutoSortStats {
+    bool used_out_of_core = false;
+    gas::SortStats in_core;  ///< filled when the dataset fit the device
+    OocStats ooc;            ///< filled when batching was required
+
+    [[nodiscard]] double modeled_ms() const {
+        return used_out_of_core ? ooc.modeled_overlap_ms : in_core.modeled_total_ms();
+    }
+};
+
+/// Convenience driver: sorts host data in core when the footprint fits the
+/// device, otherwise falls back to the out-of-core pipeline transparently —
+/// the "without any concern of GPU global memory" interface of section 9.
+AutoSortStats auto_sort(simt::Device& device, std::span<float> host_data,
+                        std::size_t num_arrays, std::size_t array_size,
+                        const OocOptions& opts = {});
+
+}  // namespace ooc

@@ -1,0 +1,79 @@
+#include "simt/cost_model.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace simt {
+
+BlockCost CostModel::block_cost(std::span<const LaneCounters> lanes) const {
+    BlockCost cost;
+    const std::size_t warp = props_.warp_size;
+    double warp_cycles_sum = 0.0;
+    std::size_t num_warps = 0;
+
+    for (std::size_t base = 0; base < lanes.size(); base += warp) {
+        const std::size_t end = std::min(base + warp, lanes.size());
+        std::uint64_t max_ops = 0;
+        std::uint64_t max_shared = 0;
+        for (std::size_t i = base; i < end; ++i) {
+            max_ops = std::max(max_ops, lanes[i].ops);
+            max_shared = std::max(max_shared, lanes[i].shared_accesses);
+            cost.traffic_bytes += static_cast<double>(lanes[i].coalesced_bytes) +
+                                  static_cast<double>(lanes[i].random_accesses) *
+                                      props_.uncoalesced_segment_bytes;
+        }
+        warp_cycles_sum += props_.cpi * static_cast<double>(max_ops) +
+                           props_.shared_access_cycles * static_cast<double>(max_shared);
+        ++num_warps;
+    }
+
+    // Warps share the SM's issue slots; beyond the concurrent capacity they
+    // serialize.  (A block with a single warp simply takes its warp time.)
+    const double parallel_warps = std::min<double>(
+        static_cast<double>(std::max<std::size_t>(num_warps, 1)),
+        static_cast<double>(props_.concurrent_warps_per_sm()));
+    cost.cycles = warp_cycles_sum / parallel_warps;
+    return cost;
+}
+
+unsigned CostModel::blocks_per_sm(unsigned block_threads, std::size_t shared_bytes) const {
+    unsigned by_threads = props_.max_threads_per_sm / std::max(block_threads, 1u);
+    unsigned by_shared = shared_bytes == 0
+                             ? props_.max_blocks_per_sm
+                             : static_cast<unsigned>(props_.shared_memory_per_sm / shared_bytes);
+    unsigned conc = std::min({props_.max_blocks_per_sm, by_threads, by_shared});
+    return std::max(conc, 1u);
+}
+
+void CostModel::finalize(KernelStats& stats, std::span<const double> block_cycles,
+                         double total_traffic_bytes) const {
+    const unsigned conc = blocks_per_sm(stats.block_dim, stats.shared_bytes_per_block);
+    const std::size_t slots = static_cast<std::size_t>(props_.sm_count) * conc;
+
+    // Greedy list scheduling of blocks onto slots (min-heap of slot loads).
+    // Blocks of one kernel are near-identical, so this tracks the real
+    // round-robin hardware scheduler closely.
+    double makespan_cycles = 0.0;
+    if (!block_cycles.empty()) {
+        std::priority_queue<double, std::vector<double>, std::greater<>> loads;
+        for (std::size_t s = 0; s < std::min(slots, block_cycles.size()); ++s) loads.push(0.0);
+        for (double c : block_cycles) {
+            double least = loads.top();
+            loads.pop();
+            loads.push(least + c);
+        }
+        while (!loads.empty()) {
+            makespan_cycles = std::max(makespan_cycles, loads.top());
+            loads.pop();
+        }
+    }
+
+    const double clock_hz = props_.core_clock_ghz * 1e9;
+    stats.compute_ms = makespan_cycles / clock_hz * 1e3;
+    stats.memory_ms = total_traffic_bytes / (props_.mem_bandwidth_gbps * 1e9) * 1e3;
+    stats.traffic_bytes = total_traffic_bytes;
+    stats.modeled_ms = std::max(stats.compute_ms, stats.memory_ms) * props_.efficiency_derate +
+                       props_.kernel_launch_overhead_ms;
+}
+
+}  // namespace simt

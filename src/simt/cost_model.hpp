@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simt/counters.hpp"
+#include "simt/device_properties.hpp"
+
+namespace simt {
+
+/// Cost summary for a single block, derived from its lane counters.
+struct BlockCost {
+    double cycles = 0.0;         ///< serialized warp-cycles the block occupies an SM for
+    double traffic_bytes = 0.0;  ///< DRAM traffic the block generates
+};
+
+/// Timing + traffic summary of one kernel launch.
+struct KernelStats {
+    std::string name;
+    unsigned grid_dim = 0;
+    unsigned block_dim = 0;
+    std::size_t shared_bytes_per_block = 0;
+
+    LaneCounters totals;          ///< summed over every lane of every block
+    double traffic_bytes = 0.0;   ///< modeled DRAM traffic
+    double compute_ms = 0.0;      ///< modeled makespan of block compute over SMs
+    double memory_ms = 0.0;       ///< modeled DRAM traffic / bandwidth
+    double modeled_ms = 0.0;      ///< max(compute, memory) * derate + overhead
+    double wall_ms = 0.0;         ///< host wall-clock of the functional simulation
+};
+
+/// Roofline-style analytic model of kernel time on the simulated device.
+///
+/// Per block: each warp's cycle count is `cpi * max_lane(ops) +
+/// shared_access_cycles * max_lane(shared)`; warps beyond the SM's
+/// concurrent-warp capacity serialize.  Coalesced traffic counts its exact
+/// bytes; each scattered access costs one `uncoalesced_segment_bytes`
+/// segment.  Device time is `max(compute makespan over SM block slots,
+/// total traffic / bandwidth)`, scaled by the frozen `efficiency_derate`
+/// calibration (see DeviceProperties).
+class CostModel {
+  public:
+    explicit CostModel(const DeviceProperties& props) : props_(props) {}
+
+    /// Lane counters of one block -> that block's cost.
+    [[nodiscard]] BlockCost block_cost(std::span<const LaneCounters> lanes) const;
+
+    /// How many blocks of `block_threads` threads using `shared_bytes` of
+    /// shared memory can be resident on one SM at a time.
+    [[nodiscard]] unsigned blocks_per_sm(unsigned block_threads, std::size_t shared_bytes) const;
+
+    /// Schedules per-block cycle counts over the device's block slots and
+    /// fills the timing fields of `stats` (everything except wall_ms).
+    void finalize(KernelStats& stats, std::span<const double> block_cycles,
+                  double total_traffic_bytes) const;
+
+  private:
+    DeviceProperties props_;
+};
+
+}  // namespace simt

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace simt {
+
+/// Per-lane (per logical thread) event counters.
+///
+/// Kernels self-report their work through ThreadCtx helpers; the cost model
+/// converts lane counters into warp-level time (taking the max across the
+/// lanes of a warp, which is how lock-step execution pays for divergence and
+/// load imbalance) and into global-memory traffic.
+struct LaneCounters {
+    std::uint64_t ops = 0;                ///< simple ALU ops (compare, add, ...)
+    std::uint64_t shared_accesses = 0;    ///< shared-memory loads + stores
+    std::uint64_t coalesced_bytes = 0;    ///< global bytes moved in coalesced form
+    std::uint64_t random_accesses = 0;    ///< scattered global loads/stores
+
+    LaneCounters& operator+=(const LaneCounters& o) {
+        ops += o.ops;
+        shared_accesses += o.shared_accesses;
+        coalesced_bytes += o.coalesced_bytes;
+        random_accesses += o.random_accesses;
+        return *this;
+    }
+};
+
+}  // namespace simt

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "simt/cost_model.hpp"
+#include "simt/device_memory.hpp"
+#include "simt/device_properties.hpp"
+#include "simt/kernel.hpp"
+
+namespace simt {
+
+/// A simulated SIMT device: properties + global memory + kernel launcher +
+/// a log of every launch's modeled cost.
+class Device {
+  public:
+    explicit Device(DeviceProperties props = tesla_k40c(),
+                    DeviceMemory::Mode mode = DeviceMemory::Mode::Backed,
+                    unsigned host_workers = 1)
+        : props_(std::move(props)),
+          memory_(props_.global_memory_bytes, mode),
+          cost_model_(props_),
+          host_workers_(std::max(host_workers, 1u)) {}
+
+    [[nodiscard]] const DeviceProperties& props() const { return props_; }
+    [[nodiscard]] DeviceMemory& memory() { return memory_; }
+    [[nodiscard]] const DeviceMemory& memory() const { return memory_; }
+    [[nodiscard]] const CostModel& cost_model() const { return cost_model_; }
+
+    /// Lane execution order for subsequent launches (race detection in tests).
+    void set_thread_order(ThreadOrder order) { thread_order_ = order; }
+    [[nodiscard]] ThreadOrder thread_order() const { return thread_order_; }
+
+    /// Host worker threads simulating blocks concurrently (default 1 =
+    /// sequential).  Blocks of a well-formed kernel touch disjoint global
+    /// data, so results are identical for any worker count; per-block costs
+    /// are recorded by block index, keeping modeled time deterministic too.
+    /// Kernels needing per-resident-block scratch key it off BlockCtx::slot().
+    void set_host_workers(unsigned workers) { host_workers_ = std::max(workers, 1u); }
+    [[nodiscard]] unsigned host_workers() const { return host_workers_; }
+
+    /// Runs `body` once per block, functionally simulating the kernel, and
+    /// returns modeled + measured cost.  The stats are also appended to the
+    /// device's kernel log.
+    KernelStats launch(const LaunchConfig& cfg, const std::function<void(BlockCtx&)>& body);
+
+    [[nodiscard]] const std::vector<KernelStats>& kernel_log() const { return kernel_log_; }
+    void clear_kernel_log() { kernel_log_.clear(); }
+
+    /// Sum of modeled_ms over the kernel log (one sequential stream).
+    [[nodiscard]] double total_modeled_ms() const;
+    /// Sum of wall_ms over the kernel log.
+    [[nodiscard]] double total_wall_ms() const;
+
+    /// Models a host<->device transfer of `bytes` over PCIe; returns modeled
+    /// milliseconds (the caller does the actual memcpy through buffers).
+    [[nodiscard]] double transfer_ms(std::size_t bytes) const {
+        return static_cast<double>(bytes) / (props_.pcie_bandwidth_gbps * 1e9) * 1e3;
+    }
+
+  private:
+    DeviceProperties props_;
+    DeviceMemory memory_;
+    CostModel cost_model_;
+    ThreadOrder thread_order_ = ThreadOrder::Forward;
+    unsigned host_workers_ = 1;
+    std::vector<KernelStats> kernel_log_;
+};
+
+}  // namespace simt

@@ -1,0 +1,86 @@
+#include "simt/device_memory.hpp"
+
+namespace simt {
+
+DeviceMemory::DeviceMemory(std::size_t capacity_bytes, Mode mode)
+    : mode_(mode), capacity_(capacity_bytes) {
+    if (capacity_ > 0) {
+        free_.emplace(0, capacity_);
+    }
+    if (mode_ == Mode::Backed && capacity_ > 0) {
+        // Default-initialized: pages are committed lazily by the OS.
+        arena_ = std::unique_ptr<std::byte[]>(new std::byte[capacity_]);
+    }
+}
+
+std::size_t DeviceMemory::allocate(std::size_t bytes) {
+    if (bytes == 0) bytes = 1;  // distinct offsets for zero-size requests
+    const std::size_t rounded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+    if (rounded < bytes) throw DeviceBadAlloc(bytes, in_use_, capacity_);  // overflow
+
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        if (it->second < rounded) continue;
+        const std::size_t offset = it->first;
+        const std::size_t remaining = it->second - rounded;
+        free_.erase(it);
+        if (remaining > 0) {
+            free_.emplace(offset + rounded, remaining);
+        }
+        live_.emplace(offset, rounded);
+        in_use_ += rounded;
+        peak_ = std::max(peak_, in_use_);
+        return offset;
+    }
+    throw DeviceBadAlloc(rounded, in_use_, capacity_);
+}
+
+void DeviceMemory::deallocate(std::size_t offset) noexcept {
+    const auto it = live_.find(offset);
+    if (it == live_.end()) return;  // double free / unknown offset: ignore
+    const std::size_t size = it->second;
+    live_.erase(it);
+    in_use_ -= size;
+
+    auto [ins, _] = free_.emplace(offset, size);
+    // Coalesce with successor.
+    if (auto next = std::next(ins); next != free_.end() && ins->first + ins->second == next->first) {
+        ins->second += next->second;
+        free_.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (ins != free_.begin()) {
+        if (auto prev = std::prev(ins); prev->first + prev->second == ins->first) {
+            prev->second += ins->second;
+            free_.erase(ins);
+        }
+    }
+}
+
+std::byte* DeviceMemory::translate(std::size_t offset) {
+    if (mode_ == Mode::Virtual) {
+        throw DeviceError("cannot dereference Virtual-mode device memory");
+    }
+    if (offset >= capacity_) {
+        throw DeviceError("device offset out of range");
+    }
+    return arena_.get() + offset;
+}
+
+const std::byte* DeviceMemory::translate(std::size_t offset) const {
+    return const_cast<DeviceMemory*>(this)->translate(offset);
+}
+
+std::size_t DeviceMemory::largest_free_range() const {
+    std::size_t best = 0;
+    for (const auto& [off, size] : free_) best = std::max(best, size);
+    return best;
+}
+
+void DeviceMemory::reset() {
+    live_.clear();
+    free_.clear();
+    if (capacity_ > 0) free_.emplace(0, capacity_);
+    in_use_ = 0;
+}
+
+}  // namespace simt

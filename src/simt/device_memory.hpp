@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "simt/error.hpp"
+
+namespace simt {
+
+/// First-fit allocator over the simulated device's global memory.
+///
+/// Two backing modes:
+///  * `Backed`  — offsets resolve into a host arena; kernels can actually
+///    read and write device data.  Used by every functional run.  The arena
+///    is reserved but not touched up front, so a Backed device with the full
+///    11.5 GB capacity only commits pages the workload uses.
+///  * `Virtual` — pure accounting, no arena.  Used by the Table 1 capacity
+///    experiments, which only need allocate/fail arithmetic at sizes that may
+///    exceed host RAM.  Dereferencing a Virtual allocation throws.
+///
+/// Alignment follows cudaMalloc's 256-byte guarantee.
+class DeviceMemory {
+  public:
+    enum class Mode { Backed, Virtual };
+
+    static constexpr std::size_t kAlignment = 256;
+
+    DeviceMemory(std::size_t capacity_bytes, Mode mode);
+
+    DeviceMemory(const DeviceMemory&) = delete;
+    DeviceMemory& operator=(const DeviceMemory&) = delete;
+
+    /// Allocates `bytes` (rounded up to the 256 B alignment).  Returns the
+    /// device offset.  Throws DeviceBadAlloc when no free range fits.
+    std::size_t allocate(std::size_t bytes);
+
+    /// Releases an allocation previously returned by allocate().
+    void deallocate(std::size_t offset) noexcept;
+
+    /// Host pointer for a device offset (Backed mode only).
+    [[nodiscard]] std::byte* translate(std::size_t offset);
+    [[nodiscard]] const std::byte* translate(std::size_t offset) const;
+
+    [[nodiscard]] Mode mode() const { return mode_; }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] std::size_t bytes_in_use() const { return in_use_; }
+    [[nodiscard]] std::size_t peak_bytes_in_use() const { return peak_; }
+    [[nodiscard]] std::size_t allocation_count() const { return live_.size(); }
+    [[nodiscard]] std::size_t bytes_free() const { return capacity_ - in_use_; }
+
+    /// Largest single allocation that could currently succeed (contiguity!).
+    [[nodiscard]] std::size_t largest_free_range() const;
+
+    /// Drops every live allocation (used between capacity-probe iterations).
+    void reset();
+
+  private:
+    Mode mode_;
+    std::size_t capacity_;
+    std::size_t in_use_ = 0;
+    std::size_t peak_ = 0;
+    std::map<std::size_t, std::size_t> free_;  ///< offset -> size, coalesced.
+    std::map<std::size_t, std::size_t> live_;  ///< offset -> size.
+    std::unique_ptr<std::byte[]> arena_;       ///< null in Virtual mode.
+};
+
+}  // namespace simt

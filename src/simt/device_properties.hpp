@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace simt {
+
+/// Static description of the simulated device.
+///
+/// Defaults model the NVIDIA Tesla K40c used in the paper's evaluation
+/// (15 SMs x 192 cores, 745 MHz, 11520 MB GDDR5 at 288 GB/s, 48 KB shared
+/// memory per block).  All cost-model constants live here so that every
+/// experiment in the repo runs against one frozen calibration.
+struct DeviceProperties {
+    std::string name = "Simulated Tesla K40c";
+
+    // -- execution resources -------------------------------------------------
+    unsigned sm_count = 15;
+    unsigned cores_per_sm = 192;
+    unsigned warp_size = 32;
+    unsigned max_threads_per_block = 1024;
+    unsigned max_threads_per_sm = 2048;
+    unsigned max_blocks_per_sm = 16;
+
+    // -- memory resources -----------------------------------------------------
+    std::size_t global_memory_bytes = 11520ull * 1024 * 1024;
+    std::size_t shared_memory_per_block = 48 * 1024;
+    std::size_t shared_memory_per_sm = 48 * 1024;
+
+    // -- cost model constants -------------------------------------------------
+    double core_clock_ghz = 0.745;      ///< SM clock.
+    double mem_bandwidth_gbps = 288.0;  ///< GDDR5 peak.
+    double pcie_bandwidth_gbps = 12.0;  ///< effective host<->device (gen3 x16).
+    double cpi = 1.0;                   ///< cycles per simple ALU op per lane.
+    double shared_access_cycles = 1.0;  ///< amortized shared-memory access.
+    double uncoalesced_segment_bytes = 32.0;  ///< bytes fetched per scattered access.
+    double kernel_launch_overhead_ms = 0.005;
+    /// Calibration derate: ratio of achievable to peak throughput for the
+    /// paper's (unoptimized research) kernels.  Calibrated once against the
+    /// absolute scale of the paper's Fig. 4 and frozen; every experiment uses
+    /// the same value, so relative comparisons are unaffected by it.
+    double efficiency_derate = 10.0;
+
+    /// Warp slots that can issue concurrently on one SM.
+    [[nodiscard]] unsigned concurrent_warps_per_sm() const {
+        return cores_per_sm / warp_size;
+    }
+};
+
+/// The device the paper evaluated on.
+[[nodiscard]] inline DeviceProperties tesla_k40c() { return {}; }
+
+/// A deliberately tiny device, handy for exercising capacity limits in tests.
+[[nodiscard]] inline DeviceProperties tiny_device(std::size_t global_bytes,
+                                                  std::size_t shared_bytes = 48 * 1024) {
+    DeviceProperties p;
+    p.name = "Simulated tiny device";
+    p.global_memory_bytes = global_bytes;
+    p.shared_memory_per_block = shared_bytes;
+    p.shared_memory_per_sm = shared_bytes;
+    return p;
+}
+
+}  // namespace simt

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace simt {
+
+/// Base class for all simulated-device errors.
+class DeviceError : public std::runtime_error {
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a global-memory allocation does not fit on the device.
+/// Mirrors cudaErrorMemoryAllocation; the capacity experiments (Table 1)
+/// probe for this error.
+class DeviceBadAlloc : public DeviceError {
+  public:
+    DeviceBadAlloc(std::size_t requested, std::size_t in_use, std::size_t capacity)
+        : DeviceError("device out of memory: requested " + std::to_string(requested) +
+                      " B with " + std::to_string(in_use) + " B in use of " +
+                      std::to_string(capacity) + " B"),
+          requested_(requested),
+          in_use_(in_use),
+          capacity_(capacity) {}
+
+    [[nodiscard]] std::size_t requested() const { return requested_; }
+    [[nodiscard]] std::size_t in_use() const { return in_use_; }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  private:
+    std::size_t requested_;
+    std::size_t in_use_;
+    std::size_t capacity_;
+};
+
+/// Thrown when a block requests more shared memory than the device offers.
+class SharedMemoryOverflow : public DeviceError {
+  public:
+    SharedMemoryOverflow(std::size_t requested, std::size_t capacity)
+        : DeviceError("shared memory overflow: block requested " + std::to_string(requested) +
+                      " B of " + std::to_string(capacity) + " B") {}
+};
+
+/// Thrown on malformed launch configurations (zero dims, too many threads...).
+class LaunchError : public DeviceError {
+  public:
+    using DeviceError::DeviceError;
+};
+
+}  // namespace simt

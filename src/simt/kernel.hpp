@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simt/counters.hpp"
+#include "simt/error.hpp"
+
+namespace simt {
+
+/// Order in which a block's logical threads are executed by the simulator.
+///
+/// Kernels written for the barrier-synchronous contract (no lane reads data
+/// another lane wrote *within the same thread region*) must produce identical
+/// results under every order; tests exploit this to detect intra-region races.
+enum class ThreadOrder { Forward, Reverse };
+
+/// One-dimensional launch configuration.  The paper's kernels are all 1-D
+/// (one block per array, one thread per bucket), so the substrate keeps the
+/// grid 1-D; nothing in the model depends on higher dimensionality.
+struct LaunchConfig {
+    std::string name = "kernel";
+    unsigned grid_dim = 1;   ///< number of blocks
+    unsigned block_dim = 1;  ///< threads per block
+};
+
+/// Handle passed to per-thread code: identifies the lane and receives its
+/// self-reported work counters.
+class ThreadCtx {
+  public:
+    ThreadCtx(unsigned tid, unsigned block_dim, LaneCounters& counters)
+        : tid_(tid), block_dim_(block_dim), counters_(&counters) {}
+
+    [[nodiscard]] unsigned tid() const { return tid_; }
+    [[nodiscard]] unsigned block_dim() const { return block_dim_; }
+
+    /// `n` simple ALU operations (compares, adds, index math).
+    void ops(std::uint64_t n) { counters_->ops += n; }
+    /// `n` shared-memory accesses.
+    void shared(std::uint64_t n) { counters_->shared_accesses += n; }
+    /// `bytes` of global memory moved with warp-coalesced addressing.
+    void global_coalesced(std::uint64_t bytes) { counters_->coalesced_bytes += bytes; }
+    /// `n` scattered global accesses (each costs a full DRAM segment).
+    void global_random(std::uint64_t n) { counters_->random_accesses += n; }
+
+  private:
+    unsigned tid_;
+    unsigned block_dim_;
+    LaneCounters* counters_;
+};
+
+/// Execution context of one block: thread iteration, shared memory, counters.
+///
+/// `for_each_thread(fn)` runs `fn(ThreadCtx&)` once per logical thread.
+/// Consecutive calls are separated by an implicit `__syncthreads()`; within
+/// one call, lanes must be independent (the CUDA race-free contract between
+/// barriers).  The simulator may run lanes in forward or reverse order.
+class BlockCtx {
+  public:
+    BlockCtx(unsigned block_dim, unsigned grid_dim, std::size_t shared_capacity,
+             ThreadOrder order, unsigned slot = 0)
+        : grid_dim_(grid_dim),
+          block_dim_(block_dim),
+          slot_(slot),
+          shared_capacity_(shared_capacity),
+          order_(order),
+          shared_(shared_capacity),
+          lanes_(block_dim) {}
+
+    [[nodiscard]] unsigned block_idx() const { return block_idx_; }
+    [[nodiscard]] unsigned grid_dim() const { return grid_dim_; }
+    [[nodiscard]] unsigned block_dim() const { return block_dim_; }
+
+    /// Execution-slot id (0-based), analogous to "which SM slot is this
+    /// block resident on": stable across the block's lifetime, unique among
+    /// *concurrently executing* blocks.  Kernels that need a per-resident-
+    /// block scratch row (e.g. phase 2's global fallback) key it off this,
+    /// never off block_idx, so the multi-worker simulator stays race-free.
+    [[nodiscard]] unsigned slot() const { return slot_; }
+
+    /// Bump-allocates `count` Ts from the block's shared-memory arena.
+    /// Contents persist across thread regions within the block (like
+    /// __shared__ variables) and are invalidated when the next block starts.
+    template <typename T>
+    std::span<T> shared_alloc(std::size_t count) {
+        const std::size_t align = alignof(T);
+        std::size_t off = (shared_used_ + align - 1) / align * align;
+        const std::size_t bytes = count * sizeof(T);
+        if (off + bytes > shared_capacity_) {
+            throw SharedMemoryOverflow(off + bytes, shared_capacity_);
+        }
+        shared_used_ = off + bytes;
+        shared_high_water_ = std::max(shared_high_water_, shared_used_);
+        // Shared arena is raw storage; T must be trivially constructible the
+        // way __shared__ arrays are.
+        static_assert(std::is_trivially_copyable_v<T>);
+        return {reinterpret_cast<T*>(shared_.data() + off), count};
+    }
+
+    /// Runs `fn(ThreadCtx&)` for every thread of the block; an implicit
+    /// barrier separates consecutive calls.
+    template <typename F>
+    void for_each_thread(F&& fn) {
+        if (order_ == ThreadOrder::Forward) {
+            for (unsigned t = 0; t < block_dim_; ++t) {
+                ThreadCtx tc(t, block_dim_, lanes_[t]);
+                fn(tc);
+            }
+        } else {
+            for (unsigned t = block_dim_; t-- > 0;) {
+                ThreadCtx tc(t, block_dim_, lanes_[t]);
+                fn(tc);
+            }
+        }
+    }
+
+    /// Runs `fn(ThreadCtx&)` on thread 0 only (e.g. per-block prefix sums),
+    /// with the same barrier semantics as a full region.
+    template <typename F>
+    void single_thread(F&& fn) {
+        ThreadCtx tc(0, block_dim_, lanes_[0]);
+        fn(tc);
+    }
+
+    [[nodiscard]] std::size_t shared_used() const { return shared_used_; }
+    [[nodiscard]] std::size_t shared_high_water() const { return shared_high_water_; }
+    [[nodiscard]] std::span<const LaneCounters> lanes() const { return lanes_; }
+
+    /// Re-arms the context for the next block (launch-engine internal).
+    void begin_block(unsigned block_idx) {
+        block_idx_ = block_idx;
+        shared_used_ = 0;
+        lanes_.assign(block_dim_, LaneCounters{});
+    }
+
+  private:
+    unsigned block_idx_ = 0;
+    unsigned grid_dim_;
+    unsigned block_dim_;
+    unsigned slot_ = 0;
+    std::size_t shared_capacity_;
+    std::size_t shared_used_ = 0;
+    std::size_t shared_high_water_ = 0;
+    ThreadOrder order_;
+    std::vector<std::byte> shared_;
+    std::vector<LaneCounters> lanes_;
+};
+
+}  // namespace simt

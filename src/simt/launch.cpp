@@ -1,0 +1,120 @@
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "simt/device.hpp"
+
+namespace simt {
+
+namespace {
+
+/// Per-block cost record, indexed by block id so aggregation order (and
+/// therefore the modeled time) is identical for any worker count.
+struct BlockRecord {
+    double cycles = 0.0;
+    double traffic = 0.0;
+    LaneCounters totals;
+    std::size_t shared_high_water = 0;
+};
+
+void run_block(const std::function<void(BlockCtx&)>& body, BlockCtx& ctx,
+               const CostModel& model, unsigned block, BlockRecord& rec) {
+    ctx.begin_block(block);
+    body(ctx);
+    const BlockCost cost = model.block_cost(ctx.lanes());
+    rec.cycles = cost.cycles;
+    rec.traffic = cost.traffic_bytes;
+    for (const LaneCounters& lane : ctx.lanes()) rec.totals += lane;
+    rec.shared_high_water = ctx.shared_high_water();
+}
+
+}  // namespace
+
+KernelStats Device::launch(const LaunchConfig& cfg,
+                           const std::function<void(BlockCtx&)>& body) {
+    if (cfg.grid_dim == 0 || cfg.block_dim == 0) {
+        throw LaunchError("launch '" + cfg.name + "': zero grid or block dimension");
+    }
+    if (cfg.block_dim > props_.max_threads_per_block) {
+        throw LaunchError("launch '" + cfg.name + "': block_dim " +
+                          std::to_string(cfg.block_dim) + " exceeds device limit " +
+                          std::to_string(props_.max_threads_per_block));
+    }
+
+    KernelStats stats;
+    stats.name = cfg.name;
+    stats.grid_dim = cfg.grid_dim;
+    stats.block_dim = cfg.block_dim;
+
+    std::vector<BlockRecord> records(cfg.grid_dim);
+    const unsigned workers = std::min(host_workers_, cfg.grid_dim);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (workers <= 1) {
+        BlockCtx ctx(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
+                     thread_order_, /*slot=*/0);
+        for (unsigned b = 0; b < cfg.grid_dim; ++b) {
+            run_block(body, ctx, cost_model_, b, records[b]);
+        }
+    } else {
+        // Worker pool: each worker owns a BlockCtx (its execution slot) and
+        // pulls block ids from a shared counter.  Exceptions propagate to
+        // the caller after every worker has stopped.
+        std::atomic<unsigned> next{0};
+        std::exception_ptr failure;
+        std::mutex failure_mutex;
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                BlockCtx ctx(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
+                             thread_order_, /*slot=*/w);
+                try {
+                    for (unsigned b = next.fetch_add(1); b < cfg.grid_dim;
+                         b = next.fetch_add(1)) {
+                        run_block(body, ctx, cost_model_, b, records[b]);
+                    }
+                } catch (...) {
+                    const std::scoped_lock lock(failure_mutex);
+                    if (!failure) failure = std::current_exception();
+                    next.store(cfg.grid_dim);  // drain remaining work
+                }
+            });
+        }
+        for (auto& t : pool) t.join();
+        if (failure) std::rethrow_exception(failure);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    stats.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    // Deterministic aggregation in block order.
+    std::vector<double> block_cycles(cfg.grid_dim);
+    double traffic = 0.0;
+    for (unsigned b = 0; b < cfg.grid_dim; ++b) {
+        block_cycles[b] = records[b].cycles;
+        traffic += records[b].traffic;
+        stats.totals += records[b].totals;
+        stats.shared_bytes_per_block =
+            std::max(stats.shared_bytes_per_block, records[b].shared_high_water);
+    }
+
+    cost_model_.finalize(stats, block_cycles, traffic);
+    kernel_log_.push_back(stats);
+    return stats;
+}
+
+double Device::total_modeled_ms() const {
+    double total = 0.0;
+    for (const KernelStats& k : kernel_log_) total += k.modeled_ms;
+    return total;
+}
+
+double Device::total_wall_ms() const {
+    double total = 0.0;
+    for (const KernelStats& k : kernel_log_) total += k.wall_ms;
+    return total;
+}
+
+}  // namespace simt

@@ -1,0 +1,77 @@
+#include "simt/report.hpp"
+
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace simt {
+
+namespace {
+
+std::string human_bytes(double bytes) {
+    const char* units[] = {"B", "KB", "MB", "GB"};
+    int u = 0;
+    while (bytes >= 1024.0 && u < 3) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(bytes < 10 ? 2 : 1) << bytes << " " << units[u];
+    return os.str();
+}
+
+}  // namespace
+
+std::string describe_device(const DeviceProperties& props) {
+    std::ostringstream os;
+    os << props.name << ": " << props.sm_count << " SMs x " << props.cores_per_sm
+       << " cores @ " << props.core_clock_ghz << " GHz, "
+       << human_bytes(static_cast<double>(props.global_memory_bytes)) << " global ("
+       << props.mem_bandwidth_gbps << " GB/s), "
+       << human_bytes(static_cast<double>(props.shared_memory_per_block))
+       << " shared/block, derate " << props.efficiency_derate << "x";
+    return os.str();
+}
+
+void print_kernel_log(std::ostream& os, const Device& device) {
+    os << std::left << std::setw(28) << "kernel" << std::right << std::setw(9) << "grid"
+       << std::setw(7) << "block" << std::setw(11) << "compute" << std::setw(11) << "memory"
+       << std::setw(11) << "modeled" << std::setw(11) << "traffic" << "  bound\n";
+    double total = 0.0;
+    for (const KernelStats& k : device.kernel_log()) {
+        os << std::left << std::setw(28) << k.name << std::right << std::setw(9) << k.grid_dim
+           << std::setw(7) << k.block_dim << std::setw(9) << std::fixed
+           << std::setprecision(3) << k.compute_ms << "ms" << std::setw(9) << k.memory_ms
+           << "ms" << std::setw(9) << k.modeled_ms << "ms" << std::setw(11)
+           << human_bytes(k.traffic_bytes) << "  "
+           << (k.compute_ms >= k.memory_ms ? "compute" : "memory") << "\n";
+        total += k.modeled_ms;
+    }
+    os << std::left << std::setw(28) << "TOTAL" << std::right << std::setw(47) << ""
+       << std::setw(9) << total << "ms\n";
+}
+
+void print_kernel_summary(std::ostream& os, const Device& device) {
+    struct Row {
+        std::size_t launches = 0;
+        double modeled_ms = 0.0;
+        double traffic = 0.0;
+    };
+    std::map<std::string, Row> rows;
+    for (const KernelStats& k : device.kernel_log()) {
+        Row& r = rows[k.name];
+        ++r.launches;
+        r.modeled_ms += k.modeled_ms;
+        r.traffic += k.traffic_bytes;
+    }
+    os << std::left << std::setw(28) << "kernel" << std::right << std::setw(10) << "launches"
+       << std::setw(12) << "modeled" << std::setw(12) << "traffic\n";
+    for (const auto& [name, r] : rows) {
+        os << std::left << std::setw(28) << name << std::right << std::setw(10) << r.launches
+           << std::setw(10) << std::fixed << std::setprecision(3) << r.modeled_ms << "ms"
+           << std::setw(12) << human_bytes(r.traffic) << "\n";
+    }
+}
+
+}  // namespace simt

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "simt/device.hpp"
+
+namespace simt {
+
+/// Human-readable device description (name, SMs, memory, model constants).
+[[nodiscard]] std::string describe_device(const DeviceProperties& props);
+
+/// Pretty-prints the device's kernel log as a table: per kernel the launch
+/// geometry, modeled compute vs. memory time, DRAM traffic and the
+/// bottleneck classification (compute- or bandwidth-bound).  The tail row
+/// totals the log.  Useful for understanding where a sort's modeled time
+/// goes (the per-phase numbers the paper's section 6 reasons about).
+void print_kernel_log(std::ostream& os, const Device& device);
+
+/// Aggregated per-kernel-name summary (the same kernel launched many times
+/// is folded into one row with a launch count).
+void print_kernel_summary(std::ostream& os, const Device& device);
+
+}  // namespace simt

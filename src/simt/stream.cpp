@@ -1,0 +1,25 @@
+#include "simt/stream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simt {
+
+void Timeline::enqueue(std::size_t stream, double& engine_ready, double ms) {
+    if (stream >= stream_ready_.size()) {
+        throw std::out_of_range("Timeline: stream index out of range");
+    }
+    const double start = std::max(stream_ready_[stream], engine_ready);
+    const double end = start + ms;
+    stream_ready_[stream] = end;
+    engine_ready = end;
+    serialized_ += ms;
+}
+
+double Timeline::elapsed_ms() const {
+    double e = std::max({h2d_ready_, d2h_ready_, compute_ready_});
+    for (double s : stream_ready_) e = std::max(e, s);
+    return e;
+}
+
+}  // namespace simt

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace simt {
+
+/// Discrete-event timeline for modeling multi-stream overlap of transfers and
+/// kernels, as used by the out-of-core extension (paper section 9).
+///
+/// Resources mirror a K40c: one H2D copy engine, one D2H copy engine, and the
+/// compute engine.  An operation enqueued on a stream starts when both the
+/// stream's previous operation and the target engine are free (the CUDA
+/// stream/engine model), so double-buffered pipelines overlap transfers with
+/// compute while a single stream serializes.
+class Timeline {
+  public:
+    explicit Timeline(std::size_t num_streams)
+        : stream_ready_(num_streams, 0.0) {}
+
+    void h2d(std::size_t stream, double ms) { enqueue(stream, h2d_ready_, ms); }
+    void compute(std::size_t stream, double ms) { enqueue(stream, compute_ready_, ms); }
+    void d2h(std::size_t stream, double ms) { enqueue(stream, d2h_ready_, ms); }
+
+    /// Modeled end-to-end time with overlap.
+    [[nodiscard]] double elapsed_ms() const;
+    /// What the same work would take fully serialized (no streams).
+    [[nodiscard]] double serialized_ms() const { return serialized_; }
+    [[nodiscard]] std::size_t stream_count() const { return stream_ready_.size(); }
+
+  private:
+    void enqueue(std::size_t stream, double& engine_ready, double ms);
+
+    std::vector<double> stream_ready_;
+    double h2d_ready_ = 0.0;
+    double d2h_ready_ = 0.0;
+    double compute_ready_ = 0.0;
+    double serialized_ = 0.0;
+};
+
+}  // namespace simt

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "simt/device_buffer.hpp"
+
+namespace thrustlite {
+
+/// Thrust-style owning device container on the simulated device.
+///
+/// A thin layer over simt::DeviceBuffer that adds host<->device construction
+/// and copy-out, mirroring thrust::device_vector's role in the STA baseline.
+template <typename T>
+class device_vector {
+  public:
+    device_vector() = default;
+
+    device_vector(simt::Device& device, std::size_t count) : buffer_(device, count) {}
+
+    device_vector(simt::Device& device, std::span<const T> host) : buffer_(device, host.size()) {
+        simt::copy_to_device(host, buffer_);
+    }
+
+    device_vector(simt::Device& device, const std::vector<T>& host)
+        : device_vector(device, std::span<const T>(host)) {}
+
+    [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+    [[nodiscard]] bool empty() const { return buffer_.empty(); }
+    [[nodiscard]] std::span<T> span() { return buffer_.span(); }
+    [[nodiscard]] std::span<const T> span() const { return buffer_.span(); }
+    [[nodiscard]] simt::Device* device() const { return buffer_.device(); }
+    [[nodiscard]] simt::DeviceBuffer<T>& buffer() { return buffer_; }
+
+    /// Copies device contents to a new host vector.
+    [[nodiscard]] std::vector<T> to_host() const {
+        std::vector<T> out(buffer_.size());
+        if (!out.empty()) simt::copy_to_host(buffer_, std::span<T>(out));
+        return out;
+    }
+
+    void release() { buffer_.release(); }
+
+  private:
+    simt::DeviceBuffer<T> buffer_;
+};
+
+}  // namespace thrustlite

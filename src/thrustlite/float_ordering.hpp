@@ -1,0 +1,36 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace thrustlite {
+
+/// Order-preserving bijection float -> uint32 (the classic radix-sort flip):
+/// positive floats get their sign bit set, negative floats are bitwise
+/// inverted, so unsigned order equals IEEE-754 total order (with -0 < +0
+/// collapsing to adjacent codes and NaNs sorting above +inf).
+[[nodiscard]] inline std::uint32_t float_to_ordered(float f) {
+    const auto bits = std::bit_cast<std::uint32_t>(f);
+    return (bits & 0x80000000u) != 0 ? ~bits : bits | 0x80000000u;
+}
+
+/// Inverse of float_to_ordered.
+[[nodiscard]] inline float ordered_to_float(std::uint32_t u) {
+    const std::uint32_t bits = (u & 0x80000000u) != 0 ? u & 0x7fffffffu : ~u;
+    return std::bit_cast<float>(bits);
+}
+
+/// 64-bit counterpart: order-preserving bijection double -> uint64.
+[[nodiscard]] inline std::uint64_t double_to_ordered(double d) {
+    const auto bits = std::bit_cast<std::uint64_t>(d);
+    return (bits & 0x8000000000000000ull) != 0 ? ~bits : bits | 0x8000000000000000ull;
+}
+
+/// Inverse of double_to_ordered.
+[[nodiscard]] inline double ordered_to_double(std::uint64_t u) {
+    const std::uint64_t bits =
+        (u & 0x8000000000000000ull) != 0 ? u & 0x7fffffffffffffffull : ~u;
+    return std::bit_cast<double>(bits);
+}
+
+}  // namespace thrustlite

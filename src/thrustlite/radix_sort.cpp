@@ -1,0 +1,264 @@
+#include "thrustlite/radix_sort.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "thrustlite/algorithms.hpp"
+
+namespace thrustlite {
+
+namespace {
+
+constexpr unsigned kRadixBits = 4;
+constexpr unsigned kDigits = 1u << kRadixBits;
+constexpr std::size_t kChunk = kTileSize / kBlockThreads;  // elements per thread
+
+/// Digit passes for a key type (8 for u32, 16 for u64) — always even, so the
+/// double-buffered result lands back in the caller's buffers.
+template <typename K>
+constexpr unsigned passes_for() {
+    static_assert(sizeof(K) * 8 % kRadixBits == 0);
+    return sizeof(K) * 8 / kRadixBits;
+}
+
+template <typename K>
+[[nodiscard]] inline std::uint32_t digit_of(K key, unsigned shift) {
+    return static_cast<std::uint32_t>((key >> shift) & (kDigits - 1));
+}
+
+template <typename K>
+struct PassBuffers {
+    std::span<const K> keys_in;
+    std::span<K> keys_out;
+    std::span<const std::uint32_t> vals_in;  // empty when keys-only
+    std::span<std::uint32_t> vals_out;
+};
+
+/// Kernel 1: per-block digit histogram.  Each thread counts its contiguous
+/// chunk into a per-thread shared histogram column; thread 0 reduces the
+/// block's histogram and writes it to hist[d * num_blocks + block].
+template <typename K>
+void histogram_kernel(simt::Device& device, std::span<const K> keys,
+                      unsigned shift, std::span<std::uint32_t> hist, unsigned num_blocks) {
+    simt::LaunchConfig cfg{"radix.histogram", num_blocks, kBlockThreads};
+    device.launch(cfg, [&](simt::BlockCtx& blk) {
+        auto local = blk.shared_alloc<std::uint32_t>(kDigits * kBlockThreads);
+        const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTileSize;
+        const std::size_t tile_end = std::min(tile_begin + kTileSize, keys.size());
+
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            for (unsigned d = 0; d < kDigits; ++d) local[d * kBlockThreads + tc.tid()] = 0;
+            const std::size_t begin = tile_begin + tc.tid() * kChunk;
+            const std::size_t end = std::min(begin + kChunk, tile_end);
+            for (std::size_t i = begin; i < end; ++i) {
+                ++local[digit_of(keys[i], shift) * kBlockThreads + tc.tid()];
+            }
+            const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
+            tc.global_coalesced(n * sizeof(K));
+            tc.ops(n * 2 + kDigits);
+            tc.shared(n + kDigits);
+        });
+
+        blk.single_thread([&](simt::ThreadCtx& tc) {
+            for (unsigned d = 0; d < kDigits; ++d) {
+                std::uint32_t sum = 0;
+                for (unsigned t = 0; t < kBlockThreads; ++t) sum += local[d * kBlockThreads + t];
+                hist[static_cast<std::size_t>(d) * num_blocks + blk.block_idx()] = sum;
+            }
+            tc.ops(kDigits * kBlockThreads);
+            tc.shared(kDigits * kBlockThreads);
+            tc.global_random(kDigits);
+        });
+    });
+}
+
+/// Kernel 2: turns per-block histograms into absolute scatter offsets.
+/// Lane d scans its digit row across blocks; thread 0 then computes digit
+/// bases (exclusive scan of digit totals) which lanes add back to their row.
+void offsets_kernel(simt::Device& device, std::span<std::uint32_t> hist, unsigned num_blocks) {
+    simt::LaunchConfig cfg{"radix.offsets", 1, kDigits};
+    device.launch(cfg, [&](simt::BlockCtx& blk) {
+        auto totals = blk.shared_alloc<std::uint32_t>(kDigits);
+        auto bases = blk.shared_alloc<std::uint32_t>(kDigits);
+
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const unsigned d = tc.tid();
+            std::uint32_t running = 0;
+            for (unsigned b = 0; b < num_blocks; ++b) {
+                std::uint32_t& cell = hist[static_cast<std::size_t>(d) * num_blocks + b];
+                const std::uint32_t tmp = cell;
+                cell = running;
+                running += tmp;
+            }
+            totals[d] = running;
+            tc.global_coalesced(static_cast<std::uint64_t>(num_blocks) * 2 * sizeof(std::uint32_t));
+            tc.ops(num_blocks * 2);
+            tc.shared(1);
+        });
+
+        blk.single_thread([&](simt::ThreadCtx& tc) {
+            std::uint32_t running = 0;
+            for (unsigned d = 0; d < kDigits; ++d) {
+                bases[d] = running;
+                running += totals[d];
+            }
+            tc.ops(kDigits);
+            tc.shared(kDigits * 2);
+        });
+
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const unsigned d = tc.tid();
+            for (unsigned b = 0; b < num_blocks; ++b) {
+                hist[static_cast<std::size_t>(d) * num_blocks + b] += bases[d];
+            }
+            tc.global_coalesced(static_cast<std::uint64_t>(num_blocks) * 2 * sizeof(std::uint32_t));
+            tc.ops(num_blocks);
+            tc.shared(1);
+        });
+    });
+}
+
+/// Kernel 3: stable scatter.  Each thread recounts its chunk, thread 0 turns
+/// the (digit, thread) histogram into per-thread start cursors seeded from
+/// the block's absolute offsets, then every thread emits its chunk in order.
+/// Output position order (block, thread, position-in-chunk) preserves input
+/// order per digit => the pass is stable.
+template <typename K>
+void scatter_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned shift,
+                    std::span<const std::uint32_t> hist, unsigned num_blocks) {
+    const bool with_values = !buf.vals_in.empty();
+    simt::LaunchConfig cfg{"radix.scatter", num_blocks, kBlockThreads};
+    device.launch(cfg, [&](simt::BlockCtx& blk) {
+        auto local = blk.shared_alloc<std::uint32_t>(kDigits * kBlockThreads);
+        auto cursor = blk.shared_alloc<std::uint32_t>(kDigits * kBlockThreads);
+        const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTileSize;
+        const std::size_t tile_end = std::min(tile_begin + kTileSize, buf.keys_in.size());
+
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            for (unsigned d = 0; d < kDigits; ++d) local[d * kBlockThreads + tc.tid()] = 0;
+            const std::size_t begin = tile_begin + tc.tid() * kChunk;
+            const std::size_t end = std::min(begin + kChunk, tile_end);
+            for (std::size_t i = begin; i < end; ++i) {
+                ++local[digit_of(buf.keys_in[i], shift) * kBlockThreads + tc.tid()];
+            }
+            const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
+            tc.global_coalesced(n * sizeof(K));
+            tc.ops(n * 2 + kDigits);
+            tc.shared(n + kDigits);
+        });
+
+        blk.single_thread([&](simt::ThreadCtx& tc) {
+            for (unsigned d = 0; d < kDigits; ++d) {
+                std::uint32_t running =
+                    hist[static_cast<std::size_t>(d) * num_blocks + blk.block_idx()];
+                for (unsigned t = 0; t < kBlockThreads; ++t) {
+                    cursor[d * kBlockThreads + t] = running;
+                    running += local[d * kBlockThreads + t];
+                }
+            }
+            tc.ops(kDigits * kBlockThreads);
+            tc.shared(kDigits * kBlockThreads * 2);
+            tc.global_random(kDigits);
+        });
+
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const std::size_t begin = tile_begin + tc.tid() * kChunk;
+            const std::size_t end = std::min(begin + kChunk, tile_end);
+            for (std::size_t i = begin; i < end; ++i) {
+                const std::uint32_t d = digit_of(buf.keys_in[i], shift);
+                const std::uint32_t dst = cursor[d * kBlockThreads + tc.tid()]++;
+                buf.keys_out[dst] = buf.keys_in[i];
+                if (with_values) buf.vals_out[dst] = buf.vals_in[i];
+            }
+            const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
+            // Reads of the tile (and payload) are coalesced; each scattered
+            // write of a key/value pair costs one DRAM segment.
+            tc.global_coalesced(n * (sizeof(K) + (with_values ? sizeof(std::uint32_t) : 0)));
+            tc.global_random(n);
+            tc.ops(n * 4);
+            tc.shared(n * 2);
+        });
+    });
+}
+
+template <typename K>
+RadixStats sort_impl(simt::Device& device, std::span<K> keys,
+                     std::span<std::uint32_t> values) {
+    RadixStats stats;
+    const std::size_t count = keys.size();
+    if (count == 0) return stats;
+    const bool with_values = !values.empty();
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t log_start = device.kernel_log().size();
+
+    const auto num_blocks = static_cast<unsigned>((count + kTileSize - 1) / kTileSize);
+
+    // O(N) scratch: double buffers + per-block histograms.  This allocation
+    // is exactly what limits the STA technique's capacity in Table 1.
+    simt::DeviceBuffer<K> keys_alt(device, count);
+    simt::DeviceBuffer<std::uint32_t> vals_alt;
+    if (with_values) vals_alt = simt::DeviceBuffer<std::uint32_t>(device, count);
+    simt::DeviceBuffer<std::uint32_t> hist(device,
+                                           static_cast<std::size_t>(kDigits) * num_blocks);
+    stats.scratch_bytes = keys_alt.size_bytes() + vals_alt.size_bytes() + hist.size_bytes();
+
+    std::span<K> key_bufs[2] = {keys, keys_alt.span()};
+    std::span<std::uint32_t> val_bufs[2] = {
+        with_values ? values : std::span<std::uint32_t>{},
+        with_values ? vals_alt.span() : std::span<std::uint32_t>{}};
+
+    for (unsigned pass = 0; pass < passes_for<K>(); ++pass) {
+        const unsigned shift = pass * kRadixBits;
+        const unsigned src = pass % 2;
+        PassBuffers<K> buf{key_bufs[src], key_bufs[1 - src], val_bufs[src], val_bufs[1 - src]};
+
+        histogram_kernel<K>(device, buf.keys_in, shift, hist.span(), num_blocks);
+        offsets_kernel(device, hist.span(), num_blocks);
+        scatter_kernel<K>(device, buf, shift, hist.span(), num_blocks);
+        ++stats.passes;
+    }
+    // The pass count is even for every key width, so the final output
+    // already lives in the caller's buffers; no copy-back pass is needed.
+    static_assert(passes_for<K>() % 2 == 0);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    stats.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    for (std::size_t i = log_start; i < device.kernel_log().size(); ++i) {
+        stats.modeled_ms += device.kernel_log()[i].modeled_ms;
+    }
+    return stats;
+}
+
+}  // namespace
+
+RadixStats stable_sort_by_key(simt::Device& device, std::span<std::uint32_t> keys,
+                              std::span<std::uint32_t> values) {
+    if (keys.size() != values.size()) {
+        throw simt::DeviceError("stable_sort_by_key: keys/values size mismatch");
+    }
+    return sort_impl<std::uint32_t>(device, keys, values);
+}
+
+RadixStats stable_sort(simt::Device& device, std::span<std::uint32_t> keys) {
+    return sort_impl<std::uint32_t>(device, keys, {});
+}
+
+RadixStats stable_sort_by_key(simt::Device& device, std::span<std::uint64_t> keys,
+                              std::span<std::uint32_t> values) {
+    if (keys.size() != values.size()) {
+        throw simt::DeviceError("stable_sort_by_key: keys/values size mismatch");
+    }
+    return sort_impl<std::uint64_t>(device, keys, values);
+}
+
+RadixStats stable_sort(simt::Device& device, std::span<std::uint64_t> keys) {
+    return sort_impl<std::uint64_t>(device, keys, {});
+}
+
+std::size_t radix_scratch_bytes(std::size_t count, bool with_values) {
+    const std::size_t num_blocks = (count + kTileSize - 1) / kTileSize;
+    const std::size_t doubled = count * sizeof(std::uint32_t) * (with_values ? 2 : 1);
+    return doubled + kDigits * num_blocks * sizeof(std::uint32_t);
+}
+
+}  // namespace thrustlite

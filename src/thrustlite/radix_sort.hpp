@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+#include "thrustlite/device_vector.hpp"
+
+namespace thrustlite {
+
+/// Cost summary of one radix sort call.
+struct RadixStats {
+    unsigned passes = 0;
+    std::size_t scratch_bytes = 0;  ///< double buffers + histograms (the O(N) the paper cites)
+    double modeled_ms = 0.0;
+    double wall_ms = 0.0;
+};
+
+/// Stable LSD radix sort of 32-bit keys with an optional 32-bit payload,
+/// 4-bit digits (8 passes), the classic GPU formulation:
+/// per-pass histogram kernel -> offset scan kernel -> rank-and-scatter
+/// kernel, double-buffered (this is the O(N) scratch the paper charges
+/// against the STA technique).
+///
+/// This is the repo's stand-in for thrust::stable_sort_by_key, which the
+/// paper's STA baseline is built from.  The spans must view device-resident
+/// buffers (scratch is allocated on the same device).
+RadixStats stable_sort_by_key(simt::Device& device, std::span<std::uint32_t> keys,
+                              std::span<std::uint32_t> values);
+
+/// Keys-only variant.
+RadixStats stable_sort(simt::Device& device, std::span<std::uint32_t> keys);
+
+/// 64-bit key variants (16 digit passes): enables double-precision keys via
+/// the double<->ordered-u64 transform in float_ordering.hpp.
+RadixStats stable_sort_by_key(simt::Device& device, std::span<std::uint64_t> keys,
+                              std::span<std::uint32_t> values);
+RadixStats stable_sort(simt::Device& device, std::span<std::uint64_t> keys);
+
+/// device_vector conveniences.
+inline RadixStats stable_sort_by_key(device_vector<std::uint32_t>& keys,
+                                     device_vector<std::uint32_t>& values) {
+    return stable_sort_by_key(*keys.device(), keys.span(), values.span());
+}
+inline RadixStats stable_sort(device_vector<std::uint32_t>& keys) {
+    return stable_sort(*keys.device(), keys.span());
+}
+
+/// Device scratch bytes a sort of `count` pairs will allocate (used by the
+/// Table 1 capacity model).  `with_values` selects pair vs keys-only layout.
+[[nodiscard]] std::size_t radix_scratch_bytes(std::size_t count, bool with_values);
+
+}  // namespace thrustlite

@@ -1,0 +1,99 @@
+#include "thrustlite/segmented.hpp"
+
+#include <algorithm>
+
+namespace thrustlite {
+
+namespace {
+constexpr unsigned kThreads = 128;
+}
+
+std::vector<SegmentStats> segmented_stats(simt::Device& device, std::span<const float> data,
+                                          std::size_t num_arrays, std::size_t array_size) {
+    std::vector<SegmentStats> out(num_arrays);
+    if (num_arrays == 0 || array_size == 0) return out;
+
+    const auto threads =
+        static_cast<unsigned>(std::min<std::size_t>(array_size, kThreads));
+    simt::LaunchConfig cfg{"thrustlite.segmented_stats", static_cast<unsigned>(num_arrays),
+                           threads};
+    device.launch(cfg, [&](simt::BlockCtx& blk) {
+        auto mins = blk.shared_alloc<float>(threads);
+        auto maxs = blk.shared_alloc<float>(threads);
+        auto sums = blk.shared_alloc<double>(threads);
+        const float* row = data.data() + blk.block_idx() * array_size;
+
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            float mn = row[0];
+            float mx = row[0];
+            double sum = 0.0;
+            std::uint64_t seen = 0;
+            for (std::size_t i = tc.tid(); i < array_size; i += threads) {
+                mn = std::min(mn, row[i]);
+                mx = std::max(mx, row[i]);
+                sum += row[i];
+                ++seen;
+            }
+            mins[tc.tid()] = mn;
+            maxs[tc.tid()] = mx;
+            sums[tc.tid()] = sum;
+            tc.global_coalesced(seen * sizeof(float));
+            tc.ops(3 * seen);
+            tc.shared(3);
+        });
+
+        blk.single_thread([&](simt::ThreadCtx& tc) {
+            SegmentStats s{mins[0], maxs[0], 0.0};
+            for (unsigned t = 0; t < threads; ++t) {
+                s.min = std::min(s.min, mins[t]);
+                s.max = std::max(s.max, maxs[t]);
+                s.sum += sums[t];
+            }
+            out[blk.block_idx()] = s;
+            tc.ops(3 * threads);
+            tc.shared(3 * threads);
+            tc.global_random(1);
+        });
+    });
+    return out;
+}
+
+std::vector<bool> segmented_is_sorted(simt::Device& device, std::span<const float> data,
+                                      std::size_t num_arrays, std::size_t array_size) {
+    std::vector<bool> out(num_arrays, true);
+    if (num_arrays == 0 || array_size < 2) return out;
+
+    const auto threads =
+        static_cast<unsigned>(std::min<std::size_t>(array_size - 1, kThreads));
+    simt::LaunchConfig cfg{"thrustlite.segmented_is_sorted",
+                           static_cast<unsigned>(num_arrays), threads};
+    device.launch(cfg, [&](simt::BlockCtx& blk) {
+        auto flags = blk.shared_alloc<std::uint32_t>(threads);
+        const float* row = data.data() + blk.block_idx() * array_size;
+
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            std::uint32_t bad = 0;
+            std::uint64_t seen = 0;
+            for (std::size_t i = tc.tid() + 1; i < array_size; i += threads) {
+                bad += row[i - 1] > row[i] ? 1u : 0u;
+                ++seen;
+            }
+            flags[tc.tid()] = bad;
+            tc.global_coalesced(2 * seen * sizeof(float));
+            tc.ops(2 * seen);
+            tc.shared(1);
+        });
+
+        blk.single_thread([&](simt::ThreadCtx& tc) {
+            std::uint32_t bad = 0;
+            for (unsigned t = 0; t < threads; ++t) bad += flags[t];
+            out[blk.block_idx()] = bad == 0;
+            tc.ops(threads);
+            tc.shared(threads);
+            tc.global_random(1);
+        });
+    });
+    return out;
+}
+
+}  // namespace thrustlite

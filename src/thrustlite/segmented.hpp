@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "simt/device.hpp"
+
+namespace thrustlite {
+
+/// Per-row statistics of an N x n device-resident matrix, computed by one
+/// kernel (one block per row, cooperative tree reduction in shared memory).
+/// The segmented counterpart of reduce_* for the many-small-arrays layout
+/// every algorithm in this repo works on.
+struct SegmentStats {
+    float min = 0.0f;
+    float max = 0.0f;
+    double sum = 0.0;
+};
+
+[[nodiscard]] std::vector<SegmentStats> segmented_stats(simt::Device& device,
+                                                        std::span<const float> data,
+                                                        std::size_t num_arrays,
+                                                        std::size_t array_size);
+
+/// Per-row "is ascending" flags in one kernel (device-side; no host copy of
+/// the data).  Equivalent to gas::count_unsorted_on_device but returning the
+/// full flag vector.
+[[nodiscard]] std::vector<bool> segmented_is_sorted(simt::Device& device,
+                                                    std::span<const float> data,
+                                                    std::size_t num_arrays,
+                                                    std::size_t array_size);
+
+}  // namespace thrustlite

@@ -1,0 +1,72 @@
+#include "workload/dataset_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace workload {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'G', 'A', 'S', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+    std::array<char, 4> magic;
+    std::uint32_t version;
+    std::uint64_t num_arrays;
+    std::uint64_t array_size;
+};
+static_assert(sizeof(Header) == 24);
+
+}  // namespace
+
+void write_dataset(std::ostream& os, const Dataset& ds) {
+    Header h{kMagic, kVersion, ds.num_arrays, ds.array_size};
+    os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    os.write(reinterpret_cast<const char*>(ds.values.data()),
+             static_cast<std::streamsize>(ds.values.size() * sizeof(float)));
+    if (!os) throw std::runtime_error("write_dataset: stream failure");
+}
+
+void write_dataset_file(const std::string& path, const Dataset& ds) {
+    std::ofstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("write_dataset_file: cannot open " + path);
+    write_dataset(f, ds);
+}
+
+Dataset read_dataset(std::istream& is) {
+    Header h{};
+    is.read(reinterpret_cast<char*>(&h), sizeof(h));
+    if (!is || is.gcount() != sizeof(h)) {
+        throw std::runtime_error("read_dataset: truncated header");
+    }
+    if (h.magic != kMagic) throw std::runtime_error("read_dataset: bad magic");
+    if (h.version != kVersion) {
+        throw std::runtime_error("read_dataset: unsupported version " +
+                                 std::to_string(h.version));
+    }
+    Dataset ds;
+    ds.num_arrays = h.num_arrays;
+    ds.array_size = h.array_size;
+    const std::uint64_t count = h.num_arrays * h.array_size;
+    if (h.array_size != 0 && count / h.array_size != h.num_arrays) {
+        throw std::runtime_error("read_dataset: header size overflow");
+    }
+    ds.values.resize(count);
+    is.read(reinterpret_cast<char*>(ds.values.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+    if (!is || is.gcount() != static_cast<std::streamsize>(count * sizeof(float))) {
+        throw std::runtime_error("read_dataset: truncated payload");
+    }
+    return ds;
+}
+
+Dataset read_dataset_file(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("read_dataset_file: cannot open " + path);
+    return read_dataset(f);
+}
+
+}  // namespace workload

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/generators.hpp"
+
+namespace workload {
+
+/// Binary dataset container (.gad — "gpu-arraysort dataset"): a fixed
+/// little-endian header (magic "GASD", version, N, n) followed by N*n raw
+/// float32 values.  The interchange format of the gas_sortfile tool, and a
+/// convenient way to persist generated workloads for repeatable benches.
+void write_dataset(std::ostream& os, const Dataset& ds);
+void write_dataset_file(const std::string& path, const Dataset& ds);
+
+/// Throws std::runtime_error on bad magic, version, truncation or a header
+/// that does not match the payload size.
+[[nodiscard]] Dataset read_dataset(std::istream& is);
+[[nodiscard]] Dataset read_dataset_file(const std::string& path);
+
+}  // namespace workload

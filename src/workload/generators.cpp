@@ -1,0 +1,161 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace workload {
+
+namespace {
+
+constexpr float kUniformMax = 2147483647.0f;  // 2^31 - 1, the paper's range
+
+void fill(std::vector<float>& out, std::size_t begin, std::size_t end, Distribution dist,
+          std::mt19937_64& rng) {
+    switch (dist) {
+        case Distribution::Uniform: {
+            std::uniform_real_distribution<float> u(0.0f, kUniformMax);
+            for (std::size_t i = begin; i < end; ++i) out[i] = u(rng);
+            break;
+        }
+        case Distribution::Normal: {
+            std::normal_distribution<float> n(1073741824.0f, 268435456.0f);
+            for (std::size_t i = begin; i < end; ++i) out[i] = std::max(0.0f, n(rng));
+            break;
+        }
+        case Distribution::Exponential: {
+            std::exponential_distribution<float> e(1.0f / 1e6f);
+            for (std::size_t i = begin; i < end; ++i) out[i] = e(rng);
+            break;
+        }
+        case Distribution::Sorted: {
+            std::uniform_real_distribution<float> u(0.0f, kUniformMax);
+            for (std::size_t i = begin; i < end; ++i) out[i] = u(rng);
+            std::sort(out.begin() + static_cast<std::ptrdiff_t>(begin),
+                      out.begin() + static_cast<std::ptrdiff_t>(end));
+            break;
+        }
+        case Distribution::Reverse: {
+            std::uniform_real_distribution<float> u(0.0f, kUniformMax);
+            for (std::size_t i = begin; i < end; ++i) out[i] = u(rng);
+            std::sort(out.begin() + static_cast<std::ptrdiff_t>(begin),
+                      out.begin() + static_cast<std::ptrdiff_t>(end), std::greater<>());
+            break;
+        }
+        case Distribution::NearlySorted: {
+            std::uniform_real_distribution<float> u(0.0f, kUniformMax);
+            for (std::size_t i = begin; i < end; ++i) out[i] = u(rng);
+            std::sort(out.begin() + static_cast<std::ptrdiff_t>(begin),
+                      out.begin() + static_cast<std::ptrdiff_t>(end));
+            const std::size_t n = end - begin;
+            const std::size_t swaps = std::max<std::size_t>(1, n / 100);
+            std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+            for (std::size_t s = 0; s < swaps; ++s) {
+                std::swap(out[begin + pick(rng)], out[begin + pick(rng)]);
+            }
+            break;
+        }
+        case Distribution::FewDistinct: {
+            std::uniform_int_distribution<int> pick(0, 7);
+            for (std::size_t i = begin; i < end; ++i) {
+                out[i] = static_cast<float>(pick(rng)) * 1e6f;
+            }
+            break;
+        }
+        case Distribution::Constant: {
+            for (std::size_t i = begin; i < end; ++i) out[i] = 12345.0f;
+            break;
+        }
+        case Distribution::Pareto: {
+            // x = scale * (u^{-1/alpha} - 1): a heavy power-law tail that
+            // concentrates mass near 0 and throws rare huge outliers.
+            std::uniform_real_distribution<float> u(1e-6f, 1.0f);
+            for (std::size_t i = begin; i < end; ++i) {
+                out[i] = 1000.0f * (std::pow(u(rng), -1.0f / 1.5f) - 1.0f);
+            }
+            break;
+        }
+        case Distribution::Clustered: {
+            std::uniform_real_distribution<float> center(0.0f, kUniformMax);
+            std::normal_distribution<float> jitter(0.0f, kUniformMax / 1e4f);
+            std::array<float, 8> centers;
+            for (auto& cc : centers) cc = center(rng);
+            std::uniform_int_distribution<int> pick(0, 7);
+            for (std::size_t i = begin; i < end; ++i) {
+                out[i] = std::max(0.0f, centers[static_cast<std::size_t>(pick(rng))] +
+                                            jitter(rng));
+            }
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+std::string to_string(Distribution d) {
+    switch (d) {
+        case Distribution::Uniform: return "uniform";
+        case Distribution::Normal: return "normal";
+        case Distribution::Exponential: return "exponential";
+        case Distribution::Sorted: return "sorted";
+        case Distribution::Reverse: return "reverse";
+        case Distribution::NearlySorted: return "nearly-sorted";
+        case Distribution::FewDistinct: return "few-distinct";
+        case Distribution::Constant: return "constant";
+        case Distribution::Pareto: return "pareto";
+        case Distribution::Clustered: return "clustered";
+    }
+    return "unknown";
+}
+
+const std::vector<Distribution>& all_distributions() {
+    static const std::vector<Distribution> all = {
+        Distribution::Uniform,      Distribution::Normal,      Distribution::Exponential,
+        Distribution::Sorted,       Distribution::Reverse,     Distribution::NearlySorted,
+        Distribution::FewDistinct,  Distribution::Constant,
+        Distribution::Pareto,       Distribution::Clustered,
+    };
+    return all;
+}
+
+Dataset make_dataset(std::size_t num_arrays, std::size_t array_size, Distribution dist,
+                     std::uint64_t seed) {
+    Dataset ds;
+    ds.num_arrays = num_arrays;
+    ds.array_size = array_size;
+    ds.values.resize(num_arrays * array_size);
+    std::mt19937_64 rng(seed);
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        fill(ds.values, a * array_size, (a + 1) * array_size, dist, rng);
+    }
+    return ds;
+}
+
+std::vector<float> make_values(std::size_t count, Distribution dist, std::uint64_t seed) {
+    std::vector<float> v(count);
+    std::mt19937_64 rng(seed);
+    fill(v, 0, count, dist, rng);
+    return v;
+}
+
+RaggedDataset make_ragged_dataset(std::size_t num_arrays, std::size_t min_size,
+                                  std::size_t max_size, Distribution dist, std::uint64_t seed) {
+    if (min_size > max_size) throw std::invalid_argument("make_ragged_dataset: min > max");
+    RaggedDataset ds;
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<std::size_t> len(min_size, max_size);
+    ds.offsets.resize(num_arrays + 1);
+    ds.offsets[0] = 0;
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        ds.offsets[a + 1] = ds.offsets[a] + len(rng);
+    }
+    ds.values.resize(ds.offsets.back());
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        fill(ds.values, ds.offsets[a], ds.offsets[a + 1], dist, rng);
+    }
+    return ds;
+}
+
+}  // namespace workload

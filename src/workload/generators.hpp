@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace workload {
+
+/// Shapes of per-array value distributions used by tests and benchmarks.
+///
+/// `Uniform` reproduces the paper's evaluation datasets: floats drawn
+/// uniformly from [0, 2^31 - 1].  The others probe sample-sort's sensitivity
+/// to skew, duplication and presortedness (ablation A4).
+enum class Distribution {
+    Uniform,       ///< paper's dataset: U(0, 2^31 - 1)
+    Normal,        ///< N(2^30, 2^28), clamped to >= 0
+    Exponential,   ///< heavy left skew
+    Sorted,        ///< already ascending
+    Reverse,       ///< descending
+    NearlySorted,  ///< ascending with ~1% random swaps
+    FewDistinct,   ///< only 8 distinct values (duplicate-heavy)
+    Constant,      ///< every element identical
+    Pareto,        ///< power-law heavy tail (worst case for regular sampling)
+    Clustered,     ///< 8 tight Gaussian clusters per array
+};
+
+[[nodiscard]] std::string to_string(Distribution d);
+[[nodiscard]] const std::vector<Distribution>& all_distributions();
+
+/// A dataset of `num_arrays` arrays, each `array_size` elements, flattened
+/// row-major the way both sorters consume it (array i occupies
+/// [i*array_size, (i+1)*array_size)).
+struct Dataset {
+    std::size_t num_arrays = 0;
+    std::size_t array_size = 0;
+    std::vector<float> values;  ///< num_arrays * array_size elements
+
+    [[nodiscard]] std::size_t total_elements() const { return num_arrays * array_size; }
+    [[nodiscard]] const float* array(std::size_t i) const { return values.data() + i * array_size; }
+    [[nodiscard]] float* array(std::size_t i) { return values.data() + i * array_size; }
+};
+
+/// Deterministic dataset generator (same seed -> same dataset).
+[[nodiscard]] Dataset make_dataset(std::size_t num_arrays, std::size_t array_size,
+                                   Distribution dist = Distribution::Uniform,
+                                   std::uint64_t seed = 42);
+
+/// Single flat array, convenience for substrate tests.
+[[nodiscard]] std::vector<float> make_values(std::size_t count, Distribution dist,
+                                             std::uint64_t seed = 42);
+
+/// Ragged dataset support (extension beyond the paper's uniform-n datasets):
+/// per-array sizes drawn from [min_size, max_size].
+struct RaggedDataset {
+    std::vector<std::size_t> offsets;  ///< size num_arrays + 1 (CSR)
+    std::vector<float> values;
+
+    [[nodiscard]] std::size_t num_arrays() const {
+        return offsets.empty() ? 0 : offsets.size() - 1;
+    }
+    [[nodiscard]] std::size_t size_of(std::size_t i) const {
+        return offsets[i + 1] - offsets[i];
+    }
+};
+
+[[nodiscard]] RaggedDataset make_ragged_dataset(std::size_t num_arrays, std::size_t min_size,
+                                                std::size_t max_size,
+                                                Distribution dist = Distribution::Uniform,
+                                                std::uint64_t seed = 42);
+
+}  // namespace workload

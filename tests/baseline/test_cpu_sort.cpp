@@ -1,0 +1,33 @@
+#include "baseline/cpu_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/validate.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+TEST(CpuSort, SortsEveryRow) {
+    auto ds = workload::make_dataset(30, 100, workload::Distribution::Uniform, 1);
+    const auto before = ds.values;
+    const double ms = baseline::cpu_sort_arrays(ds.values, ds.num_arrays, ds.array_size);
+    EXPECT_GE(ms, 0.0);
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+    EXPECT_TRUE(gas::all_arrays_permuted(before, ds.values, ds.num_arrays, ds.array_size));
+}
+
+TEST(CpuSort, RowsStayIndependent) {
+    // Descending blocks: sorting must not move values across row boundaries.
+    std::vector<float> data = {9, 8, 7, 3, 2, 1};
+    baseline::cpu_sort_arrays(data, 2, 3);
+    EXPECT_EQ(data, (std::vector<float>{7, 8, 9, 1, 2, 3}));
+}
+
+TEST(CpuSort, EmptyDataset) {
+    std::vector<float> data;
+    EXPECT_NO_THROW(baseline::cpu_sort_arrays(data, 0, 0));
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+#include "baseline/sequential_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/gpu_array_sort.hpp"
+#include "core/validate.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(256 << 20)); }
+
+TEST(SequentialSort, SortsEveryRow) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(20, 500, workload::Distribution::Uniform, 1);
+    const auto before = ds.values;
+    baseline::sequential_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+    EXPECT_TRUE(gas::all_arrays_permuted(before, ds.values, ds.num_arrays, ds.array_size));
+}
+
+TEST(SequentialSort, AgreesWithGpuArraySort) {
+    auto ds = workload::make_dataset(8, 777, workload::Distribution::Normal, 2);
+    auto a = ds.values;
+    auto b = ds.values;
+    {
+        auto dev = make_device();
+        baseline::sequential_sort(dev, a, ds.num_arrays, ds.array_size);
+    }
+    {
+        auto dev = make_device();
+        gas::gpu_array_sort(dev, b, ds.num_arrays, ds.array_size);
+    }
+    EXPECT_EQ(a, b);
+}
+
+TEST(SequentialSort, LaunchCountScalesWithArrays) {
+    // The strawman's defining property: kernel launches grow linearly in N
+    // (8 radix passes x 3 kernels per array, plus the two conversions).
+    auto dev = make_device();
+    auto ds = workload::make_dataset(10, 300, workload::Distribution::Uniform, 3);
+    const auto s = baseline::sequential_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    EXPECT_EQ(s.kernel_launches, 10u * 24u + 2u);
+}
+
+TEST(SequentialSort, SlowerThanGpuArraySortInModel) {
+    auto ds = workload::make_dataset(64, 1000, workload::Distribution::Uniform, 4);
+    double seq_ms = 0.0;
+    double gas_ms = 0.0;
+    {
+        auto dev = make_device();
+        auto copy = ds.values;
+        seq_ms = baseline::sequential_sort(dev, copy, ds.num_arrays, ds.array_size).modeled_ms;
+    }
+    {
+        auto dev = make_device();
+        auto copy = ds.values;
+        gas_ms = gas::gpu_array_sort(dev, copy, ds.num_arrays, ds.array_size)
+                     .modeled_kernel_ms();
+    }
+    EXPECT_GT(seq_ms, gas_ms);
+}
+
+TEST(SequentialSort, EmptyAndInvalidInputs) {
+    auto dev = make_device();
+    std::vector<float> empty;
+    EXPECT_NO_THROW(baseline::sequential_sort(dev, empty, 0, 0));
+    std::vector<float> small(5);
+    EXPECT_THROW(baseline::sequential_sort(dev, small, 2, 5), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+#include "baseline/sta_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/gpu_array_sort.hpp"
+#include "core/validate.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using sta::sta_sort;
+using sta::StaOptions;
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(512 << 20)); }
+
+TEST(StaSort, SortsUniformDataset) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(40, 500, workload::Distribution::Uniform, 1);
+    auto expected = ds.values;
+    for (std::size_t a = 0; a < ds.num_arrays; ++a) {
+        std::sort(expected.begin() + static_cast<std::ptrdiff_t>(a * ds.array_size),
+                  expected.begin() + static_cast<std::ptrdiff_t>((a + 1) * ds.array_size));
+    }
+    StaOptions opts;
+    opts.validate = true;
+    sta_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    EXPECT_EQ(ds.values, expected);
+}
+
+TEST(StaSort, AgreesWithGpuArraySortOnEveryDistribution) {
+    for (auto dist : workload::all_distributions()) {
+        auto dev = make_device();
+        auto ds = workload::make_dataset(12, 333, dist, 2);
+        auto copy = ds.values;
+
+        sta_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+
+        simt::Device dev2(simt::tiny_device(256 << 20));
+        gas::gpu_array_sort(dev2, copy, ds.num_arrays, ds.array_size);
+        ASSERT_EQ(ds.values, copy) << workload::to_string(dist);
+    }
+}
+
+TEST(StaSort, NegativeValuesSortCorrectly) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(8, 256, workload::Distribution::Normal, 3);
+    for (std::size_t i = 0; i < ds.values.size(); i += 2) ds.values[i] = -ds.values[i];
+    StaOptions opts;
+    opts.validate = true;
+    EXPECT_NO_THROW(sta_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts));
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+}
+
+TEST(StaSort, PeakMemoryIsRoughlyThreeTimesDataPlusTags) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(100, 1000, workload::Distribution::Uniform, 4);
+    const auto stats = sta_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    // data(4B) + tags(4B) + radix double buffers(8B) per element = 16B/elem
+    // = 4x the raw data, i.e. the paper's "about three times more memory
+    // than may actually be required".
+    const double ratio = static_cast<double>(stats.peak_device_bytes) /
+                         static_cast<double>(stats.data_bytes);
+    EXPECT_GT(ratio, 3.5);
+    EXPECT_LT(ratio, 4.5);
+}
+
+TEST(StaSort, FootprintModelMatchesAllocatorPeak) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(64, 512, workload::Distribution::Uniform, 5);
+    simt::DeviceBuffer<float> data(dev, ds.values.size());
+    simt::copy_to_device(std::span<const float>(ds.values), data);
+    const auto stats = sta::sta_sort_on_device(dev, data, ds.num_arrays, ds.array_size);
+    EXPECT_EQ(stats.peak_device_bytes,
+              sta::sta_footprint_bytes(ds.num_arrays, ds.array_size));
+}
+
+TEST(StaSort, RedundantPassCostsExtraTime) {
+    auto ds = workload::make_dataset(20, 512, workload::Distribution::Uniform, 6);
+    auto run = [&](bool redundant) {
+        auto dev = make_device();
+        auto copy = ds.values;
+        StaOptions opts;
+        opts.include_redundant_tag_sort = redundant;
+        return sta_sort(dev, copy, ds.num_arrays, ds.array_size, opts);
+    };
+    const auto with = run(true);
+    const auto without = run(false);
+    EXPECT_GT(with.redundant_sort_ms, 0.0);
+    EXPECT_EQ(without.redundant_sort_ms, 0.0);
+    EXPECT_GT(with.modeled_ms, without.modeled_ms);
+}
+
+TEST(StaSort, StepBreakdownSumsToTotal) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(16, 400, workload::Distribution::Uniform, 7);
+    const auto s = sta_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    EXPECT_NEAR(s.modeled_ms,
+                s.tag_ms + s.convert_ms + s.redundant_sort_ms + s.value_sort_ms +
+                    s.restore_sort_ms,
+                1e-9);
+    EXPECT_GT(s.value_sort_ms, 0.0);
+    EXPECT_GT(s.restore_sort_ms, 0.0);
+}
+
+TEST(StaSort, EmptyInputsAreNoOps) {
+    auto dev = make_device();
+    std::vector<float> empty;
+    EXPECT_NO_THROW(sta_sort(dev, empty, 0, 0));
+}
+
+TEST(StaSort, ReleasesAllDeviceMemory) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(10, 200, workload::Distribution::Uniform, 8);
+    sta_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    EXPECT_EQ(dev.memory().bytes_in_use(), 0u);
+}
+
+TEST(StaSort, SingleArrayDegenerateCase) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(1, 1000, workload::Distribution::Reverse, 9);
+    StaOptions opts;
+    opts.validate = true;
+    EXPECT_NO_THROW(sta_sort(dev, ds.values, 1, 1000, opts));
+}
+
+}  // namespace

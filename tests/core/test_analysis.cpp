@@ -1,0 +1,79 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/gpu_array_sort.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+TEST(Analysis, PerfectlyBalancedBuckets) {
+    const std::vector<std::uint32_t> z(40, 20);
+    const auto a = gas::analyze_buckets(z, 10);
+    EXPECT_EQ(a.min_size, 20u);
+    EXPECT_EQ(a.max_size, 20u);
+    EXPECT_DOUBLE_EQ(a.mean_size, 20.0);
+    EXPECT_DOUBLE_EQ(a.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(a.imbalance, 1.0);
+    EXPECT_DOUBLE_EQ(a.empty_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(a.balance_penalty(), 1.0);
+}
+
+TEST(Analysis, SkewedBucketsRaisePenalty) {
+    // Same total mass, one bucket hoards it.
+    std::vector<std::uint32_t> z(10, 0);
+    z[0] = 200;
+    const auto a = gas::analyze_buckets(z, 10);
+    EXPECT_DOUBLE_EQ(a.mean_size, 20.0);
+    EXPECT_DOUBLE_EQ(a.imbalance, 10.0);
+    EXPECT_DOUBLE_EQ(a.empty_fraction, 0.9);
+    EXPECT_DOUBLE_EQ(a.balance_penalty(), 10.0);  // 200^2 / (10 * 20^2)
+}
+
+TEST(Analysis, EmptyInput) {
+    const auto a = gas::analyze_buckets({}, 0);
+    EXPECT_EQ(a.buckets, 0u);
+    EXPECT_DOUBLE_EQ(a.balance_penalty(), 1.0);
+}
+
+TEST(Analysis, HistogramPartitionsAllBuckets) {
+    const std::vector<std::uint32_t> z = {0, 1, 5, 10, 10, 20, 40};
+    const auto hist = gas::bucket_size_histogram(z, 4);
+    ASSERT_EQ(hist.size(), 4u);
+    EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), std::size_t{0}), z.size());
+    EXPECT_EQ(hist[3], 1u);  // the 40 lands in the last bin
+}
+
+TEST(Analysis, HistogramOfConstantSizes) {
+    const std::vector<std::uint32_t> z(16, 7);
+    const auto hist = gas::bucket_size_histogram(z, 4);
+    EXPECT_EQ(hist.back(), 16u);  // everything in the max bin
+}
+
+TEST(Analysis, CollectedZFromRealSortIsConsistent) {
+    simt::Device dev(simt::tiny_device(128 << 20));
+    auto ds = workload::make_dataset(20, 800, workload::Distribution::Uniform, 5);
+    gas::Options opts;
+    opts.collect_bucket_sizes = true;
+    const auto stats = gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    ASSERT_EQ(stats.bucket_sizes.size(), ds.num_arrays * stats.buckets_per_array);
+
+    const auto a = gas::analyze_buckets(stats.bucket_sizes, stats.buckets_per_array);
+    EXPECT_EQ(a.min_size, stats.min_bucket);
+    EXPECT_EQ(a.max_size, stats.max_bucket);
+    EXPECT_NEAR(a.mean_size, stats.avg_bucket, 1e-9);
+    // Z mass must equal the dataset: mean * count == total elements.
+    EXPECT_NEAR(a.mean_size * static_cast<double>(a.buckets),
+                static_cast<double>(ds.total_elements()), 1e-6);
+}
+
+TEST(Analysis, ZIsNotCollectedByDefault) {
+    simt::Device dev(simt::tiny_device(64 << 20));
+    auto ds = workload::make_dataset(5, 100, workload::Distribution::Uniform, 6);
+    const auto stats = gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    EXPECT_TRUE(stats.bucket_sizes.empty());
+}
+
+}  // namespace

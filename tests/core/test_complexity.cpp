@@ -1,0 +1,72 @@
+#include "core/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+const simt::DeviceProperties kProps = simt::tesla_k40c();
+
+TEST(Complexity, TermsGrowWithN) {
+    const auto small = gas::complexity_terms(500, gas::Options{}, kProps);
+    const auto big = gas::complexity_terms(2000, gas::Options{}, kProps);
+    EXPECT_GT(big.linear, small.linear);
+    EXPECT_GT(big.nlogn, small.nlogn);
+}
+
+TEST(Complexity, ZeroNIsZero) {
+    const auto t = gas::complexity_terms(0, gas::Options{}, kProps);
+    EXPECT_EQ(t.linear, 0.0);
+    EXPECT_EQ(t.nlogn, 0.0);
+}
+
+TEST(Complexity, FitRecoversSyntheticCoefficients) {
+    // Generate measurements exactly from the model: the fit must recover the
+    // coefficients and predict perfectly.
+    const gas::Options opts;
+    std::vector<std::size_t> sizes;
+    std::vector<double> measured;
+    const double a = 0.003;
+    const double b = 0.0015;
+    for (std::size_t n = 100; n <= 2000; n += 100) {
+        const auto t = gas::complexity_terms(n, opts, kProps);
+        sizes.push_back(n);
+        measured.push_back(a * t.linear + b * t.nlogn);
+    }
+    const auto fit = gas::fit_complexity(sizes, measured, opts, kProps);
+    EXPECT_NEAR(fit.pearson, 1.0, 1e-9);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        EXPECT_NEAR(fit.predicted_ms[i], measured[i], measured[i] * 1e-6);
+    }
+}
+
+TEST(Complexity, FitFallsBackToNonNegativeCoefficients) {
+    // Pure-linear data: the 2-term fit may go negative on b; the fallback
+    // must keep both coefficients >= 0 and still track the data.
+    const gas::Options opts;
+    std::vector<std::size_t> sizes;
+    std::vector<double> measured;
+    for (std::size_t n = 100; n <= 1000; n += 100) {
+        sizes.push_back(n);
+        measured.push_back(0.001 * static_cast<double>(n));
+    }
+    const auto fit = gas::fit_complexity(sizes, measured, opts, kProps);
+    EXPECT_GE(fit.a, 0.0);
+    EXPECT_GE(fit.b, 0.0);
+    EXPECT_GT(fit.pearson, 0.99);
+}
+
+TEST(Complexity, MismatchedInputsThrow) {
+    std::vector<std::size_t> sizes = {100, 200};
+    std::vector<double> measured = {1.0};
+    EXPECT_THROW((void)gas::fit_complexity(sizes, measured, gas::Options{}, kProps),
+                 std::invalid_argument);
+}
+
+TEST(Complexity, EmptyInputsYieldEmptyFit) {
+    const auto fit = gas::fit_complexity({}, {}, gas::Options{}, kProps);
+    EXPECT_TRUE(fit.predicted_ms.empty());
+}
+
+}  // namespace

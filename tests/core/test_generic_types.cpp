@@ -1,0 +1,164 @@
+// GPU-ArraySort over the non-float element types the library instantiates:
+// double, uint32_t and int32_t.  Every type must match a per-row std::sort
+// oracle, honor the in-place memory contract, and handle type-specific
+// extremes (double precision beyond float, unsigned wraparound candidates,
+// negative integers).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <random>
+
+#include "core/gpu_array_sort.hpp"
+#include "core/validate.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+template <typename T>
+std::vector<T> random_rows(std::size_t num_arrays, std::size_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<T> v(num_arrays * n);
+    if constexpr (std::is_floating_point_v<T>) {
+        std::uniform_real_distribution<T> u(static_cast<T>(-1e12), static_cast<T>(1e12));
+        for (auto& x : v) x = u(rng);
+    } else {
+        std::uniform_int_distribution<T> u(std::numeric_limits<T>::min(),
+                                           std::numeric_limits<T>::max());
+        for (auto& x : v) x = u(rng);
+    }
+    return v;
+}
+
+template <typename T>
+void sort_rows_host(std::vector<T>& v, std::size_t num_arrays, std::size_t n) {
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        std::sort(v.begin() + static_cast<std::ptrdiff_t>(a * n),
+                  v.begin() + static_cast<std::ptrdiff_t>((a + 1) * n));
+    }
+}
+
+template <typename T>
+class GenericSort : public ::testing::Test {};
+
+using ElementTypes = ::testing::Types<double, std::uint32_t, std::int32_t>;
+TYPED_TEST_SUITE(GenericSort, ElementTypes);
+
+TYPED_TEST(GenericSort, MatchesStdSort) {
+    using T = TypeParam;
+    simt::Device dev(simt::tiny_device(128 << 20));
+    const std::size_t num_arrays = 20;
+    const std::size_t n = 700;
+    auto data = random_rows<T>(num_arrays, n, 1);
+    auto expected = data;
+    sort_rows_host(expected, num_arrays, n);
+
+    gas::Options opts;
+    opts.validate = true;
+    gas::gpu_array_sort(dev, std::span<T>(data), num_arrays, n, opts);
+    EXPECT_EQ(data, expected);
+}
+
+TYPED_TEST(GenericSort, SmallAndDegenerateSizes) {
+    using T = TypeParam;
+    for (std::size_t n : {1u, 2u, 19u, 21u, 64u}) {
+        simt::Device dev(simt::tiny_device(64 << 20));
+        auto data = random_rows<T>(8, n, n);
+        auto expected = data;
+        sort_rows_host(expected, 8, n);
+        gas::gpu_array_sort(dev, std::span<T>(data), 8, n);
+        ASSERT_EQ(data, expected) << "n=" << n;
+    }
+}
+
+TYPED_TEST(GenericSort, DuplicateHeavyInput) {
+    using T = TypeParam;
+    simt::Device dev(simt::tiny_device(64 << 20));
+    std::mt19937_64 rng(3);
+    std::vector<T> data(12 * 400);
+    for (auto& x : data) x = static_cast<T>(rng() % 5);
+    auto expected = data;
+    sort_rows_host(expected, 12, 400);
+    gas::gpu_array_sort(dev, std::span<T>(data), 12, 400);
+    EXPECT_EQ(data, expected);
+}
+
+TYPED_TEST(GenericSort, ExtremeValuesSurvive) {
+    using T = TypeParam;
+    simt::Device dev(simt::tiny_device(64 << 20));
+    auto data = random_rows<T>(2, 100, 4);
+    data[0] = std::numeric_limits<T>::max();
+    data[1] = std::numeric_limits<T>::lowest();
+    data[150] = std::numeric_limits<T>::lowest();
+    auto expected = data;
+    sort_rows_host(expected, 2, 100);
+    gas::gpu_array_sort(dev, std::span<T>(data), 2, 100);
+    EXPECT_EQ(data, expected);
+    EXPECT_EQ(data[0], std::numeric_limits<T>::lowest());
+}
+
+TYPED_TEST(GenericSort, InPlaceOverheadStaysSmall) {
+    using T = TypeParam;
+    simt::Device dev(simt::tiny_device(128 << 20));
+    auto data = random_rows<T>(50, 1000, 5);
+    const auto stats = gas::gpu_array_sort(dev, std::span<T>(data), 50, 1000);
+    EXPECT_LT(stats.overhead_fraction(), 0.2);
+}
+
+TEST(GenericSort, DoubleUsesPrecisionBeyondFloat) {
+    // Adjacent doubles that collapse to the same float must stay ordered.
+    simt::Device dev(simt::tiny_device(64 << 20));
+    std::vector<double> data(64);
+    const double base = 1.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = base + static_cast<double>(data.size() - i) * 1e-13;
+    }
+    ASSERT_EQ(static_cast<float>(data[0]), static_cast<float>(data[1]));  // float-equal
+    gas::gpu_array_sort(dev, std::span<double>(data), 1, data.size());
+    EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+    EXPECT_LT(data.front(), data.back());
+}
+
+TEST(GenericSort, DoubleDescending) {
+    simt::Device dev(simt::tiny_device(64 << 20));
+    auto data = random_rows<double>(6, 300, 6);
+    gas::Options opts;
+    opts.order = gas::SortOrder::Descending;
+    opts.validate = true;
+    EXPECT_NO_THROW(gas::gpu_array_sort(dev, std::span<double>(data), 6, 300, opts));
+}
+
+TEST(GenericSort, IntegralDescendingIsRejected) {
+    simt::Device dev(simt::tiny_device(64 << 20));
+    auto data = random_rows<std::uint32_t>(2, 50, 7);
+    gas::Options opts;
+    opts.order = gas::SortOrder::Descending;
+    EXPECT_THROW(gas::gpu_array_sort(dev, std::span<std::uint32_t>(data), 2, 50, opts),
+                 std::invalid_argument);
+}
+
+TEST(GenericSort, DoubleShrinksSharedStagingLimit) {
+    // Doubles halve the number of elements that fit the 48 KB staging area;
+    // the plan must fall back to global scratch sooner than for floats.
+    const auto fplan = gas::make_plan(8000, gas::Options{}, simt::tesla_k40c(), sizeof(float));
+    const auto dplan = gas::make_plan(8000, gas::Options{}, simt::tesla_k40c(), sizeof(double));
+    EXPECT_TRUE(fplan.array_fits_shared);
+    EXPECT_FALSE(dplan.array_fits_shared);
+}
+
+TEST(GenericSort, UnsignedZeroLandsInFirstBucket) {
+    // For unsigned types the low sentinel equals 0, a real data value; the
+    // first-bucket-inclusive predicate must keep zeros.
+    simt::Device dev(simt::tiny_device(64 << 20));
+    std::vector<std::uint32_t> data(200, 0);
+    for (std::size_t i = 0; i < data.size(); i += 3) data[i] = static_cast<std::uint32_t>(i);
+    auto expected = data;
+    sort_rows_host(expected, 1, data.size());
+    gas::Options opts;
+    opts.validate = true;
+    gas::gpu_array_sort(dev, std::span<std::uint32_t>(data), 1, data.size(), opts);
+    EXPECT_EQ(data, expected);
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+#include "core/insertion_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/generators.hpp"
+
+namespace {
+
+TEST(InsertionSort, SortsRandomValues) {
+    auto v = workload::make_values(200, workload::Distribution::Uniform, 1);
+    auto expected = v;
+    std::sort(expected.begin(), expected.end());
+    gas::insertion_sort(v);
+    EXPECT_EQ(v, expected);
+}
+
+TEST(InsertionSort, HandlesEmptyAndSingleton) {
+    std::vector<float> empty;
+    EXPECT_NO_THROW(gas::insertion_sort(empty));
+    std::vector<float> one = {42.0f};
+    gas::insertion_sort(one);
+    EXPECT_EQ(one[0], 42.0f);
+}
+
+TEST(InsertionSort, SortedInputCostsLinearCompares) {
+    std::vector<float> v(100);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<float>(i);
+    const auto cost = gas::insertion_sort(v);
+    EXPECT_EQ(cost.compares, 99u);  // one compare per element, no shifts
+}
+
+TEST(InsertionSort, ReverseInputCostsQuadratic) {
+    std::vector<float> v(100);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<float>(100 - i);
+    const auto cost = gas::insertion_sort(v);
+    EXPECT_GE(cost.compares, 99u * 100u / 2u);
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(InsertionSort, StableOnDuplicates) {
+    // floats can't carry a tag, but determinism on duplicates still matters:
+    // all-equal input must stay untouched with minimal cost.
+    std::vector<float> v(50, 7.0f);
+    const auto cost = gas::insertion_sort(v);
+    EXPECT_EQ(cost.compares, 49u);
+    for (float x : v) EXPECT_EQ(x, 7.0f);
+}
+
+TEST(InsertionSort, HandlesInfinities) {
+    std::vector<float> v = {1.0f, -std::numeric_limits<float>::infinity(), 0.0f,
+                            std::numeric_limits<float>::infinity(), -5.0f};
+    gas::insertion_sort(v);
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+    EXPECT_EQ(v.front(), -std::numeric_limits<float>::infinity());
+    EXPECT_EQ(v.back(), std::numeric_limits<float>::infinity());
+}
+
+class InsertionSortSweep
+    : public ::testing::TestWithParam<std::tuple<workload::Distribution, int>> {};
+
+TEST_P(InsertionSortSweep, MatchesStdSort) {
+    const auto [dist, size] = GetParam();
+    auto v = workload::make_values(static_cast<std::size_t>(size), dist, 77);
+    auto expected = v;
+    std::sort(expected.begin(), expected.end());
+    gas::insertion_sort(v);
+    EXPECT_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, InsertionSortSweep,
+    ::testing::Combine(::testing::ValuesIn(workload::all_distributions()),
+                       ::testing::Values(2, 20, 101)),
+    [](const auto& pinfo) {
+        std::string name = workload::to_string(std::get<0>(pinfo.param)) + "_" +
+                           std::to_string(std::get<1>(pinfo.param));
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name;
+    });
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Parameterized property sweep for the key-value pair sort: every
+// (distribution, size, order) combination must yield ascending/descending
+// keys with the pair multiset preserved per row.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/pair_sort.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+struct Case {
+    workload::Distribution dist;
+    std::size_t n;
+    gas::SortOrder order;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& pinfo) {
+    std::string name = workload::to_string(pinfo.param.dist) + "_n" +
+                       std::to_string(pinfo.param.n) + "_" +
+                       gas::to_string(pinfo.param.order);
+    std::replace(name.begin(), name.end(), '-', '_');
+    return name;
+}
+
+class PairProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PairProperty, KeysOrderedPairsPreserved) {
+    const Case c = GetParam();
+    const std::size_t num_arrays = 12;
+    simt::Device dev(simt::tiny_device(128 << 20));
+
+    auto keys = workload::make_values(num_arrays * c.n, c.dist, c.n * 13 + 1);
+    std::vector<float> vals(keys.size());
+    std::iota(vals.begin(), vals.end(), 0.0f);
+    const auto keys_before = keys;
+    const auto vals_before = vals;
+
+    gas::Options opts;
+    opts.order = c.order;
+    gas::gpu_pair_sort(dev, keys, vals, num_arrays, c.n, opts);
+
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        const auto krow = std::span<const float>(keys).subspan(a * c.n, c.n);
+        if (c.order == gas::SortOrder::Ascending) {
+            ASSERT_TRUE(std::is_sorted(krow.begin(), krow.end())) << a;
+        } else {
+            ASSERT_TRUE(std::is_sorted(krow.begin(), krow.end(), std::greater<>())) << a;
+        }
+        std::vector<std::pair<float, float>> got;
+        std::vector<std::pair<float, float>> want;
+        for (std::size_t i = 0; i < c.n; ++i) {
+            got.emplace_back(keys[a * c.n + i], vals[a * c.n + i]);
+            want.emplace_back(keys_before[a * c.n + i], vals_before[a * c.n + i]);
+        }
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        ASSERT_EQ(got, want) << "row " << a << " pairs corrupted";
+    }
+}
+
+std::vector<Case> all_cases() {
+    std::vector<Case> cases;
+    for (auto dist : workload::all_distributions()) {
+        for (std::size_t n : {1u, 20u, 333u}) {
+            for (auto order : {gas::SortOrder::Ascending, gas::SortOrder::Descending}) {
+                cases.push_back({dist, n, order});
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, PairProperty, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+}  // namespace

@@ -1,0 +1,203 @@
+#include "core/pair_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "workload/generators.hpp"
+
+namespace {
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(256 << 20)); }
+
+/// Expected result: argsort the keys per row, apply to both arrays (stable
+/// argsort makes the expectation deterministic even with duplicate keys —
+/// the device sort is unstable, so value checks use multisets per key).
+struct PairRows {
+    std::vector<float> keys;
+    std::vector<float> values;
+};
+
+PairRows make_pairs(std::size_t num_arrays, std::size_t n, workload::Distribution dist,
+                    std::uint64_t seed) {
+    PairRows p;
+    p.keys = workload::make_values(num_arrays * n, dist, seed);
+    p.values.resize(p.keys.size());
+    std::iota(p.values.begin(), p.values.end(), 0.0f);  // unique payloads
+    return p;
+}
+
+void check_pairs_sorted(const PairRows& before, const PairRows& after, std::size_t num_arrays,
+                        std::size_t n, bool descending = false) {
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        const auto kb = std::span<const float>(before.keys).subspan(a * n, n);
+        const auto vb = std::span<const float>(before.values).subspan(a * n, n);
+        const auto ka = std::span<const float>(after.keys).subspan(a * n, n);
+        const auto va = std::span<const float>(after.values).subspan(a * n, n);
+
+        if (descending) {
+            ASSERT_TRUE(std::is_sorted(ka.begin(), ka.end(), std::greater<>())) << a;
+        } else {
+            ASSERT_TRUE(std::is_sorted(ka.begin(), ka.end())) << a;
+        }
+        // Pairs must survive intact: the multiset of (key, value) pairs is
+        // preserved within each row.
+        std::vector<std::pair<float, float>> pb;
+        std::vector<std::pair<float, float>> pa;
+        for (std::size_t i = 0; i < n; ++i) {
+            pb.emplace_back(kb[i], vb[i]);
+            pa.emplace_back(ka[i], va[i]);
+        }
+        std::sort(pb.begin(), pb.end());
+        std::sort(pa.begin(), pa.end());
+        ASSERT_EQ(pa, pb) << "row " << a << " pairs corrupted";
+    }
+}
+
+TEST(PairSort, SortsUniformPairsByKey) {
+    auto dev = make_device();
+    auto p = make_pairs(30, 500, workload::Distribution::Uniform, 1);
+    const auto before = p;
+    gas::gpu_pair_sort(dev, p.keys, p.values, 30, 500);
+    check_pairs_sorted(before, p, 30, 500);
+}
+
+TEST(PairSort, EveryDistribution) {
+    for (auto dist : workload::all_distributions()) {
+        auto dev = make_device();
+        auto p = make_pairs(10, 257, dist, 2);
+        const auto before = p;
+        gas::gpu_pair_sort(dev, p.keys, p.values, 10, 257);
+        check_pairs_sorted(before, p, 10, 257);
+    }
+}
+
+TEST(PairSort, DescendingOrder) {
+    auto dev = make_device();
+    auto p = make_pairs(12, 400, workload::Distribution::Uniform, 3);
+    const auto before = p;
+    gas::Options opts;
+    opts.order = gas::SortOrder::Descending;
+    gas::gpu_pair_sort(dev, p.keys, p.values, 12, 400, opts);
+    check_pairs_sorted(before, p, 12, 400, /*descending=*/true);
+}
+
+TEST(PairSort, RaggedVariant) {
+    auto dev = make_device();
+    auto ds = workload::make_ragged_dataset(40, 5, 600, workload::Distribution::Normal, 4);
+    std::vector<float> values(ds.values.size());
+    std::iota(values.begin(), values.end(), 0.0f);
+    std::vector<std::uint64_t> offsets(ds.offsets.begin(), ds.offsets.end());
+    const auto before_keys = ds.values;
+    const auto before_vals = values;
+
+    gas::gpu_ragged_pair_sort(dev, ds.values, values, offsets);
+
+    for (std::size_t a = 0; a < ds.num_arrays(); ++a) {
+        const std::size_t b = offsets[a];
+        const std::size_t n = offsets[a + 1] - b;
+        ASSERT_TRUE(std::is_sorted(ds.values.begin() + static_cast<std::ptrdiff_t>(b),
+                                   ds.values.begin() + static_cast<std::ptrdiff_t>(b + n)))
+            << a;
+        std::vector<std::pair<float, float>> pb;
+        std::vector<std::pair<float, float>> pa;
+        for (std::size_t i = 0; i < n; ++i) {
+            pb.emplace_back(before_keys[b + i], before_vals[b + i]);
+            pa.emplace_back(ds.values[b + i], values[b + i]);
+        }
+        std::sort(pb.begin(), pb.end());
+        std::sort(pa.begin(), pa.end());
+        ASSERT_EQ(pa, pb) << a;
+    }
+}
+
+TEST(PairSort, UsesZeroTemporaryGlobalMemory) {
+    auto dev = make_device();
+    auto p = make_pairs(20, 300, workload::Distribution::Uniform, 5);
+    simt::DeviceBuffer<float> keys(dev, p.keys.size());
+    simt::DeviceBuffer<float> values(dev, p.values.size());
+    simt::copy_to_device(std::span<const float>(p.keys), keys);
+    simt::copy_to_device(std::span<const float>(p.values), values);
+    const std::size_t peak = dev.memory().peak_bytes_in_use();
+    gas::sort_pairs_on_device(dev, keys, values, 20, 300);
+    EXPECT_EQ(dev.memory().peak_bytes_in_use(), peak);
+}
+
+TEST(PairSort, OversizedArraysThrow) {
+    auto dev = make_device();
+    // 2 x 8000 floats of shared staging exceed 48 KB.
+    std::vector<float> keys(8000, 1.0f);
+    std::vector<float> values(8000, 2.0f);
+    EXPECT_THROW(gas::gpu_pair_sort(dev, keys, values, 1, 8000), std::invalid_argument);
+}
+
+TEST(PairSort, MismatchedBuffersThrow) {
+    auto dev = make_device();
+    simt::DeviceBuffer<float> keys(dev, 100);
+    simt::DeviceBuffer<float> values(dev, 50);
+    EXPECT_THROW(gas::sort_pairs_on_device(dev, keys, values, 1, 100), std::invalid_argument);
+}
+
+TEST(PairSort, EmptyInputsAreNoOps) {
+    auto dev = make_device();
+    std::vector<float> empty;
+    EXPECT_NO_THROW(gas::gpu_pair_sort(dev, empty, empty, 0, 0));
+    std::vector<std::uint64_t> offsets;
+    EXPECT_NO_THROW(gas::gpu_ragged_pair_sort(dev, empty, empty, offsets));
+}
+
+TEST(PairSort, ReverseLaneOrderAgrees) {
+    auto run = [](simt::ThreadOrder order) {
+        simt::Device dev(simt::tiny_device(128 << 20));
+        dev.set_thread_order(order);
+        auto p = make_pairs(8, 300, workload::Distribution::Uniform, 6);
+        gas::gpu_pair_sort(dev, p.keys, p.values, 8, 300);
+        return std::pair{p.keys, p.values};
+    };
+    EXPECT_EQ(run(simt::ThreadOrder::Forward), run(simt::ThreadOrder::Reverse));
+}
+
+TEST(PairSort, DoublePrecisionPairs) {
+    // (intensity, m/z) in double: payloads with sub-float spacing must ride
+    // along exactly.  Keys are a permutation of 0..n-1 and each payload is
+    // derived from its key, so the post-sort pairing is fully checkable.
+    auto dev = make_device();
+    const std::size_t n = 256;
+    std::vector<double> keys(n);
+    std::vector<double> vals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        keys[i] = static_cast<double>((i * 73) % n);  // 73 coprime with 256
+        vals[i] = 500.0 + keys[i] * 1e-9;             // sub-float spacing
+    }
+    gas::gpu_pair_sort(dev, keys, vals, 1, n);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(keys[i], static_cast<double>(i));
+        ASSERT_EQ(vals[i], 500.0 + keys[i] * 1e-9) << i;
+    }
+}
+
+TEST(PairSort, DoubleRaggedDescending) {
+    auto dev = make_device();
+    std::vector<double> keys = {5, 1, 3, 9, 7, 2, 8};
+    std::vector<double> vals = {50, 10, 30, 90, 70, 20, 80};
+    std::vector<std::uint64_t> offsets = {0, 3, 7};
+    gas::Options opts;
+    opts.order = gas::SortOrder::Descending;
+    gas::gpu_ragged_pair_sort(dev, keys, vals, offsets, opts);
+    EXPECT_EQ(keys, (std::vector<double>{5, 3, 1, 9, 8, 7, 2}));
+    EXPECT_EQ(vals, (std::vector<double>{50, 30, 10, 90, 80, 70, 20}));
+}
+
+TEST(PairSort, MaxPaperSizedSpectraFitShared) {
+    // 4000-peak spectra (the paper's proteomics bound) must stage: 2 x 16 KB
+    // of pairs + bookkeeping < 48 KB.
+    auto dev = make_device();
+    auto p = make_pairs(3, 4000, workload::Distribution::Uniform, 7);
+    const auto before = p;
+    EXPECT_NO_THROW(gas::gpu_pair_sort(dev, p.keys, p.values, 3, 4000));
+    check_pairs_sorted(before, p, 3, 4000);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+#include "core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using gas::make_plan;
+using gas::Options;
+
+const simt::DeviceProperties kProps = simt::tesla_k40c();
+
+TEST(Plan, PaperGeometryForThousandElementArrays) {
+    const auto plan = make_plan(1000, Options{}, kProps);
+    EXPECT_EQ(plan.buckets, 50u);              // p = floor(n / 20)
+    EXPECT_EQ(plan.interior_splitters(), 49u); // q = p - 1
+    EXPECT_EQ(plan.splitters_per_array, 51u);  // q + 2 sentinels
+    EXPECT_EQ(plan.sample_size, 100u);         // 10% regular sampling
+    EXPECT_EQ(plan.block_threads, 50u);
+    EXPECT_TRUE(plan.array_fits_shared);
+}
+
+TEST(Plan, FourThousandElementArraysStillFitShared) {
+    // The paper's largest evaluated size; 4000 floats = 16 KB < 48 KB.
+    const auto plan = make_plan(4000, Options{}, kProps);
+    EXPECT_EQ(plan.buckets, 200u);
+    EXPECT_EQ(plan.sample_size, 400u);
+    EXPECT_TRUE(plan.array_fits_shared);
+}
+
+TEST(Plan, TinyArraysDegradeToSingleBucket) {
+    for (std::size_t n : {1u, 5u, 19u}) {
+        const auto plan = make_plan(n, Options{}, kProps);
+        EXPECT_EQ(plan.buckets, 1u) << n;
+        EXPECT_EQ(plan.splitters_per_array, 2u) << n;  // sentinels only
+        EXPECT_GE(plan.sample_size, 1u) << n;
+        EXPECT_LE(plan.sample_size, n) << n;
+    }
+}
+
+TEST(Plan, ZeroSizeArrays) {
+    const auto plan = make_plan(0, Options{}, kProps);
+    EXPECT_EQ(plan.buckets, 1u);
+    EXPECT_EQ(plan.block_threads, 1u);
+}
+
+TEST(Plan, BucketCountCappedByBlockThreadLimit) {
+    // n = 100k would want 5000 buckets; the device caps blocks at 1024
+    // threads, so p clamps and buckets grow instead.
+    const auto plan = make_plan(100000, Options{}, kProps);
+    EXPECT_EQ(plan.buckets, 1024u);
+    EXPECT_FALSE(plan.array_fits_shared);  // 400 KB array
+}
+
+TEST(Plan, ThreadsPerBucketShrinksBucketCap) {
+    Options opts;
+    opts.threads_per_bucket = 4;
+    const auto plan = make_plan(100000, opts, kProps);
+    EXPECT_EQ(plan.buckets, 256u);  // 1024 / 4
+    EXPECT_EQ(plan.block_threads, 1024u);
+}
+
+TEST(Plan, SampleNeverSmallerThanBucketCount) {
+    Options opts;
+    opts.sampling_rate = 0.001;  // would give 1 sample for n = 1000
+    const auto plan = make_plan(1000, opts, kProps);
+    EXPECT_GE(plan.sample_size, plan.buckets);
+}
+
+TEST(Plan, SampleNeverLargerThanArray) {
+    Options opts;
+    opts.sampling_rate = 1.0;
+    const auto plan = make_plan(500, opts, kProps);
+    EXPECT_EQ(plan.sample_size, 500u);
+}
+
+TEST(Plan, SampleCappedBySharedMemory) {
+    Options opts;
+    opts.sampling_rate = 1.0;
+    const auto plan = make_plan(100000, opts, kProps);
+    EXPECT_LE(plan.sample_size * sizeof(float), kProps.shared_memory_per_block);
+}
+
+TEST(Plan, InvalidOptionsThrow) {
+    Options bad_bucket;
+    bad_bucket.bucket_target = 0;
+    EXPECT_THROW((void)make_plan(1000, bad_bucket, kProps), std::invalid_argument);
+
+    Options bad_rate;
+    bad_rate.sampling_rate = 0.0;
+    EXPECT_THROW((void)make_plan(1000, bad_rate, kProps), std::invalid_argument);
+    bad_rate.sampling_rate = 1.5;
+    EXPECT_THROW((void)make_plan(1000, bad_rate, kProps), std::invalid_argument);
+
+    Options bad_tpb;
+    bad_tpb.threads_per_bucket = 0;
+    EXPECT_THROW((void)make_plan(1000, bad_tpb, kProps), std::invalid_argument);
+}
+
+TEST(Plan, BucketTargetSweepIsMonotone) {
+    std::size_t prev = SIZE_MAX;
+    for (std::size_t target : {5u, 10u, 20u, 50u, 100u}) {
+        Options opts;
+        opts.bucket_target = target;
+        const auto plan = make_plan(2000, opts, kProps);
+        EXPECT_LE(plan.buckets, prev);
+        prev = plan.buckets;
+    }
+}
+
+class PlanSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlanSweep, InvariantsHoldAcrossSizes) {
+    const std::size_t n = GetParam();
+    const auto plan = make_plan(n, Options{}, kProps);
+    EXPECT_GE(plan.buckets, 1u);
+    EXPECT_EQ(plan.splitters_per_array, plan.buckets + 1);
+    EXPECT_GE(plan.sample_size, plan.buckets);
+    EXPECT_LE(plan.sample_size, std::max<std::size_t>(n, 1));
+    EXPECT_LE(plan.block_threads, kProps.max_threads_per_block);
+    if (n > 0) {
+        // stride arithmetic used by the kernels must stay >= 1
+        EXPECT_GE(n / plan.sample_size, 1u);
+        EXPECT_GE(plan.sample_size / plan.buckets, 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlanSweep,
+                         ::testing::Values(1, 2, 3, 7, 19, 20, 21, 39, 40, 100, 333, 999,
+                                           1000, 1024, 2000, 2048, 3000, 4000, 5000, 12288,
+                                           20000, 100000));
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Property-based sweeps: GPU-ArraySort must equal per-row std::sort for every
+// combination of distribution, array size, bucketing strategy and thread
+// order the library supports.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/gpu_array_sort.hpp"
+#include "core/validate.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using gas::BucketingStrategy;
+using gas::Options;
+
+struct Case {
+    workload::Distribution dist;
+    std::size_t array_size;
+    BucketingStrategy strategy;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& pinfo) {
+    std::string name = workload::to_string(pinfo.param.dist) + "_n" +
+                       std::to_string(pinfo.param.array_size) + "_" +
+                       to_string(pinfo.param.strategy);
+    std::replace(name.begin(), name.end(), '-', '_');
+    return name;
+}
+
+class SortProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SortProperty, MatchesStdSortAndPreservesMultiset) {
+    const Case c = GetParam();
+    const std::size_t num_arrays = 24;
+    simt::Device dev(simt::tiny_device(256 << 20));
+
+    auto ds = workload::make_dataset(num_arrays, c.array_size, c.dist,
+                                     /*seed=*/c.array_size * 31 + 7);
+    auto expected = ds.values;
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        std::sort(expected.begin() + static_cast<std::ptrdiff_t>(a * c.array_size),
+                  expected.begin() + static_cast<std::ptrdiff_t>((a + 1) * c.array_size));
+    }
+
+    Options opts;
+    opts.strategy = c.strategy;
+    gas::gpu_array_sort(dev, ds.values, num_arrays, c.array_size, opts);
+    EXPECT_EQ(ds.values, expected);
+}
+
+std::vector<Case> all_cases() {
+    std::vector<Case> cases;
+    for (auto dist : workload::all_distributions()) {
+        for (std::size_t n : {1u, 19u, 20u, 64u, 257u, 1000u}) {
+            for (auto strat :
+                 {BucketingStrategy::ScanPerThread, BucketingStrategy::BinarySearch}) {
+                cases.push_back({dist, n, strat});
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, SortProperty, ::testing::ValuesIn(all_cases()),
+                         case_name);
+
+// Thread execution order must not affect results (race-freedom check).
+class OrderProperty : public ::testing::TestWithParam<workload::Distribution> {};
+
+TEST_P(OrderProperty, ForwardAndReverseLaneOrdersAgree) {
+    auto run = [&](simt::ThreadOrder order) {
+        simt::Device dev(simt::tiny_device(128 << 20));
+        dev.set_thread_order(order);
+        auto ds = workload::make_dataset(16, 500, GetParam(), 99);
+        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+        return ds.values;
+    };
+    EXPECT_EQ(run(simt::ThreadOrder::Forward), run(simt::ThreadOrder::Reverse));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, OrderProperty,
+                         ::testing::ValuesIn(workload::all_distributions()),
+                         [](const auto& pinfo) {
+                             std::string n = workload::to_string(pinfo.param);
+                             std::replace(n.begin(), n.end(), '-', '_');
+                             return n;
+                         });
+
+// Threads-per-bucket (ablation knob) must not change the result.
+class TpbProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TpbProperty, MultiThreadBucketingMatchesSingle) {
+    simt::Device dev(simt::tiny_device(128 << 20));
+    auto ds = workload::make_dataset(12, 640, workload::Distribution::Uniform, 13);
+    auto expected = ds.values;
+    for (std::size_t a = 0; a < ds.num_arrays; ++a) {
+        std::sort(expected.begin() + static_cast<std::ptrdiff_t>(a * ds.array_size),
+                  expected.begin() + static_cast<std::ptrdiff_t>((a + 1) * ds.array_size));
+    }
+    Options opts;
+    opts.threads_per_bucket = GetParam();
+    opts.validate = true;
+    gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    EXPECT_EQ(ds.values, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tpb, TpbProperty, ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+// Sampling-rate and bucket-target sweeps: correctness must hold at any
+// operating point, not just the paper's optimum.
+class TuningProperty
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(TuningProperty, CorrectAtEveryOperatingPoint) {
+    const auto [rate, target] = GetParam();
+    simt::Device dev(simt::tiny_device(128 << 20));
+    auto ds = workload::make_dataset(10, 900, workload::Distribution::Uniform, 17);
+    const auto before = ds.values;
+    Options opts;
+    opts.sampling_rate = rate;
+    opts.bucket_target = target;
+    gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+    EXPECT_TRUE(gas::all_arrays_permuted(before, ds.values, ds.num_arrays, ds.array_size));
+}
+
+INSTANTIATE_TEST_SUITE_P(RatesAndTargets, TuningProperty,
+                         ::testing::Combine(::testing::Values(0.02, 0.1, 0.5, 1.0),
+                                            ::testing::Values(5u, 20u, 100u, 1000u)));
+
+}  // namespace

@@ -1,0 +1,106 @@
+// The small-array fast path: single-bucket plans (n <= ~2x bucket target)
+// skip the three-phase machinery for a packed one-thread-per-array kernel
+// with zero temporary device memory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/gpu_array_sort.hpp"
+#include "core/validate.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(64 << 20)); }
+
+TEST(SmallArrays, UsesTheDedicatedKernel) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(1000, 10, workload::Distribution::Uniform, 1);
+    dev.clear_kernel_log();
+    gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    ASSERT_EQ(dev.kernel_log().size(), 1u);
+    EXPECT_EQ(dev.kernel_log().front().name, "gas.small_array_sort");
+    // 1000 arrays packed 256 per block.
+    EXPECT_EQ(dev.kernel_log().front().grid_dim, 4u);
+}
+
+TEST(SmallArrays, LargerArraysKeepTheThreePhasePath) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(10, 100, workload::Distribution::Uniform, 2);
+    dev.clear_kernel_log();
+    gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    ASSERT_EQ(dev.kernel_log().size(), 3u);
+    EXPECT_EQ(dev.kernel_log().front().name, "gas.phase1_splitters");
+}
+
+TEST(SmallArrays, ZeroTemporaryDeviceMemory) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(500, 16, workload::Distribution::Normal, 3);
+    simt::DeviceBuffer<float> buf(dev, ds.values.size());
+    simt::copy_to_device(std::span<const float>(ds.values), buf);
+    const std::size_t peak = dev.memory().peak_bytes_in_use();
+    const auto stats = gas::sort_arrays_on_device(dev, buf, ds.num_arrays, ds.array_size);
+    EXPECT_EQ(dev.memory().peak_bytes_in_use(), peak);
+    EXPECT_EQ(stats.peak_device_bytes, peak);
+}
+
+TEST(SmallArrays, FootprintModelReportsDataOnly) {
+    const std::size_t raw = 1000 * 10 * sizeof(float);
+    const std::size_t aligned = (raw + 255) / 256 * 256;
+    EXPECT_EQ(gas::device_footprint_bytes(1000, 10, gas::Options{}, simt::tesla_k40c()),
+              aligned);
+}
+
+TEST(SmallArrays, SortsCorrectlyAcrossSizesAndDistributions) {
+    for (auto dist : workload::all_distributions()) {
+        for (std::size_t n : {1u, 2u, 7u, 19u, 39u}) {
+            auto dev = make_device();
+            auto ds = workload::make_dataset(300, n, dist, n);
+            auto expected = ds.values;
+            for (std::size_t a = 0; a < ds.num_arrays; ++a) {
+                std::sort(expected.begin() + static_cast<std::ptrdiff_t>(a * n),
+                          expected.begin() + static_cast<std::ptrdiff_t>((a + 1) * n));
+            }
+            gas::Options opts;
+            opts.validate = true;
+            gas::gpu_array_sort(dev, ds.values, ds.num_arrays, n, opts);
+            ASSERT_EQ(ds.values, expected)
+                << workload::to_string(dist) << " n=" << n;
+        }
+    }
+}
+
+TEST(SmallArrays, DescendingWorksOnTheFastPath) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(200, 12, workload::Distribution::Uniform, 4);
+    gas::Options opts;
+    opts.order = gas::SortOrder::Descending;
+    opts.validate = true;
+    EXPECT_NO_THROW(gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts));
+    EXPECT_TRUE(gas::all_arrays_sorted_descending(ds.values, ds.num_arrays, ds.array_size));
+}
+
+TEST(SmallArrays, PacksBetterThanOneThreadBlocks) {
+    // The packed kernel must model much faster than N one-thread blocks
+    // would: its compute work per block wave is 256x denser.
+    auto dev = make_device();
+    auto ds = workload::make_dataset(4096, 20, workload::Distribution::Uniform, 5);
+    const auto stats = gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    // One packed kernel, 16 blocks, single wave on 15 SMs.
+    EXPECT_LT(stats.phase3.modeled_ms, 1.0);
+}
+
+TEST(SmallArrays, BucketDiagnosticsDegenerate) {
+    auto dev = make_device();
+    auto ds = workload::make_dataset(50, 8, workload::Distribution::Uniform, 6);
+    gas::Options opts;
+    opts.collect_bucket_sizes = true;
+    const auto stats = gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    EXPECT_EQ(stats.buckets_per_array, 1u);
+    EXPECT_EQ(stats.min_bucket, 8u);
+    EXPECT_EQ(stats.max_bucket, 8u);
+    EXPECT_EQ(stats.bucket_sizes.size(), 50u);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Statistical quality of regular-sampling splitter selection: the paper's
+// 10% / 20-element defaults must keep buckets usably balanced on uniform
+// data (their stated design goal), and balance must respond to the sampling
+// rate in the expected direction.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/gpu_array_sort.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+gas::BucketAnalysis run(double rate, workload::Distribution dist, std::uint64_t seed) {
+    simt::Device dev(simt::tiny_device(128 << 20));
+    auto ds = workload::make_dataset(100, 1000, dist, seed);
+    gas::Options opts;
+    opts.sampling_rate = rate;
+    opts.collect_bucket_sizes = true;
+    const auto stats = gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    return gas::analyze_buckets(stats.bucket_sizes, stats.buckets_per_array);
+}
+
+TEST(SplitterQuality, PaperDefaultsKeepUniformDataBalanced) {
+    const auto a = run(0.10, workload::Distribution::Uniform, 1);
+    EXPECT_NEAR(a.mean_size, 20.0, 1e-9);
+    // 10% sampling on uniform data: no bucket should explode.
+    EXPECT_LT(a.imbalance, 10.0);
+    EXPECT_LT(a.balance_penalty(), 5.0);
+    EXPECT_LT(a.empty_fraction, 0.2);
+}
+
+TEST(SplitterQuality, FullSamplingIsNearlyPerfect) {
+    const auto a = run(1.0, workload::Distribution::Uniform, 2);
+    // Sampling everything = exact splitters: bucket sizes within rounding.
+    EXPECT_LE(a.imbalance, 1.5);
+    EXPECT_LT(a.balance_penalty(), 1.3);
+}
+
+TEST(SplitterQuality, HigherRatesImproveBalance) {
+    const auto coarse = run(0.05, workload::Distribution::Uniform, 3);
+    const auto fine = run(0.5, workload::Distribution::Uniform, 3);
+    EXPECT_LT(fine.imbalance, coarse.imbalance);
+    EXPECT_LE(fine.balance_penalty(), coarse.balance_penalty());
+}
+
+TEST(SplitterQuality, ConstantDataCollapsesIntoOneBucket) {
+    const auto a = run(0.10, workload::Distribution::Constant, 4);
+    // The known degeneracy: every element equals every splitter, all land in
+    // the first bucket whose hi equals the value.
+    EXPECT_EQ(a.max_size, 1000u);
+    EXPECT_GT(a.empty_fraction, 0.9);
+}
+
+TEST(SplitterQuality, SamplingAdaptsToClusteredData) {
+    // The point of sampling-based splitter selection: splitters follow the
+    // data's own distribution, so even 8-cluster data stays usable (this is
+    // what distinguishes sample sort from fixed-range bucketing).
+    const auto clustered = run(0.10, workload::Distribution::Clustered, 5);
+    EXPECT_LT(clustered.imbalance, 20.0);
+    EXPECT_LT(clustered.balance_penalty(), 10.0);
+    EXPECT_NEAR(clustered.mean_size, 20.0, 1e-9);
+}
+
+TEST(SplitterQuality, SortednessOfInputDoesNotHurtCorrectBalance) {
+    // Regular sampling of an already-sorted array picks perfectly spaced
+    // splitters — balance should be excellent.
+    const auto a = run(0.10, workload::Distribution::Sorted, 6);
+    EXPECT_LE(a.imbalance, 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Differential fuzzing: random (N, n, distribution, options) configurations,
+// three independent implementations — GPU-ArraySort, STA, host std::sort —
+// must agree bit-for-bit on every row.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "baseline/cpu_sort.hpp"
+#include "baseline/sta_sort.hpp"
+#include "core/gpu_array_sort.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+struct FuzzConfig {
+    std::size_t num_arrays;
+    std::size_t array_size;
+    workload::Distribution dist;
+    gas::Options opts;
+};
+
+FuzzConfig random_config(std::mt19937_64& rng) {
+    FuzzConfig c;
+    c.num_arrays = 1 + rng() % 40;
+    c.array_size = 1 + rng() % 1200;
+    const auto& dists = workload::all_distributions();
+    c.dist = dists[rng() % dists.size()];
+    c.opts.bucket_target = 1 + rng() % 64;
+    c.opts.sampling_rate = 0.02 + 0.9 * static_cast<double>(rng() % 1000) / 1000.0;
+    c.opts.strategy = rng() % 2 == 0 ? gas::BucketingStrategy::ScanPerThread
+                                     : gas::BucketingStrategy::BinarySearch;
+    c.opts.threads_per_bucket =
+        c.opts.strategy == gas::BucketingStrategy::ScanPerThread ? 1u + rng() % 4 : 1u;
+    return c;
+}
+
+class Differential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Differential, ThreeImplementationsAgree) {
+    std::mt19937_64 rng(GetParam());
+    for (int trial = 0; trial < 6; ++trial) {
+        const FuzzConfig c = random_config(rng);
+        auto ds = workload::make_dataset(c.num_arrays, c.array_size, c.dist, rng());
+
+        auto via_cpu = ds.values;
+        baseline::cpu_sort_arrays(via_cpu, c.num_arrays, c.array_size);
+
+        auto via_gas = ds.values;
+        {
+            simt::Device dev(simt::tiny_device(128 << 20));
+            gas::gpu_array_sort(dev, via_gas, c.num_arrays, c.array_size, c.opts);
+        }
+        ASSERT_EQ(via_gas, via_cpu)
+            << "GPU-ArraySort mismatch: N=" << c.num_arrays << " n=" << c.array_size
+            << " dist=" << workload::to_string(c.dist)
+            << " bucket_target=" << c.opts.bucket_target
+            << " rate=" << c.opts.sampling_rate << " strategy="
+            << gas::to_string(c.opts.strategy) << " tpb=" << c.opts.threads_per_bucket;
+
+        auto via_sta = ds.values;
+        {
+            simt::Device dev(simt::tiny_device(128 << 20));
+            sta::sta_sort(dev, via_sta, c.num_arrays, c.array_size);
+        }
+        ASSERT_EQ(via_sta, via_cpu)
+            << "STA mismatch: N=" << c.num_arrays << " n=" << c.array_size
+            << " dist=" << workload::to_string(c.dist);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808, 909,
+                                           1010, 1111, 1212));
+
+TEST(Differential, DescendingAgainstReversedOracle) {
+    std::mt19937_64 rng(42);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t num_arrays = 1 + rng() % 20;
+        const std::size_t n = 1 + rng() % 800;
+        auto ds = workload::make_dataset(num_arrays, n, workload::Distribution::Uniform,
+                                         rng());
+        auto oracle = ds.values;
+        baseline::cpu_sort_arrays(oracle, num_arrays, n);
+        for (std::size_t a = 0; a < num_arrays; ++a) {
+            std::reverse(oracle.begin() + static_cast<std::ptrdiff_t>(a * n),
+                         oracle.begin() + static_cast<std::ptrdiff_t>((a + 1) * n));
+        }
+
+        simt::Device dev(simt::tiny_device(64 << 20));
+        gas::Options opts;
+        opts.order = gas::SortOrder::Descending;
+        gas::gpu_array_sort(dev, ds.values, num_arrays, n, opts);
+        ASSERT_EQ(ds.values, oracle) << "trial " << trial << " N=" << num_arrays
+                                     << " n=" << n;
+    }
+}
+
+}  // namespace

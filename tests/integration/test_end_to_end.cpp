@@ -1,0 +1,152 @@
+// Cross-module integration tests: the three sorters must agree, the cost
+// model must rank them the way the paper's evaluation does, and the domain
+// pipeline must run end-to-end through file IO, reduction and sorting.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "baseline/cpu_sort.hpp"
+#include "baseline/sta_sort.hpp"
+#include "core/gpu_array_sort.hpp"
+#include "core/validate.hpp"
+#include "msdata/mgf_io.hpp"
+#include "msdata/pipeline.hpp"
+#include "msdata/synth.hpp"
+#include "ooc/out_of_core.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+TEST(EndToEnd, AllThreeSortersAgree) {
+    auto ds = workload::make_dataset(30, 600, workload::Distribution::Uniform, 21);
+    auto via_cpu = ds.values;
+    auto via_gas = ds.values;
+    auto via_sta = ds.values;
+
+    baseline::cpu_sort_arrays(via_cpu, ds.num_arrays, ds.array_size);
+
+    simt::Device dev1(simt::tiny_device(256 << 20));
+    gas::gpu_array_sort(dev1, via_gas, ds.num_arrays, ds.array_size);
+
+    simt::Device dev2(simt::tiny_device(256 << 20));
+    sta::sta_sort(dev2, via_sta, ds.num_arrays, ds.array_size);
+
+    EXPECT_EQ(via_gas, via_cpu);
+    EXPECT_EQ(via_sta, via_cpu);
+}
+
+TEST(EndToEnd, GpuArraySortModeledFasterThanSta) {
+    // The paper's headline result (Figs. 4-7): GPU-ArraySort beats STA.
+    // The cost model must reproduce the ranking at a bench-sized workload.
+    auto ds = workload::make_dataset(256, 1000, workload::Distribution::Uniform, 22);
+
+    simt::Device dev1(simt::tiny_device(512 << 20));
+    auto copy1 = ds.values;
+    const auto g = gas::gpu_array_sort(dev1, copy1, ds.num_arrays, ds.array_size);
+
+    simt::Device dev2(simt::tiny_device(512 << 20));
+    auto copy2 = ds.values;
+    const auto s = sta::sta_sort(dev2, copy2, ds.num_arrays, ds.array_size);
+
+    EXPECT_LT(g.modeled_kernel_ms(), s.modeled_ms);
+}
+
+TEST(EndToEnd, GpuArraySortUsesLessMemoryThanSta) {
+    // Table 1's mechanism: STA's footprint per element is ~3x GPU-ArraySort's.
+    auto ds = workload::make_dataset(128, 1000, workload::Distribution::Uniform, 23);
+
+    simt::Device dev1(simt::tiny_device(512 << 20));
+    auto copy1 = ds.values;
+    const auto g = gas::gpu_array_sort(dev1, copy1, ds.num_arrays, ds.array_size);
+
+    simt::Device dev2(simt::tiny_device(512 << 20));
+    auto copy2 = ds.values;
+    const auto s = sta::sta_sort(dev2, copy2, ds.num_arrays, ds.array_size);
+
+    EXPECT_GT(static_cast<double>(s.peak_device_bytes),
+              2.5 * static_cast<double>(g.peak_device_bytes));
+}
+
+TEST(EndToEnd, ModeledTimeGrowsLinearlyInN) {
+    // One block per array with no inter-array coupling: doubling N should
+    // roughly double modeled time (the scaling that justifies running the
+    // figure benches on a scaled N grid).
+    auto run = [](std::size_t num_arrays) {
+        simt::Device dev(simt::tiny_device(512 << 20));
+        auto ds = workload::make_dataset(num_arrays, 500, workload::Distribution::Uniform, 24);
+        const auto stats = gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+        return stats.modeled_kernel_ms();
+    };
+    const double t1 = run(512);
+    const double t2 = run(1024);
+    EXPECT_GT(t2 / t1, 1.6);
+    EXPECT_LT(t2 / t1, 2.4);
+}
+
+TEST(EndToEnd, MassSpecPipelineThroughFileIo) {
+    // Generate -> write MGF -> read MGF -> reduce on device -> sort by
+    // intensity on device: the full domain workflow from the introduction.
+    msdata::SynthOptions sopts;
+    sopts.min_peaks = 50;
+    sopts.max_peaks = 300;
+    auto set = msdata::generate_spectra(15, sopts);
+
+    std::stringstream file;
+    msdata::write_mgf(file, set);
+    auto loaded = msdata::read_mgf(file);
+    ASSERT_EQ(loaded.size(), set.size());
+
+    simt::Device dev(simt::tiny_device(128 << 20));
+    const auto reduce_stats = msdata::reduce_spectra(dev, loaded, 0.3);
+    EXPECT_LT(reduce_stats.peaks_out, reduce_stats.peaks_in);
+
+    const auto sort_stats = msdata::sort_spectra_by_intensity(dev, loaded);
+    EXPECT_GT(sort_stats.sort.modeled_kernel_ms() + sort_stats.sort.phase2.modeled_ms, 0.0);
+    for (const auto& s : loaded.spectra) {
+        EXPECT_TRUE(std::is_sorted(s.peaks.begin(), s.peaks.end(),
+                                   [](const auto& a, const auto& b) {
+                                       return a.intensity < b.intensity;
+                                   }));
+    }
+}
+
+TEST(EndToEnd, OutOfCoreMatchesInCoreResult) {
+    auto ds = workload::make_dataset(80, 400, workload::Distribution::Normal, 25);
+    auto in_core = ds.values;
+    auto out_core = ds.values;
+
+    simt::Device big(simt::tiny_device(256 << 20));
+    gas::gpu_array_sort(big, in_core, ds.num_arrays, ds.array_size);
+
+    simt::Device small(simt::tiny_device(256 << 10));
+    const auto stats = ooc::out_of_core_sort(small, out_core, ds.num_arrays, ds.array_size);
+    EXPECT_GT(stats.batches, 1u);
+    EXPECT_EQ(out_core, in_core);
+}
+
+TEST(EndToEnd, CapacityProbeFindsAllocatorLimit) {
+    // Bisection against a virtual-mode device must find the largest N that
+    // fits — the Table 1 methodology at miniature scale.
+    const std::size_t n = 1000;
+    simt::DeviceProperties props = simt::tiny_device(16 << 20);  // 16 MB
+
+    auto fits = [&](std::size_t num_arrays) {
+        return gas::device_footprint_bytes(num_arrays, n, gas::Options{}, props) <=
+               props.global_memory_bytes;
+    };
+    std::size_t lo = 1;
+    std::size_t hi = 1 << 16;
+    while (lo + 1 < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        (fits(mid) ? lo : hi) = mid;
+    }
+    EXPECT_TRUE(fits(lo));
+    EXPECT_FALSE(fits(lo + 1));
+    // ~16 MB / 4.3 KB per array.
+    EXPECT_GT(lo, 3000u);
+    EXPECT_LT(lo, 4200u);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+#include "msdata/binning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "msdata/synth.hpp"
+
+namespace {
+
+using msdata::BinningOptions;
+
+msdata::Spectrum make_spectrum(std::initializer_list<msdata::Peak> peaks) {
+    msdata::Spectrum s;
+    s.peaks = peaks;
+    return s;
+}
+
+TEST(Binning, BinCountFromOptions) {
+    BinningOptions opts;
+    opts.min_mz = 0.0f;
+    opts.max_mz = 10.0f;
+    opts.bin_width = 1.0f;
+    EXPECT_EQ(msdata::bin_count(opts), 10u);
+    opts.bin_width = 3.0f;
+    EXPECT_EQ(msdata::bin_count(opts), 4u);  // ceil(10 / 3)
+}
+
+TEST(Binning, InvalidOptionsThrow) {
+    BinningOptions opts;
+    opts.bin_width = 0.0f;
+    EXPECT_THROW((void)msdata::bin_count(opts), std::invalid_argument);
+    opts.bin_width = 1.0f;
+    opts.max_mz = opts.min_mz;
+    EXPECT_THROW((void)msdata::bin_count(opts), std::invalid_argument);
+}
+
+TEST(Binning, PeaksAccumulateIntoBins) {
+    BinningOptions opts;
+    opts.min_mz = 0.0f;
+    opts.max_mz = 5.0f;
+    opts.bin_width = 1.0f;
+    const auto s = make_spectrum({{0.5f, 10.0f}, {0.9f, 5.0f}, {3.2f, 7.0f}});
+    const auto bins = msdata::bin_spectrum(s, opts);
+    ASSERT_EQ(bins.size(), 5u);
+    EXPECT_EQ(bins[0], 15.0f);
+    EXPECT_EQ(bins[1], 0.0f);
+    EXPECT_EQ(bins[3], 7.0f);
+}
+
+TEST(Binning, OutOfRangePeaksAreDropped) {
+    BinningOptions opts;
+    opts.min_mz = 100.0f;
+    opts.max_mz = 200.0f;
+    const auto s = make_spectrum({{50.0f, 10.0f}, {250.0f, 10.0f}, {150.0f, 3.0f}});
+    const auto bins = msdata::bin_spectrum(s, opts);
+    float total = 0.0f;
+    for (float b : bins) total += b;
+    EXPECT_EQ(total, 3.0f);
+}
+
+TEST(Binning, CosineOfIdenticalSpectraIsOne) {
+    const auto s = make_spectrum({{105.0f, 3.0f}, {250.5f, 8.0f}, {900.0f, 1.0f}});
+    const auto bins = msdata::bin_spectrum(s);
+    EXPECT_NEAR(msdata::cosine_similarity(bins, bins), 1.0, 1e-12);
+}
+
+TEST(Binning, CosineOfDisjointSpectraIsZero) {
+    const auto a = msdata::bin_spectrum(make_spectrum({{105.0f, 3.0f}}));
+    const auto b = msdata::bin_spectrum(make_spectrum({{905.0f, 3.0f}}));
+    EXPECT_EQ(msdata::cosine_similarity(a, b), 0.0);
+}
+
+TEST(Binning, CosineHandlesAllZeroVectors) {
+    const std::vector<float> zero(100, 0.0f);
+    std::vector<float> some(100, 0.0f);
+    some[3] = 1.0f;
+    EXPECT_EQ(msdata::cosine_similarity(zero, some), 0.0);
+    EXPECT_EQ(msdata::cosine_similarity(zero, zero), 0.0);
+}
+
+TEST(Binning, CosineDimensionMismatchThrows) {
+    EXPECT_THROW((void)msdata::cosine_similarity(std::vector<float>(3), std::vector<float>(4)),
+                 std::invalid_argument);
+}
+
+TEST(Binning, SearchRanksSelfFirst) {
+    auto set = msdata::generate_spectra(10);
+    const auto scores = msdata::search_similarity(set, set.spectra[4]);
+    ASSERT_EQ(scores.size(), 10u);
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        EXPECT_LE(scores[i], scores[4] + 1e-12) << i;
+    }
+    EXPECT_NEAR(scores[4], 1.0, 1e-12);
+}
+
+}  // namespace

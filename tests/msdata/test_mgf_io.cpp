@@ -1,0 +1,104 @@
+#include "msdata/mgf_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "msdata/synth.hpp"
+
+namespace {
+
+TEST(MgfIo, RoundTripsSyntheticSpectra) {
+    msdata::SynthOptions opts;
+    opts.min_peaks = 5;
+    opts.max_peaks = 50;
+    const auto original = msdata::generate_spectra(12, opts);
+
+    std::stringstream ss;
+    msdata::write_mgf(ss, original);
+    const auto parsed = msdata::read_mgf(ss);
+
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        const auto& a = original.spectra[i];
+        const auto& b = parsed.spectra[i];
+        EXPECT_EQ(a.title, b.title);
+        EXPECT_EQ(a.charge, b.charge);
+        EXPECT_NEAR(a.precursor_mz, b.precursor_mz, 1e-3);
+        ASSERT_EQ(a.peaks.size(), b.peaks.size());
+        for (std::size_t k = 0; k < a.peaks.size(); ++k) {
+            EXPECT_NEAR(a.peaks[k].mz, b.peaks[k].mz, a.peaks[k].mz * 1e-5f);
+            EXPECT_NEAR(a.peaks[k].intensity, b.peaks[k].intensity,
+                        a.peaks[k].intensity * 1e-5f);
+        }
+    }
+}
+
+TEST(MgfIo, ParsesHandWrittenFile) {
+    const std::string text =
+        "# comment\n"
+        "BEGIN IONS\n"
+        "TITLE=scan 1\n"
+        "PEPMASS=445.12\n"
+        "CHARGE=2+\n"
+        "100.5 200.25\n"
+        "101.5 50\n"
+        "END IONS\n";
+    std::istringstream is(text);
+    const auto set = msdata::read_mgf(is);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.spectra[0].title, "scan 1");
+    EXPECT_EQ(set.spectra[0].charge, 2);
+    ASSERT_EQ(set.spectra[0].peaks.size(), 2u);
+    EXPECT_FLOAT_EQ(set.spectra[0].peaks[1].mz, 101.5f);
+}
+
+TEST(MgfIo, HandlesCrlfLineEndings) {
+    std::istringstream is("BEGIN IONS\r\nTITLE=x\r\n1.0 2.0\r\nEND IONS\r\n");
+    const auto set = msdata::read_mgf(is);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.spectra[0].title, "x");
+}
+
+TEST(MgfIo, RejectsUnterminatedSpectrum) {
+    std::istringstream is("BEGIN IONS\nTITLE=x\n1.0 2.0\n");
+    EXPECT_THROW(msdata::read_mgf(is), std::runtime_error);
+}
+
+TEST(MgfIo, RejectsNestedBegin) {
+    std::istringstream is("BEGIN IONS\nBEGIN IONS\nEND IONS\n");
+    EXPECT_THROW(msdata::read_mgf(is), std::runtime_error);
+}
+
+TEST(MgfIo, RejectsStrayEnd) {
+    std::istringstream is("END IONS\n");
+    EXPECT_THROW(msdata::read_mgf(is), std::runtime_error);
+}
+
+TEST(MgfIo, RejectsMalformedPeakLine) {
+    std::istringstream is("BEGIN IONS\nnot a peak\nEND IONS\n");
+    EXPECT_THROW(msdata::read_mgf(is), std::runtime_error);
+}
+
+TEST(MgfIo, IgnoresUnknownHeaders) {
+    std::istringstream is(
+        "BEGIN IONS\nTITLE=t\nRTINSECONDS=12.5\nSCANS=3\n5.0 6.0\nEND IONS\n");
+    const auto set = msdata::read_mgf(is);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.spectra[0].peaks.size(), 1u);
+}
+
+TEST(MgfIo, FileRoundTrip) {
+    const auto original = msdata::generate_spectra(3);
+    const std::string path = ::testing::TempDir() + "/gas_test.mgf";
+    msdata::write_mgf_file(path, original);
+    const auto parsed = msdata::read_mgf_file(path);
+    EXPECT_EQ(parsed.size(), original.size());
+    EXPECT_EQ(parsed.total_peaks(), original.total_peaks());
+}
+
+TEST(MgfIo, MissingFileThrows) {
+    EXPECT_THROW(msdata::read_mgf_file("/nonexistent/path.mgf"), std::runtime_error);
+}
+
+}  // namespace

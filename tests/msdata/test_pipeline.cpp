@@ -1,0 +1,121 @@
+#include "msdata/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "msdata/synth.hpp"
+
+namespace {
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(256 << 20)); }
+
+msdata::SpectraSet small_set(std::size_t count = 20) {
+    msdata::SynthOptions opts;
+    opts.min_peaks = 30;
+    opts.max_peaks = 400;
+    opts.seed = 11;
+    return msdata::generate_spectra(count, opts);
+}
+
+TEST(Pipeline, SortByIntensityOrdersEverySpectrum) {
+    auto dev = make_device();
+    auto set = small_set();
+    const std::size_t peaks_before = set.total_peaks();
+
+    const auto stats = msdata::sort_spectra_by_intensity(dev, set);
+    EXPECT_EQ(stats.peaks_in, peaks_before);
+    EXPECT_EQ(stats.peaks_out, peaks_before);
+    for (const auto& s : set.spectra) {
+        EXPECT_TRUE(std::is_sorted(s.peaks.begin(), s.peaks.end(),
+                                   [](const msdata::Peak& a, const msdata::Peak& b) {
+                                       return a.intensity < b.intensity;
+                                   }));
+    }
+}
+
+TEST(Pipeline, SortKeepsPeakPairsIntact) {
+    auto dev = make_device();
+    auto set = small_set(5);
+    // Remember the (mz -> intensity) multiset per spectrum.
+    std::vector<std::vector<msdata::Peak>> before;
+    for (auto& s : set.spectra) {
+        auto peaks = s.peaks;
+        std::sort(peaks.begin(), peaks.end(), [](const auto& a, const auto& b) {
+            return std::pair(a.mz, a.intensity) < std::pair(b.mz, b.intensity);
+        });
+        before.push_back(std::move(peaks));
+    }
+    msdata::sort_spectra_by_intensity(dev, set);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        auto peaks = set.spectra[i].peaks;
+        std::sort(peaks.begin(), peaks.end(), [](const auto& a, const auto& b) {
+            return std::pair(a.mz, a.intensity) < std::pair(b.mz, b.intensity);
+        });
+        EXPECT_EQ(peaks, before[i]) << "spectrum " << i << " pairs corrupted";
+    }
+}
+
+TEST(Pipeline, ReduceKeepsRequestedFraction) {
+    auto dev = make_device();
+    auto set = small_set();
+    const auto stats = msdata::reduce_spectra(dev, set, 0.25);
+    EXPECT_LT(stats.peaks_out, stats.peaks_in);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        const auto& s = set.spectra[i];
+        // At least a quarter survives (ties can keep a few more).
+        EXPECT_GE(s.size() * 4 + 4, stats.peaks_in / set.size() / 4);
+        EXPECT_FALSE(s.peaks.empty());
+    }
+}
+
+TEST(Pipeline, ReduceKeepsTheMostIntensePeaks) {
+    auto dev = make_device();
+    auto set = small_set(6);
+    std::vector<float> max_intensity;
+    for (const auto& s : set.spectra) {
+        float m = 0.0f;
+        for (const auto& p : s.peaks) m = std::max(m, p.intensity);
+        max_intensity.push_back(m);
+    }
+    msdata::reduce_spectra(dev, set, 0.1);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        float m = 0.0f;
+        for (const auto& p : set.spectra[i].peaks) m = std::max(m, p.intensity);
+        EXPECT_EQ(m, max_intensity[i]) << "top peak must survive reduction";
+    }
+}
+
+TEST(Pipeline, ReducePreservesScanOrder) {
+    auto dev = make_device();
+    auto set = small_set(4);
+    msdata::reduce_spectra(dev, set, 0.5);
+    for (const auto& s : set.spectra) {
+        EXPECT_TRUE(std::is_sorted(s.peaks.begin(), s.peaks.end(),
+                                   [](const auto& a, const auto& b) { return a.mz < b.mz; }));
+    }
+}
+
+TEST(Pipeline, ReduceRejectsBadFraction) {
+    auto dev = make_device();
+    auto set = small_set(2);
+    EXPECT_THROW(msdata::reduce_spectra(dev, set, 0.0), std::invalid_argument);
+    EXPECT_THROW(msdata::reduce_spectra(dev, set, 1.5), std::invalid_argument);
+}
+
+TEST(Pipeline, EmptySetIsNoOp) {
+    auto dev = make_device();
+    msdata::SpectraSet empty;
+    EXPECT_NO_THROW(msdata::sort_spectra_by_intensity(dev, empty));
+    EXPECT_NO_THROW(msdata::reduce_spectra(dev, empty, 0.5));
+}
+
+TEST(Pipeline, FullReductionKeepsEverything) {
+    auto dev = make_device();
+    auto set = small_set(3);
+    const std::size_t before = set.total_peaks();
+    msdata::reduce_spectra(dev, set, 1.0);
+    EXPECT_EQ(set.total_peaks(), before);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+#include "msdata/precursor_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "msdata/synth.hpp"
+
+namespace {
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(128 << 20)); }
+
+msdata::SpectraSet set_with_precursors(std::initializer_list<double> masses) {
+    msdata::SpectraSet set;
+    for (double m : masses) {
+        msdata::Spectrum s;
+        s.precursor_mz = m;
+        s.peaks.push_back({100.0f, 1.0f});
+        set.spectra.push_back(std::move(s));
+    }
+    return set;
+}
+
+TEST(PrecursorIndex, SortsMassesAscending) {
+    auto dev = make_device();
+    const auto set = set_with_precursors({500.5, 300.1, 900.9, 700.7, 100.0});
+    const msdata::PrecursorIndex index(dev, set);
+    EXPECT_EQ(index.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(index.sorted_mz().begin(), index.sorted_mz().end()));
+    EXPECT_EQ(index.sorted_mz().front(), 100.0);
+    EXPECT_EQ(index.sorted_mz().back(), 900.9);
+}
+
+TEST(PrecursorIndex, QueryReturnsIdsInWindow) {
+    auto dev = make_device();
+    const auto set = set_with_precursors({500.0, 501.0, 502.0, 499.0, 800.0});
+    const msdata::PrecursorIndex index(dev, set);
+    const auto hits = index.query(500.5, 1.0);  // [499.5, 501.5] -> 500, 501
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(set.spectra[hits[0]].precursor_mz, 500.0);
+    EXPECT_EQ(set.spectra[hits[1]].precursor_mz, 501.0);
+}
+
+TEST(PrecursorIndex, EmptyWindowAndEmptySet) {
+    auto dev = make_device();
+    const auto set = set_with_precursors({500.0});
+    const msdata::PrecursorIndex index(dev, set);
+    EXPECT_TRUE(index.query(600.0, 1.0).empty());
+
+    const msdata::SpectraSet empty;
+    const msdata::PrecursorIndex empty_index(dev, empty);
+    EXPECT_EQ(empty_index.size(), 0u);
+    EXPECT_TRUE(empty_index.query(500.0, 10.0).empty());
+}
+
+TEST(PrecursorIndex, PpmQueryScalesWithMass) {
+    auto dev = make_device();
+    const auto set = set_with_precursors({1000.0, 1000.005, 1000.02});
+    const msdata::PrecursorIndex index(dev, set);
+    // 10 ppm of 1000 = 0.01: picks the first two.
+    EXPECT_EQ(index.query_ppm(1000.0, 10.0).size(), 2u);
+    // 30 ppm picks all three.
+    EXPECT_EQ(index.query_ppm(1000.0, 30.0).size(), 3u);
+}
+
+TEST(PrecursorIndex, LargeSetUsesChunkedSortCorrectly) {
+    // > 2048 spectra forces the chunked device sort + host merge path.
+    auto dev = make_device();
+    msdata::SynthOptions opts;
+    opts.min_peaks = 1;
+    opts.max_peaks = 3;
+    auto set = msdata::generate_spectra(5000, opts);
+    const msdata::PrecursorIndex index(dev, set);
+    ASSERT_EQ(index.size(), 5000u);
+    EXPECT_TRUE(std::is_sorted(index.sorted_mz().begin(), index.sorted_mz().end()));
+
+    // Every id appears exactly once.
+    const auto all = index.query(1000.0, 1e9);
+    std::vector<std::size_t> ids(all.begin(), all.end());
+    std::sort(ids.begin(), ids.end());
+    for (std::size_t i = 0; i < ids.size(); ++i) ASSERT_EQ(ids[i], i);
+
+    // Window results agree with a brute-force filter.
+    const auto hits = index.query(900.0, 25.0);
+    std::size_t brute = 0;
+    for (const auto& s : set.spectra) {
+        if (s.precursor_mz >= 875.0 && s.precursor_mz <= 925.0) ++brute;
+    }
+    EXPECT_EQ(hits.size(), brute);
+    for (std::size_t h : hits) {
+        EXPECT_GE(set.spectra[h].precursor_mz, 875.0);
+        EXPECT_LE(set.spectra[h].precursor_mz, 925.0);
+    }
+}
+
+TEST(PrecursorIndex, DoesNotModifyTheSet) {
+    auto dev = make_device();
+    auto set = set_with_precursors({3.0, 1.0, 2.0});
+    const auto before = set.spectra[0].precursor_mz;
+    const msdata::PrecursorIndex index(dev, set);
+    EXPECT_EQ(set.spectra[0].precursor_mz, before);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "msdata/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "msdata/synth.hpp"
+
+namespace {
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(128 << 20)); }
+
+msdata::Spectrum spectrum_from(std::vector<float> intensities) {
+    msdata::Spectrum s;
+    float mz = 100.0f;
+    for (float v : intensities) {
+        s.peaks.push_back({mz, v});
+        mz += 1.0f;
+    }
+    return s;
+}
+
+TEST(Quality, HandComputedMetrics) {
+    auto dev = make_device();
+    msdata::SpectraSet set;
+    set.spectra.push_back(spectrum_from({1, 2, 3, 4, 100}));
+
+    const auto q = msdata::compute_quality(dev, set);
+    ASSERT_EQ(q.size(), 1u);
+    EXPECT_DOUBLE_EQ(q[0].total_ion_current, 110.0);
+    EXPECT_EQ(q[0].base_peak, 100.0f);
+    EXPECT_EQ(q[0].median_intensity, 3.0f);
+    EXPECT_EQ(q[0].peak_count, 5u);
+    EXPECT_NEAR(q[0].signal_to_noise, 100.0 / 3.0, 1e-9);
+}
+
+TEST(Quality, EmptySpectrumYieldsZeros) {
+    auto dev = make_device();
+    msdata::SpectraSet set;
+    set.spectra.emplace_back();  // zero peaks
+    set.spectra.push_back(spectrum_from({5, 5}));
+    const auto q = msdata::compute_quality(dev, set);
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0].peak_count, 0u);
+    EXPECT_DOUBLE_EQ(q[0].total_ion_current, 0.0);
+    EXPECT_EQ(q[1].peak_count, 2u);
+}
+
+TEST(Quality, DoesNotModifySpectra) {
+    auto dev = make_device();
+    auto set = msdata::generate_spectra(5);
+    const auto before = set.spectra[2].peaks;
+    (void)msdata::compute_quality(dev, set);
+    EXPECT_EQ(set.spectra[2].peaks, before);
+}
+
+TEST(Quality, SignalPeaksRaiseSnr) {
+    // A spectrum with strong signal peaks must report higher S/N than pure
+    // noise at the same scale.
+    auto dev = make_device();
+    msdata::SpectraSet set;
+    set.spectra.push_back(spectrum_from(std::vector<float>(100, 10.0f)));  // flat noise
+    auto signal = std::vector<float>(100, 10.0f);
+    signal[50] = 10000.0f;
+    set.spectra.push_back(spectrum_from(signal));
+
+    const auto q = msdata::compute_quality(dev, set);
+    EXPECT_NEAR(q[0].signal_to_noise, 1.0, 1e-6);
+    EXPECT_GT(q[1].signal_to_noise, 100.0);
+}
+
+TEST(Quality, FilterDropsLowSnrAndSmallSpectra) {
+    auto dev = make_device();
+    msdata::SpectraSet set;
+    set.spectra.push_back(spectrum_from(std::vector<float>(50, 7.0f)));  // S/N = 1
+    auto good = std::vector<float>(50, 7.0f);
+    good[10] = 70000.0f;
+    set.spectra.push_back(spectrum_from(good));                     // high S/N
+    set.spectra.push_back(spectrum_from({1, 2, 3}));                // too few peaks
+
+    const std::size_t removed = msdata::filter_by_quality(dev, set, 3.0, 10);
+    EXPECT_EQ(removed, 2u);
+    ASSERT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.spectra[0].peaks[10].intensity, 70000.0f);
+}
+
+TEST(Quality, BatchOverSyntheticSet) {
+    auto dev = make_device();
+    msdata::SynthOptions opts;
+    opts.min_peaks = 100;
+    opts.max_peaks = 500;
+    auto set = msdata::generate_spectra(30, opts);
+    const auto q = msdata::compute_quality(dev, set);
+    ASSERT_EQ(q.size(), 30u);
+    for (const auto& m : q) {
+        EXPECT_GT(m.total_ion_current, 0.0);
+        EXPECT_GE(m.base_peak, m.p95);
+        EXPECT_GE(m.p95, m.median_intensity);
+        EXPECT_GE(m.median_intensity, m.p05);
+        EXPECT_GE(m.signal_to_noise, 1.0);
+        EXPECT_GE(m.dynamic_range, 1.0);
+    }
+}
+
+}  // namespace

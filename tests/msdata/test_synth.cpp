@@ -1,0 +1,86 @@
+#include "msdata/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+TEST(Synth, GeneratesRequestedCount) {
+    const auto set = msdata::generate_spectra(25);
+    EXPECT_EQ(set.size(), 25u);
+}
+
+TEST(Synth, PeakCountsWithinBounds) {
+    msdata::SynthOptions opts;
+    opts.min_peaks = 50;
+    opts.max_peaks = 120;
+    const auto set = msdata::generate_spectra(40, opts);
+    for (const auto& s : set.spectra) {
+        EXPECT_GE(s.size(), 50u);
+        EXPECT_LE(s.size(), 120u);
+    }
+    EXPECT_LE(set.max_peaks(), 120u);
+}
+
+TEST(Synth, PeaksAreInScanOrder) {
+    const auto set = msdata::generate_spectra(10);
+    for (const auto& s : set.spectra) {
+        EXPECT_TRUE(std::is_sorted(s.peaks.begin(), s.peaks.end(),
+                                   [](const msdata::Peak& a, const msdata::Peak& b) {
+                                       return a.mz < b.mz;
+                                   }));
+    }
+}
+
+TEST(Synth, IntensitiesAreNotSorted) {
+    // The whole point of the paper: intensities arrive unordered.
+    const auto set = msdata::generate_spectra(10);
+    bool any_unsorted = false;
+    for (const auto& s : set.spectra) {
+        if (!std::is_sorted(s.peaks.begin(), s.peaks.end(),
+                            [](const msdata::Peak& a, const msdata::Peak& b) {
+                                return a.intensity < b.intensity;
+                            })) {
+            any_unsorted = true;
+        }
+    }
+    EXPECT_TRUE(any_unsorted);
+}
+
+TEST(Synth, MzWithinConfiguredWindow) {
+    msdata::SynthOptions opts;
+    opts.min_mz = 250.0f;
+    opts.max_mz = 750.0f;
+    const auto set = msdata::generate_spectra(5, opts);
+    for (const auto& s : set.spectra) {
+        for (const auto& p : s.peaks) {
+            EXPECT_GE(p.mz, 250.0f);
+            EXPECT_LE(p.mz, 750.0f);
+        }
+    }
+}
+
+TEST(Synth, DeterministicBySeed) {
+    msdata::SynthOptions opts;
+    opts.seed = 123;
+    const auto a = msdata::generate_spectra(5, opts);
+    const auto b = msdata::generate_spectra(5, opts);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.spectra[i].peaks, b.spectra[i].peaks);
+    }
+}
+
+TEST(Synth, SignalPeaksExist) {
+    // With 20% signal at 10-100x intensity, the max should dwarf the median.
+    const auto set = msdata::generate_spectra(3);
+    for (const auto& s : set.spectra) {
+        std::vector<float> ints;
+        for (const auto& p : s.peaks) ints.push_back(p.intensity);
+        std::sort(ints.begin(), ints.end());
+        EXPECT_GT(ints.back(), 5.0f * ints[ints.size() / 2]);
+    }
+}
+
+}  // namespace

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "ooc/out_of_core.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+TEST(AutoSort, PicksInCoreWhenDataFits) {
+    simt::Device dev(simt::tiny_device(64 << 20));
+    auto ds = workload::make_dataset(100, 500, workload::Distribution::Uniform, 1);
+    const auto stats = ooc::auto_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    EXPECT_FALSE(stats.used_out_of_core);
+    EXPECT_GT(stats.in_core.modeled_kernel_ms(), 0.0);
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+}
+
+TEST(AutoSort, PicksOutOfCoreWhenDataDoesNot) {
+    simt::Device dev(simt::tiny_device(512 << 10));  // 512 KB device
+    auto ds = workload::make_dataset(200, 1000, workload::Distribution::Uniform, 2);
+    const auto before = ds.values;
+    const auto stats = ooc::auto_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    EXPECT_TRUE(stats.used_out_of_core);
+    EXPECT_GT(stats.ooc.batches, 1u);
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+    EXPECT_TRUE(gas::all_arrays_permuted(before, ds.values, ds.num_arrays, ds.array_size));
+}
+
+TEST(AutoSort, ModeledTimeComesFromTheChosenPath) {
+    simt::Device dev(simt::tiny_device(512 << 10));
+    auto ds = workload::make_dataset(300, 1000, workload::Distribution::Uniform, 3);
+    const auto stats = ooc::auto_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    ASSERT_TRUE(stats.used_out_of_core);
+    EXPECT_DOUBLE_EQ(stats.modeled_ms(), stats.ooc.modeled_overlap_ms);
+}
+
+TEST(AutoSort, EmptyInputIsNoOp) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    std::vector<float> empty;
+    const auto stats = ooc::auto_sort(dev, empty, 0, 0);
+    EXPECT_FALSE(stats.used_out_of_core);
+}
+
+TEST(AutoSort, RespectsSortOptions) {
+    simt::Device dev(simt::tiny_device(64 << 20));
+    auto ds = workload::make_dataset(20, 300, workload::Distribution::Uniform, 4);
+    ooc::OocOptions opts;
+    opts.sort_opts.order = gas::SortOrder::Descending;
+    const auto stats = ooc::auto_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    EXPECT_FALSE(stats.used_out_of_core);
+    EXPECT_TRUE(
+        gas::all_arrays_sorted_descending(ds.values, ds.num_arrays, ds.array_size));
+}
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Parameterized out-of-core sweeps: correctness and the overlap model's
+// invariants must hold for every (batch size, stream count) combination.
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "ooc/out_of_core.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+class OocSweep : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>> {};
+
+TEST_P(OocSweep, CorrectAndModelConsistent) {
+    const auto [batch, streams] = GetParam();
+    simt::Device dev(simt::tiny_device(4 << 20));
+    auto ds = workload::make_dataset(64, 700, workload::Distribution::Uniform,
+                                     batch * 10 + streams);
+    const auto before = ds.values;
+
+    ooc::OocOptions opts;
+    opts.batch_arrays = batch;
+    opts.num_streams = streams;
+    const auto stats = ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size,
+                                             opts);
+
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+    EXPECT_TRUE(gas::all_arrays_permuted(before, ds.values, ds.num_arrays, ds.array_size));
+    EXPECT_EQ(stats.batches, (64 + batch - 1) / batch);
+
+    // Overlap model invariants: never worse than serial, never better than
+    // the single largest component.
+    EXPECT_LE(stats.modeled_overlap_ms, stats.modeled_serial_ms + 1e-9);
+    EXPECT_GE(stats.modeled_overlap_ms,
+              std::max(stats.kernel_ms, stats.transfer_ms) - 1e-9);
+    EXPECT_NEAR(stats.modeled_serial_ms, stats.kernel_ms + stats.transfer_ms, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchesAndStreams, OocSweep,
+                         ::testing::Combine(::testing::Values(1u, 7u, 16u, 64u, 100u),
+                                            ::testing::Values(1u, 2u, 3u)));
+
+TEST(OocSweep, MoreStreamsNeverSlowModeledTime) {
+    auto run = [](unsigned streams) {
+        simt::Device dev(simt::tiny_device(1 << 20));
+        auto ds = workload::make_dataset(64, 500, workload::Distribution::Uniform, 9);
+        ooc::OocOptions opts;
+        opts.num_streams = streams;
+        opts.batch_arrays = 8;
+        return ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts)
+            .modeled_overlap_ms;
+    };
+    const double one = run(1);
+    const double two = run(2);
+    const double four = run(4);
+    EXPECT_LE(two, one + 1e-9);
+    EXPECT_LE(four, two + 1e-9);
+}
+
+}  // namespace

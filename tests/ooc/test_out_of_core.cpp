@@ -1,0 +1,100 @@
+#include "ooc/out_of_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/validate.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+TEST(OutOfCore, SortsDatasetLargerThanDeviceMemory) {
+    // 8 MB device; dataset is 100 x 4000 floats = 1.6 MB data but STA-free
+    // GPU-ArraySort temporaries + batch buffers must fit per batch.  Shrink
+    // the device so several batches are forced.
+    simt::Device dev(simt::tiny_device(512 << 10));  // 512 KB
+    auto ds = workload::make_dataset(100, 1000, workload::Distribution::Uniform, 1);
+    const auto before = ds.values;
+
+    const auto stats = ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    EXPECT_GT(stats.batches, 1u);
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+    EXPECT_TRUE(gas::all_arrays_permuted(before, ds.values, ds.num_arrays, ds.array_size));
+}
+
+TEST(OutOfCore, SingleBatchWhenEverythingFits) {
+    simt::Device dev(simt::tiny_device(256 << 20));
+    auto ds = workload::make_dataset(50, 500, workload::Distribution::Uniform, 2);
+    const auto stats = ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    EXPECT_EQ(stats.batches, 1u);
+}
+
+TEST(OutOfCore, OverlapBeatsSerialWhenMultipleBatches) {
+    simt::Device dev(simt::tiny_device(512 << 10));
+    auto ds = workload::make_dataset(120, 1000, workload::Distribution::Uniform, 3);
+    ooc::OocOptions opts;
+    opts.num_streams = 2;
+    const auto stats = ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    ASSERT_GT(stats.batches, 2u);
+    EXPECT_LT(stats.modeled_overlap_ms, stats.modeled_serial_ms);
+    EXPECT_GT(stats.overlap_speedup(), 1.0);
+}
+
+TEST(OutOfCore, SingleStreamMatchesSerialModel) {
+    simt::Device dev(simt::tiny_device(512 << 10));
+    auto ds = workload::make_dataset(60, 1000, workload::Distribution::Uniform, 4);
+    ooc::OocOptions opts;
+    opts.num_streams = 1;
+    const auto stats = ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    EXPECT_NEAR(stats.modeled_overlap_ms, stats.modeled_serial_ms, 1e-9);
+}
+
+TEST(OutOfCore, ExplicitBatchSizeIsHonoured) {
+    simt::Device dev(simt::tiny_device(64 << 20));
+    auto ds = workload::make_dataset(100, 200, workload::Distribution::Uniform, 5);
+    ooc::OocOptions opts;
+    opts.batch_arrays = 17;
+    const auto stats = ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    EXPECT_EQ(stats.batch_arrays, 17u);
+    EXPECT_EQ(stats.batches, (100 + 16) / 17u);
+}
+
+TEST(OutOfCore, AutoBatchFitsDeviceMemory) {
+    simt::Device dev(simt::tiny_device(2 << 20));
+    ooc::OocOptions opts;
+    const std::size_t batch = ooc::auto_batch_arrays(dev, 1000, opts);
+    const std::size_t bytes =
+        gas::device_footprint_bytes(batch, 1000, opts.sort_opts, dev.props());
+    EXPECT_LE(bytes, dev.memory().capacity());
+    EXPECT_GE(batch, 1u);
+}
+
+TEST(OutOfCore, InvalidArgumentsThrow) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    std::vector<float> data(10);
+    EXPECT_THROW(ooc::out_of_core_sort(dev, data, 5, 10), std::invalid_argument);
+    ooc::OocOptions opts;
+    opts.num_streams = 0;
+    std::vector<float> ok(50);
+    EXPECT_THROW(ooc::out_of_core_sort(dev, ok, 5, 10, opts), std::invalid_argument);
+}
+
+TEST(OutOfCore, EmptyDatasetIsNoOp) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    std::vector<float> data;
+    const auto stats = ooc::out_of_core_sort(dev, data, 0, 0);
+    EXPECT_EQ(stats.batches, 0u);
+}
+
+TEST(OutOfCore, TransferAndKernelTimesAccumulate) {
+    simt::Device dev(simt::tiny_device(512 << 10));
+    auto ds = workload::make_dataset(40, 1000, workload::Distribution::Uniform, 6);
+    const auto stats = ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    EXPECT_GT(stats.transfer_ms, 0.0);
+    EXPECT_GT(stats.kernel_ms, 0.0);
+    // Serial model = sum of every op.
+    EXPECT_NEAR(stats.modeled_serial_ms, stats.transfer_ms + stats.kernel_ms, 1e-9);
+}
+
+}  // namespace

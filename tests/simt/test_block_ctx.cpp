@@ -1,0 +1,77 @@
+// BlockCtx details: shared-arena alignment, region sequencing, lane counter
+// isolation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "simt/device.hpp"
+
+namespace {
+
+TEST(BlockCtx, SharedAllocRespectsAlignment) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    dev.launch({"align", 1, 1}, [](simt::BlockCtx& blk) {
+        auto bytes = blk.shared_alloc<std::byte>(3);  // misalign the bump pointer
+        (void)bytes;
+        auto doubles = blk.shared_alloc<double>(4);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(doubles.data()) % alignof(double), 0u);
+        auto u32 = blk.shared_alloc<std::uint32_t>(1);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(u32.data()) % alignof(std::uint32_t), 0u);
+    });
+}
+
+TEST(BlockCtx, SharedUsedAccumulatesWithinBlock) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    dev.launch({"used", 1, 1}, [](simt::BlockCtx& blk) {
+        EXPECT_EQ(blk.shared_used(), 0u);
+        blk.shared_alloc<float>(10);
+        EXPECT_EQ(blk.shared_used(), 40u);
+        blk.shared_alloc<float>(10);
+        EXPECT_EQ(blk.shared_used(), 80u);
+    });
+}
+
+TEST(BlockCtx, RegionsExecuteInOrder) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    std::vector<int> trace;
+    dev.launch({"order", 1, 2}, [&](simt::BlockCtx& blk) {
+        blk.for_each_thread([&](simt::ThreadCtx&) { trace.push_back(1); });
+        blk.single_thread([&](simt::ThreadCtx&) { trace.push_back(2); });
+        blk.for_each_thread([&](simt::ThreadCtx&) { trace.push_back(3); });
+    });
+    EXPECT_EQ(trace, (std::vector<int>{1, 1, 2, 3, 3}));
+}
+
+TEST(BlockCtx, LaneCountersAreZeroedPerBlock) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    const auto stats = dev.launch({"zeroed", 3, 2}, [&](simt::BlockCtx& blk) {
+        blk.for_each_thread([&](simt::ThreadCtx& tc) { tc.ops(5); });
+    });
+    // If counters leaked across blocks the totals would exceed 3 * 2 * 5.
+    EXPECT_EQ(stats.totals.ops, 30u);
+}
+
+TEST(BlockCtx, BlockIdxAndDimsAreVisible) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    std::vector<unsigned> seen;
+    dev.launch({"idx", 3, 4}, [&](simt::BlockCtx& blk) {
+        EXPECT_EQ(blk.grid_dim(), 3u);
+        EXPECT_EQ(blk.block_dim(), 4u);
+        seen.push_back(blk.block_idx());
+    });
+    EXPECT_EQ(seen, (std::vector<unsigned>{0, 1, 2}));
+}
+
+TEST(BlockCtx, ThreadCtxReportsDims) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    dev.launch({"dims", 1, 8}, [](simt::BlockCtx& blk) {
+        unsigned expected = 0;
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            EXPECT_EQ(tc.tid(), expected++);
+            EXPECT_EQ(tc.block_dim(), 8u);
+        });
+    });
+}
+
+}  // namespace

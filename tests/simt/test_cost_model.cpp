@@ -1,0 +1,124 @@
+#include "simt/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using simt::CostModel;
+using simt::LaneCounters;
+
+simt::DeviceProperties props() { return simt::tesla_k40c(); }
+
+TEST(CostModel, WarpTimeIsMaxOverLanes) {
+    CostModel model(props());
+    // One warp: one busy lane dominates.
+    std::vector<LaneCounters> balanced(32);
+    for (auto& l : balanced) l.ops = 100;
+    std::vector<LaneCounters> skewed(32);
+    skewed[7].ops = 100;  // same max, less total work
+    EXPECT_DOUBLE_EQ(model.block_cost(balanced).cycles, model.block_cost(skewed).cycles);
+}
+
+TEST(CostModel, DivergencePenalty) {
+    CostModel model(props());
+    // 64 ops of useful work; packed into one lane it costs the warp 64
+    // cycles, spread evenly it costs 2.
+    std::vector<LaneCounters> spread(32);
+    for (auto& l : spread) l.ops = 2;
+    std::vector<LaneCounters> packed(32);
+    packed[0].ops = 64;
+    EXPECT_GT(model.block_cost(packed).cycles, model.block_cost(spread).cycles);
+}
+
+TEST(CostModel, UncoalescedAccessCostsFullSegment) {
+    CostModel model(props());
+    std::vector<LaneCounters> coalesced(32);
+    for (auto& l : coalesced) l.coalesced_bytes = 4;
+    std::vector<LaneCounters> random(32);
+    for (auto& l : random) l.random_accesses = 1;
+    const double c = model.block_cost(coalesced).traffic_bytes;
+    const double r = model.block_cost(random).traffic_bytes;
+    EXPECT_DOUBLE_EQ(c, 32.0 * 4.0);
+    EXPECT_DOUBLE_EQ(r, 32.0 * props().uncoalesced_segment_bytes);
+    EXPECT_GT(r, c);
+}
+
+TEST(CostModel, MultiWarpBlocksUseWarpParallelism) {
+    CostModel model(props());
+    // 6 warps fit the K40c's 192 cores concurrently; a 6-warp block should
+    // take about one warp's time, not six.
+    std::vector<LaneCounters> one_warp(32);
+    for (auto& l : one_warp) l.ops = 600;
+    std::vector<LaneCounters> six_warps(32 * 6);
+    for (auto& l : six_warps) l.ops = 600;
+    const double t1 = model.block_cost(one_warp).cycles;
+    const double t6 = model.block_cost(six_warps).cycles;
+    EXPECT_NEAR(t6, t1, t1 * 1e-9);
+    // A 12-warp block serializes two rounds.
+    std::vector<LaneCounters> twelve(32 * 12);
+    for (auto& l : twelve) l.ops = 600;
+    EXPECT_NEAR(model.block_cost(twelve).cycles, 2 * t1, t1 * 1e-9);
+}
+
+TEST(CostModel, OccupancyLimitedByThreads) {
+    CostModel model(props());
+    EXPECT_EQ(model.blocks_per_sm(2048, 0), 1u);
+    EXPECT_EQ(model.blocks_per_sm(1024, 0), 2u);
+    EXPECT_EQ(model.blocks_per_sm(64, 0), props().max_blocks_per_sm);
+}
+
+TEST(CostModel, OccupancyLimitedByShared) {
+    CostModel model(props());
+    EXPECT_EQ(model.blocks_per_sm(64, props().shared_memory_per_sm), 1u);
+    EXPECT_EQ(model.blocks_per_sm(64, props().shared_memory_per_sm / 4), 4u);
+}
+
+TEST(CostModel, MakespanScalesWithBlocksBeyondSlots) {
+    CostModel model(props());
+    simt::KernelStats few;
+    few.block_dim = 64;
+    simt::KernelStats many = few;
+    const std::vector<double> one_wave(240, 1000.0);   // 15 SMs x 16 blocks
+    const std::vector<double> two_waves(480, 1000.0);
+    model.finalize(few, one_wave, 0.0);
+    model.finalize(many, two_waves, 0.0);
+    EXPECT_NEAR(many.compute_ms, 2 * few.compute_ms, few.compute_ms * 1e-6);
+}
+
+TEST(CostModel, MemoryBoundKernelsGetBandwidthTime) {
+    CostModel model(props());
+    simt::KernelStats stats;
+    stats.block_dim = 256;
+    const std::vector<double> cycles(16, 1.0);  // negligible compute
+    const double bytes = 288e9;                 // one second at peak BW
+    model.finalize(stats, cycles, bytes);
+    EXPECT_NEAR(stats.memory_ms, 1000.0, 1e-6);
+    EXPECT_GT(stats.modeled_ms, stats.compute_ms);
+}
+
+TEST(CostModel, DerateScalesModeledTime) {
+    auto p = props();
+    CostModel base(p);
+    p.efficiency_derate *= 2.0;
+    CostModel derated(p);
+    simt::KernelStats a;
+    a.block_dim = 64;
+    simt::KernelStats b = a;
+    const std::vector<double> cycles(100, 1e6);
+    base.finalize(a, cycles, 0.0);
+    derated.finalize(b, cycles, 0.0);
+    EXPECT_NEAR(b.modeled_ms - p.kernel_launch_overhead_ms,
+                2.0 * (a.modeled_ms - p.kernel_launch_overhead_ms),
+                a.modeled_ms * 1e-6);
+}
+
+TEST(CostModel, EmptyBlockListYieldsOverheadOnly) {
+    CostModel model(props());
+    simt::KernelStats stats;
+    stats.block_dim = 1;
+    model.finalize(stats, {}, 0.0);
+    EXPECT_DOUBLE_EQ(stats.compute_ms, 0.0);
+    EXPECT_DOUBLE_EQ(stats.modeled_ms, props().kernel_launch_overhead_ms);
+}
+
+}  // namespace

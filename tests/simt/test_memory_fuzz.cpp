@@ -1,0 +1,106 @@
+// Randomized property test of the device allocator: thousands of random
+// allocate/free operations, with every invariant of a first-fit coalescing
+// free-list checked against an independently maintained shadow model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "simt/device_memory.hpp"
+
+namespace {
+
+using simt::DeviceMemory;
+
+struct Shadow {
+    std::map<std::size_t, std::size_t> live;  // offset -> rounded size
+
+    static std::size_t round(std::size_t b) {
+        if (b == 0) b = 1;
+        return (b + DeviceMemory::kAlignment - 1) / DeviceMemory::kAlignment *
+               DeviceMemory::kAlignment;
+    }
+
+    [[nodiscard]] std::size_t in_use() const {
+        std::size_t total = 0;
+        for (const auto& [off, size] : live) total += size;
+        return total;
+    }
+
+    /// Live ranges must never overlap and must stay within capacity.
+    void check_disjoint(std::size_t capacity) const {
+        std::size_t prev_end = 0;
+        for (const auto& [off, size] : live) {
+            ASSERT_GE(off, prev_end) << "overlapping allocations";
+            ASSERT_LE(off + size, capacity) << "allocation past capacity";
+            prev_end = off + size;
+        }
+    }
+};
+
+class MemoryFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemoryFuzz, RandomAllocFreeKeepsInvariants) {
+    constexpr std::size_t kCapacity = 1 << 20;  // 1 MB
+    DeviceMemory mem(kCapacity, DeviceMemory::Mode::Virtual);
+    Shadow shadow;
+    std::mt19937_64 rng(GetParam());
+    std::uniform_int_distribution<int> op(0, 99);
+    std::uniform_int_distribution<std::size_t> size_dist(0, 8192);
+
+    for (int step = 0; step < 4000; ++step) {
+        const bool do_alloc = shadow.live.empty() || op(rng) < 55;
+        if (do_alloc) {
+            const std::size_t want = size_dist(rng);
+            try {
+                const std::size_t off = mem.allocate(want);
+                const std::size_t rounded = Shadow::round(want);
+                // The new range must not overlap any shadow range.
+                for (const auto& [o, s] : shadow.live) {
+                    ASSERT_TRUE(off + rounded <= o || o + s <= off)
+                        << "allocator handed out overlapping range at step " << step;
+                }
+                shadow.live.emplace(off, rounded);
+            } catch (const simt::DeviceBadAlloc&) {
+                // Legitimate only if no single free range fits.
+                ASSERT_LT(mem.largest_free_range(), Shadow::round(want))
+                    << "spurious OOM at step " << step;
+            }
+        } else {
+            auto it = shadow.live.begin();
+            std::advance(it, static_cast<std::ptrdiff_t>(rng() % shadow.live.size()));
+            mem.deallocate(it->first);
+            shadow.live.erase(it);
+        }
+
+        ASSERT_EQ(mem.bytes_in_use(), shadow.in_use()) << "step " << step;
+        ASSERT_EQ(mem.allocation_count(), shadow.live.size()) << "step " << step;
+        shadow.check_disjoint(kCapacity);
+    }
+
+    // Draining everything must restore one maximal free range.
+    for (const auto& [off, size] : shadow.live) mem.deallocate(off);
+    EXPECT_EQ(mem.bytes_in_use(), 0u);
+    EXPECT_EQ(mem.largest_free_range(), kCapacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryFuzz, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(MemoryFuzz, ChurnDoesNotLeakCapacity) {
+    // Allocate/free in a pattern that exercises coalescing both directions;
+    // afterwards a full-capacity allocation must still succeed.
+    DeviceMemory mem(1 << 20, DeviceMemory::Mode::Virtual);
+    std::vector<std::size_t> offs;
+    for (int round = 0; round < 50; ++round) {
+        offs.clear();
+        for (int i = 0; i < 64; ++i) offs.push_back(mem.allocate(1024));
+        // Free odd then even indices (forces merge with both neighbours).
+        for (std::size_t i = 1; i < offs.size(); i += 2) mem.deallocate(offs[i]);
+        for (std::size_t i = 0; i < offs.size(); i += 2) mem.deallocate(offs[i]);
+    }
+    EXPECT_NO_THROW(mem.allocate(1 << 20));
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Occupancy-through-kernels tests: the modeled time of a launch must respond
+// to shared-memory pressure and block-size choices the way the SM occupancy
+// rules dictate.
+
+#include <gtest/gtest.h>
+
+#include "simt/device.hpp"
+
+namespace {
+
+double run_blocks(simt::Device& dev, unsigned blocks, unsigned threads,
+                  std::size_t shared_bytes, std::uint64_t ops_per_lane) {
+    const auto stats =
+        dev.launch({"occ", blocks, threads}, [&](simt::BlockCtx& blk) {
+            if (shared_bytes > 0) blk.shared_alloc<std::byte>(shared_bytes);
+            blk.for_each_thread([&](simt::ThreadCtx& tc) { tc.ops(ops_per_lane); });
+        });
+    dev.clear_kernel_log();
+    return stats.compute_ms;
+}
+
+TEST(Occupancy, SharedMemoryPressureSerializesBlocks) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    // Full-shared blocks: 1 resident per SM.  Tiny-shared blocks: up to 16.
+    const double hogging = run_blocks(dev, 240, 64, 48 * 1024 - 64, 10000);
+    const double lean = run_blocks(dev, 240, 64, 256, 10000);
+    EXPECT_GT(hogging, lean * 4);
+}
+
+TEST(Occupancy, ThreadHeavyBlocksLimitResidency) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    // 1024-thread blocks: 2 per SM; 64-thread blocks: 16 per SM.  Same lane
+    // count in flight per block-wave either way, but the small blocks have
+    // 8x the slots, and with equal per-lane work the large-block makespan
+    // is bounded below by the small-block one.
+    const double big_blocks = run_blocks(dev, 60, 1024, 0, 10000);
+    const double small_blocks = run_blocks(dev, 60, 64, 0, 10000);
+    EXPECT_GE(big_blocks, small_blocks);
+}
+
+TEST(Occupancy, WaveQuantization) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    // 15 SMs x 16 blocks = 240 slots: 240 blocks take one wave, 241 takes two.
+    const double one_wave = run_blocks(dev, 240, 32, 0, 100000);
+    const double two_waves = run_blocks(dev, 241, 32, 0, 100000);
+    EXPECT_NEAR(two_waves, 2 * one_wave, one_wave * 0.01);
+}
+
+TEST(Occupancy, SharedHighWaterIsReportedPerBlock) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    const auto stats = dev.launch({"hw", 4, 8}, [&](simt::BlockCtx& blk) {
+        blk.shared_alloc<float>(100);
+        blk.shared_alloc<std::uint32_t>(50);
+    });
+    EXPECT_GE(stats.shared_bytes_per_block, 100 * sizeof(float) + 50 * sizeof(std::uint32_t));
+    EXPECT_LT(stats.shared_bytes_per_block, 1024u);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Multi-worker host simulation: any worker count must produce bit-identical
+// functional results AND bit-identical modeled costs (per-block records are
+// aggregated in block order).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "baseline/sta_sort.hpp"
+#include "core/gpu_array_sort.hpp"
+#include "simt/device.hpp"
+#include "simt/device_buffer.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+TEST(ParallelLaunch, EveryBlockRunsExactlyOnce) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    dev.set_host_workers(4);
+    std::vector<std::atomic<int>> visits(64);
+    dev.launch({"count", 64, 8}, [&](simt::BlockCtx& blk) {
+        blk.single_thread([&](simt::ThreadCtx&) { ++visits[blk.block_idx()]; });
+    });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelLaunch, SlotsAreUniquePerWorker) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    dev.set_host_workers(3);
+    std::vector<std::atomic<unsigned>> slot_of(32);
+    dev.launch({"slots", 32, 1}, [&](simt::BlockCtx& blk) {
+        EXPECT_LT(blk.slot(), 3u);
+        slot_of[blk.block_idx()] = blk.slot() + 1;
+    });
+    for (const auto& s : slot_of) EXPECT_GE(s.load(), 1u);
+}
+
+TEST(ParallelLaunch, ModeledCostsAreWorkerCountInvariant) {
+    auto run = [](unsigned workers) {
+        simt::Device dev(simt::tiny_device(16 << 20));
+        dev.set_host_workers(workers);
+        simt::DeviceBuffer<float> buf(dev, 64 * 256);
+        auto span = buf.span();
+        const auto stats = dev.launch({"work", 64, 32}, [&](simt::BlockCtx& blk) {
+            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+                // Block-dependent, slot-independent work.
+                const std::size_t base = blk.block_idx() * 256u;
+                for (std::size_t i = tc.tid(); i < 256; i += 32) {
+                    span[base + i] = static_cast<float>(base + i);
+                }
+                tc.ops(10 + blk.block_idx());
+                tc.global_coalesced(8 * (1 + blk.block_idx() % 3));
+                tc.global_random(blk.block_idx() % 2);
+            });
+        });
+        return std::tuple{stats.modeled_ms, stats.compute_ms, stats.traffic_bytes,
+                          stats.totals.ops};
+    };
+    const auto seq = run(1);
+    EXPECT_EQ(seq, run(2));
+    EXPECT_EQ(seq, run(4));
+    EXPECT_EQ(seq, run(7));
+}
+
+TEST(ParallelLaunch, FullSortMatchesSequentialBitForBit) {
+    auto run = [](unsigned workers) {
+        simt::Device dev(simt::tiny_device(128 << 20));
+        dev.set_host_workers(workers);
+        auto ds = workload::make_dataset(40, 800, workload::Distribution::Uniform, 17);
+        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+        return std::pair{ds.values, dev.total_modeled_ms()};
+    };
+    const auto seq = run(1);
+    const auto par = run(4);
+    EXPECT_EQ(seq.first, par.first);
+    EXPECT_DOUBLE_EQ(seq.second, par.second);
+}
+
+TEST(ParallelLaunch, GlobalScratchFallbackIsSlotSafe) {
+    // Arrays too large for shared memory use one scratch row per slot; with
+    // several workers, concurrent blocks must not stomp each other's rows.
+    auto run = [](unsigned workers) {
+        simt::Device dev(simt::tiny_device(256 << 20));
+        dev.set_host_workers(workers);
+        auto ds = workload::make_dataset(12, 20000, workload::Distribution::Uniform, 23);
+        gas::Options opts;
+        opts.validate = true;
+        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+        return ds.values;
+    };
+    EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ParallelLaunch, StaMatchesSequential) {
+    auto run = [](unsigned workers) {
+        simt::Device dev(simt::tiny_device(128 << 20));
+        dev.set_host_workers(workers);
+        auto ds = workload::make_dataset(16, 700, workload::Distribution::Normal, 29);
+        sta::sta_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+        return ds.values;
+    };
+    EXPECT_EQ(run(1), run(3));
+}
+
+TEST(ParallelLaunch, ExceptionsPropagateFromWorkers) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    dev.set_host_workers(4);
+    EXPECT_THROW(dev.launch({"boom", 32, 1},
+                            [&](simt::BlockCtx& blk) {
+                                if (blk.block_idx() == 17) {
+                                    throw std::runtime_error("kernel failure");
+                                }
+                            }),
+                 std::runtime_error);
+}
+
+TEST(ParallelLaunch, WorkerCountClampsToGrid) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    dev.set_host_workers(16);
+    // 2 blocks, 16 requested workers: only as many workers as blocks spawn,
+    // so slots stay below the grid size.
+    std::atomic<int> ran{0};
+    dev.launch({"tiny", 2, 1}, [&](simt::BlockCtx& blk) {
+        EXPECT_LT(blk.slot(), 2u);
+        ++ran;
+    });
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ParallelLaunch, ZeroWorkerRequestClampsToOne) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    dev.set_host_workers(0);
+    EXPECT_EQ(dev.host_workers(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,58 @@
+#include "simt/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace {
+
+TEST(Report, DescribeDeviceMentionsKeyNumbers) {
+    const auto desc = simt::describe_device(simt::tesla_k40c());
+    EXPECT_NE(desc.find("Tesla K40c"), std::string::npos);
+    EXPECT_NE(desc.find("15 SMs"), std::string::npos);
+    EXPECT_NE(desc.find("192"), std::string::npos);
+    EXPECT_NE(desc.find("GB/s"), std::string::npos);
+}
+
+TEST(Report, KernelLogTableListsEveryLaunch) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    dev.launch({"alpha", 4, 32}, [](simt::BlockCtx& blk) {
+        blk.for_each_thread([](simt::ThreadCtx& tc) { tc.ops(10); });
+    });
+    dev.launch({"beta", 2, 64}, [](simt::BlockCtx& blk) {
+        blk.for_each_thread([](simt::ThreadCtx& tc) { tc.global_coalesced(1024); });
+    });
+
+    std::ostringstream os;
+    simt::print_kernel_log(os, dev);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    EXPECT_NE(out.find("TOTAL"), std::string::npos);
+    EXPECT_NE(out.find("compute"), std::string::npos);
+    EXPECT_NE(out.find("memory"), std::string::npos);
+}
+
+TEST(Report, SummaryFoldsRepeatedKernels) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    for (int i = 0; i < 5; ++i) {
+        dev.launch({"repeat", 1, 1}, [](simt::BlockCtx&) {});
+    }
+    std::ostringstream os;
+    simt::print_kernel_summary(os, dev);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("repeat"), std::string::npos);
+    EXPECT_NE(out.find("5"), std::string::npos);
+    // Only one data row for the repeated kernel (header + 1 row).
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Report, EmptyLogStillPrintsHeaderAndTotal) {
+    simt::Device dev(simt::tiny_device(1 << 20));
+    std::ostringstream os;
+    simt::print_kernel_log(os, dev);
+    EXPECT_NE(os.str().find("TOTAL"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Property fuzzing of the stream overlap model: for any random operation
+// sequence, the overlapped makespan must respect the structural bounds of a
+// three-engine machine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "simt/stream.hpp"
+
+namespace {
+
+class TimelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelineFuzz, MakespanBounds) {
+    std::mt19937_64 rng(GetParam());
+    std::uniform_real_distribution<double> dur(0.1, 20.0);
+
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t streams = 1 + rng() % 4;
+        simt::Timeline t(streams);
+        double h2d_total = 0.0;
+        double d2h_total = 0.0;
+        double compute_total = 0.0;
+        std::vector<double> per_stream(streams, 0.0);
+
+        const int ops = 1 + static_cast<int>(rng() % 30);
+        for (int i = 0; i < ops; ++i) {
+            const std::size_t s = rng() % streams;
+            const double ms = dur(rng);
+            switch (rng() % 3) {
+                case 0:
+                    t.h2d(s, ms);
+                    h2d_total += ms;
+                    break;
+                case 1:
+                    t.compute(s, ms);
+                    compute_total += ms;
+                    break;
+                default:
+                    t.d2h(s, ms);
+                    d2h_total += ms;
+                    break;
+            }
+            per_stream[s] += ms;
+        }
+
+        const double elapsed = t.elapsed_ms();
+        const double serial = t.serialized_ms();
+        // Never better than the busiest engine or the busiest stream;
+        // never worse than fully serial.
+        const double lower = std::max({h2d_total, d2h_total, compute_total,
+                                       *std::max_element(per_stream.begin(),
+                                                         per_stream.end())});
+        ASSERT_GE(elapsed, lower - 1e-9) << "trial " << trial;
+        ASSERT_LE(elapsed, serial + 1e-9) << "trial " << trial;
+        ASSERT_NEAR(serial, h2d_total + d2h_total + compute_total, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineFuzz, ::testing::Values(7, 14, 21, 28, 35, 42));
+
+TEST(TimelineFuzz, SingleStreamAlwaysFullySerial) {
+    std::mt19937_64 rng(3);
+    std::uniform_real_distribution<double> dur(0.1, 5.0);
+    simt::Timeline t(1);
+    for (int i = 0; i < 40; ++i) {
+        const double ms = dur(rng);
+        switch (rng() % 3) {
+            case 0: t.h2d(0, ms); break;
+            case 1: t.compute(0, ms); break;
+            default: t.d2h(0, ms); break;
+        }
+    }
+    EXPECT_NEAR(t.elapsed_ms(), t.serialized_ms(), 1e-9);
+}
+
+}  // namespace

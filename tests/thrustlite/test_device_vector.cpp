@@ -1,0 +1,53 @@
+#include "thrustlite/device_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(16 << 20)); }
+
+TEST(DeviceVector, DefaultIsEmpty) {
+    thrustlite::device_vector<float> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_TRUE(v.to_host().empty());
+}
+
+TEST(DeviceVector, ConstructFromHostVector) {
+    auto dev = make_device();
+    const std::vector<std::uint32_t> host = {5, 4, 3, 2, 1};
+    thrustlite::device_vector<std::uint32_t> v(dev, host);
+    EXPECT_EQ(v.size(), 5u);
+    EXPECT_EQ(v.to_host(), host);
+}
+
+TEST(DeviceVector, UninitializedConstructionAllocatesOnly) {
+    auto dev = make_device();
+    thrustlite::device_vector<float> v(dev, 1024);  // 4 KB, a whole alignment unit
+    EXPECT_EQ(dev.memory().bytes_in_use(), 1024 * sizeof(float));
+    EXPECT_EQ(v.size(), 1024u);
+}
+
+TEST(DeviceVector, SpanWritesAreVisibleToHostCopy) {
+    auto dev = make_device();
+    thrustlite::device_vector<float> v(dev, 3);
+    v.span()[0] = 1.5f;
+    v.span()[1] = 2.5f;
+    v.span()[2] = 3.5f;
+    EXPECT_EQ(v.to_host(), (std::vector<float>{1.5f, 2.5f, 3.5f}));
+}
+
+TEST(DeviceVector, ReleaseFreesDeviceMemory) {
+    auto dev = make_device();
+    thrustlite::device_vector<float> v(dev, 100);
+    v.release();
+    EXPECT_EQ(dev.memory().bytes_in_use(), 0u);
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(DeviceVector, OutOfMemoryPropagates) {
+    simt::Device dev(simt::tiny_device(1024));
+    EXPECT_THROW(thrustlite::device_vector<float>(dev, 1 << 20), simt::DeviceBadAlloc);
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+#include "thrustlite/float_ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace {
+
+using thrustlite::float_to_ordered;
+using thrustlite::ordered_to_float;
+
+TEST(FloatOrdering, RoundTripsExactly) {
+    const std::vector<float> values = {0.0f,
+                                       -0.0f,
+                                       1.0f,
+                                       -1.0f,
+                                       3.14159f,
+                                       -2.71828f,
+                                       std::numeric_limits<float>::max(),
+                                       std::numeric_limits<float>::lowest(),
+                                       std::numeric_limits<float>::min(),
+                                       std::numeric_limits<float>::denorm_min(),
+                                       std::numeric_limits<float>::infinity(),
+                                       -std::numeric_limits<float>::infinity()};
+    for (float f : values) {
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(ordered_to_float(float_to_ordered(f))),
+                  std::bit_cast<std::uint32_t>(f))
+            << "value " << f;
+    }
+}
+
+TEST(FloatOrdering, PreservesStrictOrder) {
+    const std::vector<float> ascending = {-std::numeric_limits<float>::infinity(),
+                                          std::numeric_limits<float>::lowest(),
+                                          -1e10f,
+                                          -1.0f,
+                                          -1e-30f,
+                                          0.0f,
+                                          1e-30f,
+                                          1.0f,
+                                          1e10f,
+                                          std::numeric_limits<float>::max(),
+                                          std::numeric_limits<float>::infinity()};
+    for (std::size_t i = 0; i + 1 < ascending.size(); ++i) {
+        EXPECT_LT(float_to_ordered(ascending[i]), float_to_ordered(ascending[i + 1]))
+            << ascending[i] << " vs " << ascending[i + 1];
+    }
+}
+
+TEST(FloatOrdering, NegativeZeroSortsBelowPositiveZero) {
+    EXPECT_LT(float_to_ordered(-0.0f), float_to_ordered(0.0f));
+}
+
+TEST(FloatOrdering, RandomizedOrderEquivalence) {
+    std::mt19937 rng(99);
+    std::uniform_real_distribution<float> u(-1e20f, 1e20f);
+    for (int trial = 0; trial < 2000; ++trial) {
+        const float a = u(rng);
+        const float b = u(rng);
+        EXPECT_EQ(a < b, float_to_ordered(a) < float_to_ordered(b)) << a << " " << b;
+    }
+}
+
+TEST(FloatOrdering, SortingCodesSortsFloats) {
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<float> u(-1e6f, 1e6f);
+    std::vector<float> values(500);
+    for (auto& v : values) v = u(rng);
+
+    std::vector<std::uint32_t> codes(values.size());
+    std::transform(values.begin(), values.end(), codes.begin(), float_to_ordered);
+    std::sort(codes.begin(), codes.end());
+    std::vector<float> decoded(codes.size());
+    std::transform(codes.begin(), codes.end(), decoded.begin(), ordered_to_float);
+
+    std::sort(values.begin(), values.end());
+    EXPECT_EQ(values, decoded);
+}
+
+}  // namespace

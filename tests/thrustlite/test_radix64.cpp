@@ -1,0 +1,134 @@
+// 64-bit radix sort and the double<->ordered-u64 transform.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <random>
+
+#include "simt/device_buffer.hpp"
+#include "thrustlite/float_ordering.hpp"
+#include "thrustlite/radix_sort.hpp"
+
+namespace {
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(128 << 20)); }
+
+std::vector<std::uint64_t> random_u64(std::size_t count, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<std::uint64_t> v(count);
+    for (auto& x : v) x = rng();
+    return v;
+}
+
+TEST(Radix64, SortsRandomKeys) {
+    auto dev = make_device();
+    auto host = random_u64(60000, 1);
+    simt::DeviceBuffer<std::uint64_t> keys(dev, host.size());
+    simt::copy_to_device(std::span<const std::uint64_t>(host), keys);
+    const auto stats = thrustlite::stable_sort(dev, keys.span());
+    EXPECT_EQ(stats.passes, 16u);  // 64 bits / 4-bit digits
+    std::sort(host.begin(), host.end());
+    const auto result = keys.span();
+    for (std::size_t i = 0; i < host.size(); ++i) ASSERT_EQ(result[i], host[i]) << i;
+}
+
+TEST(Radix64, StableByKeyCarriesPayload) {
+    auto dev = make_device();
+    std::mt19937_64 rng(2);
+    std::vector<std::uint64_t> host_keys(20000);
+    for (auto& k : host_keys) k = rng() % 16;  // heavy duplication
+    simt::DeviceBuffer<std::uint64_t> keys(dev, host_keys.size());
+    simt::DeviceBuffer<std::uint32_t> vals(dev, host_keys.size());
+    simt::copy_to_device(std::span<const std::uint64_t>(host_keys), keys);
+    std::vector<std::uint32_t> iota(host_keys.size());
+    std::iota(iota.begin(), iota.end(), 0u);
+    simt::copy_to_device(std::span<const std::uint32_t>(iota), vals);
+
+    thrustlite::stable_sort_by_key(dev, keys.span(), vals.span());
+
+    const auto k = keys.span();
+    const auto v = vals.span();
+    for (std::size_t i = 0; i + 1 < host_keys.size(); ++i) {
+        ASSERT_LE(k[i], k[i + 1]);
+        if (k[i] == k[i + 1]) {
+            ASSERT_LT(v[i], v[i + 1]) << "stability violated at " << i;
+        }
+        ASSERT_EQ(host_keys[v[i]], k[i]);
+    }
+}
+
+TEST(Radix64, HighBitsDecideOrder) {
+    auto dev = make_device();
+    std::vector<std::uint64_t> host = {0xFFFFFFFF00000000ull, 0x00000000FFFFFFFFull,
+                                       0x8000000000000000ull, 1ull, 0ull,
+                                       std::numeric_limits<std::uint64_t>::max()};
+    simt::DeviceBuffer<std::uint64_t> keys(dev, host.size());
+    simt::copy_to_device(std::span<const std::uint64_t>(host), keys);
+    thrustlite::stable_sort(dev, keys.span());
+    std::sort(host.begin(), host.end());
+    const auto result = keys.span();
+    for (std::size_t i = 0; i < host.size(); ++i) EXPECT_EQ(result[i], host[i]);
+}
+
+TEST(DoubleOrdering, RoundTripsAndPreservesOrder) {
+    const std::vector<double> values = {-std::numeric_limits<double>::infinity(),
+                                        std::numeric_limits<double>::lowest(),
+                                        -1e300,
+                                        -1.0,
+                                        -1e-300,
+                                        -0.0,
+                                        0.0,
+                                        1e-300,
+                                        1.0,
+                                        1e300,
+                                        std::numeric_limits<double>::max(),
+                                        std::numeric_limits<double>::infinity()};
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                      thrustlite::ordered_to_double(thrustlite::double_to_ordered(values[i]))),
+                  std::bit_cast<std::uint64_t>(values[i]));
+        if (i + 1 < values.size()) {
+            EXPECT_LT(thrustlite::double_to_ordered(values[i]),
+                      thrustlite::double_to_ordered(values[i + 1]))
+                << values[i] << " vs " << values[i + 1];
+        }
+    }
+}
+
+TEST(DoubleOrdering, SortingCodesSortsDoubles) {
+    auto dev = make_device();
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<double> u(-1e12, 1e12);
+    std::vector<double> values(30000);
+    for (auto& v : values) v = u(rng);
+
+    std::vector<std::uint64_t> codes(values.size());
+    std::transform(values.begin(), values.end(), codes.begin(),
+                   thrustlite::double_to_ordered);
+    simt::DeviceBuffer<std::uint64_t> keys(dev, codes.size());
+    simt::copy_to_device(std::span<const std::uint64_t>(codes), keys);
+    thrustlite::stable_sort(dev, keys.span());
+
+    std::vector<double> decoded(codes.size());
+    const auto k = keys.span();
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        decoded[i] = thrustlite::ordered_to_double(k[i]);
+    }
+    std::sort(values.begin(), values.end());
+    EXPECT_EQ(decoded, values);
+}
+
+TEST(Radix64, ScratchIsDoubleWidth) {
+    auto dev = make_device();
+    auto host = random_u64(10000, 3);
+    simt::DeviceBuffer<std::uint64_t> keys(dev, host.size());
+    simt::copy_to_device(std::span<const std::uint64_t>(host), keys);
+    const std::size_t before = dev.memory().bytes_in_use();
+    const auto stats = thrustlite::stable_sort(dev, keys.span());
+    EXPECT_GE(stats.scratch_bytes, host.size() * sizeof(std::uint64_t));
+    EXPECT_EQ(dev.memory().bytes_in_use(), before);  // released
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Parameterized property sweep for the radix sort: every (size, pattern)
+// combination must produce exactly std::stable_sort's result on key-value
+// pairs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "thrustlite/algorithms.hpp"
+#include "thrustlite/radix_sort.hpp"
+
+namespace {
+
+enum class Pattern { Random, Sorted, Reverse, FewDistinct, AllZero, HighBitsOnly, LowBitsOnly };
+
+const char* pattern_name(Pattern p) {
+    switch (p) {
+        case Pattern::Random: return "Random";
+        case Pattern::Sorted: return "Sorted";
+        case Pattern::Reverse: return "Reverse";
+        case Pattern::FewDistinct: return "FewDistinct";
+        case Pattern::AllZero: return "AllZero";
+        case Pattern::HighBitsOnly: return "HighBitsOnly";
+        case Pattern::LowBitsOnly: return "LowBitsOnly";
+    }
+    return "?";
+}
+
+std::vector<std::uint32_t> make_keys(Pattern p, std::size_t count, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<std::uint32_t> keys(count);
+    switch (p) {
+        case Pattern::Random:
+            for (auto& k : keys) k = static_cast<std::uint32_t>(rng());
+            break;
+        case Pattern::Sorted:
+            std::iota(keys.begin(), keys.end(), 0u);
+            break;
+        case Pattern::Reverse:
+            for (std::size_t i = 0; i < count; ++i) {
+                keys[i] = static_cast<std::uint32_t>(count - i);
+            }
+            break;
+        case Pattern::FewDistinct:
+            for (auto& k : keys) k = static_cast<std::uint32_t>(rng() % 3);
+            break;
+        case Pattern::AllZero:
+            break;  // zeros already
+        case Pattern::HighBitsOnly:
+            for (auto& k : keys) k = static_cast<std::uint32_t>(rng()) & 0xFF000000u;
+            break;
+        case Pattern::LowBitsOnly:
+            for (auto& k : keys) k = static_cast<std::uint32_t>(rng()) & 0x000000FFu;
+            break;
+    }
+    return keys;
+}
+
+class RadixProperty
+    : public ::testing::TestWithParam<std::tuple<Pattern, std::size_t>> {};
+
+TEST_P(RadixProperty, MatchesStableSortOnPairs) {
+    const auto [pattern, count] = GetParam();
+    simt::Device dev(simt::tiny_device(64 << 20));
+
+    const auto host_keys = make_keys(pattern, count, count * 7 + 1);
+    thrustlite::device_vector<std::uint32_t> keys(dev, host_keys);
+    thrustlite::device_vector<std::uint32_t> vals(dev, count);
+    thrustlite::sequence(dev, vals);
+    thrustlite::stable_sort_by_key(keys, vals);
+
+    // Oracle: stable argsort.
+    std::vector<std::uint32_t> order(count);
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return host_keys[a] < host_keys[b];
+    });
+
+    const auto sorted_keys = keys.to_host();
+    const auto perm = vals.to_host();
+    for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(perm[i], order[i]) << "position " << i;
+        ASSERT_EQ(sorted_keys[i], host_keys[order[i]]) << "position " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RadixProperty,
+    ::testing::Combine(::testing::Values(Pattern::Random, Pattern::Sorted, Pattern::Reverse,
+                                         Pattern::FewDistinct, Pattern::AllZero,
+                                         Pattern::HighBitsOnly, Pattern::LowBitsOnly),
+                       ::testing::Values(1u, 255u, 4096u, 5000u)),
+    [](const auto& pinfo) {
+        return std::string(pattern_name(std::get<0>(pinfo.param))) + "_" +
+               std::to_string(std::get<1>(pinfo.param));
+    });
+
+}  // namespace

@@ -1,0 +1,190 @@
+#include "thrustlite/radix_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "thrustlite/algorithms.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(256 << 20)); }
+
+std::vector<std::uint32_t> random_u32(std::size_t count, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<std::uint32_t> u;
+    std::vector<std::uint32_t> v(count);
+    for (auto& x : v) x = u(rng);
+    return v;
+}
+
+TEST(RadixSort, SortsRandomKeys) {
+    auto dev = make_device();
+    auto host = random_u32(100000, 1);
+    thrustlite::device_vector<std::uint32_t> keys(dev, host);
+    thrustlite::stable_sort(keys);
+    auto result = keys.to_host();
+    std::sort(host.begin(), host.end());
+    EXPECT_EQ(result, host);
+}
+
+TEST(RadixSort, SortsNonTileMultipleSizes) {
+    auto dev = make_device();
+    for (std::size_t count : {1u, 2u, 31u, 4095u, 4096u, 4097u, 10001u}) {
+        auto host = random_u32(count, count);
+        thrustlite::device_vector<std::uint32_t> keys(dev, host);
+        thrustlite::stable_sort(keys);
+        auto result = keys.to_host();
+        std::sort(host.begin(), host.end());
+        ASSERT_EQ(result, host) << "count=" << count;
+    }
+}
+
+TEST(RadixSort, EmptyInputIsNoOp) {
+    auto dev = make_device();
+    thrustlite::device_vector<std::uint32_t> keys;
+    const auto stats = thrustlite::stable_sort(keys);
+    EXPECT_EQ(stats.passes, 0u);
+}
+
+TEST(RadixSort, ByKeyCarriesValues) {
+    auto dev = make_device();
+    auto host_keys = random_u32(50000, 2);
+    // value i tracks original position; after the sort, keys[v[i]] order
+    // must reproduce a stable argsort.
+    thrustlite::device_vector<std::uint32_t> keys(dev, host_keys);
+    thrustlite::device_vector<std::uint32_t> vals(dev, host_keys.size());
+    thrustlite::sequence(dev, vals);
+    thrustlite::stable_sort_by_key(keys, vals);
+
+    const auto sorted_keys = keys.to_host();
+    const auto perm = vals.to_host();
+    EXPECT_TRUE(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        ASSERT_EQ(host_keys[perm[i]], sorted_keys[i]) << i;
+    }
+}
+
+TEST(RadixSort, IsStable) {
+    auto dev = make_device();
+    // Few distinct keys, payload = original index: within equal keys the
+    // payload must stay ascending.
+    std::mt19937_64 rng(3);
+    std::uniform_int_distribution<std::uint32_t> small(0, 7);
+    std::vector<std::uint32_t> host_keys(30000);
+    for (auto& k : host_keys) k = small(rng);
+
+    thrustlite::device_vector<std::uint32_t> keys(dev, host_keys);
+    thrustlite::device_vector<std::uint32_t> vals(dev, host_keys.size());
+    thrustlite::sequence(dev, vals);
+    thrustlite::stable_sort_by_key(keys, vals);
+
+    const auto sorted_keys = keys.to_host();
+    const auto perm = vals.to_host();
+    for (std::size_t i = 0; i + 1 < perm.size(); ++i) {
+        if (sorted_keys[i] == sorted_keys[i + 1]) {
+            ASSERT_LT(perm[i], perm[i + 1]) << "stability violated at " << i;
+        }
+    }
+}
+
+TEST(RadixSort, MismatchedValueSizeThrows) {
+    auto dev = make_device();
+    thrustlite::device_vector<std::uint32_t> keys(dev, 100);
+    thrustlite::device_vector<std::uint32_t> vals(dev, 50);
+    EXPECT_THROW(thrustlite::stable_sort_by_key(dev, keys.span(), vals.span()),
+                 simt::DeviceError);
+}
+
+TEST(RadixSort, RunsEightPassesAndFreesScratch) {
+    auto dev = make_device();
+    auto host = random_u32(20000, 4);
+    thrustlite::device_vector<std::uint32_t> keys(dev, host);
+    const std::size_t before = dev.memory().bytes_in_use();
+    const auto stats = thrustlite::stable_sort(keys);
+    EXPECT_EQ(stats.passes, 8u);
+    EXPECT_GT(stats.scratch_bytes, host.size() * sizeof(std::uint32_t) - 1);
+    EXPECT_EQ(dev.memory().bytes_in_use(), before);  // scratch released
+}
+
+TEST(RadixSort, ScratchMatchesCapacityModel) {
+    auto dev = make_device();
+    for (std::size_t count : {5000u, 100000u}) {
+        thrustlite::device_vector<std::uint32_t> keys(dev, count);
+        thrustlite::device_vector<std::uint32_t> vals(dev, count);
+        const auto stats = thrustlite::stable_sort_by_key(keys, vals);
+        EXPECT_EQ(stats.scratch_bytes, thrustlite::radix_scratch_bytes(count, true))
+            << count;
+    }
+}
+
+TEST(RadixSort, AlreadySortedAndReverseInputs) {
+    auto dev = make_device();
+    std::vector<std::uint32_t> asc(10000);
+    std::iota(asc.begin(), asc.end(), 0u);
+    std::vector<std::uint32_t> desc(asc.rbegin(), asc.rend());
+
+    for (const auto& host : {asc, desc}) {
+        thrustlite::device_vector<std::uint32_t> keys(dev, host);
+        thrustlite::stable_sort(keys);
+        EXPECT_EQ(keys.to_host(), asc);
+    }
+}
+
+TEST(RadixSort, AllEqualKeysKeepValueOrder) {
+    auto dev = make_device();
+    std::vector<std::uint32_t> host_keys(9000, 0xDEADBEEF);
+    thrustlite::device_vector<std::uint32_t> keys(dev, host_keys);
+    thrustlite::device_vector<std::uint32_t> vals(dev, host_keys.size());
+    thrustlite::sequence(dev, vals);
+    thrustlite::stable_sort_by_key(keys, vals);
+    const auto perm = vals.to_host();
+    for (std::size_t i = 0; i < perm.size(); ++i) ASSERT_EQ(perm[i], i);
+}
+
+TEST(RadixSort, ExtremeKeyValues) {
+    auto dev = make_device();
+    std::vector<std::uint32_t> host = {0u, 0xFFFFFFFFu, 1u, 0xFFFFFFFEu, 0x80000000u,
+                                       0x7FFFFFFFu};
+    thrustlite::device_vector<std::uint32_t> keys(dev, host);
+    thrustlite::stable_sort(keys);
+    std::sort(host.begin(), host.end());
+    EXPECT_EQ(keys.to_host(), host);
+}
+
+TEST(RadixSort, ReverseThreadOrderProducesSameOutput) {
+    auto run = [](simt::ThreadOrder order) {
+        simt::Device dev(simt::tiny_device(64 << 20));
+        dev.set_thread_order(order);
+        auto host = random_u32(25000, 6);
+        thrustlite::device_vector<std::uint32_t> keys(dev, host);
+        thrustlite::device_vector<std::uint32_t> vals(dev, host.size());
+        thrustlite::sequence(dev, vals);
+        thrustlite::stable_sort_by_key(keys, vals);
+        return std::pair{keys.to_host(), vals.to_host()};
+    };
+    EXPECT_EQ(run(simt::ThreadOrder::Forward), run(simt::ThreadOrder::Reverse));
+}
+
+TEST(RadixSort, SortsOrderedFloatCodes) {
+    auto dev = make_device();
+    auto values = workload::make_values(60000, workload::Distribution::Normal, 7);
+    // Negative floats included.
+    for (std::size_t i = 0; i < values.size(); i += 3) values[i] = -values[i];
+
+    simt::DeviceBuffer<float> buf(dev, values.size());
+    simt::copy_to_device(std::span<const float>(values), buf);
+    auto keys = thrustlite::to_ordered_inplace(dev, buf.span());
+    thrustlite::stable_sort(dev, keys);
+    thrustlite::from_ordered_inplace(dev, buf.span());
+
+    std::vector<float> result(values.size());
+    simt::copy_to_host(buf, std::span<float>(result));
+    std::sort(values.begin(), values.end());
+    EXPECT_EQ(result, values);
+}
+
+}  // namespace

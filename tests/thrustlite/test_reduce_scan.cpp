@@ -1,0 +1,152 @@
+#include "thrustlite/reduce_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "simt/device_buffer.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(128 << 20)); }
+
+TEST(ReduceScan, SumMatchesHost) {
+    auto dev = make_device();
+    const auto v = workload::make_values(50000, workload::Distribution::Uniform, 1);
+    simt::DeviceBuffer<float> buf(dev, v.size());
+    simt::copy_to_device(std::span<const float>(v), buf);
+
+    double expected = 0.0;
+    for (float x : v) expected += x;
+    EXPECT_NEAR(thrustlite::reduce_sum(dev, buf.span()), expected,
+                std::abs(expected) * 1e-5);
+}
+
+TEST(ReduceScan, SumOfEmptyIsZero) {
+    auto dev = make_device();
+    EXPECT_EQ(thrustlite::reduce_sum(dev, {}), 0.0);
+}
+
+TEST(ReduceScan, MinMaxMatchHost) {
+    auto dev = make_device();
+    auto v = workload::make_values(30000, workload::Distribution::Normal, 2);
+    v[12345] = -99.0f;
+    v[23456] = 1e30f;
+    simt::DeviceBuffer<float> buf(dev, v.size());
+    simt::copy_to_device(std::span<const float>(v), buf);
+    EXPECT_EQ(thrustlite::reduce_min(dev, buf.span()), -99.0f);
+    EXPECT_EQ(thrustlite::reduce_max(dev, buf.span()), 1e30f);
+}
+
+TEST(ReduceScan, MinMaxOfEmptyThrows) {
+    auto dev = make_device();
+    EXPECT_THROW((void)thrustlite::reduce_min(dev, {}), std::invalid_argument);
+    EXPECT_THROW((void)thrustlite::reduce_max(dev, {}), std::invalid_argument);
+}
+
+TEST(ReduceScan, CountLessEqual) {
+    auto dev = make_device();
+    std::vector<float> v(10000);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<float>(i);
+    simt::DeviceBuffer<float> buf(dev, v.size());
+    simt::copy_to_device(std::span<const float>(v), buf);
+    EXPECT_EQ(thrustlite::count_less_equal(dev, buf.span(), 4999.5f), 5000u);
+    EXPECT_EQ(thrustlite::count_less_equal(dev, buf.span(), -1.0f), 0u);
+    EXPECT_EQ(thrustlite::count_less_equal(dev, buf.span(), 1e9f), 10000u);
+}
+
+TEST(ReduceScan, ExclusiveScanMatchesHost) {
+    auto dev = make_device();
+    std::mt19937 rng(3);
+    std::uniform_int_distribution<std::uint32_t> u(0, 100);
+    std::vector<std::uint32_t> in(20000);
+    for (auto& x : in) x = u(rng);
+
+    simt::DeviceBuffer<std::uint32_t> din(dev, in.size());
+    simt::DeviceBuffer<std::uint32_t> dout(dev, in.size());
+    simt::copy_to_device(std::span<const std::uint32_t>(in), din);
+    thrustlite::exclusive_scan(dev, din.span(), dout.span());
+
+    std::vector<std::uint32_t> expected(in.size());
+    std::exclusive_scan(in.begin(), in.end(), expected.begin(), 0u);
+    const auto result = dout.span();
+    for (std::size_t i = 0; i < in.size(); ++i) ASSERT_EQ(result[i], expected[i]) << i;
+}
+
+TEST(ReduceScan, ExclusiveScanAliasedInOut) {
+    auto dev = make_device();
+    std::vector<std::uint32_t> in(9000, 1);
+    simt::DeviceBuffer<std::uint32_t> buf(dev, in.size());
+    simt::copy_to_device(std::span<const std::uint32_t>(in), buf);
+    thrustlite::exclusive_scan(dev, buf.span(), buf.span());
+    const auto result = buf.span();
+    for (std::size_t i = 0; i < in.size(); ++i) ASSERT_EQ(result[i], i) << i;
+}
+
+TEST(ReduceScan, ExclusiveScanNonTileSizes) {
+    auto dev = make_device();
+    for (std::size_t count : {1u, 4095u, 4096u, 4097u, 12289u}) {
+        std::vector<std::uint32_t> in(count, 2);
+        simt::DeviceBuffer<std::uint32_t> din(dev, count);
+        simt::DeviceBuffer<std::uint32_t> dout(dev, count);
+        simt::copy_to_device(std::span<const std::uint32_t>(in), din);
+        thrustlite::exclusive_scan(dev, din.span(), dout.span());
+        const auto r = dout.span();
+        for (std::size_t i = 0; i < count; ++i) ASSERT_EQ(r[i], 2 * i) << count << ":" << i;
+    }
+}
+
+TEST(ReduceScan, GatherPermutes) {
+    auto dev = make_device();
+    const std::size_t count = 10000;
+    std::vector<float> src(count);
+    for (std::size_t i = 0; i < count; ++i) src[i] = static_cast<float>(i) * 0.5f;
+    std::vector<std::uint32_t> idx(count);
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::mt19937 rng(4);
+    std::shuffle(idx.begin(), idx.end(), rng);
+
+    simt::DeviceBuffer<float> dsrc(dev, count);
+    simt::DeviceBuffer<float> ddst(dev, count);
+    simt::DeviceBuffer<std::uint32_t> didx(dev, count);
+    simt::copy_to_device(std::span<const float>(src), dsrc);
+    simt::copy_to_device(std::span<const std::uint32_t>(idx), didx);
+    thrustlite::gather(dev, didx.span(), dsrc.span(), ddst.span());
+
+    const auto r = ddst.span();
+    for (std::size_t i = 0; i < count; ++i) ASSERT_EQ(r[i], src[idx[i]]) << i;
+}
+
+TEST(ReduceScan, FillSetsEveryElement) {
+    auto dev = make_device();
+    simt::DeviceBuffer<float> buf(dev, 12345);
+    thrustlite::fill(dev, buf.span(), 2.5f);
+    for (float x : buf.span()) ASSERT_EQ(x, 2.5f);
+}
+
+TEST(ReduceScan, UndersizedOutputsThrow) {
+    auto dev = make_device();
+    simt::DeviceBuffer<std::uint32_t> in(dev, 100);
+    simt::DeviceBuffer<std::uint32_t> out(dev, 50);
+    EXPECT_THROW(thrustlite::exclusive_scan(dev, in.span(), out.span()),
+                 std::invalid_argument);
+    simt::DeviceBuffer<float> src(dev, 100);
+    simt::DeviceBuffer<float> dst(dev, 50);
+    EXPECT_THROW(thrustlite::gather(dev, in.span(), src.span(), dst.span()),
+                 std::invalid_argument);
+}
+
+TEST(ReduceScan, ReductionsReportTraffic) {
+    auto dev = make_device();
+    simt::DeviceBuffer<float> buf(dev, 100000);
+    thrustlite::fill(dev, buf.span(), 1.0f);
+    dev.clear_kernel_log();
+    (void)thrustlite::reduce_sum(dev, buf.span());
+    ASSERT_FALSE(dev.kernel_log().empty());
+    EXPECT_GE(dev.kernel_log().front().totals.coalesced_bytes, 100000u * sizeof(float));
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+#include "thrustlite/segmented.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "simt/device_buffer.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(64 << 20)); }
+
+TEST(Segmented, StatsMatchHostPerRow) {
+    auto dev = make_device();
+    const auto ds = workload::make_dataset(25, 333, workload::Distribution::Normal, 1);
+    simt::DeviceBuffer<float> buf(dev, ds.values.size());
+    simt::copy_to_device(std::span<const float>(ds.values), buf);
+
+    const auto stats =
+        thrustlite::segmented_stats(dev, buf.span(), ds.num_arrays, ds.array_size);
+    ASSERT_EQ(stats.size(), ds.num_arrays);
+    for (std::size_t a = 0; a < ds.num_arrays; ++a) {
+        const float* row = ds.array(a);
+        EXPECT_EQ(stats[a].min, *std::min_element(row, row + ds.array_size)) << a;
+        EXPECT_EQ(stats[a].max, *std::max_element(row, row + ds.array_size)) << a;
+        double sum = 0.0;
+        for (std::size_t i = 0; i < ds.array_size; ++i) sum += row[i];
+        EXPECT_NEAR(stats[a].sum, sum, std::abs(sum) * 1e-12) << a;
+    }
+}
+
+TEST(Segmented, RowsShorterThanBlock) {
+    auto dev = make_device();
+    std::vector<float> data = {3, 1, 2, 9, 7, 8};  // two rows of 3
+    simt::DeviceBuffer<float> buf(dev, data.size());
+    simt::copy_to_device(std::span<const float>(data), buf);
+    const auto stats = thrustlite::segmented_stats(dev, buf.span(), 2, 3);
+    EXPECT_EQ(stats[0].min, 1.0f);
+    EXPECT_EQ(stats[0].max, 3.0f);
+    EXPECT_EQ(stats[1].min, 7.0f);
+    EXPECT_DOUBLE_EQ(stats[1].sum, 24.0);
+}
+
+TEST(Segmented, EmptyInputs) {
+    auto dev = make_device();
+    EXPECT_TRUE(thrustlite::segmented_stats(dev, {}, 0, 0).empty());
+    EXPECT_TRUE(thrustlite::segmented_is_sorted(dev, {}, 0, 0).empty());
+}
+
+TEST(Segmented, IsSortedFlagsPerRow) {
+    auto dev = make_device();
+    std::vector<float> data = {1, 2, 3,   // sorted
+                               3, 2, 1,   // reverse
+                               5, 5, 5};  // constant (sorted)
+    simt::DeviceBuffer<float> buf(dev, data.size());
+    simt::copy_to_device(std::span<const float>(data), buf);
+    const auto flags = thrustlite::segmented_is_sorted(dev, buf.span(), 3, 3);
+    ASSERT_EQ(flags.size(), 3u);
+    EXPECT_TRUE(flags[0]);
+    EXPECT_FALSE(flags[1]);
+    EXPECT_TRUE(flags[2]);
+}
+
+TEST(Segmented, SingleElementRowsAreSorted) {
+    auto dev = make_device();
+    std::vector<float> data = {5, 1, 9};
+    simt::DeviceBuffer<float> buf(dev, data.size());
+    simt::copy_to_device(std::span<const float>(data), buf);
+    const auto flags = thrustlite::segmented_is_sorted(dev, buf.span(), 3, 1);
+    for (bool f : flags) EXPECT_TRUE(f);
+}
+
+TEST(Segmented, LongRowsUseStridedThreads) {
+    auto dev = make_device();
+    const auto ds = workload::make_dataset(3, 10000, workload::Distribution::Sorted, 2);
+    simt::DeviceBuffer<float> buf(dev, ds.values.size());
+    simt::copy_to_device(std::span<const float>(ds.values), buf);
+    const auto flags = thrustlite::segmented_is_sorted(dev, buf.span(), 3, 10000);
+    for (bool f : flags) EXPECT_TRUE(f);
+}
+
+}  // namespace

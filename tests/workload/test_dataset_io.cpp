@@ -1,0 +1,73 @@
+#include "workload/dataset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+TEST(DatasetIo, RoundTripsThroughStream) {
+    const auto ds = workload::make_dataset(17, 33, workload::Distribution::Normal, 9);
+    std::stringstream ss;
+    workload::write_dataset(ss, ds);
+    const auto back = workload::read_dataset(ss);
+    EXPECT_EQ(back.num_arrays, ds.num_arrays);
+    EXPECT_EQ(back.array_size, ds.array_size);
+    EXPECT_EQ(back.values, ds.values);
+}
+
+TEST(DatasetIo, RoundTripsThroughFile) {
+    const auto ds = workload::make_dataset(5, 100, workload::Distribution::Uniform, 10);
+    const std::string path = ::testing::TempDir() + "/gas_test.gad";
+    workload::write_dataset_file(path, ds);
+    const auto back = workload::read_dataset_file(path);
+    EXPECT_EQ(back.values, ds.values);
+}
+
+TEST(DatasetIo, EmptyDataset) {
+    workload::Dataset empty;
+    std::stringstream ss;
+    workload::write_dataset(ss, empty);
+    const auto back = workload::read_dataset(ss);
+    EXPECT_EQ(back.num_arrays, 0u);
+    EXPECT_TRUE(back.values.empty());
+}
+
+TEST(DatasetIo, RejectsBadMagic) {
+    std::stringstream ss;
+    ss << "NOPE this is not a dataset file at all, padding padding";
+    EXPECT_THROW((void)workload::read_dataset(ss), std::runtime_error);
+}
+
+TEST(DatasetIo, RejectsTruncatedHeader) {
+    std::stringstream ss;
+    ss << "GAS";  // 3 bytes only
+    EXPECT_THROW((void)workload::read_dataset(ss), std::runtime_error);
+}
+
+TEST(DatasetIo, RejectsTruncatedPayload) {
+    const auto ds = workload::make_dataset(4, 50, workload::Distribution::Uniform, 11);
+    std::stringstream ss;
+    workload::write_dataset(ss, ds);
+    std::string bytes = ss.str();
+    bytes.resize(bytes.size() - 32);  // chop the tail
+    std::istringstream truncated(bytes);
+    EXPECT_THROW((void)workload::read_dataset(truncated), std::runtime_error);
+}
+
+TEST(DatasetIo, RejectsWrongVersion) {
+    const auto ds = workload::make_dataset(1, 4, workload::Distribution::Uniform, 12);
+    std::stringstream ss;
+    workload::write_dataset(ss, ds);
+    std::string bytes = ss.str();
+    bytes[4] = 99;  // version field
+    std::istringstream bad(bytes);
+    EXPECT_THROW((void)workload::read_dataset(bad), std::runtime_error);
+}
+
+TEST(DatasetIo, MissingFileThrows) {
+    EXPECT_THROW((void)workload::read_dataset_file("/nonexistent/file.gad"),
+                 std::runtime_error);
+}
+
+}  // namespace

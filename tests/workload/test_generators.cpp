@@ -1,0 +1,92 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace {
+
+using workload::Distribution;
+
+TEST(Generators, DeterministicForSameSeed) {
+    const auto a = workload::make_dataset(10, 100, Distribution::Uniform, 42);
+    const auto b = workload::make_dataset(10, 100, Distribution::Uniform, 42);
+    EXPECT_EQ(a.values, b.values);
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+    const auto a = workload::make_dataset(10, 100, Distribution::Uniform, 1);
+    const auto b = workload::make_dataset(10, 100, Distribution::Uniform, 2);
+    EXPECT_NE(a.values, b.values);
+}
+
+TEST(Generators, UniformStaysInPaperRange) {
+    const auto v = workload::make_values(50000, Distribution::Uniform, 3);
+    for (float x : v) {
+        ASSERT_GE(x, 0.0f);
+        ASSERT_LE(x, 2147483647.0f);
+    }
+}
+
+TEST(Generators, SortedIsSortedPerArray) {
+    const auto ds = workload::make_dataset(5, 200, Distribution::Sorted, 4);
+    for (std::size_t a = 0; a < 5; ++a) {
+        EXPECT_TRUE(std::is_sorted(ds.array(a), ds.array(a) + 200));
+    }
+}
+
+TEST(Generators, ReverseIsDescendingPerArray) {
+    const auto ds = workload::make_dataset(5, 200, Distribution::Reverse, 5);
+    for (std::size_t a = 0; a < 5; ++a) {
+        EXPECT_TRUE(std::is_sorted(ds.array(a), ds.array(a) + 200, std::greater<>()));
+    }
+}
+
+TEST(Generators, FewDistinctHasAtMostEightValues) {
+    const auto v = workload::make_values(10000, Distribution::FewDistinct, 6);
+    std::set<float> distinct(v.begin(), v.end());
+    EXPECT_LE(distinct.size(), 8u);
+}
+
+TEST(Generators, ConstantIsConstant) {
+    const auto v = workload::make_values(100, Distribution::Constant, 7);
+    for (float x : v) EXPECT_EQ(x, v[0]);
+}
+
+TEST(Generators, NoNaNsAnywhere) {
+    for (auto dist : workload::all_distributions()) {
+        const auto v = workload::make_values(5000, dist, 8);
+        for (float x : v) ASSERT_FALSE(std::isnan(x)) << workload::to_string(dist);
+    }
+}
+
+TEST(Generators, DatasetShapeAndAccessors) {
+    const auto ds = workload::make_dataset(7, 13, Distribution::Uniform, 9);
+    EXPECT_EQ(ds.total_elements(), 91u);
+    EXPECT_EQ(ds.array(3), ds.values.data() + 39);
+}
+
+TEST(Generators, RaggedOffsetsAreConsistent) {
+    const auto ds = workload::make_ragged_dataset(50, 10, 200, Distribution::Uniform, 10);
+    EXPECT_EQ(ds.num_arrays(), 50u);
+    EXPECT_EQ(ds.offsets.front(), 0u);
+    EXPECT_EQ(ds.offsets.back(), ds.values.size());
+    for (std::size_t a = 0; a < 50; ++a) {
+        EXPECT_GE(ds.size_of(a), 10u);
+        EXPECT_LE(ds.size_of(a), 200u);
+    }
+}
+
+TEST(Generators, RaggedRejectsInvertedBounds) {
+    EXPECT_THROW(workload::make_ragged_dataset(5, 10, 5), std::invalid_argument);
+}
+
+TEST(Generators, EveryDistributionHasAName) {
+    for (auto dist : workload::all_distributions()) {
+        EXPECT_NE(workload::to_string(dist), "unknown");
+    }
+}
+
+}  // namespace

@@ -1,0 +1,22 @@
+# Smoke test of the gas_mgf CLI: synth -> stats -> reduce -> sort -> filter.
+set(MGF ${WORK_DIR}/smoke.mgf)
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+run(${GAS_MGF} synth ${MGF} 20)
+run(${GAS_MGF} stats ${MGF})
+run(${GAS_MGF} reduce ${MGF} ${WORK_DIR}/smoke_red.mgf 0.5)
+run(${GAS_MGF} sort ${WORK_DIR}/smoke_red.mgf ${WORK_DIR}/smoke_sorted.mgf)
+run(${GAS_MGF} filter ${MGF} ${WORK_DIR}/smoke_filt.mgf 1.5 10)
+
+foreach(f smoke.mgf smoke_red.mgf smoke_sorted.mgf smoke_filt.mgf)
+  if(NOT EXISTS ${WORK_DIR}/${f})
+    message(FATAL_ERROR "expected output missing: ${f}")
+  endif()
+endforeach()

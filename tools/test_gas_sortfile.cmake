@@ -1,0 +1,33 @@
+# Smoke test of the gas_sortfile CLI: gen -> sort (in-core and out-of-core)
+# -> info, including the descending flag.
+set(GAD ${WORK_DIR}/smoke.gad)
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(last_out "${out}" PARENT_SCOPE)
+endfunction()
+
+run(${GAS_SORTFILE} gen ${GAD} 200 300 reverse)
+run(${GAS_SORTFILE} sort ${GAD} ${WORK_DIR}/smoke_sorted.gad)
+run(${GAS_SORTFILE} info ${WORK_DIR}/smoke_sorted.gad)
+if(NOT last_out MATCHES "rows ascending: yes")
+  message(FATAL_ERROR "sorted file not ascending:\n${last_out}")
+endif()
+
+# Out-of-core path on a 1 MB device.
+run(${GAS_SORTFILE} sort ${GAD} ${WORK_DIR}/smoke_ooc.gad --device-mb 1)
+run(${GAS_SORTFILE} info ${WORK_DIR}/smoke_ooc.gad)
+if(NOT last_out MATCHES "rows ascending: yes")
+  message(FATAL_ERROR "out-of-core sorted file not ascending:\n${last_out}")
+endif()
+
+# Descending.
+run(${GAS_SORTFILE} sort ${GAD} ${WORK_DIR}/smoke_desc.gad --desc)
+run(${GAS_SORTFILE} info ${WORK_DIR}/smoke_desc.gad)
+if(NOT last_out MATCHES "rows ascending: no")
+  message(FATAL_ERROR "descending sort reported ascending:\n${last_out}")
+endif()
