@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_threads_per_bucket.dir/ablation_threads_per_bucket.cpp.o"
+  "CMakeFiles/ablation_threads_per_bucket.dir/ablation_threads_per_bucket.cpp.o.d"
+  "ablation_threads_per_bucket"
+  "ablation_threads_per_bucket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threads_per_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_out_of_core.dir/ext_out_of_core.cpp.o"
+  "CMakeFiles/ext_out_of_core.dir/ext_out_of_core.cpp.o.d"
+  "ext_out_of_core"
+  "ext_out_of_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_out_of_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ragged_pairs.dir/ext_ragged_pairs.cpp.o"
+  "CMakeFiles/ext_ragged_pairs.dir/ext_ragged_pairs.cpp.o.d"
+  "ext_ragged_pairs"
+  "ext_ragged_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ragged_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sequential_baseline.dir/ext_sequential_baseline.cpp.o"
+  "CMakeFiles/ext_sequential_baseline.dir/ext_sequential_baseline.cpp.o.d"
+  "ext_sequential_baseline"
+  "ext_sequential_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sequential_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

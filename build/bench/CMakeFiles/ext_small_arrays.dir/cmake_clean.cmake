@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_small_arrays.dir/ext_small_arrays.cpp.o"
+  "CMakeFiles/ext_small_arrays.dir/ext_small_arrays.cpp.o.d"
+  "ext_small_arrays"
+  "ext_small_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_small_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_time_complexity.dir/fig2_time_complexity.cpp.o"
+  "CMakeFiles/fig2_time_complexity.dir/fig2_time_complexity.cpp.o.d"
+  "fig2_time_complexity"
+  "fig2_time_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_time_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

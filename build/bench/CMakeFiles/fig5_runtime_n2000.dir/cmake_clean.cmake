@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_runtime_n2000.dir/fig5_runtime_n2000.cpp.o"
+  "CMakeFiles/fig5_runtime_n2000.dir/fig5_runtime_n2000.cpp.o.d"
+  "fig5_runtime_n2000"
+  "fig5_runtime_n2000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_runtime_n2000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_runtime_n2000.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_runtime_n3000.dir/fig6_runtime_n3000.cpp.o"
+  "CMakeFiles/fig6_runtime_n3000.dir/fig6_runtime_n3000.cpp.o.d"
+  "fig6_runtime_n3000"
+  "fig6_runtime_n3000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_runtime_n3000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

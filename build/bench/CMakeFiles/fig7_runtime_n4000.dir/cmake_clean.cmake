@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_runtime_n4000.dir/fig7_runtime_n4000.cpp.o"
+  "CMakeFiles/fig7_runtime_n4000.dir/fig7_runtime_n4000.cpp.o.d"
+  "fig7_runtime_n4000"
+  "fig7_runtime_n4000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_runtime_n4000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_capacity.dir/table1_capacity.cpp.o"
+  "CMakeFiles/table1_capacity.dir/table1_capacity.cpp.o.d"
+  "table1_capacity"
+  "table1_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

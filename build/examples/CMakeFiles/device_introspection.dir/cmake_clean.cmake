@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_introspection.dir/device_introspection.cpp.o"
+  "CMakeFiles/device_introspection.dir/device_introspection.cpp.o.d"
+  "device_introspection"
+  "device_introspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_introspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

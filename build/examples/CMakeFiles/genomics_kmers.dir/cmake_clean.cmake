@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomics_kmers.dir/genomics_kmers.cpp.o"
+  "CMakeFiles/genomics_kmers.dir/genomics_kmers.cpp.o.d"
+  "genomics_kmers"
+  "genomics_kmers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomics_kmers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

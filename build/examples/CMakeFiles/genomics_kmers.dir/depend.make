@@ -1,0 +1,2 @@
+# Empty dependencies file for genomics_kmers.
+# This may be replaced when dependencies are built.

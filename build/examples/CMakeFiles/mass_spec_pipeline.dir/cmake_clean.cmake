@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_spec_pipeline.dir/mass_spec_pipeline.cpp.o"
+  "CMakeFiles/mass_spec_pipeline.dir/mass_spec_pipeline.cpp.o.d"
+  "mass_spec_pipeline"
+  "mass_spec_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_spec_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_demo.dir/out_of_core_demo.cpp.o"
+  "CMakeFiles/out_of_core_demo.dir/out_of_core_demo.cpp.o.d"
+  "out_of_core_demo"
+  "out_of_core_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_search.dir/spectral_search.cpp.o"
+  "CMakeFiles/spectral_search.dir/spectral_search.cpp.o.d"
+  "spectral_search"
+  "spectral_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cpu_sort.cpp" "src/baseline/CMakeFiles/gas_baseline.dir/cpu_sort.cpp.o" "gcc" "src/baseline/CMakeFiles/gas_baseline.dir/cpu_sort.cpp.o.d"
+  "/root/repo/src/baseline/sequential_sort.cpp" "src/baseline/CMakeFiles/gas_baseline.dir/sequential_sort.cpp.o" "gcc" "src/baseline/CMakeFiles/gas_baseline.dir/sequential_sort.cpp.o.d"
+  "/root/repo/src/baseline/sta_sort.cpp" "src/baseline/CMakeFiles/gas_baseline.dir/sta_sort.cpp.o" "gcc" "src/baseline/CMakeFiles/gas_baseline.dir/sta_sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/gas_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/thrustlite/CMakeFiles/gas_thrustlite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_baseline.dir/cpu_sort.cpp.o"
+  "CMakeFiles/gas_baseline.dir/cpu_sort.cpp.o.d"
+  "CMakeFiles/gas_baseline.dir/sequential_sort.cpp.o"
+  "CMakeFiles/gas_baseline.dir/sequential_sort.cpp.o.d"
+  "CMakeFiles/gas_baseline.dir/sta_sort.cpp.o"
+  "CMakeFiles/gas_baseline.dir/sta_sort.cpp.o.d"
+  "libgas_baseline.a"
+  "libgas_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/gas_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/gas_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/bucket_phase.cpp" "src/core/CMakeFiles/gas_core.dir/bucket_phase.cpp.o" "gcc" "src/core/CMakeFiles/gas_core.dir/bucket_phase.cpp.o.d"
+  "/root/repo/src/core/complexity.cpp" "src/core/CMakeFiles/gas_core.dir/complexity.cpp.o" "gcc" "src/core/CMakeFiles/gas_core.dir/complexity.cpp.o.d"
+  "/root/repo/src/core/device_ops.cpp" "src/core/CMakeFiles/gas_core.dir/device_ops.cpp.o" "gcc" "src/core/CMakeFiles/gas_core.dir/device_ops.cpp.o.d"
+  "/root/repo/src/core/gpu_array_sort.cpp" "src/core/CMakeFiles/gas_core.dir/gpu_array_sort.cpp.o" "gcc" "src/core/CMakeFiles/gas_core.dir/gpu_array_sort.cpp.o.d"
+  "/root/repo/src/core/pair_sort.cpp" "src/core/CMakeFiles/gas_core.dir/pair_sort.cpp.o" "gcc" "src/core/CMakeFiles/gas_core.dir/pair_sort.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/gas_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/gas_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/ragged_sort.cpp" "src/core/CMakeFiles/gas_core.dir/ragged_sort.cpp.o" "gcc" "src/core/CMakeFiles/gas_core.dir/ragged_sort.cpp.o.d"
+  "/root/repo/src/core/sort_phase.cpp" "src/core/CMakeFiles/gas_core.dir/sort_phase.cpp.o" "gcc" "src/core/CMakeFiles/gas_core.dir/sort_phase.cpp.o.d"
+  "/root/repo/src/core/splitter_phase.cpp" "src/core/CMakeFiles/gas_core.dir/splitter_phase.cpp.o" "gcc" "src/core/CMakeFiles/gas_core.dir/splitter_phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/gas_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_core.dir/analysis.cpp.o"
+  "CMakeFiles/gas_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/gas_core.dir/bucket_phase.cpp.o"
+  "CMakeFiles/gas_core.dir/bucket_phase.cpp.o.d"
+  "CMakeFiles/gas_core.dir/complexity.cpp.o"
+  "CMakeFiles/gas_core.dir/complexity.cpp.o.d"
+  "CMakeFiles/gas_core.dir/device_ops.cpp.o"
+  "CMakeFiles/gas_core.dir/device_ops.cpp.o.d"
+  "CMakeFiles/gas_core.dir/gpu_array_sort.cpp.o"
+  "CMakeFiles/gas_core.dir/gpu_array_sort.cpp.o.d"
+  "CMakeFiles/gas_core.dir/pair_sort.cpp.o"
+  "CMakeFiles/gas_core.dir/pair_sort.cpp.o.d"
+  "CMakeFiles/gas_core.dir/plan.cpp.o"
+  "CMakeFiles/gas_core.dir/plan.cpp.o.d"
+  "CMakeFiles/gas_core.dir/ragged_sort.cpp.o"
+  "CMakeFiles/gas_core.dir/ragged_sort.cpp.o.d"
+  "CMakeFiles/gas_core.dir/sort_phase.cpp.o"
+  "CMakeFiles/gas_core.dir/sort_phase.cpp.o.d"
+  "CMakeFiles/gas_core.dir/splitter_phase.cpp.o"
+  "CMakeFiles/gas_core.dir/splitter_phase.cpp.o.d"
+  "libgas_core.a"
+  "libgas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

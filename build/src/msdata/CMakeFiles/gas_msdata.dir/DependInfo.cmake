@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msdata/binning.cpp" "src/msdata/CMakeFiles/gas_msdata.dir/binning.cpp.o" "gcc" "src/msdata/CMakeFiles/gas_msdata.dir/binning.cpp.o.d"
+  "/root/repo/src/msdata/mgf_io.cpp" "src/msdata/CMakeFiles/gas_msdata.dir/mgf_io.cpp.o" "gcc" "src/msdata/CMakeFiles/gas_msdata.dir/mgf_io.cpp.o.d"
+  "/root/repo/src/msdata/pipeline.cpp" "src/msdata/CMakeFiles/gas_msdata.dir/pipeline.cpp.o" "gcc" "src/msdata/CMakeFiles/gas_msdata.dir/pipeline.cpp.o.d"
+  "/root/repo/src/msdata/precursor_index.cpp" "src/msdata/CMakeFiles/gas_msdata.dir/precursor_index.cpp.o" "gcc" "src/msdata/CMakeFiles/gas_msdata.dir/precursor_index.cpp.o.d"
+  "/root/repo/src/msdata/quality.cpp" "src/msdata/CMakeFiles/gas_msdata.dir/quality.cpp.o" "gcc" "src/msdata/CMakeFiles/gas_msdata.dir/quality.cpp.o.d"
+  "/root/repo/src/msdata/synth.cpp" "src/msdata/CMakeFiles/gas_msdata.dir/synth.cpp.o" "gcc" "src/msdata/CMakeFiles/gas_msdata.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/gas_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

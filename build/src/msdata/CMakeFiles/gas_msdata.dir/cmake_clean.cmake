@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_msdata.dir/binning.cpp.o"
+  "CMakeFiles/gas_msdata.dir/binning.cpp.o.d"
+  "CMakeFiles/gas_msdata.dir/mgf_io.cpp.o"
+  "CMakeFiles/gas_msdata.dir/mgf_io.cpp.o.d"
+  "CMakeFiles/gas_msdata.dir/pipeline.cpp.o"
+  "CMakeFiles/gas_msdata.dir/pipeline.cpp.o.d"
+  "CMakeFiles/gas_msdata.dir/precursor_index.cpp.o"
+  "CMakeFiles/gas_msdata.dir/precursor_index.cpp.o.d"
+  "CMakeFiles/gas_msdata.dir/quality.cpp.o"
+  "CMakeFiles/gas_msdata.dir/quality.cpp.o.d"
+  "CMakeFiles/gas_msdata.dir/synth.cpp.o"
+  "CMakeFiles/gas_msdata.dir/synth.cpp.o.d"
+  "libgas_msdata.a"
+  "libgas_msdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_msdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gas_msdata.
+# This may be replaced when dependencies are built.

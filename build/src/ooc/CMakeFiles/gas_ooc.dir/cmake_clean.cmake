@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_ooc.dir/out_of_core.cpp.o"
+  "CMakeFiles/gas_ooc.dir/out_of_core.cpp.o.d"
+  "libgas_ooc.a"
+  "libgas_ooc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_ooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/cost_model.cpp" "src/simt/CMakeFiles/gas_simt.dir/cost_model.cpp.o" "gcc" "src/simt/CMakeFiles/gas_simt.dir/cost_model.cpp.o.d"
+  "/root/repo/src/simt/device_memory.cpp" "src/simt/CMakeFiles/gas_simt.dir/device_memory.cpp.o" "gcc" "src/simt/CMakeFiles/gas_simt.dir/device_memory.cpp.o.d"
+  "/root/repo/src/simt/launch.cpp" "src/simt/CMakeFiles/gas_simt.dir/launch.cpp.o" "gcc" "src/simt/CMakeFiles/gas_simt.dir/launch.cpp.o.d"
+  "/root/repo/src/simt/report.cpp" "src/simt/CMakeFiles/gas_simt.dir/report.cpp.o" "gcc" "src/simt/CMakeFiles/gas_simt.dir/report.cpp.o.d"
+  "/root/repo/src/simt/stream.cpp" "src/simt/CMakeFiles/gas_simt.dir/stream.cpp.o" "gcc" "src/simt/CMakeFiles/gas_simt.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

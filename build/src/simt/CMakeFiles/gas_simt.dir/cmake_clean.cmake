@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_simt.dir/cost_model.cpp.o"
+  "CMakeFiles/gas_simt.dir/cost_model.cpp.o.d"
+  "CMakeFiles/gas_simt.dir/device_memory.cpp.o"
+  "CMakeFiles/gas_simt.dir/device_memory.cpp.o.d"
+  "CMakeFiles/gas_simt.dir/launch.cpp.o"
+  "CMakeFiles/gas_simt.dir/launch.cpp.o.d"
+  "CMakeFiles/gas_simt.dir/report.cpp.o"
+  "CMakeFiles/gas_simt.dir/report.cpp.o.d"
+  "CMakeFiles/gas_simt.dir/stream.cpp.o"
+  "CMakeFiles/gas_simt.dir/stream.cpp.o.d"
+  "libgas_simt.a"
+  "libgas_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thrustlite/algorithms.cpp" "src/thrustlite/CMakeFiles/gas_thrustlite.dir/algorithms.cpp.o" "gcc" "src/thrustlite/CMakeFiles/gas_thrustlite.dir/algorithms.cpp.o.d"
+  "/root/repo/src/thrustlite/radix_sort.cpp" "src/thrustlite/CMakeFiles/gas_thrustlite.dir/radix_sort.cpp.o" "gcc" "src/thrustlite/CMakeFiles/gas_thrustlite.dir/radix_sort.cpp.o.d"
+  "/root/repo/src/thrustlite/reduce_scan.cpp" "src/thrustlite/CMakeFiles/gas_thrustlite.dir/reduce_scan.cpp.o" "gcc" "src/thrustlite/CMakeFiles/gas_thrustlite.dir/reduce_scan.cpp.o.d"
+  "/root/repo/src/thrustlite/segmented.cpp" "src/thrustlite/CMakeFiles/gas_thrustlite.dir/segmented.cpp.o" "gcc" "src/thrustlite/CMakeFiles/gas_thrustlite.dir/segmented.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/gas_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

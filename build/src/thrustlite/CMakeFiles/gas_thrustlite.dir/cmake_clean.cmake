@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_thrustlite.dir/algorithms.cpp.o"
+  "CMakeFiles/gas_thrustlite.dir/algorithms.cpp.o.d"
+  "CMakeFiles/gas_thrustlite.dir/radix_sort.cpp.o"
+  "CMakeFiles/gas_thrustlite.dir/radix_sort.cpp.o.d"
+  "CMakeFiles/gas_thrustlite.dir/reduce_scan.cpp.o"
+  "CMakeFiles/gas_thrustlite.dir/reduce_scan.cpp.o.d"
+  "CMakeFiles/gas_thrustlite.dir/segmented.cpp.o"
+  "CMakeFiles/gas_thrustlite.dir/segmented.cpp.o.d"
+  "libgas_thrustlite.a"
+  "libgas_thrustlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_thrustlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

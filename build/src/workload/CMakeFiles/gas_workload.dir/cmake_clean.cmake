@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_workload.dir/dataset_io.cpp.o"
+  "CMakeFiles/gas_workload.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/gas_workload.dir/generators.cpp.o"
+  "CMakeFiles/gas_workload.dir/generators.cpp.o.d"
+  "libgas_workload.a"
+  "libgas_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_analysis.cpp" "tests/CMakeFiles/test_core.dir/core/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_complexity.cpp" "tests/CMakeFiles/test_core.dir/core/test_complexity.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_complexity.cpp.o.d"
+  "/root/repo/tests/core/test_device_ops.cpp" "tests/CMakeFiles/test_core.dir/core/test_device_ops.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_device_ops.cpp.o.d"
+  "/root/repo/tests/core/test_generic_types.cpp" "tests/CMakeFiles/test_core.dir/core/test_generic_types.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_generic_types.cpp.o.d"
+  "/root/repo/tests/core/test_gpu_array_sort.cpp" "tests/CMakeFiles/test_core.dir/core/test_gpu_array_sort.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_gpu_array_sort.cpp.o.d"
+  "/root/repo/tests/core/test_insertion_sort.cpp" "tests/CMakeFiles/test_core.dir/core/test_insertion_sort.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_insertion_sort.cpp.o.d"
+  "/root/repo/tests/core/test_pair_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_pair_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pair_properties.cpp.o.d"
+  "/root/repo/tests/core/test_pair_sort.cpp" "tests/CMakeFiles/test_core.dir/core/test_pair_sort.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pair_sort.cpp.o.d"
+  "/root/repo/tests/core/test_phases.cpp" "tests/CMakeFiles/test_core.dir/core/test_phases.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_phases.cpp.o.d"
+  "/root/repo/tests/core/test_plan.cpp" "tests/CMakeFiles/test_core.dir/core/test_plan.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_plan.cpp.o.d"
+  "/root/repo/tests/core/test_properties.cpp" "tests/CMakeFiles/test_core.dir/core/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_properties.cpp.o.d"
+  "/root/repo/tests/core/test_ragged.cpp" "tests/CMakeFiles/test_core.dir/core/test_ragged.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ragged.cpp.o.d"
+  "/root/repo/tests/core/test_small_arrays.cpp" "tests/CMakeFiles/test_core.dir/core/test_small_arrays.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_small_arrays.cpp.o.d"
+  "/root/repo/tests/core/test_splitter_quality.cpp" "tests/CMakeFiles/test_core.dir/core/test_splitter_quality.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_splitter_quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/gas_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/thrustlite/CMakeFiles/gas_thrustlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gas_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gas_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/msdata/CMakeFiles/gas_msdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooc/CMakeFiles/gas_ooc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

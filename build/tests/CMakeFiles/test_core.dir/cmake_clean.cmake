@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_analysis.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_analysis.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_complexity.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_complexity.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_device_ops.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_device_ops.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_generic_types.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_generic_types.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_gpu_array_sort.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_gpu_array_sort.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_insertion_sort.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_insertion_sort.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pair_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pair_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pair_sort.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pair_sort.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_phases.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_phases.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_plan.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_plan.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ragged.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ragged.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_small_arrays.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_small_arrays.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_splitter_quality.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_splitter_quality.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

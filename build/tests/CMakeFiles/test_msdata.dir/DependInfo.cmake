@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/msdata/test_binning.cpp" "tests/CMakeFiles/test_msdata.dir/msdata/test_binning.cpp.o" "gcc" "tests/CMakeFiles/test_msdata.dir/msdata/test_binning.cpp.o.d"
+  "/root/repo/tests/msdata/test_mgf_fuzz.cpp" "tests/CMakeFiles/test_msdata.dir/msdata/test_mgf_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_msdata.dir/msdata/test_mgf_fuzz.cpp.o.d"
+  "/root/repo/tests/msdata/test_mgf_io.cpp" "tests/CMakeFiles/test_msdata.dir/msdata/test_mgf_io.cpp.o" "gcc" "tests/CMakeFiles/test_msdata.dir/msdata/test_mgf_io.cpp.o.d"
+  "/root/repo/tests/msdata/test_pipeline.cpp" "tests/CMakeFiles/test_msdata.dir/msdata/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_msdata.dir/msdata/test_pipeline.cpp.o.d"
+  "/root/repo/tests/msdata/test_precursor_index.cpp" "tests/CMakeFiles/test_msdata.dir/msdata/test_precursor_index.cpp.o" "gcc" "tests/CMakeFiles/test_msdata.dir/msdata/test_precursor_index.cpp.o.d"
+  "/root/repo/tests/msdata/test_quality.cpp" "tests/CMakeFiles/test_msdata.dir/msdata/test_quality.cpp.o" "gcc" "tests/CMakeFiles/test_msdata.dir/msdata/test_quality.cpp.o.d"
+  "/root/repo/tests/msdata/test_synth.cpp" "tests/CMakeFiles/test_msdata.dir/msdata/test_synth.cpp.o" "gcc" "tests/CMakeFiles/test_msdata.dir/msdata/test_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/gas_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/thrustlite/CMakeFiles/gas_thrustlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gas_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gas_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/msdata/CMakeFiles/gas_msdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooc/CMakeFiles/gas_ooc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msdata.dir/msdata/test_binning.cpp.o"
+  "CMakeFiles/test_msdata.dir/msdata/test_binning.cpp.o.d"
+  "CMakeFiles/test_msdata.dir/msdata/test_mgf_fuzz.cpp.o"
+  "CMakeFiles/test_msdata.dir/msdata/test_mgf_fuzz.cpp.o.d"
+  "CMakeFiles/test_msdata.dir/msdata/test_mgf_io.cpp.o"
+  "CMakeFiles/test_msdata.dir/msdata/test_mgf_io.cpp.o.d"
+  "CMakeFiles/test_msdata.dir/msdata/test_pipeline.cpp.o"
+  "CMakeFiles/test_msdata.dir/msdata/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_msdata.dir/msdata/test_precursor_index.cpp.o"
+  "CMakeFiles/test_msdata.dir/msdata/test_precursor_index.cpp.o.d"
+  "CMakeFiles/test_msdata.dir/msdata/test_quality.cpp.o"
+  "CMakeFiles/test_msdata.dir/msdata/test_quality.cpp.o.d"
+  "CMakeFiles/test_msdata.dir/msdata/test_synth.cpp.o"
+  "CMakeFiles/test_msdata.dir/msdata/test_synth.cpp.o.d"
+  "test_msdata"
+  "test_msdata.pdb"
+  "test_msdata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

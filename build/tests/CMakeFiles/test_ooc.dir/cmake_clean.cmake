@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ooc.dir/ooc/test_auto_sort.cpp.o"
+  "CMakeFiles/test_ooc.dir/ooc/test_auto_sort.cpp.o.d"
+  "CMakeFiles/test_ooc.dir/ooc/test_ooc_properties.cpp.o"
+  "CMakeFiles/test_ooc.dir/ooc/test_ooc_properties.cpp.o.d"
+  "CMakeFiles/test_ooc.dir/ooc/test_out_of_core.cpp.o"
+  "CMakeFiles/test_ooc.dir/ooc/test_out_of_core.cpp.o.d"
+  "test_ooc"
+  "test_ooc.pdb"
+  "test_ooc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simt/test_block_ctx.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_block_ctx.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_block_ctx.cpp.o.d"
+  "/root/repo/tests/simt/test_cost_model.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_cost_model.cpp.o.d"
+  "/root/repo/tests/simt/test_device_memory.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_device_memory.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_device_memory.cpp.o.d"
+  "/root/repo/tests/simt/test_launch.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_launch.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_launch.cpp.o.d"
+  "/root/repo/tests/simt/test_memory_fuzz.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_memory_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_memory_fuzz.cpp.o.d"
+  "/root/repo/tests/simt/test_occupancy.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_occupancy.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_occupancy.cpp.o.d"
+  "/root/repo/tests/simt/test_parallel_launch.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_parallel_launch.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_parallel_launch.cpp.o.d"
+  "/root/repo/tests/simt/test_report.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_report.cpp.o.d"
+  "/root/repo/tests/simt/test_stream.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_stream.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_stream.cpp.o.d"
+  "/root/repo/tests/simt/test_timeline_fuzz.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_timeline_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_timeline_fuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/gas_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/thrustlite/CMakeFiles/gas_thrustlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gas_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gas_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/msdata/CMakeFiles/gas_msdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooc/CMakeFiles/gas_ooc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt.dir/simt/test_block_ctx.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/test_block_ctx.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/test_cost_model.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/test_device_memory.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/test_device_memory.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/test_launch.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/test_launch.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/test_memory_fuzz.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/test_memory_fuzz.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/test_occupancy.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/test_occupancy.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/test_parallel_launch.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/test_parallel_launch.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/test_report.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/test_report.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/test_stream.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/test_stream.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/test_timeline_fuzz.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/test_timeline_fuzz.cpp.o.d"
+  "test_simt"
+  "test_simt.pdb"
+  "test_simt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

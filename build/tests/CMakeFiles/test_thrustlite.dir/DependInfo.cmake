@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/thrustlite/test_algorithms.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_algorithms.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_algorithms.cpp.o.d"
+  "/root/repo/tests/thrustlite/test_device_vector.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_device_vector.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_device_vector.cpp.o.d"
+  "/root/repo/tests/thrustlite/test_float_ordering.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_float_ordering.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_float_ordering.cpp.o.d"
+  "/root/repo/tests/thrustlite/test_radix64.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix64.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix64.cpp.o.d"
+  "/root/repo/tests/thrustlite/test_radix_properties.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_properties.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_properties.cpp.o.d"
+  "/root/repo/tests/thrustlite/test_radix_sort.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_sort.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_sort.cpp.o.d"
+  "/root/repo/tests/thrustlite/test_reduce_scan.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_reduce_scan.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_reduce_scan.cpp.o.d"
+  "/root/repo/tests/thrustlite/test_segmented.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_segmented.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_segmented.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/gas_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/thrustlite/CMakeFiles/gas_thrustlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gas_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gas_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/msdata/CMakeFiles/gas_msdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooc/CMakeFiles/gas_ooc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

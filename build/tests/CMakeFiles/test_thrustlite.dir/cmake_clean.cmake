@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_algorithms.cpp.o"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_algorithms.cpp.o.d"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_device_vector.cpp.o"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_device_vector.cpp.o.d"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_float_ordering.cpp.o"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_float_ordering.cpp.o.d"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix64.cpp.o"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix64.cpp.o.d"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_properties.cpp.o"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_properties.cpp.o.d"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_sort.cpp.o"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_sort.cpp.o.d"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_reduce_scan.cpp.o"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_reduce_scan.cpp.o.d"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_segmented.cpp.o"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_segmented.cpp.o.d"
+  "test_thrustlite"
+  "test_thrustlite.pdb"
+  "test_thrustlite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thrustlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

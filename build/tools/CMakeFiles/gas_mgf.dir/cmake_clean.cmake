@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_mgf.dir/gas_mgf.cpp.o"
+  "CMakeFiles/gas_mgf.dir/gas_mgf.cpp.o.d"
+  "gas_mgf"
+  "gas_mgf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_mgf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_sortfile.dir/gas_sortfile.cpp.o"
+  "CMakeFiles/gas_sortfile.dir/gas_sortfile.cpp.o.d"
+  "gas_sortfile"
+  "gas_sortfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_sortfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gas_sortfile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[tool.gas_mgf.workflow]=] "/usr/bin/cmake" "-DGAS_MGF=/root/repo/build/tools/gas_mgf" "-DWORK_DIR=/root/repo/build/tools" "-P" "/root/repo/tools/test_gas_mgf.cmake")
+set_tests_properties([=[tool.gas_mgf.workflow]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[tool.gas_sortfile.workflow]=] "/usr/bin/cmake" "-DGAS_SORTFILE=/root/repo/build/tools/gas_sortfile" "-DWORK_DIR=/root/repo/build/tools" "-P" "/root/repo/tools/test_gas_sortfile.cmake")
+set_tests_properties([=[tool.gas_sortfile.workflow]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[tool.gas_sortfile.rejects_bad_usage]=] "/root/repo/build/tools/gas_sortfile" "definitely-not-a-command")
+set_tests_properties([=[tool.gas_sortfile.rejects_bad_usage]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
