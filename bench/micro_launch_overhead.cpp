@@ -1,0 +1,148 @@
+// Launch-overhead microbenchmark: launches/second through the persistent
+// worker pool vs. the old per-launch strategy (spawn + join a std::thread
+// per worker, each constructing a fresh BlockCtx with its 48 KB arena).
+//
+// Small grids are where overhead dominates — a 4-block kernel simulates in
+// microseconds, so per-launch thread creation was the bill.  GPU-ArraySort
+// issues dozens of launches per sort (STA: 3 kernels x 8 passes x 3 sorts),
+// which is why the pool exists.  Acceptance: >= 3x launches/sec on small
+// grids.
+//
+// Output: a human table, then one JSON object on stdout (machine-readable;
+// --json PATH writes the same object to a file).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "simt/cost_model.hpp"
+#include "simt/device.hpp"
+#include "simt/kernel.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The tiny kernel body both strategies execute per block.
+void tiny_body(simt::BlockCtx& blk) {
+    blk.for_each_thread([&](simt::ThreadCtx& tc) { tc.ops(1); });
+}
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Launches/sec through Device::launch (the persistent pool).
+double pool_rate(simt::Device& dev, unsigned grid, unsigned block, int iters) {
+    for (int i = 0; i < 16; ++i) dev.launch({"micro.tiny", grid, block}, tiny_body);
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) dev.launch({"micro.tiny", grid, block}, tiny_body);
+    return iters / seconds_since(t0);
+}
+
+/// Launches/sec with the pre-pool strategy: every launch spawns `workers`
+/// std::threads, each of which constructs its own BlockCtx (48 KB shared
+/// arena included), pulls blocks from a shared counter, and is joined.
+/// Cost aggregation mirrors Device::launch so the work per block matches.
+double spawn_rate(const simt::DeviceProperties& props, unsigned grid, unsigned block,
+                  unsigned workers, int iters) {
+    const simt::CostModel model(props);
+    workers = std::min(workers, grid);
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+        std::vector<simt::BlockCost> records(grid);
+        std::atomic<unsigned> next{0};
+        auto worker = [&](unsigned slot) {
+            simt::BlockCtx ctx(block, grid, props.shared_memory_per_block,
+                               simt::ThreadOrder::Forward, slot);
+            for (unsigned b = next.fetch_add(1); b < grid; b = next.fetch_add(1)) {
+                ctx.begin_block(b);
+                tiny_body(ctx);
+                records[b] = model.block_cost(ctx.lanes());
+            }
+        };
+        std::vector<std::thread> threads;
+        threads.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) threads.emplace_back(worker, w);
+        for (auto& t : threads) t.join();
+        double cycles = 0.0;
+        for (const auto& r : records) cycles += r.cycles;
+        (void)cycles;
+    }
+    return iters / seconds_since(t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string json_path;
+    int iters = 2000;
+    int spawn_iters = 300;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+            iters = std::max(1, std::atoi(argv[++i]));
+            spawn_iters = std::max(1, iters / 4);
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: %s [--iters N] [--json PATH]\n", argv[0]);
+            return 0;
+        }
+    }
+
+    const unsigned workers = std::max(std::thread::hardware_concurrency(), 1u);
+    simt::Device dev(simt::tesla_k40c(), simt::DeviceMemory::Mode::Backed, workers);
+    const unsigned grids[] = {1, 4, 16, 64, 256};
+    const unsigned block = 32;
+
+    std::printf("Launch overhead: persistent pool vs per-launch thread spawning\n");
+    std::printf("host workers: %u, block_dim: %u, %d pool iters / %d spawn iters\n",
+                workers, block, iters, spawn_iters);
+    bench::rule('=');
+    std::printf("%8s | %18s %18s | %8s\n", "grid", "pool launches/s", "spawn launches/s",
+                "speedup");
+    bench::rule();
+
+    std::string json = "{\"bench\":\"micro_launch_overhead\",\"workers\":" +
+                       std::to_string(workers) + ",\"block_dim\":" + std::to_string(block) +
+                       ",\"results\":[";
+    bool ok = true;
+    for (std::size_t i = 0; i < std::size(grids); ++i) {
+        const unsigned grid = grids[i];
+        // Larger grids do real per-block work; scale iterations down so the
+        // bench stays quick without losing resolution.
+        const int scale = grid >= 64 ? 4 : 1;
+        const double pool = pool_rate(dev, grid, block, iters / scale);
+        const double spawn = spawn_rate(dev.props(), grid, block, workers,
+                                        spawn_iters / scale);
+        const double speedup = pool / spawn;
+        if (grid <= 16 && speedup < 3.0) ok = false;
+        std::printf("%8u | %18.0f %18.0f | %7.1fx\n", grid, pool, spawn, speedup);
+        std::fflush(stdout);
+        char row[256];
+        std::snprintf(row, sizeof(row),
+                      "%s{\"grid\":%u,\"pool_launches_per_sec\":%.1f,"
+                      "\"spawn_launches_per_sec\":%.1f,\"speedup\":%.3f}",
+                      i == 0 ? "" : ",", grid, pool, spawn, speedup);
+        json += row;
+    }
+    json += "],\"small_grid_speedup_ge_3x\":";
+    json += ok ? "true" : "false";
+    json += "}";
+
+    bench::rule();
+    std::printf("small grids (<=16 blocks) >= 3x: %s\n", ok ? "yes" : "NO");
+    std::printf("%s\n", json.c_str());
+    if (!json_path.empty()) {
+        if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+            std::fprintf(f, "%s\n", json.c_str());
+            std::fclose(f);
+        }
+    }
+    return ok ? 0 : 1;
+}

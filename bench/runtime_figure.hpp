@@ -55,7 +55,12 @@ inline int run_runtime_figure(const char* figure, std::size_t array_size, int ar
             simt::Device dev = bench::make_device();
             simt::DeviceBuffer<float> data(dev, ds.values.size());
             simt::copy_to_device(std::span<const float>(ds.values), data);
-            const auto s = sta::sta_sort_on_device(dev, data, num_arrays, array_size);
+            // Paper-faithful STA: Thrust's radix sort always runs all 8
+            // digit passes, so the figures disable key-range pass pruning
+            // (the production default) for the baseline.
+            sta::StaOptions sta_opts;
+            sta_opts.radix.prune_passes = false;
+            const auto s = sta::sta_sort_on_device(dev, data, num_arrays, array_size, sta_opts);
             sta_modeled = s.modeled_ms;
             sta_wall = s.wall_ms;
         }

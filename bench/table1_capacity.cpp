@@ -34,7 +34,10 @@ bool gas_fits(std::size_t num_arrays, std::size_t array_size) {
 }
 
 /// Replays STA's allocations: merged data + tags + radix double buffers +
-/// per-block histograms (the peak lives inside stable_sort_by_key).
+/// per-block histograms (the peak lives inside stable_sort_by_key).  Radix
+/// pass pruning does not change this: scratch is allocated up front for any
+/// pass count, so Table 1 holds for the pruned and the paper-faithful mode
+/// alike (u32 keys — the default key width of radix_scratch_bytes).
 bool sta_fits(std::size_t num_arrays, std::size_t array_size) {
     simt::Device dev(simt::tesla_k40c(), simt::DeviceMemory::Mode::Virtual);
     const std::size_t count = num_arrays * array_size;

@@ -10,7 +10,8 @@ namespace baseline {
 
 SequentialStats sequential_sort_on_device(simt::Device& device,
                                           simt::DeviceBuffer<float>& data,
-                                          std::size_t num_arrays, std::size_t array_size) {
+                                          std::size_t num_arrays, std::size_t array_size,
+                                          const thrustlite::RadixOptions& radix) {
     SequentialStats stats;
     stats.num_arrays = num_arrays;
     stats.array_size = array_size;
@@ -27,7 +28,7 @@ SequentialStats sequential_sort_on_device(simt::Device& device,
     auto keys = thrustlite::to_ordered_inplace(
         device, data.span().subspan(0, num_arrays * array_size));
     for (std::size_t a = 0; a < num_arrays; ++a) {
-        thrustlite::stable_sort(device, keys.subspan(a * array_size, array_size));
+        thrustlite::stable_sort(device, keys.subspan(a * array_size, array_size), radix);
     }
     thrustlite::from_ordered_inplace(device,
                                      data.span().subspan(0, num_arrays * array_size));
@@ -43,7 +44,8 @@ SequentialStats sequential_sort_on_device(simt::Device& device,
 }
 
 SequentialStats sequential_sort(simt::Device& device, std::span<float> host_data,
-                                std::size_t num_arrays, std::size_t array_size) {
+                                std::size_t num_arrays, std::size_t array_size,
+                                const thrustlite::RadixOptions& radix) {
     SequentialStats stats;
     if (num_arrays == 0 || array_size == 0) return stats;
     if (host_data.size() < num_arrays * array_size) {
@@ -51,7 +53,7 @@ SequentialStats sequential_sort(simt::Device& device, std::span<float> host_data
     }
     simt::DeviceBuffer<float> data(device, num_arrays * array_size);
     simt::copy_to_device(std::span<const float>(host_data), data);
-    stats = sequential_sort_on_device(device, data, num_arrays, array_size);
+    stats = sequential_sort_on_device(device, data, num_arrays, array_size, radix);
     simt::copy_to_host(data, host_data);
     return stats;
 }

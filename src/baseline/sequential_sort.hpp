@@ -5,6 +5,7 @@
 
 #include "simt/device.hpp"
 #include "simt/device_buffer.hpp"
+#include "thrustlite/radix_sort.hpp"
 
 namespace baseline {
 
@@ -25,12 +26,17 @@ struct SequentialStats {
 /// and leaves most of the device idle (a 1000-element sort occupies a
 /// fraction of one SM's wavefront), which is exactly why a dedicated
 /// many-array sort is needed.
+/// `radix` is handed to every per-array sort; the default keeps key-range
+/// pass pruning on.  Pass `{.prune_passes = false}` for the paper-faithful
+/// fixed-8-pass strawman (its launch count is then exactly 24 N + 2).
 SequentialStats sequential_sort_on_device(simt::Device& device,
                                           simt::DeviceBuffer<float>& data,
-                                          std::size_t num_arrays, std::size_t array_size);
+                                          std::size_t num_arrays, std::size_t array_size,
+                                          const thrustlite::RadixOptions& radix = {});
 
 /// Host wrapper (upload, sort, download).
 SequentialStats sequential_sort(simt::Device& device, std::span<float> host_data,
-                                std::size_t num_arrays, std::size_t array_size);
+                                std::size_t num_arrays, std::size_t array_size,
+                                const thrustlite::RadixOptions& radix = {});
 
 }  // namespace baseline

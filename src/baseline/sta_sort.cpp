@@ -69,17 +69,17 @@ StaStats sta_sort_on_device(simt::Device& device, simt::DeviceBuffer<float>& dat
 
     // Step III: stable sort (data carried) by tags — redundant but faithful.
     if (opts.include_redundant_tag_sort) {
-        thrustlite::stable_sort_by_key(device, tags.span(), keys);
+        thrustlite::stable_sort_by_key(device, tags.span(), keys, opts.radix);
         stats.redundant_sort_ms = timer.step();
     }
 
     // Step IV: stable sort by the data values, tags carried along.
-    thrustlite::stable_sort_by_key(device, keys, tags.span());
+    thrustlite::stable_sort_by_key(device, keys, tags.span(), opts.radix);
     stats.value_sort_ms = timer.step();
 
     // Step V: stable sort by tags restores per-array grouping; stability
     // keeps each group's values in the sorted order established by step IV.
-    thrustlite::stable_sort_by_key(device, tags.span(), keys);
+    thrustlite::stable_sort_by_key(device, tags.span(), keys, opts.radix);
     stats.restore_sort_ms = timer.step();
 
     // Back to floats.

@@ -5,6 +5,7 @@
 
 #include "simt/device.hpp"
 #include "simt/device_buffer.hpp"
+#include "thrustlite/radix_sort.hpp"
 
 namespace sta {
 
@@ -16,6 +17,12 @@ struct StaOptions {
     /// procedure, so the faithful default is to run it.
     bool include_redundant_tag_sort = true;
     bool validate = false;
+    /// Passed to every stable_sort_by_key.  Default leaves key-range pass
+    /// pruning on (the production path: the tag sorts cover only
+    /// [0, num_arrays), so most of their 8 passes are provably redundant).
+    /// The paper-reproduction benches (fig4-fig7) set
+    /// `radix.prune_passes = false` to model Thrust's fixed 8-pass sort.
+    thrustlite::RadixOptions radix{};
 };
 
 /// Cost breakdown of one STA run.

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "simt/cost_model.hpp"
 #include "simt/device_memory.hpp"
 #include "simt/device_properties.hpp"
 #include "simt/kernel.hpp"
+#include "simt/thread_pool.hpp"
 
 namespace simt {
 
@@ -59,11 +61,21 @@ class Device {
     }
 
   private:
+    /// The persistent worker pool (and its BlockCtx slots), created on first
+    /// launch and kept for the device's lifetime: repeated launches reuse
+    /// parked threads and warm shared-memory arenas instead of spawning and
+    /// allocating per launch.
+    ThreadPool& pool() {
+        if (!pool_) pool_ = std::make_unique<ThreadPool>();
+        return *pool_;
+    }
+
     DeviceProperties props_;
     DeviceMemory memory_;
     CostModel cost_model_;
     ThreadOrder thread_order_ = ThreadOrder::Forward;
     unsigned host_workers_ = 1;
+    std::unique_ptr<ThreadPool> pool_;
     std::vector<KernelStats> kernel_log_;
 };
 

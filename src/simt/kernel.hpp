@@ -60,6 +60,10 @@ class ThreadCtx {
 /// barriers).  The simulator may run lanes in forward or reverse order.
 class BlockCtx {
   public:
+    /// An unconfigured context (a pooled execution slot awaiting its first
+    /// launch); configure() must run before any block does.
+    BlockCtx() = default;
+
     BlockCtx(unsigned block_dim, unsigned grid_dim, std::size_t shared_capacity,
              ThreadOrder order, unsigned slot = 0)
         : grid_dim_(grid_dim),
@@ -69,6 +73,25 @@ class BlockCtx {
           order_(order),
           shared_(shared_capacity),
           lanes_(block_dim) {}
+
+    /// Re-targets the context at a new launch shape, reusing the shared
+    /// arena and lane storage already held (persistent-pool slot reuse: no
+    /// per-launch 48 KB allocation).  Resets the shared high-water mark so a
+    /// reused slot never reports a previous launch's footprint.  Like fresh
+    /// construction, arena *contents* are unspecified — kernels own
+    /// initializing what they read, exactly as with __shared__ memory.
+    void configure(unsigned block_dim, unsigned grid_dim, std::size_t shared_capacity,
+                   ThreadOrder order, unsigned slot) {
+        grid_dim_ = grid_dim;
+        block_dim_ = block_dim;
+        slot_ = slot;
+        shared_capacity_ = shared_capacity;
+        order_ = order;
+        shared_used_ = 0;
+        shared_high_water_ = 0;
+        if (shared_.size() < shared_capacity_) shared_.resize(shared_capacity_);
+        lanes_.resize(block_dim_);
+    }
 
     [[nodiscard]] unsigned block_idx() const { return block_idx_; }
     [[nodiscard]] unsigned grid_dim() const { return grid_dim_; }
@@ -138,13 +161,13 @@ class BlockCtx {
 
   private:
     unsigned block_idx_ = 0;
-    unsigned grid_dim_;
-    unsigned block_dim_;
+    unsigned grid_dim_ = 0;
+    unsigned block_dim_ = 0;
     unsigned slot_ = 0;
-    std::size_t shared_capacity_;
+    std::size_t shared_capacity_ = 0;
     std::size_t shared_used_ = 0;
     std::size_t shared_high_water_ = 0;
-    ThreadOrder order_;
+    ThreadOrder order_ = ThreadOrder::Forward;
     std::vector<std::byte> shared_;
     std::vector<LaneCounters> lanes_;
 };

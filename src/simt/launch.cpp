@@ -1,8 +1,5 @@
 #include <atomic>
 #include <chrono>
-#include <exception>
-#include <mutex>
-#include <thread>
 
 #include "simt/device.hpp"
 
@@ -50,41 +47,39 @@ KernelStats Device::launch(const LaunchConfig& cfg,
 
     std::vector<BlockRecord> records(cfg.grid_dim);
     const unsigned workers = std::min(host_workers_, cfg.grid_dim);
+    ThreadPool& workers_pool = pool();
 
     const auto t0 = std::chrono::steady_clock::now();
     if (workers <= 1) {
-        BlockCtx ctx(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
-                     thread_order_, /*slot=*/0);
+        // Sequential path still goes through slot 0 so the shared-memory
+        // arena is reused across launches instead of reallocated.
+        workers_pool.reserve_slots(1);
+        BlockCtx& ctx = workers_pool.block_ctx(0);
+        ctx.configure(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
+                      thread_order_, /*slot=*/0);
         for (unsigned b = 0; b < cfg.grid_dim; ++b) {
             run_block(body, ctx, cost_model_, b, records[b]);
         }
     } else {
-        // Worker pool: each worker owns a BlockCtx (its execution slot) and
-        // pulls block ids from a shared counter.  Exceptions propagate to
-        // the caller after every worker has stopped.
+        // Persistent worker pool: each worker owns a BlockCtx (its execution
+        // slot) and pulls block ids from a shared counter.  A failing block
+        // drains the counter so peers stop early; the pool rethrows the
+        // first exception after every worker has stopped.
         std::atomic<unsigned> next{0};
-        std::exception_ptr failure;
-        std::mutex failure_mutex;
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned w = 0; w < workers; ++w) {
-            pool.emplace_back([&, w] {
-                BlockCtx ctx(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
-                             thread_order_, /*slot=*/w);
-                try {
-                    for (unsigned b = next.fetch_add(1); b < cfg.grid_dim;
-                         b = next.fetch_add(1)) {
-                        run_block(body, ctx, cost_model_, b, records[b]);
-                    }
-                } catch (...) {
-                    const std::scoped_lock lock(failure_mutex);
-                    if (!failure) failure = std::current_exception();
-                    next.store(cfg.grid_dim);  // drain remaining work
+        workers_pool.run(workers, [&](unsigned w) {
+            BlockCtx& ctx = workers_pool.block_ctx(w);
+            ctx.configure(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
+                          thread_order_, /*slot=*/w);
+            try {
+                for (unsigned b = next.fetch_add(1); b < cfg.grid_dim;
+                     b = next.fetch_add(1)) {
+                    run_block(body, ctx, cost_model_, b, records[b]);
                 }
-            });
-        }
-        for (auto& t : pool) t.join();
-        if (failure) std::rethrow_exception(failure);
+            } catch (...) {
+                next.store(cfg.grid_dim);  // drain remaining work
+                throw;
+            }
+        });
     }
     const auto t1 = std::chrono::steady_clock::now();
     stats.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();

@@ -1,0 +1,88 @@
+#include "simt/thread_pool.hpp"
+
+#include <utility>
+
+namespace simt {
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::scoped_lock lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::reserve_slots(unsigned workers) {
+    while (slots_.size() < workers) slots_.push_back(std::make_unique<BlockCtx>());
+}
+
+void ThreadPool::ensure_threads(unsigned count) {
+    while (threads_.size() < count) {
+        const auto index = static_cast<unsigned>(threads_.size());
+        threads_.emplace_back([this, index] { worker_main(index); });
+    }
+}
+
+void ThreadPool::run(unsigned workers, const std::function<void(unsigned)>& task) {
+    if (workers == 0) return;
+    reserve_slots(workers);
+    if (workers == 1) {
+        task(0);
+        return;
+    }
+    ensure_threads(workers - 1);
+    {
+        const std::scoped_lock lock(mutex_);
+        task_ = &task;
+        participants_ = workers - 1;
+        remaining_ = workers - 1;
+        failure_ = nullptr;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+    // The caller is worker 0: it does real work instead of sleeping in join().
+    try {
+        task(0);
+    } catch (...) {
+        const std::scoped_lock lock(mutex_);
+        if (!failure_) failure_ = std::current_exception();
+    }
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    task_ = nullptr;
+    participants_ = 0;
+    if (failure_) {
+        const std::exception_ptr f = std::exchange(failure_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(f);
+    }
+}
+
+void ThreadPool::worker_main(unsigned index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(unsigned)>* task = nullptr;
+        {
+            std::unique_lock lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return stopping_ || (generation_ != seen && index < participants_);
+            });
+            if (stopping_) return;
+            seen = generation_;
+            task = task_;
+        }
+        try {
+            (*task)(index + 1);  // worker 0 is the calling thread
+        } catch (...) {
+            const std::scoped_lock lock(mutex_);
+            if (!failure_) failure_ = std::current_exception();
+        }
+        {
+            const std::scoped_lock lock(mutex_);
+            if (--remaining_ == 0) done_cv_.notify_one();
+        }
+    }
+}
+
+}  // namespace simt

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "thrustlite/algorithms.hpp"
+#include "thrustlite/reduce_scan.hpp"
 
 namespace thrustlite {
 
@@ -13,12 +14,40 @@ constexpr unsigned kRadixBits = 4;
 constexpr unsigned kDigits = 1u << kRadixBits;
 constexpr std::size_t kChunk = kTileSize / kBlockThreads;  // elements per thread
 
-/// Digit passes for a key type (8 for u32, 16 for u64) — always even, so the
-/// double-buffered result lands back in the caller's buffers.
+/// Digit passes for a key type (8 for u32, 16 for u64) — always even, so
+/// without pruning the double-buffered result lands back in the caller's
+/// buffers.  With pruning an odd executed count is fixed by one copy-back.
 template <typename K>
 constexpr unsigned passes_for() {
     static_assert(sizeof(K) * 8 % kRadixBits == 0);
     return sizeof(K) * 8 / kRadixBits;
+}
+
+/// Digit passes needed to cover every significant bit of `max_key` (at
+/// least one, so an executed or provably skippable pass exists even for
+/// all-zero keys).
+template <typename K>
+unsigned passes_needed(K max_key) {
+    unsigned bits = 0;
+    for (K v = max_key; v != 0; v >>= 1) ++bits;
+    return std::max(1u, (bits + kRadixBits - 1) / kRadixBits);
+}
+
+/// True when one digit bin holds every key — the pass would be a stable
+/// identity permutation.  Host-side scan of the per-block histogram; on real
+/// hardware this is a kDigits-counter readback (or a device-side flag), tiny
+/// next to the scatter pass it saves.
+bool histogram_is_single_digit(std::span<const std::uint32_t> hist, unsigned num_blocks,
+                               std::size_t count) {
+    for (unsigned d = 0; d < kDigits; ++d) {
+        std::uint64_t total = 0;
+        for (unsigned b = 0; b < num_blocks; ++b) {
+            total += hist[static_cast<std::size_t>(d) * num_blocks + b];
+        }
+        if (total == count) return true;
+        if (total != 0) return false;  // two non-empty bins: pass must run
+    }
+    return false;
 }
 
 template <typename K>
@@ -181,9 +210,34 @@ void scatter_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned sh
     });
 }
 
+/// Copy-back kernel: when pruning leaves an odd number of executed passes,
+/// the result sits in the alternate buffer; one coalesced pass brings keys
+/// (and payload) home to the caller's buffers.
+template <typename K>
+void copy_back_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned num_blocks) {
+    const bool with_values = !buf.vals_in.empty();
+    simt::LaunchConfig cfg{"radix.copy_back", num_blocks, kBlockThreads};
+    device.launch(cfg, [&](simt::BlockCtx& blk) {
+        const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTileSize;
+        const std::size_t tile_end = std::min(tile_begin + kTileSize, buf.keys_in.size());
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const std::size_t begin = tile_begin + tc.tid() * kChunk;
+            const std::size_t end = std::min(begin + kChunk, tile_end);
+            for (std::size_t i = begin; i < end; ++i) {
+                buf.keys_out[i] = buf.keys_in[i];
+                if (with_values) buf.vals_out[i] = buf.vals_in[i];
+            }
+            const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
+            tc.global_coalesced(2 * n *
+                                (sizeof(K) + (with_values ? sizeof(std::uint32_t) : 0)));
+            tc.ops(n);
+        });
+    });
+}
+
 template <typename K>
 RadixStats sort_impl(simt::Device& device, std::span<K> keys,
-                     std::span<std::uint32_t> values) {
+                     std::span<std::uint32_t> values, const RadixOptions& opts) {
     RadixStats stats;
     const std::size_t count = keys.size();
     if (count == 0) return stats;
@@ -207,19 +261,45 @@ RadixStats sort_impl(simt::Device& device, std::span<K> keys,
         with_values ? values : std::span<std::uint32_t>{},
         with_values ? vals_alt.span() : std::span<std::uint32_t>{}};
 
-    for (unsigned pass = 0; pass < passes_for<K>(); ++pass) {
+    const unsigned total_passes = passes_for<K>();
+    unsigned needed = total_passes;
+    if (opts.prune_passes) {
+        // Bound the highest significant digit once: every pass above it has
+        // digit 0 for every key and is skipped without running any kernel.
+        const K max_key = reduce_max_key(device, std::span<const K>(keys));
+        needed = std::min(total_passes, passes_needed(max_key));
+    }
+
+    unsigned src = 0;  // which buffer currently holds the data
+    for (unsigned pass = 0; pass < needed; ++pass) {
         const unsigned shift = pass * kRadixBits;
-        const unsigned src = pass % 2;
         PassBuffers<K> buf{key_bufs[src], key_bufs[1 - src], val_bufs[src], val_bufs[1 - src]};
 
         histogram_kernel<K>(device, buf.keys_in, shift, hist.span(), num_blocks);
+        if (opts.prune_passes &&
+            histogram_is_single_digit(hist.span(), num_blocks, count)) {
+            // Every key shares this digit: scattering would copy the data
+            // unchanged.  Skip the offsets + scatter kernels; the data stays
+            // in the current buffer (no parity flip).
+            ++stats.passes_skipped;
+            continue;
+        }
         offsets_kernel(device, hist.span(), num_blocks);
         scatter_kernel<K>(device, buf, shift, hist.span(), num_blocks);
         ++stats.passes;
+        src = 1 - src;
     }
-    // The pass count is even for every key width, so the final output
-    // already lives in the caller's buffers; no copy-back pass is needed.
+    stats.passes_skipped += total_passes - needed;
+
+    // Without pruning the executed pass count is even for every key width
+    // (static_assert below), so the result is already home.  With pruning an
+    // odd count leaves it in the alternate buffer: copy it back once.
     static_assert(passes_for<K>() % 2 == 0);
+    if (src == 1) {
+        const PassBuffers<K> buf{key_bufs[1], key_bufs[0], val_bufs[1], val_bufs[0]};
+        copy_back_kernel<K>(device, buf, num_blocks);
+        stats.copy_back = true;
+    }
 
     const auto t1 = std::chrono::steady_clock::now();
     stats.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -232,33 +312,35 @@ RadixStats sort_impl(simt::Device& device, std::span<K> keys,
 }  // namespace
 
 RadixStats stable_sort_by_key(simt::Device& device, std::span<std::uint32_t> keys,
-                              std::span<std::uint32_t> values) {
+                              std::span<std::uint32_t> values, const RadixOptions& opts) {
     if (keys.size() != values.size()) {
         throw simt::DeviceError("stable_sort_by_key: keys/values size mismatch");
     }
-    return sort_impl<std::uint32_t>(device, keys, values);
+    return sort_impl<std::uint32_t>(device, keys, values, opts);
 }
 
-RadixStats stable_sort(simt::Device& device, std::span<std::uint32_t> keys) {
-    return sort_impl<std::uint32_t>(device, keys, {});
+RadixStats stable_sort(simt::Device& device, std::span<std::uint32_t> keys,
+                       const RadixOptions& opts) {
+    return sort_impl<std::uint32_t>(device, keys, {}, opts);
 }
 
 RadixStats stable_sort_by_key(simt::Device& device, std::span<std::uint64_t> keys,
-                              std::span<std::uint32_t> values) {
+                              std::span<std::uint32_t> values, const RadixOptions& opts) {
     if (keys.size() != values.size()) {
         throw simt::DeviceError("stable_sort_by_key: keys/values size mismatch");
     }
-    return sort_impl<std::uint64_t>(device, keys, values);
+    return sort_impl<std::uint64_t>(device, keys, values, opts);
 }
 
-RadixStats stable_sort(simt::Device& device, std::span<std::uint64_t> keys) {
-    return sort_impl<std::uint64_t>(device, keys, {});
+RadixStats stable_sort(simt::Device& device, std::span<std::uint64_t> keys,
+                       const RadixOptions& opts) {
+    return sort_impl<std::uint64_t>(device, keys, {}, opts);
 }
 
-std::size_t radix_scratch_bytes(std::size_t count, bool with_values) {
+std::size_t radix_scratch_bytes(std::size_t count, bool with_values, std::size_t key_bytes) {
     const std::size_t num_blocks = (count + kTileSize - 1) / kTileSize;
-    const std::size_t doubled = count * sizeof(std::uint32_t) * (with_values ? 2 : 1);
-    return doubled + kDigits * num_blocks * sizeof(std::uint32_t);
+    return count * key_bytes + (with_values ? count * sizeof(std::uint32_t) : 0) +
+           kDigits * num_blocks * sizeof(std::uint32_t);
 }
 
 }  // namespace thrustlite

@@ -16,38 +16,37 @@ unsigned num_tiles(std::size_t count) {
     return static_cast<unsigned>(std::max<std::size_t>((count + kTileSize - 1) / kTileSize, 1));
 }
 
-/// Generic per-block tree reduction: each thread folds its chunk with
-/// `fold(acc, element)`, thread 0 merges the per-thread partials with
-/// `combine(a, b)` (distinct from fold — a count's element step is +pred
-/// while its partial merge is plain +).
-template <typename Fold, typename Combine>
-std::vector<float> block_reduce(simt::Device& device, const char* name,
-                                std::span<const float> data, float identity, Fold&& fold,
-                                Combine&& combine) {
+/// Generic per-block tree reduction over any trivially copyable element:
+/// each thread folds its chunk with `fold(acc, element)`, thread 0 merges
+/// the per-thread partials with `combine(a, b)` (distinct from fold — a
+/// count's element step is +pred while its partial merge is plain +).
+template <typename T, typename Fold, typename Combine>
+std::vector<T> block_reduce(simt::Device& device, const char* name, std::span<const T> data,
+                            T identity, Fold&& fold, Combine&& combine) {
     const std::size_t count = data.size();
     const unsigned blocks = num_tiles(count);
-    std::vector<float> partials(blocks, identity);
+    std::vector<T> partials(blocks, identity);
 
     simt::LaunchConfig cfg{name, blocks, kBlockThreads};
     device.launch(cfg, [&](simt::BlockCtx& blk) {
-        auto shared = blk.shared_alloc<float>(kBlockThreads);
+        auto shared = blk.shared_alloc<T>(kBlockThreads);
         const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTileSize;
         const std::size_t tile_end = std::min(tile_begin + kTileSize, count);
 
         blk.for_each_thread([&](simt::ThreadCtx& tc) {
             const std::size_t begin = tile_begin + tc.tid() * kChunk;
             const std::size_t end = std::min(begin + kChunk, tile_end);
-            float acc = identity;
+            T acc = identity;
             for (std::size_t i = begin; i < end; ++i) acc = fold(acc, data[i]);
             shared[tc.tid()] = acc;
             const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
-            tc.global_coalesced(n * sizeof(float));
+            tc.global_coalesced(n * sizeof(T));
             tc.ops(n);
             tc.shared(1);
         });
 
         blk.single_thread([&](simt::ThreadCtx& tc) {
-            float acc = identity;
+            T acc = identity;
             for (unsigned t = 0; t < kBlockThreads; ++t) acc = combine(acc, shared[t]);
             partials[blk.block_idx()] = acc;
             tc.ops(kBlockThreads);
@@ -56,6 +55,15 @@ std::vector<float> block_reduce(simt::Device& device, const char* name,
         });
     });
     return partials;
+}
+
+template <typename K>
+K reduce_max_key_impl(simt::Device& device, std::span<const K> keys) {
+    if (keys.empty()) throw std::invalid_argument("reduce_max_key: empty input");
+    const auto mx = [](K a, K b) { return std::max(a, b); };
+    const auto partials =
+        block_reduce<K>(device, "thrustlite.reduce_max_key", keys, keys[0], mx, mx);
+    return *std::max_element(partials.begin(), partials.end());
 }
 
 }  // namespace
@@ -85,6 +93,14 @@ float reduce_max(simt::Device& device, std::span<const float> data) {
     const auto partials =
         block_reduce(device, "thrustlite.reduce_max", data, data[0], mx, mx);
     return *std::max_element(partials.begin(), partials.end());
+}
+
+std::uint32_t reduce_max_key(simt::Device& device, std::span<const std::uint32_t> keys) {
+    return reduce_max_key_impl(device, keys);
+}
+
+std::uint64_t reduce_max_key(simt::Device& device, std::span<const std::uint64_t> keys) {
+    return reduce_max_key_impl(device, keys);
 }
 
 std::size_t count_less_equal(simt::Device& device, std::span<const float> data,

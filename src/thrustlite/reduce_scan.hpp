@@ -19,6 +19,13 @@ namespace thrustlite {
 [[nodiscard]] float reduce_min(simt::Device& device, std::span<const float> data);
 [[nodiscard]] float reduce_max(simt::Device& device, std::span<const float> data);
 
+/// Maximum radix key (the radix sort's pass-pruning probe: its bit width
+/// bounds the highest significant digit).  Precondition: keys non-empty.
+[[nodiscard]] std::uint32_t reduce_max_key(simt::Device& device,
+                                           std::span<const std::uint32_t> keys);
+[[nodiscard]] std::uint64_t reduce_max_key(simt::Device& device,
+                                           std::span<const std::uint64_t> keys);
+
 /// Number of elements <= threshold (predicated count, branch-free).
 [[nodiscard]] std::size_t count_less_equal(simt::Device& device, std::span<const float> data,
                                            float threshold);

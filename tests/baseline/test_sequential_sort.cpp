@@ -39,9 +39,12 @@ TEST(SequentialSort, AgreesWithGpuArraySort) {
 TEST(SequentialSort, LaunchCountScalesWithArrays) {
     // The strawman's defining property: kernel launches grow linearly in N
     // (8 radix passes x 3 kernels per array, plus the two conversions).
+    // Paper-faithful full-pass mode pins the count exactly; pruning would
+    // make it data-dependent (max-key probe + skipped passes).
     auto dev = make_device();
     auto ds = workload::make_dataset(10, 300, workload::Distribution::Uniform, 3);
-    const auto s = baseline::sequential_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+    const auto s = baseline::sequential_sort(dev, ds.values, ds.num_arrays, ds.array_size,
+                                             thrustlite::RadixOptions{.prune_passes = false});
     EXPECT_EQ(s.kernel_launches, 10u * 24u + 2u);
 }
 

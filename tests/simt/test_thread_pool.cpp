@@ -1,0 +1,222 @@
+// The persistent worker pool behind Device::launch: thread reuse, slot
+// reuse, exception semantics, and the bit-identical-stats contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+#include "simt/device.hpp"
+#include "simt/device_buffer.hpp"
+#include "simt/thread_pool.hpp"
+
+namespace {
+
+TEST(ThreadPool, CallerParticipatesAsWorkerZero) {
+    simt::ThreadPool pool;
+    std::mutex m;
+    std::set<std::thread::id> ids;
+    std::thread::id worker0_id;
+    pool.run(4, [&](unsigned w) {
+        std::lock_guard<std::mutex> lock(m);
+        ids.insert(std::this_thread::get_id());
+        if (w == 0) worker0_id = std::this_thread::get_id();
+    });
+    EXPECT_EQ(worker0_id, std::this_thread::get_id());
+    EXPECT_EQ(ids.size(), 4u);  // caller + 3 distinct pool threads
+    EXPECT_EQ(pool.threads(), 3u);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInlineWithoutThreads) {
+    simt::ThreadPool pool;
+    unsigned calls = 0;
+    pool.run(1, [&](unsigned w) {
+        EXPECT_EQ(w, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1u);
+    EXPECT_EQ(pool.threads(), 0u);
+}
+
+TEST(ThreadPool, ThreadsGrowOnDemandAndPersist) {
+    simt::ThreadPool pool;
+    pool.run(2, [](unsigned) {});
+    EXPECT_EQ(pool.threads(), 1u);
+    pool.run(6, [](unsigned) {});
+    EXPECT_EQ(pool.threads(), 5u);
+    pool.run(2, [](unsigned) {});
+    EXPECT_EQ(pool.threads(), 5u);  // grow-only: idle threads stay parked
+}
+
+TEST(ThreadPool, EveryWorkerRunsOncePerRunAcrossManyRuns) {
+    simt::ThreadPool pool;
+    std::atomic<unsigned> total{0};
+    for (int i = 0; i < 200; ++i) {
+        std::atomic<unsigned> mask{0};
+        pool.run(4, [&](unsigned w) {
+            total.fetch_add(1);
+            mask.fetch_or(1u << w);
+        });
+        EXPECT_EQ(mask.load(), 0b1111u);
+    }
+    EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(ThreadPool, PoolWorkerExceptionPropagatesAndPoolStaysUsable) {
+    simt::ThreadPool pool;
+    EXPECT_THROW(pool.run(4,
+                          [&](unsigned w) {
+                              if (w == 2) throw std::runtime_error("worker down");
+                          }),
+                 std::runtime_error);
+    // The pool must not hang, leak the exception, or lose workers.
+    std::atomic<unsigned> ran{0};
+    pool.run(4, [&](unsigned) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 4u);
+}
+
+TEST(ThreadPool, CallerExceptionAlsoPropagates) {
+    simt::ThreadPool pool;
+    EXPECT_THROW(pool.run(3,
+                          [&](unsigned w) {
+                              if (w == 0) throw std::logic_error("caller down");
+                          }),
+                 std::logic_error);
+    std::atomic<unsigned> ran{0};
+    pool.run(3, [&](unsigned) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 3u);
+}
+
+TEST(ThreadPool, SlotsAreDistinctAndStable) {
+    simt::ThreadPool pool;
+    pool.reserve_slots(3);
+    simt::BlockCtx* first[3] = {&pool.block_ctx(0), &pool.block_ctx(1), &pool.block_ctx(2)};
+    EXPECT_NE(first[0], first[1]);
+    EXPECT_NE(first[1], first[2]);
+    pool.reserve_slots(2);  // shrinking request must not invalidate slots
+    for (unsigned w = 0; w < 3; ++w) EXPECT_EQ(&pool.block_ctx(w), first[w]);
+}
+
+// ---------------------------------------------------------------------------
+// Device-level contract: the pool is an invisible host-side optimisation.
+
+std::tuple<double, double, double, std::uint64_t, std::uint64_t, std::uint64_t,
+           std::uint64_t, std::size_t>
+stats_key(const simt::KernelStats& s) {
+    return {s.modeled_ms,        s.compute_ms,
+            s.memory_ms,         s.totals.ops,
+            s.totals.shared_accesses, s.totals.coalesced_bytes,
+            s.totals.random_accesses, s.shared_bytes_per_block};
+}
+
+simt::KernelStats run_workload(unsigned workers) {
+    simt::Device dev(simt::tiny_device(16 << 20));
+    dev.set_host_workers(workers);
+    simt::DeviceBuffer<std::uint32_t> buf(dev, 48 * 128);
+    auto span = buf.span();
+    return dev.launch({"pool.workload", 48, 64}, [&](simt::BlockCtx& blk) {
+        auto tile = blk.shared_alloc<std::uint32_t>(128);
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const std::size_t base = blk.block_idx() * 128u;
+            for (std::size_t i = tc.tid(); i < 128; i += 64) {
+                tile[i] = static_cast<std::uint32_t>(base + i) * 2654435761u;
+                span[base + i] = tile[i];
+            }
+            tc.ops(5 + blk.block_idx() % 7);
+            tc.shared(2);
+            tc.global_coalesced(8);
+            tc.global_random(blk.block_idx() % 2);
+        });
+    });
+}
+
+TEST(DevicePool, KernelStatsBitIdenticalForAnyWorkerCount) {
+    const auto one = stats_key(run_workload(1));
+    EXPECT_EQ(one, stats_key(run_workload(2)));
+    EXPECT_EQ(one, stats_key(run_workload(3)));
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    EXPECT_EQ(one, stats_key(run_workload(hw)));
+}
+
+TEST(DevicePool, RepeatedLaunchesReuseStatsExactly) {
+    // Slot reuse across launches (the whole point of the pool) must not make
+    // the second launch observe anything from the first.
+    simt::Device dev(simt::tiny_device(16 << 20));
+    dev.set_host_workers(4);
+    auto kernel = [&] {
+        return dev.launch({"pool.repeat", 16, 32}, [&](simt::BlockCtx& blk) {
+            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+                tc.ops(3);
+                tc.global_coalesced(4);
+            });
+        });
+    };
+    const auto first = stats_key(kernel());
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(stats_key(kernel()), first);
+}
+
+TEST(DevicePool, SharedHighWaterDoesNotLeakAcrossLaunches) {
+    // A reused BlockCtx keeps its arena storage but must report only the
+    // current launch's footprint.
+    auto small_stats = [](simt::Device& dev) {
+        return dev.launch({"pool.small", 8, 16}, [&](simt::BlockCtx& blk) {
+            auto t = blk.shared_alloc<std::uint32_t>(16);
+            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+                t[tc.tid()] = tc.tid();
+                tc.shared(1);
+            });
+        });
+    };
+    simt::Device fresh(simt::tiny_device(1 << 20));
+    fresh.set_host_workers(4);
+    const auto baseline = small_stats(fresh);
+
+    simt::Device reused(simt::tiny_device(1 << 20));
+    reused.set_host_workers(4);
+    reused.launch({"pool.big", 8, 16}, [&](simt::BlockCtx& blk) {
+        auto t = blk.shared_alloc<std::uint32_t>(2048);
+        blk.for_each_thread([&](simt::ThreadCtx& tc) { t[tc.tid()] = 0; });
+    });
+    const auto after_big = small_stats(reused);
+    EXPECT_EQ(after_big.shared_bytes_per_block, baseline.shared_bytes_per_block);
+    EXPECT_EQ(stats_key(after_big), stats_key(baseline));
+}
+
+TEST(DevicePool, DeviceStaysUsableAfterKernelException) {
+    simt::Device dev(simt::tiny_device(16 << 20));
+    dev.set_host_workers(4);
+    EXPECT_THROW(dev.launch({"pool.boom", 32, 1},
+                            [&](simt::BlockCtx& blk) {
+                                if (blk.block_idx() == 9) {
+                                    throw std::runtime_error("kernel failure");
+                                }
+                            }),
+                 std::runtime_error);
+    // Same device, same pool: the next launch must complete and match a
+    // fresh device bit for bit.
+    const auto recovered = [&] {
+        simt::DeviceBuffer<std::uint32_t> buf(dev, 48 * 128);
+        auto span = buf.span();
+        return dev.launch({"pool.workload", 48, 64}, [&](simt::BlockCtx& blk) {
+            auto tile = blk.shared_alloc<std::uint32_t>(128);
+            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+                const std::size_t base = blk.block_idx() * 128u;
+                for (std::size_t i = tc.tid(); i < 128; i += 64) {
+                    tile[i] = static_cast<std::uint32_t>(base + i) * 2654435761u;
+                    span[base + i] = tile[i];
+                }
+                tc.ops(5 + blk.block_idx() % 7);
+                tc.shared(2);
+                tc.global_coalesced(8);
+                tc.global_random(blk.block_idx() % 2);
+            });
+        });
+    }();
+    EXPECT_EQ(stats_key(recovered), stats_key(run_workload(4)));
+}
+
+}  // namespace

@@ -131,4 +131,33 @@ TEST(Radix64, ScratchIsDoubleWidth) {
     EXPECT_EQ(dev.memory().bytes_in_use(), before);  // released
 }
 
+TEST(Radix64, ScratchModelMatchesKeyWidth) {
+    // radix_scratch_bytes once hardcoded 4-byte keys; the model must track
+    // the actual allocation for 8-byte keys, with and without payload.
+    auto dev = make_device();
+    const std::size_t count = 10000;
+    auto host = random_u64(count, 4);
+    {
+        simt::DeviceBuffer<std::uint64_t> keys(dev, count);
+        simt::copy_to_device(std::span<const std::uint64_t>(host), keys);
+        const auto stats = thrustlite::stable_sort(dev, keys.span());
+        EXPECT_EQ(stats.scratch_bytes,
+                  thrustlite::radix_scratch_bytes(count, false, sizeof(std::uint64_t)));
+    }
+    {
+        simt::DeviceBuffer<std::uint64_t> keys(dev, count);
+        simt::DeviceBuffer<std::uint32_t> vals(dev, count);
+        simt::copy_to_device(std::span<const std::uint64_t>(host), keys);
+        std::vector<std::uint32_t> iota(count);
+        std::iota(iota.begin(), iota.end(), 0u);
+        simt::copy_to_device(std::span<const std::uint32_t>(iota), vals);
+        const auto stats = thrustlite::stable_sort_by_key(dev, keys.span(), vals.span());
+        EXPECT_EQ(stats.scratch_bytes,
+                  thrustlite::radix_scratch_bytes(count, true, sizeof(std::uint64_t)));
+        // The default key width stays u32 so existing callers are unchanged.
+        EXPECT_EQ(thrustlite::radix_scratch_bytes(count, true),
+                  thrustlite::radix_scratch_bytes(count, true, sizeof(std::uint32_t)));
+    }
+}
+
 }  // namespace

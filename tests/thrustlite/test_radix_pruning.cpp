@@ -1,0 +1,229 @@
+// Key-range pass pruning: pruned sorts must be byte-identical (keys, payload
+// order, stability) to the paper-faithful full-pass mode, executing only the
+// passes the key range requires and copying back when that count is odd.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "simt/device_buffer.hpp"
+#include "thrustlite/radix_sort.hpp"
+
+namespace {
+
+constexpr thrustlite::RadixOptions kPruned{.prune_passes = true};
+constexpr thrustlite::RadixOptions kFull{.prune_passes = false};
+
+simt::Device make_device() { return simt::Device(simt::tiny_device(128 << 20)); }
+
+template <typename K>
+std::vector<K> random_keys(std::size_t count, K mask, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<K> v(count);
+    for (auto& x : v) x = static_cast<K>(rng()) & mask;
+    if (!v.empty()) v.front() = mask;  // pin the range so `needed` is deterministic
+    return v;
+}
+
+/// Sorts a copy of `host` with the given options, returning (keys, stats).
+template <typename K>
+std::pair<std::vector<K>, thrustlite::RadixStats> sort_keys(
+    const std::vector<K>& host, const thrustlite::RadixOptions& opts) {
+    auto dev = make_device();
+    simt::DeviceBuffer<K> keys(dev, host.size());
+    simt::copy_to_device(std::span<const K>(host), keys);
+    const auto stats = thrustlite::stable_sort(dev, keys.span(), opts);
+    std::vector<K> out(host.size());
+    simt::copy_to_host(keys, std::span<K>(out));
+    return {out, stats};
+}
+
+/// Sorts (keys, iota payload) with the given options.
+template <typename K>
+std::tuple<std::vector<K>, std::vector<std::uint32_t>, thrustlite::RadixStats>
+sort_pairs(const std::vector<K>& host, const thrustlite::RadixOptions& opts) {
+    auto dev = make_device();
+    simt::DeviceBuffer<K> keys(dev, host.size());
+    simt::DeviceBuffer<std::uint32_t> vals(dev, host.size());
+    simt::copy_to_device(std::span<const K>(host), keys);
+    std::vector<std::uint32_t> iota(host.size());
+    std::iota(iota.begin(), iota.end(), 0u);
+    simt::copy_to_device(std::span<const std::uint32_t>(iota), vals);
+    const auto stats = thrustlite::stable_sort_by_key(dev, keys.span(), vals.span(), opts);
+    std::vector<K> k(host.size());
+    std::vector<std::uint32_t> v(host.size());
+    simt::copy_to_host(keys, std::span<K>(k));
+    simt::copy_to_host(vals, std::span<std::uint32_t>(v));
+    return {k, v, stats};
+}
+
+TEST(RadixPruning, AllEqualKeysExecuteZeroPasses) {
+    const std::vector<std::uint32_t> host(10000, 0x1234ABCDu);
+    const auto [keys, stats] = sort_keys(host, kPruned);
+    EXPECT_EQ(stats.passes, 0u);
+    EXPECT_EQ(stats.passes_skipped, 8u);
+    EXPECT_FALSE(stats.copy_back);
+    EXPECT_EQ(keys, host);
+}
+
+TEST(RadixPruning, AllZeroKeysExecuteZeroPasses) {
+    const std::vector<std::uint32_t> host(5000, 0u);
+    const auto [keys, stats] = sort_keys(host, kPruned);
+    EXPECT_EQ(stats.passes, 0u);
+    EXPECT_EQ(stats.passes_skipped, 8u);
+    EXPECT_EQ(keys, host);
+}
+
+// The ISSUE acceptance case: 16-bit keys need 4 of 8 passes and no
+// copy-back (even executed count), byte-identical to the full-pass sort.
+TEST(RadixPruning, SixteenBitRangeExecutesFourPasses) {
+    const auto host = random_keys<std::uint32_t>(30000, 0xFFFFu, 11);
+    const auto [pruned, ps] = sort_keys(host, kPruned);
+    const auto [full, fs] = sort_keys(host, kFull);
+    EXPECT_EQ(ps.passes, 4u);
+    EXPECT_EQ(ps.passes_skipped, 4u);
+    EXPECT_FALSE(ps.copy_back);
+    EXPECT_EQ(fs.passes, 8u);
+    EXPECT_EQ(fs.passes_skipped, 0u);
+    EXPECT_EQ(pruned, full);
+}
+
+TEST(RadixPruning, EightBitRangeExecutesTwoPasses) {
+    const auto host = random_keys<std::uint32_t>(20000, 0xFFu, 12);
+    const auto [pruned, ps] = sort_keys(host, kPruned);
+    EXPECT_EQ(ps.passes, 2u);
+    EXPECT_EQ(ps.passes_skipped, 6u);
+    EXPECT_FALSE(ps.copy_back);
+    EXPECT_EQ(pruned, sort_keys(host, kFull).first);
+}
+
+TEST(RadixPruning, TwentyFourBitRangeExecutesSixPasses) {
+    const auto host = random_keys<std::uint32_t>(20000, 0xFFFFFFu, 13);
+    const auto [pruned, ps] = sort_keys(host, kPruned);
+    EXPECT_EQ(ps.passes, 6u);
+    EXPECT_EQ(ps.passes_skipped, 2u);
+    EXPECT_FALSE(ps.copy_back);
+    EXPECT_EQ(pruned, sort_keys(host, kFull).first);
+}
+
+TEST(RadixPruning, OddPassCountCopiesBack) {
+    // 12-bit keys: 3 executed passes leave the result in the alternate
+    // buffer; the copy-back kernel must bring it home.
+    const auto host = random_keys<std::uint32_t>(20000, 0xFFFu, 14);
+    const auto [keys, vals, stats] = sort_pairs(host, kPruned);
+    EXPECT_EQ(stats.passes, 3u);
+    EXPECT_EQ(stats.passes_skipped, 5u);
+    EXPECT_TRUE(stats.copy_back);
+    const auto [fkeys, fvals, fstats] = sort_pairs(host, kFull);
+    EXPECT_FALSE(fstats.copy_back);
+    EXPECT_EQ(keys, fkeys);
+    EXPECT_EQ(vals, fvals);
+}
+
+TEST(RadixPruning, CopyBackKernelAppearsInLog) {
+    auto dev = make_device();
+    auto host = random_keys<std::uint32_t>(9000, 0xFFFu, 15);
+    simt::DeviceBuffer<std::uint32_t> keys(dev, host.size());
+    simt::copy_to_device(std::span<const std::uint32_t>(host), keys);
+    thrustlite::stable_sort(dev, keys.span(), kPruned);
+    const auto& log = dev.kernel_log();
+    EXPECT_TRUE(std::any_of(log.begin(), log.end(),
+                            [](const auto& k) { return k.name == "radix.copy_back"; }));
+}
+
+TEST(RadixPruning, SingleHighBitSkipsLowDigitPasses) {
+    // Keys in {0, 0x80000000}: the max key forces all 8 passes into range,
+    // but the histogram proves passes 0-6 are identity permutations — only
+    // the top-digit pass scatters (odd count -> copy-back).
+    std::vector<std::uint32_t> host(16384);
+    std::mt19937_64 rng(16);
+    for (auto& x : host) x = (rng() & 1) ? 0x80000000u : 0u;
+    host.front() = 0x80000000u;
+    const auto [keys, vals, stats] = sort_pairs(host, kPruned);
+    EXPECT_EQ(stats.passes, 1u);
+    EXPECT_EQ(stats.passes_skipped, 7u);
+    EXPECT_TRUE(stats.copy_back);
+    const auto [fkeys, fvals, fstats] = sort_pairs(host, kFull);
+    EXPECT_EQ(keys, fkeys);
+    EXPECT_EQ(vals, fvals);
+}
+
+TEST(RadixPruning, FullRangeKeysRunAllPasses) {
+    const auto host = random_keys<std::uint32_t>(30000, 0xFFFFFFFFu, 17);
+    const auto [pruned, ps] = sort_keys(host, kPruned);
+    EXPECT_EQ(ps.passes, 8u);
+    EXPECT_EQ(ps.passes_skipped, 0u);
+    EXPECT_FALSE(ps.copy_back);
+    EXPECT_EQ(pruned, sort_keys(host, kFull).first);
+}
+
+TEST(RadixPruning, U64SixteenBitRangeSkipsTwelvePasses) {
+    const auto host = random_keys<std::uint64_t>(20000, std::uint64_t{0xFFFF}, 18);
+    const auto [pruned, ps] = sort_keys(host, kPruned);
+    EXPECT_EQ(ps.passes, 4u);
+    EXPECT_EQ(ps.passes_skipped, 12u);
+    EXPECT_FALSE(ps.copy_back);
+    EXPECT_EQ(pruned, sort_keys(host, kFull).first);
+}
+
+TEST(RadixPruning, U64FullRangeRunsSixteenPasses) {
+    const auto host = random_keys<std::uint64_t>(20000, ~std::uint64_t{0}, 19);
+    const auto [pruned, ps] = sort_keys(host, kPruned);
+    EXPECT_EQ(ps.passes, 16u);
+    EXPECT_EQ(ps.passes_skipped, 0u);
+    EXPECT_EQ(pruned, sort_keys(host, kFull).first);
+}
+
+TEST(RadixPruning, StabilityMatchesStdStableSort) {
+    // Duplicate-heavy keys with an iota payload: payload order within equal
+    // keys must match std::stable_sort exactly, pruned or not.
+    const auto host = random_keys<std::uint32_t>(20000, 0xFFu, 20);
+    const auto [keys, vals, stats] = sort_pairs(host, kPruned);
+    EXPECT_EQ(stats.passes, 2u);
+    std::vector<std::uint32_t> order(host.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) { return host[a] < host[b]; });
+    EXPECT_EQ(vals, order);
+    for (std::size_t i = 0; i < host.size(); ++i) EXPECT_EQ(keys[i], host[vals[i]]);
+}
+
+TEST(RadixPruning, RandomizedSweepMatchesFullPassMode) {
+    const std::size_t sizes[] = {1, 2, 31, 4095, 4096, 4097, 12289};
+    const std::uint32_t masks[] = {0xFu, 0xFFFu, 0xFFFFFu, 0xFFFFFFFFu};
+    std::uint64_t seed = 100;
+    for (const std::size_t n : sizes) {
+        for (const std::uint32_t mask : masks) {
+            const auto host = random_keys<std::uint32_t>(n, mask, seed++);
+            const auto [pk, pv, ps] = sort_pairs(host, kPruned);
+            const auto [fk, fv, fs] = sort_pairs(host, kFull);
+            ASSERT_EQ(pk, fk) << "n=" << n << " mask=" << mask;
+            ASSERT_EQ(pv, fv) << "n=" << n << " mask=" << mask;
+            EXPECT_EQ(ps.passes + ps.passes_skipped, fs.passes) << "n=" << n;
+        }
+    }
+}
+
+TEST(RadixPruning, PruningLowersModeledCostOnNarrowKeys) {
+    const auto host = random_keys<std::uint32_t>(30000, 0xFFFFu, 21);
+    const auto pruned = sort_keys(host, kPruned).second;
+    const auto full = sort_keys(host, kFull).second;
+    EXPECT_LT(pruned.modeled_ms, full.modeled_ms);
+}
+
+TEST(RadixPruning, ScratchFootprintIndependentOfPruning) {
+    // Table 1 relies on this: pruning changes pass count, never allocation.
+    const auto host = random_keys<std::uint32_t>(30000, 0xFFFFu, 22);
+    const auto pruned = sort_keys(host, kPruned).second;
+    const auto full = sort_keys(host, kFull).second;
+    EXPECT_EQ(pruned.scratch_bytes, full.scratch_bytes);
+    EXPECT_EQ(pruned.scratch_bytes,
+              thrustlite::radix_scratch_bytes(host.size(), /*with_values=*/false));
+}
+
+}  // namespace
