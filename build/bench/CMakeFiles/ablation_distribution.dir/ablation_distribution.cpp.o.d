@@ -208,13 +208,7 @@ bench/CMakeFiles/ablation_distribution.dir/ablation_distribution.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/simt/../simt/cost_model.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/simt/../simt/counters.hpp \
- /root/repo/src/simt/../simt/device_properties.hpp \
- /root/repo/src/simt/../simt/device_memory.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/shared_ptr.h \
@@ -228,8 +222,17 @@ bench/CMakeFiles/ablation_distribution.dir/ablation_distribution.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/simt/../simt/cost_model.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/simt/../simt/counters.hpp \
+ /root/repo/src/simt/../simt/device_properties.hpp \
+ /root/repo/src/simt/../simt/device_memory.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/simt/../simt/error.hpp \
  /root/repo/src/simt/../simt/kernel.hpp \
+ /root/repo/src/simt/../simt/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
  /root/repo/src/simt/../core/analysis.hpp \
  /root/repo/src/simt/../core/gpu_array_sort.hpp \
  /root/repo/src/simt/../core/options.hpp \

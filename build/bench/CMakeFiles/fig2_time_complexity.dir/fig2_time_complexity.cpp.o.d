@@ -214,12 +214,7 @@ bench/CMakeFiles/fig2_time_complexity.dir/fig2_time_complexity.cpp.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /root/repo/src/simt/../simt/cost_model.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/simt/../simt/counters.hpp \
- /root/repo/src/simt/../simt/device_properties.hpp \
- /root/repo/src/simt/../simt/device_memory.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/shared_ptr.h \
@@ -231,8 +226,17 @@ bench/CMakeFiles/fig2_time_complexity.dir/fig2_time_complexity.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/simt/../simt/cost_model.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/simt/../simt/counters.hpp \
+ /root/repo/src/simt/../simt/device_properties.hpp \
+ /root/repo/src/simt/../simt/device_memory.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/simt/../simt/error.hpp \
  /root/repo/src/simt/../simt/kernel.hpp \
+ /root/repo/src/simt/../simt/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
  /root/repo/src/simt/../core/complexity.hpp \
  /root/repo/src/simt/../core/options.hpp \
  /root/repo/src/simt/../core/plan.hpp \

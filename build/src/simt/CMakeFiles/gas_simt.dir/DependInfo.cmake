@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/simt/launch.cpp" "src/simt/CMakeFiles/gas_simt.dir/launch.cpp.o" "gcc" "src/simt/CMakeFiles/gas_simt.dir/launch.cpp.o.d"
   "/root/repo/src/simt/report.cpp" "src/simt/CMakeFiles/gas_simt.dir/report.cpp.o" "gcc" "src/simt/CMakeFiles/gas_simt.dir/report.cpp.o.d"
   "/root/repo/src/simt/stream.cpp" "src/simt/CMakeFiles/gas_simt.dir/stream.cpp.o" "gcc" "src/simt/CMakeFiles/gas_simt.dir/stream.cpp.o.d"
+  "/root/repo/src/simt/thread_pool.cpp" "src/simt/CMakeFiles/gas_simt.dir/thread_pool.cpp.o" "gcc" "src/simt/CMakeFiles/gas_simt.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/gas_simt.dir/report.cpp.o.d"
   "CMakeFiles/gas_simt.dir/stream.cpp.o"
   "CMakeFiles/gas_simt.dir/stream.cpp.o.d"
+  "CMakeFiles/gas_simt.dir/thread_pool.cpp.o"
+  "CMakeFiles/gas_simt.dir/thread_pool.cpp.o.d"
   "libgas_simt.a"
   "libgas_simt.pdb"
 )

@@ -304,8 +304,20 @@ tests/CMakeFiles/test_integration.dir/integration/test_memory_contracts.cpp.o: \
  /root/repo/src/simt/../simt/device_memory.hpp \
  /root/repo/src/simt/../simt/error.hpp \
  /root/repo/src/simt/../simt/kernel.hpp \
- /root/repo/src/simt/../simt/device_buffer.hpp \
- /usr/include/c++/12/cstring /root/repo/src/simt/../baseline/sta_sort.hpp \
+ /root/repo/src/simt/../simt/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/simt/../simt/device_buffer.hpp \
+ /usr/include/c++/12/cstring \
+ /root/repo/src/simt/../thrustlite/radix_sort.hpp \
+ /root/repo/src/simt/../thrustlite/device_vector.hpp \
+ /root/repo/src/simt/../baseline/sta_sort.hpp \
  /root/repo/src/simt/../core/gpu_array_sort.hpp \
  /root/repo/src/simt/../core/options.hpp \
  /root/repo/src/simt/../core/plan.hpp \
@@ -318,7 +330,5 @@ tests/CMakeFiles/test_integration.dir/integration/test_memory_contracts.cpp.o: \
  /root/repo/src/simt/../msdata/quality.hpp \
  /root/repo/src/simt/../msdata/synth.hpp \
  /root/repo/src/simt/../ooc/out_of_core.hpp \
- /root/repo/src/simt/../thrustlite/radix_sort.hpp \
- /root/repo/src/simt/../thrustlite/device_vector.hpp \
  /root/repo/src/simt/../thrustlite/reduce_scan.hpp \
  /root/repo/src/simt/../workload/generators.hpp

@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/simt/test_parallel_launch.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_parallel_launch.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_parallel_launch.cpp.o.d"
   "/root/repo/tests/simt/test_report.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_report.cpp.o.d"
   "/root/repo/tests/simt/test_stream.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_stream.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_stream.cpp.o.d"
+  "/root/repo/tests/simt/test_thread_pool.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_thread_pool.cpp.o.d"
   "/root/repo/tests/simt/test_timeline_fuzz.cpp" "tests/CMakeFiles/test_simt.dir/simt/test_timeline_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_simt.dir/simt/test_timeline_fuzz.cpp.o.d"
   )
 

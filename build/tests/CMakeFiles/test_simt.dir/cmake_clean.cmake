@@ -17,6 +17,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_simt.dir/simt/test_report.cpp.o.d"
   "CMakeFiles/test_simt.dir/simt/test_stream.cpp.o"
   "CMakeFiles/test_simt.dir/simt/test_stream.cpp.o.d"
+  "CMakeFiles/test_simt.dir/simt/test_thread_pool.cpp.o"
+  "CMakeFiles/test_simt.dir/simt/test_thread_pool.cpp.o.d"
   "CMakeFiles/test_simt.dir/simt/test_timeline_fuzz.cpp.o"
   "CMakeFiles/test_simt.dir/simt/test_timeline_fuzz.cpp.o.d"
   "test_simt"

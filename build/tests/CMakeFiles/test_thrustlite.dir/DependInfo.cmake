@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/thrustlite/test_float_ordering.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_float_ordering.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_float_ordering.cpp.o.d"
   "/root/repo/tests/thrustlite/test_radix64.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix64.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix64.cpp.o.d"
   "/root/repo/tests/thrustlite/test_radix_properties.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_properties.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_properties.cpp.o.d"
+  "/root/repo/tests/thrustlite/test_radix_pruning.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_pruning.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_pruning.cpp.o.d"
   "/root/repo/tests/thrustlite/test_radix_sort.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_sort.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_sort.cpp.o.d"
   "/root/repo/tests/thrustlite/test_reduce_scan.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_reduce_scan.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_reduce_scan.cpp.o.d"
   "/root/repo/tests/thrustlite/test_segmented.cpp" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_segmented.cpp.o" "gcc" "tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_segmented.cpp.o.d"

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix64.cpp.o.d"
   "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_properties.cpp.o"
   "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_properties.cpp.o.d"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_pruning.cpp.o"
+  "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_pruning.cpp.o.d"
   "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_sort.cpp.o"
   "CMakeFiles/test_thrustlite.dir/thrustlite/test_radix_sort.cpp.o.d"
   "CMakeFiles/test_thrustlite.dir/thrustlite/test_reduce_scan.cpp.o"

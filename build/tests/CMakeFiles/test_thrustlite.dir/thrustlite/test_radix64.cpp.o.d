@@ -332,6 +332,16 @@ tests/CMakeFiles/test_thrustlite.dir/thrustlite/test_radix64.cpp.o: \
  /root/repo/src/simt/../simt/device_memory.hpp \
  /root/repo/src/simt/../simt/error.hpp \
  /root/repo/src/simt/../simt/kernel.hpp \
+ /root/repo/src/simt/../simt/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread \
  /root/repo/src/simt/../thrustlite/float_ordering.hpp \
  /root/repo/src/simt/../thrustlite/radix_sort.hpp \
  /root/repo/src/simt/../thrustlite/device_vector.hpp
