@@ -45,5 +45,11 @@ int main(int argc, char** argv) {
     std::printf("best bucket target: %zu (paper's empirical optimum: ~20)\n", best_target);
     std::printf("shape: small buckets inflate phase 2 (p scans of the array); large\n");
     std::printf("buckets inflate phase 3 (quadratic insertion sort) — a minimum between.\n");
-    return 0;
+    const bool inert = bench::verify_sanitize_off_guarantee([](simt::Device& dev) {
+        auto small = workload::make_dataset(16, 500, workload::Distribution::Uniform, 1);
+        gas::Options opts;
+        opts.bucket_target = 20;
+        gas::gpu_array_sort(dev, small.values, 16, 500, opts);
+    });
+    return inert ? 0 : 1;
 }

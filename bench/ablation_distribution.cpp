@@ -40,5 +40,10 @@ int main(int argc, char** argv) {
     std::printf("shape: uniform/normal stay balanced; few-distinct and constant inputs\n");
     std::printf("collapse into single buckets (insertion sort degenerates to O(n^2) on\n");
     std::printf("one thread) — the known degeneracy of regular-sampling sample sort.\n");
-    return 0;
+    const bool inert = bench::verify_sanitize_off_guarantee([](simt::Device& dev) {
+        // The degenerate distribution exercises the single-bucket path too.
+        auto small = workload::make_dataset(16, 500, workload::Distribution::FewDistinct, 4);
+        gas::gpu_array_sort(dev, small.values, 16, 500);
+    });
+    return inert ? 0 : 1;
 }

@@ -48,5 +48,11 @@ int main(int argc, char** argv) {
     std::printf("best sampling rate: %.0f%% (paper's choice: 10%%)\n", best_rate * 100);
     std::printf("shape: low rates leave buckets unbalanced (phase-3 stragglers); high\n");
     std::printf("rates pay a quadratic insertion sort of the sample in phase 1.\n");
-    return 0;
+    const bool inert = bench::verify_sanitize_off_guarantee([](simt::Device& dev) {
+        auto small = workload::make_dataset(16, 500, workload::Distribution::Uniform, 2);
+        gas::Options opts;
+        opts.sampling_rate = 0.10;
+        gas::gpu_array_sort(dev, small.values, 16, 500, opts);
+    });
+    return inert ? 0 : 1;
 }

@@ -47,5 +47,13 @@ int main(int argc, char** argv) {
     bench::rule();
     std::printf("paper shape: one thread per bucket wins among scan variants (tpb > 1\n");
     std::printf("adds cursor bookkeeping without reducing per-warp scan traffic).\n");
-    return 0;
+    const bool inert = bench::verify_sanitize_off_guarantee([](simt::Device& dev) {
+        // Binary search is the atomic-heavy strategy — the one most likely to
+        // diverge if instrumentation ever leaked into the cost model.
+        auto small = workload::make_dataset(16, 500, workload::Distribution::Uniform, 3);
+        gas::Options opts;
+        opts.strategy = gas::BucketingStrategy::BinarySearch;
+        gas::gpu_array_sort(dev, small.values, 16, 500, opts);
+    });
+    return inert ? 0 : 1;
 }

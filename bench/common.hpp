@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "simt/cost_model.hpp"
 #include "simt/device.hpp"
 
 namespace bench {
@@ -99,6 +100,41 @@ inline std::vector<std::size_t> n_arrays_grid(const Args& args) {
 inline void rule(char c = '-', int width = 78) {
     for (int i = 0; i < width; ++i) std::putchar(c);
     std::putchar('\n');
+}
+
+/// Verifies the sanitizer-off guarantee over `workload` (any callable taking
+/// simt::Device&): the kernel log produced with the sanitizer fully enabled
+/// must match the default run bit-for-bit in every deterministic KernelStats
+/// field (everything except host wall_ms).  The benches assert this so the
+/// numbers they report are provably untouched by the checking machinery.
+/// Prints a PASS/FAIL line; returns true on PASS.
+template <typename Workload>
+inline bool verify_sanitize_off_guarantee(Workload workload) {
+    const auto run = [&workload](bool checked) {
+        simt::Device dev = make_device();
+        if (checked) dev.set_sanitize_options(simt::sanitize::SanitizeOptions::all());
+        workload(dev);
+        return std::vector<simt::KernelStats>(dev.kernel_log().begin(),
+                                              dev.kernel_log().end());
+    };
+    const auto off = run(false);
+    const auto on = run(true);
+    bool ok = off.size() == on.size();
+    for (std::size_t i = 0; ok && i < off.size(); ++i) {
+        const simt::KernelStats& a = off[i];
+        const simt::KernelStats& b = on[i];
+        ok = a.name == b.name && a.grid_dim == b.grid_dim && a.block_dim == b.block_dim &&
+             a.shared_bytes_per_block == b.shared_bytes_per_block &&
+             a.totals.ops == b.totals.ops &&
+             a.totals.shared_accesses == b.totals.shared_accesses &&
+             a.totals.coalesced_bytes == b.totals.coalesced_bytes &&
+             a.totals.random_accesses == b.totals.random_accesses &&
+             a.traffic_bytes == b.traffic_bytes && a.compute_ms == b.compute_ms &&
+             a.memory_ms == b.memory_ms && a.modeled_ms == b.modeled_ms;
+    }
+    std::printf("sanitizer-off guarantee: %s (%zu kernel log rows, default vs all-checks)\n",
+                ok ? "PASS" : "FAIL", off.size());
+    return ok;
 }
 
 }  // namespace bench

@@ -131,7 +131,17 @@ int main(int argc, char** argv) {
                       i == 0 ? "" : ",", grid, pool, spawn, speedup);
         json += row;
     }
-    json += "],\"small_grid_speedup_ge_3x\":";
+    // The pool numbers above are only honest if the sanitizer machinery is
+    // provably inert by default: same kernel, default vs all-checks device,
+    // every deterministic KernelStats field bit-identical.
+    const bool inert = bench::verify_sanitize_off_guarantee([](simt::Device& dev) {
+        for (int i = 0; i < 32; ++i) dev.launch({"micro.tiny", 16, 32}, tiny_body);
+    });
+    ok = ok && inert;
+
+    json += "],\"sanitize_off_bit_identical\":";
+    json += inert ? "true" : "false";
+    json += ",\"small_grid_speedup_ge_3x\":";
     json += ok ? "true" : "false";
     json += "}";
 

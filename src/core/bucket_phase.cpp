@@ -58,20 +58,20 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
         auto sh_splitters = blk.shared_alloc<T>(spa);
         auto counts = blk.shared_alloc<std::uint32_t>(threads);
         auto starts = blk.shared_alloc<std::uint32_t>(threads);
-        std::span<T> staged;
+        simt::sanitize::TrackedSpan<T> staged;
         if (use_shared) {
             staged = blk.shared_alloc<T>(n);
         } else {
             // One scratch row per execution slot: unique among concurrently
             // resident blocks (see BlockCtx::slot), so the fallback stays
             // race-free under multi-worker simulation.
-            staged = scratch.subspan((blk.slot() % scratch_rows) * n, n);
+            staged = blk.global_view(scratch.subspan((blk.slot() % scratch_rows) * n, n));
         }
 
         const std::size_t a = blk.block_idx();
-        T* array = data.data() + a * n;
-        const T* sp_global = splitters.data() + a * spa;
-        std::uint32_t* z_row = bucket_sizes.data() + a * p;
+        auto array = blk.global_view(data.subspan(a * n, n));
+        auto sp_global = blk.global_view(splitters.subspan(a * spa, spa));
+        auto z_row = blk.global_view(bucket_sizes.subspan(a * p, p));
 
         // Region 1: cooperative staging.  Thread t copies elements t, t+T,
         // t+2T, ... so consecutive lanes touch consecutive addresses.
@@ -110,7 +110,8 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
                 const T hi = sh_splitters[j + 1];
                 std::uint32_t c = 0;
                 for (std::size_t i = seg.begin; i < seg.end; ++i) {
-                    c += in_bucket(staged[i], lo, hi, j == 0) ? 1u : 0u;
+                    const T x = staged[i];
+                    c += in_bucket(x, lo, hi, j == 0) ? 1u : 0u;
                 }
                 counts[tc.tid()] = c;
                 tc.shared(2 + 1);
@@ -133,7 +134,7 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
                         sh_splitters.begin() + 1,
                         sh_splitters.begin() + static_cast<std::ptrdiff_t>(p), x);
                     const auto j = static_cast<std::size_t>(it - (sh_splitters.begin() + 1));
-                    ++counts[j];
+                    counts.atomic_fetch_add(j, 1);  // shared atomic on real HW
                 }
                 const auto len = static_cast<std::uint64_t>(seg.end - seg.begin);
                 charge_scan(tc, seg.end - seg.begin, use_shared, sizeof(T));
@@ -201,7 +202,7 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
                         sh_splitters.begin() + 1,
                         sh_splitters.begin() + static_cast<std::ptrdiff_t>(p), x);
                     const auto j = static_cast<std::size_t>(it - (sh_splitters.begin() + 1));
-                    array[starts[j]++] = x;  // shared atomic cursor on real HW
+                    array[starts.atomic_fetch_add(j, 1)] = x;  // shared atomic cursor on real HW
                 }
                 const auto len = static_cast<std::uint64_t>(seg.end - seg.begin);
                 charge_scan(tc, seg.end - seg.begin, use_shared, sizeof(T));

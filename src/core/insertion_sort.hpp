@@ -16,16 +16,21 @@ struct InsertionCost {
 /// phase 3 (bucket sorting) primitive: fastest known choice for the ~20
 /// element buckets the plan produces, and it needs no extra memory.
 /// Returns the comparison/move counts the caller charges to its lane.
-template <typename T>
-InsertionCost insertion_sort(std::span<T> a) {
+///
+/// Generic over the sequence type so kernels can pass either a raw std::span
+/// or a simt::sanitize::TrackedSpan (whose operator[] returns a recording
+/// proxy) — `Seq` only needs `value_type`, `size()` and indexed access.
+template <typename Seq>
+InsertionCost insertion_sort_seq(Seq a) {
+    using T = typename Seq::value_type;
     InsertionCost cost;
     for (std::size_t i = 1; i < a.size(); ++i) {
         const T key = a[i];
         std::size_t j = i;
         while (j > 0) {
             ++cost.compares;
-            if (a[j - 1] <= key) break;
-            a[j] = a[j - 1];
+            if (static_cast<T>(a[j - 1]) <= key) break;
+            a[j] = static_cast<T>(a[j - 1]);
             ++cost.moves;
             --j;
         }
@@ -33,6 +38,11 @@ InsertionCost insertion_sort(std::span<T> a) {
         ++cost.moves;
     }
     return cost;
+}
+
+template <typename T>
+InsertionCost insertion_sort(std::span<T> a) {
+    return insertion_sort_seq(a);
 }
 
 /// Container convenience (tests and host-side callers).
@@ -43,19 +53,22 @@ InsertionCost insertion_sort(std::vector<T>& v) {
 
 /// Pair variant: sorts `keys` ascending and applies every move to `values`
 /// too, keeping (key, value) pairs together.  Used by the key-value array
-/// sort extension (phase 3 on peak arrays).
-template <typename T>
-InsertionCost insertion_sort_pairs(std::span<T> keys, std::span<T> values) {
+/// sort extension (phase 3 on peak arrays).  Generic like
+/// insertion_sort_seq, so tracked views record the paired moves too.
+template <typename KeySeq, typename ValSeq>
+InsertionCost insertion_sort_pairs_seq(KeySeq keys, ValSeq values) {
+    using T = typename KeySeq::value_type;
+    using V = typename ValSeq::value_type;
     InsertionCost cost;
     for (std::size_t i = 1; i < keys.size(); ++i) {
         const T key = keys[i];
-        const T val = values[i];
+        const V val = values[i];
         std::size_t j = i;
         while (j > 0) {
             ++cost.compares;
-            if (keys[j - 1] <= key) break;
-            keys[j] = keys[j - 1];
-            values[j] = values[j - 1];
+            if (static_cast<T>(keys[j - 1]) <= key) break;
+            keys[j] = static_cast<T>(keys[j - 1]);
+            values[j] = static_cast<V>(values[j - 1]);
             cost.moves += 2;
             --j;
         }
@@ -64,6 +77,11 @@ InsertionCost insertion_sort_pairs(std::span<T> keys, std::span<T> values) {
         cost.moves += 2;
     }
     return cost;
+}
+
+template <typename T>
+InsertionCost insertion_sort_pairs(std::span<T> keys, std::span<T> values) {
+    return insertion_sort_pairs_seq(keys, values);
 }
 
 }  // namespace gas

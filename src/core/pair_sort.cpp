@@ -129,7 +129,8 @@ SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
             const T hi = sh_splitters[tc.tid() + 1];
             std::uint32_t c = 0;
             for (std::size_t i = 0; i < n; ++i) {
-                c += detail::in_bucket(staged_k[i], lo, hi, tc.tid() == 0) ? 1u : 0u;
+                const T x = staged_k[i];
+                c += detail::in_bucket(x, lo, hi, tc.tid() == 0) ? 1u : 0u;
             }
             counts[tc.tid()] = c;
             tc.shared(n + 3);

@@ -127,7 +127,8 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
             const float hi = sh_splitters[tc.tid() + 1];
             std::uint32_t c = 0;
             for (std::size_t i = 0; i < n; ++i) {
-                c += detail::in_bucket(staged[i], lo, hi, tc.tid() == 0) ? 1u : 0u;
+                const float x = staged[i];
+                c += detail::in_bucket(x, lo, hi, tc.tid() == 0) ? 1u : 0u;
             }
             counts[tc.tid()] = c;
             tc.shared(n + 3);

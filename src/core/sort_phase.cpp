@@ -15,8 +15,8 @@ simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
     return device.launch(cfg, [&](simt::BlockCtx& blk) {
         auto offsets = blk.shared_alloc<std::uint32_t>(p + 1);
         const std::size_t a = blk.block_idx();
-        T* array = data.data() + a * n;
-        const std::uint32_t* z_row = bucket_sizes.data() + a * p;
+        auto array = blk.global_view(data.subspan(a * n, n));
+        auto z_row = blk.global_view(bucket_sizes.subspan(a * p, p));
 
         // Region 1: thread 0 derives the bucket pointers from Z (the kernel
         // receives Z and computes starting/ending pointers per section 5.3).
@@ -42,8 +42,8 @@ simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
             const std::size_t j = tc.tid();
             const std::uint32_t begin = offsets[j];
             const std::uint32_t end = offsets[j + 1];
-            const std::span<T> bucket{array + begin, array + end};
-            const InsertionCost cost = insertion_sort(bucket);
+            const auto bucket = array.subspan(begin, end - begin);
+            const InsertionCost cost = insertion_sort_seq(bucket);
             tc.ops(cost.compares + cost.moves);
             tc.global_random(2ull * bucket.size());
             tc.shared(2);

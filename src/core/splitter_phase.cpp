@@ -18,8 +18,8 @@ simt::KernelStats splitter_phase(simt::Device& device, std::span<const T> data,
     return device.launch(cfg, [&](simt::BlockCtx& blk) {
         auto samples = blk.shared_alloc<T>(sample_size);
         const std::size_t a = blk.block_idx();
-        const T* array = data.data() + a * n;
-        T* out = splitters.data() + a * spa;
+        auto array = blk.global_view(data.subspan(a * n, n));
+        auto out = blk.global_view(splitters.subspan(a * spa, spa));
 
         blk.single_thread([&](simt::ThreadCtx& tc) {
             // Regular sampling (Algorithm 1's obtainSamples): strided global
@@ -31,7 +31,7 @@ simt::KernelStats splitter_phase(simt::Device& device, std::span<const T> data,
             tc.shared(sample_size);
             tc.ops(sample_size * 2);
 
-            const InsertionCost cost = insertion_sort(samples);
+            const InsertionCost cost = insertion_sort_seq(samples);
             tc.ops(cost.compares + cost.moves);
             tc.shared(2 * (cost.compares + cost.moves));
 

@@ -8,6 +8,8 @@
 #include "simt/device_memory.hpp"
 #include "simt/device_properties.hpp"
 #include "simt/kernel.hpp"
+#include "simt/sanitize/finding.hpp"
+#include "simt/sanitize/options.hpp"
 #include "simt/thread_pool.hpp"
 
 namespace simt {
@@ -22,7 +24,8 @@ class Device {
         : props_(std::move(props)),
           memory_(props_.global_memory_bytes, mode),
           cost_model_(props_),
-          host_workers_(std::max(host_workers, 1u)) {}
+          host_workers_(std::max(host_workers, 1u)),
+          sanitize_options_(sanitize::SanitizeOptions::from_env()) {}
 
     [[nodiscard]] const DeviceProperties& props() const { return props_; }
     [[nodiscard]] DeviceMemory& memory() { return memory_; }
@@ -48,6 +51,22 @@ class Device {
 
     [[nodiscard]] const std::vector<KernelStats>& kernel_log() const { return kernel_log_; }
     void clear_kernel_log() { kernel_log_.clear(); }
+
+    /// The compute-sanitizer analog (simt::sanitize).  Defaults come from
+    /// the GAS_SANITIZE_RUNTIME environment variable (normally: all off).
+    /// Checks never touch LaneCounters or KernelStats — enabling them
+    /// changes only the sanitize report, never modeled results.
+    void set_sanitize_options(const sanitize::SanitizeOptions& opts) {
+        sanitize_options_ = opts;
+    }
+    [[nodiscard]] const sanitize::SanitizeOptions& sanitize_options() const {
+        return sanitize_options_;
+    }
+    /// Findings + per-launch statistics accumulated since the last clear.
+    [[nodiscard]] const sanitize::SanitizeReport& sanitize_report() const {
+        return sanitize_report_;
+    }
+    void clear_sanitize_report() { sanitize_report_ = {}; }
 
     /// Sum of modeled_ms over the kernel log (one sequential stream).
     [[nodiscard]] double total_modeled_ms() const;
@@ -77,6 +96,8 @@ class Device {
     unsigned host_workers_ = 1;
     std::unique_ptr<ThreadPool> pool_;
     std::vector<KernelStats> kernel_log_;
+    sanitize::SanitizeOptions sanitize_options_;
+    sanitize::SanitizeReport sanitize_report_;
 };
 
 }  // namespace simt

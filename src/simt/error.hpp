@@ -49,4 +49,22 @@ class LaunchError : public DeviceError {
     using DeviceError::DeviceError;
 };
 
+/// Thrown by Device::launch in strict sanitize mode when the launch
+/// produced findings (the findings are recorded in the device's sanitize
+/// report before the throw).  The CI gate's analog of compute-sanitizer's
+/// non-zero exit status.
+class SanitizeError : public DeviceError {
+  public:
+    SanitizeError(const std::string& kernel, std::size_t findings)
+        : DeviceError("sanitizer: launch '" + kernel + "' produced " +
+                      std::to_string(findings) +
+                      " finding(s); see Device::sanitize_report()"),
+          findings_(findings) {}
+
+    [[nodiscard]] std::size_t findings() const { return findings_; }
+
+  private:
+    std::size_t findings_;
+};
+
 }  // namespace simt

@@ -2,12 +2,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "simt/counters.hpp"
 #include "simt/error.hpp"
+#include "simt/sanitize/tracked_span.hpp"
 
 namespace simt {
 
@@ -107,8 +109,10 @@ class BlockCtx {
     /// Bump-allocates `count` Ts from the block's shared-memory arena.
     /// Contents persist across thread regions within the block (like
     /// __shared__ variables) and are invalidated when the next block starts.
+    /// The returned view converts implicitly to std::span; with the
+    /// sanitizer enabled its indexed accesses feed the slot's shadow state.
     template <typename T>
-    std::span<T> shared_alloc(std::size_t count) {
+    sanitize::TrackedSpan<T> shared_alloc(std::size_t count) {
         const std::size_t align = alignof(T);
         std::size_t off = (shared_used_ + align - 1) / align * align;
         const std::size_t bytes = count * sizeof(T);
@@ -120,20 +124,34 @@ class BlockCtx {
         // Shared arena is raw storage; T must be trivially constructible the
         // way __shared__ arrays are.
         static_assert(std::is_trivially_copyable_v<T>);
-        return {reinterpret_cast<T*>(shared_.data() + off), count};
+        return {{reinterpret_cast<T*>(shared_.data() + off), count},
+                shadow_,
+                sanitize::MemSpace::Shared,
+                off};
+    }
+
+    /// Checked view over a device-global range (a DeviceBuffer span or a
+    /// sub-range of one).  Untracked — a plain span in tracked clothing —
+    /// when the sanitizer is off.
+    template <typename T>
+    [[nodiscard]] sanitize::TrackedSpan<T> global_view(std::span<T> s) const {
+        return {s, shadow_, sanitize::MemSpace::Global, 0};
     }
 
     /// Runs `fn(ThreadCtx&)` for every thread of the block; an implicit
     /// barrier separates consecutive calls.
     template <typename F>
     void for_each_thread(F&& fn) {
+        if (shadow_ != nullptr) shadow_->begin_region();
         if (order_ == ThreadOrder::Forward) {
             for (unsigned t = 0; t < block_dim_; ++t) {
+                if (shadow_ != nullptr) shadow_->set_lane(t);
                 ThreadCtx tc(t, block_dim_, lanes_[t]);
                 fn(tc);
             }
         } else {
             for (unsigned t = block_dim_; t-- > 0;) {
+                if (shadow_ != nullptr) shadow_->set_lane(t);
                 ThreadCtx tc(t, block_dim_, lanes_[t]);
                 fn(tc);
             }
@@ -144,6 +162,10 @@ class BlockCtx {
     /// with the same barrier semantics as a full region.
     template <typename F>
     void single_thread(F&& fn) {
+        if (shadow_ != nullptr) {
+            shadow_->begin_region();
+            shadow_->set_lane(0);
+        }
         ThreadCtx tc(0, block_dim_, lanes_[0]);
         fn(tc);
     }
@@ -157,7 +179,22 @@ class BlockCtx {
         block_idx_ = block_idx;
         shared_used_ = 0;
         lanes_.assign(block_dim_, LaneCounters{});
+        if (shadow_ != nullptr) shadow_->begin_block(block_idx);
     }
+
+    /// Attaches the sanitizer to this execution slot for the upcoming launch
+    /// (launch-engine internal).  The shadow state itself is owned by the
+    /// slot and persists across launches, mirroring the shared arena, so a
+    /// pooled slot's init tracking genuinely observes arena reuse.
+    void enable_sanitize(const sanitize::SanitizeOptions& opts, const std::string& kernel) {
+        if (!shadow_store_) shadow_store_ = std::make_unique<sanitize::SlotShadow>();
+        shadow_store_->configure(opts, shared_capacity_);
+        shadow_store_->begin_launch(kernel, block_dim_);
+        shadow_ = shadow_store_.get();
+    }
+    /// Detaches the sanitizer: subsequent launches pay zero instrumentation.
+    void disable_sanitize() { shadow_ = nullptr; }
+    [[nodiscard]] sanitize::SlotShadow* sanitizer() { return shadow_; }
 
   private:
     unsigned block_idx_ = 0;
@@ -170,6 +207,8 @@ class BlockCtx {
     ThreadOrder order_ = ThreadOrder::Forward;
     std::vector<std::byte> shared_;
     std::vector<LaneCounters> lanes_;
+    sanitize::SlotShadow* shadow_ = nullptr;  ///< null = sanitizer off (default)
+    std::unique_ptr<sanitize::SlotShadow> shadow_store_;
 };
 
 }  // namespace simt

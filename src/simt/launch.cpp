@@ -8,12 +8,15 @@ namespace simt {
 namespace {
 
 /// Per-block cost record, indexed by block id so aggregation order (and
-/// therefore the modeled time) is identical for any worker count.
+/// therefore the modeled time) is identical for any worker count.  The
+/// sanitizer's per-block result rides along for the same reason: findings
+/// are merged in block order no matter which worker ran the block.
 struct BlockRecord {
     double cycles = 0.0;
     double traffic = 0.0;
     LaneCounters totals;
     std::size_t shared_high_water = 0;
+    sanitize::SlotShadow::BlockResult san;
 };
 
 void run_block(const std::function<void(BlockCtx&)>& body, BlockCtx& ctx,
@@ -25,6 +28,10 @@ void run_block(const std::function<void(BlockCtx&)>& body, BlockCtx& ctx,
     rec.traffic = cost.traffic_bytes;
     for (const LaneCounters& lane : ctx.lanes()) rec.totals += lane;
     rec.shared_high_water = ctx.shared_high_water();
+    if (sanitize::SlotShadow* shadow = ctx.sanitizer()) {
+        shadow->end_block();
+        rec.san = shadow->take_block_result();
+    }
 }
 
 }  // namespace
@@ -45,6 +52,7 @@ KernelStats Device::launch(const LaunchConfig& cfg,
     stats.grid_dim = cfg.grid_dim;
     stats.block_dim = cfg.block_dim;
 
+    const bool sanitizing = sanitize_options_.any();
     std::vector<BlockRecord> records(cfg.grid_dim);
     const unsigned workers = std::min(host_workers_, cfg.grid_dim);
     ThreadPool& workers_pool = pool();
@@ -57,6 +65,11 @@ KernelStats Device::launch(const LaunchConfig& cfg,
         BlockCtx& ctx = workers_pool.block_ctx(0);
         ctx.configure(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
                       thread_order_, /*slot=*/0);
+        if (sanitizing) {
+            ctx.enable_sanitize(sanitize_options_, cfg.name);
+        } else {
+            ctx.disable_sanitize();
+        }
         for (unsigned b = 0; b < cfg.grid_dim; ++b) {
             run_block(body, ctx, cost_model_, b, records[b]);
         }
@@ -64,12 +77,18 @@ KernelStats Device::launch(const LaunchConfig& cfg,
         // Persistent worker pool: each worker owns a BlockCtx (its execution
         // slot) and pulls block ids from a shared counter.  A failing block
         // drains the counter so peers stop early; the pool rethrows the
-        // first exception after every worker has stopped.
+        // first exception after every worker has stopped.  Shadow state is
+        // per slot, so sanitizing needs no cross-worker synchronization.
         std::atomic<unsigned> next{0};
         workers_pool.run(workers, [&](unsigned w) {
             BlockCtx& ctx = workers_pool.block_ctx(w);
             ctx.configure(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
                           thread_order_, /*slot=*/w);
+            if (sanitizing) {
+                ctx.enable_sanitize(sanitize_options_, cfg.name);
+            } else {
+                ctx.disable_sanitize();
+            }
             try {
                 for (unsigned b = next.fetch_add(1); b < cfg.grid_dim;
                      b = next.fetch_add(1)) {
@@ -97,6 +116,36 @@ KernelStats Device::launch(const LaunchConfig& cfg,
 
     cost_model_.finalize(stats, block_cycles, traffic);
     kernel_log_.push_back(stats);
+
+    if (sanitizing) {
+        // Merge per-block sanitizer results in block order (deterministic
+        // for any worker count), capped at max_findings per launch.
+        sanitize::LaunchSanitizeStats ls;
+        ls.kernel = cfg.name;
+        ls.grid_dim = cfg.grid_dim;
+        ls.block_dim = cfg.block_dim;
+        std::size_t launch_findings = 0;
+        for (unsigned b = 0; b < cfg.grid_dim; ++b) {
+            sanitize::SlotShadow::BlockResult& san = records[b].san;
+            ls.tracked_accesses += san.tracked_accesses;
+            ls.bank_conflict_cycles += san.bank_conflict_cycles;
+            ls.worst_bank_degree = std::max(ls.worst_bank_degree, san.worst_bank_degree);
+            sanitize_report_.suppressed += san.suppressed;
+            for (sanitize::Finding& f : san.findings) {
+                if (launch_findings < sanitize_options_.max_findings) {
+                    sanitize_report_.findings.push_back(std::move(f));
+                    ++launch_findings;
+                } else {
+                    ++sanitize_report_.suppressed;
+                }
+            }
+        }
+        ls.findings = launch_findings;
+        sanitize_report_.launches.push_back(std::move(ls));
+        if (sanitize_options_.strict && launch_findings > 0) {
+            throw SanitizeError(cfg.name, launch_findings);
+        }
+    }
     return stats;
 }
 

@@ -1,5 +1,6 @@
 #include "simt/report.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <map>
 #include <ostream>
@@ -50,6 +51,45 @@ void print_kernel_log(std::ostream& os, const Device& device) {
     }
     os << std::left << std::setw(28) << "TOTAL" << std::right << std::setw(47) << ""
        << std::setw(9) << total << "ms\n";
+}
+
+void print_sanitize_report(std::ostream& os, const Device& device) {
+    const sanitize::SanitizeReport& rep = device.sanitize_report();
+    struct Row {
+        std::size_t launches = 0;
+        std::uint64_t tracked = 0;
+        std::uint64_t conflict_cycles = 0;
+        unsigned worst_degree = 1;
+        std::size_t findings = 0;
+    };
+    std::map<std::string, Row> rows;
+    for (const sanitize::LaunchSanitizeStats& l : rep.launches) {
+        Row& r = rows[l.kernel];
+        ++r.launches;
+        r.tracked += l.tracked_accesses;
+        r.conflict_cycles += l.bank_conflict_cycles;
+        r.worst_degree = std::max(r.worst_degree, l.worst_bank_degree);
+        r.findings += l.findings;
+    }
+    os << std::left << std::setw(28) << "kernel" << std::right << std::setw(10)
+       << "launches" << std::setw(12) << "tracked" << std::setw(12) << "bank-cyc"
+       << std::setw(7) << "worst" << std::setw(10) << "findings\n";
+    for (const auto& [name, r] : rows) {
+        os << std::left << std::setw(28) << name << std::right << std::setw(10)
+           << r.launches << std::setw(12) << r.tracked << std::setw(12)
+           << r.conflict_cycles << std::setw(6) << r.worst_degree << "x" << std::setw(9)
+           << r.findings << "\n";
+    }
+    if (rep.clean()) {
+        os << "sanitizer: no findings\n";
+        return;
+    }
+    os << "sanitizer: " << rep.findings.size() << " finding(s)";
+    if (rep.suppressed > 0) os << " (+" << rep.suppressed << " suppressed)";
+    os << "\n";
+    for (const sanitize::Finding& f : rep.findings) {
+        os << "  " << sanitize::describe(f) << "\n";
+    }
 }
 
 void print_kernel_summary(std::ostream& os, const Device& device) {

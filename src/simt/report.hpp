@@ -21,4 +21,11 @@ void print_kernel_log(std::ostream& os, const Device& device);
 /// is folded into one row with a launch count).
 void print_kernel_summary(std::ostream& os, const Device& device);
 
+/// Pretty-prints the device's sanitize report (simt::sanitize) next to the
+/// kernel tables: per kernel the launch count, tracked accesses, modeled
+/// shared-memory bank-conflict cycles and worst serialization degree, then
+/// every finding (race / out-of-bounds / uninit-read / bank-conflict) with
+/// its kernel, block, region, lane and offset.
+void print_sanitize_report(std::ostream& os, const Device& device);
+
 }  // namespace simt

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simt::sanitize {
+
+/// Which memory space a tracked access touched.
+enum class MemSpace : std::uint8_t { Shared, Global };
+
+[[nodiscard]] inline const char* to_string(MemSpace s) {
+    return s == MemSpace::Shared ? "shared" : "global";
+}
+
+/// Finding taxonomy, mirroring the compute-sanitizer tools:
+///  Race         racecheck: two lanes, same word, same thread region, >= 1
+///               non-atomic write.
+///  OutOfBounds  memcheck: index beyond a tracked view's extent.  The access
+///               is suppressed (reads return T{}), so a detected bug cannot
+///               corrupt the simulator's own heap.
+///  UninitRead   initcheck: shared-arena word read before any write since
+///               the block began (pooled-slot arena contents are unspecified).
+///  BankConflict bankcheck: a thread region whose worst shared-memory bank
+///               serialization reached kSevereBankDegree lanes.
+enum class FindingKind : std::uint8_t { Race, OutOfBounds, UninitRead, BankConflict };
+
+[[nodiscard]] inline const char* to_string(FindingKind k) {
+    switch (k) {
+        case FindingKind::Race: return "race";
+        case FindingKind::OutOfBounds: return "out-of-bounds";
+        case FindingKind::UninitRead: return "uninit-read";
+        case FindingKind::BankConflict: return "bank-conflict";
+    }
+    return "?";
+}
+
+/// One detected violation, located as precisely as the simulator knows it:
+/// kernel, block, barrier-delimited region index, lane(s) and byte offset
+/// (arena-relative for shared, view-relative for global).
+struct Finding {
+    FindingKind kind = FindingKind::Race;
+    MemSpace space = MemSpace::Shared;
+    std::string kernel;
+    unsigned block = 0;
+    unsigned region = 0;
+    unsigned lane = 0;        ///< lane performing the triggering access
+    unsigned other_lane = 0;  ///< races: the earlier accessor of the word
+    std::size_t offset = 0;   ///< byte offset (see above)
+    bool write = false;       ///< triggering access was a write
+    std::string detail;       ///< human-readable specifics
+};
+
+/// Per-launch sanitizer statistics, the analog of one KernelStats row:
+/// recorded for every launch while any check is enabled, findings or not,
+/// so clean runs still document what was checked.
+struct LaunchSanitizeStats {
+    std::string kernel;
+    unsigned grid_dim = 0;
+    unsigned block_dim = 0;
+    std::uint64_t tracked_accesses = 0;      ///< accesses routed through shadow state
+    std::uint64_t bank_conflict_cycles = 0;  ///< extra serialized cycles, summed
+    unsigned worst_bank_degree = 1;          ///< worst lanes-per-bank serialization
+    std::size_t findings = 0;                ///< findings this launch produced
+};
+
+/// Everything the sanitizer learned on a device since the last clear():
+/// the flat findings list (deterministic: launch order, then block order,
+/// then detection order within a block) plus per-launch statistics.
+struct SanitizeReport {
+    std::vector<Finding> findings;
+    std::vector<LaunchSanitizeStats> launches;
+    std::size_t suppressed = 0;  ///< findings dropped by the per-launch cap
+
+    [[nodiscard]] bool clean() const { return findings.empty() && suppressed == 0; }
+
+    [[nodiscard]] std::size_t count(FindingKind k) const {
+        std::size_t n = 0;
+        for (const Finding& f : findings) n += f.kind == k ? 1 : 0;
+        return n;
+    }
+};
+
+/// One-line human summary of a finding ("race: lanes 3/4 ..." style).
+[[nodiscard]] std::string describe(const Finding& f);
+
+/// Structured JSON object for the whole report (tools/gas_check --json).
+[[nodiscard]] std::string to_json(const SanitizeReport& report);
+
+}  // namespace simt::sanitize

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+namespace simt::sanitize {
+
+/// Which checks the sanitizer runs (the compute-sanitizer tool analog:
+/// racecheck / memcheck / initcheck / a bank-conflict reporter).  The
+/// default-constructed value has every check off: that is the zero-overhead
+/// production path, and kernels launched with it behave exactly as if the
+/// sanitizer did not exist (tracked accessors degrade to raw indexing and
+/// KernelStats are bit-identical).
+struct SanitizeOptions {
+    /// Intra-region data races: two lanes touching the same word between
+    /// barriers with at least one non-atomic write (racecheck).
+    bool racecheck = false;
+    /// Out-of-bounds accesses beyond a tracked view's extent (memcheck).
+    bool memcheck = false;
+    /// Reads of shared-arena words never written since the block started —
+    /// the __shared__ contents left behind by configure()/begin_block()
+    /// slot reuse are unspecified, exactly like real hardware (initcheck).
+    bool initcheck = false;
+    /// Shared-memory bank-conflict accounting (32 banks x 4 B), reported
+    /// per kernel; severe serialization also raises a finding.
+    bool bankcheck = false;
+
+    /// Throw SanitizeError from Device::launch when a launch produced
+    /// findings (CI gate mode).  Findings are recorded first either way.
+    bool strict = false;
+
+    /// Per-launch finding cap; further findings are counted as suppressed.
+    std::size_t max_findings = 64;
+
+    /// Any check enabled?  When false, launches pay zero instrumentation.
+    [[nodiscard]] bool any() const { return racecheck || memcheck || initcheck || bankcheck; }
+
+    /// Every check on (what tools/gas_check and the CI gate run).
+    [[nodiscard]] static SanitizeOptions all() {
+        SanitizeOptions o;
+        o.racecheck = o.memcheck = o.initcheck = o.bankcheck = true;
+        return o;
+    }
+
+    /// Reads GAS_SANITIZE_RUNTIME: unset/"" -> all off; "1"/"report"/"all"
+    /// -> every check; "strict" -> every check plus strict launches.  Lets
+    /// ctest rerun whole suites under the sanitizer without code changes.
+    [[nodiscard]] static SanitizeOptions from_env() {
+        const char* v = std::getenv("GAS_SANITIZE_RUNTIME");
+        if (v == nullptr || *v == '\0') return {};
+        SanitizeOptions o = all();
+        o.strict = std::strcmp(v, "strict") == 0;
+        return o;
+    }
+};
+
+}  // namespace simt::sanitize

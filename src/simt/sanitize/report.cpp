@@ -1,0 +1,82 @@
+#include "simt/sanitize/finding.hpp"
+
+#include <sstream>
+
+namespace simt::sanitize {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string describe(const Finding& f) {
+    std::ostringstream os;
+    os << to_string(f.kind) << " [" << to_string(f.space) << "] " << f.kernel << " block "
+       << f.block << " region " << f.region;
+    if (f.kind == FindingKind::Race) {
+        os << " lanes " << f.lane << "/" << f.other_lane;
+    } else if (f.kind != FindingKind::BankConflict) {
+        os << " lane " << f.lane;
+    }
+    if (f.kind != FindingKind::BankConflict) os << " +0x" << std::hex << f.offset << std::dec;
+    os << ": " << f.detail;
+    return os.str();
+}
+
+std::string to_json(const SanitizeReport& report) {
+    std::ostringstream os;
+    os << "{\"tool\":\"simt::sanitize\",\"clean\":" << (report.clean() ? "true" : "false");
+    os << ",\"counts\":{";
+    const FindingKind kinds[] = {FindingKind::Race, FindingKind::OutOfBounds,
+                                 FindingKind::UninitRead, FindingKind::BankConflict};
+    for (std::size_t i = 0; i < 4; ++i) {
+        os << (i ? "," : "") << "\"" << to_string(kinds[i])
+           << "\":" << report.count(kinds[i]);
+    }
+    os << "},\"suppressed\":" << report.suppressed;
+    os << ",\"findings\":[";
+    for (std::size_t i = 0; i < report.findings.size(); ++i) {
+        const Finding& f = report.findings[i];
+        os << (i ? "," : "") << "{\"kind\":\"" << to_string(f.kind) << "\",\"space\":\""
+           << to_string(f.space) << "\",\"kernel\":\"" << json_escape(f.kernel)
+           << "\",\"block\":" << f.block << ",\"region\":" << f.region
+           << ",\"lane\":" << f.lane << ",\"other_lane\":" << f.other_lane
+           << ",\"offset\":" << f.offset << ",\"write\":" << (f.write ? "true" : "false")
+           << ",\"detail\":\"" << json_escape(f.detail) << "\"}";
+    }
+    os << "],\"launches\":[";
+    for (std::size_t i = 0; i < report.launches.size(); ++i) {
+        const LaunchSanitizeStats& l = report.launches[i];
+        os << (i ? "," : "") << "{\"kernel\":\"" << json_escape(l.kernel)
+           << "\",\"grid\":" << l.grid_dim << ",\"block\":" << l.block_dim
+           << ",\"tracked_accesses\":" << l.tracked_accesses
+           << ",\"bank_conflict_cycles\":" << l.bank_conflict_cycles
+           << ",\"worst_bank_degree\":" << l.worst_bank_degree
+           << ",\"findings\":" << l.findings << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+}  // namespace simt::sanitize

@@ -1,0 +1,172 @@
+#include "simt/sanitize/selftest.hpp"
+
+#include <sstream>
+
+#include "simt/device.hpp"
+#include "simt/device_buffer.hpp"
+
+namespace simt::sanitize {
+
+const char* to_string(SeededBug bug) {
+    switch (bug) {
+        case SeededBug::NeighbourWrite: return "neighbour-write";
+        case SeededBug::SharedOverflow: return "shared-overflow";
+        case SeededBug::UninitRead: return "uninit-read";
+        case SeededBug::BankConflictStride: return "bank-conflict-stride";
+    }
+    return "?";
+}
+
+FindingKind expected_kind(SeededBug bug) {
+    switch (bug) {
+        case SeededBug::NeighbourWrite: return FindingKind::Race;
+        case SeededBug::SharedOverflow: return FindingKind::OutOfBounds;
+        case SeededBug::UninitRead: return FindingKind::UninitRead;
+        case SeededBug::BankConflictStride: return FindingKind::BankConflict;
+    }
+    return FindingKind::Race;
+}
+
+namespace {
+
+void launch_neighbour_write(Device& device) {
+    constexpr unsigned kLanes = 8;
+    DeviceBuffer<std::uint32_t> buckets(device, kLanes);
+    device.launch({"selftest.neighbour_write", 1, kLanes}, [&](BlockCtx& blk) {
+        auto out = blk.global_view(buckets.span());
+        blk.for_each_thread([&](ThreadCtx& tc) {
+            out[tc.tid()] = tc.tid();
+            // The bug: also claim the neighbour's slot, with no barrier
+            // separating the two writes.
+            out[(tc.tid() + 1) % kLanes] = tc.tid();
+            tc.global_random(2);
+        });
+    });
+}
+
+void launch_shared_overflow(Device& device) {
+    constexpr unsigned kLanes = 16;
+    device.launch({"selftest.shared_overflow", 1, kLanes}, [&](BlockCtx& blk) {
+        auto tile = blk.shared_alloc<std::uint32_t>(kLanes);
+        blk.for_each_thread([&](ThreadCtx& tc) {
+            tile[tc.tid()] = tc.tid();
+            // The bug: lane kLanes-1 also writes one past the allocation
+            // (the p+1-splitters off-by-one).
+            if (tc.tid() + 1 == kLanes) tile[kLanes] = 0;
+            tc.shared(1);
+        });
+    });
+}
+
+void launch_uninit_read(Device& device) {
+    constexpr unsigned kLanes = 4;
+    DeviceBuffer<std::uint32_t> sink(device, kLanes);
+    device.launch({"selftest.uninit_read", 1, kLanes}, [&](BlockCtx& blk) {
+        auto tile = blk.shared_alloc<std::uint32_t>(kLanes);
+        auto out = blk.global_view(sink.span());
+        blk.for_each_thread([&](ThreadCtx& tc) {
+            // The bug: the staging region that should have filled `tile`
+            // was forgotten; whatever the pooled slot's previous block left
+            // in the arena leaks through.
+            out[tc.tid()] = tile[tc.tid()];
+            tc.shared(1);
+            tc.global_random(1);
+        });
+    });
+}
+
+void launch_bank_conflict(Device& device) {
+    constexpr unsigned kLanes = 32;
+    device.launch({"selftest.bank_stride", 1, kLanes}, [&](BlockCtx& blk) {
+        auto tile = blk.shared_alloc<std::uint32_t>(kLanes * kLanes);
+        blk.for_each_thread([&](ThreadCtx& tc) {
+            // The bug: row-major striding puts every lane of the warp on
+            // bank 0 (word index is a multiple of 32) -> 32-way serialized.
+            for (unsigned k = 0; k < 4; ++k) {
+                tile[tc.tid() * kLanes] = tc.tid() + k;
+            }
+            tc.shared(4);
+        });
+    });
+}
+
+void launch_clean_control(Device& device) {
+    constexpr unsigned kLanes = 32;
+    DeviceBuffer<std::uint32_t> sink(device, kLanes);
+    device.launch({"selftest.clean_control", 2, kLanes}, [&](BlockCtx& blk) {
+        auto tile = blk.shared_alloc<std::uint32_t>(kLanes);
+        auto out = blk.global_view(sink.span());
+        blk.for_each_thread([&](ThreadCtx& tc) {
+            tile[tc.tid()] = tc.tid() * 3u;
+            tc.shared(1);
+        });
+        blk.for_each_thread([&](ThreadCtx& tc) {
+            // Reads another lane's word — legal, a barrier separates it
+            // from the write above.
+            const std::uint32_t v = tile[(tc.tid() + 1) % kLanes];
+            if (blk.block_idx() == 0) out[tc.tid()] = v;
+            tc.shared(1);
+            tc.global_random(1);
+        });
+    });
+}
+
+void launch_bug(Device& device, SeededBug bug) {
+    switch (bug) {
+        case SeededBug::NeighbourWrite: launch_neighbour_write(device); break;
+        case SeededBug::SharedOverflow: launch_shared_overflow(device); break;
+        case SeededBug::UninitRead: launch_uninit_read(device); break;
+        case SeededBug::BankConflictStride: launch_bank_conflict(device); break;
+    }
+}
+
+}  // namespace
+
+SanitizeReport run_seeded_bug(Device& device, SeededBug bug) {
+    const SanitizeOptions saved = device.sanitize_options();
+    SanitizeOptions all = SanitizeOptions::all();
+    all.strict = false;  // the point is to *collect* the findings
+    device.set_sanitize_options(all);
+    device.clear_sanitize_report();
+    launch_bug(device, bug);
+    SanitizeReport report = device.sanitize_report();
+    device.clear_sanitize_report();
+    device.set_sanitize_options(saved);
+    return report;
+}
+
+SelfTest run_selftest(Device& device) {
+    SelfTest result;
+    result.ok = true;
+    std::ostringstream log;
+
+    const SeededBug bugs[] = {SeededBug::NeighbourWrite, SeededBug::SharedOverflow,
+                              SeededBug::UninitRead, SeededBug::BankConflictStride};
+    for (SeededBug bug : bugs) {
+        const SanitizeReport rep = run_seeded_bug(device, bug);
+        const std::size_t hits = rep.count(expected_kind(bug));
+        const bool found = hits > 0;
+        result.ok = result.ok && found;
+        log << (found ? "PASS" : "FAIL") << "  " << to_string(bug) << " -> "
+            << to_string(expected_kind(bug)) << " (" << hits << " finding(s))\n";
+    }
+
+    {
+        const SanitizeOptions saved = device.sanitize_options();
+        SanitizeOptions all = SanitizeOptions::all();
+        all.strict = false;
+        device.set_sanitize_options(all);
+        device.clear_sanitize_report();
+        launch_clean_control(device);
+        const bool clean = device.sanitize_report().clean();
+        result.ok = result.ok && clean;
+        log << (clean ? "PASS" : "FAIL") << "  clean-control -> no findings\n";
+        device.clear_sanitize_report();
+        device.set_sanitize_options(saved);
+    }
+
+    result.log = log.str();
+    return result;
+}
+
+}  // namespace simt::sanitize

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+
+#include "simt/sanitize/finding.hpp"
+
+namespace simt {
+class Device;
+}
+
+namespace simt::sanitize {
+
+/// Deliberately seeded kernel bugs, one per finding kind.  These are the
+/// sanitizer's mutation-test fixtures: each kernel is the minimal version
+/// of a real GPU-ArraySort failure mode, and the sanitizer must flag it
+/// with exactly the right finding kind.
+enum class SeededBug {
+    /// A lane scatters into its neighbour's bucket slot: two lanes write
+    /// the same global word in one thread region -> Race.
+    NeighbourWrite,
+    /// Off-by-one past a shared allocation (the classic p+1-splitters
+    /// sizing bug) -> OutOfBounds.
+    SharedOverflow,
+    /// Reading the shared arena before initializing it; pooled-slot reuse
+    /// makes whatever the previous launch left there look plausible ->
+    /// UninitRead.
+    UninitRead,
+    /// Column-major striding where every lane of the warp hits the same
+    /// 4-byte bank -> BankConflict.
+    BankConflictStride,
+};
+
+[[nodiscard]] const char* to_string(SeededBug bug);
+
+/// The finding kind `bug` must produce.
+[[nodiscard]] FindingKind expected_kind(SeededBug bug);
+
+/// Runs the buggy kernel for `bug` on `device` with every check enabled
+/// (strict off; the caller's sanitize options are restored afterwards) and
+/// returns the sanitize report of just that run.  Clears the device's
+/// sanitize report.
+SanitizeReport run_seeded_bug(Device& device, SeededBug bug);
+
+/// Runs all four seeded bugs plus one clean control kernel; ok iff every
+/// bug was flagged with its expected kind and the control run was clean.
+struct SelfTest {
+    bool ok = false;
+    std::string log;
+};
+SelfTest run_selftest(Device& device);
+
+}  // namespace simt::sanitize

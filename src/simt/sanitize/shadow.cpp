@@ -1,0 +1,267 @@
+#include "simt/sanitize/shadow.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace simt::sanitize {
+
+void SlotShadow::configure(const SanitizeOptions& opts, std::size_t shared_capacity) {
+    opts_ = opts;
+    const std::size_t words = (shared_capacity + 3) / 4;
+    if (shared_.size() < words) shared_.resize(words);
+}
+
+void SlotShadow::begin_launch(const std::string& kernel, unsigned block_dim) {
+    kernel_ = kernel;
+    block_dim_ = block_dim;
+    if (opts_.bankcheck) {
+        lane_words_.resize(block_dim_);
+    } else {
+        lane_words_.clear();
+    }
+}
+
+void SlotShadow::begin_block(unsigned block_idx) {
+    block_idx_ = block_idx;
+    region_ = 0;
+    lane_ = 0;
+    std::fill(shared_.begin(), shared_.end(), Word{});
+    global_.clear();
+    for (auto& v : lane_words_) v.clear();
+    findings_.clear();
+    suppressed_ = 0;
+    tracked_ = 0;
+    conflict_cycles_ = 0;
+    worst_degree_ = 1;
+}
+
+void SlotShadow::begin_region() {
+    close_region();
+    ++region_;
+    for (auto& v : lane_words_) v.clear();
+}
+
+void SlotShadow::end_block() { close_region(); }
+
+void SlotShadow::add_finding(Finding f) {
+    if (findings_.size() < opts_.max_findings) {
+        findings_.push_back(std::move(f));
+    } else {
+        ++suppressed_;
+    }
+}
+
+void SlotShadow::touch(Word& w, MemSpace space, std::size_t offset, bool write,
+                       bool atomic, bool init_checked) {
+    const bool same_region = w.region == region_ && region_ != 0;
+    if (!same_region) {
+        w.region = region_;
+        w.lane = lane_;
+        w.flags &= static_cast<std::uint8_t>(~kRegionBits);
+    }
+
+    if (init_checked && opts_.initcheck && !write && !atomic && !(w.flags & kInit) &&
+        !(w.flags & kUninitSeen)) {
+        w.flags |= kUninitSeen;
+        Finding f;
+        f.kind = FindingKind::UninitRead;
+        f.space = space;
+        f.kernel = kernel_;
+        f.block = block_idx_;
+        f.region = region_;
+        f.lane = lane_;
+        f.other_lane = lane_;
+        f.offset = offset;
+        f.write = false;
+        f.detail = "word never written since the block began (pooled-slot arena "
+                   "contents are unspecified)";
+        add_finding(std::move(f));
+    }
+
+    const bool cross_lane = same_region && (w.lane != lane_ || (w.flags & kMultiLane));
+    if (same_region && w.lane != lane_) w.flags |= kMultiLane;
+    if (opts_.racecheck && cross_lane && !(w.flags & kRaceSeen)) {
+        // Hazard rules between barriers: a plain write races with anything;
+        // a plain read races with a prior write or atomic; atomics race only
+        // with plain accesses (hardware serializes atomic-vs-atomic).
+        bool hazard;
+        if (atomic) {
+            hazard = (w.flags & (kPlainWrite | kPlainRead)) != 0;
+        } else if (write) {
+            hazard = true;
+        } else {
+            hazard = (w.flags & (kPlainWrite | kAtomicAcc)) != 0;
+        }
+        if (hazard) {
+            w.flags |= kRaceSeen;
+            Finding f;
+            f.kind = FindingKind::Race;
+            f.space = space;
+            f.kernel = kernel_;
+            f.block = block_idx_;
+            f.region = region_;
+            f.lane = lane_;
+            f.other_lane = w.lane;
+            f.offset = offset;
+            f.write = write || atomic;
+            std::ostringstream os;
+            os << (atomic ? "atomic" : write ? "write" : "read") << " by lane " << lane_
+               << " overlaps lane " << w.lane << " in the same thread region (no "
+               << "barrier between them)";
+            f.detail = os.str();
+            add_finding(std::move(f));
+        }
+    }
+
+    if (atomic) {
+        w.flags |= kAtomicAcc;
+    } else if (write) {
+        w.flags |= kPlainWrite;
+    } else {
+        w.flags |= kPlainRead;
+    }
+    if (write || atomic) w.flags |= kInit;
+}
+
+void SlotShadow::record_shared(std::size_t byte_off, std::size_t bytes, bool write,
+                               bool atomic) {
+    ++tracked_;
+    const std::size_t first = byte_off / 4;
+    const std::size_t last = (byte_off + (bytes > 0 ? bytes - 1 : 0)) / 4;
+    for (std::size_t wi = first; wi <= last && wi < shared_.size(); ++wi) {
+        touch(shared_[wi], MemSpace::Shared, byte_off, write, atomic,
+              /*init_checked=*/true);
+    }
+    if (opts_.bankcheck && lane_ < lane_words_.size() &&
+        lane_words_[lane_].size() < kMaxBankSeq && first < shared_.size()) {
+        lane_words_[lane_].push_back(static_cast<std::uint32_t>(first));
+    }
+}
+
+void SlotShadow::record_global(const void* addr, std::size_t bytes, bool write,
+                               bool atomic) {
+    ++tracked_;
+    const auto base = reinterpret_cast<std::uintptr_t>(addr);
+    const std::uintptr_t first = base >> 2;
+    const std::uintptr_t last = (base + (bytes > 0 ? bytes - 1 : 0)) >> 2;
+    for (std::uintptr_t wi = first; wi <= last; ++wi) {
+        // Offsets for global findings are reported relative to the tracked
+        // view by TrackedSpan; here the word's low address bits suffice.
+        touch(global_[wi], MemSpace::Global, (wi - first) * 4, write, atomic,
+              /*init_checked=*/false);
+    }
+}
+
+void SlotShadow::record_oob(MemSpace space, std::size_t byte_off, std::size_t view_bytes,
+                            bool write) {
+    ++tracked_;
+    if (!opts_.memcheck) return;
+    Finding f;
+    f.kind = FindingKind::OutOfBounds;
+    f.space = space;
+    f.kernel = kernel_;
+    f.block = block_idx_;
+    f.region = region_;
+    f.lane = lane_;
+    f.other_lane = lane_;
+    f.offset = byte_off;
+    f.write = write;
+    std::ostringstream os;
+    os << (write ? "write" : "read") << " at byte " << byte_off << " beyond a "
+       << view_bytes << "-byte " << to_string(space)
+       << " view; the access was suppressed";
+    f.detail = os.str();
+    add_finding(std::move(f));
+}
+
+void SlotShadow::close_region() {
+    if (!opts_.bankcheck || lane_words_.empty() || region_ == 0) return;
+    const auto lanes = static_cast<unsigned>(lane_words_.size());
+    unsigned region_worst = 1;
+
+    for (unsigned base = 0; base < lanes; base += kWarpSize) {
+        const unsigned wend = std::min(base + kWarpSize, lanes);
+        std::size_t max_len = 0;
+        for (unsigned l = base; l < wend; ++l) {
+            max_len = std::max(max_len, lane_words_[l].size());
+        }
+        for (std::size_t k = 0; k < max_len; ++k) {
+            // The k-th shared access of every lane in the warp co-issues
+            // (lockstep model).  Gather the touched words.
+            std::uint32_t words[kWarpSize];
+            unsigned cnt = 0;
+            for (unsigned l = base; l < wend; ++l) {
+                if (k < lane_words_[l].size()) words[cnt++] = lane_words_[l][k];
+            }
+            if (cnt < 2) continue;
+            unsigned bank_entries[kBanks] = {};
+            bool clash = false;
+            for (unsigned i = 0; i < cnt; ++i) {
+                clash |= ++bank_entries[words[i] % kBanks] > 1;
+            }
+            if (!clash) continue;  // conflict-free issue (the common case)
+            // Distinct words per bank: same-word lanes broadcast/multicast
+            // in one transaction and do not conflict.
+            unsigned degree = 1;
+            for (unsigned i = 0; i < cnt; ++i) {
+                if (bank_entries[words[i] % kBanks] < 2) continue;
+                unsigned distinct = 1;
+                bool first_of_word = true;
+                for (unsigned j = 0; j < i; ++j) {
+                    if (words[j] == words[i]) { first_of_word = false; break; }
+                }
+                if (!first_of_word) continue;
+                for (unsigned j = i + 1; j < cnt; ++j) {
+                    if (words[j] % kBanks == words[i] % kBanks && words[j] != words[i]) {
+                        bool seen = false;
+                        for (unsigned m = 0; m < j; ++m) {
+                            if (words[m] == words[j]) { seen = true; break; }
+                        }
+                        if (!seen) ++distinct;
+                    }
+                }
+                degree = std::max(degree, distinct);
+            }
+            if (degree > 1) {
+                conflict_cycles_ += degree - 1;
+                region_worst = std::max(region_worst, degree);
+            }
+        }
+    }
+
+    worst_degree_ = std::max(worst_degree_, region_worst);
+    if (region_worst >= kSevereBankDegree) {
+        Finding f;
+        f.kind = FindingKind::BankConflict;
+        f.space = MemSpace::Shared;
+        f.kernel = kernel_;
+        f.block = block_idx_;
+        f.region = region_;
+        f.lane = 0;
+        f.other_lane = 0;
+        f.offset = 0;
+        f.write = false;
+        std::ostringstream os;
+        os << "shared-memory accesses serialize up to " << region_worst
+           << "-way on one bank (32 banks x 4 B) in this region";
+        f.detail = os.str();
+        add_finding(std::move(f));
+    }
+}
+
+SlotShadow::BlockResult SlotShadow::take_block_result() {
+    BlockResult r;
+    r.findings = std::move(findings_);
+    r.suppressed = suppressed_;
+    r.tracked_accesses = tracked_;
+    r.bank_conflict_cycles = conflict_cycles_;
+    r.worst_bank_degree = worst_degree_;
+    findings_ = {};
+    suppressed_ = 0;
+    tracked_ = 0;
+    conflict_cycles_ = 0;
+    worst_degree_ = 1;
+    return r;
+}
+
+}  // namespace simt::sanitize

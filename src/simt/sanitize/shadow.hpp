@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simt/sanitize/finding.hpp"
+#include "simt/sanitize/options.hpp"
+
+namespace simt::sanitize {
+
+/// Bank-serialization degree at which a region's conflicts stop being a
+/// statistic and become a BankConflict finding (half-warp serialization).
+inline constexpr unsigned kSevereBankDegree = 16;
+
+/// Shared memory bank geometry: 32 banks, 4-byte words.
+inline constexpr unsigned kBanks = 32;
+inline constexpr unsigned kWarpSize = 32;
+
+/// Per-execution-slot shadow state behind the tracked accessors.
+///
+/// One SlotShadow belongs to one BlockCtx (one persistent-pool slot), so the
+/// multi-worker simulator needs no locking: a slot's shadow is only touched
+/// by the worker that owns the slot, exactly like the slot's shared arena.
+/// Lifetime mirrors the arena's: word states are invalidated when the next
+/// block starts (begin_block), and the init map is what makes pooled-slot
+/// arena reuse checkable — a word is "initialized" only if the *current*
+/// block wrote it, no matter what a previous launch left behind.
+///
+/// Race model: the substrate's barrier-synchronous contract makes every
+/// for_each_thread/single_thread call one "region" delimited by implicit
+/// __syncthreads().  Two different lanes touching the same 4-byte word in
+/// the same region, with at least one non-atomic write, is a race no matter
+/// how the simulator happened to order the lanes — this is strictly stronger
+/// than the ThreadOrder::Forward/Reverse probe, which only notices races
+/// whose effects do not commute.
+class SlotShadow {
+  public:
+    /// (Re)arms the shadow for launches with `opts` over an arena of
+    /// `shared_capacity` bytes.  Keeps allocated storage across launches.
+    void configure(const SanitizeOptions& opts, std::size_t shared_capacity);
+
+    /// Launch-scope identity used to label findings.
+    void begin_launch(const std::string& kernel, unsigned block_dim);
+
+    void begin_block(unsigned block_idx);
+    void begin_region();              ///< barrier: closes the previous region
+    void set_lane(unsigned lane) { lane_ = lane; }
+    void end_block();                 ///< closes the final region
+
+    /// Tracked accesses (called by TrackedSpan/TrackedRef, enabled path only).
+    void record_shared(std::size_t byte_off, std::size_t bytes, bool write, bool atomic);
+    void record_global(const void* addr, std::size_t bytes, bool write, bool atomic);
+    /// An index beyond a tracked view: records the finding; the caller
+    /// suppresses the real access.
+    void record_oob(MemSpace space, std::size_t byte_off, std::size_t view_bytes,
+                    bool write);
+
+    [[nodiscard]] const SanitizeOptions& options() const { return opts_; }
+
+    /// Everything one finished block produced; resets the block accumulators.
+    struct BlockResult {
+        std::vector<Finding> findings;
+        std::size_t suppressed = 0;
+        std::uint64_t tracked_accesses = 0;
+        std::uint64_t bank_conflict_cycles = 0;
+        unsigned worst_bank_degree = 1;
+    };
+    [[nodiscard]] BlockResult take_block_result();
+
+  private:
+    /// Per-word shadow cell.  Region-scoped flag bits are reset lazily: a
+    /// cell whose `region` differs from the current region is treated as
+    /// untouched-this-region, so barriers cost nothing per word.
+    struct Word {
+        std::uint32_t region = 0;  ///< 0 = untouched this block
+        std::uint32_t lane = 0;    ///< first lane to touch it this region
+        std::uint8_t flags = 0;
+    };
+    static constexpr std::uint8_t kInit = 1;          ///< written this block
+    static constexpr std::uint8_t kPlainWrite = 2;    ///< region-scoped
+    static constexpr std::uint8_t kPlainRead = 4;     ///< region-scoped
+    static constexpr std::uint8_t kAtomicAcc = 8;     ///< region-scoped
+    static constexpr std::uint8_t kMultiLane = 16;    ///< region-scoped
+    static constexpr std::uint8_t kRaceSeen = 32;     ///< region-scoped dedup
+    static constexpr std::uint8_t kUninitSeen = 64;   ///< block-scoped dedup
+    static constexpr std::uint8_t kRegionBits =
+        kPlainWrite | kPlainRead | kAtomicAcc | kMultiLane | kRaceSeen;
+
+    void touch(Word& w, MemSpace space, std::size_t offset, bool write, bool atomic,
+               bool init_checked);
+    void add_finding(Finding f);
+    void close_region();  ///< bank-conflict analysis over the ended region
+
+    SanitizeOptions opts_;
+    std::string kernel_ = "?";
+    unsigned block_dim_ = 0;
+    unsigned block_idx_ = 0;
+    unsigned lane_ = 0;
+    std::uint32_t region_ = 0;
+
+    std::vector<Word> shared_;                          ///< arena words
+    std::unordered_map<std::uintptr_t, Word> global_;   ///< addr>>2 -> word
+
+    /// Lockstep bank model: the k-th shared access of each lane in a region
+    /// is assumed co-issued across the warp (exact for divergence-free
+    /// kernels, the substrate's contract).  Per lane, the word index of each
+    /// shared access this region, capped to bound memory.
+    static constexpr std::size_t kMaxBankSeq = 16384;
+    std::vector<std::vector<std::uint32_t>> lane_words_;
+
+    std::vector<Finding> findings_;
+    std::size_t suppressed_ = 0;
+    std::uint64_t tracked_ = 0;
+    std::uint64_t conflict_cycles_ = 0;
+    unsigned worst_degree_ = 1;
+};
+
+}  // namespace simt::sanitize

@@ -72,6 +72,8 @@ void histogram_kernel(simt::Device& device, std::span<const K> keys,
     simt::LaunchConfig cfg{"radix.histogram", num_blocks, kBlockThreads};
     device.launch(cfg, [&](simt::BlockCtx& blk) {
         auto local = blk.shared_alloc<std::uint32_t>(kDigits * kBlockThreads);
+        auto g_keys = blk.global_view(keys);
+        auto g_hist = blk.global_view(hist);
         const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTileSize;
         const std::size_t tile_end = std::min(tile_begin + kTileSize, keys.size());
 
@@ -80,7 +82,8 @@ void histogram_kernel(simt::Device& device, std::span<const K> keys,
             const std::size_t begin = tile_begin + tc.tid() * kChunk;
             const std::size_t end = std::min(begin + kChunk, tile_end);
             for (std::size_t i = begin; i < end; ++i) {
-                ++local[digit_of(keys[i], shift) * kBlockThreads + tc.tid()];
+                const K k = g_keys[i];
+                ++local[digit_of(k, shift) * kBlockThreads + tc.tid()];
             }
             const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
             tc.global_coalesced(n * sizeof(K));
@@ -92,7 +95,7 @@ void histogram_kernel(simt::Device& device, std::span<const K> keys,
             for (unsigned d = 0; d < kDigits; ++d) {
                 std::uint32_t sum = 0;
                 for (unsigned t = 0; t < kBlockThreads; ++t) sum += local[d * kBlockThreads + t];
-                hist[static_cast<std::size_t>(d) * num_blocks + blk.block_idx()] = sum;
+                g_hist[static_cast<std::size_t>(d) * num_blocks + blk.block_idx()] = sum;
             }
             tc.ops(kDigits * kBlockThreads);
             tc.shared(kDigits * kBlockThreads);
@@ -109,14 +112,15 @@ void offsets_kernel(simt::Device& device, std::span<std::uint32_t> hist, unsigne
     device.launch(cfg, [&](simt::BlockCtx& blk) {
         auto totals = blk.shared_alloc<std::uint32_t>(kDigits);
         auto bases = blk.shared_alloc<std::uint32_t>(kDigits);
+        auto g_hist = blk.global_view(hist);
 
         blk.for_each_thread([&](simt::ThreadCtx& tc) {
             const unsigned d = tc.tid();
             std::uint32_t running = 0;
             for (unsigned b = 0; b < num_blocks; ++b) {
-                std::uint32_t& cell = hist[static_cast<std::size_t>(d) * num_blocks + b];
-                const std::uint32_t tmp = cell;
-                cell = running;
+                const std::size_t cell = static_cast<std::size_t>(d) * num_blocks + b;
+                const std::uint32_t tmp = g_hist[cell];
+                g_hist[cell] = running;
                 running += tmp;
             }
             totals[d] = running;
@@ -138,7 +142,7 @@ void offsets_kernel(simt::Device& device, std::span<std::uint32_t> hist, unsigne
         blk.for_each_thread([&](simt::ThreadCtx& tc) {
             const unsigned d = tc.tid();
             for (unsigned b = 0; b < num_blocks; ++b) {
-                hist[static_cast<std::size_t>(d) * num_blocks + b] += bases[d];
+                g_hist[static_cast<std::size_t>(d) * num_blocks + b] += bases[d];
             }
             tc.global_coalesced(static_cast<std::uint64_t>(num_blocks) * 2 * sizeof(std::uint32_t));
             tc.ops(num_blocks);
@@ -160,6 +164,11 @@ void scatter_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned sh
     device.launch(cfg, [&](simt::BlockCtx& blk) {
         auto local = blk.shared_alloc<std::uint32_t>(kDigits * kBlockThreads);
         auto cursor = blk.shared_alloc<std::uint32_t>(kDigits * kBlockThreads);
+        auto keys_in = blk.global_view(buf.keys_in);
+        auto keys_out = blk.global_view(buf.keys_out);
+        auto vals_in = blk.global_view(buf.vals_in);
+        auto vals_out = blk.global_view(buf.vals_out);
+        auto g_hist = blk.global_view(hist);
         const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTileSize;
         const std::size_t tile_end = std::min(tile_begin + kTileSize, buf.keys_in.size());
 
@@ -168,7 +177,8 @@ void scatter_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned sh
             const std::size_t begin = tile_begin + tc.tid() * kChunk;
             const std::size_t end = std::min(begin + kChunk, tile_end);
             for (std::size_t i = begin; i < end; ++i) {
-                ++local[digit_of(buf.keys_in[i], shift) * kBlockThreads + tc.tid()];
+                const K k = keys_in[i];
+                ++local[digit_of(k, shift) * kBlockThreads + tc.tid()];
             }
             const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
             tc.global_coalesced(n * sizeof(K));
@@ -179,7 +189,7 @@ void scatter_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned sh
         blk.single_thread([&](simt::ThreadCtx& tc) {
             for (unsigned d = 0; d < kDigits; ++d) {
                 std::uint32_t running =
-                    hist[static_cast<std::size_t>(d) * num_blocks + blk.block_idx()];
+                    g_hist[static_cast<std::size_t>(d) * num_blocks + blk.block_idx()];
                 for (unsigned t = 0; t < kBlockThreads; ++t) {
                     cursor[d * kBlockThreads + t] = running;
                     running += local[d * kBlockThreads + t];
@@ -194,10 +204,11 @@ void scatter_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned sh
             const std::size_t begin = tile_begin + tc.tid() * kChunk;
             const std::size_t end = std::min(begin + kChunk, tile_end);
             for (std::size_t i = begin; i < end; ++i) {
-                const std::uint32_t d = digit_of(buf.keys_in[i], shift);
+                const K k = keys_in[i];
+                const std::uint32_t d = digit_of(k, shift);
                 const std::uint32_t dst = cursor[d * kBlockThreads + tc.tid()]++;
-                buf.keys_out[dst] = buf.keys_in[i];
-                if (with_values) buf.vals_out[dst] = buf.vals_in[i];
+                keys_out[dst] = k;
+                if (with_values) vals_out[dst] = vals_in[i];
             }
             const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
             // Reads of the tile (and payload) are coalesced; each scattered
@@ -218,14 +229,18 @@ void copy_back_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned 
     const bool with_values = !buf.vals_in.empty();
     simt::LaunchConfig cfg{"radix.copy_back", num_blocks, kBlockThreads};
     device.launch(cfg, [&](simt::BlockCtx& blk) {
+        auto keys_in = blk.global_view(buf.keys_in);
+        auto keys_out = blk.global_view(buf.keys_out);
+        auto vals_in = blk.global_view(buf.vals_in);
+        auto vals_out = blk.global_view(buf.vals_out);
         const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTileSize;
         const std::size_t tile_end = std::min(tile_begin + kTileSize, buf.keys_in.size());
         blk.for_each_thread([&](simt::ThreadCtx& tc) {
             const std::size_t begin = tile_begin + tc.tid() * kChunk;
             const std::size_t end = std::min(begin + kChunk, tile_end);
             for (std::size_t i = begin; i < end; ++i) {
-                buf.keys_out[i] = buf.keys_in[i];
-                if (with_values) buf.vals_out[i] = buf.vals_in[i];
+                keys_out[i] = keys_in[i];
+                if (with_values) vals_out[i] = vals_in[i];
             }
             const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
             tc.global_coalesced(2 * n *

@@ -45,8 +45,8 @@ std::vector<SegmentStats> segmented_stats(simt::Device& device, std::span<const 
         blk.single_thread([&](simt::ThreadCtx& tc) {
             SegmentStats s{mins[0], maxs[0], 0.0};
             for (unsigned t = 0; t < threads; ++t) {
-                s.min = std::min(s.min, mins[t]);
-                s.max = std::max(s.max, maxs[t]);
+                s.min = std::min(s.min, static_cast<float>(mins[t]));
+                s.max = std::max(s.max, static_cast<float>(maxs[t]));
                 s.sum += sums[t];
             }
             out[blk.block_idx()] = s;

@@ -1,0 +1,31 @@
+# Smoke test of the gas_check CLI: clean workloads, JSON output, and the
+# seeded-bug selftest.
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(last_output "${out}" PARENT_SCOPE)
+endfunction()
+
+# Every paper workload must come back clean (exit 0) under all checks.
+run(${GAS_CHECK} --workload all --arrays 16 --size 500
+    --json ${WORK_DIR}/gas_check.json)
+if(NOT last_output MATCHES "no findings")
+  message(FATAL_ERROR "clean run did not report 'no findings':\n${last_output}")
+endif()
+
+if(NOT EXISTS ${WORK_DIR}/gas_check.json)
+  message(FATAL_ERROR "expected JSON report missing")
+endif()
+file(READ ${WORK_DIR}/gas_check.json json)
+if(NOT json MATCHES "\"clean\":true")
+  message(FATAL_ERROR "JSON report not clean:\n${json}")
+endif()
+
+# The seeded-bug selftest must catch all four finding kinds.
+run(${GAS_CHECK} --demo-bugs)
+if(NOT last_output MATCHES "all seeded bugs detected")
+  message(FATAL_ERROR "selftest did not detect every seeded bug:\n${last_output}")
+endif()
