@@ -1,8 +1,19 @@
 // Ablation A4 (beyond the paper): sensitivity of sample-sort bucketing to
-// the input distribution.  The paper's evaluation is uniform-only; skewed
-// and duplicate-heavy inputs unbalance buckets and stretch phase 3.
+// the input distribution, and the effect of the hybrid skew-aware phase-3
+// sorter (DESIGN.md section 8).  The paper's evaluation is uniform-only;
+// skewed and duplicate-heavy inputs unbalance buckets and stretch phase 3.
+//
+// Each distribution runs twice — Options::hybrid_phase3 off (the paper's
+// one-lane-per-bucket insertion sort) and on — and the run emits a
+// machine-readable BENCH_phase3_skew.json with two asserted acceptance
+// gates: the zipf-hot adversary's modeled phase-3 makespan must improve by
+// at least 3x, and the uniform total must stay within 2% (the hybrid keeps
+// balanced inputs on the classic fast path).
 
+#include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "core/analysis.hpp"
@@ -10,40 +21,136 @@
 #include "simt/device.hpp"
 #include "workload/generators.hpp"
 
+namespace {
+
+struct Run {
+    double total_ms = 0.0;
+    double phase3_ms = 0.0;
+    double imbalance = 1.0;
+    std::uint32_t max_bucket = 0;
+};
+
+Run run_once(const workload::Dataset& ds, bool hybrid) {
+    auto values = ds.values;  // each run sorts a fresh copy
+    simt::Device dev = bench::make_device();
+    gas::Options opts;
+    opts.validate = true;  // correctness must hold on every distribution
+    opts.collect_bucket_sizes = true;
+    opts.hybrid_phase3 = hybrid;
+    const auto s = gas::gpu_array_sort(dev, std::span<float>(values), ds.num_arrays,
+                                       ds.array_size, opts);
+    return {s.modeled_kernel_ms(), s.phase3.modeled_ms, s.phase3_imbalance, s.max_bucket};
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
     const bench::Args args = bench::parse(argc, argv);
+    std::string json_path = "BENCH_phase3_skew.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) json_path = argv[i + 1];
+    }
     const std::size_t num_arrays = args.full ? 50000 : 1000;
     const std::size_t n = 1000;
 
     std::printf("Ablation A4: input-distribution sensitivity (n = %zu, N = %zu)\n", n,
                 num_arrays);
+    std::printf("baseline = hybrid_phase3 off (paper's phase 3); hybrid = skew-aware sorter\n");
     bench::rule('=');
-    std::printf("%16s | %10s %10s %10s | %8s %10s %10s %6s\n", "distribution", "total",
-                "phase2", "phase3", "max bkt", "imbalance", "p3 penalty", "empty");
+    std::printf("%16s | %10s %10s | %10s %10s | %8s %9s %8s\n", "distribution",
+                "base p3", "hyb p3", "base tot", "hyb tot", "max bkt", "imbalance",
+                "speedup");
     bench::rule();
 
+    struct Row {
+        std::string name;
+        Run base;
+        Run hyb;
+    };
+    std::vector<Row> rows;
     for (const auto dist : workload::all_distributions()) {
-        auto ds = workload::make_dataset(num_arrays, n, dist, 4);
-        simt::Device dev = bench::make_device();
-        gas::Options opts;
-        opts.validate = true;  // correctness must hold on every distribution
-        opts.collect_bucket_sizes = true;
-        const auto s = gas::gpu_array_sort(dev, ds.values, num_arrays, n, opts);
-        const auto bal = gas::analyze_buckets(s.bucket_sizes, s.buckets_per_array);
-        std::printf("%16s | %8.1fms %8.1fms %8.1fms | %8u %9.2fx %9.2fx %5.0f%%\n",
-                    workload::to_string(dist).c_str(), s.modeled_kernel_ms(),
-                    s.phase2.modeled_ms, s.phase3.modeled_ms, s.max_bucket, bal.imbalance,
-                    bal.balance_penalty(), bal.empty_fraction * 100.0);
+        const auto ds = workload::make_dataset(num_arrays, n, dist, 4);
+        Row r;
+        r.name = workload::to_string(dist);
+        r.base = run_once(ds, /*hybrid=*/false);
+        r.hyb = run_once(ds, /*hybrid=*/true);
+        const double speedup = r.hyb.phase3_ms > 0.0 ? r.base.phase3_ms / r.hyb.phase3_ms : 1.0;
+        std::printf("%16s | %8.2fms %8.2fms | %8.2fms %8.2fms | %8u %8.2fx %7.2fx\n",
+                    r.name.c_str(), r.base.phase3_ms, r.hyb.phase3_ms, r.base.total_ms,
+                    r.hyb.total_ms, r.base.max_bucket, r.base.imbalance, speedup);
         std::fflush(stdout);
+        rows.push_back(std::move(r));
     }
     bench::rule();
-    std::printf("shape: uniform/normal stay balanced; few-distinct and constant inputs\n");
-    std::printf("collapse into single buckets (insertion sort degenerates to O(n^2) on\n");
-    std::printf("one thread) — the known degeneracy of regular-sampling sample sort.\n");
+
+    // Acceptance gates (asserted, and recorded in the JSON).
+    double zipf_speedup = 0.0;
+    double uniform_drift = 1.0;
+    double zipf_imb_base = 0.0;
+    double zipf_imb_hyb = 0.0;
+    for (const Row& r : rows) {
+        if (r.name == "zipf-hot" && r.hyb.phase3_ms > 0.0) {
+            zipf_speedup = r.base.phase3_ms / r.hyb.phase3_ms;
+            zipf_imb_base = r.base.imbalance;
+            zipf_imb_hyb = r.hyb.imbalance;
+        }
+        if (r.name == "uniform" && r.base.total_ms > 0.0) {
+            uniform_drift = std::abs(r.hyb.total_ms - r.base.total_ms) / r.base.total_ms;
+        }
+    }
+    const bool zipf_pass = zipf_speedup >= 3.0;
+    const bool uniform_pass = uniform_drift <= 0.02;
+    std::printf("gate: zipf-hot phase-3 speedup %.2fx (need >= 3x) ........ %s\n",
+                zipf_speedup, zipf_pass ? "PASS" : "FAIL");
+    std::printf("gate: uniform total drift %.3f%% (need <= 2%%) ............ %s\n",
+                uniform_drift * 100.0, uniform_pass ? "PASS" : "FAIL");
+    std::printf("zipf-hot phase-3 lane imbalance: %.1fx baseline -> %.1fx hybrid\n",
+                zipf_imb_base, zipf_imb_hyb);
+
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(f, "{\n  \"bench\": \"phase3_skew\",\n");
+        std::fprintf(f, "  \"num_arrays\": %zu,\n  \"array_size\": %zu,\n", num_arrays, n);
+        std::fprintf(f, "  \"distributions\": [\n");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row& r = rows[i];
+            const double speedup =
+                r.hyb.phase3_ms > 0.0 ? r.base.phase3_ms / r.hyb.phase3_ms : 1.0;
+            std::fprintf(f,
+                         "    {\"name\": \"%s\", "
+                         "\"baseline\": {\"phase3_ms\": %.6f, \"total_ms\": %.6f, "
+                         "\"imbalance\": %.4f}, "
+                         "\"hybrid\": {\"phase3_ms\": %.6f, \"total_ms\": %.6f, "
+                         "\"imbalance\": %.4f}, "
+                         "\"phase3_speedup\": %.4f, \"max_bucket\": %u}%s\n",
+                         r.name.c_str(), r.base.phase3_ms, r.base.total_ms,
+                         r.base.imbalance, r.hyb.phase3_ms, r.hyb.total_ms,
+                         r.hyb.imbalance, speedup, r.base.max_bucket,
+                         i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n");
+        std::fprintf(f, "  \"gates\": {\n");
+        std::fprintf(f,
+                     "    \"zipf_hot_phase3_speedup\": {\"value\": %.4f, \"min\": 3.0, "
+                     "\"pass\": %s},\n",
+                     zipf_speedup, zipf_pass ? "true" : "false");
+        std::fprintf(f,
+                     "    \"uniform_total_drift\": {\"value\": %.6f, \"max\": 0.02, "
+                     "\"pass\": %s}\n",
+                     uniform_drift, uniform_pass ? "true" : "false");
+        std::fprintf(f, "  }\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    } else {
+        std::printf("could not write %s\n", json_path.c_str());
+    }
+
     const bool inert = bench::verify_sanitize_off_guarantee([](simt::Device& dev) {
-        // The degenerate distribution exercises the single-bucket path too.
+        // The skewed distribution exercises the hybrid cooperative path and
+        // the degenerate few-distinct input the single-hot-bucket one.
+        auto hot = workload::make_dataset(8, 1000, workload::Distribution::ZipfHot, 4);
+        gas::gpu_array_sort(dev, hot.values, 8, 1000);
         auto small = workload::make_dataset(16, 500, workload::Distribution::FewDistinct, 4);
         gas::gpu_array_sort(dev, small.values, 16, 500);
     });
-    return inert ? 0 : 1;
+    return (inert && zipf_pass && uniform_pass) ? 0 : 1;
 }

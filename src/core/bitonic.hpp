@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace gas::detail {
+
+/// Bitonic sorting-network schedule shared by the cooperative shared-memory
+/// phase-3 path and its host-side reference (tests execute exactly the
+/// schedule the kernel does).  The network sorts m = 2^L elements in
+/// L(L+1)/2 compare-exchange steps; each step is one barrier-delimited
+/// thread region of m/2 independent pairs, so the whole block cooperates on
+/// one oversized bucket instead of serializing it onto a single lane.
+
+/// Smallest power of two >= k (k = 0 maps to 1).  The staged buffer is
+/// padded to this size with high sentinels; descending sub-merges route
+/// real values through the padding slots, so the padding must be physical —
+/// a virtual "pretend it is +inf" tail would be overwritten.
+[[nodiscard]] constexpr std::size_t bitonic_padded_size(std::size_t k) {
+    std::size_t m = 1;
+    while (m < k) m <<= 1;
+    return m;
+}
+
+[[nodiscard]] constexpr std::size_t bitonic_log2(std::size_t m) {
+    std::size_t l = 0;
+    while ((std::size_t{1} << l) < m) ++l;
+    return l;
+}
+
+/// Number of compare-exchange steps (thread regions) for an m-element run.
+[[nodiscard]] constexpr std::size_t bitonic_step_count(std::size_t m) {
+    const std::size_t levels = bitonic_log2(m);
+    return levels * (levels + 1) / 2;
+}
+
+/// Pair `pr` of the step with compare distance `d` (a power of two) touches
+/// elements (i, i + d): pairs tile the array in 2d-element groups, d pairs
+/// per group.
+struct BitonicPair {
+    std::uint32_t i;
+    std::uint32_t j;
+};
+
+[[nodiscard]] constexpr BitonicPair bitonic_pair(std::uint32_t pr, std::uint32_t d) {
+    const std::uint32_t g = pr / d;
+    const std::uint32_t r = pr - g * d;
+    const std::uint32_t i = 2 * d * g + r;
+    return {i, i + d};
+}
+
+/// Bank-stagger rule for sub-warp compare distances (DESIGN.md section 8).
+///
+/// Under the lockstep shared-memory model, the warp co-issues the t-th
+/// shared access of each lane.  For d >= 32 the i-side addresses of any 32
+/// consecutive pairs are already congruent to 32 consecutive words, so both
+/// access slots tile all banks.  For d < 32 they collide pairwise (i and
+/// i + d fall in the same 2d-aligned window twice per 32 words); the fix is
+/// access *order*: lanes in the upper half of each 32-pair window touch
+/// their j-side element first.  The map g -> (2g + swap(g)) mod (32/d) over
+/// pair-groups is then a bijection, so every co-issue slot again sees 32
+/// distinct banks — for any contiguous pair window, aligned or not.
+[[nodiscard]] constexpr bool bitonic_swap_first(std::uint32_t pr, std::uint32_t d) {
+    if (d >= 32) return false;
+    const std::uint32_t groups_per_window = 32 / d;
+    return ((pr / d) % groups_per_window) >= groups_per_window / 2;
+}
+
+/// Invokes fn(kk, d) for every step of the m-element network in schedule
+/// order: merge sizes kk = 2, 4, ..., m; within each, distances d = kk/2
+/// down to 1.  Sorting direction of pair (i, i+d) is ascending iff
+/// (i & kk) == 0 — the standard full-array-ascending bitonic recursion.
+template <typename F>
+constexpr void bitonic_for_each_step(std::size_t m, F&& fn) {
+    for (std::size_t kk = 2; kk <= m; kk <<= 1) {
+        for (std::size_t d = kk >> 1; d >= 1; d >>= 1) {
+            fn(kk, d);
+        }
+    }
+}
+
+/// Host-side reference: sorts a[0..a.size()) ascending by executing the
+/// exact schedule above sequentially.  a.size() must be a power of two
+/// (callers pad with high sentinels first).  Generic over the sequence type
+/// like insertion_sort_seq.
+template <typename Seq>
+void bitonic_sort_network(Seq a) {
+    using T = typename Seq::value_type;
+    const std::size_t m = a.size();
+    if (m < 2) return;
+    bitonic_for_each_step(m, [&](std::size_t kk, std::size_t d) {
+        for (std::uint32_t pr = 0; pr < m / 2; ++pr) {
+            const auto [i, j] = bitonic_pair(pr, static_cast<std::uint32_t>(d));
+            const bool up = (i & kk) == 0;
+            const T x = a[i];
+            const T y = a[j];
+            const bool exchange = up ? (y < x) : (x < y);
+            a[i] = exchange ? y : x;
+            a[j] = exchange ? x : y;
+        }
+    });
+}
+
+}  // namespace gas::detail

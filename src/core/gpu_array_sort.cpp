@@ -93,6 +93,7 @@ SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& dat
             });
         });
         stats.phase3 = to_phase_stats(k);
+        stats.phase3_imbalance = k.imbalance;
         if constexpr (std::is_floating_point_v<T>) {
             if (descending) {
                 const auto k2 = negate_on_device(device, span0);
@@ -156,8 +157,10 @@ SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& dat
                                                           opts, splitters.span(),
                                                           bucket_sizes.span(),
                                                           scratch.span(), scratch_rows));
-    stats.phase3 = to_phase_stats(
-        detail::sort_phase<T>(device, span, num_arrays, plan, bucket_sizes.span()));
+    const simt::KernelStats k3 =
+        detail::sort_phase<T>(device, span, num_arrays, plan, bucket_sizes.span(), opts);
+    stats.phase3 = to_phase_stats(k3);
+    stats.phase3_imbalance = k3.imbalance;
 
     if constexpr (std::is_floating_point_v<T>) {
         if (descending) {

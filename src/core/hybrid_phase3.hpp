@@ -1,0 +1,239 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bitonic.hpp"
+#include "core/insertion_sort.hpp"
+#include "core/options.hpp"
+#include "core/phases.hpp"
+#include "core/tune.hpp"
+#include "simt/kernel.hpp"
+
+namespace gas::detail {
+
+/// Hybrid skew-aware phase-3 driver (DESIGN.md section 8), shared by the
+/// standalone phase-3 kernel and the fused ragged / pair kernels.  Runs the
+/// non-trivial path only: callers keep their legacy single-region bucket
+/// sort for blocks whose largest bucket is at or below the small cutoff
+/// (and, bit-for-bit, whenever Options::hybrid_phase3 is off).
+///
+/// Three size classes per bucket:
+///  * tiny  (k <= phase3_small_cutoff):   classic one-lane insertion sort
+///  * mid   (k <= phase3_bitonic_cutoff): one-lane binary insertion sort
+///  * large (otherwise, if the padded run fits the remaining shared arena):
+///    cooperative bitonic network over a staged shared copy
+///
+/// A one-lane counting pass over the bucket table bins buckets by class
+/// into (begin, size) schedule rows — warps then execute homogeneous work
+/// (size-binned scheduling), and the schedule rows are read back with
+/// lane-consecutive indices so the pass itself is bank-conflict free.  The
+/// large class is settled by a per-block cost-model cutover: cooperative
+/// network cycles vs. the binned serial alternative, using the same
+/// formulas tune_sort_phase uses for the static defaults.
+///
+/// `boundary(j)` (j in [0, p]) returns bucket boundary j, reading it
+/// through the caller's tracked view so the sanitizer observes the access;
+/// the driver charges the scheduling pass for those reads.
+
+struct BucketRange {
+    std::uint32_t begin = 0;
+    std::uint32_t size = 0;
+};
+
+template <bool kPairs, typename T, typename BoundaryFn>
+inline void hybrid_phase3_block(simt::BlockCtx& blk, const simt::DeviceProperties& props,
+                                simt::sanitize::TrackedSpan<T> keys,
+                                simt::sanitize::TrackedSpan<T> values, std::size_t p,
+                                const BoundaryFn& boundary, const Options& opts) {
+    const unsigned lanes = blk.block_dim();
+    auto sched_begin = blk.shared_alloc<std::uint32_t>(p);
+    auto sched_size = blk.shared_alloc<std::uint32_t>(p);
+
+    constexpr std::uint64_t kPlanes = kPairs ? 2 : 1;
+    constexpr std::size_t kSlack = 16;  // bump-allocator alignment headroom
+    const std::size_t used = blk.shared_used() + kSlack;
+    const std::size_t free_bytes =
+        props.shared_memory_per_block > used ? props.shared_memory_per_block - used : 0;
+    const std::size_t capacity = free_bytes / (kPlanes * sizeof(T));
+
+    const auto class_of = [&](std::uint32_t k) -> unsigned {
+        if (k <= opts.phase3_small_cutoff) return 0;
+        if (k <= opts.phase3_bitonic_cutoff || bitonic_padded_size(k) > capacity) return 1;
+        return 2;
+    };
+
+    // Scheduling pass (one lane): classify buckets, counting-sort the
+    // (begin, size) rows by class — tiny, mid, large — and run the
+    // cost-model cutover for the large class.
+    std::vector<BucketRange> large;
+    bool cooperative = false;
+    std::size_t scratch_elems = 0;
+    std::size_t seq_buckets = p;
+    blk.single_thread([&](simt::ThreadCtx& tc) {
+        std::vector<BucketRange> ranges(p);
+        std::uint32_t class_count[3] = {0, 0, 0};
+        std::uint32_t prev = boundary(0);
+        for (std::size_t j = 0; j < p; ++j) {
+            const std::uint32_t next = boundary(j + 1);
+#ifndef NDEBUG
+            if (next < prev) {
+                throw std::logic_error("hybrid phase 3: bucket table not monotone");
+            }
+#endif
+            ranges[j] = {prev, next - prev};
+            ++class_count[class_of(ranges[j].size)];
+            prev = next;
+        }
+        std::uint32_t cursor[3] = {0, class_count[0],
+                                   class_count[0] + class_count[1]};
+        for (std::size_t j = 0; j < p; ++j) {
+            const unsigned c = class_of(ranges[j].size);
+            sched_begin[cursor[c]] = ranges[j].begin;
+            sched_size[cursor[c]] = ranges[j].size;
+            ++cursor[c];
+            if (c == 2) large.push_back(ranges[j]);
+        }
+        // p+1 boundary reads, p size re-reads for the placement pass, 2p
+        // schedule writes; classify + count + place is ~6 ops per bucket.
+        tc.shared(4 * p + 1);
+        tc.ops(6 * p);
+
+        if (!large.empty()) {
+            double coop_cycles = 0.0;
+            double serial_cycles = 0.0;
+            double group_max = 0.0;
+            unsigned in_group = 0;
+            for (const BucketRange& b : large) {
+                coop_cycles += modeled_bitonic_cycles(b.size, lanes, props);
+                group_max =
+                    std::max(group_max, modeled_binary_insertion_cycles(b.size, props));
+                if (++in_group == props.warp_size) {
+                    serial_cycles += group_max;  // serial larges share a warp:
+                    group_max = 0.0;             // each warp pays its slowest lane
+                    in_group = 0;
+                }
+                scratch_elems = std::max(scratch_elems, bitonic_padded_size(b.size));
+            }
+            serial_cycles += group_max;
+            cooperative = coop_cycles < serial_cycles;
+            tc.ops(4 * large.size());
+        }
+        if (cooperative) seq_buckets = p - large.size();
+    });
+
+    // Serial classes: lane t sorts schedule row t.  Same-class rows are
+    // adjacent, so each warp's lanes run the same algorithm on same-class
+    // sizes instead of idling behind one oversized bucket.
+    blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const std::size_t t = tc.tid();
+        if (t >= seq_buckets) return;
+        const std::uint32_t begin = sched_begin[t];
+        const std::uint32_t k = sched_size[t];
+        tc.shared(2);
+        tc.ops(2);
+        InsertionCost cost;
+        if constexpr (kPairs) {
+            cost = k <= opts.phase3_small_cutoff
+                       ? insertion_sort_pairs_seq(keys.subspan(begin, k),
+                                                  values.subspan(begin, k))
+                       : binary_insertion_sort_pairs_seq(keys.subspan(begin, k),
+                                                         values.subspan(begin, k));
+        } else {
+            cost = k <= opts.phase3_small_cutoff
+                       ? insertion_sort_seq(keys.subspan(begin, k))
+                       : binary_insertion_sort_seq(keys.subspan(begin, k));
+        }
+        tc.ops(cost.compares + cost.moves);
+        tc.global_random(2 * kPlanes * k);
+    });
+
+    if (!cooperative || large.empty()) return;
+
+    // Cooperative bitonic path: the whole block sorts each large bucket in
+    // shared memory, padded to a power of two with high sentinels.  Every
+    // compare-exchange writes both elements unconditionally and follows the
+    // bitonic_swap_first access order, so each co-issued access slot of a
+    // warp touches 32 distinct banks (verified by the bankcheck workload).
+    simt::sanitize::TrackedSpan<T> staged_k = blk.shared_alloc<T>(scratch_elems);
+    simt::sanitize::TrackedSpan<T> staged_v;
+    if constexpr (kPairs) staged_v = blk.shared_alloc<T>(scratch_elems);
+
+    for (const BucketRange& b : large) {
+        const std::uint32_t k = b.size;
+        const std::uint32_t begin = b.begin;
+        const std::size_t m = bitonic_padded_size(k);
+
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {  // stage + pad
+            std::uint64_t iters = 0;
+            std::uint64_t loaded = 0;
+            for (std::size_t e = tc.tid(); e < m; e += lanes) {
+                if (e < k) {
+                    staged_k[e] = static_cast<T>(keys[begin + e]);
+                    if constexpr (kPairs) staged_v[e] = static_cast<T>(values[begin + e]);
+                    ++loaded;
+                } else {
+                    staged_k[e] = high_sentinel<T>();
+                    if constexpr (kPairs) staged_v[e] = T{};
+                }
+                ++iters;
+            }
+            tc.ops(2 * iters);
+            tc.shared(kPlanes * iters);
+            tc.global_coalesced(loaded * kPlanes * sizeof(T));
+        });
+
+        bitonic_for_each_step(m, [&](std::size_t kk, std::size_t dist) {
+            const auto d32 = static_cast<std::uint32_t>(dist);
+            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+                std::uint64_t pairs = 0;
+                for (std::uint32_t pr = tc.tid(); pr < m / 2; pr += lanes) {
+                    const auto [i, j] = bitonic_pair(pr, d32);
+                    const bool up = (i & kk) == 0;
+                    const bool j_first = bitonic_swap_first(pr, d32);
+                    const std::uint32_t a0 = j_first ? j : i;
+                    const std::uint32_t a1 = j_first ? i : j;
+                    const T x0 = staged_k[a0];
+                    const T x1 = staged_k[a1];
+                    const T xi = j_first ? x1 : x0;
+                    const T xj = j_first ? x0 : x1;
+                    const bool exchange = up ? (xj < xi) : (xi < xj);
+                    const T ni = exchange ? xj : xi;
+                    const T nj = exchange ? xi : xj;
+                    staged_k[a0] = j_first ? nj : ni;
+                    staged_k[a1] = j_first ? ni : nj;
+                    if constexpr (kPairs) {
+                        const T v0 = staged_v[a0];
+                        const T v1 = staged_v[a1];
+                        const T vi = j_first ? v1 : v0;
+                        const T vj = j_first ? v0 : v1;
+                        staged_v[a0] = j_first ? (exchange ? vi : vj)
+                                               : (exchange ? vj : vi);
+                        staged_v[a1] = j_first ? (exchange ? vj : vi)
+                                               : (exchange ? vi : vj);
+                    }
+                    ++pairs;
+                }
+                tc.ops((kPairs ? 10 : 8) * pairs);
+                tc.shared((kPairs ? 8 : 4) * pairs);
+            });
+        });
+
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {  // write back, coalesced
+            std::uint64_t iters = 0;
+            for (std::size_t e = tc.tid(); e < k; e += lanes) {
+                keys[begin + e] = static_cast<T>(staged_k[e]);
+                if constexpr (kPairs) values[begin + e] = static_cast<T>(staged_v[e]);
+                ++iters;
+            }
+            tc.ops(iters);
+            tc.shared(kPlanes * iters);
+            tc.global_coalesced(iters * kPlanes * sizeof(T));
+        });
+    }
+}
+
+}  // namespace gas::detail

@@ -48,6 +48,30 @@ struct Options {
     /// and found it slower (section 5.2); kept as an ablation knob.
     unsigned threads_per_bucket = 1;
 
+    /// Hybrid skew-aware phase 3 (DESIGN.md section 8): per-bucket cutover
+    /// between plain insertion (tiny), binary insertion (mid) and a
+    /// cooperative shared-memory bitonic network (oversized), plus a
+    /// size-binning scheduler that groups same-size-class buckets onto the
+    /// same warp.  Off reproduces the pre-hybrid kernels bit-for-bit
+    /// (identical KernelStats), which the paper-figure benches rely on.
+    bool hybrid_phase3 = true;
+
+    /// Buckets at or below this size take the classic one-lane insertion
+    /// sort via the legacy fast path (no scheduling pass at all when every
+    /// bucket of a block qualifies).  Default from tune_sort_phase on the
+    /// modeled K40c: healthy regular-sampling buckets (~6x the 20-element
+    /// target at the tail) stay on the paper's code path; only genuine skew
+    /// pays for scheduling.
+    std::size_t phase3_small_cutoff = 120;
+
+    /// Buckets above this size become candidates for the cooperative
+    /// bitonic-network path (when the padded run fits the remaining shared
+    /// memory; a per-block cost-model cutover still compares it against
+    /// binned binary insertion).  Default from tune_sort_phase: 2x the
+    /// small cutoff, past the point where the modeled network beats a
+    /// single serialized lane for every block width.
+    std::size_t phase3_bitonic_cutoff = 240;
+
     /// Verify output (sortedness + per-array permutation) before returning.
     bool validate = false;
 

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/device_ops.hpp"
+#include "core/hybrid_phase3.hpp"
 #include "core/insertion_sort.hpp"
 #include "core/phases.hpp"
 
@@ -136,13 +137,28 @@ SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
             tc.shared(n + 3);
             tc.ops(n * 3);
         });
+        std::uint32_t k_max = 0;
         blk.single_thread([&](simt::ThreadCtx& tc) {
             std::uint32_t running = 0;
+            std::uint64_t sum = 0;
             for (std::size_t j = 0; j < p; ++j) {
                 starts[j] = running;
-                running += counts[j];
+                const std::uint32_t c = counts[j];
+                running += c;
+                sum += c;
+                if (opts.hybrid_phase3) k_max = std::max(k_max, c);
             }
-            tc.ops(p);
+#ifndef NDEBUG
+            if (sum != n) {
+                throw std::logic_error("gas.pair_sort_fused: bucket counts of array " +
+                                       std::to_string(blk.block_idx()) + " sum to " +
+                                       std::to_string(sum) + ", expected " +
+                                       std::to_string(n));
+            }
+#else
+            (void)sum;
+#endif
+            tc.ops(opts.hybrid_phase3 ? 2 * p : p);
             tc.shared(2 * p);
         });
         blk.for_each_thread([&](simt::ThreadCtx& tc) {
@@ -165,7 +181,19 @@ SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
             tc.global_random(written > 0 ? 2 : 0);  // one run start per buffer
         });
 
-        // Phase 3 (fused): insertion sort each (key, value) bucket in place.
+        // Phase 3 (fused).  Skewed blocks hand over to the hybrid sorter
+        // (values ride along through the pair variants); balanced blocks
+        // keep the one-lane-per-bucket pair insertion sort.
+        if (opts.hybrid_phase3 && k_max > opts.phase3_small_cutoff) {
+            detail::hybrid_phase3_block</*kPairs=*/true, T>(
+                blk, props, blk.global_view(std::span<T>{key_row, n}),
+                blk.global_view(std::span<T>{val_row, n}), p,
+                [&](std::size_t j) -> std::uint32_t {
+                    return j < p ? starts[j] : static_cast<std::uint32_t>(n);
+                },
+                opts);
+            return;
+        }
         blk.for_each_thread([&](simt::ThreadCtx& tc) {
             if (tc.tid() >= p) return;
             const std::uint32_t begin = starts[tc.tid()];
@@ -181,6 +209,7 @@ SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
     });
 
     stats.phase2 = {k.modeled_ms, k.wall_ms};
+    stats.phase3_imbalance = k.imbalance;
     stats.peak_device_bytes = device.memory().peak_bytes_in_use();
     return stats;
 }

@@ -71,11 +71,16 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
 
 /// Phase 3 (section 5.3): one thread per bucket runs in-place insertion sort
 /// on its bucket; contiguous sorted buckets leave each array fully sorted
-/// with no merge step.
+/// with no merge step.  With Options::hybrid_phase3 (the default) blocks
+/// whose largest bucket exceeds the small cutoff switch to the skew-aware
+/// hybrid sorter (size-binned scheduling, binary insertion, cooperative
+/// bitonic — see hybrid_phase3.hpp); with it off the kernel is the paper's
+/// one-lane-per-bucket insertion sort, bit-for-bit.
 template <typename T>
 simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
                              std::size_t num_arrays, const SortPlan& plan,
-                             std::span<const std::uint32_t> bucket_sizes);
+                             std::span<const std::uint32_t> bucket_sizes,
+                             const Options& opts = {});
 
 // Explicit instantiations live in the phase .cpp files.
 #define GAS_DECLARE_PHASES(T)                                                              \
@@ -86,7 +91,7 @@ simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
         std::span<const T>, std::span<std::uint32_t>, std::span<T>, std::size_t);          \
     extern template simt::KernelStats sort_phase<T>(                                       \
         simt::Device&, std::span<T>, std::size_t, const SortPlan&,                         \
-        std::span<const std::uint32_t>);
+        std::span<const std::uint32_t>, const Options&);
 
 GAS_DECLARE_PHASES(float)
 GAS_DECLARE_PHASES(double)

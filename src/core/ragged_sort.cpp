@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/hybrid_phase3.hpp"
 #include "core/insertion_sort.hpp"
 #include "core/phases.hpp"
 
@@ -134,13 +135,28 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
             tc.shared(n + 3);
             tc.ops(n * 3);
         });
+        std::uint32_t k_max = 0;
         blk.single_thread([&](simt::ThreadCtx& tc) {
             std::uint32_t running = 0;
+            std::uint64_t sum = 0;
             for (std::size_t j = 0; j < p; ++j) {
                 starts[j] = running;
-                running += counts[j];
+                const std::uint32_t c = counts[j];
+                running += c;
+                sum += c;
+                if (opts.hybrid_phase3) k_max = std::max(k_max, c);
             }
-            tc.ops(p);
+#ifndef NDEBUG
+            if (sum != n) {
+                throw std::logic_error("gas.ragged_fused: bucket counts of array " +
+                                       std::to_string(a) + " sum to " +
+                                       std::to_string(sum) + ", expected " +
+                                       std::to_string(n));
+            }
+#else
+            (void)sum;
+#endif
+            tc.ops(opts.hybrid_phase3 ? 2 * p : p);
             tc.shared(2 * p);
         });
         blk.for_each_thread([&](simt::ThreadCtx& tc) {
@@ -159,7 +175,19 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
             tc.global_random(written > 0 ? 1 : 0);
         });
 
-        // Fused phase 3: insertion sort per bucket, in place in global.
+        // Fused phase 3.  Skewed blocks hand over to the hybrid sorter
+        // (size-binned scheduling + cooperative bitonic, see
+        // hybrid_phase3.hpp); balanced blocks keep the paper's
+        // one-lane-per-bucket insertion sort.
+        if (opts.hybrid_phase3 && k_max > opts.phase3_small_cutoff) {
+            detail::hybrid_phase3_block</*kPairs=*/false, float>(
+                blk, props, blk.global_view(data.subspan(base, n)), /*values=*/{}, p,
+                [&](std::size_t j) -> std::uint32_t {
+                    return j < p ? starts[j] : static_cast<std::uint32_t>(n);
+                },
+                opts);
+            return;
+        }
         blk.for_each_thread([&](simt::ThreadCtx& tc) {
             if (tc.tid() >= p) return;
             const std::uint32_t begin = starts[tc.tid()];
@@ -174,6 +202,7 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
     });
 
     stats.phase2 = {k.modeled_ms, k.wall_ms};  // fused kernel reported as one phase
+    stats.phase3_imbalance = k.imbalance;
     stats.peak_device_bytes = device.memory().peak_bytes_in_use();
     return stats;
 }

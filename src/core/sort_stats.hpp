@@ -30,6 +30,14 @@ struct SortStats {
     std::size_t peak_device_bytes = 0;  ///< allocator peak during the sort
     std::size_t data_bytes = 0;         ///< size of the arrays themselves
 
+    /// Lane-imbalance (divergence) metric of the phase-3 kernel: ratio of
+    /// warp max-lane cycles to warp mean-lane cycles summed over the launch
+    /// (simt::KernelStats::imbalance).  1.0 = perfectly balanced buckets; a
+    /// single hot bucket serializing one lane pushes it toward the warp
+    /// width.  For fused kernels (ragged/pair sort) this covers the whole
+    /// fused launch.
+    double phase3_imbalance = 1.0;
+
     // Bucket balance diagnostics (from the Z array of Definition 4).
     std::uint32_t min_bucket = 0;
     std::uint32_t max_bucket = 0;

@@ -15,17 +15,23 @@ BlockCost CostModel::block_cost(std::span<const LaneCounters> lanes) const {
         const std::size_t end = std::min(base + warp, lanes.size());
         std::uint64_t max_ops = 0;
         std::uint64_t max_shared = 0;
+        double lane_cycles_sum = 0.0;
         for (std::size_t i = base; i < end; ++i) {
             max_ops = std::max(max_ops, lanes[i].ops);
             max_shared = std::max(max_shared, lanes[i].shared_accesses);
+            lane_cycles_sum +=
+                props_.cpi * static_cast<double>(lanes[i].ops) +
+                props_.shared_access_cycles * static_cast<double>(lanes[i].shared_accesses);
             cost.traffic_bytes += static_cast<double>(lanes[i].coalesced_bytes) +
                                   static_cast<double>(lanes[i].random_accesses) *
                                       props_.uncoalesced_segment_bytes;
         }
         warp_cycles_sum += props_.cpi * static_cast<double>(max_ops) +
                            props_.shared_access_cycles * static_cast<double>(max_shared);
+        cost.warp_mean_cycles += lane_cycles_sum / static_cast<double>(end - base);
         ++num_warps;
     }
+    cost.warp_max_cycles = warp_cycles_sum;
 
     // Warps share the SM's issue slots; beyond the concurrent capacity they
     // serialize.  (A block with a single warp simply takes its warp time.)

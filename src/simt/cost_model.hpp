@@ -14,6 +14,12 @@ namespace simt {
 struct BlockCost {
     double cycles = 0.0;         ///< serialized warp-cycles the block occupies an SM for
     double traffic_bytes = 0.0;  ///< DRAM traffic the block generates
+    /// Divergence/imbalance inputs: per-warp max-lane cycles summed over
+    /// the block's warps (what lockstep execution charges) and the same sum
+    /// using each warp's mean-lane cycles (what perfectly balanced lanes
+    /// would have cost).  Their launch-wide ratio is KernelStats::imbalance.
+    double warp_max_cycles = 0.0;
+    double warp_mean_cycles = 0.0;
 };
 
 /// Timing + traffic summary of one kernel launch.
@@ -29,6 +35,16 @@ struct KernelStats {
     double memory_ms = 0.0;       ///< modeled DRAM traffic / bandwidth
     double modeled_ms = 0.0;      ///< max(compute, memory) * derate + overhead
     double wall_ms = 0.0;         ///< host wall-clock of the functional simulation
+
+    // Divergence/imbalance metric: lockstep warps pay their slowest lane,
+    // so `imbalance` = (sum over warps of max-lane cycles) / (same sum with
+    // mean-lane cycles).  1.0 = perfectly balanced lanes; a skewed bucket
+    // serializing one lane of each warp pushes it toward the warp width.
+    // Aggregated in block order, so it is deterministic for any worker
+    // count like every other field.
+    double warp_max_cycles = 0.0;   ///< Σ_warps max-lane cycles (all blocks)
+    double warp_mean_cycles = 0.0;  ///< Σ_warps mean-lane cycles (all blocks)
+    double imbalance = 1.0;         ///< warp_max_cycles / warp_mean_cycles
 };
 
 /// Roofline-style analytic model of kernel time on the simulated device.

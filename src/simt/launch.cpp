@@ -14,6 +14,8 @@ namespace {
 struct BlockRecord {
     double cycles = 0.0;
     double traffic = 0.0;
+    double warp_max_cycles = 0.0;
+    double warp_mean_cycles = 0.0;
     LaneCounters totals;
     std::size_t shared_high_water = 0;
     sanitize::SlotShadow::BlockResult san;
@@ -26,6 +28,8 @@ void run_block(const std::function<void(BlockCtx&)>& body, BlockCtx& ctx,
     const BlockCost cost = model.block_cost(ctx.lanes());
     rec.cycles = cost.cycles;
     rec.traffic = cost.traffic_bytes;
+    rec.warp_max_cycles = cost.warp_max_cycles;
+    rec.warp_mean_cycles = cost.warp_mean_cycles;
     for (const LaneCounters& lane : ctx.lanes()) rec.totals += lane;
     rec.shared_high_water = ctx.shared_high_water();
     if (sanitize::SlotShadow* shadow = ctx.sanitizer()) {
@@ -110,9 +114,13 @@ KernelStats Device::launch(const LaunchConfig& cfg,
         block_cycles[b] = records[b].cycles;
         traffic += records[b].traffic;
         stats.totals += records[b].totals;
+        stats.warp_max_cycles += records[b].warp_max_cycles;
+        stats.warp_mean_cycles += records[b].warp_mean_cycles;
         stats.shared_bytes_per_block =
             std::max(stats.shared_bytes_per_block, records[b].shared_high_water);
     }
+    stats.imbalance =
+        stats.warp_mean_cycles > 0.0 ? stats.warp_max_cycles / stats.warp_mean_cycles : 1.0;
 
     cost_model_.finalize(stats, block_cycles, traffic);
     kernel_log_.push_back(stats);

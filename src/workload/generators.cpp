@@ -89,6 +89,24 @@ void fill(std::vector<float>& out, std::size_t begin, std::size_t end, Distribut
             }
             break;
         }
+        case Distribution::ZipfHot: {
+            // Single-hot-bucket adversary for phase 3.  The splitter phase
+            // regular-samples array[k * stride] with stride = n / (0.1 n) =
+            // 10, so positions = 0 (mod 10) carry full-range uniform decoys
+            // and every other position carries a *distinct* value inside a
+            // narrow band.  The sample then consists of decoys only, the
+            // splitters straddle the band, and ~90% of the array lands in
+            // one bucket of one lane.  The band values are distinct (not
+            // duplicates) so that bucket really costs quadratic compares.
+            std::uniform_real_distribution<float> decoy(0.0f, kUniformMax);
+            const float band_lo = 0.40f * kUniformMax;
+            const float band_hi = 0.41f * kUniformMax;
+            std::uniform_real_distribution<float> band(band_lo, band_hi);
+            for (std::size_t i = begin; i < end; ++i) {
+                out[i] = (i - begin) % 10 == 0 ? decoy(rng) : band(rng);
+            }
+            break;
+        }
     }
 }
 
@@ -106,6 +124,7 @@ std::string to_string(Distribution d) {
         case Distribution::Constant: return "constant";
         case Distribution::Pareto: return "pareto";
         case Distribution::Clustered: return "clustered";
+        case Distribution::ZipfHot: return "zipf-hot";
     }
     return "unknown";
 }
@@ -116,6 +135,7 @@ const std::vector<Distribution>& all_distributions() {
         Distribution::Sorted,       Distribution::Reverse,     Distribution::NearlySorted,
         Distribution::FewDistinct,  Distribution::Constant,
         Distribution::Pareto,       Distribution::Clustered,
+        Distribution::ZipfHot,
     };
     return all;
 }

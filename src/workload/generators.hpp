@@ -22,6 +22,11 @@ enum class Distribution {
     Constant,      ///< every element identical
     Pareto,        ///< power-law heavy tail (worst case for regular sampling)
     Clustered,     ///< 8 tight Gaussian clusters per array
+    ZipfHot,       ///< single-hot-bucket adversary: ~90% of each array is
+                   ///< distinct values in one narrow band, placed off the
+                   ///< 10%-regular-sampling stride so phase 1's sample sees
+                   ///< only the uniform decoys and one bucket swallows the
+                   ///< band (worst case for phase-3 lane balance)
 };
 
 [[nodiscard]] std::string to_string(Distribution d);

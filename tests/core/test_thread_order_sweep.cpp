@@ -125,6 +125,45 @@ TEST(ThreadOrderSweep, RaggedPairSort) {
     });
 }
 
+/// Hybrid phase-3 paths (size-binned scheduling + cooperative bitonic) on
+/// the single-hot-bucket adversary, cutovers forced low so the new kernels'
+/// every class executes under both lane orders.
+gas::Options hybrid_forced() {
+    gas::Options opts;
+    opts.phase3_small_cutoff = 16;
+    opts.phase3_bitonic_cutoff = 64;
+    return opts;
+}
+
+TEST(ThreadOrderSweep, HybridSkewArraySort) {
+    sweep([](simt::Device& dev) {
+        auto ds = workload::make_dataset(8, 600, workload::Distribution::ZipfHot, 3);
+        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, hybrid_forced());
+        return ds.values;
+    });
+}
+
+TEST(ThreadOrderSweep, HybridSkewRaggedSort) {
+    sweep([](simt::Device& dev) {
+        auto ds = workload::make_ragged_dataset(10, 64, 512,
+                                                workload::Distribution::ZipfHot, 6);
+        std::vector<std::uint64_t> offsets(ds.offsets.begin(), ds.offsets.end());
+        gas::gpu_ragged_sort(dev, ds.values, offsets, hybrid_forced());
+        return ds.values;
+    });
+}
+
+TEST(ThreadOrderSweep, HybridSkewPairSort) {
+    sweep([](simt::Device& dev) {
+        auto keys = workload::make_dataset(6, 500, workload::Distribution::ZipfHot, 7);
+        auto vals = workload::make_dataset(6, 500, workload::Distribution::Uniform, 8);
+        gas::gpu_pair_sort(dev, keys.values, vals.values, 6, 500, hybrid_forced());
+        auto out = keys.values;
+        out.insert(out.end(), vals.values.begin(), vals.values.end());
+        return out;
+    });
+}
+
 std::vector<std::uint32_t> pseudo_u32(std::size_t count, std::uint64_t seed) {
     std::vector<std::uint32_t> v(count);
     std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;

@@ -30,6 +30,20 @@ TEST(CostModel, DivergencePenalty) {
     EXPECT_GT(model.block_cost(packed).cycles, model.block_cost(spread).cycles);
 }
 
+TEST(CostModel, ImbalanceInputsTrackMaxVsMeanLaneCycles) {
+    CostModel model(props());
+    std::vector<LaneCounters> balanced(32);
+    for (auto& l : balanced) l.ops = 10;
+    const auto b = model.block_cost(balanced);
+    EXPECT_DOUBLE_EQ(b.warp_max_cycles, b.warp_mean_cycles);
+
+    std::vector<LaneCounters> packed(32);
+    packed[0].ops = 64;  // one hot lane: warp pays 64, balanced cost is 2
+    const auto p = model.block_cost(packed);
+    EXPECT_DOUBLE_EQ(p.warp_max_cycles, 64.0 * props().cpi);
+    EXPECT_DOUBLE_EQ(p.warp_mean_cycles, 2.0 * props().cpi);
+}
+
 TEST(CostModel, UncoalescedAccessCostsFullSegment) {
     CostModel model(props());
     std::vector<LaneCounters> coalesced(32);

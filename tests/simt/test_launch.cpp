@@ -24,6 +24,23 @@ TEST(Launch, RunsEveryBlockAndThreadExactlyOnce) {
     for (int v : visits) EXPECT_EQ(v, 1);
 }
 
+TEST(Launch, ImbalanceMetricReflectsLaneSkew) {
+    Device dev(simt::tiny_device(1 << 20));
+    // One hot lane per warp: max-lane cycles 62, mean (62 + 31 * 2) / 32 =
+    // 3.875, so the launch-wide ratio is exactly 16 (cpi cancels).
+    const auto skewed = dev.launch({"skew", 2, 32}, [&](BlockCtx& blk) {
+        blk.for_each_thread([&](ThreadCtx& tc) { tc.ops(tc.tid() == 0 ? 62 : 2); });
+    });
+    EXPECT_DOUBLE_EQ(skewed.imbalance, 16.0);
+    const auto balanced = dev.launch({"flat", 2, 32}, [&](BlockCtx& blk) {
+        blk.for_each_thread([&](ThreadCtx& tc) { tc.ops(5); });
+    });
+    EXPECT_DOUBLE_EQ(balanced.imbalance, 1.0);
+    // A no-op launch reports the neutral value, not a 0/0.
+    const auto idle = dev.launch({"idle", 1, 4}, [](BlockCtx&) {});
+    EXPECT_DOUBLE_EQ(idle.imbalance, 1.0);
+}
+
 TEST(Launch, RejectsZeroDimensions) {
     Device dev(simt::tiny_device(1 << 20));
     EXPECT_THROW(dev.launch({"bad", 0, 4}, [](BlockCtx&) {}), simt::LaunchError);

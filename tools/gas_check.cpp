@@ -35,7 +35,7 @@ namespace {
 int usage() {
     std::fprintf(stderr,
                  "usage: gas_check [options]\n"
-                 "  --workload W   sort|small|pairs|ragged|radix|all (default: all)\n"
+                 "  --workload W   sort|small|pairs|ragged|radix|bitonic|all (default: all)\n"
                  "  --arrays N     number of arrays (default: 64)\n"
                  "  --size n       elements per array (default: 1000)\n"
                  "  --checks C     comma list of race,mem,init,bank or 'all' (default)\n"
@@ -111,6 +111,29 @@ void run_ragged(simt::Device& device, std::size_t arrays) {
     gas::gpu_ragged_sort(device, ds.values, offsets);
 }
 
+void run_bitonic(simt::Device& device, std::size_t arrays, std::size_t size) {
+    // Single-hot-bucket adversary with the hybrid cutovers forced low so
+    // every phase-3 path — size-binned serial classes and the cooperative
+    // shared-memory bitonic network — runs under the checker.  The network's
+    // staggered access order is designed bank-conflict free; this workload
+    // is the empirical proof (tests pin it under --checks bank --strict).
+    gas::Options opts;
+    opts.phase3_small_cutoff = 16;
+    opts.phase3_bitonic_cutoff = 64;
+    auto ds = workload::make_dataset(arrays, size, workload::Distribution::ZipfHot, 11);
+    gas::gpu_array_sort(device, ds.values, ds.num_arrays, ds.array_size, opts);
+    if (!gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size)) {
+        throw std::runtime_error("bitonic workload produced unsorted output");
+    }
+    // Pair variant: the value plane doubles the co-issued access pattern.
+    auto keys = workload::make_dataset(arrays, size, workload::Distribution::ZipfHot, 12);
+    auto vals = workload::make_dataset(arrays, size, workload::Distribution::Uniform, 13);
+    gas::gpu_pair_sort(device, keys.values, vals.values, arrays, size, opts);
+    if (!gas::all_arrays_sorted(keys.values, arrays, size)) {
+        throw std::runtime_error("bitonic pair workload produced unsorted keys");
+    }
+}
+
 void run_radix(simt::Device& device, std::size_t count) {
     std::vector<std::uint32_t> host(count);
     std::uint64_t state = 0x9e3779b97f4a7c15ull;
@@ -178,6 +201,8 @@ int main(int argc, char** argv) {
         if (want("pairs")) run_pairs(device, args.arrays, std::min<std::size_t>(args.size, 2048));
         if (want("ragged")) run_ragged(device, args.arrays);
         if (want("radix")) run_radix(device, args.arrays * args.size);
+        if (want("bitonic"))
+            run_bitonic(device, args.arrays, std::min<std::size_t>(args.size, 2048));
         if (!matched) {
             std::fprintf(stderr, "gas_check: unknown workload %s\n", args.workload.c_str());
             return usage();
