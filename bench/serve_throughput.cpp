@@ -1,0 +1,176 @@
+// Serving-layer throughput bench: many small sort requests, one launch
+// sequence per request (the naive service) versus gas::serve's fused
+// micro-batches on a multi-stream pipeline.
+//
+// A 4-array request occupies 4 of the K40c's 15 SMs and still pays the full
+// per-kernel launch overhead three times; fusing 64 such requests into one
+// 256-array launch amortizes both.  The bench emits BENCH_serve.json with two
+// asserted acceptance gates:
+//   * modeled throughput speedup (serial per-request total over the server's
+//     pipelined makespan) >= 2x on >= 1000 small requests, and
+//   * zero bit mismatches between every served response and a direct
+//     gas::gpu_array_sort of the same request.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/gpu_array_sort.hpp"
+#include "serve/server.hpp"
+#include "simt/device.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+gas::serve::ServerConfig bench_config(std::size_t requests) {
+    gas::serve::ServerConfig cfg;
+    cfg.manual_pump = true;  // deterministic batching, no scheduler thread
+    cfg.queue_capacity = requests;
+    cfg.max_batch_requests = 64;
+    cfg.num_streams = 2;
+    return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bench::Args args = bench::parse(argc, argv);
+    std::size_t requests = args.full ? 4000 : 1000;
+    std::string json_path = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+            requests = static_cast<std::size_t>(std::stoull(argv[i + 1]));
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[i + 1];
+        }
+    }
+    const std::size_t arrays_per_request = 4;
+    const std::size_t n = 64;
+
+    std::printf("Serving-layer throughput: %zu requests of %zu x %zu floats\n", requests,
+                arrays_per_request, n);
+    bench::rule('=');
+
+    std::vector<std::vector<float>> inputs(requests);
+    for (std::size_t r = 0; r < requests; ++r) {
+        inputs[r] = workload::make_dataset(arrays_per_request, n,
+                                           workload::Distribution::Uniform,
+                                           static_cast<std::uint64_t>(r + 1))
+                        .values;
+    }
+
+    // Baseline: one gpu_array_sort per request, serial device, per-request
+    // H2D/D2H.  This is what a service without micro-batching would pay.
+    double baseline_ms = 0.0;
+    std::vector<std::vector<float>> direct(requests);
+    {
+        simt::Device dev = bench::make_device();
+        for (std::size_t r = 0; r < requests; ++r) {
+            direct[r] = inputs[r];
+            const auto s = gas::gpu_array_sort(dev, std::span<float>(direct[r]),
+                                               arrays_per_request, n);
+            baseline_ms += s.modeled_total_ms();
+        }
+    }
+    std::printf("one-launch-per-request baseline: %10.2f ms modeled (%.4f ms/request)\n",
+                baseline_ms, baseline_ms / static_cast<double>(requests));
+
+    // Server: same requests through fused micro-batches + stream pipeline.
+    simt::Device dev = bench::make_device();
+    gas::serve::Server server(dev, bench_config(requests));
+    std::vector<gas::serve::Server::Ticket> tickets;
+    tickets.reserve(requests);
+    for (std::size_t r = 0; r < requests; ++r) {
+        gas::serve::Job job;
+        job.kind = gas::serve::JobKind::Uniform;
+        job.num_arrays = arrays_per_request;
+        job.array_size = n;
+        job.values = inputs[r];
+        tickets.push_back(server.submit(std::move(job)));
+    }
+    server.pump();
+
+    std::size_t mismatches = 0;
+    for (std::size_t r = 0; r < requests; ++r) {
+        auto resp = tickets[r].result.get();
+        if (!resp.ok() || resp.values != direct[r]) ++mismatches;
+    }
+    const auto stats = server.stats();
+    const double server_ms = stats.modeled_overlap_ms;
+    const double speedup = server_ms > 0.0 ? baseline_ms / server_ms : 0.0;
+
+    std::printf("served via micro-batches:        %10.2f ms modeled pipeline makespan\n",
+                server_ms);
+    std::printf("  batches %llu, occupancy %.1f requests/batch, pool reuse %.0f%%\n",
+                static_cast<unsigned long long>(stats.batches), stats.batch_occupancy(),
+                stats.pool.reuse_rate() * 100.0);
+    std::printf("  compute utilization %.2f, overlap speedup vs own serial %.2fx\n",
+                stats.compute_utilization, stats.overlap_speedup());
+    std::printf("  modeled latency/request: p50 %.4f ms, p95 %.4f ms, p99 %.4f ms\n",
+                stats.modeled_ms.p50, stats.modeled_ms.p95, stats.modeled_ms.p99);
+    bench::rule();
+
+    const bool speedup_pass = requests >= 1000 && speedup >= 2.0;
+    const bool identity_pass = mismatches == 0;
+    std::printf("gate: micro-batching throughput speedup %.2fx (need >= 2x) %s\n", speedup,
+                speedup_pass ? "PASS" : "FAIL");
+    std::printf("gate: served-vs-direct bit mismatches %zu (need 0) ........ %s\n",
+                mismatches, identity_pass ? "PASS" : "FAIL");
+
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
+        std::fprintf(f, "  \"requests\": %zu,\n  \"arrays_per_request\": %zu,\n", requests,
+                     arrays_per_request);
+        std::fprintf(f, "  \"array_size\": %zu,\n", n);
+        std::fprintf(f, "  \"baseline\": {\"modeled_total_ms\": %.6f},\n", baseline_ms);
+        std::fprintf(f,
+                     "  \"server\": {\"modeled_overlap_ms\": %.6f, \"modeled_serial_ms\": "
+                     "%.6f, \"batches\": %llu, \"occupancy\": %.4f, \"pool_reuse_rate\": "
+                     "%.4f, \"compute_utilization\": %.4f,\n",
+                     stats.modeled_overlap_ms, stats.modeled_serial_ms,
+                     static_cast<unsigned long long>(stats.batches),
+                     stats.batch_occupancy(), stats.pool.reuse_rate(),
+                     stats.compute_utilization);
+        std::fprintf(f,
+                     "    \"modeled_latency_ms\": {\"p50\": %.6f, \"p95\": %.6f, \"p99\": "
+                     "%.6f}},\n",
+                     stats.modeled_ms.p50, stats.modeled_ms.p95, stats.modeled_ms.p99);
+        std::fprintf(f, "  \"gates\": {\n");
+        std::fprintf(f,
+                     "    \"throughput_speedup\": {\"value\": %.4f, \"min\": 2.0, "
+                     "\"pass\": %s},\n",
+                     speedup, speedup_pass ? "true" : "false");
+        std::fprintf(f,
+                     "    \"bit_identity_mismatches\": {\"value\": %zu, \"max\": 0, "
+                     "\"pass\": %s}\n",
+                     mismatches, identity_pass ? "true" : "false");
+        std::fprintf(f, "  }\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    } else {
+        std::printf("could not write %s\n", json_path.c_str());
+    }
+
+    // The fused batch kernels must be untouched by the sanitizer machinery,
+    // like every other bench's workload.
+    const bool inert = bench::verify_sanitize_off_guarantee([](simt::Device& d) {
+        gas::serve::ServerConfig cfg;
+        cfg.manual_pump = true;
+        gas::serve::Server srv(d, cfg);
+        std::vector<gas::serve::Server::Ticket> ts;
+        for (unsigned i = 0; i < 8; ++i) {
+            gas::serve::Job job;
+            job.kind = gas::serve::JobKind::Uniform;
+            job.num_arrays = 4;
+            job.array_size = 64;
+            job.values = workload::make_dataset(4, 64, workload::Distribution::Uniform, i)
+                             .values;
+            ts.push_back(srv.submit(std::move(job)));
+        }
+        srv.pump();
+        for (auto& t : ts) t.result.get();
+    });
+    return (speedup_pass && identity_pass && inert) ? 0 : 1;
+}

@@ -10,9 +10,13 @@ namespace ooc {
 
 std::size_t auto_batch_arrays(const simt::Device& device, std::size_t array_size,
                               const OocOptions& opts) {
+    // Same contract as out_of_core_sort: a zero-stream pipeline is a caller
+    // bug, not something to clamp silently (the two entry points used to
+    // disagree here).
+    if (opts.num_streams == 0) throw std::invalid_argument("auto_batch_arrays: 0 streams");
     const auto budget = static_cast<std::size_t>(
         static_cast<double>(device.memory().capacity()) * opts.memory_safety_factor /
-        std::max(1u, opts.num_streams));
+        opts.num_streams);
     // Probe the per-array footprint (data + S + Z) via the capacity model.
     const std::size_t one = gas::device_footprint_bytes(1, array_size, opts.sort_opts,
                                                         device.props());

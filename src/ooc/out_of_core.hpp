@@ -16,7 +16,8 @@ struct OocOptions {
     /// memory (divided across the stream pipeline depth).
     std::size_t batch_arrays = 0;
     /// Stream pipeline depth; 2 = classic double buffering.  1 disables
-    /// overlap (the comparison baseline in the bench).
+    /// overlap (the comparison baseline in the bench).  0 is invalid: both
+    /// out_of_core_sort and auto_batch_arrays throw std::invalid_argument.
     unsigned num_streams = 2;
     double memory_safety_factor = 0.9;  ///< fraction of device memory usable
     gas::Options sort_opts;

@@ -1,0 +1,51 @@
+#include "serve/pool.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace gas::serve {
+
+std::size_t BufferPool::class_bytes(std::size_t bytes) {
+    const std::size_t floor = std::max<std::size_t>(bytes, simt::DeviceMemory::kAlignment);
+    return std::bit_ceil(floor);
+}
+
+BufferPool::Lease BufferPool::acquire(std::size_t bytes) {
+    const std::size_t size = class_bytes(bytes);
+    const auto cls = static_cast<std::size_t>(std::countr_zero(size));
+    ++stats_.acquires;
+    Lease lease;
+    lease.bytes = size;
+    auto& list = free_[cls];
+    if (!list.empty()) {
+        lease.offset = list.back();
+        list.pop_back();
+        ++stats_.reuse_hits;
+        stats_.bytes_cached -= size;
+    } else {
+        lease.offset = memory_->allocate(size);
+        ++stats_.device_allocs;
+    }
+    stats_.bytes_leased += size;
+    stats_.peak_leased = std::max(stats_.peak_leased, stats_.bytes_leased);
+    return lease;
+}
+
+void BufferPool::release(const Lease& lease) {
+    if (lease.bytes == 0) return;
+    const auto cls = static_cast<std::size_t>(std::countr_zero(lease.bytes));
+    free_[cls].push_back(lease.offset);
+    ++stats_.releases;
+    stats_.bytes_cached += lease.bytes;
+    stats_.bytes_leased -= lease.bytes;
+}
+
+void BufferPool::trim() {
+    for (auto& list : free_) {
+        for (std::size_t offset : list) memory_->deallocate(offset);
+        list.clear();
+    }
+    stats_.bytes_cached = 0;
+}
+
+}  // namespace gas::serve

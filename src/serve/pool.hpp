@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simt/device_memory.hpp"
+
+namespace gas::serve {
+
+/// Size-class pooling sub-allocator over simt::DeviceMemory.
+///
+/// The serving layer turns over one fused data buffer (or two, for pairs)
+/// per batch, hundreds of times a second, at a small set of recurring sizes.
+/// Going through the device allocator each time would pay first-fit search
+/// and re-fragment the arena per batch; the pool instead rounds each request
+/// up to a power-of-two size class (>= DeviceMemory::kAlignment) and keeps
+/// released ranges on per-class free lists, so a steady-state batch costs a
+/// vector pop.  Ranges go back to the device allocator only on trim() or
+/// destruction.
+///
+/// Not thread-safe by design: only the server's scheduler thread allocates,
+/// matching Device::launch's own single-caller contract.
+class BufferPool {
+  public:
+    /// A leased device range.  `bytes` is the rounded class size the lease
+    /// actually occupies (callers use the prefix they asked for).
+    struct Lease {
+        std::size_t offset = 0;
+        std::size_t bytes = 0;
+    };
+
+    struct Stats {
+        std::uint64_t acquires = 0;      ///< total acquire() calls
+        std::uint64_t reuse_hits = 0;    ///< served from a class free list
+        std::uint64_t device_allocs = 0; ///< fell through to DeviceMemory
+        std::uint64_t releases = 0;
+        std::size_t bytes_cached = 0;    ///< idle bytes held on free lists
+        std::size_t bytes_leased = 0;    ///< live leased bytes
+        std::size_t peak_leased = 0;
+
+        [[nodiscard]] double reuse_rate() const {
+            return acquires > 0 ? static_cast<double>(reuse_hits) /
+                                      static_cast<double>(acquires)
+                                : 0.0;
+        }
+    };
+
+    explicit BufferPool(simt::DeviceMemory& memory) : memory_(&memory) {}
+    BufferPool(const BufferPool&) = delete;
+    BufferPool& operator=(const BufferPool&) = delete;
+    ~BufferPool() { trim(); }
+
+    /// Leases at least `bytes` of device memory (throws simt::DeviceBadAlloc
+    /// when neither the free lists nor the device can satisfy the class).
+    [[nodiscard]] Lease acquire(std::size_t bytes);
+
+    /// Returns a lease to its class free list (never to the device).
+    void release(const Lease& lease);
+
+    /// Hands every idle cached range back to the device allocator.
+    void trim();
+
+    [[nodiscard]] const Stats& stats() const { return stats_; }
+
+    /// The class size acquire(bytes) would lease (pow2, >= kAlignment).
+    [[nodiscard]] static std::size_t class_bytes(std::size_t bytes);
+
+  private:
+    simt::DeviceMemory* memory_;
+    /// free_[i] holds offsets of idle ranges of size 2^i.
+    std::vector<std::vector<std::size_t>> free_ = std::vector<std::vector<std::size_t>>(64);
+    Stats stats_;
+};
+
+}  // namespace gas::serve

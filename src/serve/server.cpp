@@ -1,0 +1,777 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "core/batch.hpp"
+
+namespace gas::serve {
+
+namespace {
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Two jobs can share a fused batch: same kind, same uniform geometry, and
+/// the same sort-shaping options (anything that changes splitters, bucketing
+/// or phase-3 behaviour).  validate/collect_bucket_sizes are server-owned
+/// and deliberately excluded.
+bool compatible(const Job& a, const Job& b) {
+    if (a.kind != b.kind) return false;
+    if (a.kind != JobKind::Ragged && a.array_size != b.array_size) return false;
+    const Options& x = a.opts;
+    const Options& y = b.opts;
+    return x.bucket_target == y.bucket_target && x.sampling_rate == y.sampling_rate &&
+           x.strategy == y.strategy && x.order == y.order &&
+           x.threads_per_bucket == y.threads_per_bucket &&
+           x.hybrid_phase3 == y.hybrid_phase3 &&
+           x.phase3_small_cutoff == y.phase3_small_cutoff &&
+           x.phase3_bitonic_cutoff == y.phase3_bitonic_cutoff;
+}
+
+bool expired(const Job& job, Clock::time_point now) {
+    return job.deadline.has_value() && *job.deadline <= now;
+}
+
+std::size_t job_arrays(const Job& job) {
+    if (job.kind == JobKind::Ragged) {
+        return job.offsets.size() < 2 ? 0 : job.offsets.size() - 1;
+    }
+    return job.num_arrays;
+}
+
+std::size_t job_elements(const Job& job) {
+    if (job.kind == JobKind::Ragged) {
+        return job.offsets.size() < 2
+                   ? 0
+                   : static_cast<std::size_t>(job.offsets.back() - job.offsets.front());
+    }
+    return job.num_arrays * job.array_size;
+}
+
+void validate_job(const Job& job) {
+    switch (job.kind) {
+        case JobKind::Uniform:
+            if (job.values.size() < job.num_arrays * job.array_size) {
+                throw std::invalid_argument("serve: uniform job values smaller than N x n");
+            }
+            break;
+        case JobKind::Pairs:
+            if (job.values.size() < job.num_arrays * job.array_size ||
+                job.payload.size() < job.num_arrays * job.array_size) {
+                throw std::invalid_argument("serve: pair job buffers smaller than N x n");
+            }
+            break;
+        case JobKind::Ragged: {
+            for (std::size_t i = 1; i < job.offsets.size(); ++i) {
+                if (job.offsets[i] < job.offsets[i - 1]) {
+                    throw std::invalid_argument("serve: ragged offsets not ascending");
+                }
+            }
+            if (!job.offsets.empty() && job.values.size() < job.offsets.back()) {
+                throw std::invalid_argument("serve: ragged values smaller than offsets");
+            }
+            break;
+        }
+    }
+}
+
+/// Host comparison mirroring the device's key order.
+struct KeyLess {
+    bool descending = false;
+    bool operator()(float a, float b) const { return descending ? a > b : a < b; }
+};
+
+}  // namespace
+
+Server::Server(simt::Device& device, ServerConfig cfg)
+    : device_(device),
+      cfg_(cfg),
+      pool_(device.memory()),
+      timeline_(std::max(1u, cfg.num_streams)) {
+    if (cfg_.num_streams == 0) {
+        throw std::invalid_argument("serve::Server: 0 streams");
+    }
+    if (cfg_.max_batch_requests == 0 || cfg_.max_batch_arrays == 0) {
+        throw std::invalid_argument("serve::Server: batch ceilings must be >= 1");
+    }
+    if (!(cfg_.memory_safety_factor > 0.0) || cfg_.memory_safety_factor > 1.0) {
+        throw std::invalid_argument("serve::Server: memory_safety_factor must be in (0, 1]");
+    }
+    memory_budget_ = static_cast<std::size_t>(
+        static_cast<double>(device_.memory().capacity()) * cfg_.memory_safety_factor);
+    if (!cfg_.manual_pump) {
+        scheduler_ = std::thread(&Server::scheduler_main, this);
+    }
+}
+
+Server::~Server() { stop(/*cancel_pending=*/false); }
+
+Server::Ticket Server::submit(Job job) {
+    validate_job(job);
+    const auto now = Clock::now();
+
+    auto pending = std::make_unique<Pending>();
+    pending->job = std::move(job);
+    pending->submitted_at = now;
+    pending->arrays = job_arrays(pending->job);
+    pending->elements = job_elements(pending->job);
+
+    Ticket ticket;
+    ticket.result = pending->promise.get_future();
+
+    auto respond = [&](Status status, const char* why) {
+        Response r;
+        r.status = status;
+        r.error = why;
+        r.values = std::move(pending->job.values);
+        r.payload = std::move(pending->job.payload);
+        pending->promise.set_value(std::move(r));
+    };
+
+    std::unique_lock lk(mutex_);
+    pending->id = next_id_++;
+    ticket.id = pending->id;
+    ++stats_.submitted;
+
+    if (stopping_) {
+        ++stats_.rejected;
+        lk.unlock();
+        respond(Status::Rejected, "server stopped");
+        return ticket;
+    }
+    if (expired(pending->job, now)) {
+        ++stats_.timed_out;
+        lk.unlock();
+        respond(Status::TimedOut, "deadline expired at submit");
+        return ticket;
+    }
+    if (pending->elements == 0) {  // nothing to sort: complete right away
+        ++stats_.accepted;
+        ++stats_.completed;
+        lk.unlock();
+        respond(Status::Ok, "");
+        return ticket;
+    }
+    if (cfg_.queue_capacity == 0) {
+        ++stats_.rejected;
+        lk.unlock();
+        respond(Status::Rejected, "queue capacity is 0");
+        return ticket;
+    }
+    if (queued_ >= cfg_.queue_capacity) {
+        if (cfg_.policy == AdmitPolicy::Reject || cfg_.manual_pump) {
+            ++stats_.rejected;
+            lk.unlock();
+            respond(Status::Rejected, "queue full");
+            return ticket;
+        }
+        space_cv_.wait(lk, [&] { return queued_ < cfg_.queue_capacity || stopping_; });
+        if (stopping_) {
+            ++stats_.rejected;
+            lk.unlock();
+            respond(Status::Rejected, "server stopped");
+            return ticket;
+        }
+    }
+
+    ++stats_.accepted;
+    queue_[static_cast<std::size_t>(pending->job.priority)].push_back(std::move(pending));
+    ++queued_;
+    stats_.queue_peak = std::max(stats_.queue_peak, queued_);
+    lk.unlock();
+    queue_cv_.notify_one();
+    return ticket;
+}
+
+bool Server::cancel(std::uint64_t id) {
+    PendingPtr victim;
+    {
+        std::lock_guard lk(mutex_);
+        for (auto& q : queue_) {
+            for (auto it = q.begin(); it != q.end(); ++it) {
+                if ((*it)->id == id) {
+                    victim = std::move(*it);
+                    q.erase(it);
+                    --queued_;
+                    ++stats_.cancelled;
+                    break;
+                }
+            }
+            if (victim) break;
+        }
+    }
+    if (!victim) return false;
+    space_cv_.notify_one();
+    Response r;
+    r.status = Status::Cancelled;
+    r.error = "cancelled";
+    r.values = std::move(victim->job.values);
+    r.payload = std::move(victim->job.payload);
+    victim->promise.set_value(std::move(r));
+    return true;
+}
+
+void Server::drain() {
+    if (cfg_.manual_pump) {
+        pump();
+        return;
+    }
+    std::unique_lock lk(mutex_);
+    idle_cv_.wait(lk, [&] { return queued_ == 0 && in_flight_ == 0; });
+}
+
+void Server::stop(bool cancel_pending) {
+    {
+        std::lock_guard lk(mutex_);
+        if (stopping_ && !scheduler_.joinable() && queued_ == 0) return;
+        stopping_ = true;
+        cancel_pending_ = cancel_pending;
+    }
+    queue_cv_.notify_all();
+    space_cv_.notify_all();
+    if (scheduler_.joinable()) {
+        scheduler_.join();
+    } else if (cfg_.manual_pump && !cancel_pending) {
+        // Graceful manual stop: serve what is still queued.
+        while (pump() > 0) {}
+    }
+    // Cancel anything left (async cancel_pending exits the scheduler with the
+    // queue intact; manual cancel_pending never served it).
+    std::vector<PendingPtr> leftovers;
+    {
+        std::lock_guard lk(mutex_);
+        for (auto& q : queue_) {
+            for (auto& p : q) leftovers.push_back(std::move(p));
+            q.clear();
+        }
+        queued_ = 0;
+        stats_.cancelled += leftovers.size();
+    }
+    for (auto& p : leftovers) {
+        Response r;
+        r.status = Status::Cancelled;
+        r.error = "server stopped with request still queued";
+        r.values = std::move(p->job.values);
+        r.payload = std::move(p->job.payload);
+        p->promise.set_value(std::move(r));
+    }
+    idle_cv_.notify_all();
+}
+
+std::size_t Server::pump() {
+    if (!cfg_.manual_pump) {
+        throw std::logic_error("serve::Server::pump: server runs its own scheduler thread");
+    }
+    std::size_t retired = 0;
+    for (;;) {
+        std::vector<PendingPtr> timed_out;
+        std::vector<PendingPtr> batch;
+        {
+            std::lock_guard lk(mutex_);
+            batch = take_batch(timed_out);
+        }
+        if (batch.empty() && timed_out.empty()) break;
+        retired += batch.size() + timed_out.size();
+        for (auto& p : timed_out) {
+            Response r;
+            r.status = Status::TimedOut;
+            r.error = "deadline expired in queue";
+            r.values = std::move(p->job.values);
+            r.payload = std::move(p->job.payload);
+            {
+                std::lock_guard lk(mutex_);
+                ++stats_.timed_out;
+            }
+            p->promise.set_value(std::move(r));
+        }
+        if (!batch.empty()) serve_batch(std::move(batch));
+    }
+    return retired;
+}
+
+void Server::scheduler_main() {
+    std::unique_lock lk(mutex_);
+    for (;;) {
+        queue_cv_.wait(lk, [&] { return stopping_ || queued_ > 0; });
+        if (stopping_ && (cancel_pending_ || queued_ == 0)) break;
+        if (queued_ == 0) continue;
+        if (cfg_.linger_us > 0.0 && !stopping_ && queued_ < cfg_.max_batch_requests) {
+            // Best-effort coalescing window: let a concurrent burst land
+            // before the batch is closed.
+            queue_cv_.wait_for(lk, std::chrono::duration<double, std::micro>(cfg_.linger_us));
+        }
+        std::vector<PendingPtr> timed_out;
+        auto batch = take_batch(timed_out);
+        in_flight_ = batch.size();
+        lk.unlock();
+        space_cv_.notify_all();
+
+        for (auto& p : timed_out) {
+            Response r;
+            r.status = Status::TimedOut;
+            r.error = "deadline expired in queue";
+            r.values = std::move(p->job.values);
+            r.payload = std::move(p->job.payload);
+            {
+                std::lock_guard slk(mutex_);
+                ++stats_.timed_out;
+            }
+            p->promise.set_value(std::move(r));
+        }
+        if (!batch.empty()) serve_batch(std::move(batch));
+
+        lk.lock();
+        in_flight_ = 0;
+        if (queued_ == 0) idle_cv_.notify_all();
+    }
+}
+
+std::vector<Server::PendingPtr> Server::take_batch(std::vector<PendingPtr>& timed_out) {
+    const auto now = Clock::now();
+    std::vector<PendingPtr> batch;
+
+    // Head: first live request in priority order.
+    for (auto& q : queue_) {
+        while (!q.empty() && batch.empty()) {
+            PendingPtr head = std::move(q.front());
+            q.pop_front();
+            --queued_;
+            if (expired(head->job, now)) {
+                timed_out.push_back(std::move(head));
+            } else {
+                batch.push_back(std::move(head));
+            }
+        }
+        if (!batch.empty()) break;
+    }
+    if (batch.empty()) return batch;
+
+    const Job& head = batch.front()->job;
+    // A fallback-bound request is served alone: it never joins a device
+    // batch and nothing can ride with it.
+    if (needs_cpu_fallback(head)) return batch;
+
+    std::size_t total_arrays = batch.front()->arrays;
+    std::size_t total_elements = batch.front()->elements;
+
+    auto fits_memory = [&](std::size_t arrays, std::size_t elements) {
+        switch (head.kind) {
+            case JobKind::Uniform:
+                return batch_footprint_bytes(arrays, head.array_size, head.opts,
+                                             device_.props(), 1) <= memory_budget_;
+            case JobKind::Ragged:
+                return BufferPool::class_bytes(elements * sizeof(float)) <= memory_budget_;
+            case JobKind::Pairs:
+                return 2 * BufferPool::class_bytes(elements * sizeof(float)) <=
+                       memory_budget_;
+        }
+        return false;
+    };
+
+    for (auto& q : queue_) {
+        auto it = q.begin();
+        while (it != q.end() && batch.size() < cfg_.max_batch_requests) {
+            Pending& cand = **it;
+            if (expired(cand.job, now)) {
+                timed_out.push_back(std::move(*it));
+                it = q.erase(it);
+                --queued_;
+                continue;
+            }
+            if (!compatible(head, cand.job) || needs_cpu_fallback(cand.job) ||
+                total_arrays + cand.arrays > cfg_.max_batch_arrays ||
+                !fits_memory(total_arrays + cand.arrays, total_elements + cand.elements)) {
+                ++it;  // stays queued; will head its own batch later
+                continue;
+            }
+            total_arrays += cand.arrays;
+            total_elements += cand.elements;
+            batch.push_back(std::move(*it));
+            it = q.erase(it);
+            --queued_;
+        }
+        if (batch.size() >= cfg_.max_batch_requests) break;
+    }
+    return batch;
+}
+
+bool Server::needs_cpu_fallback(const Job& job) const {
+    const auto& props = device_.props();
+    switch (job.kind) {
+        case JobKind::Uniform:
+            return batch_footprint_bytes(job.num_arrays, job.array_size, job.opts, props,
+                                         1) > memory_budget_;
+        case JobKind::Ragged: {
+            if (BufferPool::class_bytes(job_elements(job) * sizeof(float)) > memory_budget_) {
+                return true;
+            }
+            for (std::size_t i = 1; i < job.offsets.size(); ++i) {
+                const std::size_t n =
+                    static_cast<std::size_t>(job.offsets[i] - job.offsets[i - 1]);
+                if (!ragged_row_fits_shared(n, job.opts, props, 1)) return true;
+            }
+            return false;
+        }
+        case JobKind::Pairs:
+            return 2 * BufferPool::class_bytes(job_elements(job) * sizeof(float)) >
+                       memory_budget_ ||
+                   !ragged_row_fits_shared(job.array_size, job.opts, props, 2);
+    }
+    return false;
+}
+
+BufferPool::Lease Server::acquire_or_trim(std::size_t bytes) {
+    try {
+        return pool_.acquire(bytes);
+    } catch (const simt::DeviceBadAlloc&) {
+        // Cached idle ranges may be fragmenting the arena; return them and
+        // retry once before giving up.
+        pool_.trim();
+        return pool_.acquire(bytes);
+    }
+}
+
+void Server::serve_batch(std::vector<PendingPtr> batch) {
+    if (batch.size() == 1 && needs_cpu_fallback(batch.front()->job)) {
+        run_cpu_fallback(*batch.front());
+        return;
+    }
+    try {
+        switch (batch.front()->job.kind) {
+            case JobKind::Uniform: execute_uniform(batch); break;
+            case JobKind::Ragged: execute_ragged(batch); break;
+            case JobKind::Pairs: execute_pairs(batch); break;
+        }
+    } catch (const simt::DeviceBadAlloc&) {
+        // The arena could not host the fused batch (e.g. external pressure):
+        // degrade every rider to the host path rather than failing them.
+        for (auto& p : batch) run_cpu_fallback(*p);
+    } catch (const std::exception& e) {
+        fail_batch(batch, e.what());
+    }
+}
+
+void Server::execute_uniform(std::vector<PendingPtr>& batch) {
+    const auto service_start = Clock::now();
+    const std::size_t n = batch.front()->job.array_size;
+    std::size_t total_arrays = 0;
+    std::vector<BatchSlice> slices;
+    slices.reserve(batch.size());
+    for (const auto& p : batch) {
+        slices.push_back({total_arrays, p->arrays});
+        total_arrays += p->arrays;
+    }
+    const std::size_t count = total_arrays * n;
+    const std::size_t bytes = count * sizeof(float);
+
+    const BufferPool::Lease lease = acquire_or_trim(bytes);
+    try {
+        auto view = simt::DeviceBuffer<float>::borrow(device_, lease.offset, count);
+        auto dev = view.span();
+        std::size_t pos = 0;
+        for (const auto& p : batch) {
+            std::memcpy(dev.data() + pos, p->job.values.data(),
+                        p->elements * sizeof(float));
+            pos += p->elements;
+        }
+        const double h2d = device_.transfer_ms(bytes);
+
+        Options opts = batch.front()->job.opts;
+        opts.validate = cfg_.validate;
+        opts.collect_bucket_sizes = false;
+        const SortStats s = sort_uniform_batch_on_device(device_, view, slices,
+                                                         total_arrays, n, opts);
+
+        pos = 0;
+        for (auto& p : batch) {
+            std::memcpy(p->job.values.data(), dev.data() + pos,
+                        p->elements * sizeof(float));
+            pos += p->elements;
+        }
+        const double d2h = device_.transfer_ms(bytes);
+        pool_.release(lease);
+        finish_batch(batch, h2d, d2h, s.modeled_kernel_ms(), next_batch_id_++,
+                     service_start);
+    } catch (...) {
+        pool_.release(lease);
+        throw;
+    }
+}
+
+void Server::execute_ragged(std::vector<PendingPtr>& batch) {
+    const auto service_start = Clock::now();
+    std::size_t total_values = 0;
+    std::size_t total_arrays = 0;
+    std::vector<std::uint64_t> fused_offsets;
+    std::vector<BatchSlice> slices;
+    slices.reserve(batch.size());
+    fused_offsets.push_back(0);
+    for (const auto& p : batch) {
+        slices.push_back({total_arrays, p->arrays});
+        const std::uint64_t base = p->job.offsets.front();
+        for (std::size_t i = 1; i < p->job.offsets.size(); ++i) {
+            fused_offsets.push_back(total_values + (p->job.offsets[i] - base));
+        }
+        total_values += p->elements;
+        total_arrays += p->arrays;
+    }
+    const std::size_t bytes = total_values * sizeof(float);
+
+    const BufferPool::Lease lease = acquire_or_trim(bytes);
+    try {
+        auto view = simt::DeviceBuffer<float>::borrow(device_, lease.offset, total_values);
+        auto dev = view.span();
+        std::size_t pos = 0;
+        for (const auto& p : batch) {
+            std::memcpy(dev.data() + pos,
+                        p->job.values.data() + p->job.offsets.front(),
+                        p->elements * sizeof(float));
+            pos += p->elements;
+        }
+        const double h2d = device_.transfer_ms(bytes);
+
+        Options opts = batch.front()->job.opts;
+        opts.validate = cfg_.validate;
+        opts.collect_bucket_sizes = false;
+        const SortStats s =
+            sort_ragged_batch_on_device(device_, view, fused_offsets, slices, opts);
+
+        pos = 0;
+        for (auto& p : batch) {
+            std::memcpy(p->job.values.data() + p->job.offsets.front(), dev.data() + pos,
+                        p->elements * sizeof(float));
+            pos += p->elements;
+        }
+        const double d2h = device_.transfer_ms(bytes);
+        pool_.release(lease);
+        finish_batch(batch, h2d, d2h, s.modeled_kernel_ms(), next_batch_id_++,
+                     service_start);
+    } catch (...) {
+        pool_.release(lease);
+        throw;
+    }
+}
+
+void Server::execute_pairs(std::vector<PendingPtr>& batch) {
+    const auto service_start = Clock::now();
+    const std::size_t n = batch.front()->job.array_size;
+    std::size_t total_arrays = 0;
+    std::vector<BatchSlice> slices;
+    slices.reserve(batch.size());
+    for (const auto& p : batch) {
+        slices.push_back({total_arrays, p->arrays});
+        total_arrays += p->arrays;
+    }
+    const std::size_t count = total_arrays * n;
+    const std::size_t bytes = count * sizeof(float);
+
+    const BufferPool::Lease key_lease = acquire_or_trim(bytes);
+    BufferPool::Lease val_lease;
+    try {
+        val_lease = acquire_or_trim(bytes);
+    } catch (...) {
+        pool_.release(key_lease);
+        throw;
+    }
+    try {
+        auto keys = simt::DeviceBuffer<float>::borrow(device_, key_lease.offset, count);
+        auto vals = simt::DeviceBuffer<float>::borrow(device_, val_lease.offset, count);
+        auto kdev = keys.span();
+        auto vdev = vals.span();
+        std::size_t pos = 0;
+        for (const auto& p : batch) {
+            std::memcpy(kdev.data() + pos, p->job.values.data(),
+                        p->elements * sizeof(float));
+            std::memcpy(vdev.data() + pos, p->job.payload.data(),
+                        p->elements * sizeof(float));
+            pos += p->elements;
+        }
+        const double h2d = device_.transfer_ms(2 * bytes);
+
+        Options opts = batch.front()->job.opts;
+        opts.validate = cfg_.validate;
+        opts.collect_bucket_sizes = false;
+        const SortStats s = sort_pair_batch_on_device(device_, keys, vals, slices,
+                                                      total_arrays, n, opts);
+
+        pos = 0;
+        for (auto& p : batch) {
+            std::memcpy(p->job.values.data(), kdev.data() + pos,
+                        p->elements * sizeof(float));
+            std::memcpy(p->job.payload.data(), vdev.data() + pos,
+                        p->elements * sizeof(float));
+            pos += p->elements;
+        }
+        const double d2h = device_.transfer_ms(2 * bytes);
+        pool_.release(key_lease);
+        pool_.release(val_lease);
+        finish_batch(batch, h2d, d2h, s.modeled_kernel_ms(), next_batch_id_++,
+                     service_start);
+    } catch (...) {
+        pool_.release(key_lease);
+        pool_.release(val_lease);
+        throw;
+    }
+}
+
+void Server::run_cpu_fallback(Pending& p) {
+    const auto service_start = Clock::now();
+    Job& job = p.job;
+    const KeyLess less{job.opts.order == SortOrder::Descending};
+    switch (job.kind) {
+        case JobKind::Uniform:
+            for (std::size_t a = 0; a < job.num_arrays; ++a) {
+                auto* row = job.values.data() + a * job.array_size;
+                std::sort(row, row + job.array_size, less);
+            }
+            break;
+        case JobKind::Ragged:
+            for (std::size_t i = 1; i < job.offsets.size(); ++i) {
+                std::sort(job.values.data() + job.offsets[i - 1],
+                          job.values.data() + job.offsets[i], less);
+            }
+            break;
+        case JobKind::Pairs:
+            for (std::size_t a = 0; a < job.num_arrays; ++a) {
+                const std::size_t base = a * job.array_size;
+                std::vector<std::pair<float, float>> row(job.array_size);
+                for (std::size_t i = 0; i < job.array_size; ++i) {
+                    row[i] = {job.values[base + i], job.payload[base + i]};
+                }
+                // Stable by key: ties keep submit order (the device path
+                // leaves ties unspecified; fallback picks the deterministic
+                // choice).
+                std::stable_sort(row.begin(), row.end(),
+                                 [&](const auto& x, const auto& y) {
+                                     return less(x.first, y.first);
+                                 });
+                for (std::size_t i = 0; i < job.array_size; ++i) {
+                    job.values[base + i] = row[i].first;
+                    job.payload[base + i] = row[i].second;
+                }
+            }
+            break;
+    }
+    const auto now = Clock::now();
+
+    Response r;
+    r.status = Status::Ok;
+    r.cpu_fallback = true;
+    r.batch_requests = 1;
+    r.queue_ms = ms_between(p.submitted_at, service_start);
+    r.service_ms = ms_between(service_start, now);
+    r.values = std::move(job.values);
+    r.payload = std::move(job.payload);
+
+    {
+        std::lock_guard lk(mutex_);
+        ++stats_.completed;
+        ++stats_.cpu_fallbacks;
+        stats_.wall_service_ms += r.service_ms;
+        queue_wait_digest_.record(r.queue_ms);
+        wall_digest_.record(r.queue_ms + r.service_ms);
+        modeled_digest_.record(0.0);
+        snapshot_pool_stats();
+    }
+    p.promise.set_value(std::move(r));
+}
+
+void Server::fail_batch(std::vector<PendingPtr>& batch, const std::string& why) {
+    {
+        std::lock_guard lk(mutex_);
+        stats_.failed += batch.size();
+    }
+    for (auto& p : batch) {
+        Response r;
+        r.status = Status::Failed;
+        r.error = why;
+        r.values = std::move(p->job.values);
+        r.payload = std::move(p->job.payload);
+        p->promise.set_value(std::move(r));
+    }
+}
+
+void Server::finish_batch(std::vector<PendingPtr>& batch, double h2d_ms, double d2h_ms,
+                          double kernel_ms, std::uint64_t batch_id,
+                          Clock::time_point service_start) {
+    const std::size_t stream = static_cast<std::size_t>(batch_id - 1) %
+                               timeline_.stream_count();
+    timeline_.h2d(stream, h2d_ms);
+    timeline_.compute(stream, kernel_ms);
+    timeline_.d2h(stream, d2h_ms);
+
+    const auto now = Clock::now();
+    const double service_ms = ms_between(service_start, now);
+    std::size_t total_elements = 0;
+    std::size_t total_arrays = 0;
+    for (const auto& p : batch) {
+        total_elements += p->elements;
+        total_arrays += p->arrays;
+    }
+
+    std::vector<Response> responses(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        Pending& p = *batch[i];
+        Response& r = responses[i];
+        r.status = Status::Ok;
+        r.batch_id = batch_id;
+        r.batch_requests = batch.size();
+        r.queue_ms = ms_between(p.submitted_at, service_start);
+        r.service_ms = service_ms;
+        const double share = total_elements > 0
+                                 ? static_cast<double>(p.elements) /
+                                       static_cast<double>(total_elements)
+                                 : 0.0;
+        r.modeled_ms = (h2d_ms + kernel_ms + d2h_ms) * share;
+        r.values = std::move(p.job.values);
+        r.payload = std::move(p.job.payload);
+    }
+
+    {
+        std::lock_guard lk(mutex_);
+        stats_.completed += batch.size();
+        ++stats_.batches;
+        stats_.batched_requests += batch.size();
+        stats_.fused_arrays += total_arrays;
+        stats_.modeled_kernel_ms += kernel_ms;
+        stats_.modeled_h2d_ms += h2d_ms;
+        stats_.modeled_d2h_ms += d2h_ms;
+        stats_.wall_service_ms += service_ms;
+        stats_.modeled_overlap_ms = timeline_.elapsed_ms();
+        stats_.modeled_serial_ms = timeline_.serialized_ms();
+        stats_.h2d_busy_ms = timeline_.h2d_busy_ms();
+        stats_.compute_busy_ms = timeline_.compute_busy_ms();
+        stats_.d2h_busy_ms = timeline_.d2h_busy_ms();
+        stats_.h2d_utilization = timeline_.h2d_utilization();
+        stats_.compute_utilization = timeline_.compute_utilization();
+        stats_.d2h_utilization = timeline_.d2h_utilization();
+        for (const Response& r : responses) {
+            queue_wait_digest_.record(r.queue_ms);
+            wall_digest_.record(r.queue_ms + r.service_ms);
+            modeled_digest_.record(r.modeled_ms);
+        }
+        snapshot_pool_stats();
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i]->promise.set_value(std::move(responses[i]));
+    }
+}
+
+void Server::snapshot_pool_stats() { stats_.pool = pool_.stats(); }
+
+ServerStats Server::stats() const {
+    std::lock_guard lk(mutex_);
+    ServerStats s = stats_;
+    s.queue_depth = queued_;
+    s.queue_wait_ms = summarize(queue_wait_digest_);
+    s.wall_ms = summarize(wall_digest_);
+    s.modeled_ms = summarize(modeled_digest_);
+    return s;
+}
+
+}  // namespace gas::serve

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/pool.hpp"
+#include "serve/request.hpp"
+#include "serve/stats.hpp"
+#include "simt/device.hpp"
+#include "simt/stream.hpp"
+
+namespace gas::serve {
+
+/// What submit() does when the queue is at capacity.
+enum class AdmitPolicy : std::uint8_t {
+    Block,   ///< wait for space (or for the server to stop)
+    Reject,  ///< fail fast with Status::Rejected
+};
+
+struct ServerConfig {
+    /// Bounded submission queue.  0 means "admit nothing": every submit is
+    /// rejected immediately, regardless of policy (a Block policy cannot
+    /// wait for space that can never exist).
+    std::size_t queue_capacity = 1024;
+    AdmitPolicy policy = AdmitPolicy::Block;
+
+    /// Micro-batch ceilings: at most this many requests / fused arrays per
+    /// device batch.  The memory budget below caps batches further.
+    std::size_t max_batch_requests = 64;
+    std::size_t max_batch_arrays = 8192;
+
+    /// Fraction of device memory a batch (data + sort temporaries) may use;
+    /// single requests above this budget degrade to the CPU path.
+    double memory_safety_factor = 0.9;
+
+    /// Stream pipeline depth for the simt::Timeline overlap model (2 =
+    /// double buffering).  Must be >= 1, like ooc::OocOptions::num_streams.
+    unsigned num_streams = 2;
+
+    /// After waking on a non-empty queue, wait this long for more
+    /// compatible requests before closing the batch (async mode only).
+    /// 0 = serve whatever is queued right now.
+    double linger_us = 0.0;
+
+    /// Manual-pump mode: no scheduler thread; the caller drives batches by
+    /// calling pump().  Deterministic (tests, benches).  A full queue
+    /// rejects even under AdmitPolicy::Block — there is no concurrent
+    /// consumer to wait for.
+    bool manual_pump = false;
+
+    /// Validate every fused device batch (sortedness + permutation) before
+    /// completing its requests.  Costs a host pass; meant for tests.
+    bool validate = false;
+};
+
+/// Asynchronous batch-sort service over one simulated device.
+///
+/// Concurrent callers submit() jobs into a bounded priority queue; a single
+/// scheduler thread (the only toucher of the simt::Device, whose launch path
+/// is single-caller by contract) coalesces compatible neighbours — same job
+/// kind, geometry and sort options — into fused micro-batches executed
+/// through the batched entry points of core/batch.hpp, with data staged in
+/// pooled device buffers (serve::BufferPool) and modeled H2D/compute/D2H
+/// overlap tracked on a multi-stream simt::Timeline.
+///
+/// Robustness: admission control (Block or Reject on a full queue),
+/// per-request deadlines (expired jobs complete as TimedOut, at submit or in
+/// queue), cancel() for queued jobs, and graceful degradation — a request
+/// the device cannot serve (footprint above the memory budget, or a row too
+/// large for the fused kernels' shared staging) runs on the host CPU path
+/// instead of failing, and never aborts the batch it was queued with.
+///
+/// Fusion preserves results: every kernel handles one array per block, so a
+/// request's sorted bytes are identical whether it rode a fused batch or a
+/// direct gas::gpu_array_sort / gpu_ragged_sort / gpu_pair_sort call (see
+/// core/batch.hpp).
+class Server {
+  public:
+    struct Ticket {
+        std::uint64_t id = 0;
+        std::future<Response> result;
+    };
+
+    /// The server borrows the device for its lifetime: no other code may
+    /// launch kernels or allocate device memory until stop()/destruction.
+    explicit Server(simt::Device& device, ServerConfig cfg = {});
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+    ~Server();  ///< stop(/*cancel_pending=*/false): drains, then joins
+
+    /// Submits a job.  Returns a ticket whose future resolves to the
+    /// Response (including rejections — the future always resolves).
+    /// Throws std::invalid_argument for malformed jobs (undersized buffers,
+    /// non-ascending offsets).
+    Ticket submit(Job job);
+
+    /// Removes a still-queued request; true on success, false when it
+    /// already started (or finished) service.
+    bool cancel(std::uint64_t id);
+
+    /// Blocks until the queue is empty and no batch is in flight.  In
+    /// manual-pump mode this simply pumps until empty.
+    void drain();
+
+    /// Stops the scheduler.  cancel_pending=false serves everything still
+    /// queued first (graceful drain); true completes queued requests as
+    /// Cancelled without executing them.  Idempotent.
+    void stop(bool cancel_pending = false);
+
+    /// Manual-pump mode: serve queued requests now (forming batches exactly
+    /// as the scheduler thread would); returns requests retired.  Throws
+    /// std::logic_error when the server runs its own scheduler thread.
+    std::size_t pump();
+
+    [[nodiscard]] ServerStats stats() const;
+    [[nodiscard]] std::string stats_json() const { return stats().to_json(); }
+    [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+
+  private:
+    struct Pending {
+        std::uint64_t id = 0;
+        Job job;
+        std::promise<Response> promise;
+        Clock::time_point submitted_at{};
+        std::size_t arrays = 0;    ///< fused-array count this job contributes
+        std::size_t elements = 0;  ///< total values (cost-share weight)
+    };
+    using PendingPtr = std::unique_ptr<Pending>;
+
+    static constexpr std::size_t kPriorities = 3;
+
+    void scheduler_main();
+    /// Pops one batch worth of compatible requests (queue lock held).
+    /// Expired requests encountered on the way complete as TimedOut into
+    /// `expired`.
+    std::vector<PendingPtr> take_batch(std::vector<PendingPtr>& expired);
+    void serve_batch(std::vector<PendingPtr> batch);
+    void execute_uniform(std::vector<PendingPtr>& batch);
+    void execute_ragged(std::vector<PendingPtr>& batch);
+    void execute_pairs(std::vector<PendingPtr>& batch);
+    void run_cpu_fallback(Pending& p);
+    void fail_batch(std::vector<PendingPtr>& batch, const std::string& why);
+    void finish_batch(std::vector<PendingPtr>& batch, double h2d_ms, double d2h_ms,
+                      double kernel_ms, std::uint64_t batch_id,
+                      Clock::time_point service_start);
+    [[nodiscard]] bool needs_cpu_fallback(const Job& job) const;
+    [[nodiscard]] BufferPool::Lease acquire_or_trim(std::size_t bytes);
+    void snapshot_pool_stats();  ///< copy pool stats under the queue lock
+
+    simt::Device& device_;
+    ServerConfig cfg_;
+    std::size_t memory_budget_ = 0;
+
+    mutable std::mutex mutex_;
+    std::condition_variable queue_cv_;  ///< scheduler waits for work
+    std::condition_variable space_cv_;  ///< Block-policy submitters wait here
+    std::condition_variable idle_cv_;   ///< drain() waits here
+    std::deque<PendingPtr> queue_[kPriorities];
+    std::size_t queued_ = 0;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+    bool cancel_pending_ = false;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t next_batch_id_ = 1;
+
+    // Owned by the scheduler thread (or pump() caller) outside the lock.
+    BufferPool pool_;
+    simt::Timeline timeline_;
+
+    // Guarded by mutex_.
+    ServerStats stats_;
+    LatencyDigest queue_wait_digest_;
+    LatencyDigest wall_digest_;
+    LatencyDigest modeled_digest_;
+
+    std::thread scheduler_;
+};
+
+}  // namespace gas::serve

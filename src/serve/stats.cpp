@@ -1,0 +1,104 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace gas::serve {
+
+double LatencyDigest::percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = std::ceil(q / 100.0 * static_cast<double>(sorted.size()));
+    const std::size_t idx =
+        std::min(sorted.size() - 1,
+                 static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
+    return sorted[idx];
+}
+
+LatencySummary summarize(const LatencyDigest& d) {
+    return {d.count(),         d.mean(),          d.percentile(50.0),
+            d.percentile(95.0), d.percentile(99.0), d.max()};
+}
+
+namespace {
+
+void append(std::string& out, const char* fmt, ...) {
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+void append_latency(std::string& out, const char* name, const LatencySummary& s,
+                    bool last = false) {
+    append(out,
+           "    \"%s\": {\"count\": %zu, \"mean\": %.6f, \"p50\": %.6f, \"p95\": %.6f, "
+           "\"p99\": %.6f, \"max\": %.6f}%s\n",
+           name, s.count, s.mean, s.p50, s.p95, s.p99, s.max, last ? "" : ",");
+}
+
+}  // namespace
+
+std::string ServerStats::to_json() const {
+    std::string j = "{\n";
+    append(j, "  \"requests\": {\n");
+    append(j,
+           "    \"submitted\": %llu, \"accepted\": %llu, \"rejected\": %llu, "
+           "\"timed_out\": %llu, \"cancelled\": %llu, \"completed\": %llu, "
+           "\"failed\": %llu, \"cpu_fallbacks\": %llu\n",
+           static_cast<unsigned long long>(submitted),
+           static_cast<unsigned long long>(accepted),
+           static_cast<unsigned long long>(rejected),
+           static_cast<unsigned long long>(timed_out),
+           static_cast<unsigned long long>(cancelled),
+           static_cast<unsigned long long>(completed),
+           static_cast<unsigned long long>(failed),
+           static_cast<unsigned long long>(cpu_fallbacks));
+    append(j, "  },\n");
+    append(j, "  \"batching\": {\n");
+    append(j,
+           "    \"batches\": %llu, \"batched_requests\": %llu, \"fused_arrays\": %llu, "
+           "\"occupancy\": %.4f\n",
+           static_cast<unsigned long long>(batches),
+           static_cast<unsigned long long>(batched_requests),
+           static_cast<unsigned long long>(fused_arrays), batch_occupancy());
+    append(j, "  },\n");
+    append(j, "  \"queue\": {\"depth\": %zu, \"peak\": %zu},\n", queue_depth, queue_peak);
+    append(j, "  \"modeled\": {\n");
+    append(j,
+           "    \"kernel_ms\": %.6f, \"h2d_ms\": %.6f, \"d2h_ms\": %.6f, "
+           "\"overlap_ms\": %.6f, \"serial_ms\": %.6f, \"overlap_speedup\": %.4f, "
+           "\"throughput_rps\": %.2f,\n",
+           modeled_kernel_ms, modeled_h2d_ms, modeled_d2h_ms, modeled_overlap_ms,
+           modeled_serial_ms, overlap_speedup(), modeled_throughput_rps());
+    append(j,
+           "    \"h2d_busy_ms\": %.6f, \"compute_busy_ms\": %.6f, \"d2h_busy_ms\": %.6f, "
+           "\"h2d_utilization\": %.4f, \"compute_utilization\": %.4f, "
+           "\"d2h_utilization\": %.4f\n",
+           h2d_busy_ms, compute_busy_ms, d2h_busy_ms, h2d_utilization,
+           compute_utilization, d2h_utilization);
+    append(j, "  },\n");
+    append(j, "  \"wall_service_ms\": %.6f,\n", wall_service_ms);
+    append(j, "  \"pool\": {\n");
+    append(j,
+           "    \"acquires\": %llu, \"reuse_hits\": %llu, \"device_allocs\": %llu, "
+           "\"reuse_rate\": %.4f, \"bytes_cached\": %zu, \"peak_leased\": %zu\n",
+           static_cast<unsigned long long>(pool.acquires),
+           static_cast<unsigned long long>(pool.reuse_hits),
+           static_cast<unsigned long long>(pool.device_allocs), pool.reuse_rate(),
+           pool.bytes_cached, pool.peak_leased);
+    append(j, "  },\n");
+    append(j, "  \"latency\": {\n");
+    append_latency(j, "queue_wait_ms", queue_wait_ms);
+    append_latency(j, "wall_ms", wall_ms);
+    append_latency(j, "modeled_ms", modeled_ms, /*last=*/true);
+    append(j, "  }\n}\n");
+    return j;
+}
+
+}  // namespace gas::serve

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/pool.hpp"
+
+namespace gas::serve {
+
+/// Latency sample digest.  Samples are kept verbatim (a serving run is
+/// thousands of requests, not billions) and percentiles use nearest-rank on
+/// a sorted copy, so p50/p95/p99 are exact.
+class LatencyDigest {
+  public:
+    void record(double ms) {
+        samples_.push_back(ms);
+        sum_ += ms;
+        if (ms > max_) max_ = ms;
+    }
+
+    [[nodiscard]] std::size_t count() const { return samples_.size(); }
+    [[nodiscard]] double mean() const {
+        return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+    }
+    [[nodiscard]] double max() const { return max_; }
+    /// Nearest-rank percentile, q in (0, 100]; 0 when no samples.
+    [[nodiscard]] double percentile(double q) const;
+
+  private:
+    std::vector<double> samples_;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Flattened percentile view of one digest (for reports and JSON).
+struct LatencySummary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+[[nodiscard]] LatencySummary summarize(const LatencyDigest& d);
+
+/// Full observability surface of one gas::serve::Server.
+struct ServerStats {
+    // Admission.
+    std::uint64_t submitted = 0;   ///< submit() calls
+    std::uint64_t accepted = 0;    ///< admitted into the queue
+    std::uint64_t rejected = 0;    ///< queue full / stopped / zero capacity
+    std::uint64_t timed_out = 0;   ///< deadline expired (at submit or queued)
+    std::uint64_t cancelled = 0;
+    std::uint64_t completed = 0;   ///< Status::Ok responses
+    std::uint64_t failed = 0;
+    std::uint64_t cpu_fallbacks = 0;  ///< served by the host degradation path
+
+    // Micro-batching.
+    std::uint64_t batches = 0;           ///< fused device batches executed
+    std::uint64_t batched_requests = 0;  ///< requests those batches carried
+    std::uint64_t fused_arrays = 0;      ///< arrays across all fused batches
+
+    // Queue.
+    std::size_t queue_depth = 0;  ///< at the moment stats() was taken
+    std::size_t queue_peak = 0;
+
+    // Modeled device cost (sums over batches).
+    double modeled_kernel_ms = 0.0;
+    double modeled_h2d_ms = 0.0;
+    double modeled_d2h_ms = 0.0;
+    // Multi-stream pipeline model (simt::Timeline over every batch).
+    double modeled_overlap_ms = 0.0;
+    double modeled_serial_ms = 0.0;
+    double h2d_busy_ms = 0.0;
+    double compute_busy_ms = 0.0;
+    double d2h_busy_ms = 0.0;
+    double h2d_utilization = 0.0;
+    double compute_utilization = 0.0;
+    double d2h_utilization = 0.0;
+
+    double wall_service_ms = 0.0;  ///< host wall time spent executing batches
+
+    BufferPool::Stats pool;
+
+    // Per-request latency distributions.
+    LatencySummary queue_wait_ms;  ///< submit -> service start
+    LatencySummary wall_ms;        ///< submit -> response (wall)
+    LatencySummary modeled_ms;     ///< request's share of modeled device time
+
+    [[nodiscard]] double batch_occupancy() const {
+        return batches > 0
+                   ? static_cast<double>(batched_requests) / static_cast<double>(batches)
+                   : 0.0;
+    }
+    /// Requests per second over the modeled pipeline makespan.
+    [[nodiscard]] double modeled_throughput_rps() const {
+        return modeled_overlap_ms > 0.0
+                   ? static_cast<double>(completed) / modeled_overlap_ms * 1e3
+                   : 0.0;
+    }
+    [[nodiscard]] double overlap_speedup() const {
+        return modeled_overlap_ms > 0.0 ? modeled_serial_ms / modeled_overlap_ms : 1.0;
+    }
+
+    /// One JSON object, schema stable for dashboards and the bench gates.
+    [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace gas::serve

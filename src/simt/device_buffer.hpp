@@ -21,10 +21,26 @@ class DeviceBuffer {
     DeviceBuffer(Device& device, std::size_t count)
         : device_(&device), count_(count), offset_(device.memory().allocate(count * sizeof(T))) {}
 
+    /// Non-owning view of device memory someone else allocated (a pooling
+    /// sub-allocator, a sub-range of a bigger buffer).  The view behaves
+    /// like a DeviceBuffer everywhere a kernel driver needs one, but its
+    /// destructor never touches the allocator — lifetime stays with the
+    /// real owner.
+    [[nodiscard]] static DeviceBuffer borrow(Device& device, std::size_t offset,
+                                             std::size_t count) {
+        DeviceBuffer b;
+        b.device_ = &device;
+        b.count_ = count;
+        b.offset_ = offset;
+        b.owning_ = false;
+        return b;
+    }
+
     DeviceBuffer(DeviceBuffer&& o) noexcept
         : device_(std::exchange(o.device_, nullptr)),
           count_(std::exchange(o.count_, 0)),
-          offset_(std::exchange(o.offset_, 0)) {}
+          offset_(std::exchange(o.offset_, 0)),
+          owning_(std::exchange(o.owning_, true)) {}
 
     DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
         if (this != &o) {
@@ -32,6 +48,7 @@ class DeviceBuffer {
             device_ = std::exchange(o.device_, nullptr);
             count_ = std::exchange(o.count_, 0);
             offset_ = std::exchange(o.offset_, 0);
+            owning_ = std::exchange(o.owning_, true);
         }
         return *this;
     }
@@ -46,6 +63,7 @@ class DeviceBuffer {
     [[nodiscard]] std::size_t size_bytes() const { return count_ * sizeof(T); }
     [[nodiscard]] std::size_t offset() const { return offset_; }
     [[nodiscard]] Device* device() const { return device_; }
+    [[nodiscard]] bool owning() const { return owning_; }
 
     /// Host view of the device data (Backed mode only).
     [[nodiscard]] std::span<T> span() {
@@ -58,18 +76,20 @@ class DeviceBuffer {
     }
 
     void release() {
-        if (device_ != nullptr && count_ > 0) {
+        if (device_ != nullptr && count_ > 0 && owning_) {
             device_->memory().deallocate(offset_);
         }
         device_ = nullptr;
         count_ = 0;
         offset_ = 0;
+        owning_ = true;
     }
 
   private:
     Device* device_ = nullptr;
     std::size_t count_ = 0;
     std::size_t offset_ = 0;
+    bool owning_ = true;
 };
 
 /// Copies host data into a device buffer; returns modeled H2D milliseconds.

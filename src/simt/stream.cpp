@@ -5,7 +5,8 @@
 
 namespace simt {
 
-void Timeline::enqueue(std::size_t stream, double& engine_ready, double ms) {
+void Timeline::enqueue(std::size_t stream, double& engine_ready, double& engine_busy,
+                       double ms) {
     if (stream >= stream_ready_.size()) {
         throw std::out_of_range("Timeline: stream index out of range");
     }
@@ -13,6 +14,7 @@ void Timeline::enqueue(std::size_t stream, double& engine_ready, double ms) {
     const double end = start + ms;
     stream_ready_[stream] = end;
     engine_ready = end;
+    engine_busy += ms;
     serialized_ += ms;
 }
 

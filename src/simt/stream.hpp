@@ -18,9 +18,11 @@ class Timeline {
     explicit Timeline(std::size_t num_streams)
         : stream_ready_(num_streams, 0.0) {}
 
-    void h2d(std::size_t stream, double ms) { enqueue(stream, h2d_ready_, ms); }
-    void compute(std::size_t stream, double ms) { enqueue(stream, compute_ready_, ms); }
-    void d2h(std::size_t stream, double ms) { enqueue(stream, d2h_ready_, ms); }
+    void h2d(std::size_t stream, double ms) { enqueue(stream, h2d_ready_, h2d_busy_, ms); }
+    void compute(std::size_t stream, double ms) {
+        enqueue(stream, compute_ready_, compute_busy_, ms);
+    }
+    void d2h(std::size_t stream, double ms) { enqueue(stream, d2h_ready_, d2h_busy_, ms); }
 
     /// Modeled end-to-end time with overlap.
     [[nodiscard]] double elapsed_ms() const;
@@ -28,13 +30,34 @@ class Timeline {
     [[nodiscard]] double serialized_ms() const { return serialized_; }
     [[nodiscard]] std::size_t stream_count() const { return stream_ready_.size(); }
 
+    // Per-engine busy time: total milliseconds the engine spent executing
+    // operations (gaps waiting on stream dependencies excluded).  Busy times
+    // sum to serialized_ms(); each is <= elapsed_ms() by construction.
+    [[nodiscard]] double h2d_busy_ms() const { return h2d_busy_; }
+    [[nodiscard]] double compute_busy_ms() const { return compute_busy_; }
+    [[nodiscard]] double d2h_busy_ms() const { return d2h_busy_; }
+
+    // Engine utilization: busy time over the modeled makespan (0 when the
+    // timeline is empty).  A saturated pipeline drives the bottleneck engine
+    // toward 1.0; a single stream leaves every engine fractional.
+    [[nodiscard]] double h2d_utilization() const { return utilization(h2d_busy_); }
+    [[nodiscard]] double compute_utilization() const { return utilization(compute_busy_); }
+    [[nodiscard]] double d2h_utilization() const { return utilization(d2h_busy_); }
+
   private:
-    void enqueue(std::size_t stream, double& engine_ready, double ms);
+    void enqueue(std::size_t stream, double& engine_ready, double& engine_busy, double ms);
+    [[nodiscard]] double utilization(double busy) const {
+        const double e = elapsed_ms();
+        return e > 0.0 ? busy / e : 0.0;
+    }
 
     std::vector<double> stream_ready_;
     double h2d_ready_ = 0.0;
     double d2h_ready_ = 0.0;
     double compute_ready_ = 0.0;
+    double h2d_busy_ = 0.0;
+    double d2h_busy_ = 0.0;
+    double compute_busy_ = 0.0;
     double serialized_ = 0.0;
 };
 

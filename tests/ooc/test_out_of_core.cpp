@@ -80,6 +80,17 @@ TEST(OutOfCore, InvalidArgumentsThrow) {
     EXPECT_THROW(ooc::out_of_core_sort(dev, ok, 5, 10, opts), std::invalid_argument);
 }
 
+TEST(OutOfCore, AutoBatchSizingRejectsZeroStreamsLikeTheSort) {
+    // Regression: auto_batch_arrays used to clamp 0 streams to 1 while
+    // out_of_core_sort threw for the same options; both throw now.
+    simt::Device dev(simt::tiny_device(1 << 20));
+    ooc::OocOptions opts;
+    opts.num_streams = 0;
+    EXPECT_THROW((void)ooc::auto_batch_arrays(dev, 100, opts), std::invalid_argument);
+    opts.num_streams = 1;
+    EXPECT_GT(ooc::auto_batch_arrays(dev, 100, opts), 0u);
+}
+
 TEST(OutOfCore, EmptyDatasetIsNoOp) {
     simt::Device dev(simt::tiny_device(1 << 20));
     std::vector<float> data;

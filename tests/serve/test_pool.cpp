@@ -1,0 +1,103 @@
+#include "serve/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simt/device.hpp"
+#include "simt/error.hpp"
+
+namespace {
+
+using gas::serve::BufferPool;
+
+simt::Device make_device(std::size_t bytes = 16 << 20) {
+    return simt::Device(simt::tiny_device(bytes));
+}
+
+TEST(BufferPool, ClassBytesIsPow2AtLeastAlignment) {
+    EXPECT_EQ(BufferPool::class_bytes(0), simt::DeviceMemory::kAlignment);
+    EXPECT_EQ(BufferPool::class_bytes(1), simt::DeviceMemory::kAlignment);
+    EXPECT_EQ(BufferPool::class_bytes(256), 256u);
+    EXPECT_EQ(BufferPool::class_bytes(257), 512u);
+    EXPECT_EQ(BufferPool::class_bytes(1000), 1024u);
+    EXPECT_EQ(BufferPool::class_bytes(1 << 20), std::size_t{1} << 20);
+}
+
+TEST(BufferPool, ReusesReleasedRangeOfSameClass) {
+    auto dev = make_device();
+    BufferPool pool(dev.memory());
+
+    auto a = pool.acquire(1000);  // class 1024
+    EXPECT_EQ(a.bytes, 1024u);
+    pool.release(a);
+    auto b = pool.acquire(600);  // same class, must come from the free list
+    EXPECT_EQ(b.offset, a.offset);
+    EXPECT_EQ(pool.stats().acquires, 2u);
+    EXPECT_EQ(pool.stats().reuse_hits, 1u);
+    EXPECT_EQ(pool.stats().device_allocs, 1u);
+    EXPECT_DOUBLE_EQ(pool.stats().reuse_rate(), 0.5);
+}
+
+TEST(BufferPool, DistinctClassesDoNotShareRanges) {
+    auto dev = make_device();
+    BufferPool pool(dev.memory());
+
+    auto small = pool.acquire(256);
+    pool.release(small);
+    auto big = pool.acquire(4096);  // different class: no reuse possible
+    EXPECT_EQ(pool.stats().reuse_hits, 0u);
+    EXPECT_EQ(pool.stats().device_allocs, 2u);
+    pool.release(big);
+}
+
+TEST(BufferPool, CachedBytesStayAllocatedUntilTrim) {
+    auto dev = make_device();
+    BufferPool pool(dev.memory());
+
+    auto lease = pool.acquire(1 << 16);
+    pool.release(lease);
+    EXPECT_EQ(pool.stats().bytes_cached, std::size_t{1} << 16);
+    EXPECT_GT(dev.memory().bytes_in_use(), 0u);  // held on the free list
+
+    pool.trim();
+    EXPECT_EQ(pool.stats().bytes_cached, 0u);
+    EXPECT_EQ(dev.memory().bytes_in_use(), 0u);
+}
+
+TEST(BufferPool, DestructorReturnsCachedRanges) {
+    auto dev = make_device();
+    {
+        BufferPool pool(dev.memory());
+        pool.release(pool.acquire(1 << 12));
+        EXPECT_GT(dev.memory().bytes_in_use(), 0u);
+    }
+    EXPECT_EQ(dev.memory().bytes_in_use(), 0u);
+}
+
+TEST(BufferPool, PeakTracksConcurrentLeases) {
+    auto dev = make_device();
+    BufferPool pool(dev.memory());
+
+    auto a = pool.acquire(1 << 10);
+    auto b = pool.acquire(1 << 10);
+    EXPECT_EQ(pool.stats().bytes_leased, std::size_t{2} << 10);
+    pool.release(a);
+    pool.release(b);
+    EXPECT_EQ(pool.stats().bytes_leased, 0u);
+    EXPECT_EQ(pool.stats().peak_leased, std::size_t{2} << 10);
+}
+
+TEST(BufferPool, PropagatesDeviceBadAlloc) {
+    auto dev = make_device(1 << 20);
+    BufferPool pool(dev.memory());
+    EXPECT_THROW((void)pool.acquire(2 << 20), simt::DeviceBadAlloc);
+}
+
+TEST(BufferPool, ReleaseOfEmptyLeaseIsNoOp) {
+    auto dev = make_device();
+    BufferPool pool(dev.memory());
+    BufferPool::Lease empty;
+    pool.release(empty);
+    EXPECT_EQ(pool.stats().releases, 0u);
+}
+
+}  // namespace

@@ -58,4 +58,60 @@ TEST(Timeline, ComputeChainRespectsStreamOrder) {
     EXPECT_DOUBLE_EQ(t.elapsed_ms(), 10.0);
 }
 
+TEST(Timeline, BusyTimesSumToSerializedTime) {
+    Timeline t(2);
+    for (int b = 0; b < 3; ++b) {
+        const auto s = static_cast<std::size_t>(b % 2);
+        t.h2d(s, 10.0);
+        t.compute(s, 20.0);
+        t.d2h(s, 5.0);
+    }
+    EXPECT_DOUBLE_EQ(t.h2d_busy_ms(), 30.0);
+    EXPECT_DOUBLE_EQ(t.compute_busy_ms(), 60.0);
+    EXPECT_DOUBLE_EQ(t.d2h_busy_ms(), 15.0);
+    EXPECT_DOUBLE_EQ(t.h2d_busy_ms() + t.compute_busy_ms() + t.d2h_busy_ms(),
+                     t.serialized_ms());
+    // Busy time counts execution only, never dependency gaps.
+    EXPECT_LE(t.compute_busy_ms(), t.elapsed_ms());
+}
+
+TEST(Timeline, SingleStreamUtilizationIsFractional) {
+    Timeline t(1);
+    t.h2d(0, 10.0);
+    t.compute(0, 20.0);
+    t.d2h(0, 10.0);
+    // One stream serializes everything: each engine is busy exactly its own
+    // share of the 40 ms makespan.
+    EXPECT_DOUBLE_EQ(t.h2d_utilization(), 0.25);
+    EXPECT_DOUBLE_EQ(t.compute_utilization(), 0.5);
+    EXPECT_DOUBLE_EQ(t.d2h_utilization(), 0.25);
+}
+
+TEST(Timeline, SaturatedPipelineDrivesBottleneckTowardOne) {
+    Timeline t(2);
+    for (int b = 0; b < 16; ++b) {
+        const auto s = static_cast<std::size_t>(b % 2);
+        t.h2d(s, 5.0);
+        t.compute(s, 20.0);
+        t.d2h(s, 5.0);
+    }
+    EXPECT_GT(t.compute_utilization(), 0.9);  // compute-bound pipeline
+    EXPECT_LT(t.h2d_utilization(), 0.5);
+    EXPECT_LE(t.compute_utilization(), 1.0);
+}
+
+TEST(Timeline, EmptyTimelineReportsZeroUtilization) {
+    Timeline t(3);
+    EXPECT_DOUBLE_EQ(t.h2d_busy_ms(), 0.0);
+    EXPECT_DOUBLE_EQ(t.compute_utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(t.d2h_utilization(), 0.0);
+}
+
+TEST(Timeline, BusyAccessorsUnaffectedByOutOfRangeThrow) {
+    Timeline t(1);
+    t.compute(0, 5.0);
+    EXPECT_THROW(t.compute(1, 5.0), std::out_of_range);
+    EXPECT_DOUBLE_EQ(t.compute_busy_ms(), 5.0);  // failed enqueue left no trace
+}
+
 }  // namespace

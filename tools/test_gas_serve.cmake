@@ -1,0 +1,29 @@
+# Smoke test of the gas_serve CLI: all three job kinds through the manual
+# pump, then the async scheduler with backpressure and a stats JSON artifact.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(last_out "${out}" PARENT_SCOPE)
+endfunction()
+
+run(${GAS_SERVE} run --requests 64 --arrays 4 --size 64)
+if(NOT last_out MATCHES "64 ok \\(0 cpu fallbacks\\), 0 not-ok, 0 unsorted")
+  message(FATAL_ERROR "uniform manual run not fully served:\n${last_out}")
+endif()
+
+run(${GAS_SERVE} run --requests 24 --kind ragged --arrays 6 --size 120)
+run(${GAS_SERVE} run --requests 24 --kind pairs --arrays 3 --size 50)
+
+set(STATS ${WORK_DIR}/serve_stats.json)
+run(${GAS_SERVE} run --requests 96 --async --streams 2 --json ${STATS})
+if(NOT EXISTS ${STATS})
+  message(FATAL_ERROR "async run did not write ${STATS}")
+endif()
+file(READ ${STATS} stats_json)
+if(NOT stats_json MATCHES "\"completed\": 96")
+  message(FATAL_ERROR "stats JSON missing completed count:\n${stats_json}")
+endif()
