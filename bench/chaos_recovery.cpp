@@ -1,0 +1,230 @@
+// Chaos-recovery bench: the serving layer under a hostile device.
+//
+// 1000 small sort requests ride fused micro-batches while simt::faults
+// injects roughly one allocation failure per 50 allocations and one silent
+// (undetected) memory corruption per 200 launches.  BENCH_chaos.json asserts
+// three acceptance gates:
+//   * termination: every request completes with Status::Ok — retries,
+//     quarantines and host fallbacks absorb every injected fault,
+//   * integrity: zero byte mismatches against the same requests served on a
+//     fault-free server (never silently wrong data), and
+//   * overhead: on the fault-free path, response verification costs <= 10%
+//     extra modeled device time.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/server.hpp"
+#include "simt/device.hpp"
+#include "simt/faults/report.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+constexpr std::size_t kArraysPerRequest = 4;
+constexpr std::size_t kArraySize = 512;
+
+gas::serve::ServerConfig server_config(std::size_t requests, bool verify) {
+    gas::serve::ServerConfig cfg;
+    cfg.manual_pump = true;  // deterministic batching and fault schedule
+    cfg.queue_capacity = requests;
+    // Small batches keep the launch count high enough for the 1-in-200
+    // corruption rate to actually fire over 1000 requests.
+    cfg.max_batch_requests = 8;
+    cfg.retry.seed = 2024;
+    cfg.retry.max_attempts = 5;
+    cfg.verify_responses = verify;
+    return cfg;
+}
+
+struct RunResult {
+    std::vector<std::vector<float>> responses;
+    std::size_t not_ok = 0;
+    gas::serve::ServerStats stats;
+    simt::faults::FaultReport faults;
+};
+
+RunResult run_requests(const std::vector<std::vector<float>>& inputs, bool verify,
+                       const simt::faults::FaultPlan* plan) {
+    simt::Device dev = bench::make_device();
+    if (plan != nullptr) dev.set_fault_plan(*plan);
+    gas::serve::Server server(dev, server_config(inputs.size(), verify));
+    std::vector<gas::serve::Server::Ticket> tickets;
+    tickets.reserve(inputs.size());
+    for (std::size_t r = 0; r < inputs.size(); ++r) {
+        gas::serve::Job job;
+        job.kind = gas::serve::JobKind::Uniform;
+        job.num_arrays = kArraysPerRequest;
+        job.array_size = kArraySize;
+        job.values = inputs[r];
+        tickets.push_back(server.submit(std::move(job)));
+    }
+    server.pump();
+
+    RunResult res;
+    res.responses.reserve(inputs.size());
+    for (auto& t : tickets) {
+        auto resp = t.result.get();
+        if (!resp.ok()) ++res.not_ok;
+        res.responses.push_back(std::move(resp.values));
+    }
+    res.stats = server.stats();
+    res.faults = dev.fault_report();
+    return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bench::Args args = bench::parse(argc, argv);
+    std::size_t requests = args.full ? 4000 : 1000;
+    std::string json_path = "BENCH_chaos.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+            requests = static_cast<std::size_t>(std::stoull(argv[i + 1]));
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[i + 1];
+        }
+    }
+
+    std::printf("Chaos recovery: %zu requests of %zu x %zu floats under injected faults\n",
+                requests, kArraysPerRequest, kArraySize);
+    bench::rule('=');
+
+    std::vector<std::vector<float>> inputs(requests);
+    for (std::size_t r = 0; r < requests; ++r) {
+        inputs[r] = workload::make_dataset(kArraysPerRequest, kArraySize,
+                                           workload::Distribution::Uniform,
+                                           static_cast<std::uint64_t>(r + 1))
+                        .values;
+    }
+
+    // Reference: fault-free server, verification off — today's bytes and
+    // today's modeled time.
+    const RunResult clean = run_requests(inputs, /*verify=*/false, nullptr);
+    // Fault-free with verification: the overhead the resilience layer costs
+    // when nothing is wrong.
+    const RunResult verified = run_requests(inputs, /*verify=*/true, nullptr);
+
+    // The chaos run: allocation faults and silent corruption, verification
+    // on (the only defense against undetected flips).
+    simt::faults::FaultPlan plan;
+    plan.seed = 7;
+    plan.alloc_fail_every = 50;
+    plan.corrupt_every = 200;
+    plan.detected = false;  // silent: only response verification can catch it
+    const RunResult chaos = run_requests(inputs, /*verify=*/true, &plan);
+
+    std::size_t mismatches = 0;
+    for (std::size_t r = 0; r < requests; ++r) {
+        if (chaos.responses[r] != clean.responses[r]) ++mismatches;
+    }
+
+    std::printf("fault-free baseline:  %10.2f ms modeled kernel time\n",
+                clean.stats.modeled_kernel_ms);
+    std::printf("fault-free verified:  %10.2f ms modeled kernel time\n",
+                verified.stats.modeled_kernel_ms);
+    std::printf("chaos run: %llu fault(s) fired (%llu corruption(s), %llu alloc "
+                "failure(s)), %llu suppressed\n",
+                static_cast<unsigned long long>(chaos.faults.fired()),
+                static_cast<unsigned long long>(chaos.faults.corruptions),
+                static_cast<unsigned long long>(chaos.faults.alloc_failures),
+                static_cast<unsigned long long>(chaos.faults.suppressed));
+    std::printf("  recovery: %llu batch retries, %llu alloc retries, %llu quarantined, "
+                "%llu verify failures, %.3f ms modeled backoff\n",
+                static_cast<unsigned long long>(chaos.stats.retries),
+                static_cast<unsigned long long>(chaos.stats.alloc_retries),
+                static_cast<unsigned long long>(chaos.stats.quarantined),
+                static_cast<unsigned long long>(chaos.stats.verify_failures),
+                chaos.stats.retry_backoff_ms);
+    bench::rule();
+
+    const double overhead =
+        clean.stats.modeled_kernel_ms > 0.0
+            ? verified.stats.modeled_kernel_ms / clean.stats.modeled_kernel_ms - 1.0
+            : 0.0;
+    const bool termination_pass = chaos.not_ok == 0 && clean.not_ok == 0;
+    const bool integrity_pass = mismatches == 0;
+    const bool overhead_pass = overhead <= 0.10;
+    std::printf("gate: unrecovered requests %zu of %zu (need 0) .......... %s\n",
+                chaos.not_ok, requests, termination_pass ? "PASS" : "FAIL");
+    std::printf("gate: bytes vs fault-free run, %zu mismatch(es) (need 0)  %s\n", mismatches,
+                integrity_pass ? "PASS" : "FAIL");
+    std::printf("gate: fault-free verification overhead %.2f%% (<= 10%%) .. %s\n",
+                overhead * 100.0, overhead_pass ? "PASS" : "FAIL");
+
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(f, "{\n  \"bench\": \"chaos_recovery\",\n");
+        std::fprintf(f, "  \"requests\": %zu,\n  \"arrays_per_request\": %zu,\n", requests,
+                     kArraysPerRequest);
+        std::fprintf(f, "  \"array_size\": %zu,\n", kArraySize);
+        std::fprintf(f,
+                     "  \"plan\": {\"seed\": 7, \"alloc_fail_every\": 50, "
+                     "\"corrupt_every\": 200, \"detected\": false},\n");
+        std::fprintf(f,
+                     "  \"faults\": {\"fired\": %llu, \"corruptions\": %llu, "
+                     "\"alloc_failures\": %llu, \"suppressed\": %llu},\n",
+                     static_cast<unsigned long long>(chaos.faults.fired()),
+                     static_cast<unsigned long long>(chaos.faults.corruptions),
+                     static_cast<unsigned long long>(chaos.faults.alloc_failures),
+                     static_cast<unsigned long long>(chaos.faults.suppressed));
+        std::fprintf(f,
+                     "  \"recovery\": {\"retries\": %llu, \"alloc_retries\": %llu, "
+                     "\"quarantined\": %llu, \"verify_failures\": %llu, "
+                     "\"retry_backoff_ms\": %.6f},\n",
+                     static_cast<unsigned long long>(chaos.stats.retries),
+                     static_cast<unsigned long long>(chaos.stats.alloc_retries),
+                     static_cast<unsigned long long>(chaos.stats.quarantined),
+                     static_cast<unsigned long long>(chaos.stats.verify_failures),
+                     chaos.stats.retry_backoff_ms);
+        std::fprintf(f,
+                     "  \"modeled_kernel_ms\": {\"clean\": %.6f, \"verified\": %.6f, "
+                     "\"chaos\": %.6f},\n",
+                     clean.stats.modeled_kernel_ms, verified.stats.modeled_kernel_ms,
+                     chaos.stats.modeled_kernel_ms);
+        std::fprintf(f, "  \"gates\": {\n");
+        std::fprintf(f,
+                     "    \"termination\": {\"unrecovered\": %zu, \"max\": 0, \"pass\": "
+                     "%s},\n",
+                     chaos.not_ok, termination_pass ? "true" : "false");
+        std::fprintf(f,
+                     "    \"integrity\": {\"mismatches\": %zu, \"max\": 0, \"pass\": %s},\n",
+                     mismatches, integrity_pass ? "true" : "false");
+        std::fprintf(f,
+                     "    \"verify_overhead\": {\"fraction\": %.6f, \"max\": 0.10, "
+                     "\"pass\": %s}\n",
+                     overhead, overhead_pass ? "true" : "false");
+        std::fprintf(f, "  }\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    } else {
+        std::printf("could not write %s\n", json_path.c_str());
+    }
+
+    // The verify kernels must be untouched by the sanitizer machinery, like
+    // every other bench's workload.
+    const bool inert = bench::verify_sanitize_off_guarantee([](simt::Device& d) {
+        gas::serve::ServerConfig cfg;
+        cfg.manual_pump = true;
+        cfg.verify_responses = true;
+        gas::serve::Server srv(d, cfg);
+        std::vector<gas::serve::Server::Ticket> ts;
+        for (unsigned i = 0; i < 8; ++i) {
+            gas::serve::Job job;
+            job.kind = gas::serve::JobKind::Uniform;
+            job.num_arrays = 2;
+            job.array_size = 64;
+            job.values = workload::make_dataset(2, 64, workload::Distribution::Uniform,
+                                                i + 1)
+                             .values;
+            ts.push_back(srv.submit(std::move(job)));
+        }
+        srv.pump();
+        for (auto& t : ts) t.result.get();
+    });
+
+    return (termination_pass && integrity_pass && overhead_pass && inert) ? 0 : 1;
+}

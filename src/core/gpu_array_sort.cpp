@@ -8,6 +8,7 @@
 #include "core/device_ops.hpp"
 #include "core/insertion_sort.hpp"
 #include "core/phases.hpp"
+#include "core/resilient.hpp"
 #include "core/validate.hpp"
 
 namespace gas {
@@ -64,6 +65,27 @@ SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& dat
         before.assign(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(num_arrays * array_size));
     }
 
+    // End-to-end verification (gas::resilient): per-row multiset checksums
+    // taken host-side from the freshly-staged span before the first launch
+    // (a baseline no injected fault can poison — see host_row_checksums),
+    // checked by one verify kernel with modeled cost right before returning.
+    std::vector<std::uint64_t> expected;
+    if (opts.verify_output) {
+        const auto cspan =
+            std::span<const T>(data.span().data(), num_arrays * array_size);
+        expected = resilient::host_row_checksums<T>(cspan, num_arrays, array_size);
+    }
+    const auto run_verify = [&](std::span<const T> cspan) {
+        if (!opts.verify_output) return;
+        const auto vc = resilient::verify_rows_on_device<T>(
+            device, cspan, num_arrays, array_size, opts.order, expected);
+        stats.verify.modeled_ms += vc.modeled_ms;
+        stats.verify.wall_ms += vc.wall_ms;
+        if (!vc.ok()) {
+            throw resilient::VerifyError("gpu_array_sort", vc.unsorted, vc.mismatched);
+        }
+    };
+
     // Small-array fast path: with a single bucket the three-phase machinery
     // degenerates to "one thread insertion-sorts the whole array".  Packing
     // 256 arrays into each block (instead of N one-thread blocks) fills the
@@ -119,6 +141,7 @@ SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& dat
                 throw std::logic_error("gpu_array_sort: small-array path validation failed");
             }
         }
+        run_verify(std::span<const T>(span0));
         return stats;
     }
 
@@ -192,6 +215,7 @@ SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& dat
                                    "per-array permutation of the input");
         }
     }
+    run_verify(std::span<const T>(span));
     return stats;
 }
 

@@ -73,7 +73,18 @@ struct Options {
     std::size_t phase3_bitonic_cutoff = 240;
 
     /// Verify output (sortedness + per-array permutation) before returning.
+    /// Host-side and exhaustive: throws std::logic_error on failure.  A
+    /// debugging tool — prefer verify_output for production resilience.
     bool validate = false;
+
+    /// End-to-end result verification on the device (gas::resilient): an
+    /// order-independent multiset checksum per row before sorting, then one
+    /// verify kernel after — sortedness plus permutation-by-checksum.
+    /// Failure throws gas::resilient::VerifyError (a transient error the
+    /// retry harness re-stages and re-runs).  Costs two extra kernels,
+    /// recorded in SortStats::verify; off (the default) adds no launches and
+    /// keeps output bytes and KernelStats bit-identical.
+    bool verify_output = false;
 
     /// Copy the bucket-size array Z into SortStats::bucket_sizes for
     /// offline analysis (core/analysis.hpp).  Costs a host copy of N*p u32.

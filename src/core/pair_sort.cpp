@@ -10,6 +10,7 @@
 #include "core/hybrid_phase3.hpp"
 #include "core/insertion_sort.hpp"
 #include "core/phases.hpp"
+#include "core/resilient.hpp"
 
 namespace gas {
 
@@ -225,8 +226,18 @@ SortStats sort_pairs_on_device(simt::Device& device, simt::DeviceBuffer<T>& keys
     }
     if (num_arrays == 0 || array_size == 0) return {};
     auto key_span = keys.span().subspan(0, num_arrays * array_size);
+    auto val_span = values.span().subspan(0, num_arrays * array_size);
     const bool descending = opts.order == SortOrder::Descending;
     SortStats extra;
+    // Key+payload multiset checksums, taken host-side before any launch or
+    // mutation (the descending negation included) so no injected fault can
+    // poison the baseline; verified after the negate-back below.
+    std::vector<std::uint64_t> expected;
+    if (opts.verify_output) {
+        expected = resilient::host_pair_row_checksums<T>(
+            std::span<const T>(key_span), std::span<const T>(val_span), num_arrays,
+            array_size);
+    }
     if (descending) {
         const auto k = negate_on_device(device, key_span);
         extra.extra.modeled_ms += k.modeled_ms;
@@ -242,7 +253,18 @@ SortStats sort_pairs_on_device(simt::Device& device, simt::DeviceBuffer<T>& keys
         extra.extra.wall_ms += k.wall_ms;
     }
     stats.extra = extra.extra;
+    stats.verify = extra.verify;
     stats.data_bytes = 2 * num_arrays * array_size * sizeof(T);
+    if (opts.verify_output) {
+        const auto vc = resilient::verify_pair_rows_on_device<T>(
+            device, std::span<const T>(key_span), std::span<const T>(val_span), num_arrays,
+            array_size, opts.order, expected);
+        stats.verify.modeled_ms += vc.modeled_ms;
+        stats.verify.wall_ms += vc.wall_ms;
+        if (!vc.ok()) {
+            throw resilient::VerifyError("gpu_pair_sort", vc.unsorted, vc.mismatched);
+        }
+    }
     return stats;
 }
 
@@ -285,8 +307,14 @@ SortStats sort_ragged_pairs_on_device(simt::Device& device, simt::DeviceBuffer<T
         throw std::invalid_argument("sort_ragged_pairs_on_device: buffers too small");
     }
     auto key_span = keys.span().subspan(0, offsets[num_arrays]);
+    auto val_span = values.span().subspan(0, offsets[num_arrays]);
     const bool descending = opts.order == SortOrder::Descending;
     SortStats extra;
+    std::vector<std::uint64_t> expected;
+    if (opts.verify_output) {
+        expected = resilient::host_pair_csr_checksums<T>(
+            std::span<const T>(key_span), std::span<const T>(val_span), offsets);
+    }
     if (descending && !key_span.empty()) {
         const auto k = negate_on_device(device, key_span);
         extra.extra.modeled_ms += k.modeled_ms;
@@ -302,7 +330,18 @@ SortStats sort_ragged_pairs_on_device(simt::Device& device, simt::DeviceBuffer<T
         extra.extra.wall_ms += k.wall_ms;
     }
     stats.extra = extra.extra;
+    stats.verify = extra.verify;
     stats.data_bytes = 2 * offsets[num_arrays] * sizeof(T);
+    if (opts.verify_output) {
+        const auto vc = resilient::verify_pair_csr_on_device<T>(
+            device, std::span<const T>(key_span), std::span<const T>(val_span), offsets,
+            opts.order, expected);
+        stats.verify.modeled_ms += vc.modeled_ms;
+        stats.verify.wall_ms += vc.wall_ms;
+        if (!vc.ok()) {
+            throw resilient::VerifyError("gpu_ragged_pair_sort", vc.unsorted, vc.mismatched);
+        }
+    }
     return stats;
 }
 

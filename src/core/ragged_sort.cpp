@@ -8,6 +8,7 @@
 #include "core/hybrid_phase3.hpp"
 #include "core/insertion_sort.hpp"
 #include "core/phases.hpp"
+#include "core/resilient.hpp"
 
 namespace gas {
 
@@ -71,6 +72,15 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
     }
 
     auto data = values.span();
+
+    // End-to-end verification (gas::resilient): host-side checksums before
+    // the fused kernel (a poison-proof baseline — see host_csr_checksums),
+    // sortedness + permutation check after.  The ragged driver sorts
+    // ascending regardless of opts.order, so the check does too.
+    std::vector<std::uint64_t> expected;
+    if (opts.verify_output) {
+        expected = resilient::host_csr_checksums<float>(std::span<const float>(data), offsets);
+    }
 
     simt::LaunchConfig cfg{"gas.ragged_fused", static_cast<unsigned>(num_arrays), block_threads};
     const simt::KernelStats k = device.launch(cfg, [&](simt::BlockCtx& blk) {
@@ -204,6 +214,15 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
     stats.phase2 = {k.modeled_ms, k.wall_ms};  // fused kernel reported as one phase
     stats.phase3_imbalance = k.imbalance;
     stats.peak_device_bytes = device.memory().peak_bytes_in_use();
+    if (opts.verify_output) {
+        const auto vc = resilient::verify_csr_on_device<float>(
+            device, std::span<const float>(data), offsets, SortOrder::Ascending, expected);
+        stats.verify.modeled_ms += vc.modeled_ms;
+        stats.verify.wall_ms += vc.wall_ms;
+        if (!vc.ok()) {
+            throw resilient::VerifyError("gpu_ragged_sort", vc.unsorted, vc.mismatched);
+        }
+    }
     return stats;
 }
 

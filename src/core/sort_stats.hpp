@@ -23,6 +23,7 @@ struct SortStats {
     PhaseStats phase2;  ///< bucketing + in-place write-back
     PhaseStats phase3;  ///< per-bucket insertion sort
     PhaseStats extra;   ///< auxiliary kernels (e.g. negation for descending)
+    PhaseStats verify;  ///< checksum + verify kernels (Options::verify_output)
 
     double h2d_ms = 0.0;  ///< modeled transfer in (host API only)
     double d2h_ms = 0.0;  ///< modeled transfer out (host API only)
@@ -50,10 +51,12 @@ struct SortStats {
     /// Modeled device time of the three kernels (excludes transfers),
     /// the quantity the paper's figures plot.
     [[nodiscard]] double modeled_kernel_ms() const {
-        return phase1.modeled_ms + phase2.modeled_ms + phase3.modeled_ms + extra.modeled_ms;
+        return phase1.modeled_ms + phase2.modeled_ms + phase3.modeled_ms + extra.modeled_ms +
+               verify.modeled_ms;
     }
     [[nodiscard]] double wall_kernel_ms() const {
-        return phase1.wall_ms + phase2.wall_ms + phase3.wall_ms + extra.wall_ms;
+        return phase1.wall_ms + phase2.wall_ms + phase3.wall_ms + extra.wall_ms +
+               verify.wall_ms;
     }
     [[nodiscard]] double modeled_total_ms() const {
         return modeled_kernel_ms() + h2d_ms + d2h_ms;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <stdexcept>
+#include <vector>
 
 #include "simt/stream.hpp"
 
@@ -28,7 +30,7 @@ std::size_t auto_batch_arrays(const simt::Device& device, std::size_t array_size
 
 OocStats out_of_core_sort(simt::Device& device, std::span<float> host_data,
                           std::size_t num_arrays, std::size_t array_size,
-                          const OocOptions& opts) {
+                          const OocOptions& opts, OocCheckpoint* checkpoint) {
     OocStats stats;
     stats.num_arrays = num_arrays;
     stats.array_size = array_size;
@@ -42,30 +44,73 @@ OocStats out_of_core_sort(simt::Device& device, std::span<float> host_data,
         opts.batch_arrays > 0 ? opts.batch_arrays : auto_batch_arrays(device, array_size, opts);
     stats.batch_arrays = batch;
 
+    if (checkpoint != nullptr && !checkpoint->matches(num_arrays, array_size, batch)) {
+        *checkpoint = {num_arrays, array_size, batch,
+                       std::vector<std::uint8_t>((num_arrays + batch - 1) / batch, 0)};
+    }
+
     simt::Timeline timeline(opts.num_streams);
+    timeline.attach_faults(device);
     const auto t0 = std::chrono::steady_clock::now();
 
-    for (std::size_t first = 0; first < num_arrays; first += batch) {
+    const unsigned max_attempts = std::max(opts.retry.max_attempts, 1u);
+    std::size_t chunk_idx = 0;
+    for (std::size_t first = 0; first < num_arrays; first += batch, ++chunk_idx) {
+        if (checkpoint != nullptr && checkpoint->done[chunk_idx] != 0) {
+            ++stats.chunks_skipped;  // resumed run: this chunk already landed
+            continue;
+        }
         const std::size_t count = std::min(batch, num_arrays - first);
         const std::size_t stream = stats.batches % opts.num_streams;
         auto chunk = host_data.subspan(first * array_size, count * array_size);
 
         // Functional execution: upload, sort, download this batch.  The
         // allocator enforces that a batch (plus its temporaries) fits.
-        simt::DeviceBuffer<float> dev(device, chunk.size());
-        const double h2d = simt::copy_to_device(std::span<const float>(chunk), dev);
-        const gas::SortStats s =
-            gas::sort_arrays_on_device(device, dev, count, array_size, opts.sort_opts);
-        const double d2h = simt::copy_to_host(dev, chunk);
+        // Transient failures (injected allocation faults, refused launches,
+        // detected corruption, failed verification) retry the chunk alone —
+        // the host copy is untouched until the final download, so every
+        // attempt re-stages clean data.
+        for (unsigned attempt = 1;; ++attempt) {
+            try {
+                simt::DeviceBuffer<float> dev(device, chunk.size());
+                const double h2d = simt::copy_to_device(std::span<const float>(chunk), dev);
+                const gas::SortStats s =
+                    gas::sort_arrays_on_device(device, dev, count, array_size, opts.sort_opts);
+                const double d2h = simt::copy_to_host(dev, chunk);
 
-        // Overlap model: the same operations on the stream timeline.
-        timeline.h2d(stream, h2d);
-        timeline.compute(stream, s.modeled_kernel_ms());
-        timeline.d2h(stream, d2h);
+                // Overlap model: the same operations on the stream timeline.
+                timeline.h2d(stream, h2d);
+                timeline.compute(stream, s.modeled_kernel_ms());
+                timeline.d2h(stream, d2h);
 
-        stats.kernel_ms += s.modeled_kernel_ms();
-        stats.transfer_ms += h2d + d2h;
+                stats.kernel_ms += s.modeled_kernel_ms();
+                stats.transfer_ms += h2d + d2h;
+                break;
+            } catch (const std::exception& e) {
+                if (!gas::resilient::transient(e)) throw;
+                if (attempt < max_attempts) {
+                    ++stats.chunk_retries;
+                    stats.retry_backoff_ms += opts.retry.backoff_ms(attempt, chunk_idx);
+                    continue;
+                }
+                if (!opts.host_fallback) throw;
+                // Retries exhausted: this chunk re-sorts alone on the host,
+                // so one persistently unlucky chunk cannot sink the run.
+                const bool desc = opts.sort_opts.order == gas::SortOrder::Descending;
+                for (std::size_t a = 0; a < count; ++a) {
+                    auto row = chunk.subspan(a * array_size, array_size);
+                    if (desc) {
+                        std::sort(row.begin(), row.end(), std::greater<>());
+                    } else {
+                        std::sort(row.begin(), row.end());
+                    }
+                }
+                ++stats.chunk_host_fallbacks;
+                break;
+            }
+        }
         ++stats.batches;
+        if (checkpoint != nullptr) checkpoint->done[chunk_idx] = 1;
     }
 
     const auto t1 = std::chrono::steady_clock::now();

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "core/gpu_array_sort.hpp"
+#include "core/resilient.hpp"
 #include "simt/device.hpp"
 
 namespace ooc {
@@ -21,6 +24,16 @@ struct OocOptions {
     unsigned num_streams = 2;
     double memory_safety_factor = 0.9;  ///< fraction of device memory usable
     gas::Options sort_opts;
+
+    /// Chunk-level resilience: a chunk whose upload/sort/verify raises a
+    /// transient error (gas::resilient::transient) is retried alone per this
+    /// policy — completed chunks are never redone.  Set
+    /// sort_opts.verify_output to make verification part of the chunk.
+    gas::resilient::RetryPolicy retry;
+    /// After retries are exhausted, sort the failing chunk solo on the host
+    /// (std::sort per row) instead of failing the whole run.  Off: the last
+    /// error propagates (any checkpoint still records completed chunks).
+    bool host_fallback = true;
 };
 
 /// Cost summary of an out-of-core run.
@@ -35,8 +48,41 @@ struct OocStats {
     double transfer_ms = 0.0;          ///< modeled H2D + D2H only
     double wall_ms = 0.0;
 
+    // Resilience accounting (all zero on a fault-free run).
+    std::size_t chunk_retries = 0;        ///< device re-attempts after transient errors
+    std::size_t chunk_host_fallbacks = 0; ///< chunks sorted on the host after retries
+    std::size_t chunks_skipped = 0;       ///< chunks a resumed checkpoint marked done
+    double retry_backoff_ms = 0.0;        ///< modeled backoff accrued by retries
+
     [[nodiscard]] double overlap_speedup() const {
         return modeled_overlap_ms > 0.0 ? modeled_serial_ms / modeled_overlap_ms : 1.0;
+    }
+};
+
+/// Chunk-granular progress record for checkpoint-resume: one done flag per
+/// chunk of the (num_arrays, array_size, batch_arrays) geometry.  Pass the
+/// same checkpoint back to out_of_core_sort after a failed/interrupted run
+/// and completed chunks are skipped, the failed chunk re-sorts alone.  A
+/// checkpoint whose geometry does not match the call is reinitialized.
+struct OocCheckpoint {
+    std::size_t num_arrays = 0;
+    std::size_t array_size = 0;
+    std::size_t batch_arrays = 0;
+    std::vector<std::uint8_t> done;  ///< one flag per chunk, in chunk order
+
+    [[nodiscard]] std::size_t completed() const {
+        std::size_t n = 0;
+        for (const std::uint8_t d : done) n += d != 0 ? 1 : 0;
+        return n;
+    }
+    [[nodiscard]] bool complete() const {
+        return !done.empty() && completed() == done.size();
+    }
+    [[nodiscard]] bool matches(std::size_t n_arrays, std::size_t arr_size,
+                               std::size_t batch) const {
+        const std::size_t chunks = batch > 0 ? (n_arrays + batch - 1) / batch : 0;
+        return num_arrays == n_arrays && array_size == arr_size && batch_arrays == batch &&
+               done.size() == chunks;
     }
 };
 
@@ -44,9 +90,13 @@ struct OocStats {
 /// device memory: batches stream through the device on a multi-stream
 /// pipeline (H2D -> three sort kernels -> D2H), overlapping transfers with
 /// compute.  The host buffer is sorted in place.
+/// `checkpoint` (optional) enables chunk-granular resume: completed chunks
+/// recorded there are skipped, and every chunk completed by this call is
+/// recorded before the next chunk starts — so a run that dies mid-way
+/// resumes without redoing finished work.
 OocStats out_of_core_sort(simt::Device& device, std::span<float> host_data,
                           std::size_t num_arrays, std::size_t array_size,
-                          const OocOptions& opts = {});
+                          const OocOptions& opts = {}, OocCheckpoint* checkpoint = nullptr);
 
 /// The batch size (#arrays) auto-sizing would pick for this device.
 [[nodiscard]] std::size_t auto_batch_arrays(const simt::Device& device, std::size_t array_size,

@@ -52,7 +52,7 @@ struct Job {
     std::vector<std::uint64_t> offsets;    ///< CSR offsets (Ragged only)
     std::size_t num_arrays = 0;            ///< Uniform / Pairs geometry
     std::size_t array_size = 0;
-    Options opts;                          ///< validate/collect_* are ignored
+    Options opts;  ///< validate/collect_*/verify_output are server-owned, ignored
     Priority priority = Priority::Normal;
     /// Absolute deadline for *starting* service; a job still queued past it
     /// completes as TimedOut.  A deadline already in the past at submit is

@@ -104,6 +104,9 @@ Server::Server(simt::Device& device, ServerConfig cfg)
     }
     memory_budget_ = static_cast<std::size_t>(
         static_cast<double>(device_.memory().capacity()) * cfg_.memory_safety_factor);
+    // Engine stalls from an injected fault plan (simt::faults) show up in the
+    // overlap model; plans installed after construction still apply.
+    timeline_.attach_faults(device_);
     if (!cfg_.manual_pump) {
         scheduler_ = std::thread(&Server::scheduler_main, this);
     }
@@ -426,13 +429,21 @@ bool Server::needs_cpu_fallback(const Job& job) const {
 }
 
 BufferPool::Lease Server::acquire_or_trim(std::size_t bytes) {
-    try {
-        return pool_.acquire(bytes);
-    } catch (const simt::DeviceBadAlloc&) {
-        // Cached idle ranges may be fragmenting the arena; return them and
-        // retry once before giving up.
-        pool_.trim();
-        return pool_.acquire(bytes);
+    // Cached idle ranges may be fragmenting the arena (or an injected
+    // allocation fault fired): trim and retry per the configured policy
+    // instead of the old single ad-hoc retry, recording each attempt and its
+    // modeled backoff.
+    const unsigned max_attempts = std::max(cfg_.retry.max_attempts, 1u);
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            return pool_.acquire(bytes);
+        } catch (const simt::DeviceBadAlloc&) {
+            if (attempt >= max_attempts) throw;
+            pool_.trim();
+            std::lock_guard lk(mutex_);
+            ++stats_.alloc_retries;
+            stats_.retry_backoff_ms += cfg_.retry.backoff_ms(attempt, bytes);
+        }
     }
 }
 
@@ -441,18 +452,36 @@ void Server::serve_batch(std::vector<PendingPtr> batch) {
         run_cpu_fallback(*batch.front());
         return;
     }
-    try {
-        switch (batch.front()->job.kind) {
-            case JobKind::Uniform: execute_uniform(batch); break;
-            case JobKind::Ragged: execute_ragged(batch); break;
-            case JobKind::Pairs: execute_pairs(batch); break;
+    // Transient device errors (gas::resilient::transient — allocation
+    // failures, refused launches, detected corruption, failed verification)
+    // retry the whole batch: execute_* completes no promise and touches no
+    // host buffer before it can throw, so each attempt re-stages clean data.
+    // Exhausted retries quarantine every rider to a solo host re-sort; a
+    // non-transient error (a real bug, e.g. SanitizeError) fails the batch.
+    const unsigned max_attempts = std::max(cfg_.retry.max_attempts, 1u);
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            switch (batch.front()->job.kind) {
+                case JobKind::Uniform: execute_uniform(batch); break;
+                case JobKind::Ragged: execute_ragged(batch); break;
+                case JobKind::Pairs: execute_pairs(batch); break;
+            }
+            return;
+        } catch (const std::exception& e) {
+            if (!gas::resilient::transient(e)) {
+                fail_batch(batch, e.what());
+                return;
+            }
+            if (attempt < max_attempts) {
+                std::lock_guard lk(mutex_);
+                ++stats_.retries;
+                stats_.retry_backoff_ms +=
+                    cfg_.retry.backoff_ms(attempt, batch.front()->id);
+                continue;
+            }
+            for (auto& p : batch) run_cpu_fallback(*p, /*quarantined=*/true);
+            return;
         }
-    } catch (const simt::DeviceBadAlloc&) {
-        // The arena could not host the fused batch (e.g. external pressure):
-        // degrade every rider to the host path rather than failing them.
-        for (auto& p : batch) run_cpu_fallback(*p);
-    } catch (const std::exception& e) {
-        fail_batch(batch, e.what());
     }
 }
 
@@ -473,10 +502,20 @@ void Server::execute_uniform(std::vector<PendingPtr>& batch) {
     try {
         auto view = simt::DeviceBuffer<float>::borrow(device_, lease.offset, count);
         auto dev = view.span();
+        // Expected per-row checksums come from the host copies while staging
+        // — ground truth no device fault can touch.
+        std::vector<std::uint64_t> expected;
+        if (cfg_.verify_responses) expected.reserve(total_arrays);
         std::size_t pos = 0;
         for (const auto& p : batch) {
             std::memcpy(dev.data() + pos, p->job.values.data(),
                         p->elements * sizeof(float));
+            if (cfg_.verify_responses) {
+                for (std::size_t a = 0; a < p->arrays; ++a) {
+                    expected.push_back(resilient::row_checksum(std::span<const float>(
+                        p->job.values.data() + a * n, n)));
+                }
+            }
             pos += p->elements;
         }
         const double h2d = device_.transfer_ms(bytes);
@@ -484,19 +523,47 @@ void Server::execute_uniform(std::vector<PendingPtr>& batch) {
         Options opts = batch.front()->job.opts;
         opts.validate = cfg_.validate;
         opts.collect_bucket_sizes = false;
+        opts.verify_output = false;  // the server verifies per request below
         const SortStats s = sort_uniform_batch_on_device(device_, view, slices,
                                                          total_arrays, n, opts);
+        double kernel_ms = s.modeled_kernel_ms();
 
-        pos = 0;
-        for (auto& p : batch) {
-            std::memcpy(p->job.values.data(), dev.data() + pos,
-                        p->elements * sizeof(float));
-            pos += p->elements;
+        std::vector<std::uint8_t> row_fail;
+        if (cfg_.verify_responses) {
+            row_fail.assign(total_arrays, 0);
+            const auto vc = resilient::verify_rows_on_device<float>(
+                device_, std::span<const float>(dev.data(), count), total_arrays, n,
+                opts.order, expected, row_fail);
+            kernel_ms += vc.modeled_ms;
         }
-        const double d2h = device_.transfer_ms(bytes);
+
+        // Copy back only verified requests; one with any failing row is
+        // quarantined (its host buffer still holds the original input).
+        std::vector<PendingPtr> served;
+        std::vector<PendingPtr> quarantined;
+        pos = 0;
+        std::size_t served_bytes = 0;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Pending& p = *batch[i];
+            bool bad = false;
+            for (std::size_t a = slices[i].first_array;
+                 a < slices[i].first_array + slices[i].num_arrays; ++a) {
+                bad |= !row_fail.empty() && row_fail[a] != 0;
+            }
+            if (!bad) {
+                std::memcpy(p.job.values.data(), dev.data() + pos,
+                            p.elements * sizeof(float));
+                served_bytes += p.elements * sizeof(float);
+            }
+            pos += p.elements;
+            (bad ? quarantined : served).push_back(std::move(batch[i]));
+        }
+        const double d2h = device_.transfer_ms(served_bytes);
         pool_.release(lease);
-        finish_batch(batch, h2d, d2h, s.modeled_kernel_ms(), next_batch_id_++,
-                     service_start);
+        if (!served.empty()) {
+            finish_batch(served, h2d, d2h, kernel_ms, next_batch_id_++, service_start);
+        }
+        quarantine_failed(quarantined);
     } catch (...) {
         pool_.release(lease);
         throw;
@@ -526,11 +593,21 @@ void Server::execute_ragged(std::vector<PendingPtr>& batch) {
     try {
         auto view = simt::DeviceBuffer<float>::borrow(device_, lease.offset, total_values);
         auto dev = view.span();
+        std::vector<std::uint64_t> expected;
+        if (cfg_.verify_responses) expected.reserve(total_arrays);
         std::size_t pos = 0;
         for (const auto& p : batch) {
             std::memcpy(dev.data() + pos,
                         p->job.values.data() + p->job.offsets.front(),
                         p->elements * sizeof(float));
+            if (cfg_.verify_responses) {
+                const auto& off = p->job.offsets;
+                for (std::size_t i = 1; i < off.size(); ++i) {
+                    expected.push_back(resilient::row_checksum(std::span<const float>(
+                        p->job.values.data() + off[i - 1],
+                        static_cast<std::size_t>(off[i] - off[i - 1]))));
+                }
+            }
             pos += p->elements;
         }
         const double h2d = device_.transfer_ms(bytes);
@@ -538,19 +615,47 @@ void Server::execute_ragged(std::vector<PendingPtr>& batch) {
         Options opts = batch.front()->job.opts;
         opts.validate = cfg_.validate;
         opts.collect_bucket_sizes = false;
+        opts.verify_output = false;  // the server verifies per request below
         const SortStats s =
             sort_ragged_batch_on_device(device_, view, fused_offsets, slices, opts);
+        double kernel_ms = s.modeled_kernel_ms();
 
-        pos = 0;
-        for (auto& p : batch) {
-            std::memcpy(p->job.values.data() + p->job.offsets.front(), dev.data() + pos,
-                        p->elements * sizeof(float));
-            pos += p->elements;
+        std::vector<std::uint8_t> row_fail;
+        if (cfg_.verify_responses) {
+            row_fail.assign(total_arrays, 0);
+            // The ragged device path sorts ascending regardless of
+            // opts.order (see sort_ragged_on_device); verify likewise.
+            const auto vc = resilient::verify_csr_on_device<float>(
+                device_, std::span<const float>(dev.data(), total_values), fused_offsets,
+                SortOrder::Ascending, expected, row_fail);
+            kernel_ms += vc.modeled_ms;
         }
-        const double d2h = device_.transfer_ms(bytes);
+
+        std::vector<PendingPtr> served;
+        std::vector<PendingPtr> quarantined;
+        pos = 0;
+        std::size_t served_bytes = 0;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Pending& p = *batch[i];
+            bool bad = false;
+            for (std::size_t a = slices[i].first_array;
+                 a < slices[i].first_array + slices[i].num_arrays; ++a) {
+                bad |= !row_fail.empty() && row_fail[a] != 0;
+            }
+            if (!bad) {
+                std::memcpy(p.job.values.data() + p.job.offsets.front(), dev.data() + pos,
+                            p.elements * sizeof(float));
+                served_bytes += p.elements * sizeof(float);
+            }
+            pos += p.elements;
+            (bad ? quarantined : served).push_back(std::move(batch[i]));
+        }
+        const double d2h = device_.transfer_ms(served_bytes);
         pool_.release(lease);
-        finish_batch(batch, h2d, d2h, s.modeled_kernel_ms(), next_batch_id_++,
-                     service_start);
+        if (!served.empty()) {
+            finish_batch(served, h2d, d2h, kernel_ms, next_batch_id_++, service_start);
+        }
+        quarantine_failed(quarantined);
     } catch (...) {
         pool_.release(lease);
         throw;
@@ -583,12 +688,21 @@ void Server::execute_pairs(std::vector<PendingPtr>& batch) {
         auto vals = simt::DeviceBuffer<float>::borrow(device_, val_lease.offset, count);
         auto kdev = keys.span();
         auto vdev = vals.span();
+        std::vector<std::uint64_t> expected;
+        if (cfg_.verify_responses) expected.reserve(total_arrays);
         std::size_t pos = 0;
         for (const auto& p : batch) {
             std::memcpy(kdev.data() + pos, p->job.values.data(),
                         p->elements * sizeof(float));
             std::memcpy(vdev.data() + pos, p->job.payload.data(),
                         p->elements * sizeof(float));
+            if (cfg_.verify_responses) {
+                for (std::size_t a = 0; a < p->arrays; ++a) {
+                    expected.push_back(resilient::pair_row_checksum(
+                        std::span<const float>(p->job.values.data() + a * n, n),
+                        std::span<const float>(p->job.payload.data() + a * n, n)));
+                }
+            }
             pos += p->elements;
         }
         const double h2d = device_.transfer_ms(2 * bytes);
@@ -596,22 +710,49 @@ void Server::execute_pairs(std::vector<PendingPtr>& batch) {
         Options opts = batch.front()->job.opts;
         opts.validate = cfg_.validate;
         opts.collect_bucket_sizes = false;
+        opts.verify_output = false;  // the server verifies per request below
         const SortStats s = sort_pair_batch_on_device(device_, keys, vals, slices,
                                                       total_arrays, n, opts);
+        double kernel_ms = s.modeled_kernel_ms();
 
-        pos = 0;
-        for (auto& p : batch) {
-            std::memcpy(p->job.values.data(), kdev.data() + pos,
-                        p->elements * sizeof(float));
-            std::memcpy(p->job.payload.data(), vdev.data() + pos,
-                        p->elements * sizeof(float));
-            pos += p->elements;
+        std::vector<std::uint8_t> row_fail;
+        if (cfg_.verify_responses) {
+            row_fail.assign(total_arrays, 0);
+            const auto vc = resilient::verify_pair_rows_on_device<float>(
+                device_, std::span<const float>(kdev.data(), count),
+                std::span<const float>(vdev.data(), count), total_arrays, n, opts.order,
+                expected, row_fail);
+            kernel_ms += vc.modeled_ms;
         }
-        const double d2h = device_.transfer_ms(2 * bytes);
+
+        std::vector<PendingPtr> served;
+        std::vector<PendingPtr> quarantined;
+        pos = 0;
+        std::size_t served_bytes = 0;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Pending& p = *batch[i];
+            bool bad = false;
+            for (std::size_t a = slices[i].first_array;
+                 a < slices[i].first_array + slices[i].num_arrays; ++a) {
+                bad |= !row_fail.empty() && row_fail[a] != 0;
+            }
+            if (!bad) {
+                std::memcpy(p.job.values.data(), kdev.data() + pos,
+                            p.elements * sizeof(float));
+                std::memcpy(p.job.payload.data(), vdev.data() + pos,
+                            p.elements * sizeof(float));
+                served_bytes += 2 * p.elements * sizeof(float);
+            }
+            pos += p.elements;
+            (bad ? quarantined : served).push_back(std::move(batch[i]));
+        }
+        const double d2h = device_.transfer_ms(served_bytes);
         pool_.release(key_lease);
         pool_.release(val_lease);
-        finish_batch(batch, h2d, d2h, s.modeled_kernel_ms(), next_batch_id_++,
-                     service_start);
+        if (!served.empty()) {
+            finish_batch(served, h2d, d2h, kernel_ms, next_batch_id_++, service_start);
+        }
+        quarantine_failed(quarantined);
     } catch (...) {
         pool_.release(key_lease);
         pool_.release(val_lease);
@@ -619,7 +760,18 @@ void Server::execute_pairs(std::vector<PendingPtr>& batch) {
     }
 }
 
-void Server::run_cpu_fallback(Pending& p) {
+void Server::quarantine_failed(std::vector<PendingPtr>& victims) {
+    if (victims.empty()) return;
+    {
+        std::lock_guard lk(mutex_);
+        stats_.verify_failures += victims.size();
+    }
+    // The suspect device bytes were never copied back: each victim re-sorts
+    // alone on the host from its original input.
+    for (auto& p : victims) run_cpu_fallback(*p, /*quarantined=*/true);
+}
+
+void Server::run_cpu_fallback(Pending& p, bool quarantined) {
     const auto service_start = Clock::now();
     Job& job = p.job;
     const KeyLess less{job.opts.order == SortOrder::Descending};
@@ -672,6 +824,7 @@ void Server::run_cpu_fallback(Pending& p) {
         std::lock_guard lk(mutex_);
         ++stats_.completed;
         ++stats_.cpu_fallbacks;
+        if (quarantined) ++stats_.quarantined;
         stats_.wall_service_ms += r.service_ms;
         queue_wait_digest_.record(r.queue_ms);
         wall_digest_.record(r.queue_ms + r.service_ms);

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/resilient.hpp"
 #include "serve/pool.hpp"
 #include "serve/request.hpp"
 #include "serve/stats.hpp"
@@ -57,6 +58,21 @@ struct ServerConfig {
     /// Validate every fused device batch (sortedness + permutation) before
     /// completing its requests.  Costs a host pass; meant for tests.
     bool validate = false;
+
+    /// Per-request response verification (gas::resilient): expected multiset
+    /// checksums are taken from the host copy while staging, and one verify
+    /// kernel checks sortedness + checksum per row after the device sort.  A
+    /// request with any failing row is quarantined — its response comes from
+    /// a solo host re-sort of the original input, never the suspect device
+    /// bytes.  Off by default: no extra kernel, bit-identical responses.
+    bool verify_responses = false;
+
+    /// Retry policy for transient device errors (gas::resilient::transient):
+    /// a failed fused batch is re-staged from the intact host copies and
+    /// re-executed with modeled backoff; after max_attempts the whole batch
+    /// is quarantined to the host path.  Also drives acquire-side allocation
+    /// retries (pool trim between attempts).
+    gas::resilient::RetryPolicy retry{};
 };
 
 /// Asynchronous batch-sort service over one simulated device.
@@ -75,6 +91,16 @@ struct ServerConfig {
 /// the device cannot serve (footprint above the memory budget, or a row too
 /// large for the fused kernels' shared staging) runs on the host CPU path
 /// instead of failing, and never aborts the batch it was queued with.
+///
+/// Resilience (gas::resilient): transient device errors — allocation
+/// failures, refused launches, detected corruption, failed verification —
+/// retry the fused batch per ServerConfig::retry (host copies are untouched
+/// until copy-back, so every attempt re-stages clean data); exhausted
+/// retries quarantine the batch to solo host re-sorts.  With
+/// verify_responses on, each request's rows are individually checked
+/// (sortedness + multiset checksum vs the pre-staging host data) and only
+/// failing requests are quarantined — their batchmates are served normally.
+/// ServerStats counts retries, quarantines and verification failures.
 ///
 /// Fusion preserves results: every kernel handles one array per block, so a
 /// request's sorted bytes are identical whether it rode a fused batch or a
@@ -144,7 +170,10 @@ class Server {
     void execute_uniform(std::vector<PendingPtr>& batch);
     void execute_ragged(std::vector<PendingPtr>& batch);
     void execute_pairs(std::vector<PendingPtr>& batch);
-    void run_cpu_fallback(Pending& p);
+    void run_cpu_fallback(Pending& p, bool quarantined = false);
+    /// Completes verification-failed requests as solo host re-sorts (the
+    /// suspect device bytes are never copied back).
+    void quarantine_failed(std::vector<PendingPtr>& victims);
     void fail_batch(std::vector<PendingPtr>& batch, const std::string& why);
     void finish_batch(std::vector<PendingPtr>& batch, double h2d_ms, double d2h_ms,
                       double kernel_ms, std::uint64_t batch_id,

@@ -69,6 +69,15 @@ std::string ServerStats::to_json() const {
            static_cast<unsigned long long>(fused_arrays), batch_occupancy());
     append(j, "  },\n");
     append(j, "  \"queue\": {\"depth\": %zu, \"peak\": %zu},\n", queue_depth, queue_peak);
+    append(j, "  \"resilience\": {\n");
+    append(j,
+           "    \"retries\": %llu, \"alloc_retries\": %llu, \"quarantined\": %llu, "
+           "\"verify_failures\": %llu, \"retry_backoff_ms\": %.6f\n",
+           static_cast<unsigned long long>(retries),
+           static_cast<unsigned long long>(alloc_retries),
+           static_cast<unsigned long long>(quarantined),
+           static_cast<unsigned long long>(verify_failures), retry_backoff_ms);
+    append(j, "  },\n");
     append(j, "  \"modeled\": {\n");
     append(j,
            "    \"kernel_ms\": %.6f, \"h2d_ms\": %.6f, \"d2h_ms\": %.6f, "

@@ -67,6 +67,13 @@ struct ServerStats {
     std::size_t queue_depth = 0;  ///< at the moment stats() was taken
     std::size_t queue_peak = 0;
 
+    // Resilience (gas::resilient wiring; all zero on a fault-free run).
+    std::uint64_t retries = 0;          ///< fused-batch re-attempts after transient errors
+    std::uint64_t alloc_retries = 0;    ///< pool acquisitions retried after a trim
+    std::uint64_t quarantined = 0;      ///< requests isolated to solo host re-sorts
+    std::uint64_t verify_failures = 0;  ///< requests whose response verification failed
+    double retry_backoff_ms = 0.0;      ///< modeled backoff accrued by all retries
+
     // Modeled device cost (sums over batches).
     double modeled_kernel_ms = 0.0;
     double modeled_h2d_ms = 0.0;

@@ -7,6 +7,7 @@
 #include "simt/cost_model.hpp"
 #include "simt/device_memory.hpp"
 #include "simt/device_properties.hpp"
+#include "simt/faults/injector.hpp"
 #include "simt/kernel.hpp"
 #include "simt/sanitize/finding.hpp"
 #include "simt/sanitize/options.hpp"
@@ -68,6 +69,32 @@ class Device {
     }
     void clear_sanitize_report() { sanitize_report_ = {}; }
 
+    /// Deterministic fault injection (simt::faults).  Off by default: the
+    /// injector does not exist, hooks are single null-pointer checks, and
+    /// KernelStats stay bit-identical to an uninstrumented device (asserted
+    /// by tests, like the sanitizer's off-mode guarantee).  Installing a plan
+    /// replaces any previous injector and resets its report.
+    void set_fault_plan(faults::FaultPlan plan) {
+        faults_ = std::make_unique<faults::FaultInjector>(std::move(plan));
+        memory_.set_fault_injector(faults_.get());
+    }
+    void clear_fault_plan() {
+        memory_.set_fault_injector(nullptr);
+        faults_.reset();
+    }
+    /// Current injector (null when no plan is installed).  Timeline and
+    /// other consumers poll this so plans installed later still apply.
+    [[nodiscard]] faults::FaultInjector* fault_injector() { return faults_.get(); }
+    /// Events fired/armed/suppressed since the plan was installed (an empty
+    /// report when no plan is).
+    [[nodiscard]] const faults::FaultReport& fault_report() const {
+        static const faults::FaultReport kEmpty;
+        return faults_ ? faults_->report() : kEmpty;
+    }
+    void clear_fault_report() {
+        if (faults_) faults_->clear_report();
+    }
+
     /// Sum of modeled_ms over the kernel log (one sequential stream).
     [[nodiscard]] double total_modeled_ms() const;
     /// Sum of wall_ms over the kernel log.
@@ -98,6 +125,7 @@ class Device {
     std::vector<KernelStats> kernel_log_;
     sanitize::SanitizeOptions sanitize_options_;
     sanitize::SanitizeReport sanitize_report_;
+    std::unique_ptr<faults::FaultInjector> faults_;
 };
 
 }  // namespace simt

@@ -1,5 +1,7 @@
 #include "simt/device_memory.hpp"
 
+#include "simt/faults/injector.hpp"
+
 namespace simt {
 
 DeviceMemory::DeviceMemory(std::size_t capacity_bytes, Mode mode)
@@ -17,6 +19,12 @@ std::size_t DeviceMemory::allocate(std::size_t bytes) {
     if (bytes == 0) bytes = 1;  // distinct offsets for zero-size requests
     const std::size_t rounded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
     if (rounded < bytes) throw DeviceBadAlloc(bytes, in_use_, capacity_);  // overflow
+
+    if (faults_ != nullptr && faults_->on_alloc(rounded)) {
+        // Injected transient allocation failure: indistinguishable from a
+        // genuine out-of-memory so callers exercise their real recovery path.
+        throw DeviceBadAlloc(rounded, in_use_, capacity_);
+    }
 
     for (auto it = free_.begin(); it != free_.end(); ++it) {
         if (it->second < rounded) continue;
@@ -74,6 +82,21 @@ std::size_t DeviceMemory::largest_free_range() const {
     std::size_t best = 0;
     for (const auto& [off, size] : free_) best = std::max(best, size);
     return best;
+}
+
+std::pair<std::size_t, std::size_t> DeviceMemory::largest_live_allocation() const {
+    std::pair<std::size_t, std::size_t> best{0, 0};
+    for (const auto& [off, size] : live_) {
+        if (size > best.second) best = {off, size};
+    }
+    return best;
+}
+
+std::pair<std::size_t, std::size_t> DeviceMemory::live_allocation(std::size_t index) const {
+    for (const auto& [off, size] : live_) {
+        if (index-- == 0) return {off, size};
+    }
+    return {0, 0};
 }
 
 void DeviceMemory::reset() {

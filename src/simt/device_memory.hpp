@@ -4,10 +4,15 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "simt/error.hpp"
 
 namespace simt {
+
+namespace faults {
+class FaultInjector;
+}
 
 /// First-fit allocator over the simulated device's global memory.
 ///
@@ -53,6 +58,17 @@ class DeviceMemory {
     /// Largest single allocation that could currently succeed (contiguity!).
     [[nodiscard]] std::size_t largest_free_range() const;
 
+    /// offset/size of the largest live allocation ({0,0} when none) and of
+    /// the i-th live allocation in offset order.  Used by the fault injector
+    /// to pick corruption targets deterministically.
+    [[nodiscard]] std::pair<std::size_t, std::size_t> largest_live_allocation() const;
+    [[nodiscard]] std::pair<std::size_t, std::size_t> live_allocation(std::size_t index) const;
+
+    /// Fault-injection hook (simt::faults).  Null (the default) costs one
+    /// pointer compare per allocate(); non-null lets the injector refuse
+    /// allocations per its plan.
+    void set_fault_injector(faults::FaultInjector* injector) { faults_ = injector; }
+
     /// Drops every live allocation (used between capacity-probe iterations).
     void reset();
 
@@ -64,6 +80,7 @@ class DeviceMemory {
     std::map<std::size_t, std::size_t> free_;  ///< offset -> size, coalesced.
     std::map<std::size_t, std::size_t> live_;  ///< offset -> size.
     std::unique_ptr<std::byte[]> arena_;       ///< null in Virtual mode.
+    faults::FaultInjector* faults_ = nullptr;  ///< non-owning; see Device.
 };
 
 }  // namespace simt

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -47,6 +48,42 @@ class SharedMemoryOverflow : public DeviceError {
 class LaunchError : public DeviceError {
   public:
     using DeviceError::DeviceError;
+};
+
+/// Thrown by Device::launch when an injected fault (simt::faults) refuses
+/// the launch.  The analog of a transient cudaErrorLaunchFailure: the
+/// kernel never ran, device memory is unchanged, and retrying is sound.
+class LaunchFault : public DeviceError {
+  public:
+    LaunchFault(const std::string& kernel, std::uint64_t ordinal)
+        : DeviceError("injected launch fault: kernel '" + kernel + "' (launch #" +
+                      std::to_string(ordinal) + ") refused"),
+          ordinal_(ordinal) {}
+
+    [[nodiscard]] std::uint64_t ordinal() const { return ordinal_; }
+
+  private:
+    std::uint64_t ordinal_;
+};
+
+/// Thrown by Device::launch when an injected corruption fires in detected
+/// mode: bits were flipped in global memory and the ECC/transfer machinery
+/// noticed.  Device data IS corrupted; recovery means re-staging from the
+/// host copy, not retrying in place.
+class TransferError : public DeviceError {
+  public:
+    TransferError(std::size_t offset, unsigned bits)
+        : DeviceError("detected memory corruption: " + std::to_string(bits) +
+                      " bit(s) flipped near device offset " + std::to_string(offset)),
+          offset_(offset),
+          bits_(bits) {}
+
+    [[nodiscard]] std::size_t offset() const { return offset_; }
+    [[nodiscard]] unsigned bits() const { return bits_; }
+
+  private:
+    std::size_t offset_;
+    unsigned bits_;
 };
 
 /// Thrown by Device::launch in strict sanitize mode when the launch

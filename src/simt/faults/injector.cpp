@@ -1,0 +1,122 @@
+#include "simt/faults/injector.hpp"
+
+#include <algorithm>
+
+#include "simt/device_memory.hpp"
+
+namespace simt::faults {
+
+namespace {
+
+/// splitmix64 finalizer: the per-event decision hash.
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t decision(std::uint64_t seed, FaultKind kind, std::uint64_t ordinal) {
+    return mix64(mix64(seed ^ (static_cast<std::uint64_t>(kind) + 1) * 0x517cc1b727220a95ull) ^
+                 ordinal);
+}
+
+bool scheduled(const std::vector<std::uint64_t>& at, std::uint64_t ordinal) {
+    return std::find(at.begin(), at.end(), ordinal) != at.end();
+}
+
+}  // namespace
+
+bool FaultInjector::fires(FaultKind kind, std::uint64_t ordinal) const {
+    std::uint64_t rate = 0;
+    const std::vector<std::uint64_t>* at = nullptr;
+    switch (kind) {
+        case FaultKind::AllocFail: rate = plan_.alloc_fail_every; at = &plan_.alloc_fail_at; break;
+        case FaultKind::LaunchFail: rate = plan_.launch_fail_every; at = &plan_.launch_fail_at; break;
+        case FaultKind::Corrupt: rate = plan_.corrupt_every; at = &plan_.corrupt_at; break;
+        case FaultKind::Stall: rate = plan_.stall_every; at = &plan_.stall_at; break;
+    }
+    if (rate != 0 && decision(plan_.seed, kind, ordinal) % rate == 0) return true;
+    return scheduled(*at, ordinal);
+}
+
+bool FaultInjector::on_alloc(std::size_t bytes) {
+    const std::uint64_t ordinal = ++alloc_seen_;
+    ++report_.alloc_checks;
+    if (!fires(FaultKind::AllocFail, ordinal)) return false;
+    ++report_.alloc_failures;
+    report_.events.push_back({FaultKind::AllocFail, ordinal, "allocate",
+                              std::to_string(bytes) + " B request refused"});
+    return true;
+}
+
+FaultInjector::CorruptResult FaultInjector::on_launch_corrupt(DeviceMemory& mem,
+                                                              const std::string& kernel) {
+    // The corruption stream shares the launch ordinal: "corrupt_at = {k}"
+    // flips bits at the entry of the k-th launch, i.e. after launch k-1
+    // completed and before kernel k consumes the data.
+    const std::uint64_t ordinal = launch_seen_ + 1;
+    ++report_.corrupt_checks;
+    CorruptResult r;
+    if (!fires(FaultKind::Corrupt, ordinal)) return r;
+
+    std::size_t target_off = 0;
+    std::size_t target_size = 0;
+    if (plan_.corrupt_target == CorruptTarget::Largest) {
+        std::tie(target_off, target_size) = mem.largest_live_allocation();
+    } else {
+        const std::size_t n = mem.allocation_count();
+        if (n > 0) {
+            const std::size_t pick =
+                decision(plan_.seed ^ 0xc0ffee, FaultKind::Corrupt, ordinal) % n;
+            std::tie(target_off, target_size) = mem.live_allocation(pick);
+        }
+    }
+    if (target_size == 0 || mem.mode() == DeviceMemory::Mode::Virtual) {
+        // Nothing to corrupt (or nothing dereferenceable): scheduled but
+        // not applicable — counted so chaos runs can tell "survived" from
+        // "never actually hit".
+        ++report_.suppressed;
+        return r;
+    }
+
+    const unsigned bits = std::max(plan_.corrupt_bits, 1u);
+    for (unsigned j = 0; j < bits; ++j) {
+        const std::uint64_t h =
+            decision(plan_.seed ^ (0x0b1750000ull + j), FaultKind::Corrupt, ordinal);
+        const std::size_t byte = target_off + h % target_size;
+        *mem.translate(byte) ^= static_cast<std::byte>(1u << ((h >> 32) % 8));
+        r.offset = byte;
+    }
+    r.fired = true;
+    r.detected = plan_.detected;
+    r.bits = bits;
+    ++report_.corruptions;
+    report_.events.push_back(
+        {FaultKind::Corrupt, ordinal, kernel,
+         std::to_string(bits) + " bit(s) flipped in allocation @" +
+             std::to_string(target_off) + " (" + std::to_string(target_size) + " B, " +
+             (plan_.detected ? "detected" : "silent") + ")"});
+    return r;
+}
+
+bool FaultInjector::on_launch_fail(const std::string& kernel, std::uint64_t& ordinal) {
+    ordinal = ++launch_seen_;
+    ++report_.launch_checks;
+    if (!fires(FaultKind::LaunchFail, ordinal)) return false;
+    ++report_.launch_failures;
+    report_.events.push_back({FaultKind::LaunchFail, ordinal, kernel, "launch refused"});
+    return true;
+}
+
+double FaultInjector::on_engine_op(const char* engine) {
+    const std::uint64_t ordinal = ++engine_seen_;
+    ++report_.stall_checks;
+    if (!fires(FaultKind::Stall, ordinal)) return 0.0;
+    ++report_.stalls;
+    report_.events.push_back({FaultKind::Stall, ordinal, engine,
+                              "+" + std::to_string(plan_.stall_ms) + " ms engine stall"});
+    return plan_.stall_ms;
+}
+
+}  // namespace simt::faults

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "simt/faults/plan.hpp"
+#include "simt/faults/report.hpp"
+
+namespace simt {
+
+class DeviceMemory;
+
+namespace faults {
+
+/// Deterministic fault injector, owned by a Device and consulted from its
+/// allocation / launch / timeline hooks.  Every decision is a pure function
+/// of (plan.seed, event kind, event ordinal), so a run's FaultReport is
+/// byte-identical across repeats, host worker counts, and event interleaving.
+///
+/// Hooks follow the substrate's single-caller contract (the same one
+/// Device::launch has): one thread drives the device, so counters need no
+/// synchronization.
+class FaultInjector {
+  public:
+    explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+    [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+    [[nodiscard]] const FaultReport& report() const { return report_; }
+    void clear_report() { report_ = {}; }
+
+    /// Allocation hook: true => the caller must throw DeviceBadAlloc.
+    [[nodiscard]] bool on_alloc(std::size_t bytes);
+
+    /// Launch-entry corruption hook: applies any scheduled bit flips to a
+    /// live allocation in `mem` (Virtual mode counts as suppressed).
+    struct CorruptResult {
+        bool fired = false;     ///< bits were flipped (or suppressed-fired)
+        bool detected = false;  ///< caller must raise TransferError
+        std::size_t offset = 0;
+        unsigned bits = 0;
+    };
+    CorruptResult on_launch_corrupt(DeviceMemory& mem, const std::string& kernel);
+
+    /// Launch-entry failure hook: true => the caller must throw LaunchFault.
+    /// Returns the launch ordinal via `ordinal` for the error message.
+    [[nodiscard]] bool on_launch_fail(const std::string& kernel, std::uint64_t& ordinal);
+
+    /// Timeline hook: modeled stall milliseconds to add to one engine
+    /// operation (0 when no stall fires).
+    [[nodiscard]] double on_engine_op(const char* engine);
+
+  private:
+    [[nodiscard]] bool fires(FaultKind kind, std::uint64_t ordinal) const;
+
+    FaultPlan plan_;
+    FaultReport report_;
+    std::uint64_t alloc_seen_ = 0;
+    std::uint64_t launch_seen_ = 0;
+    std::uint64_t engine_seen_ = 0;
+};
+
+}  // namespace faults
+}  // namespace simt

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace simt::faults {
+
+/// Where an injected corruption event lands.
+///  Largest — the largest live allocation.  Sort workloads keep the data
+///            buffer strictly larger than splitter/boundary scratch, so this
+///            deterministically targets the payload (the interesting case).
+///  Random  — a seed-chosen live allocation (exercises scratch corruption).
+enum class CorruptTarget : std::uint8_t { Largest, Random };
+
+/// Deterministic fault-injection plan for a simulated device.
+///
+/// Two trigger mechanisms, merged per event kind:
+///  * Bernoulli rates: `*_every = K` arms roughly one event in K, decided by
+///    hashing (seed, kind, ordinal) — reproducible for a given seed and
+///    independent of how event kinds interleave.  0 disables the kind.
+///  * Explicit schedules: 1-based ordinals that always fire ("fail the 3rd
+///    allocation", "corrupt at the 7th launch").
+///
+/// Corruption is checked at launch *entry* and models bit flips that occurred
+/// in global memory since the previous launch (ECC/transfer corruption): in
+/// `detected` mode the flip is applied and TransferError is thrown before the
+/// kernel body runs (the ECC-abort analog); in undetected mode the flip is
+/// silent and the kernel consumes corrupted data.  Because the check happens
+/// at entry, memory verified by the final kernel of a pipeline and copied out
+/// immediately afterwards cannot be corrupted unobserved.
+///
+/// A default-constructed plan injects nothing; `Device::set_fault_plan` with
+/// such a plan (or never calling it) keeps the device bit-identical to an
+/// uninstrumented one.
+struct FaultPlan {
+    std::uint64_t seed = 1;
+
+    // Bernoulli rates ("about one in K"), 0 = off.
+    std::uint64_t alloc_fail_every = 0;   ///< DeviceMemory::allocate failures
+    std::uint64_t launch_fail_every = 0;  ///< Device::launch LaunchFault
+    std::uint64_t corrupt_every = 0;      ///< global-memory bit flips
+    std::uint64_t stall_every = 0;        ///< Timeline engine stalls
+
+    // Explicit 1-based ordinals, always fire (merged with the rates).
+    std::vector<std::uint64_t> alloc_fail_at;
+    std::vector<std::uint64_t> launch_fail_at;
+    std::vector<std::uint64_t> corrupt_at;  ///< launch ordinal at whose entry to corrupt
+    std::vector<std::uint64_t> stall_at;
+
+    unsigned corrupt_bits = 1;    ///< bits flipped per corruption event
+    bool detected = true;         ///< true: raise TransferError; false: silent
+    CorruptTarget corrupt_target = CorruptTarget::Largest;
+    double stall_ms = 2.0;        ///< modeled delay added per stall event
+
+    [[nodiscard]] bool any() const {
+        return alloc_fail_every != 0 || launch_fail_every != 0 || corrupt_every != 0 ||
+               stall_every != 0 || !alloc_fail_at.empty() || !launch_fail_at.empty() ||
+               !corrupt_at.empty() || !stall_at.empty();
+    }
+};
+
+}  // namespace simt::faults

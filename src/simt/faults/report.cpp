@@ -1,0 +1,73 @@
+#include "simt/faults/report.hpp"
+
+#include <sstream>
+
+namespace simt::faults {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string describe(const FaultEvent& e) {
+    std::ostringstream os;
+    os << to_string(e.kind) << " #" << e.ordinal << " [" << e.target << "]: " << e.detail;
+    return os.str();
+}
+
+std::string to_text(const FaultReport& report) {
+    std::ostringstream os;
+    os << "fault report: " << report.fired() << " fired / " << report.armed()
+       << " decision points (alloc " << report.alloc_failures << "/" << report.alloc_checks
+       << ", launch " << report.launch_failures << "/" << report.launch_checks << ", corrupt "
+       << report.corruptions << "/" << report.corrupt_checks << ", stall " << report.stalls
+       << "/" << report.stall_checks << "), " << report.suppressed << " suppressed\n";
+    for (const FaultEvent& e : report.events) os << "  " << describe(e) << "\n";
+    return os.str();
+}
+
+std::string to_json(const FaultReport& report) {
+    std::ostringstream os;
+    os << "{\"tool\":\"simt::faults\",\"clean\":" << (report.clean() ? "true" : "false");
+    os << ",\"counts\":{\"alloc-fail\":{\"checks\":" << report.alloc_checks
+       << ",\"fired\":" << report.alloc_failures
+       << "},\"launch-fail\":{\"checks\":" << report.launch_checks
+       << ",\"fired\":" << report.launch_failures
+       << "},\"corrupt\":{\"checks\":" << report.corrupt_checks
+       << ",\"fired\":" << report.corruptions
+       << "},\"stall\":{\"checks\":" << report.stall_checks
+       << ",\"fired\":" << report.stalls << "}}";
+    os << ",\"suppressed\":" << report.suppressed;
+    os << ",\"events\":[";
+    for (std::size_t i = 0; i < report.events.size(); ++i) {
+        const FaultEvent& e = report.events[i];
+        os << (i ? "," : "") << "{\"kind\":\"" << to_string(e.kind)
+           << "\",\"ordinal\":" << e.ordinal << ",\"target\":\"" << json_escape(e.target)
+           << "\",\"detail\":\"" << json_escape(e.detail) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+}  // namespace simt::faults

@@ -51,6 +51,22 @@ KernelStats Device::launch(const LaunchConfig& cfg,
                           std::to_string(props_.max_threads_per_block));
     }
 
+    if (faults_) {
+        // Corruption models bit flips since the previous launch, so it is
+        // applied (and, in detected mode, raised) before this kernel's body
+        // consumes the data; the launch-fail check then decides whether the
+        // launch itself is refused.  Neither hook runs a block or logs stats.
+        const auto corrupt = faults_->on_launch_corrupt(memory_, cfg.name);
+        std::uint64_t launch_ordinal = 0;
+        const bool refuse = faults_->on_launch_fail(cfg.name, launch_ordinal);
+        if (corrupt.fired && corrupt.detected) {
+            throw TransferError(corrupt.offset, corrupt.bits);
+        }
+        if (refuse) {
+            throw LaunchFault(cfg.name, launch_ordinal);
+        }
+    }
+
     KernelStats stats;
     stats.name = cfg.name;
     stats.grid_dim = cfg.grid_dim;

@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "simt/device.hpp"
+
 namespace simt {
 
 void Timeline::enqueue(std::size_t stream, double& engine_ready, double& engine_busy,
-                       double ms) {
+                       double ms, const char* engine) {
     if (stream >= stream_ready_.size()) {
         throw std::out_of_range("Timeline: stream index out of range");
+    }
+    if (fault_device_ != nullptr) {
+        if (faults::FaultInjector* inj = fault_device_->fault_injector()) {
+            ms += inj->on_engine_op(engine);
+        }
     }
     const double start = std::max(stream_ready_[stream], engine_ready);
     const double end = start + ms;

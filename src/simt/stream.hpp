@@ -5,6 +5,8 @@
 
 namespace simt {
 
+class Device;
+
 /// Discrete-event timeline for modeling multi-stream overlap of transfers and
 /// kernels, as used by the out-of-core extension (paper section 9).
 ///
@@ -18,11 +20,21 @@ class Timeline {
     explicit Timeline(std::size_t num_streams)
         : stream_ready_(num_streams, 0.0) {}
 
-    void h2d(std::size_t stream, double ms) { enqueue(stream, h2d_ready_, h2d_busy_, ms); }
-    void compute(std::size_t stream, double ms) {
-        enqueue(stream, compute_ready_, compute_busy_, ms);
+    void h2d(std::size_t stream, double ms) {
+        enqueue(stream, h2d_ready_, h2d_busy_, ms, "h2d");
     }
-    void d2h(std::size_t stream, double ms) { enqueue(stream, d2h_ready_, d2h_busy_, ms); }
+    void compute(std::size_t stream, double ms) {
+        enqueue(stream, compute_ready_, compute_busy_, ms, "compute");
+    }
+    void d2h(std::size_t stream, double ms) {
+        enqueue(stream, d2h_ready_, d2h_busy_, ms, "d2h");
+    }
+
+    /// Routes engine operations through `device`'s fault injector so a plan
+    /// with stalls extends the modeled makespan.  The device is polled per
+    /// operation, so a plan installed after attachment still applies; a
+    /// device without a plan costs one null check per operation.
+    void attach_faults(Device& device) { fault_device_ = &device; }
 
     /// Modeled end-to-end time with overlap.
     [[nodiscard]] double elapsed_ms() const;
@@ -45,12 +57,14 @@ class Timeline {
     [[nodiscard]] double d2h_utilization() const { return utilization(d2h_busy_); }
 
   private:
-    void enqueue(std::size_t stream, double& engine_ready, double& engine_busy, double ms);
+    void enqueue(std::size_t stream, double& engine_ready, double& engine_busy, double ms,
+                 const char* engine);
     [[nodiscard]] double utilization(double busy) const {
         const double e = elapsed_ms();
         return e > 0.0 ? busy / e : 0.0;
     }
 
+    Device* fault_device_ = nullptr;
     std::vector<double> stream_ready_;
     double h2d_ready_ = 0.0;
     double d2h_ready_ = 0.0;

@@ -1,0 +1,171 @@
+// ooc resilience: chunk-granular retry, host fallback, stall accounting and
+// checkpoint-resume — completed chunks are never redone, a failed chunk
+// re-sorts alone.
+
+#include "ooc/out_of_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/validate.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+simt::Device make_device(std::size_t bytes = 64 << 20) {
+    return simt::Device(simt::tiny_device(bytes));
+}
+
+/// Four forced chunks of 8 arrays each, verification on, seeded retries.
+ooc::OocOptions chunked_options() {
+    ooc::OocOptions opts;
+    opts.batch_arrays = 8;
+    opts.sort_opts.verify_output = true;
+    opts.retry.seed = 21;
+    return opts;
+}
+
+workload::Dataset chunked_dataset(unsigned seed = 1) {
+    return workload::make_dataset(32, 120, workload::Distribution::Uniform, seed);
+}
+
+TEST(OocResilience, TransientChunkFaultIsRetriedInPlace) {
+    auto dev = make_device();
+    simt::faults::FaultPlan plan;
+    plan.launch_fail_at = {5};  // one mid-run launch refused, once
+    dev.set_fault_plan(plan);
+
+    auto ds = chunked_dataset();
+    const auto before = ds.values;
+    const auto stats =
+        ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size, chunked_options());
+
+    EXPECT_EQ(stats.batches, 4u);
+    EXPECT_GE(stats.chunk_retries, 1u);
+    EXPECT_EQ(stats.chunk_host_fallbacks, 0u);
+    EXPECT_GT(stats.retry_backoff_ms, 0.0);
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+    EXPECT_TRUE(gas::all_arrays_permuted(before, ds.values, ds.num_arrays, ds.array_size));
+    EXPECT_EQ(dev.fault_report().launch_failures, 1u);
+}
+
+TEST(OocResilience, ExhaustedRetriesFallBackToHostPerChunk) {
+    auto dev = make_device();
+    simt::faults::FaultPlan plan;
+    plan.launch_fail_every = 1;  // the device refuses every launch
+    dev.set_fault_plan(plan);
+
+    auto ds = chunked_dataset(2);
+    const auto before = ds.values;
+    auto opts = chunked_options();
+    opts.retry.max_attempts = 2;
+    const auto stats =
+        ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+
+    EXPECT_EQ(stats.chunk_host_fallbacks, stats.batches);
+    EXPECT_EQ(stats.chunk_retries, stats.batches * (opts.retry.max_attempts - 1));
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+    EXPECT_TRUE(gas::all_arrays_permuted(before, ds.values, ds.num_arrays, ds.array_size));
+}
+
+TEST(OocResilience, WithoutFallbackTheTypedErrorPropagates) {
+    auto dev = make_device();
+    simt::faults::FaultPlan plan;
+    plan.launch_fail_every = 1;
+    dev.set_fault_plan(plan);
+    auto ds = chunked_dataset(3);
+    auto opts = chunked_options();
+    opts.retry.max_attempts = 2;
+    opts.host_fallback = false;
+    EXPECT_THROW(
+        ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts),
+        simt::LaunchFault);
+}
+
+TEST(OocResilience, CheckpointRecordsProgressAndResumeSkipsDoneChunks) {
+    auto ds = chunked_dataset(4);
+    const auto before = ds.values;
+    auto opts = chunked_options();
+    opts.retry.max_attempts = 1;
+    opts.host_fallback = false;
+
+    // Find the total launch count of a clean run; refusing the last launch
+    // then kills the final chunk after the first three completed.
+    std::size_t total_launches = 0;
+    {
+        auto dev = make_device();
+        auto scratch = ds.values;
+        ooc::out_of_core_sort(dev, scratch, ds.num_arrays, ds.array_size, opts);
+        total_launches = dev.kernel_log().size();
+    }
+
+    ooc::OocCheckpoint ckpt;
+    {
+        auto dev = make_device();
+        simt::faults::FaultPlan plan;
+        plan.launch_fail_at = {total_launches};
+        dev.set_fault_plan(plan);
+        EXPECT_THROW(ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts,
+                                           &ckpt),
+                     simt::LaunchFault);
+    }
+    ASSERT_TRUE(ckpt.matches(ds.num_arrays, ds.array_size, opts.batch_arrays));
+    EXPECT_EQ(ckpt.done.size(), 4u);
+    EXPECT_EQ(ckpt.completed(), 3u);
+    EXPECT_FALSE(ckpt.complete());
+
+    // Resume on a healthy device: only the failed chunk is re-sorted.
+    {
+        auto dev = make_device();
+        const auto stats = ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size,
+                                                 opts, &ckpt);
+        EXPECT_EQ(stats.chunks_skipped, 3u);
+        EXPECT_EQ(stats.batches, 1u);  // only the failed chunk was executed
+    }
+    EXPECT_TRUE(ckpt.complete());
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+    EXPECT_TRUE(gas::all_arrays_permuted(before, ds.values, ds.num_arrays, ds.array_size));
+}
+
+TEST(OocResilience, MismatchedCheckpointGeometryIsReinitialized) {
+    auto dev = make_device();
+    auto ds = chunked_dataset(5);
+    ooc::OocCheckpoint stale;
+    stale.num_arrays = 999;  // some other run's record
+    stale.array_size = 7;
+    stale.batch_arrays = 3;
+    stale.done = {1, 1, 1};
+    const auto opts = chunked_options();
+    const auto stats =
+        ooc::out_of_core_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts, &stale);
+    EXPECT_EQ(stats.chunks_skipped, 0u);  // stale progress must not be trusted
+    EXPECT_TRUE(stale.matches(ds.num_arrays, ds.array_size, opts.batch_arrays));
+    EXPECT_TRUE(stale.complete());
+    EXPECT_TRUE(gas::all_arrays_sorted(ds.values, ds.num_arrays, ds.array_size));
+}
+
+TEST(OocResilience, EngineStallExtendsTheModeledMakespanOnly) {
+    auto ds = chunked_dataset(6);
+    auto stalled_data = ds.values;
+
+    auto clean_dev = make_device();
+    const auto clean = ooc::out_of_core_sort(clean_dev, ds.values, ds.num_arrays,
+                                             ds.array_size, chunked_options());
+
+    auto dev = make_device();
+    simt::faults::FaultPlan plan;
+    plan.stall_at = {1};
+    plan.stall_ms = 25.0;
+    dev.set_fault_plan(plan);
+    const auto stalled = ooc::out_of_core_sort(dev, stalled_data, ds.num_arrays, ds.array_size,
+                                               chunked_options());
+
+    EXPECT_EQ(dev.fault_report().stalls, 1u);
+    EXPECT_GT(stalled.modeled_overlap_ms, clean.modeled_overlap_ms);
+    EXPECT_EQ(stalled.chunk_retries, 0u);  // a stall delays, it does not fail
+    EXPECT_EQ(ds.values, stalled_data);    // identical bytes either way
+}
+
+}  // namespace

@@ -1,0 +1,359 @@
+// simt::faults: deterministic fault injection on the simulated device.
+//
+// Pins the contract device.hpp states: no plan installed (or a
+// default-constructed plan) costs nothing and keeps KernelStats bit-identical
+// to an uninstrumented device; an armed plan fires DeviceBadAlloc /
+// LaunchFault / TransferError / silent corruption / engine stalls at
+// deterministic, seed-reproducible points, all accounted in FaultReport.
+
+#include "simt/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "simt/error.hpp"
+#include "simt/faults/report.hpp"
+#include "simt/stream.hpp"
+
+namespace {
+
+using simt::faults::FaultPlan;
+using simt::faults::FaultReport;
+
+simt::Device make_device(std::size_t bytes = 64 << 20) {
+    return simt::Device(simt::tiny_device(bytes));
+}
+
+/// A tiny but non-trivial kernel: every thread reads and bumps one float of
+/// `data` and self-reports mixed work, so KernelStats has non-zero counters
+/// in every field the bit-identity test compares.
+simt::KernelStats touch_kernel(simt::Device& device, std::vector<float>& data,
+                               const char* name = "test.touch") {
+    const simt::LaunchConfig cfg{name, 2, 32};
+    return device.launch(cfg, [&](simt::BlockCtx& blk) {
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const std::size_t i =
+                static_cast<std::size_t>(blk.block_idx()) * blk.block_dim() + tc.tid();
+            if (i < data.size()) data[i] += 1.0f;
+            tc.ops(3 + tc.tid() % 4);  // uneven work: non-trivial imbalance
+            tc.global_coalesced(sizeof(float));
+            tc.global_random(tc.tid() % 2);
+            tc.shared(1);
+        });
+    });
+}
+
+void expect_identical(const simt::KernelStats& a, const simt::KernelStats& b) {
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.grid_dim, b.grid_dim);
+    EXPECT_EQ(a.block_dim, b.block_dim);
+    EXPECT_EQ(a.shared_bytes_per_block, b.shared_bytes_per_block);
+    EXPECT_EQ(a.totals.ops, b.totals.ops);
+    EXPECT_EQ(a.totals.shared_accesses, b.totals.shared_accesses);
+    EXPECT_EQ(a.totals.coalesced_bytes, b.totals.coalesced_bytes);
+    EXPECT_EQ(a.totals.random_accesses, b.totals.random_accesses);
+    EXPECT_EQ(a.traffic_bytes, b.traffic_bytes);
+    // Modeled quantities must be bit-identical, not approximately equal.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.compute_ms),
+              std::bit_cast<std::uint64_t>(b.compute_ms));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.memory_ms),
+              std::bit_cast<std::uint64_t>(b.memory_ms));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.modeled_ms),
+              std::bit_cast<std::uint64_t>(b.modeled_ms));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.warp_max_cycles),
+              std::bit_cast<std::uint64_t>(b.warp_max_cycles));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.warp_mean_cycles),
+              std::bit_cast<std::uint64_t>(b.warp_mean_cycles));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.imbalance),
+              std::bit_cast<std::uint64_t>(b.imbalance));
+}
+
+TEST(Faults, DefaultPlanArmsNothing) {
+    EXPECT_FALSE(FaultPlan{}.any());
+    FaultPlan armed;
+    armed.launch_fail_at = {3};
+    EXPECT_TRUE(armed.any());
+    armed = {};
+    armed.corrupt_every = 10;
+    EXPECT_TRUE(armed.any());
+}
+
+TEST(Faults, OffModeKeepsKernelStatsBitIdentical) {
+    // Three devices: uninstrumented, inert plan installed, plan installed
+    // then cleared.  Same allocations and launches everywhere; every
+    // KernelStats field must match bit for bit (the sanitizer-style
+    // zero-cost-when-off guarantee).
+    auto plain = make_device();
+    auto inert = make_device();
+    auto cleared = make_device();
+    inert.set_fault_plan(FaultPlan{});
+    FaultPlan armed;
+    armed.alloc_fail_every = 2;
+    armed.launch_fail_every = 2;
+    cleared.set_fault_plan(armed);
+    cleared.clear_fault_plan();
+
+    for (simt::Device* d : {&plain, &inert, &cleared}) {
+        (void)d->memory().allocate(4096);
+        std::vector<float> data(64, 0.0f);
+        touch_kernel(*d, data);
+        touch_kernel(*d, data);
+    }
+    ASSERT_EQ(plain.kernel_log().size(), 2u);
+    ASSERT_EQ(inert.kernel_log().size(), 2u);
+    ASSERT_EQ(cleared.kernel_log().size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        expect_identical(plain.kernel_log()[i], inert.kernel_log()[i]);
+        expect_identical(plain.kernel_log()[i], cleared.kernel_log()[i]);
+    }
+    EXPECT_TRUE(plain.fault_report().clean());
+    EXPECT_TRUE(inert.fault_report().clean());
+    EXPECT_EQ(inert.fault_report().fired(), 0u);
+}
+
+TEST(Faults, ScheduledAllocFailureFiresAtExactOrdinal) {
+    auto dev = make_device();
+    FaultPlan plan;
+    plan.alloc_fail_at = {2};
+    dev.set_fault_plan(plan);
+
+    const std::size_t first = dev.memory().allocate(1024);
+    EXPECT_THROW((void)dev.memory().allocate(1024), simt::DeviceBadAlloc);
+    // The refused allocation reserved nothing; the next one succeeds.
+    (void)dev.memory().allocate(1024);
+    dev.memory().deallocate(first);
+
+    const FaultReport& r = dev.fault_report();
+    EXPECT_EQ(r.alloc_checks, 3u);
+    EXPECT_EQ(r.alloc_failures, 1u);
+    ASSERT_EQ(r.events.size(), 1u);
+    EXPECT_EQ(r.events[0].kind, simt::faults::FaultKind::AllocFail);
+    EXPECT_EQ(r.events[0].ordinal, 2u);
+}
+
+TEST(Faults, ScheduledLaunchFaultRefusesKernelBeforeItRuns) {
+    auto dev = make_device();
+    FaultPlan plan;
+    plan.launch_fail_at = {2};
+    dev.set_fault_plan(plan);
+
+    std::vector<float> data(64, 0.0f);
+    touch_kernel(dev, data);
+    try {
+        touch_kernel(dev, data);
+        FAIL() << "second launch should have been refused";
+    } catch (const simt::LaunchFault& e) {
+        EXPECT_EQ(e.ordinal(), 2u);
+    }
+    // The refused launch neither ran its body nor logged stats.
+    EXPECT_EQ(dev.kernel_log().size(), 1u);
+    for (const float v : data) EXPECT_EQ(v, 1.0f);
+    touch_kernel(dev, data);  // ordinal 3: not scheduled, runs fine
+    EXPECT_EQ(dev.kernel_log().size(), 2u);
+    EXPECT_EQ(dev.fault_report().launch_failures, 1u);
+    EXPECT_EQ(dev.fault_report().launch_checks, 3u);
+}
+
+TEST(Faults, DetectedCorruptionFlipsBitsAndRaisesTransferError) {
+    auto dev = make_device();
+    const std::size_t off = dev.memory().allocate(1024);
+    std::memset(dev.memory().translate(off), 0, 1024);
+
+    FaultPlan plan;
+    plan.corrupt_at = {1};
+    plan.corrupt_bits = 3;
+    plan.detected = true;
+    dev.set_fault_plan(plan);
+
+    std::vector<float> data(8, 0.0f);
+    try {
+        touch_kernel(dev, data);
+        FAIL() << "corruption should have been detected at launch entry";
+    } catch (const simt::TransferError& e) {
+        EXPECT_EQ(e.bits(), 3u);
+        EXPECT_LT(e.offset(), 1024u);
+    }
+    // Exactly corrupt_bits bits flipped somewhere in the (only) allocation,
+    // and the kernel body never ran.
+    unsigned flipped = 0;
+    const std::byte* p = dev.memory().translate(off);
+    for (std::size_t i = 0; i < 1024; ++i) {
+        flipped += static_cast<unsigned>(std::popcount(static_cast<unsigned>(p[i])));
+    }
+    EXPECT_EQ(flipped, 3u);
+    EXPECT_TRUE(dev.kernel_log().empty());
+    EXPECT_EQ(dev.fault_report().corruptions, 1u);
+}
+
+TEST(Faults, UndetectedCorruptionIsSilent) {
+    auto dev = make_device();
+    const std::size_t off = dev.memory().allocate(256);
+    std::memset(dev.memory().translate(off), 0, 256);
+
+    FaultPlan plan;
+    plan.corrupt_at = {1};
+    plan.detected = false;
+    dev.set_fault_plan(plan);
+
+    std::vector<float> data(8, 0.0f);
+    EXPECT_NO_THROW(touch_kernel(dev, data));  // kernel runs on corrupted memory
+    EXPECT_EQ(dev.kernel_log().size(), 1u);
+
+    unsigned flipped = 0;
+    const std::byte* p = dev.memory().translate(off);
+    for (std::size_t i = 0; i < 256; ++i) {
+        flipped += static_cast<unsigned>(std::popcount(static_cast<unsigned>(p[i])));
+    }
+    EXPECT_EQ(flipped, 1u);  // default corrupt_bits
+    EXPECT_EQ(dev.fault_report().corruptions, 1u);
+}
+
+TEST(Faults, CorruptionTargetsLargestLiveAllocation) {
+    auto dev = make_device();
+    const std::size_t small = dev.memory().allocate(256);
+    const std::size_t big = dev.memory().allocate(4096);
+    std::memset(dev.memory().translate(small), 0, 256);
+    std::memset(dev.memory().translate(big), 0, 4096);
+
+    FaultPlan plan;
+    plan.corrupt_at = {1};
+    plan.detected = false;
+    dev.set_fault_plan(plan);
+    std::vector<float> data(8, 0.0f);
+    touch_kernel(dev, data);
+
+    unsigned in_small = 0;
+    unsigned in_big = 0;
+    for (std::size_t i = 0; i < 256; ++i) {
+        in_small += static_cast<unsigned>(
+            std::popcount(static_cast<unsigned>(dev.memory().translate(small)[i])));
+    }
+    for (std::size_t i = 0; i < 4096; ++i) {
+        in_big += static_cast<unsigned>(
+            std::popcount(static_cast<unsigned>(dev.memory().translate(big)[i])));
+    }
+    EXPECT_EQ(in_small, 0u);
+    EXPECT_EQ(in_big, 1u);
+}
+
+TEST(Faults, CorruptionSuppressedOnVirtualMemory) {
+    simt::Device dev(simt::tiny_device(64 << 20), simt::DeviceMemory::Mode::Virtual);
+    (void)dev.memory().allocate(1024);
+    FaultPlan plan;
+    plan.corrupt_at = {1};
+    dev.set_fault_plan(plan);
+    std::vector<float> data(8, 0.0f);
+    EXPECT_NO_THROW(touch_kernel(dev, data));
+    EXPECT_EQ(dev.fault_report().suppressed, 1u);
+    EXPECT_EQ(dev.fault_report().corruptions, 0u);
+    EXPECT_FALSE(dev.fault_report().clean());  // suppressed still counts
+}
+
+TEST(Faults, StallExtendsTimelineMakespan) {
+    auto clean_dev = make_device();
+    simt::Timeline clean(2);
+    clean.attach_faults(clean_dev);
+    clean.h2d(0, 1.0);
+    clean.compute(0, 2.0);
+    clean.d2h(0, 1.0);
+
+    auto dev = make_device();
+    FaultPlan plan;
+    plan.stall_at = {1};
+    plan.stall_ms = 5.0;
+    dev.set_fault_plan(plan);
+    simt::Timeline stalled(2);
+    stalled.attach_faults(dev);
+    stalled.h2d(0, 1.0);
+    stalled.compute(0, 2.0);
+    stalled.d2h(0, 1.0);
+
+    EXPECT_NEAR(stalled.elapsed_ms(), clean.elapsed_ms() + 5.0, 1e-9);
+    EXPECT_EQ(dev.fault_report().stalls, 1u);
+    EXPECT_EQ(dev.fault_report().stall_checks, 3u);
+    EXPECT_TRUE(clean_dev.fault_report().clean());
+}
+
+TEST(Faults, PlanInstalledAfterTimelineAttachStillApplies) {
+    auto dev = make_device();
+    simt::Timeline tl(1);
+    tl.attach_faults(dev);  // no plan yet
+    tl.h2d(0, 1.0);         // uninstrumented: not part of any ordinal stream
+    FaultPlan plan;
+    plan.stall_at = {1};  // first engine op the new injector sees
+    plan.stall_ms = 3.0;
+    dev.set_fault_plan(plan);
+    tl.compute(0, 1.0);
+    EXPECT_NEAR(tl.elapsed_ms(), 1.0 + 1.0 + 3.0, 1e-9);
+    EXPECT_EQ(dev.fault_report().stalls, 1u);
+}
+
+TEST(Faults, BernoulliScheduleIsSeedDeterministic) {
+    auto run = [](std::uint64_t seed) {
+        auto dev = make_device();
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.alloc_fail_every = 3;
+        dev.set_fault_plan(plan);
+        std::vector<std::uint64_t> fired;
+        for (std::uint64_t i = 1; i <= 64; ++i) {
+            try {
+                dev.memory().deallocate(dev.memory().allocate(64));
+            } catch (const simt::DeviceBadAlloc&) {
+                fired.push_back(i);
+            }
+        }
+        return std::pair{fired, simt::faults::to_json(dev.fault_report())};
+    };
+    const auto [fired_a, json_a] = run(7);
+    const auto [fired_b, json_b] = run(7);
+    EXPECT_FALSE(fired_a.empty());  // 64 draws at 1-in-3 fire w.p. ~1
+    EXPECT_EQ(fired_a, fired_b);
+    EXPECT_EQ(json_a, json_b);  // byte-identical report, same seed
+    const auto [fired_c, json_c] = run(8);
+    EXPECT_NE(fired_a, fired_c);  // a different seed reshuffles the schedule
+}
+
+TEST(Faults, ReportTextAndJsonNameEveryFiredKind) {
+    auto dev = make_device();
+    FaultPlan plan;
+    plan.alloc_fail_at = {1};
+    plan.launch_fail_at = {1};
+    dev.set_fault_plan(plan);
+    EXPECT_THROW((void)dev.memory().allocate(64), simt::DeviceBadAlloc);
+    std::vector<float> data(8, 0.0f);
+    EXPECT_THROW(touch_kernel(dev, data), simt::LaunchFault);
+
+    const FaultReport& r = dev.fault_report();
+    EXPECT_EQ(r.fired(), 2u);
+    const std::string text = simt::faults::to_text(r);
+    EXPECT_NE(text.find("alloc-fail"), std::string::npos);
+    EXPECT_NE(text.find("launch-fail"), std::string::npos);
+    const std::string json = simt::faults::to_json(r);
+    EXPECT_NE(json.find("\"alloc-fail\""), std::string::npos);
+    EXPECT_NE(json.find("\"events\""), std::string::npos);
+
+    dev.clear_fault_report();
+    EXPECT_TRUE(dev.fault_report().clean());
+    EXPECT_EQ(dev.fault_report().armed(), 0u);
+}
+
+TEST(Faults, InstallingANewPlanResetsTheReport) {
+    auto dev = make_device();
+    FaultPlan plan;
+    plan.alloc_fail_at = {1};
+    dev.set_fault_plan(plan);
+    EXPECT_THROW((void)dev.memory().allocate(64), simt::DeviceBadAlloc);
+    EXPECT_EQ(dev.fault_report().alloc_failures, 1u);
+    dev.set_fault_plan(FaultPlan{});
+    EXPECT_TRUE(dev.fault_report().clean());
+    (void)dev.memory().allocate(64);  // inert plan: nothing fires
+    EXPECT_EQ(dev.fault_report().alloc_failures, 0u);
+}
+
+}  // namespace

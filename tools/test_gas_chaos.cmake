@@ -1,0 +1,49 @@
+# Smoke test of the gas_chaos CLI: a fault-free pass over every workload,
+# a faulted run that must recover with correct bytes, seed determinism of
+# the JSON artifact, and detection of silent corruption.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(last_out "${out}" PARENT_SCOPE)
+endfunction()
+
+# Fault-free: every workload passes and no fault fires.
+run(${GAS_CHAOS} run --requests 16 --arrays 4 --size 48)
+if(NOT last_out MATCHES "5 workload\\(s\\), 0 unrecovered, 0 mismatched")
+  message(FATAL_ERROR "fault-free run not clean:\n${last_out}")
+endif()
+
+# Faulted runs must recover: allocation faults + refused launches + detected
+# corruption over every workload, still byte-correct.
+set(CHAOS_A ${WORK_DIR}/chaos_a.json)
+run(${GAS_CHAOS} run --seed 7 --alloc-fail-every 10 --launch-fail-every 15
+    --corrupt-every 20 --requests 16 --arrays 4 --size 48 --json ${CHAOS_A})
+if(NOT last_out MATCHES "0 unrecovered, 0 mismatched")
+  message(FATAL_ERROR "faulted run did not recover:\n${last_out}")
+endif()
+if(NOT EXISTS ${CHAOS_A})
+  message(FATAL_ERROR "faulted run did not write ${CHAOS_A}")
+endif()
+
+# Same seed, same plan -> identical JSON (fault schedule and recovery path
+# are deterministic).
+set(CHAOS_B ${WORK_DIR}/chaos_b.json)
+run(${GAS_CHAOS} run --seed 7 --alloc-fail-every 10 --launch-fail-every 15
+    --corrupt-every 20 --requests 16 --arrays 4 --size 48 --json ${CHAOS_B})
+file(READ ${CHAOS_A} json_a)
+file(READ ${CHAOS_B} json_b)
+if(NOT json_a STREQUAL json_b)
+  message(FATAL_ERROR "same seed produced different reports:\n${json_a}\nvs\n${json_b}")
+endif()
+
+# Silent corruption: --undetected means only output verification can catch
+# it; the resilience layer must still deliver correct bytes.
+run(${GAS_CHAOS} run --seed 3 --corrupt-every 12 --undetected
+    --requests 16 --arrays 4 --size 48)
+if(NOT last_out MATCHES "0 unrecovered, 0 mismatched")
+  message(FATAL_ERROR "silent-corruption run did not recover:\n${last_out}")
+endif()
