@@ -1,0 +1,272 @@
+// warp_fastpath — acceptance gate for the warp-vectorized interpreter fast
+// path (SIMT_EXEC=warp / Device::set_exec_mode).
+//
+// Three sections, each sorting the same dataset under both execution modes:
+//
+//   quick  — a small fig-4-shaped workload; always runs, and its warp
+//            throughput is recorded flat in the JSON so the bench-smoke
+//            ctest can diff a fresh --quick run against the committed
+//            BENCH_warp_fastpath.json baseline (>20% regression fails).
+//   fig4   — the paper's Figure-4 workload at the default bench scale
+//            (N = 2500 arrays of n = 1000 floats).  Gates: the warp path
+//            must deliver >= 3x the scalar interpreter's wall-clock
+//            throughput (elements/second), with 0 output byte mismatches
+//            and 0 KernelStats drift across every launched kernel.
+//   paper  — a paper-scale run (N = 2e5 arrays, the top of the paper's N
+//            axis) on the warp path alone, proving full scale completes
+//            inside a bench budget on the functional simulator.
+//
+//   warp_fastpath [--quick] [--skip-paper-scale] [--json PATH]
+//                 [--baseline PATH]
+//
+// Exit code 0 iff every gate that ran passed.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/gpu_array_sort.hpp"
+#include "core/validate.hpp"
+#include "simt/device.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+struct ModeRun {
+    std::vector<float> values;            ///< sorted output bytes
+    std::vector<simt::KernelStats> log;   ///< full kernel log of the run
+    double wall_s = 0.0;                  ///< host wall time of the sort only
+};
+
+ModeRun run_mode(const workload::Dataset& ds, simt::ExecMode mode) {
+    ModeRun r;
+    r.values = ds.values;  // each run sorts a fresh copy of the same bytes
+    simt::Device dev = bench::make_device();
+    dev.set_exec_mode(mode);
+    const auto t0 = std::chrono::steady_clock::now();
+    gas::gpu_array_sort(dev, std::span<float>(r.values), ds.num_arrays, ds.array_size);
+    r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    r.log.assign(dev.kernel_log().begin(), dev.kernel_log().end());
+    return r;
+}
+
+/// Number of output elements whose bit patterns differ.
+std::size_t byte_mismatches(const std::vector<float>& a, const std::vector<float>& b) {
+    if (a.size() != b.size()) return std::max(a.size(), b.size());
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::memcmp(&a[i], &b[i], sizeof(float)) != 0) ++bad;
+    }
+    return bad;
+}
+
+/// Number of kernel-log rows whose deterministic KernelStats fields differ
+/// (wall_ms is host time and legitimately differs between modes).
+std::size_t stats_drift(const std::vector<simt::KernelStats>& a,
+                        const std::vector<simt::KernelStats>& b) {
+    if (a.size() != b.size()) return std::max(a.size(), b.size());
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto& s = a[i];
+        const auto& w = b[i];
+        const bool same =
+            s.name == w.name && s.grid_dim == w.grid_dim && s.block_dim == w.block_dim &&
+            s.shared_bytes_per_block == w.shared_bytes_per_block &&
+            s.totals.ops == w.totals.ops &&
+            s.totals.shared_accesses == w.totals.shared_accesses &&
+            s.totals.coalesced_bytes == w.totals.coalesced_bytes &&
+            s.totals.random_accesses == w.totals.random_accesses &&
+            s.traffic_bytes == w.traffic_bytes && s.compute_ms == w.compute_ms &&
+            s.memory_ms == w.memory_ms && s.modeled_ms == w.modeled_ms &&
+            s.warp_max_cycles == w.warp_max_cycles &&
+            s.warp_mean_cycles == w.warp_mean_cycles && s.imbalance == w.imbalance;
+        if (!same) ++bad;
+    }
+    return bad;
+}
+
+struct Section {
+    std::size_t num_arrays = 0;
+    std::size_t array_size = 0;
+    double scalar_eps = 0.0;  ///< scalar elements/second
+    double warp_eps = 0.0;    ///< warp elements/second
+    double speedup = 0.0;
+    std::size_t mismatches = 0;
+    std::size_t drift = 0;
+};
+
+Section run_section(const char* name, std::size_t num_arrays, std::size_t array_size) {
+    const auto ds = workload::make_dataset(num_arrays, array_size,
+                                           workload::Distribution::Uniform, 4);
+    const auto scalar = run_mode(ds, simt::ExecMode::Scalar);
+    const auto warp = run_mode(ds, simt::ExecMode::Warp);
+    const double elems = static_cast<double>(num_arrays * array_size);
+    Section s;
+    s.num_arrays = num_arrays;
+    s.array_size = array_size;
+    s.scalar_eps = elems / scalar.wall_s;
+    s.warp_eps = elems / warp.wall_s;
+    s.speedup = s.warp_eps / s.scalar_eps;
+    s.mismatches = byte_mismatches(scalar.values, warp.values);
+    s.drift = stats_drift(scalar.log, warp.log);
+    std::printf("%-6s N=%-7zu n=%-5zu | scalar %8.2fs (%7.2f Me/s) | warp %8.2fs "
+                "(%7.2f Me/s) | %5.2fx | %zu byte mismatches, %zu stats drift\n",
+                name, num_arrays, array_size, elems / s.scalar_eps, s.scalar_eps / 1e6,
+                elems / s.warp_eps, s.warp_eps / 1e6, s.speedup, s.mismatches, s.drift);
+    std::fflush(stdout);
+    return s;
+}
+
+/// Pulls "\"quick_warp_elems_per_sec\": <num>" out of a committed baseline
+/// JSON; returns 0.0 when the file or field is missing.
+double baseline_quick_eps(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return 0.0;
+    std::string text(1 << 16, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+    const char* key = "\"quick_warp_elems_per_sec\":";
+    const auto pos = text.find(key);
+    if (pos == std::string::npos) return 0.0;
+    return std::strtod(text.c_str() + pos + std::strlen(key), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    bool paper_scale = true;
+    std::string json_path;
+    std::string baseline_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--skip-paper-scale") == 0) {
+            paper_scale = false;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: warp_fastpath [--quick] [--skip-paper-scale]\n"
+                         "                     [--json PATH] [--baseline PATH]\n");
+            return 2;
+        }
+    }
+    // The full run owns the committed artifact; --quick (the smoke test)
+    // writes nothing unless asked, so it can never clobber the baseline.
+    if (json_path.empty() && !quick) json_path = "BENCH_warp_fastpath.json";
+
+    std::printf("warp_fastpath: scalar reference interpreter vs SIMT_EXEC=warp fast path\n");
+    bench::rule('=');
+
+    const Section q = run_section("quick", 250, 1000);
+    bool ok = q.mismatches == 0 && q.drift == 0;
+
+    Section f4;
+    double paper_wall_s = 0.0;
+    double paper_eps = 0.0;
+    bool paper_sorted = false;
+    bool fig4_pass = true;
+    if (!quick) {
+        f4 = run_section("fig4", 2500, 1000);
+        fig4_pass = f4.speedup >= 3.0 && f4.mismatches == 0 && f4.drift == 0;
+        std::printf("gate: fig4 warp speedup %.2fx (need >= 3x), %zu mismatches, "
+                    "%zu drift ... %s\n",
+                    f4.speedup, f4.mismatches, f4.drift, fig4_pass ? "PASS" : "FAIL");
+        ok = ok && fig4_pass;
+
+        if (paper_scale) {
+            // Paper-scale demonstration: the top of the paper's N axis on the
+            // warp path.  2e8 elements — scalar would take minutes; the gate
+            // is simply "completes, and the output is genuinely sorted".
+            const std::size_t N = 200000, n = 1000;
+            std::printf("paper  N=%zu n=%zu (%.1f GB sorted in-simulator) ...\n", N, n,
+                        static_cast<double>(N * n * sizeof(float)) / 1e9);
+            std::fflush(stdout);
+            auto ds = workload::make_dataset(N, n, workload::Distribution::Uniform, 4);
+            simt::Device dev = bench::make_device();
+            dev.set_exec_mode(simt::ExecMode::Warp);
+            const auto t0 = std::chrono::steady_clock::now();
+            gas::gpu_array_sort(dev, std::span<float>(ds.values), N, n);
+            paper_wall_s =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+            paper_eps = static_cast<double>(N * n) / paper_wall_s;
+            paper_sorted =
+                gas::all_arrays_sorted(std::span<const float>(ds.values), N, n);
+            std::printf("paper  N=%zu n=%zu | warp %8.2fs (%7.2f Me/s) | sorted: %s\n", N,
+                        n, paper_wall_s, paper_eps / 1e6, paper_sorted ? "yes" : "NO");
+            ok = ok && paper_sorted;
+        }
+    }
+
+    bool baseline_pass = true;
+    if (!baseline_path.empty()) {
+        const double base = baseline_quick_eps(baseline_path);
+        if (base <= 0.0) {
+            std::printf("baseline: no quick_warp_elems_per_sec in %s — FAIL\n",
+                        baseline_path.c_str());
+            baseline_pass = false;
+        } else {
+            baseline_pass = q.warp_eps >= 0.8 * base;
+            std::printf("gate: quick warp throughput %.2f Me/s vs baseline %.2f Me/s "
+                        "(need >= 80%%) ... %s\n",
+                        q.warp_eps / 1e6, base / 1e6, baseline_pass ? "PASS" : "FAIL");
+        }
+        ok = ok && baseline_pass;
+    }
+
+    if (!json_path.empty()) {
+        if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+            const auto section = [&](const char* name, const Section& s) {
+                std::fprintf(f,
+                             "  \"%s\": {\"num_arrays\": %zu, \"array_size\": %zu, "
+                             "\"scalar_elems_per_sec\": %.1f, \"warp_elems_per_sec\": %.1f, "
+                             "\"speedup\": %.4f, \"byte_mismatches\": %zu, "
+                             "\"stats_drift\": %zu},\n",
+                             name, s.num_arrays, s.array_size, s.scalar_eps, s.warp_eps,
+                             s.speedup, s.mismatches, s.drift);
+            };
+            std::fprintf(f, "{\n  \"bench\": \"warp_fastpath\",\n");
+            section("quick", q);
+            std::fprintf(f, "  \"quick_warp_elems_per_sec\": %.1f,\n", q.warp_eps);
+            if (!quick) {
+                section("fig4", f4);
+                if (paper_scale) {
+                    std::fprintf(f,
+                                 "  \"paper_scale\": {\"num_arrays\": 200000, "
+                                 "\"array_size\": 1000, \"wall_s\": %.3f, "
+                                 "\"elems_per_sec\": %.1f, \"sorted\": %s},\n",
+                                 paper_wall_s, paper_eps, paper_sorted ? "true" : "false");
+                }
+                std::fprintf(f, "  \"gates\": {\n");
+                std::fprintf(f,
+                             "    \"fig4_speedup\": {\"value\": %.4f, \"min\": 3.0, "
+                             "\"pass\": %s},\n",
+                             f4.speedup, f4.speedup >= 3.0 ? "true" : "false");
+                std::fprintf(f,
+                             "    \"fig4_byte_mismatches\": {\"value\": %zu, \"max\": 0, "
+                             "\"pass\": %s},\n",
+                             f4.mismatches, f4.mismatches == 0 ? "true" : "false");
+                std::fprintf(f,
+                             "    \"fig4_stats_drift\": {\"value\": %zu, \"max\": 0, "
+                             "\"pass\": %s}\n",
+                             f4.drift, f4.drift == 0 ? "true" : "false");
+                std::fprintf(f, "  },\n");
+            }
+            std::fprintf(f, "  \"pass\": %s\n}\n", ok ? "true" : "false");
+            std::fclose(f);
+            std::printf("wrote %s\n", json_path.c_str());
+        } else {
+            std::printf("could not write %s\n", json_path.c_str());
+            ok = false;
+        }
+    }
+
+    return ok ? 0 : 1;
+}

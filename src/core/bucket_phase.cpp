@@ -1,6 +1,8 @@
 #include <algorithm>
+#include <array>
 
 #include "core/phases.hpp"
+#include "core/warp_bucket.hpp"
 
 namespace gas::detail {
 
@@ -32,6 +34,21 @@ void charge_scan(simt::ThreadCtx& tc, std::size_t elements, bool staged_in_share
         tc.global_coalesced(elements * elem_size);
     }
     tc.ops(elements * 3);  // compare pair + count/index bookkeeping
+}
+
+/// Warp-region twin of charge_scan: identical per-lane charges, written
+/// through the bulk helpers (all lanes scan the same `elements` when
+/// tpb == 1, the only shape the fast path takes).
+void charge_warp_scan(simt::WarpCtx& wc, std::size_t elements, bool staged_in_shared,
+                      std::size_t elem_size) {
+    if (staged_in_shared) {
+        wc.shared_uniform(elements);
+    } else {
+        for (unsigned l = wc.lane_begin(); l < wc.lane_end(); ++l) {
+            if (l % 32 == 0) wc.coalesced_lane(l, elements * elem_size);
+        }
+    }
+    wc.ops_uniform(elements * 3);
 }
 
 }  // namespace
@@ -75,7 +92,7 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
 
         // Region 1: cooperative staging.  Thread t copies elements t, t+T,
         // t+2T, ... so consecutive lanes touch consecutive addresses.
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto stage_lane = [&](simt::ThreadCtx& tc) {
             std::uint64_t copied = 0;
             for (std::size_t i = tc.tid(); i < n; i += threads) {
                 staged[i] = array[i];
@@ -95,6 +112,23 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
                 tc.shared(1);
             }
             tc.ops(copied + 2);
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) {
+            if (wc.tracked()) {
+                wc.for_lanes(stage_lane);
+                return;
+            }
+            const unsigned wb = wc.lane_begin();
+            const unsigned w = wc.width();
+            warp_stage_rows(array.data(), staged.data(), n, threads, wb, w);
+            warp_stage_rows(sp_global.data(), sh_splitters.data(), spa, threads, wb, w);
+            for (unsigned l = wb; l < wb + w; ++l) {
+                const std::uint64_t copied = strided_count(n, l, threads);
+                const std::uint64_t sp_copied = strided_count(spa, l, threads);
+                wc.coalesced_lane(l, ((use_shared ? 1 : 2) * copied + sp_copied) * sizeof(T));
+                wc.shared_lane(l, (use_shared ? copied : 0) + sp_copied);
+                wc.ops_lane(l, copied + 2);
+            }
         });
 
         if (opts.strategy == BucketingStrategy::ScanPerThread) {
@@ -103,7 +137,7 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
             // elements that fall within the pair.  The predicate is evaluated
             // unconditionally for every element, so all lanes of a warp run
             // the identical instruction stream (no branch divergence).
-            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const auto count_lane = [&](simt::ThreadCtx& tc) {
                 const unsigned j = tc.tid() / tpb;
                 const auto seg = segment_of(n, tc.tid() % tpb, tpb);
                 const T lo = sh_splitters[j];
@@ -116,17 +150,32 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
                 counts[tc.tid()] = c;
                 tc.shared(2 + 1);
                 charge_scan(tc, seg.end - seg.begin, use_shared, sizeof(T));
+            };
+            blk.for_each_warp([&](simt::WarpCtx& wc) {
+                // The element-major path needs every lane of the warp to
+                // scan the same segment: tpb == 1 (the tuned default).
+                if (wc.tracked() || tpb != 1) {
+                    wc.for_lanes(count_lane);
+                    return;
+                }
+                warp_count_buckets(staged.data(), n, sh_splitters.data(), wc.lane_begin(),
+                                   wc.width(), counts.data());
+                wc.shared_uniform(2 + 1);
+                charge_warp_scan(wc, n, use_shared, sizeof(T));
             });
         } else {
             // Extension: each thread scans a contiguous chunk and binary
             // searches the splitters per element; counts[j] accumulates via
-            // (simulated) shared atomics.
-            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            // (simulated) shared atomics.  Atomic increments make the region
+            // order-sensitive, so warp mode runs the reference lane bodies
+            // (in scalar lane order) rather than an element-major rewrite.
+            const auto zero_lane = [&](simt::ThreadCtx& tc) {
                 if (tc.tid() == 0) {
                     for (unsigned t = 0; t < threads; ++t) counts[t] = 0;
                 }
-            });
-            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            };
+            blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(zero_lane); });
+            const auto search_count_lane = [&](simt::ThreadCtx& tc) {
                 const auto seg = segment_of(n, tc.tid(), threads);
                 for (std::size_t i = seg.begin; i < seg.end; ++i) {
                     const T x = staged[i];
@@ -143,7 +192,8 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
                 while ((1ull << logp) < p) ++logp;
                 tc.shared(len * (logp + 1));
                 tc.ops(len * logp);
-            });
+            };
+            blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(search_count_lane); });
         }
 
         // Region 3: thread 0 exclusive-scans the counts into write cursors
@@ -170,7 +220,7 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
         // thread's output range is private (from the exclusive scan), so the
         // region is race-free.
         if (opts.strategy == BucketingStrategy::ScanPerThread) {
-            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const auto scatter_lane = [&](simt::ThreadCtx& tc) {
                 const unsigned j = tc.tid() / tpb;
                 const auto seg = segment_of(n, tc.tid() % tpb, tpb);
                 const T lo = sh_splitters[j];
@@ -189,12 +239,37 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
                 tc.global_random(written > 0 ? 1 : 0);
                 tc.shared(2 + 1);
                 charge_scan(tc, seg.end - seg.begin, use_shared, sizeof(T));
+            };
+            blk.for_each_warp([&](simt::WarpCtx& wc) {
+                if (wc.tracked() || tpb != 1) {
+                    wc.for_lanes(scatter_lane);
+                    return;
+                }
+                const unsigned wb = wc.lane_begin();
+                const unsigned w = wc.width();
+                // Private per-lane cursors seeded from the exclusive scan;
+                // monotone splitters give each element a unique bucket, so
+                // the element-major pass emits exactly the scalar sequence.
+                std::array<std::uint32_t, simt::kMaxWarpLanes> cur;
+                for (unsigned k = 0; k < w; ++k) cur[k] = starts[wb + k];
+                T* out = array.data();
+                const T* s = staged.data();
+                warp_scatter_buckets(s, n, sh_splitters.data(), p, wb, w, cur.data(),
+                                     [&](std::uint32_t dst, std::size_t i) { out[dst] = s[i]; });
+                for (unsigned k = 0; k < w; ++k) {
+                    const std::uint64_t written = cur[k] - starts[wb + k];
+                    wc.coalesced_lane(wb + k, written * sizeof(T));
+                    wc.random_lane(wb + k, written > 0 ? 1 : 0);
+                }
+                wc.shared_uniform(2 + 1);
+                charge_warp_scan(wc, n, use_shared, sizeof(T));
             });
         } else {
             // starts[j] from region 3 are the bucket base offsets (counts are
             // per bucket when tpb == 1); threads advance them as shared
-            // atomic cursors here.
-            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            // atomic cursors here.  Order-sensitive (atomic cursors), so warp
+            // mode replays the reference lane bodies in scalar lane order.
+            const auto search_scatter_lane = [&](simt::ThreadCtx& tc) {
                 const auto seg = segment_of(n, tc.tid(), threads);
                 for (std::size_t i = seg.begin; i < seg.end; ++i) {
                     const T x = staged[i];
@@ -211,7 +286,8 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
                 tc.shared(len * (logp + 2));
                 tc.ops(len * logp);
                 tc.global_random(len);  // scattered writes
-            });
+            };
+            blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(search_scatter_lane); });
         }
     });
 }

@@ -23,7 +23,7 @@ simt::KernelStats negate_on_device(simt::Device& device, std::span<T> data) {
     return device.launch(cfg, [&](simt::BlockCtx& blk) {
         const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTile;
         const std::size_t tile_end = std::min(tile_begin + kTile, count);
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto negate_lane = [&](simt::ThreadCtx& tc) {
             const std::size_t chunk = kTile / kThreads;
             const std::size_t begin = tile_begin + tc.tid() * chunk;
             const std::size_t end = std::min(begin + chunk, tile_end);
@@ -31,7 +31,8 @@ simt::KernelStats negate_on_device(simt::Device& device, std::span<T> data) {
             const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
             tc.global_coalesced(2 * n * sizeof(T));
             tc.ops(n);
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(negate_lane); });
     });
 }
 
@@ -52,7 +53,7 @@ std::size_t count_unsorted_on_device(simt::Device& device, std::span<const float
         auto violations = blk.shared_alloc<std::uint32_t>(threads);
         const float* row = data.data() + blk.block_idx() * array_size;
 
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto scan_lane = [&](simt::ThreadCtx& tc) {
             std::uint32_t v = 0;
             std::uint64_t seen = 0;
             for (std::size_t i = tc.tid() + 1; i < array_size; i += threads) {
@@ -63,7 +64,8 @@ std::size_t count_unsorted_on_device(simt::Device& device, std::span<const float
             tc.global_coalesced(2 * seen * sizeof(float));
             tc.ops(2 * seen);
             tc.shared(1);
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(scan_lane); });
 
         blk.single_thread([&](simt::ThreadCtx& tc) {
             std::uint32_t total = 0;

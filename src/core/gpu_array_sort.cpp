@@ -104,7 +104,7 @@ SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& dat
                                static_cast<unsigned>((num_arrays + kPack - 1) / kPack),
                                kPack};
         const auto k = device.launch(cfg, [&](simt::BlockCtx& blk) {
-            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const auto sort_lane = [&](simt::ThreadCtx& tc) {
                 const std::size_t a =
                     static_cast<std::size_t>(blk.block_idx()) * kPack + tc.tid();
                 if (a >= num_arrays) return;
@@ -112,7 +112,8 @@ SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& dat
                 const InsertionCost cost = insertion_sort(row);
                 tc.ops(cost.compares + cost.moves);
                 tc.global_random(2ull * array_size);
-            });
+            };
+            blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(sort_lane); });
         });
         stats.phase3 = to_phase_stats(k);
         stats.phase3_imbalance = k.imbalance;

@@ -11,6 +11,7 @@
 #include "core/options.hpp"
 #include "core/phases.hpp"
 #include "core/tune.hpp"
+#include "core/warp_bucket.hpp"
 #include "simt/kernel.hpp"
 
 namespace gas::detail {
@@ -128,7 +129,7 @@ inline void hybrid_phase3_block(simt::BlockCtx& blk, const simt::DevicePropertie
     // Serial classes: lane t sorts schedule row t.  Same-class rows are
     // adjacent, so each warp's lanes run the same algorithm on same-class
     // sizes instead of idling behind one oversized bucket.
-    blk.for_each_thread([&](simt::ThreadCtx& tc) {
+    const auto serial_lane = [&](simt::ThreadCtx& tc) {
         const std::size_t t = tc.tid();
         if (t >= seq_buckets) return;
         const std::uint32_t begin = sched_begin[t];
@@ -149,7 +150,8 @@ inline void hybrid_phase3_block(simt::BlockCtx& blk, const simt::DevicePropertie
         }
         tc.ops(cost.compares + cost.moves);
         tc.global_random(2 * kPlanes * k);
-    });
+    };
+    blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(serial_lane); });
 
     if (!cooperative || large.empty()) return;
 
@@ -167,7 +169,7 @@ inline void hybrid_phase3_block(simt::BlockCtx& blk, const simt::DevicePropertie
         const std::uint32_t begin = b.begin;
         const std::size_t m = bitonic_padded_size(k);
 
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {  // stage + pad
+        const auto stage_lane = [&](simt::ThreadCtx& tc) {  // stage + pad
             std::uint64_t iters = 0;
             std::uint64_t loaded = 0;
             for (std::size_t e = tc.tid(); e < m; e += lanes) {
@@ -184,11 +186,42 @@ inline void hybrid_phase3_block(simt::BlockCtx& blk, const simt::DevicePropertie
             tc.ops(2 * iters);
             tc.shared(kPlanes * iters);
             tc.global_coalesced(loaded * kPlanes * sizeof(T));
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) {
+            if (wc.tracked()) {
+                wc.for_lanes(stage_lane);
+                return;
+            }
+            const unsigned wb = wc.lane_begin();
+            const unsigned w = wc.width();
+            T* sk = staged_k.data();
+            T* sv = kPairs ? staged_v.data() : nullptr;
+            const T* kin = keys.data() + begin;
+            const T* vin = kPairs ? values.data() + begin : nullptr;
+            for (std::size_t base = wb; base < m; base += lanes) {
+                const std::size_t count = std::min<std::size_t>(w, m - base);
+                for (std::size_t e = base; e < base + count; ++e) {
+                    if (e < k) {
+                        sk[e] = kin[e];
+                        if constexpr (kPairs) sv[e] = vin[e];
+                    } else {
+                        sk[e] = high_sentinel<T>();
+                        if constexpr (kPairs) sv[e] = T{};
+                    }
+                }
+            }
+            for (unsigned l = wb; l < wb + w; ++l) {
+                const std::uint64_t iters = strided_count(m, l, lanes);
+                const std::uint64_t loaded = strided_count(k, l, lanes);
+                wc.ops_lane(l, 2 * iters);
+                wc.shared_lane(l, kPlanes * iters);
+                wc.coalesced_lane(l, loaded * kPlanes * sizeof(T));
+            }
         });
 
         bitonic_for_each_step(m, [&](std::size_t kk, std::size_t dist) {
             const auto d32 = static_cast<std::uint32_t>(dist);
-            blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const auto step_lane = [&](simt::ThreadCtx& tc) {
                 std::uint64_t pairs = 0;
                 for (std::uint32_t pr = tc.tid(); pr < m / 2; pr += lanes) {
                     const auto [i, j] = bitonic_pair(pr, d32);
@@ -219,10 +252,45 @@ inline void hybrid_phase3_block(simt::BlockCtx& blk, const simt::DevicePropertie
                 }
                 tc.ops((kPairs ? 10 : 8) * pairs);
                 tc.shared((kPairs ? 8 : 4) * pairs);
+            };
+            blk.for_each_warp([&](simt::WarpCtx& wc) {
+                if (wc.tracked()) {
+                    wc.for_lanes(step_lane);
+                    return;
+                }
+                // Lanes of one warp touch disjoint pairs, so the pr order
+                // within the warp is free; run each strided round as one
+                // contiguous sweep over raw shared storage.
+                const unsigned wb = wc.lane_begin();
+                const unsigned w = wc.width();
+                T* sk = staged_k.data();
+                [[maybe_unused]] T* sv = kPairs ? staged_v.data() : nullptr;
+                const std::size_t half = m / 2;
+                for (std::size_t base = wb; base < half; base += lanes) {
+                    const std::size_t count = std::min<std::size_t>(w, half - base);
+                    for (std::size_t e = base; e < base + count; ++e) {
+                        const auto pr = static_cast<std::uint32_t>(e);
+                        const auto [i, j] = bitonic_pair(pr, d32);
+                        const bool up = (i & kk) == 0;
+                        const T xi = sk[i];
+                        const T xj = sk[j];
+                        const bool exchange = up ? (xj < xi) : (xi < xj);
+                        if (exchange) {
+                            sk[i] = xj;
+                            sk[j] = xi;
+                            if constexpr (kPairs) std::swap(sv[i], sv[j]);
+                        }
+                    }
+                }
+                for (unsigned l = wb; l < wb + w; ++l) {
+                    const std::uint64_t pairs = strided_count(half, l, lanes);
+                    wc.ops_lane(l, (kPairs ? 10 : 8) * pairs);
+                    wc.shared_lane(l, (kPairs ? 8 : 4) * pairs);
+                }
             });
         });
 
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {  // write back, coalesced
+        const auto unstage_lane = [&](simt::ThreadCtx& tc) {  // write back, coalesced
             std::uint64_t iters = 0;
             for (std::size_t e = tc.tid(); e < k; e += lanes) {
                 keys[begin + e] = static_cast<T>(staged_k[e]);
@@ -232,6 +300,24 @@ inline void hybrid_phase3_block(simt::BlockCtx& blk, const simt::DevicePropertie
             tc.ops(iters);
             tc.shared(kPlanes * iters);
             tc.global_coalesced(iters * kPlanes * sizeof(T));
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) {
+            if (wc.tracked()) {
+                wc.for_lanes(unstage_lane);
+                return;
+            }
+            const unsigned wb = wc.lane_begin();
+            const unsigned w = wc.width();
+            warp_stage_rows(staged_k.data(), keys.data() + begin, k, lanes, wb, w);
+            if constexpr (kPairs) {
+                warp_stage_rows(staged_v.data(), values.data() + begin, k, lanes, wb, w);
+            }
+            for (unsigned l = wb; l < wb + w; ++l) {
+                const std::uint64_t iters = strided_count(k, l, lanes);
+                wc.ops_lane(l, iters);
+                wc.shared_lane(l, kPlanes * iters);
+                wc.coalesced_lane(l, iters * kPlanes * sizeof(T));
+            }
         });
     }
 }

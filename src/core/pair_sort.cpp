@@ -1,6 +1,7 @@
 #include "core/pair_sort.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <functional>
 #include <stdexcept>
@@ -11,6 +12,7 @@
 #include "core/insertion_sort.hpp"
 #include "core/phases.hpp"
 #include "core/resilient.hpp"
+#include "core/warp_bucket.hpp"
 
 namespace gas {
 
@@ -111,7 +113,7 @@ SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
         });
 
         // Stage both rows (cooperative, coalesced).
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto stage_lane = [&](simt::ThreadCtx& tc) {
             std::uint64_t copied = 0;
             for (std::size_t i = tc.tid(); i < n; i += block_threads) {
                 staged_k[i] = key_row[i];
@@ -121,11 +123,27 @@ SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
             tc.global_coalesced(2 * copied * sizeof(T));
             tc.shared(2 * copied);
             tc.ops(copied);
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) {
+            if (wc.tracked()) {
+                wc.for_lanes(stage_lane);
+                return;
+            }
+            detail::warp_stage_rows(key_row, staged_k.data(), n, block_threads,
+                                    wc.lane_begin(), wc.width());
+            detail::warp_stage_rows(val_row, staged_v.data(), n, block_threads,
+                                    wc.lane_begin(), wc.width());
+            for (unsigned l = wc.lane_begin(); l < wc.lane_end(); ++l) {
+                const std::uint64_t copied = detail::strided_count(n, l, block_threads);
+                wc.coalesced_lane(l, 2 * copied * sizeof(T));
+                wc.shared_lane(l, 2 * copied);
+                wc.ops_lane(l, copied);
+            }
         });
 
         // Phase 2 (fused): count per splitter pair, scan, write back in
         // place — keys decide the bucket, values ride along.
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto count_lane = [&](simt::ThreadCtx& tc) {
             if (tc.tid() >= p) return;
             const T lo = sh_splitters[tc.tid()];
             const T hi = sh_splitters[tc.tid() + 1];
@@ -137,6 +155,21 @@ SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
             counts[tc.tid()] = c;
             tc.shared(n + 3);
             tc.ops(n * 3);
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) {
+            if (wc.tracked()) {
+                wc.for_lanes(count_lane);
+                return;
+            }
+            const unsigned wb = wc.lane_begin();
+            if (wb >= p) return;  // fully idle warp on short arrays
+            const auto w = static_cast<unsigned>(std::min<std::size_t>(wc.lane_end(), p)) - wb;
+            detail::warp_count_buckets(staged_k.data(), n, sh_splitters.data(), wb, w,
+                                       counts.data());
+            for (unsigned k2 = 0; k2 < w; ++k2) {
+                wc.shared_lane(wb + k2, n + 3);
+                wc.ops_lane(wb + k2, n * 3);
+            }
         });
         std::uint32_t k_max = 0;
         blk.single_thread([&](simt::ThreadCtx& tc) {
@@ -162,7 +195,7 @@ SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
             tc.ops(opts.hybrid_phase3 ? 2 * p : p);
             tc.shared(2 * p);
         });
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto scatter_lane = [&](simt::ThreadCtx& tc) {
             if (tc.tid() >= p) return;
             const T lo = sh_splitters[tc.tid()];
             const T hi = sh_splitters[tc.tid() + 1];
@@ -180,6 +213,31 @@ SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
             tc.ops(n * 3);
             tc.global_coalesced(2 * written * sizeof(T));
             tc.global_random(written > 0 ? 2 : 0);  // one run start per buffer
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) {
+            if (wc.tracked()) {
+                wc.for_lanes(scatter_lane);
+                return;
+            }
+            const unsigned wb = wc.lane_begin();
+            if (wb >= p) return;
+            const auto w = static_cast<unsigned>(std::min<std::size_t>(wc.lane_end(), p)) - wb;
+            std::array<std::uint32_t, simt::kMaxWarpLanes> cur;
+            for (unsigned k2 = 0; k2 < w; ++k2) cur[k2] = starts[wb + k2];
+            const T* sk = staged_k.data();
+            const T* sv = staged_v.data();
+            detail::warp_scatter_buckets(sk, n, sh_splitters.data(), p, wb, w, cur.data(),
+                                         [&](std::uint32_t dst, std::size_t i) {
+                                             key_row[dst] = sk[i];
+                                             val_row[dst] = sv[i];
+                                         });
+            for (unsigned k2 = 0; k2 < w; ++k2) {
+                const std::uint64_t written = cur[k2] - starts[wb + k2];
+                wc.shared_lane(wb + k2, 2 * n + 2);
+                wc.ops_lane(wb + k2, n * 3);
+                wc.coalesced_lane(wb + k2, 2 * written * sizeof(T));
+                wc.random_lane(wb + k2, written > 0 ? 2 : 0);
+            }
         });
 
         // Phase 3 (fused).  Skewed blocks hand over to the hybrid sorter
@@ -195,7 +253,7 @@ SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
                 opts);
             return;
         }
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto insert_lane = [&](simt::ThreadCtx& tc) {
             if (tc.tid() >= p) return;
             const std::uint32_t begin = starts[tc.tid()];
             const std::uint32_t end =
@@ -206,7 +264,8 @@ SortStats fused_pair_sort(simt::Device& device, std::span<T> keys,
             tc.ops(cost.compares + cost.moves);
             tc.global_random(4ull * (end - begin));  // key+value load & store
             tc.shared(2);
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(insert_lane); });
     });
 
     stats.phase2 = {k.modeled_ms, k.wall_ms};

@@ -1,6 +1,7 @@
 #include "core/ragged_sort.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -9,6 +10,7 @@
 #include "core/insertion_sort.hpp"
 #include "core/phases.hpp"
 #include "core/resilient.hpp"
+#include "core/warp_bucket.hpp"
 
 namespace gas {
 
@@ -120,7 +122,7 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
         });
 
         // Stage the array (cooperative, coalesced).
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto stage_lane = [&](simt::ThreadCtx& tc) {
             std::uint64_t copied = 0;
             for (std::size_t i = tc.tid(); i < n; i += block_threads) {
                 staged[i] = array[i];
@@ -129,10 +131,24 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
             tc.global_coalesced(copied * sizeof(float));
             tc.shared(copied);
             tc.ops(copied);
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) {
+            if (wc.tracked()) {
+                wc.for_lanes(stage_lane);
+                return;
+            }
+            detail::warp_stage_rows(array, staged.data(), n, block_threads, wc.lane_begin(),
+                                    wc.width());
+            for (unsigned l = wc.lane_begin(); l < wc.lane_end(); ++l) {
+                const std::uint64_t copied = detail::strided_count(n, l, block_threads);
+                wc.coalesced_lane(l, copied * sizeof(float));
+                wc.shared_lane(l, copied);
+                wc.ops_lane(l, copied);
+            }
         });
 
         // Fused phase 2: count, scan, write back in place.
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto count_lane = [&](simt::ThreadCtx& tc) {
             if (tc.tid() >= p) return;  // idle lanes on short arrays
             const float lo = sh_splitters[tc.tid()];
             const float hi = sh_splitters[tc.tid() + 1];
@@ -144,6 +160,21 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
             counts[tc.tid()] = c;
             tc.shared(n + 3);
             tc.ops(n * 3);
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) {
+            if (wc.tracked()) {
+                wc.for_lanes(count_lane);
+                return;
+            }
+            const unsigned wb = wc.lane_begin();
+            if (wb >= p) return;  // fully idle warp on short arrays
+            const auto w = static_cast<unsigned>(std::min<std::size_t>(wc.lane_end(), p)) - wb;
+            detail::warp_count_buckets(staged.data(), n, sh_splitters.data(), wb, w,
+                                       counts.data());
+            for (unsigned k2 = 0; k2 < w; ++k2) {
+                wc.shared_lane(wb + k2, n + 3);
+                wc.ops_lane(wb + k2, n * 3);
+            }
         });
         std::uint32_t k_max = 0;
         blk.single_thread([&](simt::ThreadCtx& tc) {
@@ -169,7 +200,7 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
             tc.ops(opts.hybrid_phase3 ? 2 * p : p);
             tc.shared(2 * p);
         });
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto scatter_lane = [&](simt::ThreadCtx& tc) {
             if (tc.tid() >= p) return;
             const float lo = sh_splitters[tc.tid()];
             const float hi = sh_splitters[tc.tid() + 1];
@@ -183,6 +214,28 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
             tc.ops(n * 3);
             tc.global_coalesced(written * sizeof(float));
             tc.global_random(written > 0 ? 1 : 0);
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) {
+            if (wc.tracked()) {
+                wc.for_lanes(scatter_lane);
+                return;
+            }
+            const unsigned wb = wc.lane_begin();
+            if (wb >= p) return;
+            const auto w = static_cast<unsigned>(std::min<std::size_t>(wc.lane_end(), p)) - wb;
+            std::array<std::uint32_t, simt::kMaxWarpLanes> cur;
+            for (unsigned k2 = 0; k2 < w; ++k2) cur[k2] = starts[wb + k2];
+            const float* s = staged.data();
+            detail::warp_scatter_buckets(
+                s, n, sh_splitters.data(), p, wb, w, cur.data(),
+                [&](std::uint32_t dst, std::size_t i) { array[dst] = s[i]; });
+            for (unsigned k2 = 0; k2 < w; ++k2) {
+                const std::uint64_t written = cur[k2] - starts[wb + k2];
+                wc.shared_lane(wb + k2, n + 2);
+                wc.ops_lane(wb + k2, n * 3);
+                wc.coalesced_lane(wb + k2, written * sizeof(float));
+                wc.random_lane(wb + k2, written > 0 ? 1 : 0);
+            }
         });
 
         // Fused phase 3.  Skewed blocks hand over to the hybrid sorter
@@ -198,7 +251,7 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
                 opts);
             return;
         }
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto insert_lane = [&](simt::ThreadCtx& tc) {
             if (tc.tid() >= p) return;
             const std::uint32_t begin = starts[tc.tid()];
             const std::uint32_t end =
@@ -208,7 +261,8 @@ SortStats sort_ragged_on_device(simt::Device& device, simt::DeviceBuffer<float>&
             tc.ops(cost.compares + cost.moves);
             tc.global_random(2ull * bucket.size());
             tc.shared(2);
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(insert_lane); });
     });
 
     stats.phase2 = {k.modeled_ms, k.wall_ms};  // fused kernel reported as one phase

@@ -215,7 +215,7 @@ simt::KernelStats checksum_kernel(simt::Device& device, const char* name,
         name, static_cast<unsigned>((num_rows + kRowsPerBlock - 1) / kRowsPerBlock),
         kRowsPerBlock};
     return device.launch(cfg, [&](simt::BlockCtx& blk) {
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto checksum_lane = [&](simt::ThreadCtx& tc) {
             const std::size_t r =
                 static_cast<std::size_t>(blk.block_idx()) * kRowsPerBlock + tc.tid();
             if (r >= num_rows) return;
@@ -234,7 +234,8 @@ simt::KernelStats checksum_kernel(simt::Device& device, const char* name,
             // segment it touches — streaming bandwidth, not scattered access.
             tc.global_coalesced(keys.size_bytes() + values.size_bytes() +
                                 sizeof(std::uint64_t));
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(checksum_lane); });
     });
 }
 
@@ -256,7 +257,7 @@ VerifyCounts verify_kernel(simt::Device& device, const char* name, std::size_t n
         name, static_cast<unsigned>((num_rows + kRowsPerBlock - 1) / kRowsPerBlock),
         kRowsPerBlock};
     const simt::KernelStats k = device.launch(cfg, [&](simt::BlockCtx& blk) {
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto verify_lane = [&](simt::ThreadCtx& tc) {
             const std::size_t r =
                 static_cast<std::size_t>(blk.block_idx()) * kRowsPerBlock + tc.tid();
             if (r >= num_rows) return;
@@ -278,7 +279,8 @@ VerifyCounts verify_kernel(simt::Device& device, const char* name, std::size_t n
             // (see checksum_kernel above).
             tc.global_coalesced(keys.size_bytes() + values.size_bytes() +
                                 sizeof(std::uint64_t) + sizeof(std::uint8_t));
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(verify_lane); });
     });
     counts.modeled_ms = k.modeled_ms;
     counts.wall_ms = k.wall_ms;

@@ -70,7 +70,7 @@ simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
         // each element is fetched and stored once from DRAM (scattered
         // across lanes); the sort's shuffles then hit cache, so they cost
         // ALU/latency (ops) only.
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto sort_lane = [&](simt::ThreadCtx& tc) {
             const std::size_t j = tc.tid();
             const std::uint32_t begin = offsets[j];
             const std::uint32_t end = offsets[j + 1];
@@ -79,7 +79,8 @@ simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
             tc.ops(cost.compares + cost.moves);
             tc.global_random(2ull * bucket.size());
             tc.shared(2);
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(sort_lane); });
     });
 }
 

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/phases.hpp"
+#include "simt/kernel.hpp"
+
+namespace gas::detail {
+
+/// Element-major warp bodies shared by the bucketing kernels
+/// (gas.phase2_bucketing and the fused ragged/pair kernels).
+///
+/// The scalar interpreter runs the paper's lane-major loops: every lane
+/// re-reads the whole staged array against its own splitter pair (p * n
+/// element visits per block).  Under ExecMode::Warp these helpers flip the
+/// loop nest: one pass over the staged array per *warp*, with a tight
+/// (SIMD-friendly) inner loop across the warp's <= 32 lanes — `ceil(p/32) *
+/// n` visits instead of `p * n`.  Byte-for-byte equivalence with the scalar
+/// loops holds because
+///  * the bucket intervals (sp[j], sp[j+1]] partition the key space under
+///    monotone splitters, so at most one lane matches each element and the
+///    in-place writes land at identical positions in identical order, and
+///  * elements no bucket accepts (NaN keys fail every comparison) are
+///    re-checked against the owning pair and dropped, exactly as the
+///    per-lane predicate scan drops them.
+/// These run only with the sanitizer detached: tracked launches take the
+/// lane-major reference body so shadow lane attribution stays exact.
+
+/// Destination bucket of `x` under monotone boundaries sp[0..p]: the first
+/// j with x <= sp[j+1] (the first bucket whose hi admits the value, which
+/// is where duplicates equal to a splitter land).  The caller must confirm
+/// membership with in_bucket before writing — incomparable values (NaN)
+/// resolve to 0 here but belong to no bucket.
+template <typename T>
+[[nodiscard]] inline std::size_t bucket_index(const T* sp, std::size_t p, T x) {
+    const T* it = std::lower_bound(sp + 1, sp + p, x);
+    return static_cast<std::size_t>(it - (sp + 1));
+}
+
+/// Elements the cooperative lane-strided loop (i = lane, lane + threads,
+/// ...) assigns to global lane `lane` of an n-element array.
+[[nodiscard]] inline std::uint64_t strided_count(std::size_t n, unsigned lane,
+                                                 unsigned threads) {
+    return lane < n ? (n - lane - 1) / threads + 1 : 0;
+}
+
+/// Cooperative staging for one warp: the lane-strided copy pattern
+/// (thread t copies t, t+T, ...) touches, per round, the contiguous run
+/// [r*threads + lane_begin, r*threads + lane_end) — one bulk copy per round
+/// instead of one element per lane visit.
+template <typename T>
+inline void warp_stage_rows(const T* src, T* dst, std::size_t n, unsigned threads,
+                            unsigned lane_begin, unsigned width) {
+    for (std::size_t base = lane_begin; base < n; base += threads) {
+        const std::size_t count = std::min<std::size_t>(width, n - base);
+        std::copy(src + base, src + base + count, dst + base);
+    }
+}
+
+/// Element-major bucket counting: one pass over staged[0, n), vector
+/// compares across the warp's lanes (lane lane_begin + k owns bucket
+/// lane_begin + k).  counts_out is indexed by global lane.  The predicate
+/// is split so the hot inner loop is branchless: (lo, hi] membership for
+/// every lane, plus the first bucket's lo-inclusive fixup (disjoint terms,
+/// since x == lo fails x > lo).
+template <typename T>
+inline void warp_count_buckets(const T* staged, std::size_t n, const T* sp,
+                               unsigned lane_begin, unsigned width,
+                               std::uint32_t* counts_out) {
+    std::array<T, simt::kMaxWarpLanes> lo;
+    std::array<T, simt::kMaxWarpLanes> hi;
+    std::array<std::uint32_t, simt::kMaxWarpLanes> cnt{};
+    for (unsigned k = 0; k < width; ++k) {
+        lo[k] = sp[lane_begin + k];
+        hi[k] = sp[lane_begin + k + 1];
+    }
+    const bool first_bucket = lane_begin == 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const T x = staged[i];
+        for (unsigned k = 0; k < width; ++k) {
+            cnt[k] += static_cast<std::uint32_t>(static_cast<unsigned>(x > lo[k]) &
+                                                 static_cast<unsigned>(x <= hi[k]));
+        }
+        if (first_bucket) {
+            cnt[0] += static_cast<std::uint32_t>(static_cast<unsigned>(x == lo[0]) &
+                                                 static_cast<unsigned>(x <= hi[0]));
+        }
+    }
+    for (unsigned k = 0; k < width; ++k) counts_out[lane_begin + k] = cnt[k];
+}
+
+/// Element-major in-place scatter: one pass over staged[0, n); each
+/// element's unique destination bucket comes from one binary search, and
+/// the warp emits it through the owning lane's private cursor iff the
+/// bucket belongs to this warp.  `cursors` holds `width` pre-seeded write
+/// cursors (cursors[k] for global lane lane_begin + k); `emit(dst, i)`
+/// performs the actual store(s) for staged element i at position dst.
+template <typename T, typename EmitFn>
+inline void warp_scatter_buckets(const T* staged, std::size_t n, const T* sp, std::size_t p,
+                                 unsigned lane_begin, unsigned width, std::uint32_t* cursors,
+                                 const EmitFn& emit) {
+    const std::size_t lane_end = lane_begin + width;
+    for (std::size_t i = 0; i < n; ++i) {
+        const T x = staged[i];
+        const std::size_t j = bucket_index(sp, p, x);
+        if (j < lane_begin || j >= lane_end) continue;
+        if (!in_bucket(x, sp[j], sp[j + 1], j == 0)) continue;  // NaN: no bucket
+        emit(cursors[j - lane_begin]++, i);
+    }
+}
+
+}  // namespace gas::detail

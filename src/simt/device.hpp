@@ -37,6 +37,13 @@ class Device {
     void set_thread_order(ThreadOrder order) { thread_order_ = order; }
     [[nodiscard]] ThreadOrder thread_order() const { return thread_order_; }
 
+    /// Interpreter execution mode for subsequent launches.  Defaults from
+    /// the SIMT_EXEC environment variable (normally: Scalar, the reference
+    /// interpreter); Warp batches for_each_warp regions a lane group at a
+    /// time with bit-identical output bytes and KernelStats.
+    void set_exec_mode(ExecMode mode) { exec_mode_ = mode; }
+    [[nodiscard]] ExecMode exec_mode() const { return exec_mode_; }
+
     /// Host worker threads simulating blocks concurrently (default 1 =
     /// sequential).  Blocks of a well-formed kernel touch disjoint global
     /// data, so results are identical for any worker count; per-block costs
@@ -120,6 +127,7 @@ class Device {
     DeviceMemory memory_;
     CostModel cost_model_;
     ThreadOrder thread_order_ = ThreadOrder::Forward;
+    ExecMode exec_mode_ = exec_mode_from_env();
     unsigned host_workers_ = 1;
     std::unique_ptr<ThreadPool> pool_;
     std::vector<KernelStats> kernel_log_;

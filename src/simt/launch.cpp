@@ -84,7 +84,7 @@ KernelStats Device::launch(const LaunchConfig& cfg,
         workers_pool.reserve_slots(1);
         BlockCtx& ctx = workers_pool.block_ctx(0);
         ctx.configure(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
-                      thread_order_, /*slot=*/0);
+                      thread_order_, /*slot=*/0, exec_mode_, props_.warp_size);
         if (sanitizing) {
             ctx.enable_sanitize(sanitize_options_, cfg.name);
         } else {
@@ -103,7 +103,7 @@ KernelStats Device::launch(const LaunchConfig& cfg,
         workers_pool.run(workers, [&](unsigned w) {
             BlockCtx& ctx = workers_pool.block_ctx(w);
             ctx.configure(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
-                          thread_order_, /*slot=*/w);
+                          thread_order_, /*slot=*/w, exec_mode_, props_.warp_size);
             if (sanitizing) {
                 ctx.enable_sanitize(sanitize_options_, cfg.name);
             } else {

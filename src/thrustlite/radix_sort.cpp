@@ -77,7 +77,7 @@ void histogram_kernel(simt::Device& device, std::span<const K> keys,
         const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTileSize;
         const std::size_t tile_end = std::min(tile_begin + kTileSize, keys.size());
 
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto count_lane = [&](simt::ThreadCtx& tc) {
             for (unsigned d = 0; d < kDigits; ++d) local[d * kBlockThreads + tc.tid()] = 0;
             const std::size_t begin = tile_begin + tc.tid() * kChunk;
             const std::size_t end = std::min(begin + kChunk, tile_end);
@@ -89,7 +89,8 @@ void histogram_kernel(simt::Device& device, std::span<const K> keys,
             tc.global_coalesced(n * sizeof(K));
             tc.ops(n * 2 + kDigits);
             tc.shared(n + kDigits);
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(count_lane); });
 
         blk.single_thread([&](simt::ThreadCtx& tc) {
             for (unsigned d = 0; d < kDigits; ++d) {
@@ -114,7 +115,7 @@ void offsets_kernel(simt::Device& device, std::span<std::uint32_t> hist, unsigne
         auto bases = blk.shared_alloc<std::uint32_t>(kDigits);
         auto g_hist = blk.global_view(hist);
 
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto scan_lane = [&](simt::ThreadCtx& tc) {
             const unsigned d = tc.tid();
             std::uint32_t running = 0;
             for (unsigned b = 0; b < num_blocks; ++b) {
@@ -127,7 +128,8 @@ void offsets_kernel(simt::Device& device, std::span<std::uint32_t> hist, unsigne
             tc.global_coalesced(static_cast<std::uint64_t>(num_blocks) * 2 * sizeof(std::uint32_t));
             tc.ops(num_blocks * 2);
             tc.shared(1);
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(scan_lane); });
 
         blk.single_thread([&](simt::ThreadCtx& tc) {
             std::uint32_t running = 0;
@@ -139,7 +141,7 @@ void offsets_kernel(simt::Device& device, std::span<std::uint32_t> hist, unsigne
             tc.shared(kDigits * 2);
         });
 
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto add_base_lane = [&](simt::ThreadCtx& tc) {
             const unsigned d = tc.tid();
             for (unsigned b = 0; b < num_blocks; ++b) {
                 g_hist[static_cast<std::size_t>(d) * num_blocks + b] += bases[d];
@@ -147,7 +149,8 @@ void offsets_kernel(simt::Device& device, std::span<std::uint32_t> hist, unsigne
             tc.global_coalesced(static_cast<std::uint64_t>(num_blocks) * 2 * sizeof(std::uint32_t));
             tc.ops(num_blocks);
             tc.shared(1);
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(add_base_lane); });
     });
 }
 
@@ -200,7 +203,7 @@ void scatter_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned sh
             tc.global_random(kDigits);
         });
 
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto emit_lane = [&](simt::ThreadCtx& tc) {
             const std::size_t begin = tile_begin + tc.tid() * kChunk;
             const std::size_t end = std::min(begin + kChunk, tile_end);
             for (std::size_t i = begin; i < end; ++i) {
@@ -217,7 +220,8 @@ void scatter_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned sh
             tc.global_random(n);
             tc.ops(n * 4);
             tc.shared(n * 2);
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(emit_lane); });
     });
 }
 
@@ -235,7 +239,7 @@ void copy_back_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned 
         auto vals_out = blk.global_view(buf.vals_out);
         const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTileSize;
         const std::size_t tile_end = std::min(tile_begin + kTileSize, buf.keys_in.size());
-        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+        const auto copy_lane = [&](simt::ThreadCtx& tc) {
             const std::size_t begin = tile_begin + tc.tid() * kChunk;
             const std::size_t end = std::min(begin + kChunk, tile_end);
             for (std::size_t i = begin; i < end; ++i) {
@@ -246,7 +250,8 @@ void copy_back_kernel(simt::Device& device, const PassBuffers<K>& buf, unsigned 
             tc.global_coalesced(2 * n *
                                 (sizeof(K) + (with_values ? sizeof(std::uint32_t) : 0)));
             tc.ops(n);
-        });
+        };
+        blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(copy_lane); });
     });
 }
 

@@ -1,0 +1,263 @@
+// Execution-mode equivalence sweep: every paper kernel must be bit-identical
+// between the scalar reference interpreter and the warp-vectorized fast path
+// (SIMT_EXEC=warp) — identical output bytes AND identical KernelStats (every
+// deterministic field; only wall_ms may differ).  The sweep crosses both
+// ThreadOrders and sanitizer off/strict, so the warp fast paths' tracked
+// fallbacks and analytic counter charges are all exercised.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/gpu_array_sort.hpp"
+#include "core/pair_sort.hpp"
+#include "core/ragged_sort.hpp"
+#include "simt/device.hpp"
+#include "thrustlite/device_vector.hpp"
+#include "thrustlite/radix_sort.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+/// Compares every deterministic KernelStats field.  wall_ms is the only
+/// field allowed to differ between execution modes — it measures host time,
+/// which the fast path exists to change.
+void expect_logs_equal(const std::vector<simt::KernelStats>& scalar,
+                       const std::vector<simt::KernelStats>& warp) {
+    ASSERT_EQ(scalar.size(), warp.size());
+    for (std::size_t i = 0; i < scalar.size(); ++i) {
+        const auto& s = scalar[i];
+        const auto& w = warp[i];
+        SCOPED_TRACE("kernel #" + std::to_string(i) + ": " + s.name);
+        EXPECT_EQ(s.name, w.name);
+        EXPECT_EQ(s.grid_dim, w.grid_dim);
+        EXPECT_EQ(s.block_dim, w.block_dim);
+        EXPECT_EQ(s.shared_bytes_per_block, w.shared_bytes_per_block);
+        EXPECT_EQ(s.totals.ops, w.totals.ops);
+        EXPECT_EQ(s.totals.shared_accesses, w.totals.shared_accesses);
+        EXPECT_EQ(s.totals.coalesced_bytes, w.totals.coalesced_bytes);
+        EXPECT_EQ(s.totals.random_accesses, w.totals.random_accesses);
+        EXPECT_EQ(s.traffic_bytes, w.traffic_bytes);
+        EXPECT_EQ(s.compute_ms, w.compute_ms);
+        EXPECT_EQ(s.memory_ms, w.memory_ms);
+        EXPECT_EQ(s.modeled_ms, w.modeled_ms);
+        EXPECT_EQ(s.warp_max_cycles, w.warp_max_cycles);
+        EXPECT_EQ(s.warp_mean_cycles, w.warp_mean_cycles);
+        EXPECT_EQ(s.imbalance, w.imbalance);
+    }
+}
+
+/// Runs `fn(device)` under scalar and warp execution, for both ThreadOrders
+/// and with the sanitizer off and strict-all, asserting identical payload
+/// bytes and identical kernel logs every time.
+template <typename F>
+void exec_sweep(F fn) {
+    for (const auto order : {simt::ThreadOrder::Forward, simt::ThreadOrder::Reverse}) {
+        for (const bool sanitized : {false, true}) {
+            const auto run = [&](simt::ExecMode mode) {
+                simt::Device dev(simt::tiny_device(256 << 20));
+                dev.set_thread_order(order);
+                dev.set_exec_mode(mode);
+                if (sanitized) {
+                    auto opts = simt::sanitize::SanitizeOptions::all();
+                    opts.strict = true;  // any finding fails the launch loudly
+                    dev.set_sanitize_options(opts);
+                }
+                auto payload = fn(dev);
+                return std::pair{std::move(payload), dev.kernel_log()};
+            };
+            SCOPED_TRACE(std::string(order == simt::ThreadOrder::Forward ? "Forward"
+                                                                         : "Reverse") +
+                         (sanitized ? " sanitized" : " unsanitized"));
+            const auto scalar = run(simt::ExecMode::Scalar);
+            const auto warp = run(simt::ExecMode::Warp);
+            EXPECT_EQ(scalar.first, warp.first);
+            expect_logs_equal(scalar.second, warp.second);
+        }
+    }
+}
+
+TEST(ExecEquivalence, ArraySortFloatWithVerify) {
+    exec_sweep([](simt::Device& dev) {
+        auto ds = workload::make_dataset(16, 500);
+        gas::Options opts;
+        opts.verify_output = true;  // covers the gas.verify* streaming kernels
+        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+        return ds.values;
+    });
+}
+
+TEST(ExecEquivalence, ArraySortUint32) {
+    exec_sweep([](simt::Device& dev) {
+        auto ds = workload::make_dataset(8, 300);
+        std::vector<std::uint32_t> data(ds.values.size());
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            data[i] = static_cast<std::uint32_t>(ds.values[i] * 1e6f);
+        }
+        gas::gpu_array_sort(dev, data, ds.num_arrays, ds.array_size);
+        return data;
+    });
+}
+
+TEST(ExecEquivalence, ArraySortDescending) {
+    exec_sweep([](simt::Device& dev) {
+        auto ds = workload::make_dataset(8, 300, workload::Distribution::Normal);
+        gas::Options opts;
+        opts.order = gas::SortOrder::Descending;
+        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+        return ds.values;
+    });
+}
+
+TEST(ExecEquivalence, ArraySortBinarySearchStrategy) {
+    exec_sweep([](simt::Device& dev) {
+        auto ds = workload::make_dataset(8, 500);
+        gas::Options opts;
+        opts.strategy = gas::BucketingStrategy::BinarySearch;
+        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+        return ds.values;
+    });
+}
+
+TEST(ExecEquivalence, ArraySortThreadsPerBucket) {
+    // tpb > 1 strides each bucket over several lanes — the warp fast path
+    // must take its reference fallback and still match exactly.
+    exec_sweep([](simt::Device& dev) {
+        auto ds = workload::make_dataset(8, 500);
+        gas::Options opts;
+        opts.threads_per_bucket = 2;
+        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+        return ds.values;
+    });
+}
+
+TEST(ExecEquivalence, SmallArrayFastPath) {
+    exec_sweep([](simt::Device& dev) {
+        auto ds = workload::make_dataset(32, 8);
+        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+        return ds.values;
+    });
+}
+
+TEST(ExecEquivalence, GlobalScratchFallback) {
+    exec_sweep([](simt::Device& dev) {
+        auto ds = workload::make_dataset(2, 20000);  // 80 KB rows: > 48 KB shared
+        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size);
+        return ds.values;
+    });
+}
+
+TEST(ExecEquivalence, PairSort) {
+    exec_sweep([](simt::Device& dev) {
+        auto keys = workload::make_dataset(8, 400, workload::Distribution::Uniform, 7);
+        auto vals = workload::make_dataset(8, 400, workload::Distribution::Uniform, 8);
+        gas::gpu_pair_sort(dev, keys.values, vals.values, 8, 400);
+        auto out = keys.values;
+        out.insert(out.end(), vals.values.begin(), vals.values.end());
+        return out;
+    });
+}
+
+TEST(ExecEquivalence, RaggedSort) {
+    exec_sweep([](simt::Device& dev) {
+        auto ds = workload::make_ragged_dataset(12, 16, 512);
+        std::vector<std::uint64_t> offsets(ds.offsets.begin(), ds.offsets.end());
+        gas::gpu_ragged_sort(dev, ds.values, offsets);
+        return ds.values;
+    });
+}
+
+TEST(ExecEquivalence, RaggedPairSort) {
+    exec_sweep([](simt::Device& dev) {
+        auto ds = workload::make_ragged_dataset(10, 16, 256, workload::Distribution::Uniform, 5);
+        auto vs = ds.values;
+        std::reverse(vs.begin(), vs.end());
+        std::vector<std::uint64_t> offsets(ds.offsets.begin(), ds.offsets.end());
+        gas::gpu_ragged_pair_sort(dev, std::span<float>(ds.values), std::span<float>(vs),
+                                  offsets);
+        auto out = ds.values;
+        out.insert(out.end(), vs.begin(), vs.end());
+        return out;
+    });
+}
+
+gas::Options hybrid_forced() {
+    gas::Options opts;
+    opts.phase3_small_cutoff = 16;
+    opts.phase3_bitonic_cutoff = 64;
+    return opts;
+}
+
+TEST(ExecEquivalence, HybridSkewArraySort) {
+    exec_sweep([](simt::Device& dev) {
+        auto ds = workload::make_dataset(8, 600, workload::Distribution::ZipfHot, 3);
+        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, hybrid_forced());
+        return ds.values;
+    });
+}
+
+TEST(ExecEquivalence, HybridSkewRaggedSort) {
+    exec_sweep([](simt::Device& dev) {
+        auto ds = workload::make_ragged_dataset(10, 64, 512,
+                                                workload::Distribution::ZipfHot, 6);
+        std::vector<std::uint64_t> offsets(ds.offsets.begin(), ds.offsets.end());
+        gas::gpu_ragged_sort(dev, ds.values, offsets, hybrid_forced());
+        return ds.values;
+    });
+}
+
+TEST(ExecEquivalence, HybridSkewPairSort) {
+    exec_sweep([](simt::Device& dev) {
+        auto keys = workload::make_dataset(6, 500, workload::Distribution::ZipfHot, 7);
+        auto vals = workload::make_dataset(6, 500, workload::Distribution::Uniform, 8);
+        gas::gpu_pair_sort(dev, keys.values, vals.values, 6, 500, hybrid_forced());
+        auto out = keys.values;
+        out.insert(out.end(), vals.values.begin(), vals.values.end());
+        return out;
+    });
+}
+
+std::vector<std::uint32_t> pseudo_u32(std::size_t count, std::uint64_t seed) {
+    std::vector<std::uint32_t> v(count);
+    std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;
+    for (auto& x : v) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        x = static_cast<std::uint32_t>(state >> 32);
+    }
+    return v;
+}
+
+TEST(ExecEquivalence, RadixSortU32) {
+    for (const bool prune : {false, true}) {
+        exec_sweep([prune](simt::Device& dev) {
+            thrustlite::device_vector<std::uint32_t> keys(dev, pseudo_u32(10001, 1));
+            thrustlite::RadixOptions opts;
+            opts.prune_passes = prune;
+            thrustlite::stable_sort(dev, keys.span(), opts);
+            return keys.to_host();
+        });
+    }
+}
+
+TEST(ExecEquivalence, RadixSortByKey) {
+    exec_sweep([](simt::Device& dev) {
+        const auto host_keys = pseudo_u32(9000, 3);
+        std::vector<std::uint32_t> host_vals(host_keys.size());
+        for (std::size_t i = 0; i < host_vals.size(); ++i) {
+            host_vals[i] = static_cast<std::uint32_t>(i);
+        }
+        thrustlite::device_vector<std::uint32_t> keys(dev, host_keys);
+        thrustlite::device_vector<std::uint32_t> vals(dev, host_vals);
+        thrustlite::stable_sort_by_key(dev, keys.span(), vals.span());
+        auto out = keys.to_host();
+        const auto v = vals.to_host();
+        out.insert(out.end(), v.begin(), v.end());
+        return out;
+    });
+}
+
+}  // namespace

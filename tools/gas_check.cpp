@@ -39,6 +39,8 @@ int usage() {
                  "  --arrays N     number of arrays (default: 64)\n"
                  "  --size n       elements per array (default: 1000)\n"
                  "  --checks C     comma list of race,mem,init,bank or 'all' (default)\n"
+                 "  --exec M       interpreter execution mode: scalar|warp (default:\n"
+                 "                 the SIMT_EXEC environment variable, else scalar)\n"
                  "  --json PATH    also write the findings report as JSON\n"
                  "  --strict       abort the failing launch (SanitizeError) instead of\n"
                  "                 collecting findings\n"
@@ -51,6 +53,7 @@ struct Args {
     std::size_t arrays = 64;
     std::size_t size = 1000;
     simt::sanitize::SanitizeOptions checks = simt::sanitize::SanitizeOptions::all();
+    simt::ExecMode exec = simt::exec_mode_from_env();
     std::string json_path;
     bool demo_bugs = false;
 };
@@ -174,6 +177,14 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "gas_check: bad --checks value\n");
                 return usage();
             }
+        } else if (std::strcmp(argv[i], "--exec") == 0) {
+            const std::string mode = need_value("--exec");
+            if (mode == "scalar") args.exec = simt::ExecMode::Scalar;
+            else if (mode == "warp") args.exec = simt::ExecMode::Warp;
+            else {
+                std::fprintf(stderr, "gas_check: bad --exec value %s\n", mode.c_str());
+                return usage();
+            }
         } else if (std::strcmp(argv[i], "--json") == 0) args.json_path = need_value("--json");
         else if (std::strcmp(argv[i], "--strict") == 0) args.checks.strict = true;
         else if (std::strcmp(argv[i], "--demo-bugs") == 0) args.demo_bugs = true;
@@ -185,6 +196,7 @@ int main(int argc, char** argv) {
 
     try {
         simt::Device device(simt::tiny_device(512 << 20));
+        device.set_exec_mode(args.exec);
         if (args.demo_bugs) return run_demo_bugs(device);
 
         device.set_sanitize_options(args.checks);

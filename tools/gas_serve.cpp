@@ -12,6 +12,8 @@
 //     --streams S      pipeline depth for the overlap model (default 2)
 //     --batch B        max requests per fused batch (default 64)
 //     --deadline-ms D  attach a D ms deadline to every request
+//     --exec M         interpreter execution mode: scalar|warp (default:
+//                      the SIMT_EXEC environment variable, else scalar)
 //     --json PATH      also write the ServerStats JSON to PATH
 //
 // Exit code 0 iff every request reached a terminal state and every Ok
@@ -35,7 +37,7 @@ int usage() {
                  "usage: gas_serve run [--requests R] [--arrays N] [--size n]\n"
                  "                     [--kind uniform|ragged|pairs] [--async]\n"
                  "                     [--streams S] [--batch B] [--deadline-ms D]\n"
-                 "                     [--json PATH]\n");
+                 "                     [--exec scalar|warp] [--json PATH]\n");
     return 2;
 }
 
@@ -48,6 +50,7 @@ struct CliOptions {
     unsigned streams = 2;
     std::size_t batch = 64;
     double deadline_ms = 0.0;
+    simt::ExecMode exec = simt::exec_mode_from_env();
     std::string json;
 };
 
@@ -104,6 +107,7 @@ bool response_sorted(const gas::serve::Job& shape, const gas::serve::Response& r
 
 int cmd_run(const CliOptions& cli) {
     simt::Device device;  // full simulated K40c
+    device.set_exec_mode(cli.exec);
     gas::serve::ServerConfig cfg;
     cfg.manual_pump = !cli.async;
     cfg.queue_capacity = cli.async ? std::max<std::size_t>(cli.requests / 8, 16)
@@ -233,6 +237,16 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage();
             cli.deadline_ms = std::strtod(v, nullptr);
+        } else if (arg == "--exec") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            if (std::strcmp(v, "scalar") == 0) {
+                cli.exec = simt::ExecMode::Scalar;
+            } else if (std::strcmp(v, "warp") == 0) {
+                cli.exec = simt::ExecMode::Warp;
+            } else {
+                return usage();
+            }
         } else if (arg == "--json") {
             const char* v = next();
             if (v == nullptr) return usage();

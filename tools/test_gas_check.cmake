@@ -9,12 +9,16 @@ function(run)
   set(last_output "${out}" PARENT_SCOPE)
 endfunction()
 
-# Every paper workload must come back clean (exit 0) under all checks.
-run(${GAS_CHECK} --workload all --arrays 16 --size 500
-    --json ${WORK_DIR}/gas_check.json)
-if(NOT last_output MATCHES "no findings")
-  message(FATAL_ERROR "clean run did not report 'no findings':\n${last_output}")
-endif()
+# Every paper workload must come back clean (exit 0) under all checks, in
+# both interpreter execution modes.
+foreach(mode scalar warp)
+  run(${GAS_CHECK} --workload all --arrays 16 --size 500 --exec ${mode}
+      --json ${WORK_DIR}/gas_check.json)
+  if(NOT last_output MATCHES "no findings")
+    message(FATAL_ERROR
+            "clean ${mode} run did not report 'no findings':\n${last_output}")
+  endif()
+endforeach()
 
 if(NOT EXISTS ${WORK_DIR}/gas_check.json)
   message(FATAL_ERROR "expected JSON report missing")

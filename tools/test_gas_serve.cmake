@@ -10,13 +10,15 @@ function(run)
   set(last_out "${out}" PARENT_SCOPE)
 endfunction()
 
-run(${GAS_SERVE} run --requests 64 --arrays 4 --size 64)
-if(NOT last_out MATCHES "64 ok \\(0 cpu fallbacks\\), 0 not-ok, 0 unsorted")
-  message(FATAL_ERROR "uniform manual run not fully served:\n${last_out}")
-endif()
+foreach(mode scalar warp)
+  run(${GAS_SERVE} run --requests 64 --arrays 4 --size 64 --exec ${mode})
+  if(NOT last_out MATCHES "64 ok \\(0 cpu fallbacks\\), 0 not-ok, 0 unsorted")
+    message(FATAL_ERROR "uniform manual ${mode} run not fully served:\n${last_out}")
+  endif()
 
-run(${GAS_SERVE} run --requests 24 --kind ragged --arrays 6 --size 120)
-run(${GAS_SERVE} run --requests 24 --kind pairs --arrays 3 --size 50)
+  run(${GAS_SERVE} run --requests 24 --kind ragged --arrays 6 --size 120 --exec ${mode})
+  run(${GAS_SERVE} run --requests 24 --kind pairs --arrays 3 --size 50 --exec ${mode})
+endforeach()
 
 set(STATS ${WORK_DIR}/serve_stats.json)
 run(${GAS_SERVE} run --requests 96 --async --streams 2 --json ${STATS})
