@@ -11,6 +11,8 @@
 //   * overhead: on the fault-free path, response verification costs <= 10%
 //     extra modeled device time.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -81,10 +83,15 @@ RunResult run_requests(const std::vector<std::vector<float>>& inputs, bool verif
 int main(int argc, char** argv) {
     const bench::Args args = bench::parse(argc, argv);
     std::size_t requests = args.full ? 4000 : 1000;
+    std::size_t soak_requests = 0;  // --soak [N]: production-scale run under faults
     std::string json_path = "BENCH_chaos.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
             requests = static_cast<std::size_t>(std::stoull(argv[i + 1]));
+        } else if (std::strcmp(argv[i], "--soak") == 0) {
+            soak_requests = (i + 1 < argc && argv[i + 1][0] != '-')
+                                ? static_cast<std::size_t>(std::stoull(argv[i + 1]))
+                                : 100000;
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[i + 1];
         }
@@ -142,6 +149,58 @@ int main(int argc, char** argv) {
                 chaos.stats.retry_backoff_ms);
     bench::rule();
 
+    // Optional sustained soak: the default run stays fast (ctest-friendly);
+    // --soak keeps the same fault plan firing across >= 100k requests served
+    // in waves, each response verified against a host std::sort of its input
+    // so memory stays bounded regardless of the request count.
+    std::size_t soak_served = 0;
+    std::size_t soak_bad = 0;
+    std::uint64_t soak_faults = 0;
+    if (soak_requests > 0) {
+        std::vector<std::vector<float>> expected(inputs.size());
+        for (std::size_t r = 0; r < inputs.size(); ++r) {
+            expected[r] = inputs[r];
+            for (std::size_t a = 0; a < kArraysPerRequest; ++a) {
+                auto* row = expected[r].data() + a * kArraySize;
+                std::sort(row, row + kArraySize);
+            }
+        }
+        const std::size_t wave = 2000;
+        simt::Device soak_dev = bench::make_device();
+        soak_dev.set_fault_plan(plan);
+        gas::serve::Server soak_server(soak_dev,
+                                       server_config(wave, /*verify=*/true));
+        std::vector<gas::serve::Server::Ticket> wave_tickets;
+        wave_tickets.reserve(wave);
+        while (soak_served < soak_requests) {
+            const std::size_t batch = std::min(wave, soak_requests - soak_served);
+            wave_tickets.clear();
+            for (std::size_t r = 0; r < batch; ++r) {
+                gas::serve::Job job;
+                job.kind = gas::serve::JobKind::Uniform;
+                job.num_arrays = kArraysPerRequest;
+                job.array_size = kArraySize;
+                job.values = inputs[(soak_served + r) % inputs.size()];
+                wave_tickets.push_back(soak_server.submit(std::move(job)));
+            }
+            soak_server.pump();
+            for (std::size_t r = 0; r < batch; ++r) {
+                auto resp = wave_tickets[r].result.get();
+                if (!resp.ok() ||
+                    resp.values != expected[(soak_served + r) % inputs.size()]) {
+                    ++soak_bad;
+                }
+            }
+            soak_served += batch;
+        }
+        soak_faults = soak_dev.fault_report().fired();
+        std::printf("soak: %zu requests in waves of %zu under the same plan, "
+                    "%llu fault(s) fired, %zu bad\n",
+                    soak_served, wave, static_cast<unsigned long long>(soak_faults),
+                    soak_bad);
+        bench::rule();
+    }
+
     const double overhead =
         clean.stats.modeled_kernel_ms > 0.0
             ? verified.stats.modeled_kernel_ms / clean.stats.modeled_kernel_ms - 1.0
@@ -149,12 +208,17 @@ int main(int argc, char** argv) {
     const bool termination_pass = chaos.not_ok == 0 && clean.not_ok == 0;
     const bool integrity_pass = mismatches == 0;
     const bool overhead_pass = overhead <= 0.10;
+    const bool soak_pass = soak_requests == 0 || (soak_served >= soak_requests && soak_bad == 0);
     std::printf("gate: unrecovered requests %zu of %zu (need 0) .......... %s\n",
                 chaos.not_ok, requests, termination_pass ? "PASS" : "FAIL");
     std::printf("gate: bytes vs fault-free run, %zu mismatch(es) (need 0)  %s\n", mismatches,
                 integrity_pass ? "PASS" : "FAIL");
     std::printf("gate: fault-free verification overhead %.2f%% (<= 10%%) .. %s\n",
                 overhead * 100.0, overhead_pass ? "PASS" : "FAIL");
+    if (soak_requests > 0) {
+        std::printf("gate: soak %zu served, %zu bad (need >= %zu, 0 bad) ... %s\n",
+                    soak_served, soak_bad, soak_requests, soak_pass ? "PASS" : "FAIL");
+    }
 
     if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
         std::fprintf(f, "{\n  \"bench\": \"chaos_recovery\",\n");
@@ -195,8 +259,14 @@ int main(int argc, char** argv) {
                      mismatches, integrity_pass ? "true" : "false");
         std::fprintf(f,
                      "    \"verify_overhead\": {\"fraction\": %.6f, \"max\": 0.10, "
-                     "\"pass\": %s}\n",
+                     "\"pass\": %s},\n",
                      overhead, overhead_pass ? "true" : "false");
+        std::fprintf(f,
+                     "    \"soak\": {\"served\": %zu, \"bad\": %zu, \"faults_fired\": "
+                     "%llu, \"ran\": %s, \"pass\": %s}\n",
+                     soak_served, soak_bad,
+                     static_cast<unsigned long long>(soak_faults),
+                     soak_requests > 0 ? "true" : "false", soak_pass ? "true" : "false");
         std::fprintf(f, "  }\n}\n");
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
@@ -226,5 +296,6 @@ int main(int argc, char** argv) {
         for (auto& t : ts) t.result.get();
     });
 
-    return (termination_pass && integrity_pass && overhead_pass && inert) ? 0 : 1;
+    return (termination_pass && integrity_pass && overhead_pass && soak_pass && inert) ? 0
+                                                                                       : 1;
 }

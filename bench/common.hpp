@@ -30,6 +30,7 @@ struct Args {
     bool full = false;      ///< run the paper-scale grid
     double scale = 1.0;     ///< extra multiplier on the N grid (power users)
     std::string csv;        ///< optional CSV output path for the series
+    std::string exec;       ///< "" (auto), "scalar" or "warp" from --exec
 };
 
 inline Args parse(int argc, char** argv) {
@@ -41,15 +42,36 @@ inline Args parse(int argc, char** argv) {
             args.scale = std::stod(argv[++i]);
         } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
             args.csv = argv[++i];
+        } else if (std::strcmp(argv[i], "--exec") == 0 && i + 1 < argc) {
+            args.exec = argv[++i];
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: %s [--full] [--scale F] [--csv PATH]\n", argv[0]);
+            std::printf("usage: %s [--full] [--scale F] [--csv PATH] [--exec MODE]\n",
+                        argv[0]);
             std::printf("  --full    paper-scale N grid (very slow functional simulation)\n");
             std::printf("  --scale F multiply the default N grid by F\n");
             std::printf("  --csv P   also write the series as CSV to P\n");
+            std::printf("  --exec M  interpreter: scalar | warp (default: scalar;\n");
+            std::printf("            --full defaults to warp so paper scale is tractable)\n");
             std::exit(0);
         }
     }
     return args;
+}
+
+/// Execution mode the figure benches should run under.  The default grid is
+/// pinned to the scalar reference interpreter (the committed figures were
+/// produced with it, and both modes are bit-identical anyway — see the `warp`
+/// ctest label); --full flips the default to the warp fast path because the
+/// paper-scale grid is hours of simulation on the scalar interpreter.  An
+/// explicit --exec always wins.
+inline simt::ExecMode exec_mode_for(const Args& args) {
+    if (args.exec == "warp") return simt::ExecMode::Warp;
+    if (args.exec == "scalar") return simt::ExecMode::Scalar;
+    if (!args.exec.empty()) {
+        std::fprintf(stderr, "unknown --exec '%s' (want scalar|warp)\n", args.exec.c_str());
+        std::exit(2);
+    }
+    return args.full ? simt::ExecMode::Warp : simt::ExecMode::Scalar;
 }
 
 /// Writes rows of comma-separated values with a header line; silently does

@@ -18,6 +18,7 @@ namespace bench {
 inline int run_runtime_figure(const char* figure, std::size_t array_size, int argc,
                               char** argv) {
     const Args args = parse(argc, argv);
+    const simt::ExecMode exec = exec_mode_for(args);
     const auto grid = n_arrays_grid(args);
     Series gas_series{"GPU-ArraySort (modeled ms)", 'o', {}, {}};
     Series sta_series{"STA / Thrust tagged (modeled ms)", 'x', {}, {}};
@@ -28,6 +29,9 @@ inline int run_runtime_figure(const char* figure, std::size_t array_size, int ar
                 args.full ? "paper-scale" : "scaled (1/40 of paper)",
                 args.full ? "" : "  [pass --full for paper scale]");
     std::printf("modeled ms = analytic Tesla K40c time (the paper's y-axis)\n");
+    std::printf("interpreter: %s (bit-identical modes; scalar is the pinned reference, "
+                "--full defaults to warp)\n",
+                exec == simt::ExecMode::Warp ? "warp fast path" : "scalar");
     rule('=');
     std::printf("%10s | %16s %16s | %12s | %14s %14s\n", "N arrays", "GPU-AS modeled",
                 "STA modeled", "STA/GPU-AS", "GPU-AS wall", "STA wall");
@@ -42,6 +46,7 @@ inline int run_runtime_figure(const char* figure, std::size_t array_size, int ar
         double gas_wall = 0.0;
         {
             simt::Device dev = bench::make_device();
+            dev.set_exec_mode(exec);
             simt::DeviceBuffer<float> data(dev, ds.values.size());
             simt::copy_to_device(std::span<const float>(ds.values), data);
             const auto s = gas::sort_arrays_on_device(dev, data, num_arrays, array_size);
@@ -53,6 +58,7 @@ inline int run_runtime_figure(const char* figure, std::size_t array_size, int ar
         double sta_wall = 0.0;
         {
             simt::Device dev = bench::make_device();
+            dev.set_exec_mode(exec);
             simt::DeviceBuffer<float> data(dev, ds.values.size());
             simt::copy_to_device(std::span<const float>(ds.values), data);
             // Paper-faithful STA: Thrust's radix sort always runs all 8

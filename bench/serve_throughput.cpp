@@ -11,6 +11,7 @@
 //   * zero bit mismatches between every served response and a direct
 //     gas::gpu_array_sort of the same request.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -38,10 +39,15 @@ gas::serve::ServerConfig bench_config(std::size_t requests) {
 int main(int argc, char** argv) {
     const bench::Args args = bench::parse(argc, argv);
     std::size_t requests = args.full ? 4000 : 1000;
+    std::size_t soak_requests = 0;  // --soak [N]: production-scale sustained run
     std::string json_path = "BENCH_serve.json";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
             requests = static_cast<std::size_t>(std::stoull(argv[i + 1]));
+        } else if (std::strcmp(argv[i], "--soak") == 0) {
+            soak_requests = (i + 1 < argc && argv[i + 1][0] != '-')
+                                ? static_cast<std::size_t>(std::stoull(argv[i + 1]))
+                                : 100000;
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[i + 1];
         }
@@ -112,12 +118,66 @@ int main(int argc, char** argv) {
                 stats.modeled_ms.p50, stats.modeled_ms.p95, stats.modeled_ms.p99);
     bench::rule();
 
+    // Optional sustained soak: the default run stays fast (ctest-friendly);
+    // --soak pushes >= 100k requests through the threaded server in waves,
+    // each response verified against a host std::sort of its input.
+    std::size_t soak_served = 0;
+    std::size_t soak_bad = 0;
+    if (soak_requests > 0) {
+        std::vector<std::vector<float>> expected(inputs.size());
+        for (std::size_t r = 0; r < inputs.size(); ++r) {
+            expected[r] = inputs[r];
+            for (std::size_t a = 0; a < arrays_per_request; ++a) {
+                auto* row = expected[r].data() + a * n;
+                std::sort(row, row + n);
+            }
+        }
+        const std::size_t wave = 2000;
+        simt::Device soak_dev = bench::make_device();
+        gas::serve::ServerConfig cfg = bench_config(wave);
+        cfg.manual_pump = false;  // the real scheduler thread carries the soak
+        gas::serve::Server soak_server(soak_dev, cfg);
+        std::vector<gas::serve::Server::Ticket> wave_tickets;
+        wave_tickets.reserve(wave);
+        while (soak_served < soak_requests) {
+            const std::size_t batch = std::min(wave, soak_requests - soak_served);
+            wave_tickets.clear();
+            for (std::size_t r = 0; r < batch; ++r) {
+                gas::serve::Job job;
+                job.kind = gas::serve::JobKind::Uniform;
+                job.num_arrays = arrays_per_request;
+                job.array_size = n;
+                job.values = inputs[(soak_served + r) % inputs.size()];
+                wave_tickets.push_back(soak_server.submit(std::move(job)));
+            }
+            soak_server.drain();
+            for (std::size_t r = 0; r < batch; ++r) {
+                auto resp = wave_tickets[r].result.get();
+                if (!resp.ok() ||
+                    resp.values != expected[(soak_served + r) % inputs.size()]) {
+                    ++soak_bad;
+                }
+            }
+            soak_served += batch;
+        }
+        soak_server.stop();
+        std::printf("soak: %zu requests in waves of %zu, %zu bad, %.1f ms modeled makespan\n",
+                    soak_served, wave, soak_bad,
+                    soak_server.stats().modeled_overlap_ms);
+        bench::rule();
+    }
+
     const bool speedup_pass = requests >= 1000 && speedup >= 2.0;
     const bool identity_pass = mismatches == 0;
+    const bool soak_pass = soak_requests == 0 || (soak_served >= soak_requests && soak_bad == 0);
     std::printf("gate: micro-batching throughput speedup %.2fx (need >= 2x) %s\n", speedup,
                 speedup_pass ? "PASS" : "FAIL");
     std::printf("gate: served-vs-direct bit mismatches %zu (need 0) ........ %s\n",
                 mismatches, identity_pass ? "PASS" : "FAIL");
+    if (soak_requests > 0) {
+        std::printf("gate: soak %zu served, %zu bad (need >= %zu, 0 bad) ... %s\n",
+                    soak_served, soak_bad, soak_requests, soak_pass ? "PASS" : "FAIL");
+    }
 
     if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
         std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
@@ -144,8 +204,13 @@ int main(int argc, char** argv) {
                      speedup, speedup_pass ? "true" : "false");
         std::fprintf(f,
                      "    \"bit_identity_mismatches\": {\"value\": %zu, \"max\": 0, "
-                     "\"pass\": %s}\n",
+                     "\"pass\": %s},\n",
                      mismatches, identity_pass ? "true" : "false");
+        std::fprintf(f,
+                     "    \"soak\": {\"served\": %zu, \"bad\": %zu, \"ran\": %s, "
+                     "\"pass\": %s}\n",
+                     soak_served, soak_bad, soak_requests > 0 ? "true" : "false",
+                     soak_pass ? "true" : "false");
         std::fprintf(f, "  }\n}\n");
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
@@ -172,5 +237,5 @@ int main(int argc, char** argv) {
         srv.pump();
         for (auto& t : ts) t.result.get();
     });
-    return (speedup_pass && identity_pass && inert) ? 0 : 1;
+    return (speedup_pass && identity_pass && soak_pass && inert) ? 0 : 1;
 }

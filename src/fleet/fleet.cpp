@@ -1,0 +1,48 @@
+#include "fleet/fleet.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gas::fleet {
+
+DeviceFleet::DeviceFleet(std::size_t count, simt::DeviceProperties props,
+                         simt::DeviceMemory::Mode mode, unsigned host_workers) {
+    if (count == 0) throw std::invalid_argument("fleet::DeviceFleet: 0 devices");
+    owned_.reserve(count);
+    devices_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        owned_.push_back(std::make_unique<simt::Device>(props, mode, host_workers));
+        devices_.push_back(owned_.back().get());
+    }
+}
+
+DeviceFleet::DeviceFleet(std::vector<simt::DeviceProperties> props,
+                         simt::DeviceMemory::Mode mode, unsigned host_workers) {
+    if (props.empty()) throw std::invalid_argument("fleet::DeviceFleet: 0 devices");
+    owned_.reserve(props.size());
+    devices_.reserve(props.size());
+    for (auto& p : props) {
+        owned_.push_back(std::make_unique<simt::Device>(std::move(p), mode, host_workers));
+        devices_.push_back(owned_.back().get());
+    }
+}
+
+DeviceFleet::DeviceFleet(simt::Device& device) { devices_.push_back(&device); }
+
+DeviceFleet::DeviceFleet(std::vector<simt::Device*> devices)
+    : devices_(std::move(devices)) {
+    if (devices_.empty()) throw std::invalid_argument("fleet::DeviceFleet: 0 devices");
+    for (simt::Device* d : devices_) {
+        if (d == nullptr) throw std::invalid_argument("fleet::DeviceFleet: null device");
+    }
+}
+
+void DeviceFleet::set_exec_mode(simt::ExecMode mode) {
+    for (simt::Device* d : devices_) d->set_exec_mode(mode);
+}
+
+void DeviceFleet::set_host_workers(unsigned workers) {
+    for (simt::Device* d : devices_) d->set_host_workers(workers);
+}
+
+}  // namespace gas::fleet

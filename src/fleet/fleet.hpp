@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "simt/device_properties.hpp"
+
+namespace gas::fleet {
+
+/// A fleet of simulated SIMT devices — the unit the multi-device serving
+/// layer schedules over.
+///
+/// The fleet owns device *instances*; per-device serving state (queue,
+/// BufferPool, Timeline set, scheduler thread) belongs to the server shard
+/// driving each device, preserving the substrate's single-caller launch
+/// contract: exactly one scheduler thread touches one device.
+///
+/// Devices may be heterogeneous — each can carry its own DeviceProperties
+/// (memory capacity, SM count, bandwidth), and routing eligibility accounts
+/// for per-device budgets.  Two ownership modes:
+///  * constructing from properties creates and owns the devices;
+///  * constructing from Device references borrows externally owned devices
+///    (how the classic single-device Server wraps its Device& argument —
+///    the N=1 degenerate fleet).
+class DeviceFleet {
+  public:
+    /// Owns `count` homogeneous devices.
+    explicit DeviceFleet(std::size_t count,
+                         simt::DeviceProperties props = simt::tesla_k40c(),
+                         simt::DeviceMemory::Mode mode = simt::DeviceMemory::Mode::Backed,
+                         unsigned host_workers = 1);
+
+    /// Owns one device per property set (heterogeneous fleet).
+    explicit DeviceFleet(std::vector<simt::DeviceProperties> props,
+                         simt::DeviceMemory::Mode mode = simt::DeviceMemory::Mode::Backed,
+                         unsigned host_workers = 1);
+
+    /// Borrows one externally owned device (the N=1 degenerate fleet).
+    explicit DeviceFleet(simt::Device& device);
+
+    /// Borrows externally owned devices; pointers must be non-null and
+    /// outlive the fleet.
+    explicit DeviceFleet(std::vector<simt::Device*> devices);
+
+    DeviceFleet(const DeviceFleet&) = delete;
+    DeviceFleet& operator=(const DeviceFleet&) = delete;
+
+    [[nodiscard]] std::size_t size() const { return devices_.size(); }
+    [[nodiscard]] simt::Device& device(std::size_t i) { return *devices_.at(i); }
+    [[nodiscard]] const simt::Device& device(std::size_t i) const {
+        return *devices_.at(i);
+    }
+
+    /// Convenience broadcasts (benches/CLI): apply to every device.
+    void set_exec_mode(simt::ExecMode mode);
+    void set_host_workers(unsigned workers);
+
+  private:
+    std::vector<std::unique_ptr<simt::Device>> owned_;
+    std::vector<simt::Device*> devices_;
+};
+
+}  // namespace gas::fleet

@@ -13,6 +13,7 @@ std::size_t BufferPool::class_bytes(std::size_t bytes) {
 BufferPool::Lease BufferPool::acquire(std::size_t bytes) {
     const std::size_t size = class_bytes(bytes);
     const auto cls = static_cast<std::size_t>(std::countr_zero(size));
+    std::lock_guard lk(mutex_);
     ++stats_.acquires;
     Lease lease;
     lease.bytes = size;
@@ -34,6 +35,7 @@ BufferPool::Lease BufferPool::acquire(std::size_t bytes) {
 void BufferPool::release(const Lease& lease) {
     if (lease.bytes == 0) return;
     const auto cls = static_cast<std::size_t>(std::countr_zero(lease.bytes));
+    std::lock_guard lk(mutex_);
     free_[cls].push_back(lease.offset);
     ++stats_.releases;
     stats_.bytes_cached += lease.bytes;
@@ -41,6 +43,7 @@ void BufferPool::release(const Lease& lease) {
 }
 
 void BufferPool::trim() {
+    std::lock_guard lk(mutex_);
     for (auto& list : free_) {
         for (std::size_t offset : list) memory_->deallocate(offset);
         list.clear();

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "simt/device_memory.hpp"
@@ -19,8 +20,11 @@ namespace gas::serve {
 /// vector pop.  Ranges go back to the device allocator only on trim() or
 /// destruction.
 ///
-/// Not thread-safe by design: only the server's scheduler thread allocates,
-/// matching Device::launch's own single-caller contract.
+/// Thread-safe: one shard's scheduler thread does the acquiring, but trim()
+/// (retry-path defragmentation) and stats() can arrive from other threads —
+/// a stats() snapshot while a fleet peer quarantines, say — so every method
+/// serializes on an internal mutex.  The underlying DeviceMemory is only
+/// ever called with that mutex held, preserving its single-caller contract.
 class BufferPool {
   public:
     /// A leased device range.  `bytes` is the rounded class size the lease
@@ -61,13 +65,17 @@ class BufferPool {
     /// Hands every idle cached range back to the device allocator.
     void trim();
 
-    [[nodiscard]] const Stats& stats() const { return stats_; }
+    [[nodiscard]] Stats stats() const {
+        std::lock_guard lk(mutex_);
+        return stats_;
+    }
 
     /// The class size acquire(bytes) would lease (pow2, >= kAlignment).
     [[nodiscard]] static std::size_t class_bytes(std::size_t bytes);
 
   private:
     simt::DeviceMemory* memory_;
+    mutable std::mutex mutex_;  ///< guards free_, stats_ and DeviceMemory calls
     /// free_[i] holds offsets of idle ranges of size 2^i.
     std::vector<std::vector<std::size_t>> free_ = std::vector<std::vector<std::size_t>>(64);
     Stats stats_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -80,6 +81,41 @@ void validate_job(const Job& job) {
     }
 }
 
+/// FNV-1a content fingerprint + sampled key hint, computed once per request.
+/// The fingerprint mixes shape and up to 32 sampled value bit patterns, so
+/// ConsistentHash gives the same content the same device; the key hint is
+/// the sampled mean, KeyRange's position in the key domain.
+fleet::RouteInfo make_route_info(const Job& job, std::size_t elements) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(job.kind));
+    mix(job.num_arrays);
+    mix(job.array_size);
+    mix(job.values.size());
+    mix(job.offsets.size());
+    double key_sum = 0.0;
+    std::size_t sampled = 0;
+    if (!job.values.empty()) {
+        const std::size_t stride = std::max<std::size_t>(1, job.values.size() / 32);
+        for (std::size_t i = 0; i < job.values.size(); i += stride) {
+            std::uint32_t bits = 0;
+            std::memcpy(&bits, &job.values[i], sizeof(bits));
+            mix(bits);
+            key_sum += static_cast<double>(job.values[i]);
+            ++sampled;
+        }
+    }
+    fleet::RouteInfo info;
+    info.fingerprint = h;
+    info.key_hint = sampled > 0 ? key_sum / static_cast<double>(sampled) : 0.0;
+    if (!std::isfinite(info.key_hint)) info.key_hint = 0.0;
+    info.elements = elements;
+    return info;
+}
+
 /// Host comparison mirroring the device's key order.
 struct KeyLess {
     bool descending = false;
@@ -88,11 +124,32 @@ struct KeyLess {
 
 }  // namespace
 
+Server::Shard::Shard(std::size_t idx, simt::Device& dev, unsigned streams,
+                     double safety_factor)
+    : index(idx),
+      device(&dev),
+      memory_budget(static_cast<std::size_t>(
+          static_cast<double>(dev.memory().capacity()) * safety_factor)),
+      pool(dev.memory()),
+      timeline(std::max(1u, streams)) {
+    breakdown.name = "dev" + std::to_string(idx);
+    // Engine stalls from an injected fault plan (simt::faults) show up in the
+    // overlap model; plans installed after construction still apply.
+    timeline.attach_faults(dev);
+}
+
 Server::Server(simt::Device& device, ServerConfig cfg)
-    : device_(device),
+    : Server(cfg, nullptr, std::make_unique<gas::fleet::DeviceFleet>(device)) {}
+
+Server::Server(gas::fleet::DeviceFleet& devices, ServerConfig cfg)
+    : Server(cfg, &devices, nullptr) {}
+
+Server::Server(ServerConfig cfg, gas::fleet::DeviceFleet* f,
+               std::unique_ptr<gas::fleet::DeviceFleet> owned)
+    : owned_fleet_(std::move(owned)),
+      fleet_(f != nullptr ? f : owned_fleet_.get()),
       cfg_(cfg),
-      pool_(device.memory()),
-      timeline_(std::max(1u, cfg.num_streams)) {
+      router_(cfg.route_policy, fleet_->size(), cfg.key_space_max) {
     if (cfg_.num_streams == 0) {
         throw std::invalid_argument("serve::Server: 0 streams");
     }
@@ -102,13 +159,15 @@ Server::Server(simt::Device& device, ServerConfig cfg)
     if (!(cfg_.memory_safety_factor > 0.0) || cfg_.memory_safety_factor > 1.0) {
         throw std::invalid_argument("serve::Server: memory_safety_factor must be in (0, 1]");
     }
-    memory_budget_ = static_cast<std::size_t>(
-        static_cast<double>(device_.memory().capacity()) * cfg_.memory_safety_factor);
-    // Engine stalls from an injected fault plan (simt::faults) show up in the
-    // overlap model; plans installed after construction still apply.
-    timeline_.attach_faults(device_);
+    shards_.reserve(fleet_->size());
+    for (std::size_t i = 0; i < fleet_->size(); ++i) {
+        shards_.push_back(std::make_unique<Shard>(i, fleet_->device(i), cfg_.num_streams,
+                                                  cfg_.memory_safety_factor));
+    }
     if (!cfg_.manual_pump) {
-        scheduler_ = std::thread(&Server::scheduler_main, this);
+        for (auto& s : shards_) {
+            s->scheduler = std::thread(&Server::scheduler_main, this, std::ref(*s));
+        }
     }
 }
 
@@ -123,6 +182,7 @@ Server::Ticket Server::submit(Job job) {
     pending->submitted_at = now;
     pending->arrays = job_arrays(pending->job);
     pending->elements = job_elements(pending->job);
+    pending->rinfo = make_route_info(pending->job, pending->elements);
 
     Ticket ticket;
     ticket.result = pending->promise.get_future();
@@ -183,30 +243,114 @@ Server::Ticket Server::submit(Job job) {
     }
 
     ++stats_.accepted;
-    queue_[static_cast<std::size_t>(pending->job.priority)].push_back(std::move(pending));
+    Shard& shard = *shards_[route_locked(*pending)];
+    ++shard.breakdown.routed;
+    ++shard.queued;
+    shard.queued_elements += pending->elements;
+    shard.queue[static_cast<std::size_t>(pending->job.priority)].push_back(
+        std::move(pending));
     ++queued_;
     stats_.queue_peak = std::max(stats_.queue_peak, queued_);
     lk.unlock();
-    queue_cv_.notify_one();
+    // All shard schedulers share one cv; wake them all so the routed (or a
+    // steal-capable) one runs.
+    queue_cv_.notify_all();
     return ticket;
+}
+
+std::size_t Server::route_locked(const Pending& p) const {
+    std::vector<fleet::ShardLoad> loads;
+    loads.reserve(shards_.size());
+    for (const auto& s : shards_) {
+        fleet::ShardLoad l;
+        l.queued_elements = s->queued_elements;
+        l.live = !s->quarantined;
+        l.eligible = l.live && !needs_cpu_fallback(*s, p.job);
+        loads.push_back(l);
+    }
+    const std::size_t target = router_.route(p.rinfo, loads);
+    // The all-devices-lost sentinel is unreachable (the last live device is
+    // never quarantined); hash-spread defensively if it ever shows up — a
+    // quarantined shard's scheduler host-serves its queue.
+    return target < shards_.size()
+               ? target
+               : static_cast<std::size_t>(p.rinfo.fingerprint % shards_.size());
+}
+
+bool Server::steal_candidate_locked(const Shard& thief) const {
+    if (cfg_.max_steal_requests == 0 || thief.quarantined || thief.queued > 0) {
+        return false;
+    }
+    for (const auto& sp : shards_) {
+        const Shard& victim = *sp;
+        if (&victim == &thief || victim.queued == 0) continue;
+        for (const auto& q : victim.queue) {
+            if (!q.empty() && !needs_cpu_fallback(thief, q.back()->job)) return true;
+        }
+    }
+    return false;
+}
+
+std::size_t Server::steal_into_locked(Shard& thief) {
+    if (cfg_.max_steal_requests == 0 || thief.quarantined || thief.queued > 0) {
+        return 0;
+    }
+    // Victims in descending load order; one victim supplies the whole steal.
+    std::vector<Shard*> victims;
+    for (auto& sp : shards_) {
+        if (sp.get() != &thief && sp->queued > 0) victims.push_back(sp.get());
+    }
+    std::sort(victims.begin(), victims.end(), [](const Shard* a, const Shard* b) {
+        return a->queued_elements > b->queued_elements;
+    });
+    std::size_t moved = 0;
+    for (Shard* victim : victims) {
+        // Take from the back of the lowest-priority queues first: the work
+        // the victim would reach last is the cheapest to relocate.
+        for (std::size_t pr = kPriorities; pr-- > 0;) {
+            auto& q = victim->queue[pr];
+            while (!q.empty() && moved < cfg_.max_steal_requests &&
+                   !needs_cpu_fallback(thief, q.back()->job)) {
+                PendingPtr p = std::move(q.back());
+                q.pop_back();
+                --victim->queued;
+                victim->queued_elements -= p->elements;
+                ++victim->breakdown.steals_out;
+                ++thief.queued;
+                thief.queued_elements += p->elements;
+                ++thief.breakdown.steals_in;
+                thief.queue[pr].push_back(std::move(p));
+                ++stats_.steals;
+                ++moved;
+            }
+        }
+        if (moved > 0) break;
+    }
+    return moved;
 }
 
 bool Server::cancel(std::uint64_t id) {
     PendingPtr victim;
     {
         std::lock_guard lk(mutex_);
-        for (auto& q : queue_) {
-            for (auto it = q.begin(); it != q.end(); ++it) {
-                if ((*it)->id == id) {
-                    victim = std::move(*it);
-                    q.erase(it);
-                    --queued_;
-                    ++stats_.cancelled;
-                    break;
+        for (auto& sp : shards_) {
+            for (auto& q : sp->queue) {
+                for (auto it = q.begin(); it != q.end(); ++it) {
+                    if ((*it)->id == id) {
+                        victim = std::move(*it);
+                        q.erase(it);
+                        --sp->queued;
+                        sp->queued_elements -= victim->elements;
+                        --queued_;
+                        ++stats_.cancelled;
+                        break;
+                    }
                 }
+                if (victim) break;
             }
             if (victim) break;
         }
+        if (victim && stopping_ && queued_ == 0) queue_cv_.notify_all();
     }
     if (!victim) return false;
     space_cv_.notify_one();
@@ -231,26 +375,37 @@ void Server::drain() {
 void Server::stop(bool cancel_pending) {
     {
         std::lock_guard lk(mutex_);
-        if (stopping_ && !scheduler_.joinable() && queued_ == 0) return;
+        bool any_joinable = false;
+        for (const auto& s : shards_) any_joinable |= s->scheduler.joinable();
+        if (stopping_ && !any_joinable && queued_ == 0) return;
         stopping_ = true;
         cancel_pending_ = cancel_pending;
     }
     queue_cv_.notify_all();
     space_cv_.notify_all();
-    if (scheduler_.joinable()) {
-        scheduler_.join();
-    } else if (cfg_.manual_pump && !cancel_pending) {
+    bool joined = false;
+    for (auto& s : shards_) {
+        if (s->scheduler.joinable()) {
+            s->scheduler.join();
+            joined = true;
+        }
+    }
+    if (!joined && cfg_.manual_pump && !cancel_pending) {
         // Graceful manual stop: serve what is still queued.
         while (pump() > 0) {}
     }
-    // Cancel anything left (async cancel_pending exits the scheduler with the
-    // queue intact; manual cancel_pending never served it).
+    // Cancel anything left (async cancel_pending exits the schedulers with
+    // the queues intact; manual cancel_pending never served them).
     std::vector<PendingPtr> leftovers;
     {
         std::lock_guard lk(mutex_);
-        for (auto& q : queue_) {
-            for (auto& p : q) leftovers.push_back(std::move(p));
-            q.clear();
+        for (auto& sp : shards_) {
+            for (auto& q : sp->queue) {
+                for (auto& p : q) leftovers.push_back(std::move(p));
+                q.clear();
+            }
+            sp->queued = 0;
+            sp->queued_elements = 0;
         }
         queued_ = 0;
         stats_.cancelled += leftovers.size();
@@ -268,49 +423,63 @@ void Server::stop(bool cancel_pending) {
 
 std::size_t Server::pump() {
     if (!cfg_.manual_pump) {
-        throw std::logic_error("serve::Server::pump: server runs its own scheduler thread");
+        throw std::logic_error("serve::Server::pump: server runs its own scheduler threads");
     }
     std::size_t retired = 0;
     for (;;) {
-        std::vector<PendingPtr> timed_out;
-        std::vector<PendingPtr> batch;
-        {
-            std::lock_guard lk(mutex_);
-            batch = take_batch(timed_out);
-        }
-        if (batch.empty() && timed_out.empty()) break;
-        retired += batch.size() + timed_out.size();
-        for (auto& p : timed_out) {
-            Response r;
-            r.status = Status::TimedOut;
-            r.error = "deadline expired in queue";
-            r.values = std::move(p->job.values);
-            r.payload = std::move(p->job.payload);
+        // One batch per shard per pass mirrors the scheduler-thread cadence:
+        // shards drain their own queues in lockstep (overlapping in the
+        // model), and an empty shard steals before going idle.
+        std::size_t pass = 0;
+        for (auto& sp : shards_) {
+            Shard& shard = *sp;
+            std::vector<PendingPtr> timed_out;
+            std::vector<PendingPtr> batch;
             {
                 std::lock_guard lk(mutex_);
-                ++stats_.timed_out;
+                if (shard.queued == 0) steal_into_locked(shard);
+                batch = take_batch(shard, timed_out);
             }
-            p->promise.set_value(std::move(r));
+            if (batch.empty() && timed_out.empty()) continue;
+            pass += batch.size() + timed_out.size();
+            for (auto& p : timed_out) {
+                Response r;
+                r.status = Status::TimedOut;
+                r.error = "deadline expired in queue";
+                r.values = std::move(p->job.values);
+                r.payload = std::move(p->job.payload);
+                {
+                    std::lock_guard lk(mutex_);
+                    ++stats_.timed_out;
+                }
+                p->promise.set_value(std::move(r));
+            }
+            if (!batch.empty()) serve_batch(shard, std::move(batch));
         }
-        if (!batch.empty()) serve_batch(std::move(batch));
+        if (pass == 0) break;
+        retired += pass;
     }
     return retired;
 }
 
-void Server::scheduler_main() {
+void Server::scheduler_main(Shard& shard) {
     std::unique_lock lk(mutex_);
     for (;;) {
-        queue_cv_.wait(lk, [&] { return stopping_ || queued_ > 0; });
+        queue_cv_.wait(lk, [&] {
+            if (stopping_ && (cancel_pending_ || queued_ == 0)) return true;
+            return shard.queued > 0 || steal_candidate_locked(shard);
+        });
         if (stopping_ && (cancel_pending_ || queued_ == 0)) break;
-        if (queued_ == 0) continue;
-        if (cfg_.linger_us > 0.0 && !stopping_ && queued_ < cfg_.max_batch_requests) {
+        if (shard.queued == 0 && steal_into_locked(shard) == 0) continue;
+        if (cfg_.linger_us > 0.0 && !stopping_ && shard.queued < cfg_.max_batch_requests) {
             // Best-effort coalescing window: let a concurrent burst land
             // before the batch is closed.
             queue_cv_.wait_for(lk, std::chrono::duration<double, std::micro>(cfg_.linger_us));
         }
         std::vector<PendingPtr> timed_out;
-        auto batch = take_batch(timed_out);
-        in_flight_ = batch.size();
+        auto batch = take_batch(shard, timed_out);
+        shard.in_flight = batch.size();
+        in_flight_ += batch.size();
         lk.unlock();
         space_cv_.notify_all();
 
@@ -326,23 +495,30 @@ void Server::scheduler_main() {
             }
             p->promise.set_value(std::move(r));
         }
-        if (!batch.empty()) serve_batch(std::move(batch));
+        if (!batch.empty()) serve_batch(shard, std::move(batch));
 
         lk.lock();
-        in_flight_ = 0;
-        if (queued_ == 0) idle_cv_.notify_all();
+        in_flight_ -= shard.in_flight;
+        shard.in_flight = 0;
+        if (queued_ == 0 && in_flight_ == 0) idle_cv_.notify_all();
+        // Wake peers blocked on the stop predicate once the last queued
+        // request retires (their own queues are empty; no notify would come).
+        if (stopping_ && queued_ == 0) queue_cv_.notify_all();
     }
 }
 
-std::vector<Server::PendingPtr> Server::take_batch(std::vector<PendingPtr>& timed_out) {
+std::vector<Server::PendingPtr> Server::take_batch(Shard& shard,
+                                                   std::vector<PendingPtr>& timed_out) {
     const auto now = Clock::now();
     std::vector<PendingPtr> batch;
 
     // Head: first live request in priority order.
-    for (auto& q : queue_) {
+    for (auto& q : shard.queue) {
         while (!q.empty() && batch.empty()) {
             PendingPtr head = std::move(q.front());
             q.pop_front();
+            --shard.queued;
+            shard.queued_elements -= head->elements;
             --queued_;
             if (expired(head->job, now)) {
                 timed_out.push_back(std::move(head));
@@ -357,7 +533,7 @@ std::vector<Server::PendingPtr> Server::take_batch(std::vector<PendingPtr>& time
     const Job& head = batch.front()->job;
     // A fallback-bound request is served alone: it never joins a device
     // batch and nothing can ride with it.
-    if (needs_cpu_fallback(head)) return batch;
+    if (needs_cpu_fallback(shard, head)) return batch;
 
     std::size_t total_arrays = batch.front()->arrays;
     std::size_t total_elements = batch.front()->elements;
@@ -366,27 +542,31 @@ std::vector<Server::PendingPtr> Server::take_batch(std::vector<PendingPtr>& time
         switch (head.kind) {
             case JobKind::Uniform:
                 return batch_footprint_bytes(arrays, head.array_size, head.opts,
-                                             device_.props(), 1) <= memory_budget_;
+                                             shard.device->props(), 1) <=
+                       shard.memory_budget;
             case JobKind::Ragged:
-                return BufferPool::class_bytes(elements * sizeof(float)) <= memory_budget_;
+                return BufferPool::class_bytes(elements * sizeof(float)) <=
+                       shard.memory_budget;
             case JobKind::Pairs:
                 return 2 * BufferPool::class_bytes(elements * sizeof(float)) <=
-                       memory_budget_;
+                       shard.memory_budget;
         }
         return false;
     };
 
-    for (auto& q : queue_) {
+    for (auto& q : shard.queue) {
         auto it = q.begin();
         while (it != q.end() && batch.size() < cfg_.max_batch_requests) {
             Pending& cand = **it;
             if (expired(cand.job, now)) {
                 timed_out.push_back(std::move(*it));
                 it = q.erase(it);
+                --shard.queued;
+                shard.queued_elements -= timed_out.back()->elements;
                 --queued_;
                 continue;
             }
-            if (!compatible(head, cand.job) || needs_cpu_fallback(cand.job) ||
+            if (!compatible(head, cand.job) || needs_cpu_fallback(shard, cand.job) ||
                 total_arrays + cand.arrays > cfg_.max_batch_arrays ||
                 !fits_memory(total_arrays + cand.arrays, total_elements + cand.elements)) {
                 ++it;  // stays queued; will head its own batch later
@@ -396,6 +576,8 @@ std::vector<Server::PendingPtr> Server::take_batch(std::vector<PendingPtr>& time
             total_elements += cand.elements;
             batch.push_back(std::move(*it));
             it = q.erase(it);
+            --shard.queued;
+            shard.queued_elements -= batch.back()->elements;
             --queued_;
         }
         if (batch.size() >= cfg_.max_batch_requests) break;
@@ -403,14 +585,15 @@ std::vector<Server::PendingPtr> Server::take_batch(std::vector<PendingPtr>& time
     return batch;
 }
 
-bool Server::needs_cpu_fallback(const Job& job) const {
-    const auto& props = device_.props();
+bool Server::needs_cpu_fallback(const Shard& shard, const Job& job) const {
+    const auto& props = shard.device->props();
     switch (job.kind) {
         case JobKind::Uniform:
             return batch_footprint_bytes(job.num_arrays, job.array_size, job.opts, props,
-                                         1) > memory_budget_;
+                                         1) > shard.memory_budget;
         case JobKind::Ragged: {
-            if (BufferPool::class_bytes(job_elements(job) * sizeof(float)) > memory_budget_) {
+            if (BufferPool::class_bytes(job_elements(job) * sizeof(float)) >
+                shard.memory_budget) {
                 return true;
             }
             for (std::size_t i = 1; i < job.offsets.size(); ++i) {
@@ -422,24 +605,23 @@ bool Server::needs_cpu_fallback(const Job& job) const {
         }
         case JobKind::Pairs:
             return 2 * BufferPool::class_bytes(job_elements(job) * sizeof(float)) >
-                       memory_budget_ ||
+                       shard.memory_budget ||
                    !ragged_row_fits_shared(job.array_size, job.opts, props, 2);
     }
     return false;
 }
 
-BufferPool::Lease Server::acquire_or_trim(std::size_t bytes) {
+BufferPool::Lease Server::acquire_or_trim(Shard& shard, std::size_t bytes) {
     // Cached idle ranges may be fragmenting the arena (or an injected
-    // allocation fault fired): trim and retry per the configured policy
-    // instead of the old single ad-hoc retry, recording each attempt and its
-    // modeled backoff.
+    // allocation fault fired): trim and retry per the configured policy,
+    // recording each attempt and its modeled backoff.
     const unsigned max_attempts = std::max(cfg_.retry.max_attempts, 1u);
     for (unsigned attempt = 1;; ++attempt) {
         try {
-            return pool_.acquire(bytes);
+            return shard.pool.acquire(bytes);
         } catch (const simt::DeviceBadAlloc&) {
             if (attempt >= max_attempts) throw;
-            pool_.trim();
+            shard.pool.trim();
             std::lock_guard lk(mutex_);
             ++stats_.alloc_retries;
             stats_.retry_backoff_ms += cfg_.retry.backoff_ms(attempt, bytes);
@@ -447,8 +629,19 @@ BufferPool::Lease Server::acquire_or_trim(std::size_t bytes) {
     }
 }
 
-void Server::serve_batch(std::vector<PendingPtr> batch) {
-    if (batch.size() == 1 && needs_cpu_fallback(batch.front()->job)) {
+void Server::serve_batch(Shard& shard, std::vector<PendingPtr> batch) {
+    bool dead = false;
+    {
+        // A batch can only reach a quarantined shard when every device is
+        // lost (routing avoids quarantined shards otherwise): pure host mode.
+        std::lock_guard lk(mutex_);
+        dead = shard.quarantined;
+    }
+    if (dead) {
+        for (auto& p : batch) run_cpu_fallback(*p);
+        return;
+    }
+    if (batch.size() == 1 && needs_cpu_fallback(shard, batch.front()->job)) {
         run_cpu_fallback(*batch.front());
         return;
     }
@@ -456,15 +649,17 @@ void Server::serve_batch(std::vector<PendingPtr> batch) {
     // failures, refused launches, detected corruption, failed verification)
     // retry the whole batch: execute_* completes no promise and touches no
     // host buffer before it can throw, so each attempt re-stages clean data.
-    // Exhausted retries quarantine every rider to a solo host re-sort; a
-    // non-transient error (a real bug, e.g. SanitizeError) fails the batch.
+    // Exhausted retries mean the device is gone: quarantine the shard and
+    // re-home its work on the survivors (the last live device host-serves
+    // the batch instead).  A non-transient error (a real bug, e.g.
+    // SanitizeError) fails the batch.
     const unsigned max_attempts = std::max(cfg_.retry.max_attempts, 1u);
     for (unsigned attempt = 1;; ++attempt) {
         try {
             switch (batch.front()->job.kind) {
-                case JobKind::Uniform: execute_uniform(batch); break;
-                case JobKind::Ragged: execute_ragged(batch); break;
-                case JobKind::Pairs: execute_pairs(batch); break;
+                case JobKind::Uniform: execute_uniform(shard, batch); break;
+                case JobKind::Ragged: execute_ragged(shard, batch); break;
+                case JobKind::Pairs: execute_pairs(shard, batch); break;
             }
             return;
         } catch (const std::exception& e) {
@@ -479,14 +674,69 @@ void Server::serve_batch(std::vector<PendingPtr> batch) {
                     cfg_.retry.backoff_ms(attempt, batch.front()->id);
                 continue;
             }
-            for (auto& p : batch) run_cpu_fallback(*p, /*quarantined=*/true);
+            quarantine_and_reroute(shard, batch);
             return;
         }
     }
 }
 
-void Server::execute_uniform(std::vector<PendingPtr>& batch) {
+void Server::quarantine_and_reroute(Shard& shard, std::vector<PendingPtr>& batch) {
+    std::vector<PendingPtr> rehome;
+    bool survivors = false;
+    {
+        std::lock_guard lk(mutex_);
+        for (const auto& sp : shards_) {
+            if (sp.get() != &shard && !sp->quarantined) {
+                survivors = true;
+                break;
+            }
+        }
+        if (survivors) {
+            shard.quarantined = true;
+            shard.breakdown.quarantined = true;
+            ++stats_.devices_quarantined;
+            for (auto& q : shard.queue) {
+                for (auto& p : q) rehome.push_back(std::move(p));
+                q.clear();
+            }
+            queued_ -= rehome.size();
+            shard.queued = 0;
+            shard.queued_elements = 0;
+        }
+    }
+    if (!survivors) {
+        // Last device standing: single-device semantics — this batch
+        // quarantines to solo host re-sorts and the device stays routable
+        // (the next batch tries it again).
+        for (auto& p : batch) run_cpu_fallback(*p, /*quarantined=*/true);
+        return;
+    }
+    for (auto& p : batch) rehome.push_back(std::move(p));
+    batch.clear();
+    {
+        std::lock_guard lk(mutex_);
+        for (auto& p : rehome) {
+            const std::size_t elements = p->elements;
+            Shard& target = *shards_[route_locked(*p)];
+            ++target.breakdown.reroutes_in;
+            ++shard.breakdown.reroutes_out;
+            ++stats_.reroutes;
+            ++target.queued;
+            target.queued_elements += elements;
+            target.queue[static_cast<std::size_t>(p->job.priority)].push_back(
+                std::move(p));
+            ++queued_;
+        }
+        stats_.queue_peak = std::max(stats_.queue_peak, queued_);
+    }
+    // Re-homed requests may briefly push the queue above its capacity; the
+    // alternative is dropping accepted work on a device loss.
+    queue_cv_.notify_all();
+}
+
+void Server::execute_uniform(Shard& shard, std::vector<PendingPtr>& batch) {
     const auto service_start = Clock::now();
+    simt::Device& device = *shard.device;
     const std::size_t n = batch.front()->job.array_size;
     std::size_t total_arrays = 0;
     std::vector<BatchSlice> slices;
@@ -498,9 +748,9 @@ void Server::execute_uniform(std::vector<PendingPtr>& batch) {
     const std::size_t count = total_arrays * n;
     const std::size_t bytes = count * sizeof(float);
 
-    const BufferPool::Lease lease = acquire_or_trim(bytes);
+    const BufferPool::Lease lease = acquire_or_trim(shard, bytes);
     try {
-        auto view = simt::DeviceBuffer<float>::borrow(device_, lease.offset, count);
+        auto view = simt::DeviceBuffer<float>::borrow(device, lease.offset, count);
         auto dev = view.span();
         // Expected per-row checksums come from the host copies while staging
         // — ground truth no device fault can touch.
@@ -518,13 +768,13 @@ void Server::execute_uniform(std::vector<PendingPtr>& batch) {
             }
             pos += p->elements;
         }
-        const double h2d = device_.transfer_ms(bytes);
+        const double h2d = device.transfer_ms(bytes);
 
         Options opts = batch.front()->job.opts;
         opts.validate = cfg_.validate;
         opts.collect_bucket_sizes = false;
         opts.verify_output = false;  // the server verifies per request below
-        const SortStats s = sort_uniform_batch_on_device(device_, view, slices,
+        const SortStats s = sort_uniform_batch_on_device(device, view, slices,
                                                          total_arrays, n, opts);
         double kernel_ms = s.modeled_kernel_ms();
 
@@ -532,7 +782,7 @@ void Server::execute_uniform(std::vector<PendingPtr>& batch) {
         if (cfg_.verify_responses) {
             row_fail.assign(total_arrays, 0);
             const auto vc = resilient::verify_rows_on_device<float>(
-                device_, std::span<const float>(dev.data(), count), total_arrays, n,
+                device, std::span<const float>(dev.data(), count), total_arrays, n,
                 opts.order, expected, row_fail);
             kernel_ms += vc.modeled_ms;
         }
@@ -558,20 +808,21 @@ void Server::execute_uniform(std::vector<PendingPtr>& batch) {
             pos += p.elements;
             (bad ? quarantined : served).push_back(std::move(batch[i]));
         }
-        const double d2h = device_.transfer_ms(served_bytes);
-        pool_.release(lease);
+        const double d2h = device.transfer_ms(served_bytes);
+        shard.pool.release(lease);
         if (!served.empty()) {
-            finish_batch(served, h2d, d2h, kernel_ms, next_batch_id_++, service_start);
+            finish_batch(shard, served, h2d, d2h, kernel_ms, service_start);
         }
         quarantine_failed(quarantined);
     } catch (...) {
-        pool_.release(lease);
+        shard.pool.release(lease);
         throw;
     }
 }
 
-void Server::execute_ragged(std::vector<PendingPtr>& batch) {
+void Server::execute_ragged(Shard& shard, std::vector<PendingPtr>& batch) {
     const auto service_start = Clock::now();
+    simt::Device& device = *shard.device;
     std::size_t total_values = 0;
     std::size_t total_arrays = 0;
     std::vector<std::uint64_t> fused_offsets;
@@ -589,9 +840,9 @@ void Server::execute_ragged(std::vector<PendingPtr>& batch) {
     }
     const std::size_t bytes = total_values * sizeof(float);
 
-    const BufferPool::Lease lease = acquire_or_trim(bytes);
+    const BufferPool::Lease lease = acquire_or_trim(shard, bytes);
     try {
-        auto view = simt::DeviceBuffer<float>::borrow(device_, lease.offset, total_values);
+        auto view = simt::DeviceBuffer<float>::borrow(device, lease.offset, total_values);
         auto dev = view.span();
         std::vector<std::uint64_t> expected;
         if (cfg_.verify_responses) expected.reserve(total_arrays);
@@ -610,14 +861,14 @@ void Server::execute_ragged(std::vector<PendingPtr>& batch) {
             }
             pos += p->elements;
         }
-        const double h2d = device_.transfer_ms(bytes);
+        const double h2d = device.transfer_ms(bytes);
 
         Options opts = batch.front()->job.opts;
         opts.validate = cfg_.validate;
         opts.collect_bucket_sizes = false;
         opts.verify_output = false;  // the server verifies per request below
         const SortStats s =
-            sort_ragged_batch_on_device(device_, view, fused_offsets, slices, opts);
+            sort_ragged_batch_on_device(device, view, fused_offsets, slices, opts);
         double kernel_ms = s.modeled_kernel_ms();
 
         std::vector<std::uint8_t> row_fail;
@@ -626,7 +877,7 @@ void Server::execute_ragged(std::vector<PendingPtr>& batch) {
             // The ragged device path sorts ascending regardless of
             // opts.order (see sort_ragged_on_device); verify likewise.
             const auto vc = resilient::verify_csr_on_device<float>(
-                device_, std::span<const float>(dev.data(), total_values), fused_offsets,
+                device, std::span<const float>(dev.data(), total_values), fused_offsets,
                 SortOrder::Ascending, expected, row_fail);
             kernel_ms += vc.modeled_ms;
         }
@@ -650,20 +901,21 @@ void Server::execute_ragged(std::vector<PendingPtr>& batch) {
             pos += p.elements;
             (bad ? quarantined : served).push_back(std::move(batch[i]));
         }
-        const double d2h = device_.transfer_ms(served_bytes);
-        pool_.release(lease);
+        const double d2h = device.transfer_ms(served_bytes);
+        shard.pool.release(lease);
         if (!served.empty()) {
-            finish_batch(served, h2d, d2h, kernel_ms, next_batch_id_++, service_start);
+            finish_batch(shard, served, h2d, d2h, kernel_ms, service_start);
         }
         quarantine_failed(quarantined);
     } catch (...) {
-        pool_.release(lease);
+        shard.pool.release(lease);
         throw;
     }
 }
 
-void Server::execute_pairs(std::vector<PendingPtr>& batch) {
+void Server::execute_pairs(Shard& shard, std::vector<PendingPtr>& batch) {
     const auto service_start = Clock::now();
+    simt::Device& device = *shard.device;
     const std::size_t n = batch.front()->job.array_size;
     std::size_t total_arrays = 0;
     std::vector<BatchSlice> slices;
@@ -675,17 +927,17 @@ void Server::execute_pairs(std::vector<PendingPtr>& batch) {
     const std::size_t count = total_arrays * n;
     const std::size_t bytes = count * sizeof(float);
 
-    const BufferPool::Lease key_lease = acquire_or_trim(bytes);
+    const BufferPool::Lease key_lease = acquire_or_trim(shard, bytes);
     BufferPool::Lease val_lease;
     try {
-        val_lease = acquire_or_trim(bytes);
+        val_lease = acquire_or_trim(shard, bytes);
     } catch (...) {
-        pool_.release(key_lease);
+        shard.pool.release(key_lease);
         throw;
     }
     try {
-        auto keys = simt::DeviceBuffer<float>::borrow(device_, key_lease.offset, count);
-        auto vals = simt::DeviceBuffer<float>::borrow(device_, val_lease.offset, count);
+        auto keys = simt::DeviceBuffer<float>::borrow(device, key_lease.offset, count);
+        auto vals = simt::DeviceBuffer<float>::borrow(device, val_lease.offset, count);
         auto kdev = keys.span();
         auto vdev = vals.span();
         std::vector<std::uint64_t> expected;
@@ -705,13 +957,13 @@ void Server::execute_pairs(std::vector<PendingPtr>& batch) {
             }
             pos += p->elements;
         }
-        const double h2d = device_.transfer_ms(2 * bytes);
+        const double h2d = device.transfer_ms(2 * bytes);
 
         Options opts = batch.front()->job.opts;
         opts.validate = cfg_.validate;
         opts.collect_bucket_sizes = false;
         opts.verify_output = false;  // the server verifies per request below
-        const SortStats s = sort_pair_batch_on_device(device_, keys, vals, slices,
+        const SortStats s = sort_pair_batch_on_device(device, keys, vals, slices,
                                                       total_arrays, n, opts);
         double kernel_ms = s.modeled_kernel_ms();
 
@@ -719,7 +971,7 @@ void Server::execute_pairs(std::vector<PendingPtr>& batch) {
         if (cfg_.verify_responses) {
             row_fail.assign(total_arrays, 0);
             const auto vc = resilient::verify_pair_rows_on_device<float>(
-                device_, std::span<const float>(kdev.data(), count),
+                device, std::span<const float>(kdev.data(), count),
                 std::span<const float>(vdev.data(), count), total_arrays, n, opts.order,
                 expected, row_fail);
             kernel_ms += vc.modeled_ms;
@@ -746,16 +998,16 @@ void Server::execute_pairs(std::vector<PendingPtr>& batch) {
             pos += p.elements;
             (bad ? quarantined : served).push_back(std::move(batch[i]));
         }
-        const double d2h = device_.transfer_ms(served_bytes);
-        pool_.release(key_lease);
-        pool_.release(val_lease);
+        const double d2h = device.transfer_ms(served_bytes);
+        shard.pool.release(key_lease);
+        shard.pool.release(val_lease);
         if (!served.empty()) {
-            finish_batch(served, h2d, d2h, kernel_ms, next_batch_id_++, service_start);
+            finish_batch(shard, served, h2d, d2h, kernel_ms, service_start);
         }
         quarantine_failed(quarantined);
     } catch (...) {
-        pool_.release(key_lease);
-        pool_.release(val_lease);
+        shard.pool.release(key_lease);
+        shard.pool.release(val_lease);
         throw;
     }
 }
@@ -829,7 +1081,6 @@ void Server::run_cpu_fallback(Pending& p, bool quarantined) {
         queue_wait_digest_.record(r.queue_ms);
         wall_digest_.record(r.queue_ms + r.service_ms);
         modeled_digest_.record(0.0);
-        snapshot_pool_stats();
     }
     p.promise.set_value(std::move(r));
 }
@@ -849,15 +1100,9 @@ void Server::fail_batch(std::vector<PendingPtr>& batch, const std::string& why) 
     }
 }
 
-void Server::finish_batch(std::vector<PendingPtr>& batch, double h2d_ms, double d2h_ms,
-                          double kernel_ms, std::uint64_t batch_id,
+void Server::finish_batch(Shard& shard, std::vector<PendingPtr>& batch, double h2d_ms,
+                          double d2h_ms, double kernel_ms,
                           Clock::time_point service_start) {
-    const std::size_t stream = static_cast<std::size_t>(batch_id - 1) %
-                               timeline_.stream_count();
-    timeline_.h2d(stream, h2d_ms);
-    timeline_.compute(stream, kernel_ms);
-    timeline_.d2h(stream, d2h_ms);
-
     const auto now = Clock::now();
     const double service_ms = ms_between(service_start, now);
     std::size_t total_elements = 0;
@@ -868,25 +1113,17 @@ void Server::finish_batch(std::vector<PendingPtr>& batch, double h2d_ms, double 
     }
 
     std::vector<Response> responses(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        Pending& p = *batch[i];
-        Response& r = responses[i];
-        r.status = Status::Ok;
-        r.batch_id = batch_id;
-        r.batch_requests = batch.size();
-        r.queue_ms = ms_between(p.submitted_at, service_start);
-        r.service_ms = service_ms;
-        const double share = total_elements > 0
-                                 ? static_cast<double>(p.elements) /
-                                       static_cast<double>(total_elements)
-                                 : 0.0;
-        r.modeled_ms = (h2d_ms + kernel_ms + d2h_ms) * share;
-        r.values = std::move(p.job.values);
-        r.payload = std::move(p.job.payload);
-    }
-
     {
         std::lock_guard lk(mutex_);
+        const std::uint64_t batch_id = next_batch_id_++;
+        // Round-robin this shard's streams; its Timeline mutates under the
+        // lock so stats() can fold every shard consistently.
+        const std::size_t stream = static_cast<std::size_t>(shard.breakdown.batches) %
+                                   shard.timeline.stream_count();
+        shard.timeline.h2d(stream, h2d_ms);
+        shard.timeline.compute(stream, kernel_ms);
+        shard.timeline.d2h(stream, d2h_ms);
+
         stats_.completed += batch.size();
         ++stats_.batches;
         stats_.batched_requests += batch.size();
@@ -895,27 +1132,35 @@ void Server::finish_batch(std::vector<PendingPtr>& batch, double h2d_ms, double 
         stats_.modeled_h2d_ms += h2d_ms;
         stats_.modeled_d2h_ms += d2h_ms;
         stats_.wall_service_ms += service_ms;
-        stats_.modeled_overlap_ms = timeline_.elapsed_ms();
-        stats_.modeled_serial_ms = timeline_.serialized_ms();
-        stats_.h2d_busy_ms = timeline_.h2d_busy_ms();
-        stats_.compute_busy_ms = timeline_.compute_busy_ms();
-        stats_.d2h_busy_ms = timeline_.d2h_busy_ms();
-        stats_.h2d_utilization = timeline_.h2d_utilization();
-        stats_.compute_utilization = timeline_.compute_utilization();
-        stats_.d2h_utilization = timeline_.d2h_utilization();
-        for (const Response& r : responses) {
+        ++shard.breakdown.batches;
+        shard.breakdown.completed += batch.size();
+        shard.breakdown.fused_arrays += total_arrays;
+        shard.breakdown.modeled_kernel_ms += kernel_ms;
+
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Pending& p = *batch[i];
+            Response& r = responses[i];
+            r.status = Status::Ok;
+            r.batch_id = batch_id;
+            r.batch_requests = batch.size();
+            r.queue_ms = ms_between(p.submitted_at, service_start);
+            r.service_ms = service_ms;
+            const double share = total_elements > 0
+                                     ? static_cast<double>(p.elements) /
+                                           static_cast<double>(total_elements)
+                                     : 0.0;
+            r.modeled_ms = (h2d_ms + kernel_ms + d2h_ms) * share;
+            r.values = std::move(p.job.values);
+            r.payload = std::move(p.job.payload);
             queue_wait_digest_.record(r.queue_ms);
             wall_digest_.record(r.queue_ms + r.service_ms);
             modeled_digest_.record(r.modeled_ms);
         }
-        snapshot_pool_stats();
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
         batch[i]->promise.set_value(std::move(responses[i]));
     }
 }
-
-void Server::snapshot_pool_stats() { stats_.pool = pool_.stats(); }
 
 ServerStats Server::stats() const {
     std::lock_guard lk(mutex_);
@@ -924,6 +1169,49 @@ ServerStats Server::stats() const {
     s.queue_wait_ms = summarize(queue_wait_digest_);
     s.wall_ms = summarize(wall_digest_);
     s.modeled_ms = summarize(modeled_digest_);
+
+    // Fold the fleet: devices run concurrently, so the modeled makespan is
+    // the slowest shard's pipeline and engine utilizations are fleet-wide.
+    s.devices.clear();
+    s.devices.reserve(shards_.size());
+    double overlap = 0.0;
+    double serial = 0.0;
+    double h2d_busy = 0.0;
+    double compute_busy = 0.0;
+    double d2h_busy = 0.0;
+    BufferPool::Stats pool{};
+    for (const auto& sp : shards_) {
+        const Shard& shard = *sp;
+        DeviceBreakdown d = shard.breakdown;
+        d.quarantined = shard.quarantined;
+        d.queue_depth = shard.queued;
+        d.modeled_overlap_ms = shard.timeline.elapsed_ms();
+        d.compute_utilization = shard.timeline.compute_utilization();
+        overlap = std::max(overlap, d.modeled_overlap_ms);
+        serial += shard.timeline.serialized_ms();
+        h2d_busy += shard.timeline.h2d_busy_ms();
+        compute_busy += shard.timeline.compute_busy_ms();
+        d2h_busy += shard.timeline.d2h_busy_ms();
+        const BufferPool::Stats ps = shard.pool.stats();
+        pool.acquires += ps.acquires;
+        pool.reuse_hits += ps.reuse_hits;
+        pool.device_allocs += ps.device_allocs;
+        pool.releases += ps.releases;
+        pool.bytes_cached += ps.bytes_cached;
+        pool.bytes_leased += ps.bytes_leased;
+        pool.peak_leased += ps.peak_leased;
+        s.devices.push_back(std::move(d));
+    }
+    s.modeled_overlap_ms = overlap;
+    s.modeled_serial_ms = serial;
+    s.h2d_busy_ms = h2d_busy;
+    s.compute_busy_ms = compute_busy;
+    s.d2h_busy_ms = d2h_busy;
+    const double denom = overlap * static_cast<double>(shards_.size());
+    s.h2d_utilization = denom > 0.0 ? h2d_busy / denom : 0.0;
+    s.compute_utilization = denom > 0.0 ? compute_busy / denom : 0.0;
+    s.d2h_utilization = denom > 0.0 ? d2h_busy / denom : 0.0;
+    s.pool = pool;
     return s;
 }
 

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/resilient.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/router.hpp"
 #include "serve/pool.hpp"
 #include "serve/request.hpp"
 #include "serve/stats.hpp"
@@ -25,9 +27,10 @@ enum class AdmitPolicy : std::uint8_t {
 };
 
 struct ServerConfig {
-    /// Bounded submission queue.  0 means "admit nothing": every submit is
-    /// rejected immediately, regardless of policy (a Block policy cannot
-    /// wait for space that can never exist).
+    /// Bounded submission queue (fleet-wide, summed over shard queues).  0
+    /// means "admit nothing": every submit is rejected immediately,
+    /// regardless of policy (a Block policy cannot wait for space that can
+    /// never exist).
     std::size_t queue_capacity = 1024;
     AdmitPolicy policy = AdmitPolicy::Block;
 
@@ -37,11 +40,11 @@ struct ServerConfig {
     std::size_t max_batch_arrays = 8192;
 
     /// Fraction of device memory a batch (data + sort temporaries) may use;
-    /// single requests above this budget degrade to the CPU path.
+    /// single requests above every shard's budget degrade to the CPU path.
     double memory_safety_factor = 0.9;
 
-    /// Stream pipeline depth for the simt::Timeline overlap model (2 =
-    /// double buffering).  Must be >= 1, like ooc::OocOptions::num_streams.
+    /// Stream pipeline depth for each shard's simt::Timeline overlap model
+    /// (2 = double buffering).  Must be >= 1, like ooc::OocOptions.
     unsigned num_streams = 2;
 
     /// After waking on a non-empty queue, wait this long for more
@@ -49,7 +52,7 @@ struct ServerConfig {
     /// 0 = serve whatever is queued right now.
     double linger_us = 0.0;
 
-    /// Manual-pump mode: no scheduler thread; the caller drives batches by
+    /// Manual-pump mode: no scheduler threads; the caller drives batches by
     /// calling pump().  Deterministic (tests, benches).  A full queue
     /// rejects even under AdmitPolicy::Block — there is no concurrent
     /// consumer to wait for.
@@ -69,43 +72,67 @@ struct ServerConfig {
 
     /// Retry policy for transient device errors (gas::resilient::transient):
     /// a failed fused batch is re-staged from the intact host copies and
-    /// re-executed with modeled backoff; after max_attempts the whole batch
-    /// is quarantined to the host path.  Also drives acquire-side allocation
+    /// re-executed with modeled backoff; after max_attempts the batch is
+    /// re-routed to a surviving device (fleet) or quarantined to the host
+    /// path (last device standing).  Also drives acquire-side allocation
     /// retries (pool trim between attempts).
     gas::resilient::RetryPolicy retry{};
+
+    /// Request-to-device placement over the fleet (moot with one device).
+    gas::fleet::RoutePolicy route_policy = gas::fleet::RoutePolicy::LeastLoaded;
+
+    /// An idle shard may steal up to this many queued requests at a time
+    /// from the most loaded peer.  0 disables work stealing.
+    std::size_t max_steal_requests = 8;
+
+    /// Upper bound of the key domain for KeyRange routing (hints are
+    /// normalized by it).  The default is the paper's [0, 2^31) domain.
+    double key_space_max = gas::fleet::Router::kDefaultKeySpace;
 };
 
-/// Asynchronous batch-sort service over one simulated device.
+/// Asynchronous batch-sort service over a fleet of simulated devices.
 ///
-/// Concurrent callers submit() jobs into a bounded priority queue; a single
-/// scheduler thread (the only toucher of the simt::Device, whose launch path
-/// is single-caller by contract) coalesces compatible neighbours — same job
-/// kind, geometry and sort options — into fused micro-batches executed
-/// through the batched entry points of core/batch.hpp, with data staged in
-/// pooled device buffers (serve::BufferPool) and modeled H2D/compute/D2H
-/// overlap tracked on a multi-stream simt::Timeline.
+/// Concurrent callers submit() jobs into a bounded priority queue.  Each
+/// request is routed to one device of the fleet (fleet::Router — least
+/// loaded, consistent hash on a content fingerprint, or key-range sharding)
+/// and lands in that shard's queue.  Each shard runs one scheduler thread —
+/// the only toucher of its simt::Device, whose launch path is single-caller
+/// by contract — which coalesces compatible neighbours (same job kind,
+/// geometry and sort options) into fused micro-batches executed through the
+/// batched entry points of core/batch.hpp, with data staged in pooled device
+/// buffers (serve::BufferPool, one per shard) and modeled H2D/compute/D2H
+/// overlap tracked on a per-shard multi-stream simt::Timeline.  An idle
+/// shard steals bounded runs of queued requests from its most loaded peer,
+/// so a burst routed to one device spreads across the fleet.  Constructing
+/// from a single simt::Device& is the N=1 degenerate fleet: identical
+/// behaviour and API to the pre-fleet server.
 ///
 /// Robustness: admission control (Block or Reject on a full queue),
 /// per-request deadlines (expired jobs complete as TimedOut, at submit or in
 /// queue), cancel() for queued jobs, and graceful degradation — a request
-/// the device cannot serve (footprint above the memory budget, or a row too
+/// no device can serve (footprint above the memory budget, or a row too
 /// large for the fused kernels' shared staging) runs on the host CPU path
 /// instead of failing, and never aborts the batch it was queued with.
 ///
 /// Resilience (gas::resilient): transient device errors — allocation
 /// failures, refused launches, detected corruption, failed verification —
 /// retry the fused batch per ServerConfig::retry (host copies are untouched
-/// until copy-back, so every attempt re-stages clean data); exhausted
-/// retries quarantine the batch to solo host re-sorts.  With
-/// verify_responses on, each request's rows are individually checked
-/// (sortedness + multiset checksum vs the pre-staging host data) and only
-/// failing requests are quarantined — their batchmates are served normally.
-/// ServerStats counts retries, quarantines and verification failures.
+/// until copy-back, so every attempt re-stages clean data).  Exhausted
+/// retries mean the device is gone: with surviving peers the shard is
+/// quarantined — removed from routing — and its batch plus everything still
+/// queued on it re-routes to the survivors, whose re-execution from the
+/// intact host copies yields byte-identical responses; the last live device
+/// instead quarantines the batch to solo host re-sorts, exactly the
+/// single-device behaviour.  With verify_responses on, each request's rows
+/// are individually checked (sortedness + multiset checksum vs the
+/// pre-staging host data) and only failing requests are quarantined — their
+/// batchmates are served normally.  ServerStats counts retries, quarantines,
+/// steals, re-routes and device losses, with a per-device breakdown.
 ///
 /// Fusion preserves results: every kernel handles one array per block, so a
 /// request's sorted bytes are identical whether it rode a fused batch or a
-/// direct gas::gpu_array_sort / gpu_ragged_sort / gpu_pair_sort call (see
-/// core/batch.hpp).
+/// direct gas::gpu_array_sort / gpu_ragged_sort / gpu_pair_sort call — on
+/// any device of the fleet (see core/batch.hpp).
 class Server {
   public:
     struct Ticket {
@@ -113,9 +140,16 @@ class Server {
         std::future<Response> result;
     };
 
-    /// The server borrows the device for its lifetime: no other code may
-    /// launch kernels or allocate device memory until stop()/destruction.
+    /// Single-device server (the N=1 degenerate fleet).  The server borrows
+    /// the device for its lifetime: no other code may launch kernels or
+    /// allocate device memory until stop()/destruction.
     explicit Server(simt::Device& device, ServerConfig cfg = {});
+
+    /// Fleet server: one shard (queue, BufferPool, Timeline, scheduler
+    /// thread) per device.  The fleet must outlive the server; the same
+    /// borrow-for-lifetime rule applies to every device in it.
+    explicit Server(gas::fleet::DeviceFleet& fleet, ServerConfig cfg = {});
+
     Server(const Server&) = delete;
     Server& operator=(const Server&) = delete;
     ~Server();  ///< stop(/*cancel_pending=*/false): drains, then joins
@@ -134,19 +168,23 @@ class Server {
     /// manual-pump mode this simply pumps until empty.
     void drain();
 
-    /// Stops the scheduler.  cancel_pending=false serves everything still
+    /// Stops the schedulers.  cancel_pending=false serves everything still
     /// queued first (graceful drain); true completes queued requests as
     /// Cancelled without executing them.  Idempotent.
     void stop(bool cancel_pending = false);
 
-    /// Manual-pump mode: serve queued requests now (forming batches exactly
-    /// as the scheduler thread would); returns requests retired.  Throws
-    /// std::logic_error when the server runs its own scheduler thread.
+    /// Manual-pump mode: serve queued requests now; returns requests
+    /// retired.  Round-robins the shards, each serving one batch per pass
+    /// (forming batches exactly as its scheduler thread would, including
+    /// work stealing when its own queue is empty), until every queue is
+    /// drained.  Throws std::logic_error when the server runs scheduler
+    /// threads.
     std::size_t pump();
 
     [[nodiscard]] ServerStats stats() const;
     [[nodiscard]] std::string stats_json() const { return stats().to_json(); }
     [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+    [[nodiscard]] std::size_t num_devices() const { return shards_.size(); }
 
   private:
     struct Pending {
@@ -156,59 +194,90 @@ class Server {
         Clock::time_point submitted_at{};
         std::size_t arrays = 0;    ///< fused-array count this job contributes
         std::size_t elements = 0;  ///< total values (cost-share weight)
+        gas::fleet::RouteInfo rinfo;  ///< computed once; re-routes are cheap
     };
     using PendingPtr = std::unique_ptr<Pending>;
 
     static constexpr std::size_t kPriorities = 3;
 
-    void scheduler_main();
-    /// Pops one batch worth of compatible requests (queue lock held).
-    /// Expired requests encountered on the way complete as TimedOut into
-    /// `expired`.
-    std::vector<PendingPtr> take_batch(std::vector<PendingPtr>& expired);
-    void serve_batch(std::vector<PendingPtr> batch);
-    void execute_uniform(std::vector<PendingPtr>& batch);
-    void execute_ragged(std::vector<PendingPtr>& batch);
-    void execute_pairs(std::vector<PendingPtr>& batch);
+    /// One device's slice of the server: queue, pool, overlap timeline and
+    /// (async mode) scheduler thread.  Queue fields and `breakdown` are
+    /// guarded by the server-wide mutex_; pool and timeline are touched by
+    /// the owning scheduler (timeline mutations happen under mutex_ so
+    /// stats() can fold all shards).
+    struct Shard {
+        Shard(std::size_t idx, simt::Device& dev, unsigned streams,
+              double safety_factor);
+
+        std::size_t index;
+        simt::Device* device;
+        std::size_t memory_budget;
+        BufferPool pool;
+        simt::Timeline timeline;
+        std::deque<PendingPtr> queue[kPriorities];
+        std::size_t queued = 0;
+        std::size_t queued_elements = 0;
+        std::size_t in_flight = 0;
+        bool quarantined = false;
+        DeviceBreakdown breakdown;
+        std::thread scheduler;
+    };
+
+    Server(ServerConfig cfg, gas::fleet::DeviceFleet* fleet,
+           std::unique_ptr<gas::fleet::DeviceFleet> owned);
+
+    void scheduler_main(Shard& shard);
+    /// Routes a job to a shard index (lock held).  Falls back to
+    /// fingerprint % N when nothing is live (all-devices-lost host path).
+    [[nodiscard]] std::size_t route_locked(const Pending& p) const;
+    /// True when `thief` could steal at least one request right now.
+    [[nodiscard]] bool steal_candidate_locked(const Shard& thief) const;
+    /// Moves up to cfg_.max_steal_requests requests from the most loaded
+    /// peer into `thief`; returns how many moved (lock held).
+    std::size_t steal_into_locked(Shard& thief);
+    /// Pops one batch worth of compatible requests from the shard's queue
+    /// (lock held).  Expired requests encountered on the way complete as
+    /// TimedOut into `expired`.
+    std::vector<PendingPtr> take_batch(Shard& shard, std::vector<PendingPtr>& expired);
+    void serve_batch(Shard& shard, std::vector<PendingPtr> batch);
+    void execute_uniform(Shard& shard, std::vector<PendingPtr>& batch);
+    void execute_ragged(Shard& shard, std::vector<PendingPtr>& batch);
+    void execute_pairs(Shard& shard, std::vector<PendingPtr>& batch);
     void run_cpu_fallback(Pending& p, bool quarantined = false);
     /// Completes verification-failed requests as solo host re-sorts (the
     /// suspect device bytes are never copied back).
     void quarantine_failed(std::vector<PendingPtr>& victims);
+    /// Device loss: quarantines the shard and re-homes its batch + queue on
+    /// surviving shards; the last live device host-serves the batch instead.
+    void quarantine_and_reroute(Shard& shard, std::vector<PendingPtr>& batch);
     void fail_batch(std::vector<PendingPtr>& batch, const std::string& why);
-    void finish_batch(std::vector<PendingPtr>& batch, double h2d_ms, double d2h_ms,
-                      double kernel_ms, std::uint64_t batch_id,
-                      Clock::time_point service_start);
-    [[nodiscard]] bool needs_cpu_fallback(const Job& job) const;
-    [[nodiscard]] BufferPool::Lease acquire_or_trim(std::size_t bytes);
-    void snapshot_pool_stats();  ///< copy pool stats under the queue lock
+    void finish_batch(Shard& shard, std::vector<PendingPtr>& batch, double h2d_ms,
+                      double d2h_ms, double kernel_ms, Clock::time_point service_start);
+    [[nodiscard]] bool needs_cpu_fallback(const Shard& shard, const Job& job) const;
+    [[nodiscard]] BufferPool::Lease acquire_or_trim(Shard& shard, std::size_t bytes);
 
-    simt::Device& device_;
+    std::unique_ptr<gas::fleet::DeviceFleet> owned_fleet_;  ///< Device& ctor only
+    gas::fleet::DeviceFleet* fleet_;
     ServerConfig cfg_;
-    std::size_t memory_budget_ = 0;
+    gas::fleet::Router router_;
+    std::vector<std::unique_ptr<Shard>> shards_;
 
     mutable std::mutex mutex_;
-    std::condition_variable queue_cv_;  ///< scheduler waits for work
+    std::condition_variable queue_cv_;  ///< schedulers wait for work
     std::condition_variable space_cv_;  ///< Block-policy submitters wait here
     std::condition_variable idle_cv_;   ///< drain() waits here
-    std::deque<PendingPtr> queue_[kPriorities];
-    std::size_t queued_ = 0;
-    std::size_t in_flight_ = 0;
+    std::size_t queued_ = 0;     ///< fleet-wide, sum of shard queues
+    std::size_t in_flight_ = 0;  ///< fleet-wide, sum of shard batches
     bool stopping_ = false;
     bool cancel_pending_ = false;
     std::uint64_t next_id_ = 1;
     std::uint64_t next_batch_id_ = 1;
-
-    // Owned by the scheduler thread (or pump() caller) outside the lock.
-    BufferPool pool_;
-    simt::Timeline timeline_;
 
     // Guarded by mutex_.
     ServerStats stats_;
     LatencyDigest queue_wait_digest_;
     LatencyDigest wall_digest_;
     LatencyDigest modeled_digest_;
-
-    std::thread scheduler_;
 };
 
 }  // namespace gas::serve

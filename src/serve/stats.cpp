@@ -78,6 +78,39 @@ std::string ServerStats::to_json() const {
            static_cast<unsigned long long>(quarantined),
            static_cast<unsigned long long>(verify_failures), retry_backoff_ms);
     append(j, "  },\n");
+    append(j, "  \"fleet\": {\n");
+    append(j,
+           "    \"devices\": %zu, \"steals\": %llu, \"reroutes\": %llu, "
+           "\"devices_quarantined\": %llu,\n",
+           devices.size(), static_cast<unsigned long long>(steals),
+           static_cast<unsigned long long>(reroutes),
+           static_cast<unsigned long long>(devices_quarantined));
+    append(j, "    \"per_device\": [\n");
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        const DeviceBreakdown& d = devices[i];
+        append(j,
+               "      {\"name\": \"%s\", \"quarantined\": %s, \"routed\": %llu, "
+               "\"completed\": %llu, \"batches\": %llu, \"fused_arrays\": %llu,\n",
+               d.name.c_str(), d.quarantined ? "true" : "false",
+               static_cast<unsigned long long>(d.routed),
+               static_cast<unsigned long long>(d.completed),
+               static_cast<unsigned long long>(d.batches),
+               static_cast<unsigned long long>(d.fused_arrays));
+        append(j,
+               "       \"steals_in\": %llu, \"steals_out\": %llu, \"reroutes_in\": %llu, "
+               "\"reroutes_out\": %llu, \"queue_depth\": %zu,\n",
+               static_cast<unsigned long long>(d.steals_in),
+               static_cast<unsigned long long>(d.steals_out),
+               static_cast<unsigned long long>(d.reroutes_in),
+               static_cast<unsigned long long>(d.reroutes_out), d.queue_depth);
+        append(j,
+               "       \"kernel_ms\": %.6f, \"overlap_ms\": %.6f, "
+               "\"compute_utilization\": %.4f}%s\n",
+               d.modeled_kernel_ms, d.modeled_overlap_ms, d.compute_utilization,
+               i + 1 < devices.size() ? "," : "");
+    }
+    append(j, "    ]\n");
+    append(j, "  },\n");
     append(j, "  \"modeled\": {\n");
     append(j,
            "    \"kernel_ms\": %.6f, \"h2d_ms\": %.6f, \"d2h_ms\": %.6f, "

@@ -46,6 +46,25 @@ struct LatencySummary {
 
 [[nodiscard]] LatencySummary summarize(const LatencyDigest& d);
 
+/// Per-device slice of a fleet server's stats (one entry per shard, in
+/// device order, including the N=1 single-device degenerate fleet).
+struct DeviceBreakdown {
+    std::string name;           ///< "dev<i>"
+    bool quarantined = false;   ///< device lost; no longer routed to
+    std::uint64_t routed = 0;        ///< requests placed here at submit
+    std::uint64_t completed = 0;     ///< requests retired on this device
+    std::uint64_t batches = 0;       ///< fused batches it executed
+    std::uint64_t fused_arrays = 0;
+    std::uint64_t steals_in = 0;     ///< requests this shard stole when idle
+    std::uint64_t steals_out = 0;    ///< requests stolen from its queue
+    std::uint64_t reroutes_in = 0;   ///< requests re-homed here after a loss
+    std::uint64_t reroutes_out = 0;  ///< requests it lost when quarantined
+    double modeled_kernel_ms = 0.0;
+    double modeled_overlap_ms = 0.0;    ///< this device's pipeline makespan
+    double compute_utilization = 0.0;   ///< of its own makespan
+    std::size_t queue_depth = 0;        ///< at the moment stats() was taken
+};
+
 /// Full observability surface of one gas::serve::Server.
 struct ServerStats {
     // Admission.
@@ -74,11 +93,20 @@ struct ServerStats {
     std::uint64_t verify_failures = 0;  ///< requests whose response verification failed
     double retry_backoff_ms = 0.0;      ///< modeled backoff accrued by all retries
 
+    // Fleet (multi-device routing; devices.size() == 1 for a single device).
+    std::uint64_t steals = 0;               ///< requests moved by work stealing
+    std::uint64_t reroutes = 0;             ///< requests re-homed after device loss
+    std::uint64_t devices_quarantined = 0;  ///< devices lost so far
+    std::vector<DeviceBreakdown> devices;   ///< per-shard slice, device order
+
     // Modeled device cost (sums over batches).
     double modeled_kernel_ms = 0.0;
     double modeled_h2d_ms = 0.0;
     double modeled_d2h_ms = 0.0;
-    // Multi-stream pipeline model (simt::Timeline over every batch).
+    // Multi-stream pipeline model (simt::Timeline over every batch).  With a
+    // fleet, devices run concurrently: overlap is the max per-device
+    // makespan, serial the sum of fully-serialized per-device costs, and the
+    // engine utilizations are fleet-wide (busy / (overlap x devices)).
     double modeled_overlap_ms = 0.0;
     double modeled_serial_ms = 0.0;
     double h2d_busy_ms = 0.0;

@@ -1,0 +1,429 @@
+// gas::serve::Server over a DeviceFleet: routing policies end to end, idle
+// work stealing, device-loss quarantine + byte-identical re-routing, the
+// last-device-standing host fallback, heterogeneous eligibility, and the
+// concurrent (scheduler-thread) fleet path.
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "fleet/fleet.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using gas::fleet::DeviceFleet;
+using gas::fleet::RoutePolicy;
+using gas::serve::Job;
+using gas::serve::JobKind;
+using gas::serve::Response;
+using gas::serve::Server;
+using gas::serve::ServerConfig;
+using gas::serve::Status;
+
+ServerConfig manual_config(RoutePolicy policy = RoutePolicy::LeastLoaded) {
+    ServerConfig cfg;
+    cfg.manual_pump = true;
+    cfg.route_policy = policy;
+    cfg.retry.seed = 31;
+    return cfg;
+}
+
+Job uniform_job(std::size_t num_arrays, std::size_t array_size, unsigned seed) {
+    Job job;
+    job.kind = JobKind::Uniform;
+    job.num_arrays = num_arrays;
+    job.array_size = array_size;
+    job.values = workload::make_dataset(num_arrays, array_size,
+                                        workload::Distribution::Uniform, seed)
+                     .values;
+    return job;
+}
+
+/// A uniform job whose keys all sit at `frac` of the paper's key domain —
+/// the shape KeyRange sharding is built for.
+Job banded_job(std::size_t num_arrays, std::size_t array_size, double frac,
+               unsigned seed) {
+    Job job = uniform_job(num_arrays, array_size, seed);
+    const float base = static_cast<float>(
+        frac * gas::fleet::Router::kDefaultKeySpace);
+    for (std::size_t i = 0; i < job.values.size(); ++i) {
+        job.values[i] = base + static_cast<float>(i % 1024);
+    }
+    return job;
+}
+
+std::vector<float> sorted_rows(std::vector<float> values, std::size_t num_arrays,
+                               std::size_t array_size) {
+    for (std::size_t a = 0; a < num_arrays; ++a) {
+        auto* row = values.data() + a * array_size;
+        std::sort(row, row + array_size);
+    }
+    return values;
+}
+
+simt::faults::FaultPlan kill_plan() {
+    simt::faults::FaultPlan plan;
+    plan.launch_fail_every = 1;  // every launch refuses: the device is gone
+    return plan;
+}
+
+TEST(FleetServer, LeastLoadedSpreadsEqualWorkEvenly) {
+    DeviceFleet fleet(4, simt::tiny_device(256 << 20));
+    Server server(fleet, manual_config());
+    ASSERT_EQ(server.num_devices(), 4u);
+
+    std::vector<Server::Ticket> tickets;
+    std::vector<std::vector<float>> expected;
+    for (unsigned i = 0; i < 8; ++i) {
+        auto job = uniform_job(4, 64, i);
+        expected.push_back(sorted_rows(job.values, 4, 64));
+        tickets.push_back(server.submit(std::move(job)));
+    }
+    server.pump();
+
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        Response r = tickets[i].result.get();
+        ASSERT_EQ(r.status, Status::Ok) << r.error;
+        EXPECT_FALSE(r.cpu_fallback);
+        EXPECT_EQ(r.values, expected[i]);
+    }
+    const auto stats = server.stats();
+    ASSERT_EQ(stats.devices.size(), 4u);
+    for (const auto& d : stats.devices) {
+        EXPECT_EQ(d.routed, 2u) << d.name;  // equal jobs round-robin the fleet
+        EXPECT_EQ(d.completed, 2u) << d.name;
+        EXPECT_GT(d.modeled_kernel_ms, 0.0) << d.name;
+    }
+    EXPECT_EQ(stats.completed, 8u);
+    EXPECT_EQ(stats.reroutes, 0u);
+    EXPECT_EQ(stats.devices_quarantined, 0u);
+}
+
+TEST(FleetServer, FleetBytesMatchSingleDeviceBytes) {
+    std::vector<Response> fleet_responses;
+    {
+        DeviceFleet fleet(3, simt::tiny_device(256 << 20));
+        Server server(fleet, manual_config());
+        std::vector<Server::Ticket> tickets;
+        for (unsigned i = 0; i < 6; ++i) {
+            tickets.push_back(server.submit(uniform_job(4, 100, 100 + i)));
+        }
+        server.pump();
+        for (auto& t : tickets) fleet_responses.push_back(t.result.get());
+    }
+    simt::Device solo(simt::tiny_device(256 << 20));
+    Server server(solo, manual_config());
+    std::vector<Server::Ticket> tickets;
+    for (unsigned i = 0; i < 6; ++i) {
+        tickets.push_back(server.submit(uniform_job(4, 100, 100 + i)));
+    }
+    server.pump();
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        Response solo_r = tickets[i].result.get();
+        ASSERT_EQ(solo_r.status, Status::Ok);
+        ASSERT_EQ(fleet_responses[i].status, Status::Ok);
+        EXPECT_EQ(fleet_responses[i].values, solo_r.values)
+            << "request " << i << " bytes depend on which device served it";
+    }
+}
+
+TEST(FleetServer, ConsistentHashGivesSameContentTheSameDevice) {
+    DeviceFleet fleet(4, simt::tiny_device(256 << 20));
+    auto cfg = manual_config(RoutePolicy::ConsistentHash);
+    cfg.max_steal_requests = 0;  // keep placement observable
+    Server server(fleet, cfg);
+
+    for (unsigned rep = 0; rep < 6; ++rep) {
+        (void)server.submit(uniform_job(4, 64, /*seed=*/7));  // same content
+    }
+    server.pump();
+    const auto stats = server.stats();
+    std::size_t owners = 0;
+    for (const auto& d : stats.devices) {
+        if (d.routed > 0) {
+            ++owners;
+            EXPECT_EQ(d.routed, 6u) << d.name;
+        }
+    }
+    EXPECT_EQ(owners, 1u);  // one device owns that fingerprint
+}
+
+TEST(FleetServer, KeyRangeShardsByKeyBand) {
+    DeviceFleet fleet(4, simt::tiny_device(256 << 20));
+    auto cfg = manual_config(RoutePolicy::KeyRange);
+    cfg.max_steal_requests = 0;
+    Server server(fleet, cfg);
+
+    const double bands[] = {0.05, 0.30, 0.60, 0.90};
+    std::vector<Server::Ticket> tickets;
+    for (std::size_t b = 0; b < 4; ++b) {
+        tickets.push_back(server.submit(
+            banded_job(4, 64, bands[b], static_cast<unsigned>(50 + b))));
+    }
+    server.pump();
+    for (auto& t : tickets) {
+        Response r = t.result.get();
+        ASSERT_EQ(r.status, Status::Ok) << r.error;
+    }
+    const auto stats = server.stats();
+    for (std::size_t b = 0; b < 4; ++b) {
+        EXPECT_EQ(stats.devices[b].routed, 1u)
+            << "band " << bands[b] << " missed shard " << b;
+    }
+}
+
+TEST(FleetServer, IdleShardStealsFromTheLoadedPeer) {
+    DeviceFleet fleet(2, simt::tiny_device(256 << 20));
+    auto cfg = manual_config(RoutePolicy::ConsistentHash);
+    cfg.max_batch_requests = 2;  // small batches leave a backlog to steal
+    cfg.max_steal_requests = 2;
+    Server server(fleet, cfg);
+
+    std::vector<Server::Ticket> tickets;
+    const auto expected =
+        sorted_rows(uniform_job(4, 64, /*seed=*/9).values, 4, 64);
+    for (unsigned rep = 0; rep < 12; ++rep) {
+        tickets.push_back(server.submit(uniform_job(4, 64, /*seed=*/9)));
+    }
+    server.pump();
+
+    for (auto& t : tickets) {
+        Response r = t.result.get();
+        ASSERT_EQ(r.status, Status::Ok) << r.error;
+        EXPECT_EQ(r.values, expected);  // stolen or not, bytes are identical
+    }
+    const auto stats = server.stats();
+    EXPECT_GT(stats.steals, 0u);
+    std::uint64_t steals_in = 0;
+    std::uint64_t steals_out = 0;
+    for (const auto& d : stats.devices) {
+        steals_in += d.steals_in;
+        steals_out += d.steals_out;
+        EXPECT_GT(d.completed, 0u) << d.name << " never served anything";
+    }
+    EXPECT_EQ(steals_in, stats.steals);
+    EXPECT_EQ(steals_out, stats.steals);
+}
+
+TEST(FleetServer, DeviceLossReroutesBitIdentically) {
+    DeviceFleet fleet(2, simt::tiny_device(256 << 20));
+    Server server(fleet, manual_config());
+
+    std::vector<Server::Ticket> tickets;
+    std::vector<std::vector<float>> expected;
+    for (unsigned i = 0; i < 6; ++i) {
+        auto job = uniform_job(4, 64, 200 + i);
+        expected.push_back(sorted_rows(job.values, 4, 64));
+        tickets.push_back(server.submit(std::move(job)));
+    }
+    // Device 0 dies before any batch runs: its first batch exhausts the
+    // retry budget, the shard quarantines, and everything re-homes on
+    // device 1.
+    fleet.device(0).set_fault_plan(kill_plan());
+    server.pump();
+
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        Response r = tickets[i].result.get();
+        ASSERT_EQ(r.status, Status::Ok) << r.error;
+        EXPECT_FALSE(r.cpu_fallback) << "request " << i << " fell to the host";
+        EXPECT_EQ(r.values, expected[i]) << "request " << i;
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.devices_quarantined, 1u);
+    EXPECT_GT(stats.reroutes, 0u);
+    EXPECT_TRUE(stats.devices[0].quarantined);
+    EXPECT_FALSE(stats.devices[1].quarantined);
+    EXPECT_EQ(stats.devices[0].reroutes_out, stats.devices[1].reroutes_in);
+    EXPECT_EQ(stats.devices[1].completed, 6u);
+    EXPECT_EQ(stats.cpu_fallbacks, 0u);
+
+    // New work avoids the quarantined device.
+    auto late = server.submit(uniform_job(4, 64, 300));
+    server.pump();
+    EXPECT_EQ(late.result.get().status, Status::Ok);
+    const auto after = server.stats();
+    EXPECT_EQ(after.devices[0].routed, stats.devices[0].routed);
+    EXPECT_EQ(after.devices[1].completed, 7u);
+}
+
+TEST(FleetServer, LastDeviceStandingQuarantinesToHostNotFleet) {
+    simt::Device dev(simt::tiny_device(256 << 20));
+    dev.set_fault_plan(kill_plan());
+    Server server(dev, manual_config());
+
+    auto job = uniform_job(4, 64, 11);
+    const auto expected = sorted_rows(job.values, 4, 64);
+    auto ticket = server.submit(std::move(job));
+    server.pump();
+
+    Response r = ticket.result.get();
+    ASSERT_EQ(r.status, Status::Ok) << r.error;
+    EXPECT_TRUE(r.cpu_fallback);
+    EXPECT_EQ(r.values, expected);
+    const auto stats = server.stats();
+    // Single-device semantics survive the fleet generalization: the batch
+    // quarantines to the host, the device itself is never written off.
+    EXPECT_EQ(stats.devices_quarantined, 0u);
+    EXPECT_FALSE(stats.devices[0].quarantined);
+    EXPECT_EQ(stats.quarantined, 1u);
+    EXPECT_EQ(stats.reroutes, 0u);
+}
+
+TEST(FleetServer, AllDevicesLostStillServesEveryRequest) {
+    DeviceFleet fleet(2, simt::tiny_device(256 << 20));
+    fleet.device(0).set_fault_plan(kill_plan());
+    fleet.device(1).set_fault_plan(kill_plan());
+    Server server(fleet, manual_config());
+
+    std::vector<Server::Ticket> tickets;
+    std::vector<std::vector<float>> expected;
+    for (unsigned i = 0; i < 4; ++i) {
+        auto job = uniform_job(4, 64, 400 + i);
+        expected.push_back(sorted_rows(job.values, 4, 64));
+        tickets.push_back(server.submit(std::move(job)));
+    }
+    server.pump();
+
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        Response r = tickets[i].result.get();
+        ASSERT_EQ(r.status, Status::Ok) << r.error;
+        EXPECT_EQ(r.values, expected[i]);
+        EXPECT_TRUE(r.cpu_fallback);
+    }
+    const auto stats = server.stats();
+    // One device quarantines; the last live one degrades batch by batch to
+    // the host instead of being written off.
+    EXPECT_EQ(stats.devices_quarantined, 1u);
+    EXPECT_EQ(stats.completed, 4u);
+}
+
+TEST(FleetServer, HeterogeneousFleetRoutesAroundTheSmallDevice) {
+    DeviceFleet fleet(std::vector<simt::DeviceProperties>{
+        simt::tiny_device(256 << 10), simt::tiny_device(256 << 20)});
+    Server server(fleet, manual_config());
+
+    // Too big for the small device's budget, comfortable on the large one;
+    // the premise is asserted against the footprint model so a geometry
+    // change fails loudly rather than silently routing differently.
+    const std::size_t kArrays = 64;
+    const std::size_t kSize = 1024;
+    const auto budget = [](const simt::Device& d) {
+        return static_cast<std::size_t>(
+            static_cast<double>(d.memory().capacity()) * 0.9);
+    };
+    ASSERT_GT(gas::batch_footprint_bytes(kArrays, kSize, gas::Options{},
+                                         fleet.device(0).props(), 1),
+              budget(fleet.device(0)));
+    ASSERT_LE(gas::batch_footprint_bytes(3 * kArrays, kSize, gas::Options{},
+                                         fleet.device(1).props(), 1),
+              budget(fleet.device(1)));
+
+    std::vector<Server::Ticket> tickets;
+    for (unsigned i = 0; i < 3; ++i) {
+        tickets.push_back(server.submit(uniform_job(kArrays, kSize, 500 + i)));
+    }
+    server.pump();
+    for (auto& t : tickets) {
+        Response r = t.result.get();
+        ASSERT_EQ(r.status, Status::Ok) << r.error;
+        EXPECT_FALSE(r.cpu_fallback);
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.devices[0].routed, 0u);  // ineligible despite zero load
+    EXPECT_EQ(stats.devices[1].routed, 3u);
+    EXPECT_EQ(stats.devices[1].completed, 3u);
+}
+
+TEST(FleetServer, StatsJsonCarriesTheFleetBlock) {
+    DeviceFleet fleet(2, simt::tiny_device(64 << 20));
+    Server server(fleet, manual_config());
+    (void)server.submit(uniform_job(2, 32, 1));
+    server.pump();
+    const std::string json = server.stats_json();
+    EXPECT_NE(json.find("\"fleet\""), std::string::npos);
+    EXPECT_NE(json.find("\"per_device\""), std::string::npos);
+    EXPECT_NE(json.find("\"dev0\""), std::string::npos);
+    EXPECT_NE(json.find("\"dev1\""), std::string::npos);
+    EXPECT_NE(json.find("\"devices_quarantined\""), std::string::npos);
+}
+
+TEST(FleetServer, SchedulerThreadsServeConcurrentProducers) {
+    DeviceFleet fleet(3, simt::tiny_device(256 << 20));
+    ServerConfig cfg;
+    cfg.route_policy = RoutePolicy::LeastLoaded;
+    Server server(fleet, cfg);
+
+    constexpr unsigned kProducers = 4;
+    constexpr unsigned kPerProducer = 15;
+    std::vector<std::vector<Server::Ticket>> tickets(kProducers);
+    std::vector<std::thread> producers;
+    for (unsigned t = 0; t < kProducers; ++t) {
+        producers.emplace_back([&, t] {
+            for (unsigned i = 0; i < kPerProducer; ++i) {
+                tickets[t].push_back(
+                    server.submit(uniform_job(2, 64, t * 1000 + i)));
+            }
+        });
+    }
+    for (auto& p : producers) p.join();
+    server.drain();
+    server.stop();
+
+    std::size_t ok = 0;
+    for (auto& per : tickets) {
+        for (auto& t : per) {
+            Response r = t.result.get();
+            ASSERT_EQ(r.status, Status::Ok) << r.error;
+            const auto expected = sorted_rows(r.values, 2, 64);
+            EXPECT_EQ(r.values, expected);  // already sorted
+            ++ok;
+        }
+    }
+    EXPECT_EQ(ok, kProducers * kPerProducer);
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.completed, kProducers * kPerProducer);
+    EXPECT_EQ(stats.devices.size(), 3u);
+}
+
+TEST(FleetServer, SchedulerThreadsRerouteAroundADeadDevice) {
+    DeviceFleet fleet(3, simt::tiny_device(256 << 20));
+    // The plan is installed before the server exists: no thread is touching
+    // the device yet, and its very first batch will kill it.
+    fleet.device(1).set_fault_plan(kill_plan());
+    ServerConfig cfg;
+    cfg.retry.seed = 31;
+    Server server(fleet, cfg);
+
+    std::vector<Server::Ticket> tickets;
+    std::vector<std::vector<float>> expected;
+    for (unsigned i = 0; i < 30; ++i) {
+        auto job = uniform_job(2, 64, 700 + i);
+        expected.push_back(sorted_rows(job.values, 2, 64));
+        tickets.push_back(server.submit(std::move(job)));
+    }
+    server.drain();
+    server.stop();
+
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        Response r = tickets[i].result.get();
+        ASSERT_EQ(r.status, Status::Ok) << r.error;
+        EXPECT_EQ(r.values, expected[i]) << "request " << i;
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.completed, 30u);
+    // The dead device quarantines on its first batch — unless idle peers
+    // stole its queue out from under it every time, in which case it simply
+    // never executed anything.
+    EXPECT_LE(stats.devices_quarantined, 1u);
+    EXPECT_FALSE(stats.devices[0].quarantined);
+    EXPECT_FALSE(stats.devices[2].quarantined);
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// fleet::Router placement policies: least-loaded balance, consistent-hash
+// stability under device loss, key-range partitioning, and the
+// eligibility/liveness fallback ladder.
+
+#include "fleet/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+
+namespace {
+
+using gas::fleet::DeviceFleet;
+using gas::fleet::parse_route_policy;
+using gas::fleet::RouteInfo;
+using gas::fleet::RoutePolicy;
+using gas::fleet::Router;
+using gas::fleet::ShardLoad;
+
+std::vector<ShardLoad> loads_of(std::vector<std::size_t> queued) {
+    std::vector<ShardLoad> loads;
+    for (std::size_t q : queued) loads.push_back({q, true, true});
+    return loads;
+}
+
+RouteInfo info_with_fingerprint(std::uint64_t fp) {
+    RouteInfo info;
+    info.fingerprint = fp;
+    return info;
+}
+
+TEST(Router, LeastLoadedPicksFewestQueuedElements) {
+    Router router(RoutePolicy::LeastLoaded, 3);
+    EXPECT_EQ(router.route({}, loads_of({5, 2, 9})), 1u);
+    EXPECT_EQ(router.route({}, loads_of({7, 7, 7})), 0u);  // tie -> lowest index
+    EXPECT_EQ(router.route({}, loads_of({1, 0, 0})), 1u);
+}
+
+TEST(Router, LeastLoadedSkipsDeadAndPrefersEligible) {
+    Router router(RoutePolicy::LeastLoaded, 3);
+    auto loads = loads_of({5, 2, 9});
+    loads[1].live = false;  // the cheapest device is gone
+    EXPECT_EQ(router.route({}, loads), 0u);
+
+    loads = loads_of({5, 2, 9});
+    loads[1].eligible = false;  // request does not fit the cheapest device
+    EXPECT_EQ(router.route({}, loads), 0u);
+
+    // Nothing eligible: stay on a live device anyway (it will degrade the
+    // request to its host path) rather than returning the sentinel.
+    loads = loads_of({5, 2, 9});
+    for (auto& l : loads) l.eligible = false;
+    EXPECT_EQ(router.route({}, loads), 1u);
+}
+
+TEST(Router, SentinelWhenNothingIsLive) {
+    for (auto policy : {RoutePolicy::LeastLoaded, RoutePolicy::ConsistentHash,
+                        RoutePolicy::KeyRange}) {
+        Router router(policy, 4);
+        auto loads = loads_of({1, 2, 3, 4});
+        for (auto& l : loads) l.live = false;
+        EXPECT_EQ(router.route(info_with_fingerprint(99), loads), 4u);
+    }
+}
+
+TEST(Router, ConsistentHashIsDeterministic) {
+    Router a(RoutePolicy::ConsistentHash, 4);
+    Router b(RoutePolicy::ConsistentHash, 4);
+    const auto loads = loads_of({0, 0, 0, 0});
+    for (std::uint64_t fp = 1; fp <= 500; ++fp) {
+        EXPECT_EQ(a.route(info_with_fingerprint(fp), loads),
+                  b.route(info_with_fingerprint(fp), loads));
+    }
+}
+
+TEST(Router, ConsistentHashSpreadsFingerprints) {
+    Router router(RoutePolicy::ConsistentHash, 4);
+    const auto loads = loads_of({0, 0, 0, 0});
+    std::map<std::size_t, std::size_t> hits;
+    for (std::uint64_t fp = 1; fp <= 2000; ++fp) {
+        ++hits[router.route(info_with_fingerprint(fp), loads)];
+    }
+    ASSERT_EQ(hits.size(), 4u);
+    for (const auto& [device, count] : hits) {
+        EXPECT_GT(count, 100u) << "device " << device << " starved";
+    }
+}
+
+TEST(Router, ConsistentHashOnlyRemapsTheLostDevicesKeys) {
+    Router router(RoutePolicy::ConsistentHash, 4);
+    const auto all = loads_of({0, 0, 0, 0});
+    auto degraded = all;
+    degraded[2].live = false;
+
+    for (std::uint64_t fp = 1; fp <= 2000; ++fp) {
+        const std::size_t before = router.route(info_with_fingerprint(fp), all);
+        const std::size_t after = router.route(info_with_fingerprint(fp), degraded);
+        if (before != 2) {
+            EXPECT_EQ(after, before) << "fingerprint " << fp
+                                     << " moved though its device survived";
+        } else {
+            EXPECT_NE(after, 2u);
+        }
+    }
+}
+
+TEST(Router, KeyRangePartitionsTheDomainMonotonically) {
+    Router router(RoutePolicy::KeyRange, 4);
+    const auto loads = loads_of({0, 0, 0, 0});
+    RouteInfo info;
+    std::size_t prev = 0;
+    for (double frac = 0.0; frac <= 1.0; frac += 0.01) {
+        info.key_hint = frac * Router::kDefaultKeySpace;
+        const std::size_t owner = router.route(info, loads);
+        EXPECT_GE(owner, prev);  // owners ascend with the key
+        prev = owner;
+    }
+    EXPECT_EQ(prev, 3u);  // the top of the domain reaches the last device
+
+    info.key_hint = -100.0;  // clamped into the domain
+    EXPECT_EQ(router.route(info, loads), 0u);
+    info.key_hint = 10.0 * Router::kDefaultKeySpace;
+    EXPECT_EQ(router.route(info, loads), 3u);
+}
+
+TEST(Router, KeyRangeReassignsRangesAfterLoss) {
+    Router router(RoutePolicy::KeyRange, 4);
+    auto loads = loads_of({0, 0, 0, 0});
+    loads[1].live = false;  // survivors 0, 2, 3 split the domain three ways
+    RouteInfo info;
+    info.key_hint = 0.05 * Router::kDefaultKeySpace;
+    EXPECT_EQ(router.route(info, loads), 0u);
+    info.key_hint = 0.5 * Router::kDefaultKeySpace;
+    EXPECT_EQ(router.route(info, loads), 2u);
+    info.key_hint = 0.95 * Router::kDefaultKeySpace;
+    EXPECT_EQ(router.route(info, loads), 3u);
+}
+
+TEST(Router, ParseRoutePolicyRoundTrips) {
+    for (auto policy : {RoutePolicy::LeastLoaded, RoutePolicy::ConsistentHash,
+                        RoutePolicy::KeyRange}) {
+        RoutePolicy parsed{};
+        ASSERT_TRUE(parse_route_policy(to_string(policy), parsed));
+        EXPECT_EQ(parsed, policy);
+    }
+    RoutePolicy parsed = RoutePolicy::KeyRange;
+    EXPECT_FALSE(parse_route_policy("round-robin", parsed));
+    EXPECT_EQ(parsed, RoutePolicy::KeyRange);  // untouched on failure
+}
+
+TEST(Router, RejectsDegenerateConfigurations) {
+    EXPECT_THROW(Router(RoutePolicy::LeastLoaded, 0), std::invalid_argument);
+    EXPECT_THROW(Router(RoutePolicy::KeyRange, 2, 0.0), std::invalid_argument);
+    Router router(RoutePolicy::LeastLoaded, 2);
+    EXPECT_THROW((void)router.route({}, loads_of({1, 2, 3})), std::invalid_argument);
+}
+
+TEST(DeviceFleet, OwnsHomogeneousDevices) {
+    DeviceFleet fleet(3, simt::tiny_device(64 << 20));
+    ASSERT_EQ(fleet.size(), 3u);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        EXPECT_EQ(fleet.device(i).memory().capacity(), 64u << 20);
+    }
+    fleet.set_exec_mode(simt::ExecMode::Warp);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        EXPECT_EQ(fleet.device(i).exec_mode(), simt::ExecMode::Warp);
+    }
+}
+
+TEST(DeviceFleet, OwnsHeterogeneousDevices) {
+    DeviceFleet fleet(std::vector<simt::DeviceProperties>{
+        simt::tiny_device(16 << 20), simt::tiny_device(256 << 20)});
+    ASSERT_EQ(fleet.size(), 2u);
+    EXPECT_EQ(fleet.device(0).memory().capacity(), 16u << 20);
+    EXPECT_EQ(fleet.device(1).memory().capacity(), 256u << 20);
+}
+
+TEST(DeviceFleet, BorrowsExternalDevices) {
+    simt::Device a(simt::tiny_device(32 << 20));
+    simt::Device b(simt::tiny_device(32 << 20));
+    DeviceFleet single(a);
+    EXPECT_EQ(single.size(), 1u);
+    EXPECT_EQ(&single.device(0), &a);
+    DeviceFleet both(std::vector<simt::Device*>{&a, &b});
+    EXPECT_EQ(both.size(), 2u);
+    EXPECT_EQ(&both.device(1), &b);
+}
+
+TEST(DeviceFleet, RejectsEmptyAndNull) {
+    EXPECT_THROW(DeviceFleet(0), std::invalid_argument);
+    EXPECT_THROW(DeviceFleet(std::vector<simt::DeviceProperties>{}),
+                 std::invalid_argument);
+    EXPECT_THROW(DeviceFleet(std::vector<simt::Device*>{}), std::invalid_argument);
+    EXPECT_THROW(DeviceFleet(std::vector<simt::Device*>{nullptr}),
+                 std::invalid_argument);
+}
+
+}  // namespace

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
 #include "simt/device.hpp"
 #include "simt/error.hpp"
 
@@ -98,6 +103,59 @@ TEST(BufferPool, ReleaseOfEmptyLeaseIsNoOp) {
     BufferPool::Lease empty;
     pool.release(empty);
     EXPECT_EQ(pool.stats().releases, 0u);
+}
+
+// The fleet server gives every shard its own pool, but one pool still sees
+// multiple threads: the shard's scheduler acquires/releases while peers call
+// trim() (retry-path defragmentation) and stats() from their own threads.
+// Hammer all four entry points concurrently; under GAS_SANITIZE=thread this
+// is the TSan proof of the pool's internal locking, and in any build the
+// final accounting must balance exactly.
+TEST(BufferPool, SurvivesConcurrentBorrowAndTrim) {
+    auto dev = make_device(64 << 20);
+    BufferPool pool(dev.memory());
+
+    constexpr unsigned kSchedulers = 4;
+    constexpr unsigned kIterations = 400;
+    constexpr std::size_t kClasses[] = {1 << 10, 1 << 12, 1 << 14};
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> acquired{0};
+
+    std::vector<std::thread> schedulers;
+    for (unsigned t = 0; t < kSchedulers; ++t) {
+        schedulers.emplace_back([&, t] {
+            std::vector<BufferPool::Lease> held;
+            for (unsigned i = 0; i < kIterations; ++i) {
+                held.push_back(pool.acquire(kClasses[(t + i) % 3]));
+                acquired.fetch_add(1, std::memory_order_relaxed);
+                if (held.size() >= 4) {  // keep a few live leases in flight
+                    pool.release(held.front());
+                    held.erase(held.begin());
+                }
+            }
+            for (const auto& lease : held) pool.release(lease);
+        });
+    }
+    std::thread trimmer([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            pool.trim();
+            (void)pool.stats();
+            std::this_thread::yield();
+        }
+    });
+    for (auto& s : schedulers) s.join();
+    stop.store(true, std::memory_order_relaxed);
+    trimmer.join();
+
+    const auto stats = pool.stats();
+    EXPECT_EQ(stats.acquires, acquired.load());
+    EXPECT_EQ(stats.acquires, kSchedulers * kIterations);
+    EXPECT_EQ(stats.releases, stats.acquires);  // every lease went back
+    EXPECT_EQ(stats.bytes_leased, 0u);
+    EXPECT_EQ(stats.reuse_hits + stats.device_allocs, stats.acquires);
+    pool.trim();
+    EXPECT_EQ(pool.stats().bytes_cached, 0u);
+    EXPECT_EQ(dev.memory().bytes_in_use(), 0u);  // accounting balances
 }
 
 }  // namespace

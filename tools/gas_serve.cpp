@@ -12,6 +12,9 @@
 //     --streams S      pipeline depth for the overlap model (default 2)
 //     --batch B        max requests per fused batch (default 64)
 //     --deadline-ms D  attach a D ms deadline to every request
+//     --devices N      serve on an N-device fleet (default 1)
+//     --policy P       fleet routing policy: least-loaded | consistent-hash
+//                      | key-range (default least-loaded)
 //     --exec M         interpreter execution mode: scalar|warp (default:
 //                      the SIMT_EXEC environment variable, else scalar)
 //     --json PATH      also write the ServerStats JSON to PATH
@@ -26,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.hpp"
+#include "fleet/router.hpp"
 #include "serve/server.hpp"
 #include "simt/device.hpp"
 #include "workload/generators.hpp"
@@ -37,6 +42,8 @@ int usage() {
                  "usage: gas_serve run [--requests R] [--arrays N] [--size n]\n"
                  "                     [--kind uniform|ragged|pairs] [--async]\n"
                  "                     [--streams S] [--batch B] [--deadline-ms D]\n"
+                 "                     [--devices N] [--policy least-loaded|consistent-hash|"
+                 "key-range]\n"
                  "                     [--exec scalar|warp] [--json PATH]\n");
     return 2;
 }
@@ -50,6 +57,8 @@ struct CliOptions {
     unsigned streams = 2;
     std::size_t batch = 64;
     double deadline_ms = 0.0;
+    std::size_t devices = 1;
+    gas::fleet::RoutePolicy policy = gas::fleet::RoutePolicy::LeastLoaded;
     simt::ExecMode exec = simt::exec_mode_from_env();
     std::string json;
 };
@@ -106,8 +115,8 @@ bool response_sorted(const gas::serve::Job& shape, const gas::serve::Response& r
 }
 
 int cmd_run(const CliOptions& cli) {
-    simt::Device device;  // full simulated K40c
-    device.set_exec_mode(cli.exec);
+    gas::fleet::DeviceFleet fleet(cli.devices);  // full simulated K40c each
+    fleet.set_exec_mode(cli.exec);
     gas::serve::ServerConfig cfg;
     cfg.manual_pump = !cli.async;
     cfg.queue_capacity = cli.async ? std::max<std::size_t>(cli.requests / 8, 16)
@@ -115,11 +124,14 @@ int cmd_run(const CliOptions& cli) {
     cfg.policy = gas::serve::AdmitPolicy::Block;
     cfg.max_batch_requests = cli.batch;
     cfg.num_streams = cli.streams;
-    gas::serve::Server server(device, cfg);
+    cfg.route_policy = cli.policy;
+    gas::serve::Server server(fleet, cfg);
 
-    std::printf("gas_serve: %zu %s requests, %s mode, %u streams, batch <= %zu\n",
+    std::printf("gas_serve: %zu %s requests, %s mode, %u streams, batch <= %zu, "
+                "%zu device(s), %s routing\n",
                 cli.requests, gas::serve::to_string(cli.kind).c_str(),
-                cli.async ? "async scheduler" : "manual pump", cli.streams, cli.batch);
+                cli.async ? "async scheduler" : "manual pump", cli.streams, cli.batch,
+                cli.devices, gas::fleet::to_string(cli.policy).c_str());
 
     struct Outstanding {
         gas::serve::Job shape;  // geometry only (values moved into the server)
@@ -168,6 +180,18 @@ int cmd_run(const CliOptions& cli) {
                 stats.modeled_throughput_rps());
     std::printf("latency (wall ms): p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
                 stats.wall_ms.p50, stats.wall_ms.p95, stats.wall_ms.p99, stats.wall_ms.max);
+    if (cli.devices > 1) {
+        for (const auto& d : stats.devices) {
+            std::printf("  %s: %llu routed, %llu completed, %llu batch(es), "
+                        "steal %llu/%llu in/out, util %.2f%s\n",
+                        d.name.c_str(), static_cast<unsigned long long>(d.routed),
+                        static_cast<unsigned long long>(d.completed),
+                        static_cast<unsigned long long>(d.batches),
+                        static_cast<unsigned long long>(d.steals_in),
+                        static_cast<unsigned long long>(d.steals_out),
+                        d.compute_utilization, d.quarantined ? "  [QUARANTINED]" : "");
+        }
+    }
 
     if (!cli.json.empty()) {
         if (std::FILE* f = std::fopen(cli.json.c_str(), "w")) {
@@ -237,6 +261,16 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage();
             cli.deadline_ms = std::strtod(v, nullptr);
+        } else if (arg == "--devices") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            cli.devices = std::strtoull(v, nullptr, 10);
+            if (cli.devices == 0) return usage();
+        } else if (arg == "--policy") {
+            const char* v = next();
+            if (v == nullptr || !gas::fleet::parse_route_policy(v, cli.policy)) {
+                return usage();
+            }
         } else if (arg == "--exec") {
             const char* v = next();
             if (v == nullptr) return usage();

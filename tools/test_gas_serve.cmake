@@ -1,5 +1,6 @@
 # Smoke test of the gas_serve CLI: all three job kinds through the manual
-# pump, then the async scheduler with backpressure and a stats JSON artifact.
+# pump, the async scheduler with backpressure and a stats JSON artifact, and
+# the multi-device fleet path under every routing policy.
 
 function(run)
   execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
@@ -28,4 +29,26 @@ endif()
 file(READ ${STATS} stats_json)
 if(NOT stats_json MATCHES "\"completed\": 96")
   message(FATAL_ERROR "stats JSON missing completed count:\n${stats_json}")
+endif()
+
+# Fleet path: every routing policy across 3 devices must serve the full
+# stream, and the stats JSON must carry the per-device fleet block.
+foreach(policy least-loaded consistent-hash key-range)
+  set(FLEET_STATS ${WORK_DIR}/serve_fleet_${policy}.json)
+  run(${GAS_SERVE} run --requests 48 --devices 3 --policy ${policy}
+      --json ${FLEET_STATS})
+  if(NOT last_out MATCHES "48 ok \\(0 cpu fallbacks\\), 0 not-ok, 0 unsorted")
+    message(FATAL_ERROR "fleet ${policy} run not fully served:\n${last_out}")
+  endif()
+  file(READ ${FLEET_STATS} fleet_json)
+  if(NOT fleet_json MATCHES "\"per_device\"")
+    message(FATAL_ERROR "fleet stats JSON missing per_device block:\n${fleet_json}")
+  endif()
+  if(NOT fleet_json MATCHES "\"dev2\"")
+    message(FATAL_ERROR "fleet stats JSON missing third device:\n${fleet_json}")
+  endif()
+endforeach()
+run(${GAS_SERVE} run --requests 48 --devices 4 --policy least-loaded --async)
+if(NOT last_out MATCHES "48 ok \\(0 cpu fallbacks\\), 0 not-ok, 0 unsorted")
+  message(FATAL_ERROR "async fleet run not fully served:\n${last_out}")
 endif()
