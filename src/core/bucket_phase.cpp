@@ -54,11 +54,11 @@ void charge_warp_scan(simt::WarpCtx& wc, std::size_t elements, bool staged_in_sh
 }  // namespace
 
 template <typename T>
-simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
-                               std::size_t num_arrays, const SortPlan& plan,
-                               const Options& opts, std::span<const T> splitters,
-                               std::span<std::uint32_t> bucket_sizes, std::span<T> scratch,
-                               std::size_t scratch_rows) {
+KernelSpec bucket_phase_spec(std::span<T> data, std::size_t num_arrays,
+                             const SortPlan& plan, const Options& opts,
+                             std::span<const T> splitters,
+                             std::span<std::uint32_t> bucket_sizes, std::span<T> scratch,
+                             std::size_t scratch_rows) {
     const std::size_t n = plan.array_size;
     const std::size_t p = plan.buckets;
     const std::size_t spa = plan.splitters_per_array;
@@ -66,9 +66,10 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
         opts.strategy == BucketingStrategy::ScanPerThread ? opts.threads_per_bucket : 1;
     const unsigned threads = static_cast<unsigned>(p) * tpb;
     const bool use_shared = plan.array_fits_shared;
+    const BucketingStrategy strategy = opts.strategy;
 
     simt::LaunchConfig cfg{"gas.phase2_bucketing", static_cast<unsigned>(num_arrays), threads};
-    return device.launch(cfg, [&](simt::BlockCtx& blk) {
+    auto kernel = [=](simt::BlockCtx& blk) {
         // Shared state: the staged array (when it fits), the splitter
         // sub-array sp_i (always; tiny but hot, per section 5.2), per-thread
         // match counts and per-thread write cursors.
@@ -131,7 +132,7 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
             }
         });
 
-        if (opts.strategy == BucketingStrategy::ScanPerThread) {
+        if (strategy == BucketingStrategy::ScanPerThread) {
             // Region 2 (Algorithm 2): thread t = j*tpb + sub owns bucket j's
             // splitter pair and scans its segment of the array, counting the
             // elements that fall within the pair.  The predicate is evaluated
@@ -219,7 +220,7 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
         // saving: the buckets land over the source array itself).  Each
         // thread's output range is private (from the exclusive scan), so the
         // region is race-free.
-        if (opts.strategy == BucketingStrategy::ScanPerThread) {
+        if (strategy == BucketingStrategy::ScanPerThread) {
             const auto scatter_lane = [&](simt::ThreadCtx& tc) {
                 const unsigned j = tc.tid() / tpb;
                 const auto seg = segment_of(n, tc.tid() % tpb, tpb);
@@ -289,13 +290,28 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
             };
             blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(search_scatter_lane); });
         }
-    });
+    };
+    return {cfg, std::move(kernel)};
+}
+
+template <typename T>
+simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
+                               std::size_t num_arrays, const SortPlan& plan,
+                               const Options& opts, std::span<const T> splitters,
+                               std::span<std::uint32_t> bucket_sizes, std::span<T> scratch,
+                               std::size_t scratch_rows) {
+    KernelSpec spec = bucket_phase_spec(data, num_arrays, plan, opts, splitters, bucket_sizes,
+                                        scratch, scratch_rows);
+    return device.launch(spec.cfg, spec.body);
 }
 
 #define GAS_INSTANTIATE(T)                                                                 \
     template simt::KernelStats bucket_phase<T>(                                            \
         simt::Device&, std::span<T>, std::size_t, const SortPlan&, const Options&,         \
-        std::span<const T>, std::span<std::uint32_t>, std::span<T>, std::size_t);
+        std::span<const T>, std::span<std::uint32_t>, std::span<T>, std::size_t);          \
+    template KernelSpec bucket_phase_spec<T>(                                              \
+        std::span<T>, std::size_t, const SortPlan&, const Options&, std::span<const T>,    \
+        std::span<std::uint32_t>, std::span<T>, std::size_t);
 GAS_INSTANTIATE(float)
 GAS_INSTANTIATE(double)
 GAS_INSTANTIATE(std::uint32_t)

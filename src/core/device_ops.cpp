@@ -12,7 +12,7 @@ constexpr unsigned kThreads = 256;
 }  // namespace
 
 template <typename T>
-simt::KernelStats negate_on_device(simt::Device& device, std::span<T> data) {
+detail::KernelSpec negate_spec(std::span<T> data) {
     static_assert(std::is_floating_point_v<T>,
                   "negation only reverses the total order of floating-point types");
     const std::size_t count = data.size();
@@ -20,7 +20,7 @@ simt::KernelStats negate_on_device(simt::Device& device, std::span<T> data) {
                            static_cast<unsigned>(std::max<std::size_t>(
                                (count + kTile - 1) / kTile, 1)),
                            kThreads};
-    return device.launch(cfg, [&](simt::BlockCtx& blk) {
+    auto body = [=](simt::BlockCtx& blk) {
         const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTile;
         const std::size_t tile_end = std::min(tile_begin + kTile, count);
         const auto negate_lane = [&](simt::ThreadCtx& tc) {
@@ -33,11 +33,20 @@ simt::KernelStats negate_on_device(simt::Device& device, std::span<T> data) {
             tc.ops(n);
         };
         blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(negate_lane); });
-    });
+    };
+    return {cfg, std::move(body)};
+}
+
+template <typename T>
+simt::KernelStats negate_on_device(simt::Device& device, std::span<T> data) {
+    detail::KernelSpec spec = negate_spec(data);
+    return device.launch(spec.cfg, spec.body);
 }
 
 template simt::KernelStats negate_on_device<float>(simt::Device&, std::span<float>);
 template simt::KernelStats negate_on_device<double>(simt::Device&, std::span<double>);
+template detail::KernelSpec negate_spec<float>(std::span<float>);
+template detail::KernelSpec negate_spec<double>(std::span<double>);
 
 std::size_t count_unsorted_on_device(simt::Device& device, std::span<const float> data,
                                      std::size_t num_arrays, std::size_t array_size) {

@@ -10,6 +10,7 @@
 #include "core/phases.hpp"
 #include "core/resilient.hpp"
 #include "core/validate.hpp"
+#include "simt/graph.hpp"
 
 namespace gas {
 
@@ -92,18 +93,11 @@ SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& dat
     // SMs, and no splitter/Z temporaries are needed at all.
     if (plan.buckets == 1) {
         auto span0 = data.span().subspan(0, num_arrays * array_size);
-        if constexpr (std::is_floating_point_v<T>) {
-            if (descending) {
-                const auto k = negate_on_device(device, span0);
-                stats.extra.modeled_ms += k.modeled_ms;
-                stats.extra.wall_ms += k.wall_ms;
-            }
-        }
         constexpr unsigned kPack = 256;
         simt::LaunchConfig cfg{"gas.small_array_sort",
                                static_cast<unsigned>((num_arrays + kPack - 1) / kPack),
                                kPack};
-        const auto k = device.launch(cfg, [&](simt::BlockCtx& blk) {
+        auto body = [=](simt::BlockCtx& blk) {
             const auto sort_lane = [&](simt::ThreadCtx& tc) {
                 const std::size_t a =
                     static_cast<std::size_t>(blk.block_idx()) * kPack + tc.tid();
@@ -114,14 +108,52 @@ SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& dat
                 tc.global_random(2ull * array_size);
             };
             blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(sort_lane); });
-        });
-        stats.phase3 = to_phase_stats(k);
-        stats.phase3_imbalance = k.imbalance;
-        if constexpr (std::is_floating_point_v<T>) {
-            if (descending) {
-                const auto k2 = negate_on_device(device, span0);
-                stats.extra.modeled_ms += k2.modeled_ms;
-                stats.extra.wall_ms += k2.wall_ms;
+        };
+        if (opts.graph_launch) {
+            // Graph form of the same (negate) -> sort -> (negate) chain: one
+            // submit, one worker-pool round-trip, bit-identical stats.
+            simt::Graph g;
+            std::vector<simt::Graph::NodeId> negates;
+            if constexpr (std::is_floating_point_v<T>) {
+                if (descending) {
+                    auto ns = negate_spec(span0);
+                    negates.push_back(g.add_kernel(ns.cfg, std::move(ns.body)));
+                }
+            }
+            const auto sort_node = g.add_kernel(cfg, std::move(body), negates);
+            if constexpr (std::is_floating_point_v<T>) {
+                if (descending) {
+                    auto post = negate_spec(span0);
+                    negates.push_back(
+                        g.add_kernel(post.cfg, std::move(post.body), {sort_node}));
+                }
+            }
+            device.submit(g);
+            const simt::KernelStats& k = g.kernel_stats(sort_node);
+            stats.phase3 = to_phase_stats(k);
+            stats.phase3_imbalance = k.imbalance;
+            for (const auto id : negates) {
+                const simt::KernelStats& kn = g.kernel_stats(id);
+                stats.extra.modeled_ms += kn.modeled_ms;
+                stats.extra.wall_ms += kn.wall_ms;
+            }
+        } else {
+            if constexpr (std::is_floating_point_v<T>) {
+                if (descending) {
+                    const auto k = negate_on_device(device, span0);
+                    stats.extra.modeled_ms += k.modeled_ms;
+                    stats.extra.wall_ms += k.wall_ms;
+                }
+            }
+            const auto k = device.launch(cfg, body);
+            stats.phase3 = to_phase_stats(k);
+            stats.phase3_imbalance = k.imbalance;
+            if constexpr (std::is_floating_point_v<T>) {
+                if (descending) {
+                    const auto k2 = negate_on_device(device, span0);
+                    stats.extra.modeled_ms += k2.modeled_ms;
+                    stats.extra.wall_ms += k2.wall_ms;
+                }
             }
         }
         stats.peak_device_bytes = device.memory().peak_bytes_in_use();
@@ -165,32 +197,89 @@ SortStats sort_arrays_on_device(simt::Device& device, simt::DeviceBuffer<T>& dat
 
     auto span = data.span().subspan(0, num_arrays * array_size);
 
-    // Descending order: negate, sort ascending, negate back (IEEE negation
-    // reverses float total order exactly).
-    if constexpr (std::is_floating_point_v<T>) {
-        if (descending) {
-            const auto k = negate_on_device(device, span);
-            stats.extra.modeled_ms += k.modeled_ms;
-            stats.extra.wall_ms += k.wall_ms;
+    if (opts.graph_launch) {
+        // One work graph for the whole pipeline: (negate) -> phase1 ->
+        // phase2 -> dispatch -> phase3 (-> negate), submitted in a single
+        // scheduling round-trip.  Phase 3's launch is emitted by a host
+        // decision node only after phase 2's Z row has settled — the
+        // device-driven analog of the host-loop "launch when the previous
+        // kernel returns" — so the chain never re-wakes the worker pool.
+        simt::Graph g;
+        std::vector<simt::Graph::NodeId> pre_deps;
+        simt::Graph::NodeId pre = 0;
+        bool has_negate = false;
+        if constexpr (std::is_floating_point_v<T>) {
+            if (descending) {
+                auto ns = negate_spec(span);
+                pre = g.add_kernel(ns.cfg, std::move(ns.body));
+                pre_deps.push_back(pre);
+                has_negate = true;
+            }
         }
-    }
+        auto s1 = detail::splitter_phase_spec<T>(span, num_arrays, plan, splitters.span());
+        const auto n1 = g.add_kernel(s1.cfg, std::move(s1.body), pre_deps);
+        auto s2 = detail::bucket_phase_spec<T>(span, num_arrays, plan, opts,
+                                               splitters.span(), bucket_sizes.span(),
+                                               scratch.span(), scratch_rows);
+        const auto n2 = g.add_kernel(s2.cfg, std::move(s2.body), {n1});
 
-    stats.phase1 = to_phase_stats(detail::splitter_phase<T>(
-        device, span, num_arrays, plan, splitters.span()));
-    stats.phase2 = to_phase_stats(detail::bucket_phase<T>(device, span, num_arrays, plan,
-                                                          opts, splitters.span(),
-                                                          bucket_sizes.span(),
-                                                          scratch.span(), scratch_rows));
-    const simt::KernelStats k3 =
-        detail::sort_phase<T>(device, span, num_arrays, plan, bucket_sizes.span(), opts);
-    stats.phase3 = to_phase_stats(k3);
-    stats.phase3_imbalance = k3.imbalance;
+        auto s3 = detail::sort_phase_spec<T>(device.props(), span, num_arrays, plan,
+                                             bucket_sizes.span(), opts);
+        auto n3 = std::make_shared<simt::Graph::NodeId>(0);
+        auto post = std::make_shared<simt::Graph::NodeId>(0);
+        g.add_host(
+            "gas.phase3_dispatch",
+            [s3 = std::move(s3), span, n3, post, descending](simt::GraphCtx& ctx) {
+                (void)descending;
+                *n3 = ctx.enqueue_kernel(s3.cfg, s3.body);
+                if constexpr (std::is_floating_point_v<T>) {
+                    if (descending) {
+                        auto ns = negate_spec(span);
+                        *post = ctx.enqueue_kernel(ns.cfg, std::move(ns.body), {*n3});
+                    }
+                }
+            },
+            {n2});
+        device.submit(g);
 
-    if constexpr (std::is_floating_point_v<T>) {
-        if (descending) {
-            const auto k = negate_on_device(device, span);
-            stats.extra.modeled_ms += k.modeled_ms;
-            stats.extra.wall_ms += k.wall_ms;
+        stats.phase1 = to_phase_stats(g.kernel_stats(n1));
+        stats.phase2 = to_phase_stats(g.kernel_stats(n2));
+        const simt::KernelStats& k3 = g.kernel_stats(*n3);
+        stats.phase3 = to_phase_stats(k3);
+        stats.phase3_imbalance = k3.imbalance;
+        if (has_negate) {
+            const simt::KernelStats& kp = g.kernel_stats(pre);
+            const simt::KernelStats& kq = g.kernel_stats(*post);
+            stats.extra.modeled_ms += kp.modeled_ms + kq.modeled_ms;
+            stats.extra.wall_ms += kp.wall_ms + kq.wall_ms;
+        }
+    } else {
+        // Descending order: negate, sort ascending, negate back (IEEE
+        // negation reverses float total order exactly).
+        if constexpr (std::is_floating_point_v<T>) {
+            if (descending) {
+                const auto k = negate_on_device(device, span);
+                stats.extra.modeled_ms += k.modeled_ms;
+                stats.extra.wall_ms += k.wall_ms;
+            }
+        }
+
+        stats.phase1 = to_phase_stats(detail::splitter_phase<T>(
+            device, span, num_arrays, plan, splitters.span()));
+        stats.phase2 = to_phase_stats(detail::bucket_phase<T>(
+            device, span, num_arrays, plan, opts, splitters.span(), bucket_sizes.span(),
+            scratch.span(), scratch_rows));
+        const simt::KernelStats k3 = detail::sort_phase<T>(device, span, num_arrays, plan,
+                                                           bucket_sizes.span(), opts);
+        stats.phase3 = to_phase_stats(k3);
+        stats.phase3_imbalance = k3.imbalance;
+
+        if constexpr (std::is_floating_point_v<T>) {
+            if (descending) {
+                const auto k = negate_on_device(device, span);
+                stats.extra.modeled_ms += k.modeled_ms;
+                stats.extra.wall_ms += k.wall_ms;
+            }
         }
     }
 

@@ -72,6 +72,16 @@ struct Options {
     /// single serialized lane for every block width.
     std::size_t phase3_bitonic_cutoff = 240;
 
+    /// Submit the phase1 -> phase2 -> phase3 pipeline as one simt::Graph
+    /// (Device::submit) instead of three host round-trips through
+    /// Device::launch.  Contractually bit-identical — output bytes, kernel
+    /// log, and every deterministic KernelStats field match the loop path
+    /// (asserted by tests/core/test_exec_equivalence.cpp) — it only
+    /// amortizes scheduling: the worker pool is woken once per sort rather
+    /// than once per kernel.  Paper-figure benches pin it off alongside
+    /// radix pass pruning to reproduce the PR 1 launch behavior.
+    bool graph_launch = true;
+
     /// Verify output (sortedness + per-array permutation) before returning.
     /// Host-side and exhaustive: throws std::logic_error on failure.  A
     /// debugging tool — prefer verify_output for production resilience.

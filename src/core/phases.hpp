@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <span>
 #include <type_traits>
@@ -8,8 +9,17 @@
 #include "core/options.hpp"
 #include "core/plan.hpp"
 #include "simt/device.hpp"
+#include "simt/graph.hpp"
 
 namespace gas::detail {
+
+/// A kernel launch described but not yet executed: exactly what
+/// Device::launch takes, packaged so a caller can either launch it
+/// directly (the loop path) or add it as a simt::Graph node (the
+/// graph-launch path).  Spec bodies capture all state by value — spans,
+/// plan scalars, a copy of the options — so a spec safely outlives the
+/// builder's stack frame, which graph execution requires.
+using KernelSpec = simt::KernelSpec;
 
 /// Sentinel splitters of Definition 5's overlap fix: a value at-or-below
 /// every element at splitter index 0 and one at-or-above everything at
@@ -57,6 +67,11 @@ simt::KernelStats splitter_phase(simt::Device& device, std::span<const T> data,
                                  std::size_t num_arrays, const SortPlan& plan,
                                  std::span<T> splitters);
 
+/// Spec builder behind splitter_phase: the same kernel as a graph node.
+template <typename T>
+KernelSpec splitter_phase_spec(std::span<const T> data, std::size_t num_arrays,
+                               const SortPlan& plan, std::span<T> splitters);
+
 /// Phase 2 (section 5.2): bucket each array by splitter pairs and write the
 /// buckets back over the array in place; bucket sizes land in
 /// `bucket_sizes` (N rows of plan.buckets).  `scratch` is a global staging
@@ -68,6 +83,14 @@ simt::KernelStats bucket_phase(simt::Device& device, std::span<T> data,
                                const Options& opts, std::span<const T> splitters,
                                std::span<std::uint32_t> bucket_sizes, std::span<T> scratch,
                                std::size_t scratch_rows);
+
+/// Spec builder behind bucket_phase: the same kernel as a graph node.
+template <typename T>
+KernelSpec bucket_phase_spec(std::span<T> data, std::size_t num_arrays,
+                             const SortPlan& plan, const Options& opts,
+                             std::span<const T> splitters,
+                             std::span<std::uint32_t> bucket_sizes, std::span<T> scratch,
+                             std::size_t scratch_rows);
 
 /// Phase 3 (section 5.3): one thread per bucket runs in-place insertion sort
 /// on its bucket; contiguous sorted buckets leave each array fully sorted
@@ -82,6 +105,15 @@ simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
                              std::span<const std::uint32_t> bucket_sizes,
                              const Options& opts = {});
 
+/// Spec builder behind sort_phase: the same kernel as a graph node.  Takes
+/// the device properties by value (the hybrid dispatch consults SM limits)
+/// since the body may run long after the builder's frame is gone.
+template <typename T>
+KernelSpec sort_phase_spec(simt::DeviceProperties props, std::span<T> data,
+                           std::size_t num_arrays, const SortPlan& plan,
+                           std::span<const std::uint32_t> bucket_sizes,
+                           const Options& opts = {});
+
 // Explicit instantiations live in the phase .cpp files.
 #define GAS_DECLARE_PHASES(T)                                                              \
     extern template simt::KernelStats splitter_phase<T>(                                   \
@@ -91,6 +123,14 @@ simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
         std::span<const T>, std::span<std::uint32_t>, std::span<T>, std::size_t);          \
     extern template simt::KernelStats sort_phase<T>(                                       \
         simt::Device&, std::span<T>, std::size_t, const SortPlan&,                         \
+        std::span<const std::uint32_t>, const Options&);                                   \
+    extern template KernelSpec splitter_phase_spec<T>(                                     \
+        std::span<const T>, std::size_t, const SortPlan&, std::span<T>);                   \
+    extern template KernelSpec bucket_phase_spec<T>(                                       \
+        std::span<T>, std::size_t, const SortPlan&, const Options&, std::span<const T>,    \
+        std::span<std::uint32_t>, std::span<T>, std::size_t);                              \
+    extern template KernelSpec sort_phase_spec<T>(                                         \
+        simt::DeviceProperties, std::span<T>, std::size_t, const SortPlan&,                \
         std::span<const std::uint32_t>, const Options&);
 
 GAS_DECLARE_PHASES(float)

@@ -8,17 +8,16 @@
 namespace gas::detail {
 
 template <typename T>
-simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
-                             std::size_t num_arrays, const SortPlan& plan,
-                             std::span<const std::uint32_t> bucket_sizes,
-                             const Options& opts) {
+KernelSpec sort_phase_spec(simt::DeviceProperties props, std::span<T> data,
+                           std::size_t num_arrays, const SortPlan& plan,
+                           std::span<const std::uint32_t> bucket_sizes,
+                           const Options& opts) {
     const std::size_t n = plan.array_size;
     const std::size_t p = plan.buckets;
-    const auto& props = device.props();
 
     simt::LaunchConfig cfg{"gas.phase3_sort", static_cast<unsigned>(num_arrays),
                            static_cast<unsigned>(p)};
-    return device.launch(cfg, [&](simt::BlockCtx& blk) {
+    auto kernel = [=](simt::BlockCtx& blk) {
         auto offsets = blk.shared_alloc<std::uint32_t>(p + 1);
         const std::size_t a = blk.block_idx();
         auto array = blk.global_view(data.subspan(a * n, n));
@@ -81,14 +80,29 @@ simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
             tc.shared(2);
         };
         blk.for_each_warp([&](simt::WarpCtx& wc) { wc.for_lanes(sort_lane); });
-    });
+    };
+    return {cfg, std::move(kernel)};
+}
+
+template <typename T>
+simt::KernelStats sort_phase(simt::Device& device, std::span<T> data,
+                             std::size_t num_arrays, const SortPlan& plan,
+                             std::span<const std::uint32_t> bucket_sizes,
+                             const Options& opts) {
+    KernelSpec spec =
+        sort_phase_spec(device.props(), data, num_arrays, plan, bucket_sizes, opts);
+    return device.launch(spec.cfg, spec.body);
 }
 
 #define GAS_INSTANTIATE(T)                                                                 \
     template simt::KernelStats sort_phase<T>(simt::Device&, std::span<T>, std::size_t,     \
                                              const SortPlan&,                              \
                                              std::span<const std::uint32_t>,               \
-                                             const Options&);
+                                             const Options&);                              \
+    template KernelSpec sort_phase_spec<T>(simt::DeviceProperties, std::span<T>,           \
+                                           std::size_t, const SortPlan&,                   \
+                                           std::span<const std::uint32_t>,                 \
+                                           const Options&);
 GAS_INSTANTIATE(float)
 GAS_INSTANTIATE(double)
 GAS_INSTANTIATE(std::uint32_t)

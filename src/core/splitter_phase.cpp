@@ -4,9 +4,8 @@
 namespace gas::detail {
 
 template <typename T>
-simt::KernelStats splitter_phase(simt::Device& device, std::span<const T> data,
-                                 std::size_t num_arrays, const SortPlan& plan,
-                                 std::span<T> splitters) {
+KernelSpec splitter_phase_spec(std::span<const T> data, std::size_t num_arrays,
+                               const SortPlan& plan, std::span<T> splitters) {
     const std::size_t n = plan.array_size;
     const std::size_t sample_size = plan.sample_size;
     const std::size_t p = plan.buckets;
@@ -15,7 +14,7 @@ simt::KernelStats splitter_phase(simt::Device& device, std::span<const T> data,
     const std::size_t splitter_stride = sample_size / p;  // >= 1 by plan
 
     simt::LaunchConfig cfg{"gas.phase1_splitters", static_cast<unsigned>(num_arrays), 1};
-    return device.launch(cfg, [&](simt::BlockCtx& blk) {
+    auto body = [=](simt::BlockCtx& blk) {
         auto samples = blk.shared_alloc<T>(sample_size);
         const std::size_t a = blk.block_idx();
         auto array = blk.global_view(data.subspan(a * n, n));
@@ -46,13 +45,24 @@ simt::KernelStats splitter_phase(simt::Device& device, std::span<const T> data,
             tc.global_random(p + 1);
             tc.ops(p + 1);
         });
-    });
+    };
+    return {cfg, std::move(body)};
+}
+
+template <typename T>
+simt::KernelStats splitter_phase(simt::Device& device, std::span<const T> data,
+                                 std::size_t num_arrays, const SortPlan& plan,
+                                 std::span<T> splitters) {
+    KernelSpec spec = splitter_phase_spec(data, num_arrays, plan, splitters);
+    return device.launch(spec.cfg, spec.body);
 }
 
 #define GAS_INSTANTIATE(T)                                                                 \
     template simt::KernelStats splitter_phase<T>(simt::Device&, std::span<const T>,        \
                                                  std::size_t, const SortPlan&,             \
-                                                 std::span<T>);
+                                                 std::span<T>);                            \
+    template KernelSpec splitter_phase_spec<T>(std::span<const T>, std::size_t,            \
+                                               const SortPlan&, std::span<T>);
 GAS_INSTANTIATE(float)
 GAS_INSTANTIATE(double)
 GAS_INSTANTIATE(std::uint32_t)

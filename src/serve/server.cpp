@@ -1192,6 +1192,13 @@ ServerStats Server::stats() const {
         h2d_busy += shard.timeline.h2d_busy_ms();
         compute_busy += shard.timeline.compute_busy_ms();
         d2h_busy += shard.timeline.d2h_busy_ms();
+        const simt::Device::GraphTelemetry& gt = shard.device->graph_telemetry();
+        s.graphs += gt.graphs;
+        s.graph_nodes += gt.nodes;
+        s.graph_kernel_nodes += gt.kernel_nodes;
+        s.graph_host_nodes += gt.host_nodes;
+        s.graph_device_enqueued += gt.device_enqueued;
+        s.graph_pruned += gt.pruned;
         const BufferPool::Stats ps = shard.pool.stats();
         pool.acquires += ps.acquires;
         pool.reuse_hits += ps.reuse_hits;

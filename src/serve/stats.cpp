@@ -111,6 +111,17 @@ std::string ServerStats::to_json() const {
     }
     append(j, "    ]\n");
     append(j, "  },\n");
+    append(j, "  \"graph\": {\n");
+    append(j,
+           "    \"graphs\": %llu, \"nodes\": %llu, \"kernel_nodes\": %llu, "
+           "\"host_nodes\": %llu, \"device_enqueued\": %llu, \"pruned\": %llu\n",
+           static_cast<unsigned long long>(graphs),
+           static_cast<unsigned long long>(graph_nodes),
+           static_cast<unsigned long long>(graph_kernel_nodes),
+           static_cast<unsigned long long>(graph_host_nodes),
+           static_cast<unsigned long long>(graph_device_enqueued),
+           static_cast<unsigned long long>(graph_pruned));
+    append(j, "  },\n");
     append(j, "  \"modeled\": {\n");
     append(j,
            "    \"kernel_ms\": %.6f, \"h2d_ms\": %.6f, \"d2h_ms\": %.6f, "

@@ -99,6 +99,19 @@ struct ServerStats {
     std::uint64_t devices_quarantined = 0;  ///< devices lost so far
     std::vector<DeviceBreakdown> devices;   ///< per-shard slice, device order
 
+    // Graph launches (Device::submit telemetry summed over the fleet).  With
+    // Options::graph_launch on (the default) every fused batch executes as
+    // one submitted work graph — phase chain plus dispatch nodes — so
+    // `graphs` tracks batches + quarantined solo re-sorts, and
+    // `device_enqueued` counts the nodes emitted by decision nodes (e.g.
+    // phase-3 dispatch) rather than recorded statically.
+    std::uint64_t graphs = 0;                 ///< Device::submit calls
+    std::uint64_t graph_nodes = 0;            ///< nodes executed (kernel + host)
+    std::uint64_t graph_kernel_nodes = 0;
+    std::uint64_t graph_host_nodes = 0;
+    std::uint64_t graph_device_enqueued = 0;  ///< nodes enqueued during execution
+    std::uint64_t graph_pruned = 0;           ///< degenerate work skipped in-graph
+
     // Modeled device cost (sums over batches).
     double modeled_kernel_ms = 0.0;
     double modeled_h2d_ms = 0.0;

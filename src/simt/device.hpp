@@ -15,6 +15,12 @@
 
 namespace simt {
 
+class Graph;
+struct GraphStats;
+namespace detail {
+struct BlockRecord;
+}
+
 /// A simulated SIMT device: properties + global memory + kernel launcher +
 /// a log of every launch's modeled cost.
 class Device {
@@ -56,6 +62,30 @@ class Device {
     /// returns modeled + measured cost.  The stats are also appended to the
     /// device's kernel log.
     KernelStats launch(const LaunchConfig& cfg, const std::function<void(BlockCtx&)>& body);
+
+    /// Executes a whole work graph (simt/graph.hpp) in one scheduling
+    /// round-trip: the worker pool is woken once and stays resident while
+    /// every node — including dynamically enqueued ones — drains.  Each
+    /// kernel node goes through the same validation, fault hooks, per-block
+    /// execution, and block-order aggregation as launch(), so its
+    /// KernelStats (and the kernel log) are bit-identical to the
+    /// equivalent loop of launches.  Defined in graph.cpp.
+    GraphStats submit(Graph& graph);
+
+    /// Cumulative counters over every submit() on this device, consumed by
+    /// the serve layer's observability ("graph" stats block).
+    struct GraphTelemetry {
+        std::uint64_t graphs = 0;           ///< graphs submitted
+        std::uint64_t nodes = 0;            ///< nodes executed (kernel + host)
+        std::uint64_t kernel_nodes = 0;     ///< kernel nodes executed
+        std::uint64_t host_nodes = 0;       ///< host decision nodes executed
+        std::uint64_t device_enqueued = 0;  ///< nodes enqueued mid-execution
+        std::uint64_t pruned = 0;           ///< nodes skipped (gate or prune)
+    };
+    [[nodiscard]] const GraphTelemetry& graph_telemetry() const {
+        return graph_telemetry_;
+    }
+    void clear_graph_telemetry() { graph_telemetry_ = {}; }
 
     [[nodiscard]] const std::vector<KernelStats>& kernel_log() const { return kernel_log_; }
     void clear_kernel_log() { kernel_log_.clear(); }
@@ -123,6 +153,17 @@ class Device {
         return *pool_;
     }
 
+    /// Pre-launch gate shared by launch() and submit(): configuration
+    /// validation plus the fault-injection hooks, in that order, so a
+    /// kernel refused by either never runs a block or logs stats.
+    void check_launch(const LaunchConfig& cfg);
+    /// Post-execution core shared by launch() and submit(): block-order
+    /// aggregation of the per-block records, cost-model finalization, the
+    /// kernel-log append, and the sanitize merge (strict mode throws).
+    KernelStats finish_launch(const LaunchConfig& cfg,
+                              std::vector<detail::BlockRecord>& records,
+                              double wall_ms);
+
     DeviceProperties props_;
     DeviceMemory memory_;
     CostModel cost_model_;
@@ -131,6 +172,7 @@ class Device {
     unsigned host_workers_ = 1;
     std::unique_ptr<ThreadPool> pool_;
     std::vector<KernelStats> kernel_log_;
+    GraphTelemetry graph_telemetry_;
     sanitize::SanitizeOptions sanitize_options_;
     sanitize::SanitizeReport sanitize_report_;
     std::unique_ptr<faults::FaultInjector> faults_;

@@ -2,46 +2,11 @@
 #include <chrono>
 
 #include "simt/device.hpp"
+#include "simt/launch_detail.hpp"
 
 namespace simt {
 
-namespace {
-
-/// Per-block cost record, indexed by block id so aggregation order (and
-/// therefore the modeled time) is identical for any worker count.  The
-/// sanitizer's per-block result rides along for the same reason: findings
-/// are merged in block order no matter which worker ran the block.
-struct BlockRecord {
-    double cycles = 0.0;
-    double traffic = 0.0;
-    double warp_max_cycles = 0.0;
-    double warp_mean_cycles = 0.0;
-    LaneCounters totals;
-    std::size_t shared_high_water = 0;
-    sanitize::SlotShadow::BlockResult san;
-};
-
-void run_block(const std::function<void(BlockCtx&)>& body, BlockCtx& ctx,
-               const CostModel& model, unsigned block, BlockRecord& rec) {
-    ctx.begin_block(block);
-    body(ctx);
-    const BlockCost cost = model.block_cost(ctx.lanes());
-    rec.cycles = cost.cycles;
-    rec.traffic = cost.traffic_bytes;
-    rec.warp_max_cycles = cost.warp_max_cycles;
-    rec.warp_mean_cycles = cost.warp_mean_cycles;
-    for (const LaneCounters& lane : ctx.lanes()) rec.totals += lane;
-    rec.shared_high_water = ctx.shared_high_water();
-    if (sanitize::SlotShadow* shadow = ctx.sanitizer()) {
-        shadow->end_block();
-        rec.san = shadow->take_block_result();
-    }
-}
-
-}  // namespace
-
-KernelStats Device::launch(const LaunchConfig& cfg,
-                           const std::function<void(BlockCtx&)>& body) {
+void Device::check_launch(const LaunchConfig& cfg) {
     if (cfg.grid_dim == 0 || cfg.block_dim == 0) {
         throw LaunchError("launch '" + cfg.name + "': zero grid or block dimension");
     }
@@ -66,62 +31,16 @@ KernelStats Device::launch(const LaunchConfig& cfg,
             throw LaunchFault(cfg.name, launch_ordinal);
         }
     }
+}
 
+KernelStats Device::finish_launch(const LaunchConfig& cfg,
+                                  std::vector<detail::BlockRecord>& records,
+                                  double wall_ms) {
     KernelStats stats;
     stats.name = cfg.name;
     stats.grid_dim = cfg.grid_dim;
     stats.block_dim = cfg.block_dim;
-
-    const bool sanitizing = sanitize_options_.any();
-    std::vector<BlockRecord> records(cfg.grid_dim);
-    const unsigned workers = std::min(host_workers_, cfg.grid_dim);
-    ThreadPool& workers_pool = pool();
-
-    const auto t0 = std::chrono::steady_clock::now();
-    if (workers <= 1) {
-        // Sequential path still goes through slot 0 so the shared-memory
-        // arena is reused across launches instead of reallocated.
-        workers_pool.reserve_slots(1);
-        BlockCtx& ctx = workers_pool.block_ctx(0);
-        ctx.configure(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
-                      thread_order_, /*slot=*/0, exec_mode_, props_.warp_size);
-        if (sanitizing) {
-            ctx.enable_sanitize(sanitize_options_, cfg.name);
-        } else {
-            ctx.disable_sanitize();
-        }
-        for (unsigned b = 0; b < cfg.grid_dim; ++b) {
-            run_block(body, ctx, cost_model_, b, records[b]);
-        }
-    } else {
-        // Persistent worker pool: each worker owns a BlockCtx (its execution
-        // slot) and pulls block ids from a shared counter.  A failing block
-        // drains the counter so peers stop early; the pool rethrows the
-        // first exception after every worker has stopped.  Shadow state is
-        // per slot, so sanitizing needs no cross-worker synchronization.
-        std::atomic<unsigned> next{0};
-        workers_pool.run(workers, [&](unsigned w) {
-            BlockCtx& ctx = workers_pool.block_ctx(w);
-            ctx.configure(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
-                          thread_order_, /*slot=*/w, exec_mode_, props_.warp_size);
-            if (sanitizing) {
-                ctx.enable_sanitize(sanitize_options_, cfg.name);
-            } else {
-                ctx.disable_sanitize();
-            }
-            try {
-                for (unsigned b = next.fetch_add(1); b < cfg.grid_dim;
-                     b = next.fetch_add(1)) {
-                    run_block(body, ctx, cost_model_, b, records[b]);
-                }
-            } catch (...) {
-                next.store(cfg.grid_dim);  // drain remaining work
-                throw;
-            }
-        });
-    }
-    const auto t1 = std::chrono::steady_clock::now();
-    stats.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    stats.wall_ms = wall_ms;
 
     // Deterministic aggregation in block order.
     std::vector<double> block_cycles(cfg.grid_dim);
@@ -141,7 +60,7 @@ KernelStats Device::launch(const LaunchConfig& cfg,
     cost_model_.finalize(stats, block_cycles, traffic);
     kernel_log_.push_back(stats);
 
-    if (sanitizing) {
+    if (sanitize_options_.any()) {
         // Merge per-block sanitizer results in block order (deterministic
         // for any worker count), capped at max_findings per launch.
         sanitize::LaunchSanitizeStats ls;
@@ -171,6 +90,63 @@ KernelStats Device::launch(const LaunchConfig& cfg,
         }
     }
     return stats;
+}
+
+KernelStats Device::launch(const LaunchConfig& cfg,
+                           const std::function<void(BlockCtx&)>& body) {
+    check_launch(cfg);
+
+    const bool sanitizing = sanitize_options_.any();
+    std::vector<detail::BlockRecord> records(cfg.grid_dim);
+    const unsigned workers = std::min(host_workers_, cfg.grid_dim);
+    ThreadPool& workers_pool = pool();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (workers <= 1) {
+        // Sequential path still goes through slot 0 so the shared-memory
+        // arena is reused across launches instead of reallocated.
+        workers_pool.reserve_slots(1);
+        BlockCtx& ctx = workers_pool.block_ctx(0);
+        ctx.configure(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
+                      thread_order_, /*slot=*/0, exec_mode_, props_.warp_size);
+        if (sanitizing) {
+            ctx.enable_sanitize(sanitize_options_, cfg.name);
+        } else {
+            ctx.disable_sanitize();
+        }
+        for (unsigned b = 0; b < cfg.grid_dim; ++b) {
+            detail::run_block(body, ctx, cost_model_, b, records[b]);
+        }
+    } else {
+        // Persistent worker pool: each worker owns a BlockCtx (its execution
+        // slot) and pulls block ids from a shared counter.  A failing block
+        // drains the counter so peers stop early; the pool rethrows the
+        // first exception after every worker has stopped.  Shadow state is
+        // per slot, so sanitizing needs no cross-worker synchronization.
+        std::atomic<unsigned> next{0};
+        workers_pool.run(workers, [&](unsigned w) {
+            BlockCtx& ctx = workers_pool.block_ctx(w);
+            ctx.configure(cfg.block_dim, cfg.grid_dim, props_.shared_memory_per_block,
+                          thread_order_, /*slot=*/w, exec_mode_, props_.warp_size);
+            if (sanitizing) {
+                ctx.enable_sanitize(sanitize_options_, cfg.name);
+            } else {
+                ctx.disable_sanitize();
+            }
+            try {
+                for (unsigned b = next.fetch_add(1); b < cfg.grid_dim;
+                     b = next.fetch_add(1)) {
+                    detail::run_block(body, ctx, cost_model_, b, records[b]);
+                }
+            } catch (...) {
+                next.store(cfg.grid_dim);  // drain remaining work
+                throw;
+            }
+        });
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return finish_launch(cfg, records,
+                         std::chrono::duration<double, std::milli>(t1 - t0).count());
 }
 
 double Device::total_modeled_ms() const {

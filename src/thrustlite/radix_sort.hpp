@@ -20,6 +20,16 @@ struct RadixOptions {
     /// benches (fig4-fig7, table1) turn this off: their STA baseline must
     /// stay faithful to Thrust's fixed sizeof(K)*8/4-pass sort.
     bool prune_passes = true;
+
+    /// Execute the sort as one simt::Graph submit instead of a host loop of
+    /// launches: the max-key reduction is the root node, a planning host
+    /// node bounds the pass count, and each pass's histogram feeds a
+    /// decision node that device-enqueues the offsets + scatter records (or
+    /// prunes the degenerate pass).  Kernel sequence, output bytes and every
+    /// deterministic KernelStats field are identical to the loop — only the
+    /// per-kernel scheduling round-trips disappear.  The paper-figure
+    /// benches pin this off alongside prune_passes.
+    bool graph_launch = true;
 };
 
 /// Cost summary of one radix sort call.

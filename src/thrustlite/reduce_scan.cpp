@@ -57,13 +57,56 @@ std::vector<T> block_reduce(simt::Device& device, const char* name, std::span<co
     return partials;
 }
 
+/// Spec twin of block_reduce for the max-key probe: identical kernel shape
+/// and charges, but partials land in a caller-owned vector so the kernel can
+/// run as a graph node (the builder's frame is long gone by then).
+template <typename K>
+simt::KernelSpec reduce_max_key_spec_impl(std::span<const K> keys,
+                                          std::shared_ptr<std::vector<K>> partials) {
+    if (keys.empty()) throw std::invalid_argument("reduce_max_key: empty input");
+    const std::size_t count = keys.size();
+    const unsigned blocks = num_tiles(count);
+    const K identity = keys[0];
+    partials->assign(blocks, identity);
+
+    simt::LaunchConfig cfg{"thrustlite.reduce_max_key", blocks, kBlockThreads};
+    auto body = [=](simt::BlockCtx& blk) {
+        auto shared = blk.shared_alloc<K>(kBlockThreads);
+        const std::size_t tile_begin = static_cast<std::size_t>(blk.block_idx()) * kTileSize;
+        const std::size_t tile_end = std::min(tile_begin + kTileSize, count);
+
+        blk.for_each_thread([&](simt::ThreadCtx& tc) {
+            const std::size_t begin = tile_begin + tc.tid() * kChunk;
+            const std::size_t end = std::min(begin + kChunk, tile_end);
+            K acc = identity;
+            for (std::size_t i = begin; i < end; ++i) acc = std::max(acc, keys[i]);
+            shared[tc.tid()] = acc;
+            const auto n = begin < end ? static_cast<std::uint64_t>(end - begin) : 0;
+            tc.global_coalesced(n * sizeof(K));
+            tc.ops(n);
+            tc.shared(1);
+        });
+
+        blk.single_thread([&](simt::ThreadCtx& tc) {
+            K acc = identity;
+            for (unsigned t = 0; t < kBlockThreads; ++t) {
+                acc = std::max(acc, static_cast<K>(shared[t]));
+            }
+            (*partials)[blk.block_idx()] = acc;
+            tc.ops(kBlockThreads);
+            tc.shared(kBlockThreads);
+            tc.global_random(1);
+        });
+    };
+    return {cfg, std::move(body)};
+}
+
 template <typename K>
 K reduce_max_key_impl(simt::Device& device, std::span<const K> keys) {
-    if (keys.empty()) throw std::invalid_argument("reduce_max_key: empty input");
-    const auto mx = [](K a, K b) { return std::max(a, b); };
-    const auto partials =
-        block_reduce<K>(device, "thrustlite.reduce_max_key", keys, keys[0], mx, mx);
-    return *std::max_element(partials.begin(), partials.end());
+    auto partials = std::make_shared<std::vector<K>>();
+    simt::KernelSpec spec = reduce_max_key_spec_impl<K>(keys, partials);
+    device.launch(spec.cfg, spec.body);
+    return *std::max_element(partials->begin(), partials->end());
 }
 
 }  // namespace
@@ -101,6 +144,16 @@ std::uint32_t reduce_max_key(simt::Device& device, std::span<const std::uint32_t
 
 std::uint64_t reduce_max_key(simt::Device& device, std::span<const std::uint64_t> keys) {
     return reduce_max_key_impl(device, keys);
+}
+
+simt::KernelSpec reduce_max_key_spec(std::span<const std::uint32_t> keys,
+                                     std::shared_ptr<std::vector<std::uint32_t>> partials) {
+    return reduce_max_key_spec_impl<std::uint32_t>(keys, std::move(partials));
+}
+
+simt::KernelSpec reduce_max_key_spec(std::span<const std::uint64_t> keys,
+                                     std::shared_ptr<std::vector<std::uint64_t>> partials) {
+    return reduce_max_key_spec_impl<std::uint64_t>(keys, std::move(partials));
 }
 
 std::size_t count_less_equal(simt::Device& device, std::span<const float> data,

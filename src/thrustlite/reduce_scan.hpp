@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "simt/device.hpp"
+#include "simt/graph.hpp"
 
 namespace thrustlite {
 
@@ -25,6 +28,17 @@ namespace thrustlite {
                                            std::span<const std::uint32_t> keys);
 [[nodiscard]] std::uint64_t reduce_max_key(simt::Device& device,
                                            std::span<const std::uint64_t> keys);
+
+/// Graph-node form of reduce_max_key: the identical kernel as a spec, with
+/// per-block partial maxima landing in `partials` (sized by the builder).
+/// A downstream host node max-reduces the partials — this is how the radix
+/// sub-graph plans its pass chain without a host round-trip per kernel.
+[[nodiscard]] simt::KernelSpec reduce_max_key_spec(
+    std::span<const std::uint32_t> keys,
+    std::shared_ptr<std::vector<std::uint32_t>> partials);
+[[nodiscard]] simt::KernelSpec reduce_max_key_spec(
+    std::span<const std::uint64_t> keys,
+    std::shared_ptr<std::vector<std::uint64_t>> partials);
 
 /// Number of elements <= threshold (predicated count, branch-free).
 [[nodiscard]] std::size_t count_less_equal(simt::Device& device, std::span<const float> data,

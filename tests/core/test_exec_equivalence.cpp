@@ -1,9 +1,17 @@
-// Execution-mode equivalence sweep: every paper kernel must be bit-identical
-// between the scalar reference interpreter and the warp-vectorized fast path
-// (SIMT_EXEC=warp) — identical output bytes AND identical KernelStats (every
-// deterministic field; only wall_ms may differ).  The sweep crosses both
-// ThreadOrders and sanitizer off/strict, so the warp fast paths' tracked
-// fallbacks and analytic counter charges are all exercised.
+// Execution-mode equivalence sweeps.
+//
+// 1. ExecEquivalence: every paper kernel must be bit-identical between the
+//    scalar reference interpreter and the warp-vectorized fast path
+//    (SIMT_EXEC=warp) — identical output bytes AND identical KernelStats
+//    (every deterministic field; only wall_ms may differ).
+// 2. GraphEquivalence: the same workloads run as one submitted work graph
+//    (Options::graph_launch, the default) must be bit-identical to the
+//    loop-of-launches path, in both exec modes.
+//
+// Both sweeps cross both ThreadOrders and sanitizer off/strict, so the warp
+// fast paths' tracked fallbacks, the analytic counter charges, and the
+// graph executor's resident-team protocol are all exercised.  Together they
+// close the square: loop/scalar == loop/warp == graph/scalar == graph/warp.
 
 #include <gtest/gtest.h>
 
@@ -51,23 +59,28 @@ void expect_logs_equal(const std::vector<simt::KernelStats>& scalar,
     }
 }
 
-/// Runs `fn(device)` under scalar and warp execution, for both ThreadOrders
-/// and with the sanitizer off and strict-all, asserting identical payload
-/// bytes and identical kernel logs every time.
+void configure_sweep_device(simt::Device& dev, simt::ThreadOrder order,
+                            simt::ExecMode mode, bool sanitized) {
+    dev.set_thread_order(order);
+    dev.set_exec_mode(mode);
+    if (sanitized) {
+        auto opts = simt::sanitize::SanitizeOptions::all();
+        opts.strict = true;  // any finding fails the launch loudly
+        dev.set_sanitize_options(opts);
+    }
+}
+
+/// Runs `fn(device, graph_launch)` under scalar and warp execution (graph
+/// path both times), for both ThreadOrders and with the sanitizer off and
+/// strict-all, asserting identical payload bytes and identical kernel logs.
 template <typename F>
 void exec_sweep(F fn) {
     for (const auto order : {simt::ThreadOrder::Forward, simt::ThreadOrder::Reverse}) {
         for (const bool sanitized : {false, true}) {
             const auto run = [&](simt::ExecMode mode) {
                 simt::Device dev(simt::tiny_device(256 << 20));
-                dev.set_thread_order(order);
-                dev.set_exec_mode(mode);
-                if (sanitized) {
-                    auto opts = simt::sanitize::SanitizeOptions::all();
-                    opts.strict = true;  // any finding fails the launch loudly
-                    dev.set_sanitize_options(opts);
-                }
-                auto payload = fn(dev);
+                configure_sweep_device(dev, order, mode, sanitized);
+                auto payload = fn(dev, /*graph_launch=*/true);
                 return std::pair{std::move(payload), dev.kernel_log()};
             };
             SCOPED_TRACE(std::string(order == simt::ThreadOrder::Forward ? "Forward"
@@ -81,144 +94,167 @@ void exec_sweep(F fn) {
     }
 }
 
-TEST(ExecEquivalence, ArraySortFloatWithVerify) {
-    exec_sweep([](simt::Device& dev) {
-        auto ds = workload::make_dataset(16, 500);
-        gas::Options opts;
-        opts.verify_output = true;  // covers the gas.verify* streaming kernels
-        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
-        return ds.values;
-    });
-}
-
-TEST(ExecEquivalence, ArraySortUint32) {
-    exec_sweep([](simt::Device& dev) {
-        auto ds = workload::make_dataset(8, 300);
-        std::vector<std::uint32_t> data(ds.values.size());
-        for (std::size_t i = 0; i < data.size(); ++i) {
-            data[i] = static_cast<std::uint32_t>(ds.values[i] * 1e6f);
+/// Runs `fn(device, graph_launch)` with the loop-of-launches path and the
+/// graph-launch path, in both exec modes, both ThreadOrders, sanitizer off
+/// and strict: the graph executor's contract is zero byte drift and zero
+/// deterministic-KernelStats drift against the loop it replaces.
+template <typename F>
+void graph_vs_loop_sweep(F fn) {
+    for (const auto order : {simt::ThreadOrder::Forward, simt::ThreadOrder::Reverse}) {
+        for (const bool sanitized : {false, true}) {
+            for (const auto mode : {simt::ExecMode::Scalar, simt::ExecMode::Warp}) {
+                const auto run = [&](bool graph_launch) {
+                    simt::Device dev(simt::tiny_device(256 << 20));
+                    configure_sweep_device(dev, order, mode, sanitized);
+                    auto payload = fn(dev, graph_launch);
+                    return std::pair{std::move(payload), dev.kernel_log()};
+                };
+                SCOPED_TRACE(
+                    std::string(order == simt::ThreadOrder::Forward ? "Forward"
+                                                                    : "Reverse") +
+                    (sanitized ? " sanitized" : " unsanitized") +
+                    (mode == simt::ExecMode::Warp ? " warp" : " scalar"));
+                const auto loop = run(false);
+                const auto graph = run(true);
+                EXPECT_EQ(loop.first, graph.first);
+                expect_logs_equal(loop.second, graph.second);
+            }
         }
-        gas::gpu_array_sort(dev, data, ds.num_arrays, ds.array_size);
-        return data;
-    });
+    }
 }
 
-TEST(ExecEquivalence, ArraySortDescending) {
-    exec_sweep([](simt::Device& dev) {
-        auto ds = workload::make_dataset(8, 300, workload::Distribution::Normal);
-        gas::Options opts;
-        opts.order = gas::SortOrder::Descending;
-        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
-        return ds.values;
-    });
+// --- the 15 sweep workloads, shared by both sweeps -------------------------
+
+std::vector<float> wl_array_sort_verify(simt::Device& dev, bool graph) {
+    auto ds = workload::make_dataset(16, 500);
+    gas::Options opts;
+    opts.graph_launch = graph;
+    opts.verify_output = true;  // covers the gas.verify* streaming kernels
+    gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    return ds.values;
 }
 
-TEST(ExecEquivalence, ArraySortBinarySearchStrategy) {
-    exec_sweep([](simt::Device& dev) {
-        auto ds = workload::make_dataset(8, 500);
-        gas::Options opts;
-        opts.strategy = gas::BucketingStrategy::BinarySearch;
-        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
-        return ds.values;
-    });
+std::vector<std::uint32_t> wl_array_sort_u32(simt::Device& dev, bool graph) {
+    auto ds = workload::make_dataset(8, 300);
+    std::vector<std::uint32_t> data(ds.values.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::uint32_t>(ds.values[i] * 1e6f);
+    }
+    gas::Options opts;
+    opts.graph_launch = graph;
+    gas::gpu_array_sort(dev, data, ds.num_arrays, ds.array_size, opts);
+    return data;
 }
 
-TEST(ExecEquivalence, ArraySortThreadsPerBucket) {
+std::vector<float> wl_array_sort_descending(simt::Device& dev, bool graph) {
+    auto ds = workload::make_dataset(8, 300, workload::Distribution::Normal);
+    gas::Options opts;
+    opts.graph_launch = graph;
+    opts.order = gas::SortOrder::Descending;
+    gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    return ds.values;
+}
+
+std::vector<float> wl_array_sort_binary_search(simt::Device& dev, bool graph) {
+    auto ds = workload::make_dataset(8, 500);
+    gas::Options opts;
+    opts.graph_launch = graph;
+    opts.strategy = gas::BucketingStrategy::BinarySearch;
+    gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    return ds.values;
+}
+
+std::vector<float> wl_array_sort_tpb(simt::Device& dev, bool graph) {
     // tpb > 1 strides each bucket over several lanes — the warp fast path
     // must take its reference fallback and still match exactly.
-    exec_sweep([](simt::Device& dev) {
-        auto ds = workload::make_dataset(8, 500);
-        gas::Options opts;
-        opts.threads_per_bucket = 2;
-        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
-        return ds.values;
-    });
-}
-
-TEST(ExecEquivalence, SmallArrayFastPath) {
-    exec_sweep([](simt::Device& dev) {
-        auto ds = workload::make_dataset(32, 8);
-        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size);
-        return ds.values;
-    });
-}
-
-TEST(ExecEquivalence, GlobalScratchFallback) {
-    exec_sweep([](simt::Device& dev) {
-        auto ds = workload::make_dataset(2, 20000);  // 80 KB rows: > 48 KB shared
-        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size);
-        return ds.values;
-    });
-}
-
-TEST(ExecEquivalence, PairSort) {
-    exec_sweep([](simt::Device& dev) {
-        auto keys = workload::make_dataset(8, 400, workload::Distribution::Uniform, 7);
-        auto vals = workload::make_dataset(8, 400, workload::Distribution::Uniform, 8);
-        gas::gpu_pair_sort(dev, keys.values, vals.values, 8, 400);
-        auto out = keys.values;
-        out.insert(out.end(), vals.values.begin(), vals.values.end());
-        return out;
-    });
-}
-
-TEST(ExecEquivalence, RaggedSort) {
-    exec_sweep([](simt::Device& dev) {
-        auto ds = workload::make_ragged_dataset(12, 16, 512);
-        std::vector<std::uint64_t> offsets(ds.offsets.begin(), ds.offsets.end());
-        gas::gpu_ragged_sort(dev, ds.values, offsets);
-        return ds.values;
-    });
-}
-
-TEST(ExecEquivalence, RaggedPairSort) {
-    exec_sweep([](simt::Device& dev) {
-        auto ds = workload::make_ragged_dataset(10, 16, 256, workload::Distribution::Uniform, 5);
-        auto vs = ds.values;
-        std::reverse(vs.begin(), vs.end());
-        std::vector<std::uint64_t> offsets(ds.offsets.begin(), ds.offsets.end());
-        gas::gpu_ragged_pair_sort(dev, std::span<float>(ds.values), std::span<float>(vs),
-                                  offsets);
-        auto out = ds.values;
-        out.insert(out.end(), vs.begin(), vs.end());
-        return out;
-    });
-}
-
-gas::Options hybrid_forced() {
+    auto ds = workload::make_dataset(8, 500);
     gas::Options opts;
+    opts.graph_launch = graph;
+    opts.threads_per_bucket = 2;
+    gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    return ds.values;
+}
+
+std::vector<float> wl_small_array(simt::Device& dev, bool graph) {
+    auto ds = workload::make_dataset(32, 8);
+    gas::Options opts;
+    opts.graph_launch = graph;
+    gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    return ds.values;
+}
+
+std::vector<float> wl_global_scratch(simt::Device& dev, bool graph) {
+    auto ds = workload::make_dataset(2, 20000);  // 80 KB rows: > 48 KB shared
+    gas::Options opts;
+    opts.graph_launch = graph;
+    gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, opts);
+    return ds.values;
+}
+
+std::vector<float> wl_pair_sort(simt::Device& dev, bool graph) {
+    auto keys = workload::make_dataset(8, 400, workload::Distribution::Uniform, 7);
+    auto vals = workload::make_dataset(8, 400, workload::Distribution::Uniform, 8);
+    gas::Options opts;
+    opts.graph_launch = graph;
+    gas::gpu_pair_sort(dev, keys.values, vals.values, 8, 400, opts);
+    auto out = keys.values;
+    out.insert(out.end(), vals.values.begin(), vals.values.end());
+    return out;
+}
+
+std::vector<float> wl_ragged_sort(simt::Device& dev, bool graph) {
+    auto ds = workload::make_ragged_dataset(12, 16, 512);
+    std::vector<std::uint64_t> offsets(ds.offsets.begin(), ds.offsets.end());
+    gas::Options opts;
+    opts.graph_launch = graph;
+    gas::gpu_ragged_sort(dev, ds.values, offsets, opts);
+    return ds.values;
+}
+
+std::vector<float> wl_ragged_pair_sort(simt::Device& dev, bool graph) {
+    auto ds =
+        workload::make_ragged_dataset(10, 16, 256, workload::Distribution::Uniform, 5);
+    auto vs = ds.values;
+    std::reverse(vs.begin(), vs.end());
+    std::vector<std::uint64_t> offsets(ds.offsets.begin(), ds.offsets.end());
+    gas::Options opts;
+    opts.graph_launch = graph;
+    gas::gpu_ragged_pair_sort(dev, std::span<float>(ds.values), std::span<float>(vs),
+                              offsets, opts);
+    auto out = ds.values;
+    out.insert(out.end(), vs.begin(), vs.end());
+    return out;
+}
+
+gas::Options hybrid_forced(bool graph) {
+    gas::Options opts;
+    opts.graph_launch = graph;
     opts.phase3_small_cutoff = 16;
     opts.phase3_bitonic_cutoff = 64;
     return opts;
 }
 
-TEST(ExecEquivalence, HybridSkewArraySort) {
-    exec_sweep([](simt::Device& dev) {
-        auto ds = workload::make_dataset(8, 600, workload::Distribution::ZipfHot, 3);
-        gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size, hybrid_forced());
-        return ds.values;
-    });
+std::vector<float> wl_hybrid_skew_array(simt::Device& dev, bool graph) {
+    auto ds = workload::make_dataset(8, 600, workload::Distribution::ZipfHot, 3);
+    gas::gpu_array_sort(dev, ds.values, ds.num_arrays, ds.array_size,
+                        hybrid_forced(graph));
+    return ds.values;
 }
 
-TEST(ExecEquivalence, HybridSkewRaggedSort) {
-    exec_sweep([](simt::Device& dev) {
-        auto ds = workload::make_ragged_dataset(10, 64, 512,
-                                                workload::Distribution::ZipfHot, 6);
-        std::vector<std::uint64_t> offsets(ds.offsets.begin(), ds.offsets.end());
-        gas::gpu_ragged_sort(dev, ds.values, offsets, hybrid_forced());
-        return ds.values;
-    });
+std::vector<float> wl_hybrid_skew_ragged(simt::Device& dev, bool graph) {
+    auto ds = workload::make_ragged_dataset(10, 64, 512, workload::Distribution::ZipfHot, 6);
+    std::vector<std::uint64_t> offsets(ds.offsets.begin(), ds.offsets.end());
+    gas::gpu_ragged_sort(dev, ds.values, offsets, hybrid_forced(graph));
+    return ds.values;
 }
 
-TEST(ExecEquivalence, HybridSkewPairSort) {
-    exec_sweep([](simt::Device& dev) {
-        auto keys = workload::make_dataset(6, 500, workload::Distribution::ZipfHot, 7);
-        auto vals = workload::make_dataset(6, 500, workload::Distribution::Uniform, 8);
-        gas::gpu_pair_sort(dev, keys.values, vals.values, 6, 500, hybrid_forced());
-        auto out = keys.values;
-        out.insert(out.end(), vals.values.begin(), vals.values.end());
-        return out;
-    });
+std::vector<float> wl_hybrid_skew_pair(simt::Device& dev, bool graph) {
+    auto keys = workload::make_dataset(6, 500, workload::Distribution::ZipfHot, 7);
+    auto vals = workload::make_dataset(6, 500, workload::Distribution::Uniform, 8);
+    gas::gpu_pair_sort(dev, keys.values, vals.values, 6, 500, hybrid_forced(graph));
+    auto out = keys.values;
+    out.insert(out.end(), vals.values.begin(), vals.values.end());
+    return out;
 }
 
 std::vector<std::uint32_t> pseudo_u32(std::size_t count, std::uint64_t seed) {
@@ -231,33 +267,87 @@ std::vector<std::uint32_t> pseudo_u32(std::size_t count, std::uint64_t seed) {
     return v;
 }
 
-TEST(ExecEquivalence, RadixSortU32) {
-    for (const bool prune : {false, true}) {
-        exec_sweep([prune](simt::Device& dev) {
-            thrustlite::device_vector<std::uint32_t> keys(dev, pseudo_u32(10001, 1));
-            thrustlite::RadixOptions opts;
-            opts.prune_passes = prune;
-            thrustlite::stable_sort(dev, keys.span(), opts);
-            return keys.to_host();
-        });
-    }
+template <bool kPrune>
+std::vector<std::uint32_t> wl_radix_u32(simt::Device& dev, bool graph) {
+    thrustlite::device_vector<std::uint32_t> keys(dev, pseudo_u32(10001, 1));
+    thrustlite::RadixOptions opts;
+    opts.prune_passes = kPrune;
+    opts.graph_launch = graph;
+    thrustlite::stable_sort(dev, keys.span(), opts);
+    return keys.to_host();
 }
 
-TEST(ExecEquivalence, RadixSortByKey) {
-    exec_sweep([](simt::Device& dev) {
-        const auto host_keys = pseudo_u32(9000, 3);
-        std::vector<std::uint32_t> host_vals(host_keys.size());
-        for (std::size_t i = 0; i < host_vals.size(); ++i) {
-            host_vals[i] = static_cast<std::uint32_t>(i);
-        }
-        thrustlite::device_vector<std::uint32_t> keys(dev, host_keys);
-        thrustlite::device_vector<std::uint32_t> vals(dev, host_vals);
-        thrustlite::stable_sort_by_key(dev, keys.span(), vals.span());
-        auto out = keys.to_host();
-        const auto v = vals.to_host();
-        out.insert(out.end(), v.begin(), v.end());
-        return out;
-    });
+std::vector<std::uint32_t> wl_radix_by_key(simt::Device& dev, bool graph) {
+    const auto host_keys = pseudo_u32(9000, 3);
+    std::vector<std::uint32_t> host_vals(host_keys.size());
+    for (std::size_t i = 0; i < host_vals.size(); ++i) {
+        host_vals[i] = static_cast<std::uint32_t>(i);
+    }
+    thrustlite::device_vector<std::uint32_t> keys(dev, host_keys);
+    thrustlite::device_vector<std::uint32_t> vals(dev, host_vals);
+    thrustlite::RadixOptions opts;
+    opts.graph_launch = graph;
+    thrustlite::stable_sort_by_key(dev, keys.span(), vals.span(), opts);
+    auto out = keys.to_host();
+    const auto v = vals.to_host();
+    out.insert(out.end(), v.begin(), v.end());
+    return out;
 }
+
+// --- scalar vs warp (graph path, the default) ------------------------------
+
+TEST(ExecEquivalence, ArraySortFloatWithVerify) { exec_sweep(wl_array_sort_verify); }
+TEST(ExecEquivalence, ArraySortUint32) { exec_sweep(wl_array_sort_u32); }
+TEST(ExecEquivalence, ArraySortDescending) { exec_sweep(wl_array_sort_descending); }
+TEST(ExecEquivalence, ArraySortBinarySearchStrategy) {
+    exec_sweep(wl_array_sort_binary_search);
+}
+TEST(ExecEquivalence, ArraySortThreadsPerBucket) { exec_sweep(wl_array_sort_tpb); }
+TEST(ExecEquivalence, SmallArrayFastPath) { exec_sweep(wl_small_array); }
+TEST(ExecEquivalence, GlobalScratchFallback) { exec_sweep(wl_global_scratch); }
+TEST(ExecEquivalence, PairSort) { exec_sweep(wl_pair_sort); }
+TEST(ExecEquivalence, RaggedSort) { exec_sweep(wl_ragged_sort); }
+TEST(ExecEquivalence, RaggedPairSort) { exec_sweep(wl_ragged_pair_sort); }
+TEST(ExecEquivalence, HybridSkewArraySort) { exec_sweep(wl_hybrid_skew_array); }
+TEST(ExecEquivalence, HybridSkewRaggedSort) { exec_sweep(wl_hybrid_skew_ragged); }
+TEST(ExecEquivalence, HybridSkewPairSort) { exec_sweep(wl_hybrid_skew_pair); }
+TEST(ExecEquivalence, RadixSortU32) {
+    exec_sweep(wl_radix_u32<false>);
+    exec_sweep(wl_radix_u32<true>);
+}
+TEST(ExecEquivalence, RadixSortByKey) { exec_sweep(wl_radix_by_key); }
+
+// --- graph launch vs loop of launches, both exec modes ---------------------
+
+TEST(GraphEquivalence, ArraySortFloatWithVerify) {
+    graph_vs_loop_sweep(wl_array_sort_verify);
+}
+TEST(GraphEquivalence, ArraySortUint32) { graph_vs_loop_sweep(wl_array_sort_u32); }
+TEST(GraphEquivalence, ArraySortDescending) {
+    graph_vs_loop_sweep(wl_array_sort_descending);
+}
+TEST(GraphEquivalence, ArraySortBinarySearchStrategy) {
+    graph_vs_loop_sweep(wl_array_sort_binary_search);
+}
+TEST(GraphEquivalence, ArraySortThreadsPerBucket) {
+    graph_vs_loop_sweep(wl_array_sort_tpb);
+}
+TEST(GraphEquivalence, SmallArrayFastPath) { graph_vs_loop_sweep(wl_small_array); }
+TEST(GraphEquivalence, GlobalScratchFallback) { graph_vs_loop_sweep(wl_global_scratch); }
+TEST(GraphEquivalence, PairSort) { graph_vs_loop_sweep(wl_pair_sort); }
+TEST(GraphEquivalence, RaggedSort) { graph_vs_loop_sweep(wl_ragged_sort); }
+TEST(GraphEquivalence, RaggedPairSort) { graph_vs_loop_sweep(wl_ragged_pair_sort); }
+TEST(GraphEquivalence, HybridSkewArraySort) {
+    graph_vs_loop_sweep(wl_hybrid_skew_array);
+}
+TEST(GraphEquivalence, HybridSkewRaggedSort) {
+    graph_vs_loop_sweep(wl_hybrid_skew_ragged);
+}
+TEST(GraphEquivalence, HybridSkewPairSort) { graph_vs_loop_sweep(wl_hybrid_skew_pair); }
+TEST(GraphEquivalence, RadixSortU32) {
+    graph_vs_loop_sweep(wl_radix_u32<false>);
+    graph_vs_loop_sweep(wl_radix_u32<true>);
+}
+TEST(GraphEquivalence, RadixSortByKey) { graph_vs_loop_sweep(wl_radix_by_key); }
 
 }  // namespace

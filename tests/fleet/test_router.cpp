@@ -152,6 +152,21 @@ TEST(Router, ParseRoutePolicyRoundTrips) {
     EXPECT_EQ(parsed, RoutePolicy::KeyRange);  // untouched on failure
 }
 
+// The CLI spellings are a wire format: gas_serve --policy hard-errors on
+// anything parse_route_policy rejects, so near-misses must stay rejected
+// rather than being "helpfully" normalized.
+TEST(Router, ParseRoutePolicyRejectsNearMisses) {
+    RoutePolicy parsed = RoutePolicy::ConsistentHash;
+    for (const char* name : {"", "least_loaded", "Least-Loaded", "leastloaded",
+                             "consistent-hash ", "key-range-", "keyrange"}) {
+        EXPECT_FALSE(parse_route_policy(name, parsed)) << "accepted: '" << name << "'";
+        EXPECT_EQ(parsed, RoutePolicy::ConsistentHash);
+    }
+    EXPECT_EQ(to_string(RoutePolicy::LeastLoaded), "least-loaded");
+    EXPECT_EQ(to_string(RoutePolicy::ConsistentHash), "consistent-hash");
+    EXPECT_EQ(to_string(RoutePolicy::KeyRange), "key-range");
+}
+
 TEST(Router, RejectsDegenerateConfigurations) {
     EXPECT_THROW(Router(RoutePolicy::LeastLoaded, 0), std::invalid_argument);
     EXPECT_THROW(Router(RoutePolicy::KeyRange, 2, 0.0), std::invalid_argument);

@@ -438,6 +438,25 @@ TEST(Server, StatsJsonHasTheStableSections) {
     }
 }
 
+TEST(Server, StatsCountGraphSubmitsPerBatch) {
+    auto dev = make_device();
+    Server server(dev, manual_config());
+    auto ticket = server.submit(uniform_job(4, 200, 7));
+    server.pump();
+    ASSERT_TRUE(ticket.result.get().ok());
+
+    const auto s = server.stats();
+    EXPECT_GE(s.graphs, 1u);  // the fused batch ran as one submitted graph
+    EXPECT_GT(s.graph_kernel_nodes, 0u);
+    EXPECT_GT(s.graph_host_nodes, 0u);  // the phase-3 dispatch decision node
+    EXPECT_GT(s.graph_device_enqueued, 0u);
+    EXPECT_EQ(s.graph_nodes, s.graph_kernel_nodes + s.graph_host_nodes);
+
+    const std::string j = server.stats_json();
+    EXPECT_NE(j.find("\"graph\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"device_enqueued\""), std::string::npos) << j;
+}
+
 TEST(Server, AsyncProducersDrainToCompletion) {
     auto dev = make_device();
     ServerConfig cfg;

@@ -268,8 +268,15 @@ int main(int argc, char** argv) {
             if (cli.devices == 0) return usage();
         } else if (arg == "--policy") {
             const char* v = next();
-            if (v == nullptr || !gas::fleet::parse_route_policy(v, cli.policy)) {
-                return usage();
+            if (v == nullptr) return usage();
+            if (!gas::fleet::parse_route_policy(v, cli.policy)) {
+                // A typo here must not silently serve with the default policy:
+                // name the rejected string and the full valid set.
+                std::fprintf(stderr,
+                             "gas_serve: unknown --policy '%s' "
+                             "(valid: least-loaded, consistent-hash, key-range)\n",
+                             v);
+                return 2;
             }
         } else if (arg == "--exec") {
             const char* v = next();

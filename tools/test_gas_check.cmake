@@ -28,8 +28,22 @@ if(NOT json MATCHES "\"clean\":true")
   message(FATAL_ERROR "JSON report not clean:\n${json}")
 endif()
 
-# The seeded-bug selftest must catch all four finding kinds.
+# The graph workload standalone and strict: the full pipeline through
+# Device::submit must stay clean with the checker aborting on any finding.
+run(${GAS_CHECK} --workload graph --strict --arrays 16 --size 500)
+if(NOT last_output MATCHES "no findings")
+  message(FATAL_ERROR "strict graph run did not report 'no findings':\n${last_output}")
+endif()
+
+# The seeded-bug selftest must catch all four finding kinds plus both
+# structural graph bugs (dependency cycle, missing edge -> GraphError).
 run(${GAS_CHECK} --demo-bugs)
 if(NOT last_output MATCHES "all seeded bugs detected")
   message(FATAL_ERROR "selftest did not detect every seeded bug:\n${last_output}")
+endif()
+if(NOT last_output MATCHES "graph cycle: +detected")
+  message(FATAL_ERROR "selftest did not flag the seeded graph cycle:\n${last_output}")
+endif()
+if(NOT last_output MATCHES "graph missing edge: detected")
+  message(FATAL_ERROR "selftest did not flag the seeded missing edge:\n${last_output}")
 endif()
