@@ -77,6 +77,16 @@ class Router {
     [[nodiscard]] std::size_t route(const RouteInfo& info,
                                     std::span<const ShardLoad> loads) const;
 
+    /// Installs data-driven KeyRange bands: `bands[i]` is the inclusive
+    /// upper key bound of the i-th live owner's slice (ascending, one entry
+    /// per device, typically the equal-mass boundaries of an observed key
+    /// histogram — gas::tune::Controller::key_bands).  Empty restores the
+    /// default equal-width split.  Throws std::invalid_argument on a size
+    /// mismatch or a non-ascending sequence.  Callers synchronize: route()
+    /// reads the bands without locking.
+    void set_key_bands(std::vector<double> bands);
+    [[nodiscard]] const std::vector<double>& key_bands() const { return bands_; }
+
   private:
     [[nodiscard]] std::size_t least_loaded(std::span<const ShardLoad> loads,
                                            bool need_eligible) const;
@@ -90,6 +100,8 @@ class Router {
     double key_space_;
     /// Consistent-hash ring: (point, device) sorted by point.
     std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+    /// KeyRange bands (per-device upper key bounds); empty = equal split.
+    std::vector<double> bands_;
 };
 
 }  // namespace gas::fleet

@@ -20,7 +20,9 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 /// Two jobs can share a fused batch: same kind, same uniform geometry, and
 /// the same sort-shaping options (anything that changes splitters, bucketing
 /// or phase-3 behaviour).  validate/collect_bucket_sizes are server-owned
-/// and deliberately excluded.
+/// and deliberately excluded.  auto_tune IS included: the controller retunes
+/// a whole batch at once, so a request that opted out must never ride a
+/// batch whose effective options the controller may reshape.
 bool compatible(const Job& a, const Job& b) {
     if (a.kind != b.kind) return false;
     if (a.kind != JobKind::Ragged && a.array_size != b.array_size) return false;
@@ -31,7 +33,16 @@ bool compatible(const Job& a, const Job& b) {
            x.threads_per_bucket == y.threads_per_bucket &&
            x.hybrid_phase3 == y.hybrid_phase3 &&
            x.phase3_small_cutoff == y.phase3_small_cutoff &&
-           x.phase3_bitonic_cutoff == y.phase3_bitonic_cutoff;
+           x.phase3_bitonic_cutoff == y.phase3_bitonic_cutoff &&
+           x.auto_tune == y.auto_tune;
+}
+
+/// Queue-depth EWMA update (DeviceBreakdown::queue_depth_ewma), sampled at
+/// every enqueue and batch take.
+void sample_queue_depth(DeviceBreakdown& d, std::size_t depth) {
+    constexpr double kAlpha = 0.2;
+    d.queue_depth_ewma =
+        (1.0 - kAlpha) * d.queue_depth_ewma + kAlpha * static_cast<double>(depth);
 }
 
 bool expired(const Job& job, Clock::time_point now) {
@@ -149,7 +160,8 @@ Server::Server(ServerConfig cfg, gas::fleet::DeviceFleet* f,
     : owned_fleet_(std::move(owned)),
       fleet_(f != nullptr ? f : owned_fleet_.get()),
       cfg_(cfg),
-      router_(cfg.route_policy, fleet_->size(), cfg.key_space_max) {
+      router_(cfg.route_policy, fleet_->size(), cfg.key_space_max),
+      controller_(gas::tune::Controller::Config{cfg.auto_tune}) {
     if (cfg_.num_streams == 0) {
         throw std::invalid_argument("serve::Server: 0 streams");
     }
@@ -183,6 +195,23 @@ Server::Ticket Server::submit(Job job) {
     pending->arrays = job_arrays(pending->job);
     pending->elements = job_elements(pending->job);
     pending->rinfo = make_route_info(pending->job, pending->elements);
+    // Distribution sketch, taken outside the lock on the host copy.  Pair
+    // jobs are never sketched: their key-equal payload order is
+    // plan-dependent, so the controller must not reshape them.
+    if (cfg_.auto_tune && pending->job.opts.auto_tune && pending->elements > 0 &&
+        pending->job.kind != JobKind::Pairs) {
+        if (pending->job.kind == JobKind::Ragged) {
+            pending->sketch = tune::sketch_ragged(pending->job.values,
+                                                  pending->job.offsets,
+                                                  cfg_.key_space_max);
+        } else {
+            pending->sketch =
+                tune::sketch_values(pending->job.values, pending->job.num_arrays,
+                                    pending->job.array_size, cfg_.key_space_max);
+        }
+        pending->sketch_ms =
+            tune::modeled_sketch_ms(pending->sketch, fleet_->device(0).props());
+    }
 
     Ticket ticket;
     ticket.result = pending->promise.get_future();
@@ -243,6 +272,7 @@ Server::Ticket Server::submit(Job job) {
     }
 
     ++stats_.accepted;
+    stats_.tune_sketch_ms += pending->sketch_ms;
     Shard& shard = *shards_[route_locked(*pending)];
     ++shard.breakdown.routed;
     ++shard.queued;
@@ -250,6 +280,7 @@ Server::Ticket Server::submit(Job job) {
     shard.queue[static_cast<std::size_t>(pending->job.priority)].push_back(
         std::move(pending));
     ++queued_;
+    sample_queue_depth(shard.breakdown, shard.queued);
     stats_.queue_peak = std::max(stats_.queue_peak, queued_);
     lk.unlock();
     // All shard schedulers share one cv; wake them all so the routed (or a
@@ -528,7 +559,10 @@ std::vector<Server::PendingPtr> Server::take_batch(Shard& shard,
         }
         if (!batch.empty()) break;
     }
-    if (batch.empty()) return batch;
+    if (batch.empty()) {
+        sample_queue_depth(shard.breakdown, shard.queued);
+        return batch;
+    }
 
     const Job& head = batch.front()->job;
     // A fallback-bound request is served alone: it never joins a device
@@ -582,6 +616,7 @@ std::vector<Server::PendingPtr> Server::take_batch(Shard& shard,
         }
         if (batch.size() >= cfg_.max_batch_requests) break;
     }
+    sample_queue_depth(shard.breakdown, shard.queued);
     return batch;
 }
 
@@ -621,6 +656,9 @@ BufferPool::Lease Server::acquire_or_trim(Shard& shard, std::size_t bytes) {
             return shard.pool.acquire(bytes);
         } catch (const simt::DeviceBadAlloc&) {
             if (attempt >= max_attempts) throw;
+            // The held reuse graph pins splitter/scratch buffers; drop it so
+            // the trim below can actually return memory to the arena.
+            shard.graph_cache.reset();
             shard.pool.trim();
             std::lock_guard lk(mutex_);
             ++stats_.alloc_retries;
@@ -774,9 +812,66 @@ void Server::execute_uniform(Shard& shard, std::vector<PendingPtr>& batch) {
         opts.validate = cfg_.validate;
         opts.collect_bucket_sizes = false;
         opts.verify_output = false;  // the server verifies per request below
-        const SortStats s = sort_uniform_batch_on_device(device, view, slices,
-                                                         total_arrays, n, opts);
+
+        // Adaptive tuning: merge the batch members' submit-time sketches and
+        // let the controller reshape the sort-shaping knobs.  The server-
+        // owned knobs above stay pinned; with no sketch (auto_tune off at
+        // either level) the submitted options run untouched.
+        tune::Plan plan;
+        bool tuned = false;
+        {
+            tune::Sketch merged;
+            for (const auto& p : batch) merged.merge(p->sketch);
+            if (!merged.empty()) {
+                std::lock_guard lk(mutex_);
+                plan = controller_.choose(merged, n, opts, device.props());
+                tuned = true;
+                opts = plan.opts;
+                if (plan.candidate != "paper-default") ++stats_.tuned_batches;
+                if (cfg_.route_policy == gas::fleet::RoutePolicy::KeyRange &&
+                    shards_.size() > 1) {
+                    // Fleet-level aggregate sketch -> equal-mass KeyRange
+                    // bands (the controller returns the interior splits; the
+                    // domain bound closes the last device's band).
+                    auto bands = controller_.key_bands(shards_.size());
+                    if (!bands.empty()) {
+                        bands.push_back(cfg_.key_space_max);
+                        router_.set_key_bands(std::move(bands));
+                    }
+                }
+            }
+        }
+
+        SortStats s;
+        // Graph reuse cache: a consecutive batch with the same fingerprint
+        // (device span, geometry, effective options) resubmits the shard's
+        // held graph instead of rebuilding the pipeline.
+        if (opts.graph_launch && !opts.validate) {
+            if (shard.graph_cache &&
+                shard.graph_cache->matches(device, dev, total_arrays, n, opts)) {
+                s = shard.graph_cache->run();
+                std::lock_guard lk(mutex_);
+                ++stats_.graph_cache_hits;
+            } else {
+                const bool evicted = shard.graph_cache != nullptr;
+                shard.graph_cache.reset();  // free held temporaries first
+                shard.graph_cache = std::make_unique<UniformSortGraph>(
+                    device, dev, total_arrays, n, opts);
+                s = shard.graph_cache->run();
+                std::lock_guard lk(mutex_);
+                ++stats_.graph_cache_misses;
+                if (evicted) ++stats_.graph_cache_evictions;
+            }
+        } else {
+            s = sort_uniform_batch_on_device(device, view, slices, total_arrays, n,
+                                             opts);
+        }
         double kernel_ms = s.modeled_kernel_ms();
+        if (tuned) {
+            std::lock_guard lk(mutex_);
+            controller_.observe(plan.regime, plan.candidate, kernel_ms, count,
+                                device.props());
+        }
 
         std::vector<std::uint8_t> row_fail;
         if (cfg_.verify_responses) {
@@ -867,9 +962,32 @@ void Server::execute_ragged(Shard& shard, std::vector<PendingPtr>& batch) {
         opts.validate = cfg_.validate;
         opts.collect_bucket_sizes = false;
         opts.verify_output = false;  // the server verifies per request below
+
+        // Adaptive tuning (see execute_uniform); the representative row
+        // length of the fused CSR buffer stands in for array_size.
+        tune::Plan plan;
+        bool tuned = false;
+        {
+            tune::Sketch merged;
+            for (const auto& p : batch) merged.merge(p->sketch);
+            if (!merged.empty() && total_arrays > 0) {
+                std::lock_guard lk(mutex_);
+                plan = controller_.choose(merged, total_values / total_arrays, opts,
+                                          device.props());
+                tuned = true;
+                opts = plan.opts;
+                if (plan.candidate != "paper-default") ++stats_.tuned_batches;
+            }
+        }
+
         const SortStats s =
             sort_ragged_batch_on_device(device, view, fused_offsets, slices, opts);
         double kernel_ms = s.modeled_kernel_ms();
+        if (tuned) {
+            std::lock_guard lk(mutex_);
+            controller_.observe(plan.regime, plan.candidate, kernel_ms, total_values,
+                                device.props());
+        }
 
         std::vector<std::uint8_t> row_fail;
         if (cfg_.verify_responses) {
@@ -1208,6 +1326,21 @@ ServerStats Server::stats() const {
         pool.bytes_leased += ps.bytes_leased;
         pool.peak_leased += ps.peak_leased;
         s.devices.push_back(std::move(d));
+    }
+    s.tune_enabled = cfg_.auto_tune;
+    s.tune_decisions = controller_.decisions();
+    s.tune_plan_switches = controller_.plan_switches();
+    s.key_bands = router_.key_bands();
+    s.tune_cells.clear();
+    for (const auto& c : controller_.cells()) {
+        ServerStats::TuneCell tc;
+        tc.regime = tune::to_string(c.regime);
+        tc.candidate = c.candidate;
+        tc.predicted = c.predicted;
+        tc.observed = c.observed_ewma;
+        tc.observations = c.observations;
+        tc.incumbent = c.incumbent;
+        s.tune_cells.push_back(std::move(tc));
     }
     s.modeled_overlap_ms = overlap;
     s.modeled_serial_ms = serial;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/resilient.hpp"
+#include "core/sort_graph.hpp"
 #include "fleet/fleet.hpp"
 #include "fleet/router.hpp"
 #include "serve/pool.hpp"
@@ -17,6 +18,7 @@
 #include "serve/stats.hpp"
 #include "simt/device.hpp"
 #include "simt/stream.hpp"
+#include "tune/controller.hpp"
 
 namespace gas::serve {
 
@@ -88,6 +90,16 @@ struct ServerConfig {
     /// Upper bound of the key domain for KeyRange routing (hints are
     /// normalized by it).  The default is the paper's [0, 2^31) domain.
     double key_space_max = gas::fleet::Router::kDefaultKeySpace;
+
+    /// Adaptive autotuning (gas::tune): sketch each float request's key
+    /// distribution at submit and let a closed-loop controller reshape the
+    /// sort-shaping options (sampling rate, bucket target, phase-2 strategy,
+    /// phase-3 cutoffs) per fused batch, learning from observed modeled
+    /// cost.  Pair batches are never tuned (their key-equal payload order is
+    /// plan-dependent); a request with Options::auto_tune off is never tuned
+    /// either.  Off pins every batch to its submitted options bit-for-bit —
+    /// bytes, kernel log and KernelStats identical to the pre-tune server.
+    bool auto_tune = true;
 };
 
 /// Asynchronous batch-sort service over a fleet of simulated devices.
@@ -195,6 +207,11 @@ class Server {
         std::size_t arrays = 0;    ///< fused-array count this job contributes
         std::size_t elements = 0;  ///< total values (cost-share weight)
         gas::fleet::RouteInfo rinfo;  ///< computed once; re-routes are cheap
+        /// Distribution sketch taken at submit (auto_tune only; empty for
+        /// pair jobs and opted-out requests).  Batch members' sketches merge
+        /// into the controller's per-batch view.
+        gas::tune::Sketch sketch;
+        double sketch_ms = 0.0;  ///< modeled cost of taking the sketch
     };
     using PendingPtr = std::unique_ptr<Pending>;
 
@@ -220,6 +237,11 @@ class Server {
         std::size_t in_flight = 0;
         bool quarantined = false;
         DeviceBreakdown breakdown;
+        /// Graph reuse cache (core/sort_graph.hpp): one held pipeline per
+        /// shard, keyed by the last uniform batch's fingerprint (device
+        /// span, geometry, effective options).  Touched only by the owning
+        /// scheduler; the hit/miss/evict counters live in stats_ (mutex_).
+        std::unique_ptr<UniformSortGraph> graph_cache;
         std::thread scheduler;
     };
 
@@ -278,6 +300,10 @@ class Server {
     LatencyDigest queue_wait_digest_;
     LatencyDigest wall_digest_;
     LatencyDigest modeled_digest_;
+    /// One controller for the whole fleet (guarded by mutex_): every
+    /// shard's observations land in the same cells and every shard's next
+    /// batch reads them — the cross-shard broadcast.
+    gas::tune::Controller controller_;
 };
 
 }  // namespace gas::serve

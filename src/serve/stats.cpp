@@ -85,6 +85,11 @@ std::string ServerStats::to_json() const {
            devices.size(), static_cast<unsigned long long>(steals),
            static_cast<unsigned long long>(reroutes),
            static_cast<unsigned long long>(devices_quarantined));
+    append(j, "    \"key_bands\": [");
+    for (std::size_t i = 0; i < key_bands.size(); ++i) {
+        append(j, "%s%.1f", i > 0 ? ", " : "", key_bands[i]);
+    }
+    append(j, "],\n");
     append(j, "    \"per_device\": [\n");
     for (std::size_t i = 0; i < devices.size(); ++i) {
         const DeviceBreakdown& d = devices[i];
@@ -103,6 +108,7 @@ std::string ServerStats::to_json() const {
                static_cast<unsigned long long>(d.steals_out),
                static_cast<unsigned long long>(d.reroutes_in),
                static_cast<unsigned long long>(d.reroutes_out), d.queue_depth);
+        append(j, "       \"queue_depth_ewma\": %.4f,\n", d.queue_depth_ewma);
         append(j,
                "       \"kernel_ms\": %.6f, \"overlap_ms\": %.6f, "
                "\"compute_utilization\": %.4f}%s\n",
@@ -114,13 +120,40 @@ std::string ServerStats::to_json() const {
     append(j, "  \"graph\": {\n");
     append(j,
            "    \"graphs\": %llu, \"nodes\": %llu, \"kernel_nodes\": %llu, "
-           "\"host_nodes\": %llu, \"device_enqueued\": %llu, \"pruned\": %llu\n",
+           "\"host_nodes\": %llu, \"device_enqueued\": %llu, \"pruned\": %llu,\n",
            static_cast<unsigned long long>(graphs),
            static_cast<unsigned long long>(graph_nodes),
            static_cast<unsigned long long>(graph_kernel_nodes),
            static_cast<unsigned long long>(graph_host_nodes),
            static_cast<unsigned long long>(graph_device_enqueued),
            static_cast<unsigned long long>(graph_pruned));
+    append(j,
+           "    \"cache_hits\": %llu, \"cache_misses\": %llu, "
+           "\"cache_evictions\": %llu, \"cache_hit_rate\": %.4f\n",
+           static_cast<unsigned long long>(graph_cache_hits),
+           static_cast<unsigned long long>(graph_cache_misses),
+           static_cast<unsigned long long>(graph_cache_evictions),
+           graph_cache_hit_rate());
+    append(j, "  },\n");
+    append(j, "  \"tune\": {\n");
+    append(j,
+           "    \"enabled\": %s, \"decisions\": %llu, \"plan_switches\": %llu, "
+           "\"tuned_batches\": %llu, \"sketch_ms\": %.6f,\n",
+           tune_enabled ? "true" : "false",
+           static_cast<unsigned long long>(tune_decisions),
+           static_cast<unsigned long long>(tune_plan_switches),
+           static_cast<unsigned long long>(tuned_batches), tune_sketch_ms);
+    append(j, "    \"cells\": [\n");
+    for (std::size_t i = 0; i < tune_cells.size(); ++i) {
+        const TuneCell& c = tune_cells[i];
+        append(j,
+               "      {\"regime\": \"%s\", \"candidate\": \"%s\", \"predicted\": %.3f, "
+               "\"observed\": %.3f, \"observations\": %llu, \"incumbent\": %s}%s\n",
+               c.regime.c_str(), c.candidate.c_str(), c.predicted, c.observed,
+               static_cast<unsigned long long>(c.observations),
+               c.incumbent ? "true" : "false", i + 1 < tune_cells.size() ? "," : "");
+    }
+    append(j, "    ]\n");
     append(j, "  },\n");
     append(j, "  \"modeled\": {\n");
     append(j,

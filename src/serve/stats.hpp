@@ -63,6 +63,11 @@ struct DeviceBreakdown {
     double modeled_overlap_ms = 0.0;    ///< this device's pipeline makespan
     double compute_utilization = 0.0;   ///< of its own makespan
     std::size_t queue_depth = 0;        ///< at the moment stats() was taken
+    /// EWMA of the shard's queue depth, sampled at every enqueue and batch
+    /// take (alpha 0.2): the smoothed backlog signal dashboards trend and
+    /// the fleet router's rebalancing reads, immune to the instant-depth
+    /// sampling noise of queue_depth.
+    double queue_depth_ewma = 0.0;
 };
 
 /// Full observability surface of one gas::serve::Server.
@@ -98,6 +103,10 @@ struct ServerStats {
     std::uint64_t reroutes = 0;             ///< requests re-homed after device loss
     std::uint64_t devices_quarantined = 0;  ///< devices lost so far
     std::vector<DeviceBreakdown> devices;   ///< per-shard slice, device order
+    /// Current KeyRange routing bands (per-device upper key bounds), empty
+    /// unless the policy is KeyRange and the controller has recomputed them
+    /// from the fleet-level aggregate sketch.
+    std::vector<double> key_bands;
 
     // Graph launches (Device::submit telemetry summed over the fleet).  With
     // Options::graph_launch on (the default) every fused batch executes as
@@ -111,6 +120,18 @@ struct ServerStats {
     std::uint64_t graph_host_nodes = 0;
     std::uint64_t graph_device_enqueued = 0;  ///< nodes enqueued during execution
     std::uint64_t graph_pruned = 0;           ///< degenerate work skipped in-graph
+    // Graph reuse cache (core/sort_graph.hpp): consecutive uniform batches
+    // with an identical fingerprint (device span, geometry, effective
+    // options) resubmit one held graph instead of rebuilding it.
+    std::uint64_t graph_cache_hits = 0;       ///< batches served by a held graph
+    std::uint64_t graph_cache_misses = 0;     ///< batches that (re)built one
+    std::uint64_t graph_cache_evictions = 0;  ///< rebuilds that replaced a held graph
+    [[nodiscard]] double graph_cache_hit_rate() const {
+        const auto total = graph_cache_hits + graph_cache_misses;
+        return total > 0 ? static_cast<double>(graph_cache_hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+    }
 
     // Modeled device cost (sums over batches).
     double modeled_kernel_ms = 0.0;
@@ -128,6 +149,25 @@ struct ServerStats {
     double h2d_utilization = 0.0;
     double compute_utilization = 0.0;
     double d2h_utilization = 0.0;
+
+    // Adaptive tuning (gas::tune::Controller wiring; all zero with
+    // auto_tune off).  One cell per (regime, candidate) pair the controller
+    // has met: the planner's predicted cost, the EWMA of observed modeled
+    // cost, and whether the cell currently holds its regime's incumbency.
+    struct TuneCell {
+        std::string regime;
+        std::string candidate;
+        double predicted = 0.0;      ///< modeled cycles/element (planner seed)
+        double observed = 0.0;       ///< EWMA of observed cycles/element
+        std::uint64_t observations = 0;
+        bool incumbent = false;
+    };
+    bool tune_enabled = false;            ///< ServerConfig::auto_tune
+    std::uint64_t tune_decisions = 0;     ///< controller choices with a sketch
+    std::uint64_t tune_plan_switches = 0; ///< incumbent changes past hysteresis
+    std::uint64_t tuned_batches = 0;      ///< batches run under a non-default plan
+    double tune_sketch_ms = 0.0;          ///< modeled sketch cost accrued at submit
+    std::vector<TuneCell> tune_cells;     ///< learned cost cells, sorted by key
 
     double wall_service_ms = 0.0;  ///< host wall time spent executing batches
 

@@ -1,0 +1,129 @@
+#include "tune/controller.hpp"
+
+#include <algorithm>
+
+namespace gas::tune {
+
+Plan Controller::choose(const Sketch& sketch, std::size_t array_size,
+                        const Options& base, const simt::DeviceProperties& props) {
+    if (!cfg_.enabled || !base.auto_tune || sketch.empty() || array_size == 0) {
+        Plan plan;
+        plan.opts = base;
+        plan.candidate = "paper-default";
+        plan.regime = classify(sketch);
+        return plan;
+    }
+
+    aggregate_.merge(sketch);
+    ++decisions_;
+
+    const Regime regime = classify(sketch);
+    std::vector<Candidate> candidates = make_candidates(sketch, array_size, base, props);
+
+    // Seed unseen cells with the planner's prediction; refresh the
+    // prediction on cells that have never been observed (the concretized
+    // candidate can drift as the aggregate sketch sharpens).
+    for (const Candidate& c : candidates) {
+        Cell& cell = cells_[{regime, c.name}];
+        if (cell.observations == 0) cell.predicted = c.predicted_cost;
+    }
+
+    // Rank by learned score.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        const double s = cells_[{regime, candidates[i].name}].score();
+        if (s < cells_[{regime, candidates[best].name}].score()) best = i;
+    }
+
+    // Hysteresis: keep the regime's incumbent unless the challenger's score
+    // undercuts it by the margin.
+    auto inc = incumbent_.find(regime);
+    std::size_t chosen = best;
+    if (inc != incumbent_.end() && candidates[best].name != inc->second) {
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+            if (candidates[i].name != inc->second) continue;
+            const double challenger = cells_[{regime, candidates[best].name}].score();
+            const double holder = cells_[{regime, candidates[i].name}].score();
+            if (challenger >= holder * (1.0 - cfg_.hysteresis)) chosen = i;
+            break;
+        }
+    }
+
+    if (inc == incumbent_.end()) {
+        incumbent_[regime] = candidates[chosen].name;
+    } else if (inc->second != candidates[chosen].name) {
+        inc->second = candidates[chosen].name;
+        ++plan_switches_;
+    }
+
+    Plan plan;
+    plan.regime = regime;
+    plan.opts = candidates[chosen].opts;
+    plan.candidate = candidates[chosen].name;
+    plan.predicted_cost = candidates[chosen].predicted_cost;
+    plan.considered = std::move(candidates);
+    return plan;
+}
+
+void Controller::observe(Regime regime, const std::string& candidate, double modeled_ms,
+                         std::size_t elements, const simt::DeviceProperties& props) {
+    if (!cfg_.enabled || elements == 0) return;
+    // Normalize the observation onto the planner's scale (cycles/element)
+    // so seeds and observations rank against each other: modeled ms =
+    // cycles / (clock MHz) x derate.
+    const double cycles_per_ms =
+        props.core_clock_ghz * 1e6 / std::max(1e-9, props.efficiency_derate);
+    const double cost =
+        modeled_ms * cycles_per_ms / static_cast<double>(elements);
+    Cell& cell = cells_[{regime, candidate}];
+    if (cell.observations == 0) {
+        cell.observed_ewma = cost;
+    } else {
+        cell.observed_ewma = (1.0 - cfg_.alpha) * cell.observed_ewma + cfg_.alpha * cost;
+    }
+    ++cell.observations;
+}
+
+std::vector<double> Controller::key_bands(std::size_t shards) const {
+    std::vector<double> bands;
+    if (shards < 2 || aggregate_.sampled == 0) return bands;
+    const auto total = static_cast<double>(aggregate_.sampled);
+    const double bin_width =
+        aggregate_.key_space / static_cast<double>(Sketch::kBins);
+    double cum = 0.0;
+    std::size_t next = 1;
+    for (std::size_t b = 0; b < Sketch::kBins && next < shards; ++b) {
+        const auto mass = static_cast<double>(aggregate_.histogram[b]);
+        while (next < shards) {
+            const double target =
+                total * static_cast<double>(next) / static_cast<double>(shards);
+            if (cum + mass < target) break;
+            // Linear interpolation inside the bin for the split key.
+            const double frac = mass > 0.0 ? (target - cum) / mass : 0.0;
+            bands.push_back((static_cast<double>(b) + frac) * bin_width);
+            ++next;
+        }
+        cum += mass;
+    }
+    while (next++ < shards) bands.push_back(aggregate_.key_space);
+    return bands;
+}
+
+std::vector<Controller::CellView> Controller::cells() const {
+    std::vector<CellView> out;
+    out.reserve(cells_.size());
+    for (const auto& [key, cell] : cells_) {
+        CellView v;
+        v.regime = key.first;
+        v.candidate = key.second;
+        v.predicted = cell.predicted;
+        v.observed_ewma = cell.observed_ewma;
+        v.observations = cell.observations;
+        auto inc = incumbent_.find(key.first);
+        v.incumbent = inc != incumbent_.end() && inc->second == key.second;
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+}  // namespace gas::tune

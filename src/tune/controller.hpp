@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tune/planner.hpp"
+#include "tune/sketch.hpp"
+
+namespace gas::tune {
+
+/// One (regime, candidate) cost cell of the feedback loop.
+struct Cell {
+    double predicted = 0.0;     ///< planner's modeled cycles/element (seed)
+    double observed_ewma = 0.0; ///< EWMA of observed modeled ms per element
+    std::size_t observations = 0;
+    /// The score choose() ranks by: observed truth once a plan has run,
+    /// the optimistic planner seed until then (so fresh candidates get
+    /// explored exactly when the model thinks they are worth it).
+    [[nodiscard]] double score() const {
+        return observations > 0 ? observed_ewma : predicted;
+    }
+};
+
+/// Closed-loop plan selection (DESIGN.md section 14).
+///
+/// The controller keeps one Cell per (regime, candidate-name) pair.  choose()
+/// classifies the sketch, regenerates the candidate set, seeds any cell it
+/// has not met with the planner's prediction, and picks the cell with the
+/// lowest score — except that the regime's incumbent plan is kept unless a
+/// challenger undercuts it by the hysteresis margin (5% by default), which
+/// stops borderline cells from flapping the plan on noise.  observe() folds
+/// the measured modeled cost of a finished batch back into its cell, so a
+/// candidate the model over-promised on is dethroned after it actually runs.
+///
+/// Costs are normalized per element, so cells learn across batch sizes.
+/// The class is NOT synchronized: gas::serve drives it under the server
+/// mutex (one controller per server = shared across all fleet shards, which
+/// is the cross-shard broadcast — every shard's observations land in the
+/// same cells and every shard's next batch reads them).
+class Controller {
+  public:
+    struct Config {
+        bool enabled = true;     ///< off: choose() always returns the base plan
+        double hysteresis = 0.05;///< challenger must beat incumbent by this
+        double alpha = 0.3;      ///< EWMA weight of the newest observation
+    };
+
+    Controller() = default;
+    explicit Controller(Config cfg) : cfg_(cfg) {}
+
+    /// Picks the plan for one batch: planner proposal filtered through the
+    /// learned cells + hysteresis.  Updates the regime's incumbent and the
+    /// aggregate histogram.  Returns the base options untouched when
+    /// disabled, the base has auto_tune off, or the sketch is empty.
+    Plan choose(const Sketch& sketch, std::size_t array_size, const Options& base,
+                const simt::DeviceProperties& props);
+
+    /// Feeds back the observed modeled cost (ms) of a finished batch that
+    /// ran `plan` over `elements` elements in `regime`.
+    void observe(Regime regime, const std::string& candidate, double modeled_ms,
+                 std::size_t elements, const simt::DeviceProperties& props);
+
+    /// Equal-mass key-range boundaries from the aggregate histogram:
+    /// `shards - 1` interior split keys partitioning the observed key mass
+    /// evenly (empty when fewer than 2 shards or nothing observed yet).
+    /// gas::fleet's KeyRange router consumes these as routing bands.
+    [[nodiscard]] std::vector<double> key_bands(std::size_t shards) const;
+
+    /// Stats surface (the "tune" block of ServerStats::to_json).
+    struct CellView {
+        Regime regime = Regime::Uniform;
+        std::string candidate;
+        double predicted = 0.0;
+        double observed_ewma = 0.0;
+        std::size_t observations = 0;
+        bool incumbent = false;
+    };
+    [[nodiscard]] std::vector<CellView> cells() const;
+    [[nodiscard]] std::size_t plan_switches() const { return plan_switches_; }
+    [[nodiscard]] std::size_t decisions() const { return decisions_; }
+    [[nodiscard]] const Sketch& aggregate() const { return aggregate_; }
+    [[nodiscard]] const Config& config() const { return cfg_; }
+
+  private:
+    Config cfg_;
+    std::map<std::pair<Regime, std::string>, Cell> cells_;
+    std::map<Regime, std::string> incumbent_;
+    Sketch aggregate_;
+    std::size_t plan_switches_ = 0;
+    std::size_t decisions_ = 0;
+};
+
+}  // namespace gas::tune

@@ -17,6 +17,8 @@
 //                      | key-range (default least-loaded)
 //     --exec M         interpreter execution mode: scalar|warp (default:
 //                      the SIMT_EXEC environment variable, else scalar)
+//     --tune on|off    adaptive autotuning (gas::tune controller inside the
+//                      server; default on.  off pins submitted options)
 //     --json PATH      also write the ServerStats JSON to PATH
 //
 // Exit code 0 iff every request reached a terminal state and every Ok
@@ -44,7 +46,7 @@ int usage() {
                  "                     [--streams S] [--batch B] [--deadline-ms D]\n"
                  "                     [--devices N] [--policy least-loaded|consistent-hash|"
                  "key-range]\n"
-                 "                     [--exec scalar|warp] [--json PATH]\n");
+                 "                     [--exec scalar|warp] [--tune on|off] [--json PATH]\n");
     return 2;
 }
 
@@ -60,6 +62,7 @@ struct CliOptions {
     std::size_t devices = 1;
     gas::fleet::RoutePolicy policy = gas::fleet::RoutePolicy::LeastLoaded;
     simt::ExecMode exec = simt::exec_mode_from_env();
+    bool tune = true;
     std::string json;
 };
 
@@ -125,6 +128,7 @@ int cmd_run(const CliOptions& cli) {
     cfg.max_batch_requests = cli.batch;
     cfg.num_streams = cli.streams;
     cfg.route_policy = cli.policy;
+    cfg.auto_tune = cli.tune;
     gas::serve::Server server(fleet, cfg);
 
     std::printf("gas_serve: %zu %s requests, %s mode, %u streams, batch <= %zu, "
@@ -180,6 +184,13 @@ int cmd_run(const CliOptions& cli) {
                 stats.modeled_throughput_rps());
     std::printf("latency (wall ms): p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
                 stats.wall_ms.p50, stats.wall_ms.p95, stats.wall_ms.p99, stats.wall_ms.max);
+    std::printf("tune: %s, %llu decisions, %llu plan switches, %llu tuned batches, "
+                "graph cache %.0f%% hit\n",
+                stats.tune_enabled ? "on" : "off",
+                static_cast<unsigned long long>(stats.tune_decisions),
+                static_cast<unsigned long long>(stats.tune_plan_switches),
+                static_cast<unsigned long long>(stats.tuned_batches),
+                stats.graph_cache_hit_rate() * 100.0);
     if (cli.devices > 1) {
         for (const auto& d : stats.devices) {
             std::printf("  %s: %llu routed, %llu completed, %llu batch(es), "
@@ -287,6 +298,20 @@ int main(int argc, char** argv) {
                 cli.exec = simt::ExecMode::Warp;
             } else {
                 return usage();
+            }
+        } else if (arg == "--tune") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            if (std::strcmp(v, "on") == 0) {
+                cli.tune = true;
+            } else if (std::strcmp(v, "off") == 0) {
+                cli.tune = false;
+            } else {
+                // A typo must not silently serve with the default setting:
+                // name the rejected string and the full valid set.
+                std::fprintf(stderr, "gas_serve: unknown --tune '%s' (valid: on, off)\n",
+                             v);
+                return 2;
             }
         } else if (arg == "--json") {
             const char* v = next();
