@@ -169,12 +169,14 @@ struct RetryPolicy {
 
 /// True for errors that a retry (with re-staging from host data) can
 /// plausibly cure: injected/transient allocation failures, refused
-/// launches, detected corruption, and failed output verification.
-/// SanitizeError — a real bug in kernel code — is deliberately excluded.
+/// launches, aborted hangs, detected corruption, and failed output
+/// verification.  SanitizeError — a real bug in kernel code — is
+/// deliberately excluded.
 [[nodiscard]] inline bool transient(const std::exception& e) {
     if (dynamic_cast<const simt::SanitizeError*>(&e) != nullptr) return false;
     return dynamic_cast<const simt::DeviceBadAlloc*>(&e) != nullptr ||
            dynamic_cast<const simt::LaunchFault*>(&e) != nullptr ||
+           dynamic_cast<const simt::StallFault*>(&e) != nullptr ||
            dynamic_cast<const simt::TransferError*>(&e) != nullptr ||
            dynamic_cast<const VerifyError*>(&e) != nullptr;
 }

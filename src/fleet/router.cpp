@@ -74,10 +74,21 @@ std::size_t Router::route(const RouteInfo& info, std::span<const ShardLoad> load
 
 std::size_t Router::least_loaded(std::span<const ShardLoad> loads,
                                  bool need_eligible) const {
+    // Effective pressure blends the instantaneous backlog with its EWMA —
+    // a shard whose queue just drained still remembers its recent load, so
+    // transient spikes do not flap every new request onto it — and divides
+    // by the routing weight so ramping (probation) shards fill gradually.
+    // With the ShardLoad defaults (smoothed 0, weight 1) this ranks by raw
+    // queued_elements exactly as before; ties still break to lowest index
+    // via the strict <.
+    const auto pressure = [](const ShardLoad& l) {
+        const double w = std::max(l.weight, 1e-9);
+        return (static_cast<double>(l.queued_elements) + l.smoothed_load) / w;
+    };
     std::size_t best = devices_;
     for (std::size_t i = 0; i < loads.size(); ++i) {
         if (!acceptable(loads[i], need_eligible)) continue;
-        if (best == devices_ || loads[i].queued_elements < loads[best].queued_elements) {
+        if (best == devices_ || pressure(loads[i]) < pressure(loads[best])) {
             best = i;
         }
     }

@@ -49,8 +49,21 @@ struct RouteInfo {
 };
 
 /// What the router knows about one device at decision time.
+///
+/// The defaults for `smoothed_load` and `weight` make LeastLoaded rank by
+/// raw queued_elements exactly as before they existed; callers that track a
+/// queue-depth EWMA (gas::serve) or ramp re-admitted devices (gas::health
+/// probation) opt in by filling them.
 struct ShardLoad {
     std::size_t queued_elements = 0;  ///< elements waiting in its queue
+    /// EWMA of queued_elements: folded into LeastLoaded ranking so a shard
+    /// whose queue momentarily drains does not yank every new request away
+    /// from its peers (route flapping on transient spikes).
+    double smoothed_load = 0.0;
+    /// Routing weight in (0, 1]: pressure is divided by it, so a 0.25-weight
+    /// shard looks 4x as loaded and receives proportionally less traffic
+    /// (probation ramps, degraded penalties).  Values <= 0 are clamped.
+    double weight = 1.0;
     bool live = true;      ///< not quarantined (device loss)
     bool eligible = true;  ///< live AND the request fits this device's budget
 };

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <array>
+
+namespace gas::health {
+
+/// The brownout ladder: a small hysteresis automaton over smoothed queue
+/// occupancy (queued / capacity, in [0, 1]).  Levels degrade service
+/// quality to protect latency:
+///   0 — normal service
+///   1 — skip response verification (cheapest work to shed)
+///   2 — shrink the micro-batch coalescing window (no linger, small caps)
+///   3 — shed incoming low-priority requests
+/// Escalation jumps straight to the highest level whose threshold is met;
+/// de-escalation steps down one level at a time and only once occupancy has
+/// fallen `hysteresis` below that level's threshold, so the ladder cannot
+/// flap around a boundary.
+class Brownout {
+  public:
+    struct Config {
+        double l1 = 0.55;
+        double l2 = 0.75;
+        double l3 = 0.90;
+        double hysteresis = 0.20;
+    };
+
+    Brownout() = default;
+    explicit Brownout(Config cfg) : cfg_(cfg) {}
+
+    [[nodiscard]] int level() const { return level_; }
+
+    /// Feed one occupancy sample; returns the signed level change
+    /// (+n escalated, -1 de-escalated one step, 0 unchanged).
+    int update(double occupancy) {
+        const std::array<double, 4> up{0.0, cfg_.l1, cfg_.l2, cfg_.l3};
+        int target = 0;
+        for (int l = 3; l >= 1; --l) {
+            if (occupancy >= up[static_cast<std::size_t>(l)]) {
+                target = l;
+                break;
+            }
+        }
+        const int before = level_;
+        if (target > level_) {
+            level_ = target;
+        } else if (level_ > 0 &&
+                   occupancy < up[static_cast<std::size_t>(level_)] - cfg_.hysteresis) {
+            --level_;
+        }
+        return level_ - before;
+    }
+
+  private:
+    Config cfg_;
+    int level_ = 0;
+};
+
+}  // namespace gas::health

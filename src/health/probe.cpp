@@ -1,0 +1,55 @@
+#include "health/probe.hpp"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/gpu_array_sort.hpp"
+#include "core/options.hpp"
+#include "core/resilient.hpp"
+
+namespace gas::health {
+
+ProbeResult run_probe(simt::Device& device, std::uint64_t seed, std::size_t arrays,
+                      std::size_t array_size) {
+    ProbeResult r;
+    r.arrays = std::max<std::size_t>(arrays, 1);
+    r.array_size = std::max<std::size_t>(array_size, 2);
+
+    // Seeded data in (0, 1]: deterministic per (seed, index), no NaNs.
+    std::vector<float> data(r.arrays * r.array_size);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const std::uint64_t h = resilient::mix64(seed ^ (i + 1));
+        data[i] = static_cast<float>((h >> 40) + 1) / static_cast<float>(1ull << 24);
+    }
+    const std::vector<std::uint64_t> before =
+        resilient::host_row_checksums(std::span<const float>(data), r.arrays, r.array_size);
+
+    try {
+        Options opts;
+        opts.verify_output = false;  // the probe verifies on the host instead
+        opts.auto_tune = false;
+        gpu_array_sort(device, std::span<float>(data), r.arrays, r.array_size, opts);
+    } catch (const std::exception& e) {
+        r.error = e.what();
+        return r;
+    }
+
+    const std::vector<std::uint64_t> after =
+        resilient::host_row_checksums(std::span<const float>(data), r.arrays, r.array_size);
+    for (std::size_t a = 0; a < r.arrays; ++a) {
+        const auto row = std::span<const float>(data).subspan(a * r.array_size, r.array_size);
+        if (!std::is_sorted(row.begin(), row.end())) {
+            r.error = "probe row " + std::to_string(a) + " not sorted";
+            return r;
+        }
+        if (before[a] != after[a]) {
+            r.error = "probe row " + std::to_string(a) + " multiset checksum mismatch";
+            return r;
+        }
+    }
+    r.pass = true;
+    return r;
+}
+
+}  // namespace gas::health

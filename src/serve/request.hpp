@@ -73,6 +73,7 @@ enum class Status : std::uint8_t {
     TimedOut,   ///< deadline expired before service started
     Cancelled,  ///< cancel() or stop(cancel_pending) removed it from the queue
     Failed,     ///< execution threw; `error` has the reason
+    Shed,       ///< dropped by overload protection (gas::health); never silent
 };
 
 [[nodiscard]] inline std::string to_string(Status s) {
@@ -82,6 +83,7 @@ enum class Status : std::uint8_t {
         case Status::TimedOut: return "timed-out";
         case Status::Cancelled: return "cancelled";
         case Status::Failed: return "failed";
+        case Status::Shed: return "shed";
     }
     return "?";
 }
@@ -98,6 +100,10 @@ struct Response {
     double queue_ms = 0.0;    ///< submit -> service start (wall)
     double service_ms = 0.0;  ///< service start -> done (wall)
     double modeled_ms = 0.0;  ///< this request's share of modeled device time
+    /// Queue occupancy (queued / capacity, in [0, 1]) observed when this
+    /// request was admitted — the backpressure signal callers should feed
+    /// into their own pacing before the server has to shed for them.
+    double backpressure = 0.0;
 
     [[nodiscard]] bool ok() const { return status == Status::Ok; }
 };

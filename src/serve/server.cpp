@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "core/batch.hpp"
+#include "health/probe.hpp"
+#include "tune/ewma.hpp"
 
 namespace gas::serve {
 
@@ -42,7 +44,26 @@ bool compatible(const Job& a, const Job& b) {
 void sample_queue_depth(DeviceBreakdown& d, std::size_t depth) {
     constexpr double kAlpha = 0.2;
     d.queue_depth_ewma =
-        (1.0 - kAlpha) * d.queue_depth_ewma + kAlpha * static_cast<double>(depth);
+        tune::ewma_step(d.queue_depth_ewma, static_cast<double>(depth), kAlpha);
+}
+
+/// FNV-1a over a response's byte content (values + payload bit patterns):
+/// the hedging winner/loser comparison.  Any divergence between a primary
+/// and its hedge is a correctness bug (hedge_mismatches must stay 0).
+std::uint64_t hash_bytes(const std::vector<float>& values,
+                         const std::vector<float>& payload) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const std::vector<float>& v) {
+        for (const float f : v) {
+            std::uint32_t bits = 0;
+            std::memcpy(&bits, &f, sizeof(bits));
+            h ^= bits;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(values);
+    mix(payload);
+    return h;
 }
 
 bool expired(const Job& job, Clock::time_point now) {
@@ -176,9 +197,39 @@ Server::Server(ServerConfig cfg, gas::fleet::DeviceFleet* f,
         shards_.push_back(std::make_unique<Shard>(i, fleet_->device(i), cfg_.num_streams,
                                                   cfg_.memory_safety_factor));
     }
+    if (cfg_.health.enabled) {
+        const gas::health::Machine::Config mc{
+            cfg_.health.probe_passes, cfg_.health.probation_batches,
+            cfg_.health.degraded_clear_batches, cfg_.health.degraded_weight,
+            cfg_.health.probation_base_weight};
+        brownout_ = gas::health::Brownout(
+            {cfg_.health.brownout_l1, cfg_.health.brownout_l2, cfg_.health.brownout_l3,
+             cfg_.health.brownout_hysteresis});
+        for (auto& s : shards_) {
+            s->health = gas::health::Machine(mc);
+            Shard* sp = s.get();
+            // Hung launches (simt fault injection, or a real stall in a live
+            // backend) poll this handler.  Async mode waits for the watchdog
+            // to flag the stall; manual_pump has no watchdog thread, so the
+            // hang aborts deterministically on the first poll.
+            s->device->set_hang_handler([this, sp] {
+                if (cfg_.manual_pump) {
+                    std::lock_guard lk(mutex_);
+                    ++hstats_.hangs_detected;
+                    return simt::Device::HangAction::Abort;
+                }
+                return sp->stall_flag.load(std::memory_order_relaxed)
+                           ? simt::Device::HangAction::Abort
+                           : simt::Device::HangAction::Wait;
+            });
+        }
+    }
     if (!cfg_.manual_pump) {
         for (auto& s : shards_) {
             s->scheduler = std::thread(&Server::scheduler_main, this, std::ref(*s));
+        }
+        if (cfg_.health.enabled) {
+            watchdog_ = std::thread(&Server::watchdog_main, this);
         }
     }
 }
@@ -220,15 +271,21 @@ Server::Ticket Server::submit(Job job) {
         Response r;
         r.status = status;
         r.error = why;
+        r.backpressure = pending->backpressure;
         r.values = std::move(pending->job.values);
         r.payload = std::move(pending->job.payload);
         pending->promise.set_value(std::move(r));
     };
 
+    PendingPtr shed_victim;  ///< overflow-shed casualty, completed after unlock
     std::unique_lock lk(mutex_);
     pending->id = next_id_++;
     ticket.id = pending->id;
     ++stats_.submitted;
+    pending->backpressure =
+        cfg_.queue_capacity > 0
+            ? static_cast<double>(queued_) / static_cast<double>(cfg_.queue_capacity)
+            : 1.0;
 
     if (stopping_) {
         ++stats_.rejected;
@@ -255,19 +312,46 @@ Server::Ticket Server::submit(Job job) {
         respond(Status::Rejected, "queue capacity is 0");
         return ticket;
     }
+    // Brownout L3: incoming low-priority work sheds immediately — a typed
+    // rejection the caller can back off on, instead of queueing work the
+    // ladder says cannot be served in time.
+    if (cfg_.health.enabled && cfg_.health.shed_enabled && brownout_.level() >= 3 &&
+        pending->job.priority == Priority::Low) {
+        ++stats_.shed;
+        ++hstats_.shed_brownout;
+        lk.unlock();
+        respond(Status::Shed, "shed: brownout (low priority)");
+        return ticket;
+    }
     if (queued_ >= cfg_.queue_capacity) {
-        if (cfg_.policy == AdmitPolicy::Reject || cfg_.manual_pump) {
+        if (cfg_.health.enabled && cfg_.health.shed_enabled) {
+            // Overload protection replaces Block/Reject: drop the oldest
+            // queued request of the least important class at or below the
+            // newcomer's priority.  When everything queued outranks the
+            // newcomer, the newcomer itself is the drop.
+            if (!shed_for_admission_locked(pending->job.priority, shed_victim)) {
+                ++stats_.shed;
+                ++hstats_.shed_overflow;
+                lk.unlock();
+                respond(Status::Shed, "shed: queue full");
+                return ticket;
+            }
+            ++stats_.shed;
+            ++hstats_.shed_overflow;
+        } else if (cfg_.policy == AdmitPolicy::Reject || cfg_.manual_pump) {
             ++stats_.rejected;
             lk.unlock();
             respond(Status::Rejected, "queue full");
             return ticket;
-        }
-        space_cv_.wait(lk, [&] { return queued_ < cfg_.queue_capacity || stopping_; });
-        if (stopping_) {
-            ++stats_.rejected;
-            lk.unlock();
-            respond(Status::Rejected, "server stopped");
-            return ticket;
+        } else {
+            space_cv_.wait(lk,
+                           [&] { return queued_ < cfg_.queue_capacity || stopping_; });
+            if (stopping_) {
+                ++stats_.rejected;
+                lk.unlock();
+                respond(Status::Rejected, "server stopped");
+                return ticket;
+            }
         }
     }
 
@@ -280,9 +364,11 @@ Server::Ticket Server::submit(Job job) {
     shard.queue[static_cast<std::size_t>(pending->job.priority)].push_back(
         std::move(pending));
     ++queued_;
-    sample_queue_depth(shard.breakdown, shard.queued);
+    sample_load_locked(shard);
+    update_brownout_locked();
     stats_.queue_peak = std::max(stats_.queue_peak, queued_);
     lk.unlock();
+    if (shed_victim) finish_shed(std::move(shed_victim), "shed: displaced under overload");
     // All shard schedulers share one cv; wake them all so the routed (or a
     // steal-capable) one runs.
     queue_cv_.notify_all();
@@ -297,6 +383,12 @@ std::size_t Server::route_locked(const Pending& p) const {
         l.queued_elements = s->queued_elements;
         l.live = !s->quarantined;
         l.eligible = l.live && !needs_cpu_fallback(*s, p.job);
+        if (cfg_.health.enabled) {
+            // Anti-flap ranking + probation/degraded traffic shaping; with
+            // health off the ShardLoad defaults reproduce raw ranking.
+            l.smoothed_load = s->load_ewma;
+            l.weight = s->health.route_weight();
+        }
         loads.push_back(l);
     }
     const std::size_t target = router_.route(p.rinfo, loads);
@@ -388,9 +480,10 @@ bool Server::cancel(std::uint64_t id) {
     Response r;
     r.status = Status::Cancelled;
     r.error = "cancelled";
+    r.backpressure = victim->backpressure;
     r.values = std::move(victim->job.values);
     r.payload = std::move(victim->job.payload);
-    victim->promise.set_value(std::move(r));
+    resolve(*victim, std::move(r));
     return true;
 }
 
@@ -414,6 +507,8 @@ void Server::stop(bool cancel_pending) {
     }
     queue_cv_.notify_all();
     space_cv_.notify_all();
+    watchdog_cv_.notify_all();
+    if (watchdog_.joinable()) watchdog_.join();
     bool joined = false;
     for (auto& s : shards_) {
         if (s->scheduler.joinable()) {
@@ -439,15 +534,24 @@ void Server::stop(bool cancel_pending) {
             sp->queued_elements = 0;
         }
         queued_ = 0;
-        stats_.cancelled += leftovers.size();
+        for (const auto& p : leftovers) {
+            if (!p->is_hedge) ++stats_.cancelled;
+        }
     }
     for (auto& p : leftovers) {
         Response r;
         r.status = Status::Cancelled;
         r.error = "server stopped with request still queued";
+        r.backpressure = p->backpressure;
         r.values = std::move(p->job.values);
         r.payload = std::move(p->job.payload);
-        p->promise.set_value(std::move(r));
+        resolve(*p, std::move(r));
+    }
+    if (cfg_.health.enabled) {
+        // The handlers capture `this`; drop them before the server goes away
+        // (the devices outlive it).  No launches are possible here — the
+        // schedulers are joined and manual mode has no other device toucher.
+        for (auto& s : shards_) s->device->set_hang_handler({});
     }
     idle_cv_.notify_all();
 }
@@ -455,6 +559,19 @@ void Server::stop(bool cancel_pending) {
 std::size_t Server::pump() {
     if (!cfg_.manual_pump) {
         throw std::logic_error("serve::Server::pump: server runs its own scheduler threads");
+    }
+    // One probe per quarantined shard per pump() call: the deterministic
+    // stand-in for the async probe timer.  Probes run before serving so a
+    // freshly re-admitted (Probation) shard participates in this pump.
+    if (cfg_.health.enabled) {
+        for (auto& sp : shards_) {
+            bool probe = false;
+            {
+                std::lock_guard lk(mutex_);
+                probe = sp->quarantined;
+            }
+            if (probe) run_probe_cycle(*sp);
+        }
     }
     std::size_t retired = 0;
     for (;;) {
@@ -465,25 +582,30 @@ std::size_t Server::pump() {
         for (auto& sp : shards_) {
             Shard& shard = *sp;
             std::vector<PendingPtr> timed_out;
+            std::vector<PendingPtr> sojourn_shed;
             std::vector<PendingPtr> batch;
             {
                 std::lock_guard lk(mutex_);
                 if (shard.queued == 0) steal_into_locked(shard);
-                batch = take_batch(shard, timed_out);
+                batch = take_batch(shard, timed_out, sojourn_shed);
             }
-            if (batch.empty() && timed_out.empty()) continue;
-            pass += batch.size() + timed_out.size();
+            if (batch.empty() && timed_out.empty() && sojourn_shed.empty()) continue;
+            pass += batch.size() + timed_out.size() + sojourn_shed.size();
             for (auto& p : timed_out) {
                 Response r;
                 r.status = Status::TimedOut;
                 r.error = "deadline expired in queue";
+                r.backpressure = p->backpressure;
                 r.values = std::move(p->job.values);
                 r.payload = std::move(p->job.payload);
                 {
                     std::lock_guard lk(mutex_);
-                    ++stats_.timed_out;
+                    if (!p->is_hedge) ++stats_.timed_out;
                 }
-                p->promise.set_value(std::move(r));
+                resolve(*p, std::move(r));
+            }
+            for (auto& p : sojourn_shed) {
+                finish_shed(std::move(p), "shed: queue sojourn over bound");
             }
             if (!batch.empty()) serve_batch(shard, std::move(batch));
         }
@@ -496,19 +618,40 @@ std::size_t Server::pump() {
 void Server::scheduler_main(Shard& shard) {
     std::unique_lock lk(mutex_);
     for (;;) {
+        if (cfg_.health.enabled && shard.quarantined &&
+            !(stopping_ && (cancel_pending_ || queued_ == 0))) {
+            // Quarantined: nothing is routed here, so instead of parking on
+            // the work predicate, wake on the probe timer and run seeded
+            // probe sorts until the state machine re-admits the device.
+            queue_cv_.wait_for(lk, std::chrono::duration<double, std::milli>(
+                                       cfg_.health.probe_interval_ms));
+            if (stopping_ && (cancel_pending_ || queued_ == 0)) break;
+            if (shard.quarantined) {
+                lk.unlock();
+                run_probe_cycle(shard);
+                lk.lock();
+            }
+            continue;
+        }
         queue_cv_.wait(lk, [&] {
             if (stopping_ && (cancel_pending_ || queued_ == 0)) return true;
+            if (cfg_.health.enabled && shard.quarantined) return true;  // go probe
             return shard.queued > 0 || steal_candidate_locked(shard);
         });
         if (stopping_ && (cancel_pending_ || queued_ == 0)) break;
+        if (cfg_.health.enabled && shard.quarantined) continue;
         if (shard.queued == 0 && steal_into_locked(shard) == 0) continue;
-        if (cfg_.linger_us > 0.0 && !stopping_ && shard.queued < cfg_.max_batch_requests) {
+        if (cfg_.linger_us > 0.0 && !stopping_ &&
+            shard.queued < cfg_.max_batch_requests &&
+            !(cfg_.health.enabled && brownout_.level() >= 2)) {
             // Best-effort coalescing window: let a concurrent burst land
-            // before the batch is closed.
+            // before the batch is closed.  Brownout L2+ skips it — shrink
+            // the coalescing window, serve what is here now.
             queue_cv_.wait_for(lk, std::chrono::duration<double, std::micro>(cfg_.linger_us));
         }
         std::vector<PendingPtr> timed_out;
-        auto batch = take_batch(shard, timed_out);
+        std::vector<PendingPtr> sojourn_shed;
+        auto batch = take_batch(shard, timed_out, sojourn_shed);
         shard.in_flight = batch.size();
         in_flight_ += batch.size();
         lk.unlock();
@@ -518,13 +661,17 @@ void Server::scheduler_main(Shard& shard) {
             Response r;
             r.status = Status::TimedOut;
             r.error = "deadline expired in queue";
+            r.backpressure = p->backpressure;
             r.values = std::move(p->job.values);
             r.payload = std::move(p->job.payload);
             {
                 std::lock_guard slk(mutex_);
-                ++stats_.timed_out;
+                if (!p->is_hedge) ++stats_.timed_out;
             }
-            p->promise.set_value(std::move(r));
+            resolve(*p, std::move(r));
+        }
+        for (auto& p : sojourn_shed) {
+            finish_shed(std::move(p), "shed: queue sojourn over bound");
         }
         if (!batch.empty()) serve_batch(shard, std::move(batch));
 
@@ -539,9 +686,25 @@ void Server::scheduler_main(Shard& shard) {
 }
 
 std::vector<Server::PendingPtr> Server::take_batch(Shard& shard,
-                                                   std::vector<PendingPtr>& timed_out) {
+                                                   std::vector<PendingPtr>& timed_out,
+                                                   std::vector<PendingPtr>& shed) {
     const auto now = Clock::now();
     std::vector<PendingPtr> batch;
+
+    // Brownout L2+: quartered batch ceiling — smaller batches retire sooner,
+    // trading fusion efficiency for latency under pressure.  CoDel-style
+    // sojourn shedding of low-priority work also arms here (async mode only:
+    // the bound is wall-clock, so manual_pump skips it for determinism).
+    const bool browned = cfg_.health.enabled && brownout_.level() >= 2;
+    const std::size_t max_requests =
+        browned ? std::max<std::size_t>(1, cfg_.max_batch_requests / 4)
+                : cfg_.max_batch_requests;
+    const bool sojourn_shedding =
+        browned && cfg_.health.shed_enabled && !cfg_.manual_pump;
+    auto over_sojourn = [&](const Pending& p) {
+        return sojourn_shedding && p.job.priority == Priority::Low &&
+               ms_between(p.submitted_at, now) > cfg_.health.shed_sojourn_ms;
+    };
 
     // Head: first live request in priority order.
     for (auto& q : shard.queue) {
@@ -553,6 +716,10 @@ std::vector<Server::PendingPtr> Server::take_batch(Shard& shard,
             --queued_;
             if (expired(head->job, now)) {
                 timed_out.push_back(std::move(head));
+            } else if (over_sojourn(*head)) {
+                if (!head->is_hedge) ++stats_.shed;
+                ++hstats_.shed_sojourn;
+                shed.push_back(std::move(head));
             } else {
                 batch.push_back(std::move(head));
             }
@@ -560,7 +727,7 @@ std::vector<Server::PendingPtr> Server::take_batch(Shard& shard,
         if (!batch.empty()) break;
     }
     if (batch.empty()) {
-        sample_queue_depth(shard.breakdown, shard.queued);
+        sample_load_locked(shard);
         return batch;
     }
 
@@ -590,13 +757,23 @@ std::vector<Server::PendingPtr> Server::take_batch(Shard& shard,
 
     for (auto& q : shard.queue) {
         auto it = q.begin();
-        while (it != q.end() && batch.size() < cfg_.max_batch_requests) {
+        while (it != q.end() && batch.size() < max_requests) {
             Pending& cand = **it;
             if (expired(cand.job, now)) {
                 timed_out.push_back(std::move(*it));
                 it = q.erase(it);
                 --shard.queued;
                 shard.queued_elements -= timed_out.back()->elements;
+                --queued_;
+                continue;
+            }
+            if (over_sojourn(cand)) {
+                if (!cand.is_hedge) ++stats_.shed;
+                ++hstats_.shed_sojourn;
+                shed.push_back(std::move(*it));
+                it = q.erase(it);
+                --shard.queued;
+                shard.queued_elements -= shed.back()->elements;
                 --queued_;
                 continue;
             }
@@ -614,9 +791,10 @@ std::vector<Server::PendingPtr> Server::take_batch(Shard& shard,
             shard.queued_elements -= batch.back()->elements;
             --queued_;
         }
-        if (batch.size() >= cfg_.max_batch_requests) break;
+        if (batch.size() >= max_requests) break;
     }
-    sample_queue_depth(shard.breakdown, shard.queued);
+    sample_load_locked(shard);
+    update_brownout_locked();
     return batch;
 }
 
@@ -683,6 +861,19 @@ void Server::serve_batch(Shard& shard, std::vector<PendingPtr> batch) {
         run_cpu_fallback(*batch.front());
         return;
     }
+    // Register with the watchdog: the batch becomes hedgeable (input
+    // snapshots taken, promises moved into first-wins rendezvous states)
+    // and its age drives stall detection.  The guard unregisters on every
+    // exit path, including throws.
+    const std::uint64_t token = register_inflight(shard, batch);
+    struct InflightGuard {
+        Server* server;
+        std::uint64_t token;
+        ~InflightGuard() {
+            if (token != 0) server->unregister_inflight(token);
+        }
+    } inflight_guard{this, token};
+
     // Transient device errors (gas::resilient::transient — allocation
     // failures, refused launches, detected corruption, failed verification)
     // retry the whole batch: execute_* completes no promise and touches no
@@ -710,6 +901,9 @@ void Server::serve_batch(Shard& shard, std::vector<PendingPtr> batch) {
                 ++stats_.retries;
                 stats_.retry_backoff_ms +=
                     cfg_.retry.backoff_ms(attempt, batch.front()->id);
+                if (cfg_.health.enabled && shard.health.on_transient_fault()) {
+                    ++hstats_.demotions;
+                }
                 continue;
             }
             quarantine_and_reroute(shard, batch);
@@ -733,6 +927,9 @@ void Server::quarantine_and_reroute(Shard& shard, std::vector<PendingPtr>& batch
             shard.quarantined = true;
             shard.breakdown.quarantined = true;
             ++stats_.devices_quarantined;
+            if (cfg_.health.enabled && shard.health.on_quarantine()) {
+                ++hstats_.quarantines;
+            }
             for (auto& q : shard.queue) {
                 for (auto& p : q) rehome.push_back(std::move(p));
                 q.clear();
@@ -774,6 +971,17 @@ void Server::quarantine_and_reroute(Shard& shard, std::vector<PendingPtr>& batch
 
 void Server::execute_uniform(Shard& shard, std::vector<PendingPtr>& batch) {
     const auto service_start = Clock::now();
+    // Brownout L1+: response verification is the first service quality shed
+    // under overload (the sort still runs; per-row checks are skipped and
+    // counted).  The cached level makes this read lock-free.
+    const bool verify =
+        cfg_.verify_responses &&
+        !(cfg_.health.enabled &&
+          brownout_level_cache_.load(std::memory_order_relaxed) >= 1);
+    if (cfg_.verify_responses && !verify) {
+        std::lock_guard vlk(mutex_);
+        ++hstats_.verify_skipped_batches;
+    }
     simt::Device& device = *shard.device;
     const std::size_t n = batch.front()->job.array_size;
     std::size_t total_arrays = 0;
@@ -793,12 +1001,12 @@ void Server::execute_uniform(Shard& shard, std::vector<PendingPtr>& batch) {
         // Expected per-row checksums come from the host copies while staging
         // — ground truth no device fault can touch.
         std::vector<std::uint64_t> expected;
-        if (cfg_.verify_responses) expected.reserve(total_arrays);
+        if (verify) expected.reserve(total_arrays);
         std::size_t pos = 0;
         for (const auto& p : batch) {
             std::memcpy(dev.data() + pos, p->job.values.data(),
                         p->elements * sizeof(float));
-            if (cfg_.verify_responses) {
+            if (verify) {
                 for (std::size_t a = 0; a < p->arrays; ++a) {
                     expected.push_back(resilient::row_checksum(std::span<const float>(
                         p->job.values.data() + a * n, n)));
@@ -874,7 +1082,7 @@ void Server::execute_uniform(Shard& shard, std::vector<PendingPtr>& batch) {
         }
 
         std::vector<std::uint8_t> row_fail;
-        if (cfg_.verify_responses) {
+        if (verify) {
             row_fail.assign(total_arrays, 0);
             const auto vc = resilient::verify_rows_on_device<float>(
                 device, std::span<const float>(dev.data(), count), total_arrays, n,
@@ -917,6 +1125,17 @@ void Server::execute_uniform(Shard& shard, std::vector<PendingPtr>& batch) {
 
 void Server::execute_ragged(Shard& shard, std::vector<PendingPtr>& batch) {
     const auto service_start = Clock::now();
+    // Brownout L1+: response verification is the first service quality shed
+    // under overload (the sort still runs; per-row checks are skipped and
+    // counted).  The cached level makes this read lock-free.
+    const bool verify =
+        cfg_.verify_responses &&
+        !(cfg_.health.enabled &&
+          brownout_level_cache_.load(std::memory_order_relaxed) >= 1);
+    if (cfg_.verify_responses && !verify) {
+        std::lock_guard vlk(mutex_);
+        ++hstats_.verify_skipped_batches;
+    }
     simt::Device& device = *shard.device;
     std::size_t total_values = 0;
     std::size_t total_arrays = 0;
@@ -940,13 +1159,13 @@ void Server::execute_ragged(Shard& shard, std::vector<PendingPtr>& batch) {
         auto view = simt::DeviceBuffer<float>::borrow(device, lease.offset, total_values);
         auto dev = view.span();
         std::vector<std::uint64_t> expected;
-        if (cfg_.verify_responses) expected.reserve(total_arrays);
+        if (verify) expected.reserve(total_arrays);
         std::size_t pos = 0;
         for (const auto& p : batch) {
             std::memcpy(dev.data() + pos,
                         p->job.values.data() + p->job.offsets.front(),
                         p->elements * sizeof(float));
-            if (cfg_.verify_responses) {
+            if (verify) {
                 const auto& off = p->job.offsets;
                 for (std::size_t i = 1; i < off.size(); ++i) {
                     expected.push_back(resilient::row_checksum(std::span<const float>(
@@ -990,7 +1209,7 @@ void Server::execute_ragged(Shard& shard, std::vector<PendingPtr>& batch) {
         }
 
         std::vector<std::uint8_t> row_fail;
-        if (cfg_.verify_responses) {
+        if (verify) {
             row_fail.assign(total_arrays, 0);
             // The ragged device path sorts ascending regardless of
             // opts.order (see sort_ragged_on_device); verify likewise.
@@ -1033,6 +1252,17 @@ void Server::execute_ragged(Shard& shard, std::vector<PendingPtr>& batch) {
 
 void Server::execute_pairs(Shard& shard, std::vector<PendingPtr>& batch) {
     const auto service_start = Clock::now();
+    // Brownout L1+: response verification is the first service quality shed
+    // under overload (the sort still runs; per-row checks are skipped and
+    // counted).  The cached level makes this read lock-free.
+    const bool verify =
+        cfg_.verify_responses &&
+        !(cfg_.health.enabled &&
+          brownout_level_cache_.load(std::memory_order_relaxed) >= 1);
+    if (cfg_.verify_responses && !verify) {
+        std::lock_guard vlk(mutex_);
+        ++hstats_.verify_skipped_batches;
+    }
     simt::Device& device = *shard.device;
     const std::size_t n = batch.front()->job.array_size;
     std::size_t total_arrays = 0;
@@ -1059,14 +1289,14 @@ void Server::execute_pairs(Shard& shard, std::vector<PendingPtr>& batch) {
         auto kdev = keys.span();
         auto vdev = vals.span();
         std::vector<std::uint64_t> expected;
-        if (cfg_.verify_responses) expected.reserve(total_arrays);
+        if (verify) expected.reserve(total_arrays);
         std::size_t pos = 0;
         for (const auto& p : batch) {
             std::memcpy(kdev.data() + pos, p->job.values.data(),
                         p->elements * sizeof(float));
             std::memcpy(vdev.data() + pos, p->job.payload.data(),
                         p->elements * sizeof(float));
-            if (cfg_.verify_responses) {
+            if (verify) {
                 for (std::size_t a = 0; a < p->arrays; ++a) {
                     expected.push_back(resilient::pair_row_checksum(
                         std::span<const float>(p->job.values.data() + a * n, n),
@@ -1086,7 +1316,7 @@ void Server::execute_pairs(Shard& shard, std::vector<PendingPtr>& batch) {
         double kernel_ms = s.modeled_kernel_ms();
 
         std::vector<std::uint8_t> row_fail;
-        if (cfg_.verify_responses) {
+        if (verify) {
             row_fail.assign(total_arrays, 0);
             const auto vc = resilient::verify_pair_rows_on_device<float>(
                 device, std::span<const float>(kdev.data(), count),
@@ -1187,34 +1417,43 @@ void Server::run_cpu_fallback(Pending& p, bool quarantined) {
     r.batch_requests = 1;
     r.queue_ms = ms_between(p.submitted_at, service_start);
     r.service_ms = ms_between(service_start, now);
+    r.backpressure = p.backpressure;
     r.values = std::move(job.values);
     r.payload = std::move(job.payload);
 
     {
         std::lock_guard lk(mutex_);
-        ++stats_.completed;
-        ++stats_.cpu_fallbacks;
-        if (quarantined) ++stats_.quarantined;
+        // Hedge clones carry no caller of their own: their work is real but
+        // the per-request counters and latency digests track caller requests
+        // only (completed must match accepted).
+        if (!p.is_hedge) {
+            ++stats_.completed;
+            ++stats_.cpu_fallbacks;
+            if (quarantined) ++stats_.quarantined;
+            queue_wait_digest_.record(r.queue_ms);
+            wall_digest_.record(r.queue_ms + r.service_ms);
+            modeled_digest_.record(0.0);
+        }
         stats_.wall_service_ms += r.service_ms;
-        queue_wait_digest_.record(r.queue_ms);
-        wall_digest_.record(r.queue_ms + r.service_ms);
-        modeled_digest_.record(0.0);
     }
-    p.promise.set_value(std::move(r));
+    resolve(p, std::move(r));
 }
 
 void Server::fail_batch(std::vector<PendingPtr>& batch, const std::string& why) {
     {
         std::lock_guard lk(mutex_);
-        stats_.failed += batch.size();
+        for (const auto& p : batch) {
+            if (!p->is_hedge) ++stats_.failed;
+        }
     }
     for (auto& p : batch) {
         Response r;
         r.status = Status::Failed;
         r.error = why;
+        r.backpressure = p->backpressure;
         r.values = std::move(p->job.values);
         r.payload = std::move(p->job.payload);
-        p->promise.set_value(std::move(r));
+        resolve(*p, std::move(r));
     }
 }
 
@@ -1242,7 +1481,11 @@ void Server::finish_batch(Shard& shard, std::vector<PendingPtr>& batch, double h
         shard.timeline.compute(stream, kernel_ms);
         shard.timeline.d2h(stream, d2h_ms);
 
-        stats_.completed += batch.size();
+        std::size_t callers = 0;  // batch members minus hedge clones
+        for (const auto& p : batch) {
+            if (!p->is_hedge) ++callers;
+        }
+        stats_.completed += callers;
         ++stats_.batches;
         stats_.batched_requests += batch.size();
         stats_.fused_arrays += total_arrays;
@@ -1251,9 +1494,24 @@ void Server::finish_batch(Shard& shard, std::vector<PendingPtr>& batch, double h
         stats_.modeled_d2h_ms += d2h_ms;
         stats_.wall_service_ms += service_ms;
         ++shard.breakdown.batches;
-        shard.breakdown.completed += batch.size();
+        shard.breakdown.completed += callers;
         shard.breakdown.fused_arrays += total_arrays;
         shard.breakdown.modeled_kernel_ms += kernel_ms;
+
+        if (cfg_.health.enabled) {
+            // A batch finished clean on this device: clear any stall flag
+            // and advance the recovery streaks (Degraded -> Healthy,
+            // Probation -> Healthy after enough clean batches).
+            shard.stall_flag.store(false, std::memory_order_relaxed);
+            const auto st = shard.health.state();
+            if (shard.health.on_clean_batch()) {
+                if (st == gas::health::State::Probation) {
+                    ++hstats_.readmissions;
+                } else {
+                    ++hstats_.degraded_recoveries;
+                }
+            }
+        }
 
         for (std::size_t i = 0; i < batch.size(); ++i) {
             Pending& p = *batch[i];
@@ -1268,15 +1526,18 @@ void Server::finish_batch(Shard& shard, std::vector<PendingPtr>& batch, double h
                                            static_cast<double>(total_elements)
                                      : 0.0;
             r.modeled_ms = (h2d_ms + kernel_ms + d2h_ms) * share;
+            r.backpressure = p.backpressure;
             r.values = std::move(p.job.values);
             r.payload = std::move(p.job.payload);
-            queue_wait_digest_.record(r.queue_ms);
-            wall_digest_.record(r.queue_ms + r.service_ms);
-            modeled_digest_.record(r.modeled_ms);
+            if (!p.is_hedge) {
+                queue_wait_digest_.record(r.queue_ms);
+                wall_digest_.record(r.queue_ms + r.service_ms);
+                modeled_digest_.record(r.modeled_ms);
+            }
         }
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
-        batch[i]->promise.set_value(std::move(responses[i]));
+        resolve(*batch[i], std::move(responses[i]));
     }
 }
 
@@ -1303,6 +1564,9 @@ ServerStats Server::stats() const {
         DeviceBreakdown d = shard.breakdown;
         d.quarantined = shard.quarantined;
         d.queue_depth = shard.queued;
+        d.health_state = cfg_.health.enabled
+                             ? gas::health::to_string(shard.health.state())
+                             : (shard.quarantined ? "quarantined" : "healthy");
         d.modeled_overlap_ms = shard.timeline.elapsed_ms();
         d.compute_utilization = shard.timeline.compute_utilization();
         overlap = std::max(overlap, d.modeled_overlap_ms);
@@ -1352,7 +1616,267 @@ ServerStats Server::stats() const {
     s.compute_utilization = denom > 0.0 ? compute_busy / denom : 0.0;
     s.d2h_utilization = denom > 0.0 ? d2h_busy / denom : 0.0;
     s.pool = pool;
+    s.health = hstats_;
+    s.health.enabled = cfg_.health.enabled;
+    s.health.brownout_level = brownout_.level();
     return s;
+}
+
+void Server::resolve(Pending& p, Response&& r) {
+    if (!p.hedge) {
+        p.promise.set_value(std::move(r));
+        return;
+    }
+    // First-result-wins: the winner takes the promise; the loser's bytes are
+    // hashed against the winner's (they re-sorted the same snapshot, so any
+    // divergence is a real correctness failure, not a race).
+    auto hs = p.hedge;
+    const std::uint64_t hash =
+        r.status == Status::Ok ? hash_bytes(r.values, r.payload) : 0;
+    bool won = false;
+    bool won_as_hedge = false;
+    bool mismatch = false;
+    bool launched = false;
+    {
+        std::lock_guard hlk(hs->m);
+        launched = hs->launched;
+        if (!hs->resolved) {
+            hs->resolved = true;
+            hs->winner_ok = r.status == Status::Ok;
+            hs->winner_hash = hash;
+            hs->winner_from_hedge = p.is_hedge;
+            won = true;
+            won_as_hedge = p.is_hedge;
+            hs->promise.set_value(std::move(r));
+        } else if (r.status == Status::Ok && hs->winner_ok && hash != hs->winner_hash) {
+            mismatch = true;
+        }
+    }
+    if (launched) {
+        std::lock_guard lk(mutex_);
+        if (won && won_as_hedge) ++hstats_.hedge_wins;
+        if (won && !won_as_hedge) ++hstats_.hedge_primary_wins;
+        if (mismatch) ++hstats_.hedge_mismatches;
+    }
+}
+
+void Server::sample_load_locked(Shard& shard) {
+    sample_queue_depth(shard.breakdown, shard.queued);
+    if (cfg_.health.enabled) {
+        gas::tune::Ewma e{cfg_.health.load_alpha, shard.load_ewma,
+                          shard.load_ewma_primed};
+        e.update(static_cast<double>(shard.queued_elements));
+        shard.load_ewma = e.value;
+        shard.load_ewma_primed = true;
+    }
+}
+
+void Server::update_brownout_locked() {
+    if (!cfg_.health.enabled || cfg_.queue_capacity == 0) return;
+    // Smoothed fleet occupancy from the per-shard queue-depth EWMAs — the
+    // same signal dashboards trend — so one burst tick cannot whipsaw the
+    // ladder; hysteresis inside Brownout handles the way down.
+    double ewma_depth = 0.0;
+    for (const auto& sp : shards_) ewma_depth += sp->breakdown.queue_depth_ewma;
+    const double occupancy = ewma_depth / static_cast<double>(cfg_.queue_capacity);
+    const int delta = brownout_.update(occupancy);
+    if (delta > 0) {
+        hstats_.brownout_escalations += static_cast<std::uint64_t>(delta);
+    } else if (delta < 0) {
+        ++hstats_.brownout_deescalations;
+    }
+    brownout_level_cache_.store(brownout_.level(), std::memory_order_relaxed);
+}
+
+bool Server::shed_for_admission_locked(Priority incoming, PendingPtr& victim) {
+    // Scan priority classes from Low upward, stopping at the newcomer's own
+    // class: never displace more important work for less important work.
+    // Within the chosen class the oldest queued request across all shards
+    // drops first (head drop, CoDel-style).
+    const auto inc = static_cast<std::size_t>(incoming);
+    for (std::size_t pr = kPriorities; pr-- > 0;) {
+        if (pr < inc) break;
+        Shard* owner = nullptr;
+        for (auto& sp : shards_) {
+            auto& q = sp->queue[pr];
+            if (q.empty()) continue;
+            if (owner == nullptr ||
+                q.front()->submitted_at < owner->queue[pr].front()->submitted_at) {
+                owner = sp.get();
+            }
+        }
+        if (owner == nullptr) continue;
+        auto& q = owner->queue[pr];
+        victim = std::move(q.front());
+        q.pop_front();
+        --owner->queued;
+        owner->queued_elements -= victim->elements;
+        --queued_;
+        return true;
+    }
+    return false;  // everything queued outranks the newcomer
+}
+
+void Server::finish_shed(PendingPtr p, const char* why) {
+    Response r;
+    r.status = Status::Shed;
+    r.error = why;
+    r.backpressure = p->backpressure;
+    r.values = std::move(p->job.values);
+    r.payload = std::move(p->job.payload);
+    resolve(*p, std::move(r));
+    space_cv_.notify_one();
+}
+
+void Server::run_probe_cycle(Shard& shard) {
+    // Owning-thread context: the quarantined shard's scheduler (async) or
+    // the pump() caller (manual).  Free held device state first so the probe
+    // allocation cannot collide with leftovers of the failed batch.
+    shard.graph_cache.reset();
+    shard.pool.trim();
+    const std::uint64_t seed = 0x9e3779b97f4a7c15ull ^
+                               (static_cast<std::uint64_t>(shard.index) << 32) ^
+                               ++shard.probe_count;
+    const gas::health::ProbeResult pr = gas::health::run_probe(
+        *shard.device, seed, cfg_.health.probe_arrays, cfg_.health.probe_array_size);
+
+    std::lock_guard lk(mutex_);
+    ++hstats_.probes_run;
+    if (pr.pass) {
+        ++hstats_.probes_passed;
+        if (shard.health.on_probe_pass()) {
+            // K consecutive passes: re-admit on probation — routable again
+            // with a ramped-up weight; clean batches finish the promotion.
+            ++hstats_.probations;
+            shard.quarantined = false;
+            shard.breakdown.quarantined = false;
+            shard.stall_flag.store(false, std::memory_order_relaxed);
+            queue_cv_.notify_all();
+        }
+    } else {
+        ++hstats_.probes_failed;
+        shard.health.on_probe_fail();
+    }
+}
+
+std::uint64_t Server::register_inflight(Shard& shard, std::vector<PendingPtr>& batch) {
+    if (!cfg_.health.enabled || cfg_.manual_pump || !cfg_.health.hedge_enabled) {
+        return 0;
+    }
+    // Pair batches never hedge: key-equal payload order is plan-dependent,
+    // so a hedge re-execution could legitimately differ byte-wise.
+    if (batch.front()->job.kind == JobKind::Pairs) return 0;
+    std::lock_guard lk(mutex_);
+    const std::uint64_t token = next_inflight_++;
+    InFlight& inf = inflight_[token];
+    inf.shard = &shard;
+    inf.start = Clock::now();
+    inf.snapshot.reserve(batch.size());
+    inf.states.reserve(batch.size());
+    for (auto& p : batch) {
+        if (!p->hedge) {
+            // Move the caller's promise into the rendezvous; from here on
+            // every completion path goes through resolve().
+            p->hedge = std::make_shared<HedgeState>();
+            p->hedge->promise = std::move(p->promise);
+        }
+        inf.snapshot.push_back(p->job);  // full input copy (hedge re-sorts it)
+        inf.states.push_back(p->hedge);
+    }
+    return token;
+}
+
+void Server::unregister_inflight(std::uint64_t token) {
+    std::lock_guard lk(mutex_);
+    inflight_.erase(token);
+}
+
+void Server::watchdog_main() {
+    std::unique_lock lk(mutex_);
+    const auto start = Clock::now();
+    for (auto& sp : shards_) sp->hb_last_change = start;
+    while (!stopping_) {
+        watchdog_cv_.wait_for(lk, std::chrono::duration<double, std::milli>(
+                                      cfg_.health.watchdog_poll_ms));
+        if (stopping_) break;
+        const auto now = Clock::now();
+        for (auto& sp : shards_) {
+            Shard& shard = *sp;
+            const std::uint64_t ticks = shard.device->progress_ticks();
+            if (ticks != shard.hb_last_ticks) {
+                shard.hb_last_ticks = ticks;
+                shard.hb_last_change = now;
+                shard.stall_flag.store(false, std::memory_order_relaxed);
+                continue;
+            }
+            if (shard.in_flight == 0) {
+                // Idle devices make no progress by design; only a shard with
+                // a batch in flight can be hung.
+                shard.hb_last_change = now;
+                continue;
+            }
+            if (!shard.stall_flag.load(std::memory_order_relaxed) &&
+                ms_between(shard.hb_last_change, now) >= cfg_.health.stall_deadline_ms) {
+                // Heartbeat stalled past the deadline: demote now (don't
+                // wait for a typed fault) and tell the hang handler to abort
+                // the launch, which surfaces as a transient StallFault.
+                shard.stall_flag.store(true, std::memory_order_relaxed);
+                ++hstats_.hangs_detected;
+                if (shard.health.on_transient_fault()) ++hstats_.demotions;
+            }
+        }
+        if (cfg_.health.hedge_enabled) launch_hedges_locked(now);
+    }
+}
+
+void Server::launch_hedges_locked(Clock::time_point now) {
+    // Deadline from the live latency distribution: a batch is a straggler
+    // once it is hedge_factor x p99 old (floored for the cold start).
+    const double deadline_ms = std::max(
+        cfg_.health.hedge_min_ms, cfg_.health.hedge_factor * wall_digest_.percentile(99.0));
+    for (auto& [token, inf] : inflight_) {
+        if (inf.hedged) continue;
+        Shard& src = *inf.shard;
+        const auto st = src.health.state();
+        const bool suspect = src.stall_flag.load(std::memory_order_relaxed) ||
+                             st == gas::health::State::Degraded ||
+                             st == gas::health::State::Quarantined;
+        if (!suspect || ms_between(inf.start, now) < deadline_ms) continue;
+        // Healthiest target: live, not the source, least loaded.
+        Shard* target = nullptr;
+        for (auto& sp : shards_) {
+            if (sp.get() == &src || sp->quarantined) continue;
+            if (sp->health.state() != gas::health::State::Healthy) continue;
+            if (target == nullptr || sp->queued_elements < target->queued_elements) {
+                target = sp.get();
+            }
+        }
+        if (target == nullptr) continue;
+        inf.hedged = true;
+        ++hstats_.hedges_launched;
+        for (std::size_t i = 0; i < inf.snapshot.size(); ++i) {
+            {
+                std::lock_guard hlk(inf.states[i]->m);
+                if (inf.states[i]->resolved) continue;
+                inf.states[i]->launched = true;
+            }
+            auto clone = std::make_unique<Pending>();
+            clone->id = next_id_++;
+            clone->job = inf.snapshot[i];
+            clone->submitted_at = now;
+            clone->arrays = job_arrays(clone->job);
+            clone->elements = job_elements(clone->job);
+            clone->rinfo = make_route_info(clone->job, clone->elements);
+            clone->is_hedge = true;
+            clone->hedge = inf.states[i];
+            ++target->queued;
+            target->queued_elements += clone->elements;
+            target->queue[static_cast<std::size_t>(clone->job.priority)].push_back(
+                std::move(clone));
+            ++queued_;  // may briefly exceed capacity, like a reroute
+        }
+        queue_cv_.notify_all();
+    }
 }
 
 }  // namespace gas::serve

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -7,12 +8,16 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/resilient.hpp"
 #include "core/sort_graph.hpp"
 #include "fleet/fleet.hpp"
 #include "fleet/router.hpp"
+#include "health/brownout.hpp"
+#include "health/config.hpp"
+#include "health/state.hpp"
 #include "serve/pool.hpp"
 #include "serve/request.hpp"
 #include "serve/stats.hpp"
@@ -100,6 +105,15 @@ struct ServerConfig {
     /// either.  Off pins every batch to its submitted options bit-for-bit —
     /// bytes, kernel log and KernelStats identical to the pre-tune server.
     bool auto_tune = true;
+
+    /// Closed-loop health subsystem (gas::health): per-shard watchdog + hang
+    /// handler, the Healthy/Degraded/Quarantined/Probation state machine
+    /// with probe-sort re-admission, overload shedding with the brownout
+    /// ladder, and straggler hedging.  Disabled by default: with
+    /// health.enabled false the server behaves bit-for-bit like the
+    /// pre-health server (one-way quarantine, Block/Reject admission, no
+    /// watchdog thread, no hang handlers installed).
+    gas::health::HealthConfig health{};
 };
 
 /// Asynchronous batch-sort service over a fleet of simulated devices.
@@ -199,6 +213,24 @@ class Server {
     [[nodiscard]] std::size_t num_devices() const { return shards_.size(); }
 
   private:
+    struct Shard;
+
+    /// First-result-wins rendezvous between a request and its hedge clone.
+    /// The caller's promise moves in here when the request's batch registers
+    /// for hedging; from then on only resolve() — under `m` — may touch it.
+    /// The loser's bytes are hashed against the winner's: any divergence is
+    /// a hedge_mismatch (the correctness gate — hedged re-execution from the
+    /// intact host copy must be byte-identical).
+    struct HedgeState {
+        std::mutex m;
+        std::promise<Response> promise;
+        bool resolved = false;
+        bool launched = false;         ///< a hedge clone was actually enqueued
+        bool winner_ok = false;        ///< winner resolved Status::Ok
+        bool winner_from_hedge = false;
+        std::uint64_t winner_hash = 0; ///< FNV-1a over the winner's bytes
+    };
+
     struct Pending {
         std::uint64_t id = 0;
         Job job;
@@ -212,8 +244,28 @@ class Server {
         /// into the controller's per-batch view.
         gas::tune::Sketch sketch;
         double sketch_ms = 0.0;  ///< modeled cost of taking the sketch
+        /// Queue occupancy observed at admission (backpressure signal,
+        /// copied into the Response on every completion path).
+        double backpressure = 0.0;
+        /// Hedging rendezvous; null until the request's batch registers
+        /// in-flight with hedging eligible.  Non-null means `promise` above
+        /// has been moved out and completions must go through resolve().
+        std::shared_ptr<HedgeState> hedge;
+        bool is_hedge = false;  ///< a watchdog clone, not a caller request
     };
     using PendingPtr = std::unique_ptr<Pending>;
+
+    /// One in-flight fused batch the watchdog may hedge: the source shard,
+    /// when service started, and per-request input snapshots (Job copies)
+    /// plus their HedgeStates.  Registered at serve_batch entry, erased on
+    /// exit (RAII), guarded by mutex_.
+    struct InFlight {
+        Shard* shard = nullptr;
+        Clock::time_point start{};
+        bool hedged = false;
+        std::vector<Job> snapshot;
+        std::vector<std::shared_ptr<HedgeState>> states;
+    };
 
     static constexpr std::size_t kPriorities = 3;
 
@@ -242,6 +294,22 @@ class Server {
         /// span, geometry, effective options).  Touched only by the owning
         /// scheduler; the hit/miss/evict counters live in stats_ (mutex_).
         std::unique_ptr<UniformSortGraph> graph_cache;
+
+        // gas::health wiring (all inert with health.enabled off).
+        gas::health::Machine health;  ///< per-device state machine (mutex_)
+        /// EWMA of queued_elements (health.load_alpha), the smoothed_load the
+        /// fleet router's anti-flap ranking reads (mutex_).
+        double load_ewma = 0.0;
+        bool load_ewma_primed = false;
+        /// Set by the watchdog when the device heartbeat stalls past the
+        /// deadline; read lock-free by the hang handler (abort the hung
+        /// launch) and cleared when progress resumes or a batch finishes.
+        std::atomic<bool> stall_flag{false};
+        std::uint64_t probe_count = 0;  ///< probe seed stream (owning thread)
+        // Watchdog bookkeeping (watchdog thread only, under mutex_).
+        std::uint64_t hb_last_ticks = 0;
+        Clock::time_point hb_last_change{};
+
         std::thread scheduler;
     };
 
@@ -259,8 +327,9 @@ class Server {
     std::size_t steal_into_locked(Shard& thief);
     /// Pops one batch worth of compatible requests from the shard's queue
     /// (lock held).  Expired requests encountered on the way complete as
-    /// TimedOut into `expired`.
-    std::vector<PendingPtr> take_batch(Shard& shard, std::vector<PendingPtr>& expired);
+    /// TimedOut into `expired`; health sojourn-shed victims into `shed`.
+    std::vector<PendingPtr> take_batch(Shard& shard, std::vector<PendingPtr>& expired,
+                                       std::vector<PendingPtr>& shed);
     void serve_batch(Shard& shard, std::vector<PendingPtr> batch);
     void execute_uniform(Shard& shard, std::vector<PendingPtr>& batch);
     void execute_ragged(Shard& shard, std::vector<PendingPtr>& batch);
@@ -278,6 +347,41 @@ class Server {
     [[nodiscard]] bool needs_cpu_fallback(const Shard& shard, const Job& job) const;
     [[nodiscard]] BufferPool::Lease acquire_or_trim(Shard& shard, std::size_t bytes);
 
+    // gas::health internals (all no-ops / pass-throughs with health off).
+    /// Completes a request.  Without a HedgeState this is promise.set_value;
+    /// with one it is the first-result-wins path (loser hashed against the
+    /// winner).  Never call with mutex_ held.
+    void resolve(Pending& p, Response&& r);
+    /// Samples the shard's queue-depth EWMA (stats) and, with health on, its
+    /// queued-elements EWMA (router smoothed_load).  Lock held.
+    void sample_load_locked(Shard& shard);
+    /// Re-reads EWMA occupancy and walks the brownout ladder.  Lock held.
+    void update_brownout_locked();
+    /// Queue-full admission under health shedding: drops the oldest queued
+    /// request of the least important non-empty class at or below the
+    /// newcomer's priority (into `victim`), making room.  Returns false when
+    /// everything queued outranks the newcomer — the newcomer itself sheds.
+    /// Lock held.
+    bool shed_for_admission_locked(Priority incoming, PendingPtr& victim);
+    /// Completes a shed request with Status::Shed.  Never call with mutex_
+    /// held; counters are the call sites' job (under mutex_).
+    void finish_shed(PendingPtr p, const char* why);
+    /// One probe-sort cycle against a quarantined shard's device.  Must run
+    /// on the device-owning thread (scheduler, or the pump caller); takes
+    /// mutex_ internally for the state-machine transition.
+    void run_probe_cycle(Shard& shard);
+    /// Registers a batch as in-flight for the watchdog/hedging (moves the
+    /// members' promises into fresh HedgeStates); returns the registry token
+    /// (0 = not registered).  Lock NOT held.
+    [[nodiscard]] std::uint64_t register_inflight(Shard& shard,
+                                                  std::vector<PendingPtr>& batch);
+    void unregister_inflight(std::uint64_t token);
+    /// Watchdog thread body: heartbeat stall detection + hedge launches.
+    void watchdog_main();
+    /// Enqueues hedge clones for in-flight batches stuck past the deadline
+    /// on suspect shards.  Lock held.
+    void launch_hedges_locked(Clock::time_point now);
+
     std::unique_ptr<gas::fleet::DeviceFleet> owned_fleet_;  ///< Device& ctor only
     gas::fleet::DeviceFleet* fleet_;
     ServerConfig cfg_;
@@ -294,6 +398,17 @@ class Server {
     bool cancel_pending_ = false;
     std::uint64_t next_id_ = 1;
     std::uint64_t next_batch_id_ = 1;
+
+    // gas::health (all guarded by mutex_ unless noted).
+    gas::health::Brownout brownout_;
+    /// brownout_.level() mirrored for the lock-free execute-path read that
+    /// decides whether L1 skips response verification.
+    std::atomic<int> brownout_level_cache_{0};
+    HealthStats hstats_;
+    std::unordered_map<std::uint64_t, InFlight> inflight_;
+    std::uint64_t next_inflight_ = 1;
+    std::condition_variable watchdog_cv_;
+    std::thread watchdog_;  ///< started only with health on, async mode
 
     // Guarded by mutex_.
     ServerStats stats_;

@@ -50,7 +50,7 @@ std::string ServerStats::to_json() const {
     append(j,
            "    \"submitted\": %llu, \"accepted\": %llu, \"rejected\": %llu, "
            "\"timed_out\": %llu, \"cancelled\": %llu, \"completed\": %llu, "
-           "\"failed\": %llu, \"cpu_fallbacks\": %llu\n",
+           "\"failed\": %llu, \"shed\": %llu, \"cpu_fallbacks\": %llu\n",
            static_cast<unsigned long long>(submitted),
            static_cast<unsigned long long>(accepted),
            static_cast<unsigned long long>(rejected),
@@ -58,6 +58,7 @@ std::string ServerStats::to_json() const {
            static_cast<unsigned long long>(cancelled),
            static_cast<unsigned long long>(completed),
            static_cast<unsigned long long>(failed),
+           static_cast<unsigned long long>(shed),
            static_cast<unsigned long long>(cpu_fallbacks));
     append(j, "  },\n");
     append(j, "  \"batching\": {\n");
@@ -108,7 +109,8 @@ std::string ServerStats::to_json() const {
                static_cast<unsigned long long>(d.steals_out),
                static_cast<unsigned long long>(d.reroutes_in),
                static_cast<unsigned long long>(d.reroutes_out), d.queue_depth);
-        append(j, "       \"queue_depth_ewma\": %.4f,\n", d.queue_depth_ewma);
+        append(j, "       \"queue_depth_ewma\": %.4f, \"health_state\": \"%s\",\n",
+               d.queue_depth_ewma, d.health_state.c_str());
         append(j,
                "       \"kernel_ms\": %.6f, \"overlap_ms\": %.6f, "
                "\"compute_utilization\": %.4f}%s\n",
@@ -154,6 +156,46 @@ std::string ServerStats::to_json() const {
                c.incumbent ? "true" : "false", i + 1 < tune_cells.size() ? "," : "");
     }
     append(j, "    ]\n");
+    append(j, "  },\n");
+    append(j, "  \"health\": {\n");
+    append(j,
+           "    \"enabled\": %s, \"demotions\": %llu, \"quarantines\": %llu, "
+           "\"probations\": %llu, \"readmissions\": %llu, "
+           "\"degraded_recoveries\": %llu,\n",
+           health.enabled ? "true" : "false",
+           static_cast<unsigned long long>(health.demotions),
+           static_cast<unsigned long long>(health.quarantines),
+           static_cast<unsigned long long>(health.probations),
+           static_cast<unsigned long long>(health.readmissions),
+           static_cast<unsigned long long>(health.degraded_recoveries));
+    append(j,
+           "    \"probes_run\": %llu, \"probes_passed\": %llu, \"probes_failed\": %llu, "
+           "\"hangs_detected\": %llu,\n",
+           static_cast<unsigned long long>(health.probes_run),
+           static_cast<unsigned long long>(health.probes_passed),
+           static_cast<unsigned long long>(health.probes_failed),
+           static_cast<unsigned long long>(health.hangs_detected));
+    append(j,
+           "    \"hedges_launched\": %llu, \"hedge_wins\": %llu, "
+           "\"hedge_primary_wins\": %llu, \"hedge_mismatches\": %llu,\n",
+           static_cast<unsigned long long>(health.hedges_launched),
+           static_cast<unsigned long long>(health.hedge_wins),
+           static_cast<unsigned long long>(health.hedge_primary_wins),
+           static_cast<unsigned long long>(health.hedge_mismatches));
+    append(j,
+           "    \"shed_overflow\": %llu, \"shed_brownout\": %llu, "
+           "\"shed_sojourn\": %llu, \"shed_total\": %llu,\n",
+           static_cast<unsigned long long>(health.shed_overflow),
+           static_cast<unsigned long long>(health.shed_brownout),
+           static_cast<unsigned long long>(health.shed_sojourn),
+           static_cast<unsigned long long>(health.shed_total()));
+    append(j,
+           "    \"brownout_level\": %d, \"brownout_escalations\": %llu, "
+           "\"brownout_deescalations\": %llu, \"verify_skipped_batches\": %llu\n",
+           health.brownout_level,
+           static_cast<unsigned long long>(health.brownout_escalations),
+           static_cast<unsigned long long>(health.brownout_deescalations),
+           static_cast<unsigned long long>(health.verify_skipped_batches));
     append(j, "  },\n");
     append(j, "  \"modeled\": {\n");
     append(j,

@@ -68,6 +68,53 @@ struct DeviceBreakdown {
     /// the fleet router's rebalancing reads, immune to the instant-depth
     /// sampling noise of queue_depth.
     double queue_depth_ewma = 0.0;
+    /// gas::health state machine position ("healthy" / "degraded" /
+    /// "quarantined" / "probation").  With health off this mirrors the
+    /// quarantined flag: "quarantined" or "healthy".
+    std::string health_state = "healthy";
+};
+
+/// Counters of the gas::health closed loop (the "health" JSON block).  All
+/// zero — and `enabled` false — when ServerConfig::health.enabled is off.
+struct HealthStats {
+    bool enabled = false;
+
+    // State machine transitions (summed over all shards).
+    std::uint64_t demotions = 0;            ///< Healthy -> Degraded
+    std::uint64_t quarantines = 0;          ///< any -> Quarantined
+    std::uint64_t probations = 0;           ///< Quarantined -> Probation
+    std::uint64_t readmissions = 0;         ///< Probation -> Healthy
+    std::uint64_t degraded_recoveries = 0;  ///< Degraded -> Healthy
+
+    // Probe sorts run against quarantined devices.
+    std::uint64_t probes_run = 0;
+    std::uint64_t probes_passed = 0;
+    std::uint64_t probes_failed = 0;
+
+    // Watchdog: shards whose heartbeat stalled past the deadline (async), or
+    // hung launches aborted by the hang handler (manual pump).
+    std::uint64_t hangs_detected = 0;
+
+    // Straggler hedging: re-submissions of stuck batches on healthy shards.
+    std::uint64_t hedges_launched = 0;      ///< hedge clones enqueued
+    std::uint64_t hedge_wins = 0;           ///< hedge resolved the request first
+    std::uint64_t hedge_primary_wins = 0;   ///< primary beat its hedge
+    std::uint64_t hedge_mismatches = 0;     ///< loser's bytes != winner's (must be 0)
+
+    // Overload shedding (typed Status::Shed responses; never silent loss).
+    std::uint64_t shed_overflow = 0;   ///< queue-full oldest-first drops
+    std::uint64_t shed_brownout = 0;   ///< low-priority drops at brownout L3
+    std::uint64_t shed_sojourn = 0;    ///< CoDel-style queue-sojourn drops (async)
+
+    // Brownout ladder (0 = off .. 3 = full shedding).
+    int brownout_level = 0;
+    std::uint64_t brownout_escalations = 0;
+    std::uint64_t brownout_deescalations = 0;
+    std::uint64_t verify_skipped_batches = 0;  ///< L1: response verification disabled
+
+    [[nodiscard]] std::uint64_t shed_total() const {
+        return shed_overflow + shed_brownout + shed_sojourn;
+    }
 };
 
 /// Full observability surface of one gas::serve::Server.
@@ -80,6 +127,7 @@ struct ServerStats {
     std::uint64_t cancelled = 0;
     std::uint64_t completed = 0;   ///< Status::Ok responses
     std::uint64_t failed = 0;
+    std::uint64_t shed = 0;        ///< dropped by overload protection (typed)
     std::uint64_t cpu_fallbacks = 0;  ///< served by the host degradation path
 
     // Micro-batching.
@@ -170,6 +218,9 @@ struct ServerStats {
     std::vector<TuneCell> tune_cells;     ///< learned cost cells, sorted by key
 
     double wall_service_ms = 0.0;  ///< host wall time spent executing batches
+
+    /// Closed-loop health subsystem counters (gas::health wiring).
+    HealthStats health;
 
     BufferPool::Stats pool;
 

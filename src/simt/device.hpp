@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -132,6 +134,27 @@ class Device {
         if (faults_) faults_->clear_report();
     }
 
+    /// Heartbeat: a monotonically increasing tick, bumped at every launch
+    /// entry and completion (and at each graph node as it settles).  A
+    /// watchdog on another thread can poll this — the only Device member
+    /// safe to read off the owning thread — to distinguish a device that is
+    /// making progress from one that is hung.
+    [[nodiscard]] std::uint64_t progress_ticks() const {
+        return progress_ticks_.load(std::memory_order_relaxed);
+    }
+
+    /// What a hang handler tells a hung launch to do on each poll.
+    enum class HangAction : std::uint8_t { Wait, Abort };
+
+    /// Installed by a supervisor (gas::health watchdog): consulted every
+    /// plan.hang_check_us while an injected hang holds a launch.  Returning
+    /// Abort makes the launch throw StallFault immediately instead of
+    /// waiting out the plan's hang_max_ms safety valve.  The handler runs on
+    /// the launching thread and must not call back into the device.
+    void set_hang_handler(std::function<HangAction()> handler) {
+        hang_handler_ = std::move(handler);
+    }
+
     /// Sum of modeled_ms over the kernel log (one sequential stream).
     [[nodiscard]] double total_modeled_ms() const;
     /// Sum of wall_ms over the kernel log.
@@ -176,6 +199,11 @@ class Device {
     sanitize::SanitizeOptions sanitize_options_;
     sanitize::SanitizeReport sanitize_report_;
     std::unique_ptr<faults::FaultInjector> faults_;
+    std::atomic<std::uint64_t> progress_ticks_{0};
+    std::function<HangAction()> hang_handler_;
+
+    void bump_progress() { progress_ticks_.fetch_add(1, std::memory_order_relaxed); }
+    friend class Graph;  // graph executor publishes node-granular heartbeats
 };
 
 }  // namespace simt

@@ -66,6 +66,28 @@ class LaunchFault : public DeviceError {
     std::uint64_t ordinal_;
 };
 
+/// Thrown by Device::launch when an injected hang (simt::faults) is aborted
+/// — either by the device's hang handler (a watchdog deciding the launch is
+/// stuck) or by the plan's hang_max_ms safety valve.  Like LaunchFault the
+/// kernel body never ran and device memory is unchanged, so retrying is
+/// sound; unlike LaunchFault, real wall time elapsed while the launch hung.
+class StallFault : public DeviceError {
+  public:
+    StallFault(const std::string& kernel, std::uint64_t ordinal, double hung_ms)
+        : DeviceError("injected hang: kernel '" + kernel + "' (launch #" +
+                      std::to_string(ordinal) + ") aborted after " +
+                      std::to_string(hung_ms) + " ms stalled"),
+          ordinal_(ordinal),
+          hung_ms_(hung_ms) {}
+
+    [[nodiscard]] std::uint64_t ordinal() const { return ordinal_; }
+    [[nodiscard]] double hung_ms() const { return hung_ms_; }
+
+  private:
+    std::uint64_t ordinal_;
+    double hung_ms_;
+};
+
 /// Thrown by Device::launch when an injected corruption fires in detected
 /// mode: bits were flipped in global memory and the ECC/transfer machinery
 /// noticed.  Device data IS corrupted; recovery means re-staging from the

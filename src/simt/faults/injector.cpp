@@ -35,6 +35,7 @@ bool FaultInjector::fires(FaultKind kind, std::uint64_t ordinal) const {
         case FaultKind::LaunchFail: rate = plan_.launch_fail_every; at = &plan_.launch_fail_at; break;
         case FaultKind::Corrupt: rate = plan_.corrupt_every; at = &plan_.corrupt_at; break;
         case FaultKind::Stall: rate = plan_.stall_every; at = &plan_.stall_at; break;
+        case FaultKind::Hang: rate = plan_.hang_every; at = &plan_.hang_at; break;
     }
     if (rate != 0 && decision(plan_.seed, kind, ordinal) % rate == 0) return true;
     return scheduled(*at, ordinal);
@@ -106,6 +107,14 @@ bool FaultInjector::on_launch_fail(const std::string& kernel, std::uint64_t& ord
     if (!fires(FaultKind::LaunchFail, ordinal)) return false;
     ++report_.launch_failures;
     report_.events.push_back({FaultKind::LaunchFail, ordinal, kernel, "launch refused"});
+    return true;
+}
+
+bool FaultInjector::on_launch_hang(const std::string& kernel, std::uint64_t ordinal) {
+    ++report_.hang_checks;
+    if (!fires(FaultKind::Hang, ordinal)) return false;
+    ++report_.hangs;
+    report_.events.push_back({FaultKind::Hang, ordinal, kernel, "launch hung"});
     return true;
 }
 

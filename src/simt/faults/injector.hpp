@@ -46,6 +46,13 @@ class FaultInjector {
     /// Returns the launch ordinal via `ordinal` for the error message.
     [[nodiscard]] bool on_launch_fail(const std::string& kernel, std::uint64_t& ordinal);
 
+    /// Launch-entry hang hook: true => the caller must block this launch in
+    /// wall time until its hang handler (or the plan's hang_max_ms safety
+    /// valve) aborts it with StallFault.  Shares the launch ordinal stream —
+    /// call it with the ordinal on_launch_fail returned, after that hook
+    /// declined to refuse the launch.
+    [[nodiscard]] bool on_launch_hang(const std::string& kernel, std::uint64_t ordinal);
+
     /// Timeline hook: modeled stall milliseconds to add to one engine
     /// operation (0 when no stall fires).
     [[nodiscard]] double on_engine_op(const char* engine);

@@ -40,22 +40,34 @@ struct FaultPlan {
     std::uint64_t launch_fail_every = 0;  ///< Device::launch LaunchFault
     std::uint64_t corrupt_every = 0;      ///< global-memory bit flips
     std::uint64_t stall_every = 0;        ///< Timeline engine stalls
+    std::uint64_t hang_every = 0;         ///< Device::launch wall-clock hangs
 
     // Explicit 1-based ordinals, always fire (merged with the rates).
     std::vector<std::uint64_t> alloc_fail_at;
     std::vector<std::uint64_t> launch_fail_at;
     std::vector<std::uint64_t> corrupt_at;  ///< launch ordinal at whose entry to corrupt
     std::vector<std::uint64_t> stall_at;
+    std::vector<std::uint64_t> hang_at;  ///< launch ordinal at whose entry to hang
 
     unsigned corrupt_bits = 1;    ///< bits flipped per corruption event
     bool detected = true;         ///< true: raise TransferError; false: silent
     CorruptTarget corrupt_target = CorruptTarget::Largest;
     double stall_ms = 2.0;        ///< modeled delay added per stall event
 
+    // Hang events block the launch in *wall* time (the stuck-kernel analog,
+    // as opposed to stall_* which only inflates modeled engine time).  The
+    // launch polls the device's hang handler every hang_check_us until it is
+    // told to abort, or until hang_max_ms elapses — the safety valve that
+    // keeps an unattended device from hanging forever.  Either exit throws
+    // StallFault; the kernel body never runs.
+    std::uint64_t hang_check_us = 200;  ///< handler poll interval while hung
+    double hang_max_ms = 100.0;         ///< wall cap before forced abort
+
     [[nodiscard]] bool any() const {
         return alloc_fail_every != 0 || launch_fail_every != 0 || corrupt_every != 0 ||
-               stall_every != 0 || !alloc_fail_at.empty() || !launch_fail_at.empty() ||
-               !corrupt_at.empty() || !stall_at.empty();
+               stall_every != 0 || hang_every != 0 || !alloc_fail_at.empty() ||
+               !launch_fail_at.empty() || !corrupt_at.empty() || !stall_at.empty() ||
+               !hang_at.empty();
     }
 };
 

@@ -42,7 +42,8 @@ std::string to_text(const FaultReport& report) {
        << " decision points (alloc " << report.alloc_failures << "/" << report.alloc_checks
        << ", launch " << report.launch_failures << "/" << report.launch_checks << ", corrupt "
        << report.corruptions << "/" << report.corrupt_checks << ", stall " << report.stalls
-       << "/" << report.stall_checks << "), " << report.suppressed << " suppressed\n";
+       << "/" << report.stall_checks << ", hang " << report.hangs << "/" << report.hang_checks
+       << "), " << report.suppressed << " suppressed\n";
     for (const FaultEvent& e : report.events) os << "  " << describe(e) << "\n";
     return os.str();
 }
@@ -57,7 +58,9 @@ std::string to_json(const FaultReport& report) {
        << "},\"corrupt\":{\"checks\":" << report.corrupt_checks
        << ",\"fired\":" << report.corruptions
        << "},\"stall\":{\"checks\":" << report.stall_checks
-       << ",\"fired\":" << report.stalls << "}}";
+       << ",\"fired\":" << report.stalls
+       << "},\"hang\":{\"checks\":" << report.hang_checks
+       << ",\"fired\":" << report.hangs << "}}";
     os << ",\"suppressed\":" << report.suppressed;
     os << ",\"events\":[";
     for (std::size_t i = 0; i < report.events.size(); ++i) {

@@ -8,7 +8,7 @@
 namespace simt::faults {
 
 /// Kinds of injectable faults (see FaultPlan for trigger semantics).
-enum class FaultKind : std::uint8_t { AllocFail, LaunchFail, Corrupt, Stall };
+enum class FaultKind : std::uint8_t { AllocFail, LaunchFail, Corrupt, Stall, Hang };
 
 [[nodiscard]] inline const char* to_string(FaultKind k) {
     switch (k) {
@@ -16,6 +16,7 @@ enum class FaultKind : std::uint8_t { AllocFail, LaunchFail, Corrupt, Stall };
         case FaultKind::LaunchFail: return "launch-fail";
         case FaultKind::Corrupt: return "corrupt";
         case FaultKind::Stall: return "stall";
+        case FaultKind::Hang: return "hang";
     }
     return "?";
 }
@@ -40,21 +41,23 @@ struct FaultReport {
     std::uint64_t launch_checks = 0;
     std::uint64_t corrupt_checks = 0;
     std::uint64_t stall_checks = 0;
+    std::uint64_t hang_checks = 0;
 
     std::uint64_t alloc_failures = 0;
     std::uint64_t launch_failures = 0;
     std::uint64_t corruptions = 0;
     std::uint64_t stalls = 0;
+    std::uint64_t hangs = 0;
 
     std::uint64_t suppressed = 0;
     std::vector<FaultEvent> events;
 
     [[nodiscard]] bool clean() const { return fired() == 0 && suppressed == 0; }
     [[nodiscard]] std::uint64_t fired() const {
-        return alloc_failures + launch_failures + corruptions + stalls;
+        return alloc_failures + launch_failures + corruptions + stalls + hangs;
     }
     [[nodiscard]] std::uint64_t armed() const {
-        return alloc_checks + launch_checks + corrupt_checks + stall_checks;
+        return alloc_checks + launch_checks + corrupt_checks + stall_checks + hang_checks;
     }
 };
 

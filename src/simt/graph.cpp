@@ -317,6 +317,7 @@ GraphStats Device::submit(Graph& graph) {
         Graph::Node& n = graph.nodes_[id];
         n.state = state;
         ++settled;
+        bump_progress();  // node-granular heartbeat for watchdogs
         for (const Graph::NodeId s : n.succs) {
             if (--graph.nodes_[s].unmet == 0) exec.ready.push(s);
         }

@@ -1,5 +1,6 @@
 #include <atomic>
 #include <chrono>
+#include <thread>
 
 #include "simt/device.hpp"
 #include "simt/launch_detail.hpp"
@@ -7,6 +8,7 @@
 namespace simt {
 
 void Device::check_launch(const LaunchConfig& cfg) {
+    bump_progress();  // heartbeat: a launch reached the device
     if (cfg.grid_dim == 0 || cfg.block_dim == 0) {
         throw LaunchError("launch '" + cfg.name + "': zero grid or block dimension");
     }
@@ -29,6 +31,28 @@ void Device::check_launch(const LaunchConfig& cfg) {
         }
         if (refuse) {
             throw LaunchFault(cfg.name, launch_ordinal);
+        }
+        if (faults_->on_launch_hang(cfg.name, launch_ordinal)) {
+            // The stuck-kernel arm: hold the launch in wall time, polling the
+            // hang handler, until it says Abort or the plan's safety valve
+            // expires.  Progress ticks are NOT bumped while hung — that is
+            // exactly the stagnation a watchdog detects.
+            const auto& plan = faults_->plan();
+            const auto poll = std::chrono::microseconds(std::max<std::uint64_t>(
+                plan.hang_check_us, 1));
+            const auto start = std::chrono::steady_clock::now();
+            for (;;) {
+                if (hang_handler_ && hang_handler_() == HangAction::Abort) break;
+                const double hung_ms = std::chrono::duration<double, std::milli>(
+                                           std::chrono::steady_clock::now() - start)
+                                           .count();
+                if (hung_ms >= plan.hang_max_ms) break;
+                std::this_thread::sleep_for(poll);
+            }
+            const double hung_ms = std::chrono::duration<double, std::milli>(
+                                       std::chrono::steady_clock::now() - start)
+                                       .count();
+            throw StallFault(cfg.name, launch_ordinal, hung_ms);
         }
     }
 }
@@ -89,6 +113,7 @@ KernelStats Device::finish_launch(const LaunchConfig& cfg,
             throw SanitizeError(cfg.name, launch_findings);
         }
     }
+    bump_progress();  // heartbeat: the launch retired
     return stats;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tune/ewma.hpp"
+
 namespace gas::tune {
 
 Plan Controller::choose(const Sketch& sketch, std::size_t array_size,
@@ -76,11 +78,9 @@ void Controller::observe(Regime regime, const std::string& candidate, double mod
     const double cost =
         modeled_ms * cycles_per_ms / static_cast<double>(elements);
     Cell& cell = cells_[{regime, candidate}];
-    if (cell.observations == 0) {
-        cell.observed_ewma = cost;
-    } else {
-        cell.observed_ewma = (1.0 - cfg_.alpha) * cell.observed_ewma + cfg_.alpha * cost;
-    }
+    cell.observed_ewma = cell.observations == 0
+                             ? cost
+                             : ewma_step(cell.observed_ewma, cost, cfg_.alpha);
     ++cell.observations;
 }
 

@@ -23,7 +23,11 @@ using gas::fleet::ShardLoad;
 
 std::vector<ShardLoad> loads_of(std::vector<std::size_t> queued) {
     std::vector<ShardLoad> loads;
-    for (std::size_t q : queued) loads.push_back({q, true, true});
+    for (std::size_t q : queued) {
+        ShardLoad l;
+        l.queued_elements = q;
+        loads.push_back(l);
+    }
     return loads;
 }
 
@@ -55,6 +59,43 @@ TEST(Router, LeastLoadedSkipsDeadAndPrefersEligible) {
     loads = loads_of({5, 2, 9});
     for (auto& l : loads) l.eligible = false;
     EXPECT_EQ(router.route({}, loads), 1u);
+}
+
+TEST(Router, LeastLoadedFoldsSmoothedLoadAgainstFlapping) {
+    Router router(RoutePolicy::LeastLoaded, 2);
+    // Device 0's queue momentarily drained, but its EWMA remembers a deep
+    // backlog; device 1 has a couple queued but a calm history.  Raw
+    // queued_elements would yank every new request to device 0 (route
+    // flapping on the transient dip) — the smoothed signal keeps it away.
+    auto loads = loads_of({0, 2});
+    EXPECT_EQ(router.route({}, loads), 0u);  // without history: raw ranking
+    loads[0].smoothed_load = 500.0;
+    loads[1].smoothed_load = 3.0;
+    EXPECT_EQ(router.route({}, loads), 1u);
+}
+
+TEST(Router, LeastLoadedDividesPressureByWeight) {
+    Router router(RoutePolicy::LeastLoaded, 2);
+    // A probation shard at weight 0.25 looks 4x as loaded: 8 queued on the
+    // healthy peer still beats 4 queued on the ramping one (4/0.25 = 16).
+    auto loads = loads_of({4, 8});
+    loads[0].weight = 0.25;
+    EXPECT_EQ(router.route({}, loads), 1u);
+    // ...until its ramp completes and raw ranking resumes.
+    loads[0].weight = 1.0;
+    EXPECT_EQ(router.route({}, loads), 0u);
+    // A non-positive weight is clamped, not a division blow-up.
+    loads[0].weight = 0.0;
+    EXPECT_EQ(router.route({}, loads), 1u);
+}
+
+TEST(Router, LeastLoadedDefaultsReproduceRawRanking) {
+    // ShardLoad's defaults (smoothed_load 0, weight 1) must keep the
+    // pre-health ranking bit-for-bit, ties still breaking to lowest index.
+    Router router(RoutePolicy::LeastLoaded, 3);
+    EXPECT_EQ(router.route({}, loads_of({5, 2, 9})), 1u);
+    EXPECT_EQ(router.route({}, loads_of({7, 7, 7})), 0u);
+    EXPECT_EQ(router.route({}, loads_of({0, 0, 1})), 0u);
 }
 
 TEST(Router, SentinelWhenNothingIsLive) {

@@ -205,6 +205,82 @@ TEST(Chaos, ServeWithVerificationAlwaysAnswersCorrectly) {
     }
 }
 
+/// Kill -> revive -> kill: a device cycling through quarantine, probe-sort
+/// re-admission and a second loss.  Every accepted request must land
+/// byte-correct (0 mismatches vs the host sort) and the "health" stats must
+/// count both losses and the recovery in between.
+TEST(Chaos, KillReviveKillCyclesThroughProbationWithZeroByteMismatches) {
+    gas::fleet::DeviceFleet fleet(2, simt::tiny_device(256 << 20));
+    gas::serve::ServerConfig cfg;
+    cfg.manual_pump = true;
+    cfg.retry.seed = 17;
+    cfg.health.enabled = true;
+    cfg.health.probe_passes = 1;
+    cfg.health.probation_batches = 1;
+    cfg.health.probation_base_weight = 1.0;
+    gas::serve::Server server(fleet, cfg);
+
+    simt::faults::FaultPlan kill;
+    kill.launch_fail_every = 1;
+
+    std::size_t byte_mismatches = 0;
+    auto serve_burst = [&](unsigned tag) {
+        std::vector<gas::serve::Server::Ticket> tickets;
+        std::vector<std::vector<float>> expected;
+        for (unsigned i = 0; i < 6; ++i) {
+            gas::serve::Job job;
+            job.kind = gas::serve::JobKind::Uniform;
+            job.num_arrays = 4;
+            job.array_size = 64 + 16 * i;  // incompatible sizes: spreads shards
+            job.values =
+                workload::make_dataset(4, job.array_size, workload::Distribution::Uniform,
+                                       tag * 100 + i)
+                    .values;
+            auto want = job.values;
+            const auto n = static_cast<std::ptrdiff_t>(job.array_size);
+            for (std::ptrdiff_t a = 0; a < 4; ++a) {
+                std::sort(want.begin() + a * n, want.begin() + (a + 1) * n);
+            }
+            expected.push_back(std::move(want));
+            tickets.push_back(server.submit(std::move(job)));
+        }
+        server.pump();
+        for (std::size_t i = 0; i < tickets.size(); ++i) {
+            gas::serve::Response r = tickets[i].result.get();
+            ASSERT_EQ(r.status, gas::serve::Status::Ok)
+                << "burst " << tag << " request " << i << ": " << r.error;
+            if (r.values != expected[i]) ++byte_mismatches;
+        }
+    };
+
+    // Kill #1: burst re-routes to the survivor, device 0 quarantined.
+    fleet.device(0).set_fault_plan(kill);
+    serve_burst(1);
+    ASSERT_EQ(server.stats().devices[0].health_state, "quarantined");
+
+    // Revive: probe passes, probation, one clean batch -> healthy again.
+    fleet.device(0).set_fault_plan({});
+    server.pump();  // runs the probe cycle
+    ASSERT_EQ(server.stats().devices[0].health_state, "probation");
+    for (unsigned round = 0; round < 8; ++round) {
+        serve_burst(10 + round);
+        if (server.stats().devices[0].health_state == "healthy") break;
+    }
+    ASSERT_EQ(server.stats().devices[0].health_state, "healthy");
+    ASSERT_EQ(server.stats().health.readmissions, 1u);
+
+    // Kill #2: the re-admitted device dies again; service must survive it
+    // again, and the counters must show both transitions.
+    fleet.device(0).set_fault_plan(kill);
+    serve_burst(50);
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.devices[0].health_state, "quarantined");
+    EXPECT_GE(stats.health.quarantines, 2u);
+    EXPECT_EQ(stats.health.readmissions, 1u);
+    EXPECT_EQ(stats.health.hedge_mismatches, 0u);
+    EXPECT_EQ(byte_mismatches, 0u);
+}
+
 TEST(Chaos, SameSeedYieldsIdenticalFaultReport) {
     auto run = [](std::uint64_t seed) {
         auto dev = make_device();

@@ -19,6 +19,13 @@
 //     --requests R          serve-workload request count (default 64)
 //     --arrays N            arrays per request/dataset (default 8)
 //     --size n              elements per array (default 96)
+//     --kill-revive on|off  also run the kill-revive-kill workload: a
+//                           two-device health-enabled fleet server whose
+//                           device 0 is killed, revived (probe-sort
+//                           re-admission through probation) and killed
+//                           again, with every response byte-checked
+//                           (default off; also reachable as
+//                           --workload kill-revive)
 //     --json PATH           write a machine-readable summary (per-workload
 //                           recovery outcome + FaultReport)
 //
@@ -50,7 +57,7 @@ int usage() {
                  "                     [--launch-fail-every K] [--corrupt-every K]\n"
                  "                     [--undetected] [--stall-every K] [--stall-ms MS]\n"
                  "                     [--requests R] [--arrays N] [--size n]\n"
-                 "                     [--json PATH]\n");
+                 "                     [--kill-revive on|off] [--json PATH]\n");
     return 2;
 }
 
@@ -66,6 +73,7 @@ struct CliOptions {
     std::size_t requests = 64;
     std::size_t arrays = 8;
     std::size_t size = 96;
+    bool kill_revive = false;
     std::string json;
 };
 
@@ -314,6 +322,95 @@ WorkloadResult run_serve(const CliOptions& cli, simt::Device& device) {
     return res;
 }
 
+/// Kill -> revive -> kill against a two-device health-enabled fleet server:
+/// device 0 is killed mid-traffic (quarantine + reroute), revived (probe
+/// sorts re-admit it through probation back to healthy), then killed again.
+/// Recovery means every accepted request's bytes match the host sort across
+/// all three phases and the health counters show both losses plus the
+/// re-admission in between.
+WorkloadResult run_kill_revive(const CliOptions& cli) {
+    WorkloadResult res;
+    res.name = "kill-revive";
+    gas::fleet::DeviceFleet fleet(2);
+    gas::serve::ServerConfig cfg;
+    cfg.manual_pump = true;
+    cfg.queue_capacity = std::max<std::size_t>(cli.requests, 16);
+    cfg.retry.seed = cli.seed;
+    cfg.health.enabled = true;
+    cfg.health.probe_passes = 1;
+    cfg.health.probation_batches = 1;
+    cfg.health.probation_base_weight = 1.0;
+    gas::serve::Server server(fleet, cfg);
+
+    simt::faults::FaultPlan kill;
+    kill.seed = cli.seed;
+    kill.launch_fail_every = 1;
+
+    const std::size_t burst = std::max<std::size_t>(cli.requests / 4, 4);
+    std::uint64_t data_seed = cli.seed * 1000;
+    auto serve_burst = [&]() {
+        std::vector<std::pair<std::vector<float>, gas::serve::Server::Ticket>> live;
+        for (std::size_t r = 0; r < burst; ++r) {
+            gas::serve::Job job;
+            job.kind = gas::serve::JobKind::Uniform;
+            job.num_arrays = cli.arrays;
+            // Vary the geometry so batches spread over both shards.
+            job.array_size = cli.size + 16 * (r % 4);
+            job.values =
+                workload::make_dataset(cli.arrays, job.array_size,
+                                       workload::Distribution::Uniform, ++data_seed)
+                    .values;
+            auto want = job.values;
+            for (std::size_t a = 0; a < cli.arrays; ++a) {
+                auto* row = want.data() + a * job.array_size;
+                std::sort(row, row + job.array_size);
+            }
+            live.emplace_back(std::move(want), server.submit(std::move(job)));
+        }
+        server.pump();
+        for (auto& [want, ticket] : live) {
+            const auto r = ticket.result.get();
+            if (!r.ok() || r.values != want) ++res.mismatches;
+        }
+    };
+
+    try {
+        fleet.device(0).set_fault_plan(kill);
+        serve_burst();  // phase 1: device 0 dies, survivor carries the burst
+        fleet.device(0).set_fault_plan({});
+        server.pump();  // probe cycle: re-admission into probation
+        for (int round = 0; round < 8; ++round) {
+            serve_burst();  // phase 2: verified traffic on the revived device
+            if (server.stats().devices[0].health_state == "healthy") break;
+        }
+        const auto mid = server.stats();
+        if (mid.devices[0].health_state != "healthy" || mid.health.readmissions != 1) {
+            res.recovered = false;
+            res.error = "device 0 not re-admitted (state " +
+                        mid.devices[0].health_state + ")";
+        }
+        fleet.device(0).set_fault_plan(kill);
+        serve_burst();  // phase 3: it dies again; service must survive again
+        server.stop();
+        const auto stats = server.stats();
+        if (stats.health.quarantines < 2) {
+            res.recovered = false;
+            res.error = "expected two quarantines, saw " +
+                        std::to_string(stats.health.quarantines);
+        }
+        res.mismatches += stats.health.hedge_mismatches;
+        res.detail = std::to_string(stats.health.quarantines) + " quarantine(s), " +
+                     std::to_string(stats.health.probes_run) + " probe(s), " +
+                     std::to_string(stats.health.readmissions) + " readmission(s), " +
+                     std::to_string(stats.completed) + " completed";
+    } catch (const std::exception& e) {
+        res.recovered = false;
+        res.error = e.what();
+    }
+    res.report = fleet.device(0).fault_report();
+    return res;
+}
+
 void json_escape_into(std::string& out, const std::string& s) {
     for (const char c : s) {
         if (c == '"' || c == '\\') {
@@ -335,6 +432,7 @@ int cmd_run(const CliOptions& cli) {
     } else {
         names = {cli.workload};
     }
+    if (cli.kill_revive && cli.workload == "all") names.push_back("kill-revive");
 
     std::printf("gas_chaos: seed %llu, plan:%s%s%s%s%s\n",
                 static_cast<unsigned long long>(plan.seed),
@@ -358,10 +456,14 @@ int cmd_run(const CliOptions& cli) {
             res = run_ooc(cli, device);
         } else if (name == "serve") {
             res = run_serve(cli, device);
+        } else if (name == "kill-revive") {
+            // Manages its own two-device fleet (and its own kill plans); the
+            // ambient per-workload device and plan do not apply.
+            res = run_kill_revive(cli);
         } else {
             return usage();
         }
-        res.report = device.fault_report();
+        if (name != "kill-revive") res.report = device.fault_report();
         const bool pass = res.recovered && res.mismatches == 0;
         std::printf("[%s] %-7s fired %llu fault(s) (%llu suppressed) — %s%s%s\n",
                     pass ? "PASS" : "FAIL", res.name.c_str(),
@@ -434,7 +536,8 @@ int main(int argc, char** argv) {
             cli.workload = v;
             if (cli.workload != "uniform" && cli.workload != "ragged" &&
                 cli.workload != "pairs" && cli.workload != "ooc" &&
-                cli.workload != "serve" && cli.workload != "all") {
+                cli.workload != "serve" && cli.workload != "kill-revive" &&
+                cli.workload != "all") {
                 return usage();
             }
         } else if (arg == "--seed") {
@@ -465,6 +568,21 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage();
             cli.size = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--kill-revive") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            if (std::strcmp(v, "on") == 0) {
+                cli.kill_revive = true;
+            } else if (std::strcmp(v, "off") == 0) {
+                cli.kill_revive = false;
+            } else {
+                // A typo must not silently skip the workload: name the
+                // rejected string and the full valid set.
+                std::fprintf(stderr,
+                             "gas_chaos: unknown --kill-revive '%s' (valid: on, off)\n",
+                             v);
+                return 2;
+            }
         } else if (arg == "--json") {
             const char* v = next();
             if (v == nullptr) return usage();

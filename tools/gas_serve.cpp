@@ -19,6 +19,9 @@
 //                      the SIMT_EXEC environment variable, else scalar)
 //     --tune on|off    adaptive autotuning (gas::tune controller inside the
 //                      server; default on.  off pins submitted options)
+//     --health on|off  closed-loop health subsystem (gas::health: watchdog,
+//                      probe re-admission, overload shedding, brownout
+//                      ladder, straggler hedging; default off)
 //     --json PATH      also write the ServerStats JSON to PATH
 //
 // Exit code 0 iff every request reached a terminal state and every Ok
@@ -46,7 +49,9 @@ int usage() {
                  "                     [--streams S] [--batch B] [--deadline-ms D]\n"
                  "                     [--devices N] [--policy least-loaded|consistent-hash|"
                  "key-range]\n"
-                 "                     [--exec scalar|warp] [--tune on|off] [--json PATH]\n");
+                 "                     [--exec scalar|warp] [--tune on|off] "
+                 "[--health on|off]\n"
+                 "                     [--json PATH]\n");
     return 2;
 }
 
@@ -63,6 +68,7 @@ struct CliOptions {
     gas::fleet::RoutePolicy policy = gas::fleet::RoutePolicy::LeastLoaded;
     simt::ExecMode exec = simt::exec_mode_from_env();
     bool tune = true;
+    bool health = false;
     std::string json;
 };
 
@@ -129,6 +135,7 @@ int cmd_run(const CliOptions& cli) {
     cfg.num_streams = cli.streams;
     cfg.route_policy = cli.policy;
     cfg.auto_tune = cli.tune;
+    cfg.health.enabled = cli.health;
     gas::serve::Server server(fleet, cfg);
 
     std::printf("gas_serve: %zu %s requests, %s mode, %u streams, batch <= %zu, "
@@ -191,6 +198,17 @@ int cmd_run(const CliOptions& cli) {
                 static_cast<unsigned long long>(stats.tune_plan_switches),
                 static_cast<unsigned long long>(stats.tuned_batches),
                 stats.graph_cache_hit_rate() * 100.0);
+    std::printf("health: %s, %llu shed (%llu overflow / %llu brownout / %llu sojourn), "
+                "brownout L%d, %llu hangs, %llu hedges (%llu mismatches)\n",
+                stats.health.enabled ? "on" : "off",
+                static_cast<unsigned long long>(stats.health.shed_total()),
+                static_cast<unsigned long long>(stats.health.shed_overflow),
+                static_cast<unsigned long long>(stats.health.shed_brownout),
+                static_cast<unsigned long long>(stats.health.shed_sojourn),
+                stats.health.brownout_level,
+                static_cast<unsigned long long>(stats.health.hangs_detected),
+                static_cast<unsigned long long>(stats.health.hedges_launched),
+                static_cast<unsigned long long>(stats.health.hedge_mismatches));
     if (cli.devices > 1) {
         for (const auto& d : stats.devices) {
             std::printf("  %s: %llu routed, %llu completed, %llu batch(es), "
@@ -311,6 +329,20 @@ int main(int argc, char** argv) {
                 // name the rejected string and the full valid set.
                 std::fprintf(stderr, "gas_serve: unknown --tune '%s' (valid: on, off)\n",
                              v);
+                return 2;
+            }
+        } else if (arg == "--health") {
+            const char* v = next();
+            if (v == nullptr) return usage();
+            if (std::strcmp(v, "on") == 0) {
+                cli.health = true;
+            } else if (std::strcmp(v, "off") == 0) {
+                cli.health = false;
+            } else {
+                // A typo must not silently serve with the default setting:
+                // name the rejected string and the full valid set.
+                std::fprintf(stderr,
+                             "gas_serve: unknown --health '%s' (valid: on, off)\n", v);
                 return 2;
             }
         } else if (arg == "--json") {

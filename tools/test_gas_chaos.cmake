@@ -47,3 +47,17 @@ run(${GAS_CHAOS} run --seed 3 --corrupt-every 12 --undetected
 if(NOT last_out MATCHES "0 unrecovered, 0 mismatched")
   message(FATAL_ERROR "silent-corruption run did not recover:\n${last_out}")
 endif()
+
+# Kill -> revive -> kill (gas::health): device 0 of a two-device fleet dies,
+# is re-admitted through probe sorts + probation, and dies again — with every
+# accepted response byte-checked along the way.
+run(${GAS_CHAOS} run --workload kill-revive --requests 16 --arrays 4 --size 48)
+if(NOT last_out MATCHES "0 unrecovered, 0 mismatched")
+  message(FATAL_ERROR "kill-revive run did not recover:\n${last_out}")
+endif()
+if(NOT last_out MATCHES "2 quarantine\\(s\\)")
+  message(FATAL_ERROR "kill-revive did not count both losses:\n${last_out}")
+endif()
+if(NOT last_out MATCHES "1 readmission\\(s\\)")
+  message(FATAL_ERROR "kill-revive did not count the re-admission:\n${last_out}")
+endif()

@@ -52,3 +52,34 @@ run(${GAS_SERVE} run --requests 48 --devices 4 --policy least-loaded --async)
 if(NOT last_out MATCHES "48 ok \\(0 cpu fallbacks\\), 0 not-ok, 0 unsorted")
   message(FATAL_ERROR "async fleet run not fully served:\n${last_out}")
 endif()
+
+# Health subsystem: a --health on run must serve everything (fault-free means
+# nothing is shed or hedged), report the health summary line, and emit the
+# "health" block in the stats JSON with its correctness gate at zero.
+set(HEALTH_STATS ${WORK_DIR}/serve_health.json)
+run(${GAS_SERVE} run --requests 48 --devices 2 --health on --json ${HEALTH_STATS})
+if(NOT last_out MATCHES "48 ok \\(0 cpu fallbacks\\), 0 not-ok, 0 unsorted")
+  message(FATAL_ERROR "health-enabled run not fully served:\n${last_out}")
+endif()
+if(NOT last_out MATCHES "health: on")
+  message(FATAL_ERROR "health summary line missing:\n${last_out}")
+endif()
+file(READ ${HEALTH_STATS} health_json)
+if(NOT health_json MATCHES "\"health\": {")
+  message(FATAL_ERROR "stats JSON missing the health block:\n${health_json}")
+endif()
+if(NOT health_json MATCHES "\"enabled\": true")
+  message(FATAL_ERROR "health block not marked enabled:\n${health_json}")
+endif()
+if(NOT health_json MATCHES "\"hedge_mismatches\": 0")
+  message(FATAL_ERROR "hedge mismatch gate not zero:\n${health_json}")
+endif()
+if(NOT health_json MATCHES "\"health_state\": \"healthy\"")
+  message(FATAL_ERROR "per-device health_state missing:\n${health_json}")
+endif()
+# And --health off keeps the block present but disabled (schema stability).
+run(${GAS_SERVE} run --requests 16 --health off --json ${HEALTH_STATS})
+file(READ ${HEALTH_STATS} health_json)
+if(NOT health_json MATCHES "\"enabled\": false")
+  message(FATAL_ERROR "health off not reflected in JSON:\n${health_json}")
+endif()
